@@ -1,0 +1,55 @@
+//! Criterion: end-to-end engine runs per policy — the dominant cost of
+//! every sweep (one iteration = one full 20-hour experiment simulation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use redspot_core::{Engine, ExperimentConfig, PolicyKind};
+use redspot_market::DelayModel;
+use redspot_trace::gen::GenConfig;
+use redspot_trace::{SimTime, ZoneId};
+
+fn bench_engine(c: &mut Criterion) {
+    let traces = GenConfig::high_volatility(42).generate();
+    let start = SimTime::from_hours(72);
+    let mut group = c.benchmark_group("engine_run");
+    group.sample_size(20);
+    for kind in [
+        PolicyKind::Periodic,
+        PolicyKind::MarkovDaly,
+        PolicyKind::RisingEdge,
+        PolicyKind::Threshold,
+    ] {
+        group.bench_function(format!("single_zone/{kind}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = ExperimentConfig::paper_default();
+                    cfg.zones = vec![ZoneId(0)];
+                    cfg.record_events = false;
+                    Engine::with_delay_model(&traces, start, cfg, kind.build(), DelayModel::zero())
+                },
+                |engine| engine.run(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.bench_function("redundant_3/Periodic", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = ExperimentConfig::paper_default();
+                cfg.record_events = false;
+                Engine::with_delay_model(
+                    &traces,
+                    start,
+                    cfg,
+                    PolicyKind::Periodic.build(),
+                    DelayModel::zero(),
+                )
+            },
+            |engine| engine.run(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

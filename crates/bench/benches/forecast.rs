@@ -1,0 +1,31 @@
+//! Criterion: the adaptive controller's per-permutation forecast — called
+//! ~100 times per decision point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redspot_ckpt::CkptCosts;
+use redspot_core::adaptive::forecast::estimate;
+use redspot_core::PolicyKind;
+use redspot_trace::gen::GenConfig;
+use redspot_trace::{Price, SimTime, Window, ZoneId};
+use std::hint::black_box;
+
+fn bench_forecast(c: &mut Criterion) {
+    let traces = GenConfig::high_volatility(42).generate();
+    let window = Window::new(SimTime::from_hours(48), SimTime::from_hours(72));
+    let zones = [ZoneId(0), ZoneId(1), ZoneId(2)];
+    c.bench_function("forecast/estimate_24h_3zones", |b| {
+        b.iter(|| {
+            estimate(
+                black_box(&traces),
+                &zones,
+                window,
+                Price::from_millis(810),
+                CkptCosts::LOW,
+                PolicyKind::MarkovDaly,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_forecast);
+criterion_main!(benches);

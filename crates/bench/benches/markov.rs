@@ -1,0 +1,30 @@
+//! Criterion: Markov model construction and expected-uptime queries — the
+//! Markov-Daly policy's hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redspot_markov::MarkovModel;
+use redspot_trace::gen::GenConfig;
+use redspot_trace::{Price, SimTime, Window, ZoneId};
+use std::hint::black_box;
+
+fn bench_markov(c: &mut Criterion) {
+    let traces = GenConfig::high_volatility(42).generate();
+    let series = traces.zone(ZoneId(0));
+    let window = Window::new(SimTime::from_hours(24), SimTime::from_hours(72));
+
+    c.bench_function("markov/build_2day_model", |b| {
+        b.iter(|| MarkovModel::with_bin(black_box(series), window, 50))
+    });
+
+    let model = MarkovModel::with_bin(series, window, 50);
+    let price = series.price_at(SimTime::from_hours(72));
+    c.bench_function("markov/expected_uptime", |b| {
+        b.iter(|| model.expected_uptime(black_box(price), Price::from_millis(810)))
+    });
+    c.bench_function("markov/average_uptime", |b| {
+        b.iter(|| model.average_uptime(black_box(Price::from_millis(810))))
+    });
+}
+
+criterion_group!(benches, bench_markov);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion: statistics substrate (boxplots over sweep outputs, VAR fit
+//! over a month of 3-zone samples).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redspot_stats::{Boxplot, VarModel};
+use redspot_trace::gen::GenConfig;
+use std::hint::black_box;
+
+fn bench_stats(c: &mut Criterion) {
+    let costs: Vec<f64> = (0..240).map(|i| 5.0 + (i % 37) as f64 * 0.31).collect();
+    c.bench_function("stats/boxplot_240", |b| {
+        b.iter(|| Boxplot::from_samples(black_box(&costs)))
+    });
+
+    let traces = GenConfig::high_volatility(42).generate();
+    let series: Vec<Vec<f64>> = traces
+        .zones()
+        .iter()
+        .map(|z| z.samples().iter().map(|p| p.as_dollars()).collect())
+        .collect();
+    let mut group = c.benchmark_group("stats/var");
+    group.sample_size(10);
+    group.bench_function("fit_auto_lag4_month", |b| {
+        b.iter(|| VarModel::fit_auto(black_box(&series), 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion: synthetic trace generation and trace queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redspot_trace::gen::GenConfig;
+use redspot_trace::{Price, SimTime, ZoneId};
+use std::hint::black_box;
+
+fn bench_tracegen(c: &mut Criterion) {
+    c.bench_function("tracegen/month_3zones", |b| {
+        b.iter(|| GenConfig::high_volatility(black_box(42)).generate())
+    });
+
+    let traces = GenConfig::high_volatility(42).generate();
+    c.bench_function("trace/price_at", |b| {
+        b.iter(|| traces.price_at(ZoneId(1), black_box(SimTime::from_hours(100))))
+    });
+    c.bench_function("trace/combined_availability", |b| {
+        b.iter(|| traces.combined_availability(black_box(Price::from_millis(810))))
+    });
+}
+
+criterion_group!(benches, bench_tracegen);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation: Daly first-order vs higher-order optimum checkpoint interval
+//! inside the Markov-Daly policy.
+
+use redspot_bench::BinArgs;
+use redspot_ckpt::DalyOrder;
+use redspot_core::policy::MarkovDalyPolicy;
+use redspot_core::{Engine, ExperimentConfig};
+use redspot_exp::report::median;
+use redspot_exp::windows::{experiment_starts, run_span_for};
+use redspot_trace::vol::Volatility;
+use redspot_trace::{Price, ZoneId};
+
+fn main() {
+    let setup = BinArgs::from_env().setup();
+    println!("Ablation: Daly estimate order in Markov-Daly (single zone, B = $0.81)");
+    for vol in [Volatility::Low, Volatility::High] {
+        let traces = setup.traces(vol);
+        for (name, order) in [
+            ("first-order", DalyOrder::FirstOrder),
+            ("higher-order", DalyOrder::HigherOrder),
+        ] {
+            let mut cfg = ExperimentConfig::paper_default().with_slack_percent(15);
+            cfg.record_events = false;
+            cfg.bid = Price::from_millis(810);
+            let mut costs = Vec::new();
+            for start in experiment_starts(traces, run_span_for(cfg.deadline), setup.n_experiments)
+            {
+                for zone in traces.zone_ids() {
+                    let mut c = cfg.clone();
+                    c.zones = vec![ZoneId(zone.0)];
+                    c.seed = setup.seed ^ start.secs() ^ zone.0 as u64;
+                    let policy = Box::new(MarkovDalyPolicy::with_order(order));
+                    costs.push(Engine::new(traces, start, c, policy).run().cost_dollars());
+                }
+            }
+            println!(
+                "  {:>4} volatility, {:<12} median ${:>6.2} (n={})",
+                vol.to_string(),
+                name,
+                median(&costs),
+                costs.len()
+            );
+        }
+    }
+}

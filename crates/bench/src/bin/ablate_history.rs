@@ -1,0 +1,39 @@
+//! Ablation: the adaptive controller's forecast history length
+//! (the paper bootstraps from a 2-day history; Adaptive defaults to 24 h).
+
+use redspot_bench::BinArgs;
+use redspot_core::adaptive::{AdaptiveConfig, AdaptiveRunner};
+use redspot_exp::report::{maximum, median};
+use redspot_exp::windows::{experiment_starts, run_span_for};
+use redspot_trace::vol::Volatility;
+use redspot_trace::SimDuration;
+
+fn main() {
+    let setup = BinArgs::from_env().setup();
+    println!("Ablation: adaptive forecast history (high volatility, t_c = 300 s, slack 15%)");
+    let traces = setup.traces(Volatility::High);
+    let base = setup.base_config(15, 300);
+    for hours in [6u64, 24, 48] {
+        let mut costs = Vec::new();
+        for start in experiment_starts(traces, run_span_for(base.deadline), setup.n_experiments) {
+            let mut cfg = base.clone();
+            cfg.seed = setup.seed ^ start.secs() ^ hours;
+            let acfg = AdaptiveConfig {
+                history: SimDuration::from_hours(hours),
+                ..AdaptiveConfig::default()
+            };
+            let r = AdaptiveRunner::new(traces, start, cfg)
+                .with_config(acfg)
+                .run();
+            assert!(r.met_deadline);
+            costs.push(r.cost_dollars());
+        }
+        println!(
+            "  history {:>2} h  median ${:>6.2}  worst ${:>6.2}  (n={})",
+            hours,
+            median(&costs),
+            maximum(&costs),
+            costs.len()
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Ablation: redundancy degree N ∈ {1, 2, 3}. The paper reports
+//! diminishing returns below N = 3 on volatile markets; this sweep shows
+//! the cost/availability trade-off per N.
+
+use redspot_bench::BinArgs;
+use redspot_core::PolicyKind;
+use redspot_exp::report::median;
+use redspot_exp::scheme::{RunSpec, Scheme};
+use redspot_exp::{parallel, PaperSetup};
+use redspot_trace::vol::Volatility;
+use redspot_trace::{Price, ZoneId};
+
+fn costs_for_n(setup: &PaperSetup, kind: PolicyKind, n: usize) -> Vec<f64> {
+    let vol = Volatility::High;
+    let base = setup.base_config(15, 300);
+    let traces = setup.traces(vol);
+    let bid = Price::from_millis(810);
+    let mut specs = Vec::new();
+    for start in setup.starts(vol, base.deadline) {
+        if n == 1 {
+            for zone in traces.zone_ids() {
+                specs.push(RunSpec {
+                    start,
+                    bid,
+                    scheme: Scheme::Single { kind, zone },
+                });
+            }
+        } else {
+            let zones: Vec<ZoneId> = traces.zone_ids().take(n).collect();
+            specs.push(RunSpec {
+                start,
+                bid,
+                scheme: Scheme::Redundant { kind, zones },
+            });
+        }
+    }
+    parallel::run_batch(traces, &specs, &base, setup.threads)
+        .iter()
+        .map(|r| r.cost_dollars())
+        .collect()
+}
+
+fn main() {
+    let setup = BinArgs::from_env().setup();
+    println!("Ablation: redundancy degree (high volatility, t_c = 300 s, slack 15%, B = $0.81)");
+    for kind in [PolicyKind::Periodic, PolicyKind::MarkovDaly] {
+        for n in 1..=3usize {
+            let costs = costs_for_n(&setup, kind, n);
+            println!(
+                "  {:<12} N={}  median ${:>6.2}  worst ${:>6.2}  (n={})",
+                kind.to_string(),
+                n,
+                median(&costs),
+                redspot_exp::report::maximum(&costs),
+                costs.len()
+            );
+        }
+    }
+}

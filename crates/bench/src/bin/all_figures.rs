@@ -1,0 +1,67 @@
+//! Runs every figure/table regeneration in sequence — the one-shot
+//! reproduction entry point (see EXPERIMENTS.md).
+
+use redspot_bench::BinArgs;
+use redspot_exp::experiments::{fig2, fig4, fig5, fig6, headline, queuing, tables, var_analysis};
+use redspot_exp::report::{boxplot_panel, REF_LINES};
+use redspot_trace::vol::Volatility;
+use redspot_trace::Price;
+
+fn main() {
+    let args = BinArgs::from_env();
+    let setup = args.setup();
+    println!(
+        "== redspot: full reproduction (n = {} experiments/window, seed {}) ==\n",
+        args.n_experiments, args.seed
+    );
+
+    println!(
+        "{}",
+        fig2::render(&fig2::fig2(&setup, Price::from_millis(810)))
+    );
+
+    let analyses: Vec<_> = [Volatility::Low, Volatility::High]
+        .into_iter()
+        .filter_map(|v| var_analysis::analyse(&setup, v))
+        .collect();
+    println!("{}", var_analysis::render(&analyses));
+
+    println!("{}", queuing::render(&queuing::study(args.seed, 60)));
+
+    for (i, panel) in fig4::fig4(&setup).iter().enumerate() {
+        let title = format!(
+            "Figure 4({}) — {} volatility, slack {}%, t_c = 300 s",
+            char::from(b'a' + i as u8),
+            panel.cell.volatility,
+            panel.cell.slack_pct,
+        );
+        println!("{}", boxplot_panel(&title, &panel.rows, &REF_LINES));
+    }
+
+    println!("{}", tables::render(&tables::optimal_policies(&setup, 300)));
+    println!("{}", tables::render(&tables::optimal_policies(&setup, 900)));
+
+    for (i, panel) in fig5::fig5(&setup).iter().enumerate() {
+        let title = format!(
+            "Figure 5({}) — {} volatility, t_c = {} s, slack {}%",
+            char::from(b'a' + i as u8),
+            panel.volatility,
+            panel.tc_secs,
+            panel.slack_pct,
+        );
+        println!("{}", boxplot_panel(&title, &panel.rows(), &REF_LINES));
+    }
+
+    for (i, panel) in fig6::fig6(&setup).iter().enumerate() {
+        let title = format!(
+            "Figure 6({}) — {} volatility, t_c = {} s, slack {}%",
+            char::from(b'a' + i as u8),
+            panel.volatility,
+            panel.tc_secs,
+            panel.slack_pct,
+        );
+        println!("{}", boxplot_panel(&title, &panel.rows(), &REF_LINES));
+    }
+
+    print!("{}", headline::render(&headline::headline(&setup)));
+}

@@ -1,0 +1,36 @@
+//! Regenerates Figure 4: single-zone checkpoint policies (Threshold,
+//! Rising Edge, Periodic, Markov-Daly) vs best-case redundancy, at
+//! t_c = 300 s, for low/high volatility and 15 %/50 % slack.
+
+use redspot_bench::BinArgs;
+use redspot_exp::experiments::fig4;
+use redspot_exp::report::{boxplot_panel, REF_LINES};
+
+fn main() {
+    let args = BinArgs::from_env();
+    let setup = args.setup();
+    let mut json = Vec::new();
+    for (i, panel) in fig4::fig4(&setup).iter().enumerate() {
+        let title = format!(
+            "Figure 4({}) — {} volatility, slack {}%, t_c = {} s (cost/instance, $)",
+            char::from(b'a' + i as u8),
+            panel.cell.volatility,
+            panel.cell.slack_pct,
+            panel.cell.tc_secs,
+        );
+        print!("{}", boxplot_panel(&title, &panel.rows, &REF_LINES));
+        args.maybe_save_svg(
+            &format!("fig4{}", char::from(b'a' + i as u8)),
+            &title,
+            &panel.rows,
+        );
+        json.push(redspot_exp::results::from_fig4(panel));
+        if let Some(saving) = fig4::redundancy_saving(&panel.cell) {
+            println!(
+                "  best redundancy vs best single-zone: {:+.1}% median cost\n",
+                -saving * 100.0
+            );
+        }
+    }
+    args.maybe_save_json(&json);
+}

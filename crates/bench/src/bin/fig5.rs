@@ -1,0 +1,35 @@
+//! Regenerates Figure 5: Adaptive vs Periodic, single-zone Markov-Daly
+//! and best-case redundancy across the full evaluation grid (8 panels).
+
+use redspot_bench::BinArgs;
+use redspot_exp::experiments::fig5;
+use redspot_exp::report::{boxplot_panel, REF_LINES};
+
+fn main() {
+    let args = BinArgs::from_env();
+    let setup = args.setup();
+    let mut json = Vec::new();
+    for (i, panel) in fig5::fig5(&setup).iter().enumerate() {
+        let title = format!(
+            "Figure 5({}) — {} volatility, t_c = {} s, slack {}% (cost/instance, $)",
+            char::from(b'a' + i as u8),
+            panel.volatility,
+            panel.tc_secs,
+            panel.slack_pct,
+        );
+        print!("{}", boxplot_panel(&title, &panel.rows(), &REF_LINES));
+        args.maybe_save_svg(
+            &format!("fig5{}", char::from(b'a' + i as u8)),
+            &title,
+            &panel.rows(),
+        );
+        json.push(redspot_exp::results::from_fig5(panel));
+        println!(
+            "  adaptive median ${:.2} vs best existing ${:.2}; adaptive worst {:.2}x on-demand\n",
+            panel.adaptive_median(),
+            panel.best_existing_median(),
+            panel.adaptive_worst_vs_od(),
+        );
+    }
+    args.maybe_save_json(&json);
+}

@@ -1,0 +1,11 @@
+//! Checks the paper's headline claims end-to-end: Adaptive up to 7x
+//! cheaper than on-demand, up to 44% cheaper than the best single-zone
+//! policy, and never more than 20% above the on-demand cost.
+
+use redspot_bench::BinArgs;
+use redspot_exp::experiments::headline;
+
+fn main() {
+    let setup = BinArgs::from_env().setup();
+    print!("{}", headline::render(&headline::headline(&setup)));
+}

@@ -1,0 +1,15 @@
+//! Validates the Appendix-B Markov price model: predicted expected
+//! up-time vs observed up-time across the high-volatility window.
+
+use redspot_bench::BinArgs;
+use redspot_exp::experiments::markov_validation;
+use redspot_trace::Price;
+
+fn main() {
+    let setup = BinArgs::from_env().setup();
+    for bid in [810u64, 1_610, 2_400] {
+        let bid = Price::from_millis(bid);
+        let v = markov_validation::validate(&setup, bid);
+        print!("{}", markov_validation::render(&v, bid));
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figures 1 and 3 as timeline diagrams from actual engine
+//! runs on the hand-crafted scenario trace.
+
+use redspot_core::PolicyKind;
+use redspot_exp::experiments::mechanics;
+
+fn main() {
+    println!("Figure 1 — spot mechanics under Periodic checkpointing:\n");
+    let m = mechanics::run(PolicyKind::Periodic);
+    print!("{}", mechanics::render(&m));
+    println!(
+        "\ncost ${:.2}, checkpoints {}, out-of-bid {}, deadline met {}\n",
+        m.result.cost_dollars(),
+        m.result.checkpoints,
+        m.result.out_of_bid_terminations,
+        m.result.met_deadline
+    );
+
+    println!("Figure 3 — the Rising-Edge policy on the same market:\n");
+    let m = mechanics::run(PolicyKind::RisingEdge);
+    print!("{}", mechanics::render(&m));
+    println!(
+        "\ncost ${:.2}, checkpoints {}, out-of-bid {}, deadline met {}",
+        m.result.cost_dollars(),
+        m.result.checkpoints,
+        m.result.out_of_bid_terminations,
+        m.result.met_deadline
+    );
+}

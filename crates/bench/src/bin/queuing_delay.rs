@@ -1,0 +1,10 @@
+//! Regenerates the Section-5 queuing-delay measurement (mean 299.6 s,
+//! min 143 s, max 880 s over two months of twice-daily requests).
+
+use redspot_bench::BinArgs;
+use redspot_exp::experiments::queuing;
+
+fn main() {
+    let args = BinArgs::from_env();
+    print!("{}", queuing::render(&queuing::study(args.seed, 60)));
+}

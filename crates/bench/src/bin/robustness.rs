@@ -1,0 +1,11 @@
+//! Tests whether the paper's redundancy conclusion survives market
+//! resampling: block-bootstrap variants of the high-volatility window.
+
+use redspot_bench::BinArgs;
+use redspot_exp::experiments::robustness;
+
+fn main() {
+    let args = BinArgs::from_env();
+    let r = robustness::study(args.seed, 5, args.n_experiments, args.threads);
+    print!("{}", robustness::render(&r));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 2: optimal policies at t_c = 300 s.
+
+use redspot_bench::BinArgs;
+use redspot_exp::experiments::tables;
+
+fn main() {
+    let setup = BinArgs::from_env().setup();
+    print!("{}", tables::render(&tables::optimal_policies(&setup, 300)));
+}

@@ -1,0 +1,15 @@
+//! Regenerates the Section-3.1 VAR analysis: cross-zone lagged price
+//! effects are 1–2 orders of magnitude below own-zone effects.
+
+use redspot_bench::BinArgs;
+use redspot_exp::experiments::var_analysis;
+use redspot_trace::vol::Volatility;
+
+fn main() {
+    let setup = BinArgs::from_env().setup();
+    let analyses: Vec<_> = [Volatility::Low, Volatility::High]
+        .into_iter()
+        .filter_map(|v| var_analysis::analyse(&setup, v))
+        .collect();
+    print!("{}", var_analysis::render(&analyses));
+}

@@ -1,0 +1,182 @@
+//! # redspot-bench
+//!
+//! Benchmark harness: one binary per paper table/figure (regenerating the
+//! published rows/series on the synthetic trace substitute) and Criterion
+//! micro/meso benchmarks for the hot paths. Ablation binaries probe the
+//! design choices called out in DESIGN.md (redundancy degree, Daly order,
+//! Markov history length).
+
+#![warn(missing_docs)]
+
+use redspot_exp::PaperSetup;
+
+/// Command-line options shared by every figure/table binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinArgs {
+    /// Experiments per volatility window.
+    pub n_experiments: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads (0 = all CPUs).
+    pub threads: usize,
+    /// Directory to also write SVG panels into (created if missing).
+    pub svg_dir: Option<String>,
+    /// File to write machine-readable JSON results into.
+    pub json_out: Option<String>,
+}
+
+impl Default for BinArgs {
+    fn default() -> BinArgs {
+        BinArgs {
+            n_experiments: 16,
+            seed: 42,
+            threads: 0,
+            svg_dir: None,
+            json_out: None,
+        }
+    }
+}
+
+impl BinArgs {
+    /// Parse from an iterator of arguments. Supported flags:
+    /// `--full` (paper-scale, 80 experiments), `--quick` (6),
+    /// `--n <count>`, `--seed <seed>`, `--threads <t>`.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<BinArgs, String> {
+        let mut out = BinArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--full" => out.n_experiments = 80,
+                "--quick" => out.n_experiments = 6,
+                "--n" => {
+                    out.n_experiments = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--n needs a positive integer")?;
+                }
+                "--seed" => {
+                    out.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--seed needs an integer")?;
+                }
+                "--threads" => {
+                    out.threads = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--threads needs an integer")?;
+                }
+                "--svg" => {
+                    out.svg_dir = Some(it.next().ok_or("--svg needs a directory")?);
+                }
+                "--json" => {
+                    out.json_out = Some(it.next().ok_or("--json needs a file path")?);
+                }
+                other => return Err(format!("unknown flag: {other}")),
+            }
+        }
+        if out.n_experiments == 0 {
+            return Err("need at least one experiment".into());
+        }
+        Ok(out)
+    }
+
+    /// Parse from the process arguments, exiting with usage on error.
+    pub fn from_env() -> BinArgs {
+        match BinArgs::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: [--full | --quick | --n <count>] [--seed <seed>] [--threads <t>] [--svg <dir>] [--json <file>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Build the evaluation setup these arguments describe.
+    pub fn setup(&self) -> PaperSetup {
+        let mut s = PaperSetup::new(self.seed, self.n_experiments);
+        s.threads = self.threads;
+        s
+    }
+
+    /// If `--json <file>` was given, write the panels there.
+    pub fn maybe_save_json(&self, panels: &[redspot_exp::results::PanelJson]) {
+        let Some(path) = &self.json_out else { return };
+        match redspot_exp::results::save(std::path::Path::new(path), panels) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+        }
+    }
+
+    /// If `--svg <dir>` was given, write `rows` as an SVG panel named
+    /// `stem.svg` there, creating the directory as needed.
+    pub fn maybe_save_svg(
+        &self,
+        stem: &str,
+        title: &str,
+        rows: &[redspot_exp::report::LabeledBox],
+    ) {
+        let Some(dir) = &self.svg_dir else { return };
+        let dir = std::path::Path::new(dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{stem}.svg"));
+        if let Err(e) =
+            redspot_exp::svg::save_panel(&path, title, rows, &redspot_exp::report::REF_LINES)
+        {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<BinArgs, String> {
+        BinArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        assert_eq!(parse(&[]).unwrap(), BinArgs::default());
+        assert_eq!(parse(&["--full"]).unwrap().n_experiments, 80);
+        assert_eq!(parse(&["--quick"]).unwrap().n_experiments, 6);
+        let a = parse(&["--n", "12", "--seed", "7", "--threads", "3"]).unwrap();
+        assert_eq!((a.n_experiments, a.seed, a.threads), (12, 7, 3));
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--n"]).is_err());
+        assert!(parse(&["--n", "zero"]).is_err());
+        assert!(parse(&["--n", "0"]).is_err());
+    }
+
+    #[test]
+    fn svg_flag_parses() {
+        let a = parse(&["--svg", "/tmp/figs"]).unwrap();
+        assert_eq!(a.svg_dir.as_deref(), Some("/tmp/figs"));
+        assert!(parse(&["--svg"]).is_err());
+    }
+
+    #[test]
+    fn json_flag_parses() {
+        let a = parse(&["--json", "/tmp/out.json"]).unwrap();
+        assert_eq!(a.json_out.as_deref(), Some("/tmp/out.json"));
+        assert!(parse(&["--json"]).is_err());
+    }
+
+    #[test]
+    fn setup_respects_args() {
+        let s = parse(&["--quick", "--seed", "5"]).unwrap().setup();
+        assert_eq!(s.n_experiments, 6);
+        assert_eq!(s.seed, 5);
+    }
+}

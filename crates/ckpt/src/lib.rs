@@ -1,0 +1,19 @@
+//! # redspot-ckpt
+//!
+//! Checkpoint substrate for redspot: Daly's optimum checkpoint interval
+//! (first-order and higher-order forms), the paper's fixed
+//! checkpoint/restart cost model (`t_c = t_r ∈ {300, 900}` s), and the
+//! analytic application model with per-zone replica positions and
+//! committed-checkpoint progress semantics.
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod daly;
+pub mod model;
+pub mod workloads;
+
+pub use app::{AppSpec, ReplicaSet};
+pub use daly::{efficiency, optimum_interval, DalyOrder};
+pub use model::CkptCosts;
+pub use workloads::Workload;

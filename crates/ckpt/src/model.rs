@@ -1,0 +1,75 @@
+//! Checkpoint/restart cost model.
+//!
+//! The paper assumes fixed, equal checkpoint and restart costs per
+//! experiment configuration, in the 300–900 s range measured for
+//! system-level checkpointing of MPI applications over cloud networks
+//! (Section 5).
+
+use redspot_trace::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Fixed checkpoint and restart costs for one experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CkptCosts {
+    /// Time to write a checkpoint (`t_c`).
+    pub checkpoint: SimDuration,
+    /// Time to restart from a checkpoint (`t_r`).
+    pub restart: SimDuration,
+}
+
+impl CkptCosts {
+    /// The paper's low-cost configuration: `t_c = t_r = 300` seconds.
+    pub const LOW: CkptCosts = CkptCosts::symmetric_secs(300);
+
+    /// The paper's high-cost configuration: `t_c = t_r = 900` seconds.
+    pub const HIGH: CkptCosts = CkptCosts::symmetric_secs(900);
+
+    /// Equal checkpoint and restart cost (the paper's simplifying
+    /// assumption), in seconds.
+    pub const fn symmetric_secs(secs: u64) -> CkptCosts {
+        CkptCosts {
+            checkpoint: SimDuration::from_secs(secs),
+            restart: SimDuration::from_secs(secs),
+        }
+    }
+
+    /// Construct with distinct costs.
+    pub const fn new(checkpoint: SimDuration, restart: SimDuration) -> CkptCosts {
+        CkptCosts {
+            checkpoint,
+            restart,
+        }
+    }
+
+    /// Combined migration overhead `t_c + t_r` — the reserve the deadline
+    /// guard must keep before switching to on-demand (Algorithm 1 line 11).
+    pub fn migration(self) -> SimDuration {
+        self.checkpoint + self.restart
+    }
+}
+
+impl Default for CkptCosts {
+    fn default() -> CkptCosts {
+        CkptCosts::LOW
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        assert_eq!(CkptCosts::LOW.checkpoint.secs(), 300);
+        assert_eq!(CkptCosts::LOW.restart.secs(), 300);
+        assert_eq!(CkptCosts::HIGH.checkpoint.secs(), 900);
+        assert_eq!(CkptCosts::default(), CkptCosts::LOW);
+    }
+
+    #[test]
+    fn migration_is_sum() {
+        assert_eq!(CkptCosts::LOW.migration().secs(), 600);
+        let asym = CkptCosts::new(SimDuration::from_secs(100), SimDuration::from_secs(40));
+        assert_eq!(asym.migration().secs(), 140);
+    }
+}

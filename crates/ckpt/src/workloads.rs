@@ -1,0 +1,152 @@
+//! A catalog of HPC workload presets.
+//!
+//! Section 5 grounds the paper's checkpoint-cost assumptions in
+//! measurements: NAS benchmarks showed up to ~200 s of system-level
+//! checkpoint overhead at small scale [Hursey et al.], real applications
+//! with large working sets spend up to tens of minutes per
+//! checkpoint/restart on cloud I/O [ACIC, SC'13], which motivates the
+//! paper's 300–900 s range. These presets package representative
+//! combinations of runtime, checkpoint cost, and iteration structure so
+//! examples and experiments can speak in terms of applications rather
+//! than raw parameters.
+
+use crate::app::AppSpec;
+use crate::model::CkptCosts;
+use redspot_trace::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A named workload: an application profile plus its checkpoint costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Short name (e.g. "nas-cg-e").
+    pub name: &'static str,
+    /// What it models.
+    pub description: &'static str,
+    /// Application spec (runtime + iteration structure).
+    pub app: AppSpec,
+    /// Checkpoint/restart costs.
+    pub costs: CkptCosts,
+}
+
+/// NAS CG class E at moderate scale: iterative solver, small working set,
+/// cheap checkpoints (the Hursey et al. measurement regime).
+pub const NAS_CG: Workload = Workload {
+    name: "nas-cg-e",
+    description: "iterative CG solver, small working set, cheap checkpoints",
+    app: AppSpec {
+        work: SimDuration::from_hours(6),
+        iteration: Some(SimDuration::from_mins(3)),
+    },
+    costs: CkptCosts::symmetric_secs(200),
+};
+
+/// NAS FT class E: memory-heavy FFT, mid-sized checkpoints.
+pub const NAS_FT: Workload = Workload {
+    name: "nas-ft-e",
+    description: "memory-heavy FFT, mid-sized checkpoints",
+    app: AppSpec {
+        work: SimDuration::from_hours(10),
+        iteration: Some(SimDuration::from_mins(8)),
+    },
+    costs: CkptCosts::symmetric_secs(400),
+};
+
+/// The paper's standard experiment: a 20-hour tightly-coupled MPI job
+/// with 300-second checkpoints.
+pub const PAPER_STANDARD: Workload = Workload {
+    name: "paper-standard",
+    description: "the paper's 20 h experiment with t_c = 300 s",
+    app: AppSpec {
+        work: SimDuration::from_hours(20),
+        iteration: None,
+    },
+    costs: CkptCosts::LOW,
+};
+
+/// The paper's heavy configuration: same job, 900-second checkpoints
+/// (large working set over cloud I/O).
+pub const PAPER_HEAVY: Workload = Workload {
+    name: "paper-heavy",
+    description: "the paper's 20 h experiment with t_c = 900 s",
+    app: AppSpec {
+        work: SimDuration::from_hours(20),
+        iteration: None,
+    },
+    costs: CkptCosts::HIGH,
+};
+
+/// A weather-model-like production run: long iterations (one simulated
+/// forecast hour each), large state, expensive checkpoints.
+pub const WEATHER: Workload = Workload {
+    name: "weather",
+    description: "production forecast model: 30 min iterations, heavy state",
+    app: AppSpec {
+        work: SimDuration::from_hours(20),
+        iteration: Some(SimDuration::from_mins(30)),
+    },
+    costs: CkptCosts::symmetric_secs(700),
+};
+
+/// A molecular-dynamics-like run: tiny per-step state, very cheap
+/// checkpoints, fine-grained iterations.
+pub const MD: Workload = Workload {
+    name: "md",
+    description: "molecular dynamics: tiny state, very cheap checkpoints",
+    app: AppSpec {
+        work: SimDuration::from_hours(14),
+        iteration: Some(SimDuration::from_secs(60)),
+    },
+    costs: CkptCosts::symmetric_secs(120),
+};
+
+/// Every preset in the catalog.
+pub const ALL: [Workload; 6] = [NAS_CG, NAS_FT, PAPER_STANDARD, PAPER_HEAVY, WEATHER, MD];
+
+/// Look a preset up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    ALL.into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_well_formed() {
+        for w in ALL {
+            assert!(w.app.work > SimDuration::ZERO, "{}", w.name);
+            assert!(w.costs.checkpoint.secs() >= 100, "{}", w.name);
+            assert!(
+                w.costs.checkpoint.secs() <= 900,
+                "{}: beyond the paper's range",
+                w.name
+            );
+            if let Some(it) = w.app.iteration {
+                assert!(it > SimDuration::ZERO && it < w.app.work, "{}", w.name);
+            }
+            assert!(!w.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        for w in ALL {
+            assert_eq!(by_name(w.name).unwrap(), w);
+        }
+        assert_eq!(
+            ALL.iter()
+                .map(|w| w.name)
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            ALL.len()
+        );
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn paper_presets_match_section_5() {
+        assert_eq!(PAPER_STANDARD.costs, CkptCosts::LOW);
+        assert_eq!(PAPER_HEAVY.costs, CkptCosts::HIGH);
+        assert_eq!(PAPER_STANDARD.app.work, SimDuration::from_hours(20));
+    }
+}

@@ -1,0 +1,51 @@
+//! Property-based tests for the checkpoint substrate.
+
+use proptest::prelude::*;
+use redspot_ckpt::{optimum_interval, AppSpec, DalyOrder, ReplicaSet};
+use redspot_trace::SimDuration;
+
+proptest! {
+    /// Daly's optimum is positive and monotone in the MTBF.
+    #[test]
+    fn daly_positive_and_monotone(tc in 1u64..2_000, m in 60u64..500_000) {
+        let d = SimDuration::from_secs(tc);
+        for order in [DalyOrder::FirstOrder, DalyOrder::HigherOrder] {
+            let t1 = optimum_interval(d, SimDuration::from_secs(m), order);
+            let t2 = optimum_interval(d, SimDuration::from_secs(m * 2), order);
+            prop_assert!(t1.secs() >= 1);
+            prop_assert!(t2 >= t1, "interval shrank when MTBF grew");
+        }
+    }
+
+    /// The replica set's best position never exceeds the work, never lags
+    /// committed progress, and commits are monotone.
+    #[test]
+    fn replica_invariants(
+        ops in prop::collection::vec((0usize..3, 0u64..4, 0u64..7_200), 1..60),
+        work_h in 1u64..30,
+    ) {
+        let work = SimDuration::from_hours(work_h);
+        let mut rs = ReplicaSet::new(AppSpec::new(work), 3);
+        let mut last_committed = SimDuration::ZERO;
+        for (slot, op, amount) in ops {
+            match op {
+                0 => {
+                    if rs.position(slot).is_none() {
+                        rs.start(slot, rs.committed());
+                    }
+                }
+                1 => rs.stop(slot),
+                2 => rs.advance(slot, SimDuration::from_secs(amount)),
+                _ => {
+                    let target = rs.best_position();
+                    rs.commit(target);
+                    prop_assert!(rs.committed() >= last_committed);
+                    last_committed = rs.committed();
+                }
+            }
+            prop_assert!(rs.best_position() <= work);
+            prop_assert!(rs.best_position() >= rs.committed());
+            prop_assert!(rs.remaining_committed() + rs.committed() == work);
+        }
+    }
+}

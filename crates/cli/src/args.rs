@@ -1,0 +1,116 @@
+//! Flag parsing. Hand-rolled (the offline crate set has no argument
+//! parser, and the surface is small).
+
+use std::collections::BTreeMap;
+
+/// Parsed flags plus positional arguments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// Parse `--key value` pairs and positionals.
+    pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
+        let mut out = ParsedArgs::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                out.flags.insert(key.to_string(), value.clone());
+            } else {
+                out.positional.push(arg.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// A string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A string flag with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// A parsed numeric flag with a default.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{key}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Positional argument `i`.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+}
+
+/// The help text.
+pub fn usage() -> String {
+    "\
+redspot — cost-effective, time-constrained HPC on the EC2 spot market (HPDC'14 reproduction)
+
+USAGE:
+  redspot gen-trace [--profile low|high|year] [--seed N] [--out FILE] [--format json|csv]
+  redspot describe FILE
+  redspot run --trace FILE [--policy periodic|markov-daly|edge|threshold]
+              [--bid DOLLARS] [--zones 0,1,2] [--slack PCT] [--tc SECS]
+              [--start HOURS] [--seed N]
+  redspot adaptive --trace FILE [--slack PCT] [--tc SECS] [--start HOURS] [--seed N]
+  redspot figure 2|4|5|6 [--n COUNT] [--seed N]
+  redspot table 2|3 [--n COUNT] [--seed N]
+  redspot headline [--n COUNT] [--seed N]
+  redspot var-analysis [--seed N]
+  redspot queuing-delay [--seed N]
+  redspot spike-stress [--n COUNT] [--seed N]
+  redspot markov-validation [--seed N] [--bid DOLLARS]
+  redspot bootstrap --trace FILE --out FILE [--seed N] [--block-hours H] [--days D]
+  redspot workloads                 # list the workload catalog
+  redspot sweep --trace FILE [--policy P] [--bids 0.27,0.81,2.40] [--n COUNT]
+                [--redundant true] [--slack PCT] [--tc SECS] [--seed N]
+  redspot help
+
+Flags --workload NAME (on run/adaptive) override C, t_c and iteration
+structure from the catalog.
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ParsedArgs, String> {
+        ParsedArgs::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn flags_and_positionals() {
+        let a = parse(&["4", "--n", "16", "--seed", "7"]).unwrap();
+        assert_eq!(a.positional(0), Some("4"));
+        assert_eq!(a.get("n"), Some("16"));
+        assert_eq!(a.num_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(a.num_or("missing", 5u64).unwrap(), 5);
+        assert_eq!(a.get_or("profile", "low"), "low");
+    }
+
+    #[test]
+    fn dangling_flag_is_an_error() {
+        assert!(parse(&["--n"]).is_err());
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = parse(&["--n", "many"]).unwrap();
+        assert!(a.num_or("n", 1usize).is_err());
+    }
+}

@@ -1,0 +1,674 @@
+//! Command implementations.
+
+use crate::args::ParsedArgs;
+use redspot_core::{AdaptiveRunner, Engine, ExperimentConfig, PolicyKind, RunResult};
+use redspot_exp::experiments::{fig2, fig4, fig5, fig6, tables};
+use redspot_exp::report::{boxplot_panel, REF_LINES};
+use redspot_exp::PaperSetup;
+use redspot_trace::gen::{year_history, GenConfig};
+use redspot_trace::{Price, SimTime, TraceSet, ZoneId};
+use std::path::Path;
+
+fn load_trace(parsed: &ParsedArgs, key: &str) -> Result<TraceSet, String> {
+    let path = parsed
+        .get(key)
+        .or_else(|| parsed.positional(0))
+        .ok_or_else(|| format!("need --{key} FILE (or a positional path)"))?;
+    let path = Path::new(path);
+    let load = if path.extension().is_some_and(|e| e == "csv") {
+        redspot_trace::io::load_csv(path)
+    } else {
+        redspot_trace::io::load_json(path)
+    };
+    load.map_err(|e| format!("cannot load trace {}: {e}", path.display()))
+}
+
+/// `gen-trace`: generate and save a synthetic trace.
+pub fn gen_trace(parsed: &ParsedArgs) -> Result<String, String> {
+    let seed = parsed.num_or("seed", 42u64)?;
+    let profile = parsed.get_or("profile", "high");
+    let traces = match profile {
+        "low" => GenConfig::low_volatility(seed).generate(),
+        "high" => GenConfig::high_volatility(seed).generate(),
+        "year" => year_history(seed),
+        other => return Err(format!("unknown profile: {other} (low|high|year)")),
+    };
+    let out = parsed.get_or("out", "trace.json");
+    let path = Path::new(out);
+    let save = match parsed.get_or("format", "json") {
+        "json" => redspot_trace::io::save_json(&traces, path),
+        "csv" => redspot_trace::io::save_csv(&traces, path),
+        other => return Err(format!("unknown format: {other} (json|csv)")),
+    };
+    save.map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(format!(
+        "wrote {profile}-volatility trace (seed {seed}) to {out}\n{}",
+        redspot_trace::io::describe(&traces)
+    ))
+}
+
+/// `describe`: summarize a trace file.
+pub fn describe(parsed: &ParsedArgs) -> Result<String, String> {
+    let traces = load_trace(parsed, "trace")?;
+    Ok(redspot_trace::io::describe(&traces))
+}
+
+fn experiment_config(parsed: &ParsedArgs, traces: &TraceSet) -> Result<ExperimentConfig, String> {
+    let slack = parsed.num_or("slack", 15u64)?;
+    let tc = parsed.num_or("tc", 300u64)?;
+    let bid = Price::from_dollars(parsed.num_or("bid", 0.81f64)?);
+    let zones: Vec<ZoneId> = match parsed.get("zones") {
+        None => traces.zone_ids().collect(),
+        Some(spec) => spec
+            .split(',')
+            .map(|z| {
+                z.trim()
+                    .parse::<usize>()
+                    .map(ZoneId)
+                    .map_err(|_| format!("bad zone id: {z}"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let mut cfg = ExperimentConfig::paper_default()
+        .with_costs(redspot_ckpt::CkptCosts::symmetric_secs(tc))
+        .with_bid(bid)
+        .with_zones(zones)
+        .with_seed(parsed.num_or("seed", 42u64)?);
+    if let Some(name) = parsed.get("workload") {
+        let w = redspot_ckpt::workloads::by_name(name)
+            .ok_or_else(|| format!("unknown workload: {name} (try `redspot workloads`)"))?;
+        cfg.app = w.app;
+        cfg.costs = w.costs;
+    }
+    cfg = cfg.with_slack_percent(slack);
+    cfg.record_events = true;
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+/// `workloads`: list the workload catalog.
+pub fn workloads(_parsed: &ParsedArgs) -> Result<String, String> {
+    let mut out = String::from(
+        "workload catalog:
+",
+    );
+    for w in redspot_ckpt::workloads::ALL {
+        let iteration = match w.app.iteration {
+            Some(it) => format!("{:.0} min iterations", it.secs() as f64 / 60.0),
+            None => "continuous progress".into(),
+        };
+        out.push_str(&format!(
+            "  {:<16} C = {:>4.0} h, t_c = {:>3} s, {:<24} — {}
+",
+            w.name,
+            w.app.work.as_hours(),
+            w.costs.checkpoint.secs(),
+            iteration,
+            w.description,
+        ));
+    }
+    Ok(out)
+}
+
+fn report_run(label: &str, start: SimTime, r: &RunResult) -> String {
+    format!(
+        "{label}: cost ${:.2} (spot ${:.2} + on-demand ${:.2})\n  \
+         makespan {:.1}h, deadline met: {}, checkpoints {}, restarts {}, out-of-bid {}\n",
+        r.cost_dollars(),
+        r.spot_cost.as_dollars(),
+        r.od_cost.as_dollars(),
+        r.makespan(start).as_hours(),
+        r.met_deadline,
+        r.checkpoints,
+        r.restarts,
+        r.out_of_bid_terminations,
+    )
+}
+
+/// `run`: a single experiment under one policy.
+pub fn run(parsed: &ParsedArgs) -> Result<String, String> {
+    let traces = load_trace(parsed, "trace")?;
+    let cfg = experiment_config(parsed, &traces)?;
+    let kind = match parsed.get_or("policy", "periodic") {
+        "periodic" => PolicyKind::Periodic,
+        "markov-daly" => PolicyKind::MarkovDaly,
+        "edge" => PolicyKind::RisingEdge,
+        "threshold" => PolicyKind::Threshold,
+        other => return Err(format!("unknown policy: {other}")),
+    };
+    let start = SimTime::from_hours(parsed.num_or("start", 48u64)?);
+    if start + cfg.deadline > traces.end() {
+        return Err("experiment start too late for the trace".into());
+    }
+    let result = Engine::new(&traces, start, cfg, kind.build()).run();
+    Ok(report_run(&format!("{kind}"), start, &result))
+}
+
+/// `adaptive`: a single experiment under the adaptive meta-policy.
+pub fn adaptive(parsed: &ParsedArgs) -> Result<String, String> {
+    let traces = load_trace(parsed, "trace")?;
+    let mut cfg = experiment_config(parsed, &traces)?;
+    cfg.zones = traces.zone_ids().collect();
+    let start = SimTime::from_hours(parsed.num_or("start", 48u64)?);
+    if start + cfg.deadline > traces.end() {
+        return Err("experiment start too late for the trace".into());
+    }
+    let result = AdaptiveRunner::new(&traces, start, cfg).run();
+    let switches: Vec<String> = result
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            redspot_core::Event::AdaptiveSwitch { at, to } => {
+                Some(format!("  {:>6.2}h -> {to}", at.since(start).as_hours()))
+            }
+            _ => None,
+        })
+        .collect();
+    Ok(format!(
+        "{}adaptive decisions:\n{}\n",
+        report_run("Adaptive", start, &result),
+        switches.join("\n")
+    ))
+}
+
+fn setup_from(parsed: &ParsedArgs) -> Result<PaperSetup, String> {
+    let n = parsed.num_or("n", 16usize)?;
+    let seed = parsed.num_or("seed", 42u64)?;
+    Ok(PaperSetup::new(seed, n))
+}
+
+/// `figure`: regenerate a paper figure.
+pub fn figure(parsed: &ParsedArgs) -> Result<String, String> {
+    let which = parsed.positional(0).ok_or("which figure? (2|4|5|6)")?;
+    let setup = setup_from(parsed)?;
+    let mut out = String::new();
+    match which {
+        "2" => out.push_str(&fig2::render(&fig2::fig2(&setup, Price::from_millis(810)))),
+        "4" => {
+            for (i, panel) in fig4::fig4(&setup).iter().enumerate() {
+                let title = format!(
+                    "Figure 4({}) — {} volatility, slack {}%, t_c = 300 s",
+                    char::from(b'a' + i as u8),
+                    panel.cell.volatility,
+                    panel.cell.slack_pct,
+                );
+                out.push_str(&boxplot_panel(&title, &panel.rows, &REF_LINES));
+            }
+        }
+        "5" => {
+            for (i, panel) in fig5::fig5(&setup).iter().enumerate() {
+                let title = format!(
+                    "Figure 5({}) — {} volatility, t_c = {} s, slack {}%",
+                    char::from(b'a' + i as u8),
+                    panel.volatility,
+                    panel.tc_secs,
+                    panel.slack_pct,
+                );
+                out.push_str(&boxplot_panel(&title, &panel.rows(), &REF_LINES));
+            }
+        }
+        "6" => {
+            for (i, panel) in fig6::fig6(&setup).iter().enumerate() {
+                let title = format!(
+                    "Figure 6({}) — {} volatility, t_c = {} s, slack {}%",
+                    char::from(b'a' + i as u8),
+                    panel.volatility,
+                    panel.tc_secs,
+                    panel.slack_pct,
+                );
+                out.push_str(&boxplot_panel(&title, &panel.rows(), &REF_LINES));
+            }
+        }
+        other => return Err(format!("unknown figure: {other} (2|4|5|6)")),
+    }
+    Ok(out)
+}
+
+/// `table`: regenerate a paper table.
+pub fn table(parsed: &ParsedArgs) -> Result<String, String> {
+    let which = parsed.positional(0).ok_or("which table? (2|3)")?;
+    let setup = setup_from(parsed)?;
+    let tc = match which {
+        "2" => 300,
+        "3" => 900,
+        other => return Err(format!("unknown table: {other} (2|3)")),
+    };
+    Ok(tables::render(&tables::optimal_policies(&setup, tc)))
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::dispatch;
+
+    fn dispatch_str(args: &[&str]) -> Result<String, String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("redspot-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn gen_describe_run_adaptive_round_trip() {
+        let path = tmp("low.json");
+        let out = dispatch_str(&[
+            "gen-trace",
+            "--profile",
+            "low",
+            "--seed",
+            "3",
+            "--out",
+            &path,
+        ])
+        .unwrap();
+        assert!(out.contains("low-volatility trace"));
+
+        let out = dispatch_str(&["describe", &path]).unwrap();
+        assert!(out.contains("3 zones"));
+
+        let out = dispatch_str(&[
+            "run", "--trace", &path, "--policy", "periodic", "--zones", "0", "--start", "48",
+        ])
+        .unwrap();
+        assert!(out.contains("deadline met: true"), "{out}");
+
+        let out = dispatch_str(&["adaptive", "--trace", &path, "--start", "48"]).unwrap();
+        assert!(out.contains("Adaptive: cost $"), "{out}");
+    }
+
+    #[test]
+    fn csv_format_is_supported() {
+        let path = tmp("low.csv");
+        dispatch_str(&[
+            "gen-trace",
+            "--profile",
+            "low",
+            "--seed",
+            "3",
+            "--out",
+            &path,
+            "--format",
+            "csv",
+        ])
+        .unwrap();
+        let out = dispatch_str(&["describe", &path]).unwrap();
+        assert!(out.contains("3 zones"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(dispatch_str(&[]).is_err());
+        assert!(dispatch_str(&["frobnicate"]).is_err());
+        assert!(dispatch_str(&["figure", "9"]).is_err());
+        assert!(dispatch_str(&["table", "5"]).is_err());
+        assert!(dispatch_str(&["describe", "/nonexistent/trace.json"]).is_err());
+        assert!(dispatch_str(&["gen-trace", "--profile", "weird"]).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = dispatch_str(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("gen-trace"));
+    }
+
+    #[test]
+    fn run_validates_start_and_zones() {
+        let path = tmp("low2.json");
+        dispatch_str(&[
+            "gen-trace",
+            "--profile",
+            "low",
+            "--seed",
+            "4",
+            "--out",
+            &path,
+        ])
+        .unwrap();
+        assert!(dispatch_str(&["run", "--trace", &path, "--start", "900"]).is_err());
+        assert!(dispatch_str(&["run", "--trace", &path, "--zones", "0,zebra"]).is_err());
+        assert!(dispatch_str(&["run", "--trace", &path, "--policy", "psychic"]).is_err());
+    }
+}
+
+/// `headline`: the abstract's claims, measured.
+pub fn headline(parsed: &ParsedArgs) -> Result<String, String> {
+    use redspot_exp::experiments::headline as hl;
+    let setup = setup_from(parsed)?;
+    Ok(hl::render(&hl::headline(&setup)))
+}
+
+/// `var-analysis`: Section 3.1 cross-zone independence.
+pub fn var_analysis(parsed: &ParsedArgs) -> Result<String, String> {
+    use redspot_exp::experiments::var_analysis as va;
+    use redspot_trace::vol::Volatility;
+    let setup = setup_from(parsed)?;
+    let analyses: Vec<_> = [Volatility::Low, Volatility::High]
+        .into_iter()
+        .filter_map(|v| va::analyse(&setup, v))
+        .collect();
+    Ok(va::render(&analyses))
+}
+
+/// `queuing-delay`: the Section-5 measurement reproduction.
+pub fn queuing_delay(parsed: &ParsedArgs) -> Result<String, String> {
+    use redspot_exp::experiments::queuing;
+    let seed = parsed.num_or("seed", 42u64)?;
+    Ok(queuing::render(&queuing::study(seed, 60)))
+}
+
+/// `spike-stress`: Large-bid vs Adaptive around the $20.02 spike.
+pub fn spike_stress(parsed: &ParsedArgs) -> Result<String, String> {
+    use redspot_exp::experiments::fig6;
+    use redspot_exp::report::{boxplot_panel, REF_LINES};
+    let seed = parsed.num_or("seed", 42u64)?;
+    let n = parsed.num_or("n", 8usize)?;
+    let s = fig6::spike_stress(seed, n);
+    Ok(format!(
+        "{}  worst vs on-demand: Large-bid {:.2}x (paper: up to 3.8x), Adaptive {:.2}x\n",
+        boxplot_panel(
+            "Spike stress — 12-month history, starts bracketing the $20.02 spike",
+            &s.rows(),
+            &REF_LINES
+        ),
+        s.large_bid_worst_vs_od(),
+        s.adaptive_worst_vs_od(),
+    ))
+}
+
+/// `markov-validation`: Appendix-B model vs observed up-times.
+pub fn markov_validation(parsed: &ParsedArgs) -> Result<String, String> {
+    use redspot_exp::experiments::markov_validation as mv;
+    let setup = setup_from(parsed)?;
+    let bid = Price::from_dollars(parsed.num_or("bid", 0.81f64)?);
+    let v = mv::validate(&setup, bid);
+    Ok(mv::render(&v, bid))
+}
+
+/// `bootstrap`: resample an observed trace into a synthetic variant.
+pub fn bootstrap(parsed: &ParsedArgs) -> Result<String, String> {
+    use redspot_trace::bootstrap::{resample, BootstrapConfig};
+    use redspot_trace::SimDuration;
+    let source = load_trace(parsed, "trace")?;
+    let out = parsed.get("out").ok_or("need --out FILE")?;
+    let cfg = BootstrapConfig {
+        seed: parsed.num_or("seed", 0u64)?,
+        block: SimDuration::from_hours(parsed.num_or("block-hours", 12u64)?),
+        output_len: SimDuration::from_hours(parsed.num_or("days", 30u64)? * 24),
+    };
+    let variant = resample(&source, &cfg);
+    redspot_trace::io::save_json(&variant, Path::new(out))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(format!(
+        "wrote bootstrap variant to {out}\n{}",
+        redspot_trace::io::describe(&variant)
+    ))
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use crate::dispatch;
+
+    fn dispatch_str(args: &[&str]) -> Result<String, String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("redspot-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn analysis_commands_produce_output() {
+        let out = dispatch_str(&["var-analysis", "--n", "4"]).unwrap();
+        assert!(out.contains("orders of magnitude"));
+        let out = dispatch_str(&["queuing-delay"]).unwrap();
+        assert!(out.contains("299.6"));
+    }
+
+    #[test]
+    fn bootstrap_round_trip() {
+        let src = tmp("src.json");
+        dispatch_str(&[
+            "gen-trace",
+            "--profile",
+            "high",
+            "--seed",
+            "2",
+            "--out",
+            &src,
+        ])
+        .unwrap();
+        let dst = tmp("variant.json");
+        let out = dispatch_str(&[
+            "bootstrap",
+            "--trace",
+            &src,
+            "--out",
+            &dst,
+            "--days",
+            "10",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("bootstrap variant"));
+        let described = dispatch_str(&["describe", &dst]).unwrap();
+        assert!(described.contains("span 240.0h"));
+        assert!(dispatch_str(&["bootstrap", "--trace", &src]).is_err()); // no --out
+    }
+}
+
+#[cfg(test)]
+mod workload_tests {
+    use crate::dispatch;
+
+    fn dispatch_str(args: &[&str]) -> Result<String, String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("redspot-cli-test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn workload_catalog_lists_and_runs() {
+        let list = dispatch_str(&["workloads"]).unwrap();
+        assert!(list.contains("nas-ft-e"));
+        assert!(list.contains("paper-heavy"));
+
+        let path = tmp("wl.json");
+        dispatch_str(&[
+            "gen-trace",
+            "--profile",
+            "low",
+            "--seed",
+            "5",
+            "--out",
+            &path,
+        ])
+        .unwrap();
+        let out = dispatch_str(&[
+            "run",
+            "--trace",
+            &path,
+            "--workload",
+            "nas-ft-e",
+            "--zones",
+            "0",
+            "--start",
+            "48",
+            "--slack",
+            "40",
+        ])
+        .unwrap();
+        assert!(out.contains("deadline met: true"), "{out}");
+        assert!(dispatch_str(&["run", "--trace", &path, "--workload", "bogus"]).is_err());
+    }
+}
+
+/// `sweep`: run many overlapping experiments on a user-provided trace and
+/// print a cost boxplot per bid — the Figure-4 machinery pointed at your
+/// own data.
+pub fn sweep(parsed: &ParsedArgs) -> Result<String, String> {
+    use redspot_exp::parallel::run_batch;
+    use redspot_exp::report::{boxplot_panel, LabeledBox, REF_LINES};
+    use redspot_exp::scheme::{RunSpec, Scheme};
+    use redspot_exp::windows::{experiment_starts, run_span_for};
+
+    let traces = load_trace(parsed, "trace")?;
+    let cfg = experiment_config(parsed, &traces)?;
+    let mut base = cfg.clone();
+    base.record_events = false;
+    let kind = match parsed.get_or("policy", "periodic") {
+        "periodic" => PolicyKind::Periodic,
+        "markov-daly" => PolicyKind::MarkovDaly,
+        "edge" => PolicyKind::RisingEdge,
+        "threshold" => PolicyKind::Threshold,
+        other => return Err(format!("unknown policy: {other}")),
+    };
+    let redundant = parsed.get_or("redundant", "false") == "true";
+    let n = parsed.num_or("n", 16usize)?;
+    let bids: Vec<Price> = match parsed.get("bids") {
+        None => vec![
+            Price::from_millis(270),
+            Price::from_millis(810),
+            Price::from_millis(2_400),
+        ],
+        Some(spec) => spec
+            .split(',')
+            .map(|b| {
+                b.trim()
+                    .parse::<f64>()
+                    .map(Price::from_dollars)
+                    .map_err(|_| format!("bad bid: {b}"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let starts = experiment_starts(&traces, run_span_for(base.deadline), n);
+    if starts.is_empty() {
+        return Err(
+            "trace too short for this deadline (need 48h bootstrap + deadline + 1h)".into(),
+        );
+    }
+
+    let mut rows = Vec::new();
+    for bid in bids {
+        let mut specs = Vec::new();
+        for &start in &starts {
+            if redundant {
+                specs.push(RunSpec {
+                    start,
+                    bid,
+                    scheme: Scheme::Redundant {
+                        kind,
+                        zones: traces.zone_ids().collect(),
+                    },
+                });
+            } else {
+                for zone in traces.zone_ids() {
+                    specs.push(RunSpec {
+                        start,
+                        bid,
+                        scheme: Scheme::Single { kind, zone },
+                    });
+                }
+            }
+        }
+        let results = run_batch(&traces, &specs, &base, 0);
+        let costs: Vec<f64> = results.iter().map(|r| r.cost_dollars()).collect();
+        if let Some(row) = LabeledBox::from_costs(format!("{}@{bid}", kind.label()), &costs) {
+            rows.push(row);
+        }
+    }
+    let title = format!(
+        "{kind} sweep over {} experiments ({})",
+        starts.len(),
+        if redundant {
+            "redundant, all zones"
+        } else {
+            "single zones merged"
+        },
+    );
+    Ok(boxplot_panel(&title, &rows, &REF_LINES))
+}
+
+#[cfg(test)]
+mod sweep_tests {
+    use crate::dispatch;
+
+    fn dispatch_str(args: &[&str]) -> Result<String, String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("redspot-cli-test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn sweep_renders_boxplots_per_bid() {
+        let path = tmp("sweep.json");
+        dispatch_str(&[
+            "gen-trace",
+            "--profile",
+            "low",
+            "--seed",
+            "8",
+            "--out",
+            &path,
+        ])
+        .unwrap();
+        let out = dispatch_str(&[
+            "sweep",
+            "--trace",
+            &path,
+            "--policy",
+            "markov-daly",
+            "--bids",
+            "0.81,2.40",
+            "--n",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("M@$0.81"), "{out}");
+        assert!(out.contains("M@$2.40"));
+        assert!(out.contains("on-demand = $48.00"));
+        assert!(dispatch_str(&["sweep", "--trace", &path, "--bids", "xx"]).is_err());
+    }
+
+    #[test]
+    fn redundant_sweep_works() {
+        let path = tmp("sweep2.json");
+        dispatch_str(&[
+            "gen-trace",
+            "--profile",
+            "low",
+            "--seed",
+            "8",
+            "--out",
+            &path,
+        ])
+        .unwrap();
+        let out = dispatch_str(&[
+            "sweep",
+            "--trace",
+            &path,
+            "--redundant",
+            "true",
+            "--bids",
+            "0.81",
+            "--n",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("redundant, all zones"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # redspot-cli
+//!
+//! Command dispatch for the `redspot` binary. Kept in the library so the
+//! whole surface is unit-testable; `main.rs` is a thin shell.
+
+#![warn(missing_docs)]
+
+mod args;
+mod cmd;
+
+pub use args::{usage, ParsedArgs};
+
+/// Dispatch a command line (without the program name) and return the text
+/// to print.
+pub fn dispatch(args: &[String]) -> Result<String, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("no command given".into());
+    };
+    let parsed = ParsedArgs::parse(rest)?;
+    match cmd.as_str() {
+        "gen-trace" => cmd::gen_trace(&parsed),
+        "describe" => cmd::describe(&parsed),
+        "run" => cmd::run(&parsed),
+        "adaptive" => cmd::adaptive(&parsed),
+        "figure" => cmd::figure(&parsed),
+        "table" => cmd::table(&parsed),
+        "headline" => cmd::headline(&parsed),
+        "var-analysis" => cmd::var_analysis(&parsed),
+        "queuing-delay" => cmd::queuing_delay(&parsed),
+        "spike-stress" => cmd::spike_stress(&parsed),
+        "markov-validation" => cmd::markov_validation(&parsed),
+        "bootstrap" => cmd::bootstrap(&parsed),
+        "workloads" => cmd::workloads(&parsed),
+        "sweep" => cmd::sweep(&parsed),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command: {other}")),
+    }
+}

@@ -1,0 +1,15 @@
+//! `redspot` — command-line interface to the HPDC'14 reproduction.
+
+use redspot_cli::{dispatch, usage};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! The Adaptive meta-policy (Section 7).
+//!
+//! Adaptive owns the full decision space the user would otherwise have to
+//! navigate: the bid `B`, the redundancy degree `N`, and the checkpoint
+//! policy. It bootstraps from price history before the experiment, then at
+//! every decision point — an out-of-bid termination or a billing-hour
+//! end — re-estimates the remaining cost of every permutation over recent
+//! history and switches to the cheapest (Section 7.1's conditions (1) and
+//! (2); condition (3), compatible switches, is subsumed because policy
+//! swaps are always compatible and bid/zone changes are applied through
+//! hour-boundary retirement, never mid-hour).
+
+pub mod forecast;
+
+use crate::config::ExperimentConfig;
+use crate::engine::Engine;
+use crate::policy::PolicyKind;
+use crate::run::RunResult;
+use forecast::{estimate, predicted_cost};
+use redspot_market::DelayModel;
+use redspot_trace::{Price, SimDuration, SimTime, TraceSet, Window, ZoneId};
+
+/// Tuning knobs for the adaptive controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Candidate bids (the paper sweeps $0.27–$3.07 in $0.20 steps).
+    pub bid_grid: Vec<Price>,
+    /// Candidate redundancy degrees (the paper uses 1, 2, 3).
+    pub n_options: Vec<usize>,
+    /// Candidate checkpoint policies. Edge and Threshold are excluded by
+    /// the paper after Section 6 shows their high recovery costs.
+    pub policy_kinds: Vec<PolicyKind>,
+    /// History length used for forecasting at each decision point.
+    pub history: SimDuration,
+    /// Hard cap on the bid (user-configurable in the paper).
+    pub max_bid: Price,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> AdaptiveConfig {
+        let mut bid_grid = redspot_trace::paper_bid_grid();
+        // The $0.81 sweet spot highlighted throughout Section 6.
+        bid_grid.push(Price::from_millis(810));
+        bid_grid.sort_unstable();
+        AdaptiveConfig {
+            bid_grid,
+            n_options: vec![1, 2, 3],
+            policy_kinds: vec![PolicyKind::Periodic, PolicyKind::MarkovDaly],
+            history: SimDuration::from_hours(24),
+            max_bid: Price::from_millis(3_070),
+        }
+    }
+}
+
+/// One point in Adaptive's decision space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Permutation {
+    /// Bid price.
+    pub bid: Price,
+    /// Active-zone mask over the experiment's configured zones.
+    pub mask: Vec<bool>,
+    /// Checkpoint policy.
+    pub kind: PolicyKind,
+    /// Predicted remaining cost, milli-dollars.
+    pub predicted_millis: f64,
+}
+
+impl Permutation {
+    fn describe(&self) -> String {
+        let n = self.mask.iter().filter(|&&b| b).count();
+        format!("{} N={} B={}", self.kind, n, self.bid)
+    }
+}
+
+/// Runs one experiment under the Adaptive meta-policy.
+pub struct AdaptiveRunner<'t> {
+    traces: &'t TraceSet,
+    start: SimTime,
+    base: ExperimentConfig,
+    acfg: AdaptiveConfig,
+    delay: DelayModel,
+}
+
+impl<'t> AdaptiveRunner<'t> {
+    /// Create a runner. `base.zones` is the superset of zones Adaptive may
+    /// use (its bid and policy fields are ignored — Adaptive chooses).
+    ///
+    /// ```
+    /// use redspot_core::{AdaptiveRunner, ExperimentConfig};
+    /// use redspot_trace::{gen::GenConfig, SimTime};
+    /// let traces = GenConfig::low_volatility(1).generate();
+    /// let result = AdaptiveRunner::new(
+    ///     &traces,
+    ///     SimTime::from_hours(72),
+    ///     ExperimentConfig::paper_default(),
+    /// )
+    /// .run();
+    /// assert!(result.met_deadline); // guaranteed by Algorithm 1
+    /// assert!(result.cost_dollars() < 48.0); // cheaper than on-demand
+    /// ```
+    pub fn new(traces: &'t TraceSet, start: SimTime, base: ExperimentConfig) -> AdaptiveRunner<'t> {
+        AdaptiveRunner {
+            traces,
+            start,
+            base,
+            acfg: AdaptiveConfig::default(),
+            delay: DelayModel::paper(),
+        }
+    }
+
+    /// Override the adaptive tuning.
+    pub fn with_config(mut self, acfg: AdaptiveConfig) -> AdaptiveRunner<'t> {
+        self.acfg = acfg;
+        self
+    }
+
+    /// Override the queuing-delay model (tests, ablations).
+    pub fn with_delay_model(mut self, delay: DelayModel) -> AdaptiveRunner<'t> {
+        self.delay = delay;
+        self
+    }
+
+    /// The history window ending at `now`.
+    fn history_window(&self, now: SimTime) -> Option<Window> {
+        let lo = now
+            .saturating_sub(self.acfg.history)
+            .max(self.traces.start());
+        (now > lo).then(|| Window::new(lo, now))
+    }
+
+    /// Rank zones by availability at `bid` over `window` and keep the top
+    /// `n` (stable on ties by preferring lower zone index).
+    fn top_zones(&self, window: Window, bid: Price, n: usize) -> Vec<bool> {
+        let zones = &self.base.zones;
+        let mut scored: Vec<(usize, f64)> = zones
+            .iter()
+            .enumerate()
+            .map(|(i, &z)| {
+                let avail = self.traces.zone(z).slice(window).availability_at_bid(bid);
+                (i, avail)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("availability is finite")
+                .then(a.0.cmp(&b.0))
+        });
+        let mut mask = vec![false; zones.len()];
+        for &(i, _) in scored.iter().take(n.max(1)) {
+            mask[i] = true;
+        }
+        mask
+    }
+
+    /// Evaluate every permutation at `now` and return the cheapest.
+    fn choose(
+        &self,
+        now: SimTime,
+        remaining_compute: SimDuration,
+        remaining_time: SimDuration,
+    ) -> Option<Permutation> {
+        let window = self.history_window(now)?;
+        let mut best: Option<Permutation> = None;
+        for &bid in &self.acfg.bid_grid {
+            if bid > self.acfg.max_bid {
+                continue;
+            }
+            for &n in &self.acfg.n_options {
+                if n == 0 || n > self.base.zones.len() {
+                    continue;
+                }
+                let mask = self.top_zones(window, bid, n);
+                let zone_ids: Vec<ZoneId> = self
+                    .base
+                    .zones
+                    .iter()
+                    .zip(&mask)
+                    .filter_map(|(&z, &m)| m.then_some(z))
+                    .collect();
+                for &kind in &self.acfg.policy_kinds {
+                    let f = estimate(self.traces, &zone_ids, window, bid, self.base.costs, kind);
+                    let cost =
+                        predicted_cost(&f, remaining_compute, remaining_time, self.base.costs);
+                    let cand = Permutation {
+                        bid,
+                        mask: mask.clone(),
+                        kind,
+                        predicted_millis: cost,
+                    };
+                    let better = match &best {
+                        None => true,
+                        Some(b) => cost < b.predicted_millis,
+                    };
+                    if better {
+                        best = Some(cand);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn apply(engine: &mut Engine<'_>, perm: &Permutation) {
+        engine.set_bid(perm.bid);
+        for (i, &active) in perm.mask.iter().enumerate() {
+            engine.set_active(i, active);
+        }
+        engine.set_policy(perm.kind.build());
+        engine.note_adaptive_switch(perm.describe());
+    }
+
+    /// Run the experiment to completion under adaptive control.
+    pub fn run(self) -> RunResult {
+        let mut cfg = self.base.clone();
+        // Bootstrap permutation from history before the experiment starts;
+        // fall back to the paper's sweet spot when there is no history.
+        let boot = self.choose(self.start, cfg.app.work, cfg.deadline);
+        let (bid, kind) = boot
+            .as_ref()
+            .map(|p| (p.bid, p.kind))
+            .unwrap_or((Price::from_millis(810), PolicyKind::Periodic));
+        // The user's bid cap applies to the fallback too.
+        let bid = bid.min(self.acfg.max_bid);
+        cfg.bid = bid;
+
+        let mut engine =
+            Engine::with_delay_model(self.traces, self.start, cfg, kind.build(), self.delay);
+        let mut current = boot;
+        if let Some(p) = &current {
+            AdaptiveRunner::apply(&mut engine, p);
+        }
+
+        loop {
+            let report = engine.step();
+            if report.done {
+                break;
+            }
+            if !(report.termination || report.hour_boundary) || engine.on_demand() {
+                continue;
+            }
+            let remaining_compute = engine.config().app.work - engine.best_position();
+            let remaining_time = engine.deadline_abs().since(engine.now());
+            if let Some(next) = self.choose(engine.now(), remaining_compute, remaining_time) {
+                let changed = match &current {
+                    Some(cur) => {
+                        cur.bid != next.bid || cur.mask != next.mask || cur.kind != next.kind
+                    }
+                    None => true,
+                };
+                if changed {
+                    AdaptiveRunner::apply(&mut engine, &next);
+                    current = Some(next);
+                }
+            }
+        }
+        engine.into_result()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redspot_trace::gen::GenConfig;
+    use redspot_trace::PriceSeries;
+
+    fn m(v: u64) -> Price {
+        Price::from_millis(v)
+    }
+
+    fn flat3(price: u64, hours: u64) -> TraceSet {
+        let samples = vec![m(price); (hours * 12) as usize];
+        TraceSet::new(
+            (0..3)
+                .map(|_| PriceSeries::new(SimTime::ZERO, samples.clone()))
+                .collect(),
+        )
+    }
+
+    fn base() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.record_events = false;
+        cfg
+    }
+
+    #[test]
+    fn cheap_stable_market_stays_on_spot_single_zone() {
+        let traces = flat3(270, 80);
+        // Start mid-trace so there is bootstrap history.
+        let start = SimTime::from_hours(30);
+        let r = AdaptiveRunner::new(&traces, start, base())
+            .with_delay_model(DelayModel::zero())
+            .run();
+        assert!(r.met_deadline);
+        assert!(!r.used_on_demand);
+        // Adaptive should pick N = 1 here: one zone at $0.27.
+        assert!(r.cost_dollars() < 8.0, "cost {}", r.cost_dollars());
+    }
+
+    #[test]
+    fn unaffordable_market_costs_at_most_on_demand() {
+        let traces = flat3(5_000, 80);
+        let start = SimTime::from_hours(30);
+        let r = AdaptiveRunner::new(&traces, start, base())
+            .with_delay_model(DelayModel::zero())
+            .run();
+        assert!(r.met_deadline);
+        assert!(r.used_on_demand);
+        // Bounded: never meaningfully above the on-demand reference.
+        assert!(r.cost_dollars() <= 48.0 * 1.2, "cost {}", r.cost_dollars());
+    }
+
+    #[test]
+    fn adaptive_beats_on_demand_on_realistic_low_volatility() {
+        let traces = GenConfig::low_volatility(17).generate();
+        let start = SimTime::from_hours(72);
+        let r = AdaptiveRunner::new(&traces, start, base())
+            .with_delay_model(DelayModel::zero())
+            .run();
+        assert!(r.met_deadline);
+        assert!(
+            r.cost_dollars() < 48.0 / 2.0,
+            "adaptive should be far below on-demand, got {}",
+            r.cost_dollars()
+        );
+    }
+
+    #[test]
+    fn adaptive_bounded_on_high_volatility() {
+        let traces = GenConfig::high_volatility(17).generate();
+        for start_h in [72u64, 200, 400] {
+            let start = SimTime::from_hours(start_h);
+            let r = AdaptiveRunner::new(&traces, start, base())
+                .with_delay_model(DelayModel::zero())
+                .run();
+            assert!(r.met_deadline, "missed deadline at start {start_h}h");
+            assert!(
+                r.cost_dollars() <= 48.0 * 1.2,
+                "cost {} above the 120% on-demand bound at start {start_h}h",
+                r.cost_dollars()
+            );
+        }
+    }
+
+    #[test]
+    fn top_zone_ranking_prefers_available_zones() {
+        let cheap = vec![m(270); 288];
+        let pricey = vec![m(2_000); 288];
+        let traces = TraceSet::new(vec![
+            PriceSeries::new(SimTime::ZERO, pricey.clone()),
+            PriceSeries::new(SimTime::ZERO, cheap),
+            PriceSeries::new(SimTime::ZERO, pricey),
+        ]);
+        let runner = AdaptiveRunner::new(&traces, SimTime::from_hours(24), base());
+        let w = Window::new(SimTime::ZERO, SimTime::from_hours(24));
+        assert_eq!(runner.top_zones(w, m(810), 1), vec![false, true, false]);
+        let two = runner.top_zones(w, m(810), 2);
+        assert!(two[1]);
+        assert_eq!(two.iter().filter(|&&b| b).count(), 2);
+    }
+
+    #[test]
+    fn records_switch_events() {
+        let traces = GenConfig::high_volatility(3).generate();
+        let mut cfg = base();
+        cfg.record_events = true;
+        let r = AdaptiveRunner::new(&traces, SimTime::from_hours(100), cfg)
+            .with_delay_model(DelayModel::zero())
+            .run();
+        assert!(r
+            .events
+            .iter()
+            .any(|e| matches!(e, crate::run::Event::AdaptiveSwitch { .. })));
+    }
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+    use redspot_trace::PriceSeries;
+
+    fn flat3(price: u64, hours: u64) -> TraceSet {
+        let samples = vec![Price::from_millis(price); (hours * 12) as usize];
+        TraceSet::new(
+            (0..3)
+                .map(|_| PriceSeries::new(SimTime::ZERO, samples.clone()))
+                .collect(),
+        )
+    }
+
+    fn base() -> crate::config::ExperimentConfig {
+        let mut cfg = crate::config::ExperimentConfig::paper_default();
+        cfg.record_events = false;
+        cfg
+    }
+
+    #[test]
+    fn max_bid_below_market_forces_on_demand_but_meets_deadline() {
+        let traces = flat3(300, 80);
+        let acfg = AdaptiveConfig {
+            max_bid: Price::from_millis(100), // below every price
+            ..AdaptiveConfig::default()
+        };
+        let r = AdaptiveRunner::new(&traces, SimTime::from_hours(30), base())
+            .with_config(acfg)
+            .with_delay_model(redspot_market::DelayModel::zero())
+            .run();
+        assert!(r.met_deadline);
+        assert!(r.used_on_demand);
+        assert_eq!(r.od_cost, Price::from_dollars(48.0));
+    }
+
+    #[test]
+    fn empty_policy_list_still_completes_with_default() {
+        let traces = flat3(300, 80);
+        let acfg = AdaptiveConfig {
+            policy_kinds: vec![],
+            ..AdaptiveConfig::default()
+        };
+        let r = AdaptiveRunner::new(&traces, SimTime::from_hours(30), base())
+            .with_config(acfg)
+            .with_delay_model(redspot_market::DelayModel::zero())
+            .run();
+        assert!(r.met_deadline);
+    }
+
+    #[test]
+    fn single_n_option_restricts_redundancy() {
+        let traces = flat3(300, 80);
+        let acfg = AdaptiveConfig {
+            n_options: vec![3],
+            ..AdaptiveConfig::default()
+        };
+        let mut cfg = base();
+        cfg.record_events = true;
+        let r = AdaptiveRunner::new(&traces, SimTime::from_hours(30), cfg)
+            .with_config(acfg)
+            .with_delay_model(redspot_market::DelayModel::zero())
+            .run();
+        assert!(r.met_deadline);
+        for e in &r.events {
+            if let crate::run::Event::AdaptiveSwitch { to, .. } = e {
+                assert!(to.contains("N=3"), "unexpected permutation: {to}");
+            }
+        }
+        // Three zones paid on a flat market: roughly 3x the single-zone cost.
+        assert!(r.cost_dollars() > 15.0, "cost {}", r.cost_dollars());
+    }
+}

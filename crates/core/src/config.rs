@@ -1,0 +1,141 @@
+//! Experiment configuration (the paper's Section-5 setup).
+
+use redspot_ckpt::{AppSpec, CkptCosts};
+use redspot_trace::{Price, SimDuration, ZoneId};
+use serde::{Deserialize, Serialize};
+
+/// One experiment: a workload, a deadline, checkpoint costs, a bid, and
+/// the zones to bid in (`N` = `zones.len()`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Application workload (uninterrupted compute time `C`).
+    pub app: AppSpec,
+    /// Deadline `D`, measured from experiment start. Must satisfy `D ≥ C`.
+    pub deadline: SimDuration,
+    /// Checkpoint/restart costs (`t_c`, `t_r`).
+    pub costs: CkptCosts,
+    /// Bid price `B` submitted with every spot request.
+    pub bid: Price,
+    /// Zones to use (degree of redundancy `N ≥ 1`).
+    pub zones: Vec<ZoneId>,
+    /// Seed for the queuing-delay RNG; combined with zone/window identity
+    /// by the harness for deterministic parallel sweeps.
+    pub seed: u64,
+    /// Whether to record a detailed event log in the result (costs memory
+    /// in large sweeps; on by default for single runs).
+    pub record_events: bool,
+    /// Hourly rate of the on-demand I/O server that holds checkpoints
+    /// while spot instances run (Section 5). The paper ignores this cost
+    /// ("a fraction of the total cost"); set it to account for it.
+    #[serde(default)]
+    pub io_server: Option<Price>,
+}
+
+impl ExperimentConfig {
+    /// The paper's standard configuration: `C` = 20 h, `t_c` = 300 s,
+    /// slack 15 % (3 h), bid $0.81, three zones.
+    pub fn paper_default() -> ExperimentConfig {
+        ExperimentConfig {
+            app: AppSpec::PAPER,
+            deadline: SimDuration::from_hours(23),
+            costs: CkptCosts::LOW,
+            bid: Price::from_millis(810),
+            zones: vec![ZoneId(0), ZoneId(1), ZoneId(2)],
+            seed: 0,
+            record_events: true,
+            io_server: None,
+        }
+    }
+
+    /// Slack `T_l = D − C`.
+    pub fn slack(&self) -> SimDuration {
+        self.deadline - self.app.work
+    }
+
+    /// Set the slack as a percentage of `C` (the paper uses 15 % and 50 %).
+    pub fn with_slack_percent(mut self, pct: u64) -> ExperimentConfig {
+        let slack = SimDuration::from_secs(self.app.work.secs() * pct / 100);
+        self.deadline = self.app.work + slack;
+        self
+    }
+
+    /// Replace the bid.
+    pub fn with_bid(mut self, bid: Price) -> ExperimentConfig {
+        self.bid = bid;
+        self
+    }
+
+    /// Replace the zone set.
+    pub fn with_zones(mut self, zones: Vec<ZoneId>) -> ExperimentConfig {
+        self.zones = zones;
+        self
+    }
+
+    /// Replace the checkpoint costs.
+    pub fn with_costs(mut self, costs: CkptCosts) -> ExperimentConfig {
+        self.costs = costs;
+        self
+    }
+
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> ExperimentConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate invariants (`D ≥ C`, at least one zone, distinct zones).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.deadline < self.app.work {
+            return Err(format!(
+                "deadline {} shorter than workload {}",
+                self.deadline, self.app.work
+            ));
+        }
+        if self.zones.is_empty() {
+            return Err("experiment needs at least one zone".into());
+        }
+        let mut sorted = self.zones.clone();
+        sorted.sort();
+        sorted.dedup();
+        if sorted.len() != self.zones.len() {
+            return Err("duplicate zones in experiment".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let cfg = ExperimentConfig::paper_default();
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.slack(), SimDuration::from_hours(3));
+    }
+
+    #[test]
+    fn slack_percent_builder() {
+        let cfg = ExperimentConfig::paper_default().with_slack_percent(50);
+        assert_eq!(cfg.slack(), SimDuration::from_hours(10));
+        assert_eq!(cfg.deadline, SimDuration::from_hours(30));
+        let cfg15 = ExperimentConfig::paper_default().with_slack_percent(15);
+        assert_eq!(cfg15.slack(), SimDuration::from_hours(3));
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.deadline = SimDuration::from_hours(10);
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones.clear();
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones = vec![ZoneId(0), ZoneId(0)];
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,1475 @@
+//! The Algorithm-1 simulation engine.
+//!
+//! An event-driven simulator that executes one experiment configuration
+//! against recorded (or synthetic) spot-price traces, enforcing:
+//!
+//! * EC2 spot semantics — fixed bids, abrupt out-of-bid termination,
+//!   hour-boundary billing, free out-of-bid partial hours, queuing delays;
+//! * Algorithm 1 — the *waiting* state (an affordable zone idles until the
+//!   next checkpoint so it can restart from fresh state), restart of all
+//!   waiting zones when every zone is down, and pluggable
+//!   `CheckpointCondition` / `ScheduleNextCheckpoint` policies;
+//! * the deadline guarantee (line 11) — a guard that keeps
+//!   `T_r ≥ C_r + t_c + t_r` *measured from committed progress*. When the
+//!   guard trips, the engine first takes a protective checkpoint (if a
+//!   replica is executing); if the margin is restored by the commit, spot
+//!   execution continues, otherwise execution migrates to a single
+//!   on-demand instance, which always completes by `D`.
+//!
+//! The guard-then-checkpoint refinement is what makes the guarantee hard:
+//! firing on *committed* progress with a `t_c + t_r` reserve means even a
+//! termination during the protective checkpoint still leaves time to
+//! restart on-demand from the previous checkpoint (see DESIGN.md).
+
+use crate::config::ExperimentConfig;
+use crate::policy::{Policy, PolicyCtx};
+use crate::run::{Event, RunResult, TerminationCause};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use redspot_ckpt::ReplicaSet;
+use redspot_market::{DelayModel, InstanceState, SpotBilling, StopCause};
+use redspot_trace::{Price, SimDuration, SimTime, TraceSet};
+
+/// Execution phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Bidding on the spot market.
+    Spot,
+    /// Migrated to on-demand; completes at the contained instant.
+    OnDemand(SimTime),
+    /// Finished.
+    Done,
+}
+
+/// Per-zone runtime state.
+#[derive(Debug, Clone)]
+struct ZoneRt {
+    inst: InstanceState,
+    billing: Option<SpotBilling>,
+    /// Bid attached to the current request (spot requests are fixed-bid;
+    /// an engine-level bid change only affects *future* requests).
+    bid: Price,
+    /// Restart/checkpoint overhead: the replica makes no progress before
+    /// this instant.
+    busy_until: SimTime,
+    /// Stop voluntarily at the next hour boundary (adaptive retirement).
+    retire: bool,
+    /// Whether this zone participates at all (adaptive `N` control).
+    active: bool,
+}
+
+/// An in-flight checkpoint.
+#[derive(Debug, Clone, Copy)]
+struct CkptRt {
+    zone: usize,
+    done_at: SimTime,
+    position: SimDuration,
+}
+
+/// What a single [`Engine::step`] did — the adaptive controller keys its
+/// re-evaluation off these flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepReport {
+    /// An instance was terminated out-of-bid during this step.
+    pub termination: bool,
+    /// A billing hour ended during this step.
+    pub hour_boundary: bool,
+    /// The run finished (completed or fully migrated and done).
+    pub done: bool,
+}
+
+/// The Algorithm-1 engine. Construct with [`Engine::new`], then either
+/// [`Engine::run`] to completion or drive it with [`Engine::step`] (the
+/// adaptive controller does the latter, mutating bid/zones/policy at
+/// decision points).
+pub struct Engine<'t> {
+    traces: &'t TraceSet,
+    cfg: ExperimentConfig,
+    start: SimTime,
+    deadline_abs: SimTime,
+    policy: Box<dyn Policy>,
+    delay: DelayModel,
+    rng: StdRng,
+
+    now: SimTime,
+    zones: Vec<ZoneRt>,
+    replicas: ReplicaSet,
+    ckpt: Option<CkptRt>,
+    /// Deadline guard tripped; decide migrate-vs-continue when the
+    /// in-flight checkpoint commits.
+    guard_pending: bool,
+
+    phase: Phase,
+    spot_cost: Price,
+    od_cost: Price,
+    checkpoints: u32,
+    restarts: u32,
+    oob_terminations: u32,
+    used_on_demand: bool,
+    last_commit_or_restart: SimTime,
+    events: Vec<Event>,
+    finished_at: SimTime,
+    /// I/O-server accounting: the instant the current spot-activity span
+    /// began (the on-demand I/O server runs while any spot instance is
+    /// billable), and the accumulated span total.
+    io_active_since: Option<SimTime>,
+    io_total: SimDuration,
+}
+
+impl<'t> Engine<'t> {
+    /// Build an engine starting at `start` within `traces`, using the
+    /// paper's measured queuing-delay model.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or references zones outside
+    /// the trace set.
+    pub fn new(
+        traces: &'t TraceSet,
+        start: SimTime,
+        cfg: ExperimentConfig,
+        policy: Box<dyn Policy>,
+    ) -> Engine<'t> {
+        Engine::with_delay_model(traces, start, cfg, policy, DelayModel::paper())
+    }
+
+    /// Build with an explicit queuing-delay model (tests, ablations).
+    pub fn with_delay_model(
+        traces: &'t TraceSet,
+        start: SimTime,
+        cfg: ExperimentConfig,
+        policy: Box<dyn Policy>,
+        delay: DelayModel,
+    ) -> Engine<'t> {
+        cfg.validate().expect("invalid experiment configuration");
+        assert!(
+            cfg.zones.iter().all(|z| z.0 < traces.n_zones()),
+            "config references zones outside the trace set"
+        );
+        let n = cfg.zones.len();
+        let deadline_abs = start + cfg.deadline;
+        let mut engine = Engine {
+            traces,
+            start,
+            deadline_abs,
+            policy,
+            delay,
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xD1B5_4A32_D192_ED03),
+            now: start,
+            zones: (0..n)
+                .map(|_| ZoneRt {
+                    inst: InstanceState::Down,
+                    billing: None,
+                    bid: cfg.bid,
+                    busy_until: start,
+                    retire: false,
+                    active: true,
+                })
+                .collect(),
+            replicas: ReplicaSet::new(cfg.app, n),
+            ckpt: None,
+            guard_pending: false,
+            phase: Phase::Spot,
+            spot_cost: Price::ZERO,
+            od_cost: Price::ZERO,
+            checkpoints: 0,
+            restarts: 0,
+            oob_terminations: 0,
+            used_on_demand: false,
+            last_commit_or_restart: start,
+            events: Vec::new(),
+            finished_at: start,
+            io_active_since: None,
+            io_total: SimDuration::ZERO,
+            cfg,
+        };
+        let ctx_needed = engine.phase == Phase::Spot;
+        if ctx_needed {
+            engine.with_ctx(|policy, ctx| policy.reschedule(ctx));
+        }
+        engine
+    }
+
+    // ------------------------------------------------------------------
+    // Public accessors (used by the adaptive controller and tests).
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Experiment start.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// Absolute deadline.
+    pub fn deadline_abs(&self) -> SimTime {
+        self.deadline_abs
+    }
+
+    /// Committed (durable) progress.
+    pub fn committed(&self) -> SimDuration {
+        self.replicas.committed()
+    }
+
+    /// Furthest live replica position (capturable progress).
+    pub fn best_position(&self) -> SimDuration {
+        self.replicas.best_position()
+    }
+
+    /// Spot charges so far.
+    pub fn spot_cost(&self) -> Price {
+        self.spot_cost
+    }
+
+    /// On-demand charges so far.
+    pub fn od_cost(&self) -> Price {
+        self.od_cost
+    }
+
+    /// Whether the run has finished.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// Whether execution has migrated to on-demand.
+    pub fn on_demand(&self) -> bool {
+        matches!(self.phase, Phase::OnDemand(_))
+    }
+
+    /// The bid applied to *future* spot requests.
+    pub fn bid(&self) -> Price {
+        self.cfg.bid
+    }
+
+    /// Instance state of configured zone `idx`.
+    pub fn zone_state(&self, idx: usize) -> InstanceState {
+        self.zones[idx].inst
+    }
+
+    /// Whether configured zone `idx` is active.
+    pub fn zone_active(&self, idx: usize) -> bool {
+        self.zones[idx].active
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptive mutators.
+
+    /// Swap the checkpoint policy (takes effect immediately).
+    pub fn set_policy(&mut self, policy: Box<dyn Policy>) {
+        self.policy = policy;
+        if self.phase == Phase::Spot {
+            self.with_ctx(|policy, ctx| policy.reschedule(ctx));
+        }
+    }
+
+    /// Change the bid for future spot requests. Running instances keep the
+    /// bid they were requested with (EC2 spot requests are fixed-bid).
+    pub fn set_bid(&mut self, bid: Price) {
+        self.cfg.bid = bid;
+    }
+
+    /// Activate or deactivate configured zone `idx`. Deactivating a
+    /// billable zone retires it at its next hour boundary (no partial-hour
+    /// waste); deactivating a waiting zone is immediate.
+    pub fn set_active(&mut self, idx: usize, active: bool) {
+        let z = &mut self.zones[idx];
+        z.active = active;
+        if !active {
+            match z.inst {
+                InstanceState::Waiting | InstanceState::Down => {
+                    z.inst = InstanceState::Down;
+                }
+                InstanceState::Booting { .. } | InstanceState::Up => {
+                    z.retire = true;
+                }
+            }
+        } else {
+            z.retire = false;
+        }
+    }
+
+    /// A serializable point-in-time summary of the engine state, for
+    /// dashboards, logging, and driver code.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            now: self.now,
+            deadline: self.deadline_abs,
+            committed: self.replicas.committed(),
+            best_position: self.replicas.best_position(),
+            remaining: self.replicas.remaining_committed(),
+            spot_cost: self.spot_cost,
+            od_cost: self.od_cost,
+            on_demand: self.on_demand(),
+            done: self.is_done(),
+            zones: self
+                .zones
+                .iter()
+                .enumerate()
+                .map(|(i, z)| ZoneSnapshot {
+                    zone: self.cfg.zones[i],
+                    state: z.inst,
+                    active: z.active,
+                    bid: z.bid,
+                    position: self.replicas.position(i),
+                })
+                .collect(),
+            checkpoints: self.checkpoints,
+            restarts: self.restarts,
+            out_of_bid_terminations: self.oob_terminations,
+        }
+    }
+
+    /// Record an adaptive-controller switch in the event log.
+    pub fn note_adaptive_switch(&mut self, to: String) {
+        let at = self.now;
+        self.record(Event::AdaptiveSwitch { at, to });
+    }
+
+    /// Change the deadline at runtime (Section 3.2: the algorithm
+    /// continuously monitors `T_r`, so the user may move `D` while the
+    /// application runs). Returns `false` when the new deadline is no
+    /// longer guaranteed — i.e. it lies before the time needed to
+    /// checkpoint, migrate, and finish the remaining committed work — in
+    /// which case the engine still adopts it and immediately does its
+    /// best (the guard fires at the next step).
+    pub fn set_deadline(&mut self, deadline_abs: SimTime) -> bool {
+        self.deadline_abs = deadline_abs;
+        let needed = self.replicas.remaining_committed() + self.cfg.costs.migration();
+        let feasible = deadline_abs >= self.now + needed;
+        let at = self.now;
+        self.record(Event::DeadlineChanged {
+            at,
+            deadline: deadline_abs,
+            feasible,
+        });
+        feasible
+    }
+
+    // ------------------------------------------------------------------
+    // Core loop.
+
+    /// Run to completion and produce the result.
+    pub fn run(mut self) -> RunResult {
+        let mut fuel: u64 = 50_000_000;
+        while !self.is_done() {
+            self.step();
+            fuel -= 1;
+            assert!(fuel > 0, "engine failed to make progress");
+        }
+        self.into_result()
+    }
+
+    /// Advance the simulation by one event horizon, processing everything
+    /// due at the current instant first.
+    pub fn step(&mut self) -> StepReport {
+        let mut report = StepReport::default();
+        if self.phase == Phase::Done {
+            report.done = true;
+            return report;
+        }
+
+        // Drain everything due *now* until quiescent.
+        let mut guard_fuel = 64;
+        while self.process_now(&mut report) {
+            guard_fuel -= 1;
+            assert!(guard_fuel > 0, "event cascade failed to settle");
+            if self.phase == Phase::Done {
+                report.done = true;
+                return report;
+            }
+        }
+
+        // Hop to the next event.
+        if let Phase::OnDemand(finish) = self.phase {
+            self.now = finish;
+            self.finish_run();
+            report.done = true;
+            return report;
+        }
+        let next = self.next_event_time();
+        debug_assert!(next > self.now, "event horizon must advance");
+        self.advance_to(next);
+        report.done = self.phase == Phase::Done;
+        report
+    }
+
+    /// Consume the engine, producing the final result.
+    ///
+    /// # Panics
+    /// Panics if the run has not finished.
+    pub fn into_result(self) -> RunResult {
+        assert!(self.phase == Phase::Done, "run not finished");
+        let io_cost = self.io_cost();
+        RunResult {
+            cost: self.spot_cost + self.od_cost + io_cost,
+            spot_cost: self.spot_cost,
+            od_cost: self.od_cost,
+            io_cost,
+            finished_at: self.finished_at,
+            met_deadline: self.finished_at <= self.deadline_abs,
+            checkpoints: self.checkpoints,
+            restarts: self.restarts,
+            out_of_bid_terminations: self.oob_terminations,
+            used_on_demand: self.used_on_demand,
+            events: self.events,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event processing.
+
+    /// Handle every condition due at `self.now`. Returns true if any state
+    /// changed (the caller loops until quiescent).
+    fn process_now(&mut self, report: &mut StepReport) -> bool {
+        let mut acted = false;
+
+        // 1. Completion?
+        if self.try_complete() {
+            return true;
+        }
+
+        // 2. Checkpoint completion.
+        if let Some(c) = self.ckpt {
+            if c.done_at <= self.now && self.zones[c.zone].inst.is_up() {
+                self.finish_checkpoint(c);
+                acted = true;
+            }
+        }
+
+        // 3. Boot completions.
+        for i in 0..self.zones.len() {
+            if let InstanceState::Booting { ready_at } = self.zones[i].inst {
+                if ready_at <= self.now {
+                    self.start_replica(i);
+                    acted = true;
+                }
+            }
+        }
+
+        // 4. Hour boundaries — before the market scan, so an hour that
+        //    completes at the same instant the price moves out of bid is
+        //    still charged (the termination only voids the *new* hour).
+        acted |= self.process_hour_boundaries(report);
+
+        // 5. Market scan: out-of-bid terminations, waiting transitions.
+        acted |= self.scan_market(report);
+
+        // 6. Deadline guard.
+        if self.phase == Phase::Spot && self.now >= self.guard_time() {
+            acted |= self.handle_guard();
+            if self.phase != Phase::Spot {
+                return true;
+            }
+        }
+
+        // 7. Restart waiting zones when nothing is billable (Alg. 1
+        //    lines 29–33).
+        if self.phase == Phase::Spot
+            && !self.zones.iter().any(|z| z.inst.is_billable())
+            && self.zones.iter().any(|z| z.inst.is_waiting())
+        {
+            for i in 0..self.zones.len() {
+                if self.zones[i].inst.is_waiting() {
+                    self.request_instance(i);
+                    acted = true;
+                }
+            }
+        }
+
+        // 8. Policy checkpoint condition.
+        if self.phase == Phase::Spot && self.ckpt.is_none() {
+            if let Some(leader) = self.leader() {
+                let due = self.retirement_ckpt_due(leader)
+                    || self.with_ctx(|policy, ctx| policy.checkpoint_now(ctx));
+                if due {
+                    self.begin_checkpoint(leader);
+                    acted = true;
+                }
+            }
+        }
+
+        self.update_io_tracking();
+        acted
+    }
+
+    /// Track the union of time during which any spot instance is billable
+    /// — that is when the on-demand I/O server must be up (Section 5).
+    fn update_io_tracking(&mut self) {
+        if self.cfg.io_server.is_none() {
+            return;
+        }
+        let active = self.phase == Phase::Spot && self.zones.iter().any(|z| z.inst.is_billable());
+        match (active, self.io_active_since) {
+            (true, None) => self.io_active_since = Some(self.now),
+            (false, Some(since)) => {
+                self.io_total += self.now.since(since);
+                self.io_active_since = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Total I/O-server charge so far.
+    fn io_cost(&self) -> Price {
+        match self.cfg.io_server {
+            None => Price::ZERO,
+            Some(rate) => {
+                let mut total = self.io_total;
+                if let Some(since) = self.io_active_since {
+                    total += self.now.since(since);
+                }
+                rate * total.billed_hours()
+            }
+        }
+    }
+
+    fn scan_market(&mut self, report: &mut StepReport) -> bool {
+        if self.phase != Phase::Spot {
+            return false;
+        }
+        let mut acted = false;
+        let resume_at = self.policy.resume_threshold();
+        for i in 0..self.zones.len() {
+            let price = self.traces.price_at(self.cfg.zones[i], self.now);
+            match self.zones[i].inst {
+                InstanceState::Up | InstanceState::Booting { .. } => {
+                    if price > self.zones[i].bid {
+                        self.terminate_out_of_bid(i);
+                        report.termination = true;
+                        acted = true;
+                    }
+                }
+                InstanceState::Down if self.zones[i].active => {
+                    let threshold = resume_at.unwrap_or(self.cfg.bid);
+                    if price <= threshold {
+                        self.zones[i].inst = InstanceState::Waiting;
+                        self.record(Event::Waiting {
+                            at: self.now,
+                            zone: self.cfg.zones[i],
+                        });
+                        acted = true;
+                    }
+                }
+                InstanceState::Waiting => {
+                    let threshold = resume_at.unwrap_or(self.cfg.bid);
+                    if price > threshold || !self.zones[i].active {
+                        self.zones[i].inst = InstanceState::Down;
+                        acted = true;
+                    }
+                }
+                InstanceState::Down => {}
+            }
+        }
+        acted
+    }
+
+    fn process_hour_boundaries(&mut self, report: &mut StepReport) -> bool {
+        let mut acted = false;
+        for i in 0..self.zones.len() {
+            let Some(billing) = self.zones[i].billing else {
+                continue;
+            };
+            if billing.next_boundary() > self.now {
+                continue;
+            }
+            report.hour_boundary = true;
+            acted = true;
+            let stop =
+                self.zones[i].retire || self.with_ctx(|policy, ctx| policy.voluntary_stop(ctx, i));
+            if stop {
+                self.stop_zone(i, StopCause::User, TerminationCause::Voluntary);
+            } else {
+                let rate = self.traces.price_at(self.cfg.zones[i], self.now);
+                let b = self.zones[i]
+                    .billing
+                    .as_mut()
+                    .expect("billing checked above");
+                let charged_rate = b.current_rate();
+                b.on_hour_boundary(self.now, rate);
+                self.record(Event::HourCharged {
+                    at: self.now,
+                    zone: self.cfg.zones[i],
+                    rate: charged_rate,
+                });
+            }
+        }
+        acted
+    }
+
+    /// The instant the deadline guard trips, measured from committed
+    /// progress with a full `t_c + t_r` reserve.
+    fn guard_time(&self) -> SimTime {
+        let needed = self.replicas.remaining_committed() + self.cfg.costs.migration();
+        self.deadline_abs.saturating_sub(needed)
+    }
+
+    fn handle_guard(&mut self) -> bool {
+        if self.ckpt.is_some() {
+            // A checkpoint is already in flight; decide at its commit.
+            if !self.guard_pending {
+                self.guard_pending = true;
+                return true;
+            }
+            return false;
+        }
+        if self.guard_pending {
+            // The reserve attempt was already spent: the in-flight
+            // checkpoint aborted (its zone was terminated or retired).
+            // Starting another checkpoint would overrun the t_c + t_r
+            // reserve and break the deadline guarantee — migrate now.
+            self.migrate_to_on_demand();
+            return true;
+        }
+        match self.leader() {
+            Some(leader) => {
+                // Protective checkpoint: commit the leader's position, then
+                // re-evaluate. The t_c + t_r reserve makes this safe even
+                // if the leader dies mid-checkpoint.
+                self.guard_pending = true;
+                self.begin_checkpoint(leader);
+            }
+            None => self.migrate_to_on_demand(),
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // State transitions.
+
+    fn leader(&self) -> Option<usize> {
+        (0..self.zones.len())
+            .filter(|&i| self.zones[i].inst.is_up())
+            .max_by_key(|&i| (self.replicas.position(i), std::cmp::Reverse(i)))
+    }
+
+    fn request_instance(&mut self, i: usize) {
+        debug_assert!(self.zones[i].inst.is_waiting());
+        let boot = self.delay.sample(&mut self.rng);
+        let ready_at = self.now + boot;
+        let rate = self.traces.price_at(self.cfg.zones[i], self.now);
+        self.zones[i].inst = InstanceState::Booting { ready_at };
+        self.zones[i].billing = Some(SpotBilling::launch(self.now, rate));
+        self.zones[i].bid = self.cfg.bid;
+        self.record(Event::Requested {
+            at: self.now,
+            zone: self.cfg.zones[i],
+            bid: self.cfg.bid,
+        });
+    }
+
+    fn start_replica(&mut self, i: usize) {
+        debug_assert!(matches!(self.zones[i].inst, InstanceState::Booting { .. }));
+        self.zones[i].inst = InstanceState::Up;
+        let from = self.replicas.committed();
+        self.replicas.start(i, from);
+        // Reading the checkpoint costs t_r; a cold start (no checkpoint)
+        // only pays the queuing delay already elapsed.
+        self.zones[i].busy_until = if from > SimDuration::ZERO {
+            self.now + self.cfg.costs.restart
+        } else {
+            self.now
+        };
+        self.restarts += 1;
+        self.last_commit_or_restart = self.now;
+        self.record(Event::Started {
+            at: self.now,
+            zone: self.cfg.zones[i],
+            from,
+        });
+        self.with_ctx(|policy, ctx| policy.reschedule(ctx));
+    }
+
+    fn terminate_out_of_bid(&mut self, i: usize) {
+        let billing = self.zones[i]
+            .billing
+            .take()
+            .expect("billable zone has billing");
+        let charged = billing.stop(self.now, StopCause::OutOfBid);
+        self.spot_cost += charged;
+        self.replicas.stop(i);
+        self.zones[i].inst = InstanceState::Down;
+        self.oob_terminations += 1;
+        self.record(Event::Terminated {
+            at: self.now,
+            zone: self.cfg.zones[i],
+            cause: TerminationCause::OutOfBid,
+            charged,
+        });
+        if let Some(c) = self.ckpt {
+            if c.zone == i {
+                self.ckpt = None;
+                self.record(Event::CheckpointAborted {
+                    at: self.now,
+                    zone: self.cfg.zones[i],
+                });
+            }
+        }
+    }
+
+    fn stop_zone(&mut self, i: usize, cause: StopCause, reason: TerminationCause) {
+        if let Some(billing) = self.zones[i].billing.take() {
+            let charged = billing.stop(self.now, cause);
+            self.spot_cost += charged;
+            self.record(Event::Terminated {
+                at: self.now,
+                zone: self.cfg.zones[i],
+                cause: reason,
+                charged,
+            });
+        }
+        self.replicas.stop(i);
+        self.zones[i].inst = InstanceState::Down;
+        self.zones[i].retire = false;
+        if let Some(c) = self.ckpt {
+            if c.zone == i {
+                self.ckpt = None;
+                self.record(Event::CheckpointAborted {
+                    at: self.now,
+                    zone: self.cfg.zones[i],
+                });
+            }
+        }
+    }
+
+    fn begin_checkpoint(&mut self, leader: usize) {
+        debug_assert!(self.ckpt.is_none());
+        let raw = self.replicas.position(leader).expect("leader is executing");
+        // Iterative applications can only checkpoint completed iterations
+        // (progress is reported via an MPI_Pcontrol-style hook).
+        let position = self.cfg.app.checkpointable(raw);
+        let done_at = self.now + self.cfg.costs.checkpoint;
+        self.ckpt = Some(CkptRt {
+            zone: leader,
+            done_at,
+            position,
+        });
+        // The writing zone makes no progress during the checkpoint.
+        self.zones[leader].busy_until = self.zones[leader].busy_until.max(done_at);
+        self.record(Event::CheckpointStarted {
+            at: self.now,
+            zone: self.cfg.zones[leader],
+            position,
+        });
+    }
+
+    fn finish_checkpoint(&mut self, c: CkptRt) {
+        self.ckpt = None;
+        if c.position >= self.replicas.committed() {
+            self.replicas.commit(c.position);
+        }
+        self.checkpoints += 1;
+        self.last_commit_or_restart = self.now;
+        self.record(Event::CheckpointCommitted {
+            at: self.now,
+            position: c.position,
+        });
+
+        if self.guard_pending {
+            self.guard_pending = false;
+            if self.now >= self.guard_time() {
+                self.migrate_to_on_demand();
+                return;
+            }
+        }
+
+        // Algorithm 1 lines 19–24: waiting zones restart from this fresh
+        // checkpoint.
+        for i in 0..self.zones.len() {
+            if self.zones[i].inst.is_waiting() {
+                self.request_instance(i);
+            }
+        }
+        self.with_ctx(|policy, ctx| policy.reschedule(ctx));
+    }
+
+    fn migrate_to_on_demand(&mut self) {
+        debug_assert!(self.phase == Phase::Spot);
+        // Close the I/O-server span: on-demand compute no longer needs the
+        // checkpoint server.
+        if let Some(since) = self.io_active_since.take() {
+            self.io_total += self.now.since(since);
+        }
+        let committed = self.replicas.committed();
+        self.record(Event::SwitchedToOnDemand {
+            at: self.now,
+            committed,
+        });
+        for i in 0..self.zones.len() {
+            if self.zones[i].inst.is_billable() {
+                self.stop_zone(i, StopCause::User, TerminationCause::Voluntary);
+            } else {
+                self.zones[i].inst = InstanceState::Down;
+            }
+        }
+        let restart = if committed > SimDuration::ZERO {
+            self.cfg.costs.restart
+        } else {
+            SimDuration::ZERO
+        };
+        let need = restart + (self.cfg.app.work - committed);
+        let finish = self.now + need;
+        self.od_cost += redspot_market::on_demand_cost(self.now, finish);
+        self.used_on_demand = true;
+        self.phase = Phase::OnDemand(finish);
+    }
+
+    fn try_complete(&mut self) -> bool {
+        if self.phase != Phase::Spot {
+            return false;
+        }
+        let complete = (0..self.zones.len()).any(|i| {
+            self.zones[i].inst.is_up()
+                && self.zones[i].busy_until <= self.now
+                && self.replicas.position(i) == Some(self.cfg.app.work)
+        });
+        if !complete {
+            return false;
+        }
+        for i in 0..self.zones.len() {
+            if self.zones[i].inst.is_billable() {
+                self.stop_zone(i, StopCause::User, TerminationCause::Voluntary);
+            }
+        }
+        self.replicas.commit(self.cfg.app.work);
+        self.finish_run();
+        true
+    }
+
+    fn finish_run(&mut self) {
+        self.finished_at = self.now;
+        self.phase = Phase::Done;
+        self.record(Event::Completed { at: self.now });
+    }
+
+    fn retirement_ckpt_due(&self, leader: usize) -> bool {
+        let z = &self.zones[leader];
+        if !z.retire || !z.inst.is_up() {
+            return false;
+        }
+        let Some(billing) = z.billing else {
+            return false;
+        };
+        self.now
+            >= billing
+                .next_boundary()
+                .saturating_sub(self.cfg.costs.checkpoint)
+    }
+
+    // ------------------------------------------------------------------
+    // Time advancement.
+
+    fn next_event_time(&mut self) -> SimTime {
+        let mut t = self.deadline_abs.max(self.now + SimDuration::from_secs(1));
+
+        let consider = |cand: SimTime, now: SimTime, best: &mut SimTime| {
+            if cand > now && cand < *best {
+                *best = cand;
+            }
+        };
+
+        // Next price movement in any active zone.
+        for (i, z) in self.zones.iter().enumerate() {
+            if !z.active && !z.inst.is_billable() {
+                continue;
+            }
+            if let Some((at, _)) = self
+                .traces
+                .zone(self.cfg.zones[i])
+                .next_price_change(self.now)
+            {
+                consider(at, self.now, &mut t);
+            }
+        }
+
+        for (i, z) in self.zones.iter().enumerate() {
+            if let Some(b) = z.billing {
+                consider(b.next_boundary(), self.now, &mut t);
+                if z.retire {
+                    consider(
+                        b.next_boundary().saturating_sub(self.cfg.costs.checkpoint),
+                        self.now,
+                        &mut t,
+                    );
+                }
+            }
+            if let InstanceState::Booting { ready_at } = z.inst {
+                consider(ready_at, self.now, &mut t);
+            }
+            if z.inst.is_up() {
+                if let Some(pos) = self.replicas.position(i) {
+                    let resume = z.busy_until.max(self.now);
+                    let finish = resume + (self.cfg.app.work - pos);
+                    consider(finish, self.now, &mut t);
+                }
+            }
+        }
+
+        if let Some(c) = self.ckpt {
+            consider(c.done_at, self.now, &mut t);
+        }
+        consider(self.guard_time(), self.now, &mut t);
+        let alarm = self.with_ctx(|policy, ctx| policy.alarm(ctx));
+        if let Some(a) = alarm {
+            consider(a, self.now, &mut t);
+        }
+        t
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        debug_assert!(t > self.now);
+        for i in 0..self.zones.len() {
+            if !self.zones[i].inst.is_up() {
+                continue;
+            }
+            let from = self.zones[i].busy_until.max(self.now);
+            if t > from {
+                self.replicas.advance(i, t - from);
+            }
+        }
+        self.now = t;
+    }
+
+    // ------------------------------------------------------------------
+    // Plumbing.
+
+    /// Run `f` with a freshly-assembled policy context. Factored this way
+    /// because the context borrows engine fields while the policy needs
+    /// `&mut self.policy`.
+    fn with_ctx<R>(&mut self, f: impl FnOnce(&mut dyn Policy, &PolicyCtx) -> R) -> R {
+        let up: Vec<bool> = self.zones.iter().map(|z| z.inst.is_up()).collect();
+        let leader = (0..self.zones.len())
+            .filter(|&i| up[i])
+            .max_by_key(|&i| (self.replicas.position(i), std::cmp::Reverse(i)));
+        let leader_boundary = leader.and_then(|i| self.zones[i].billing.map(|b| b.next_boundary()));
+        let ctx = PolicyCtx {
+            now: self.now,
+            start: self.start,
+            bid: self.cfg.bid,
+            costs: self.cfg.costs,
+            traces: self.traces,
+            zone_ids: &self.cfg.zones,
+            up: &up,
+            leader_boundary,
+            leader,
+            last_commit_or_restart: self.last_commit_or_restart,
+        };
+        f(self.policy.as_mut(), &ctx)
+    }
+
+    fn record(&mut self, e: Event) {
+        if self.cfg.record_events {
+            self.events.push(e);
+        }
+    }
+}
+
+/// A point-in-time view of one zone's runtime state.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ZoneSnapshot {
+    /// Which zone.
+    pub zone: redspot_trace::ZoneId,
+    /// Instance lifecycle state.
+    pub state: InstanceState,
+    /// Whether the zone participates (adaptive N control).
+    pub active: bool,
+    /// Bid attached to the zone's current/last request.
+    pub bid: Price,
+    /// Replica position, if executing.
+    pub position: Option<SimDuration>,
+}
+
+/// A point-in-time view of the whole engine (see [`Engine::snapshot`]).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Snapshot {
+    /// Simulation clock.
+    pub now: SimTime,
+    /// Absolute deadline.
+    pub deadline: SimTime,
+    /// Durable (checkpointed) progress.
+    pub committed: SimDuration,
+    /// Furthest live replica position.
+    pub best_position: SimDuration,
+    /// Remaining compute measured from committed progress.
+    pub remaining: SimDuration,
+    /// Spot charges so far.
+    pub spot_cost: Price,
+    /// On-demand charges so far.
+    pub od_cost: Price,
+    /// Whether execution has migrated to on-demand.
+    pub on_demand: bool,
+    /// Whether the run has finished.
+    pub done: bool,
+    /// Per-zone states.
+    pub zones: Vec<ZoneSnapshot>,
+    /// Committed checkpoints so far.
+    pub checkpoints: u32,
+    /// Replica starts so far.
+    pub restarts: u32,
+    /// Out-of-bid terminations so far.
+    pub out_of_bid_terminations: u32,
+}
+
+/// The trivial on-demand baseline: run the whole workload on a dedicated
+/// on-demand instance. Cost for the paper's 20-hour job: $48.00.
+pub fn on_demand_run(start: SimTime, cfg: &ExperimentConfig) -> RunResult {
+    let finish = start + cfg.app.work;
+    let cost = redspot_market::on_demand_cost(start, finish);
+    RunResult {
+        cost,
+        spot_cost: Price::ZERO,
+        od_cost: cost,
+        io_cost: Price::ZERO,
+        finished_at: finish,
+        met_deadline: cfg.app.work <= cfg.deadline,
+        checkpoints: 0,
+        restarts: 0,
+        out_of_bid_terminations: 0,
+        used_on_demand: true,
+        events: vec![Event::Completed { at: finish }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use redspot_trace::{PriceSeries, Window, ZoneId};
+
+    fn m(v: u64) -> Price {
+        Price::from_millis(v)
+    }
+
+    /// A flat-priced trace: `n_zones` zones at `price` for `hours`.
+    fn flat(price: u64, n_zones: usize, hours: u64) -> TraceSet {
+        let samples = vec![m(price); (hours * 12) as usize];
+        TraceSet::new(
+            (0..n_zones)
+                .map(|_| PriceSeries::new(SimTime::ZERO, samples.clone()))
+                .collect(),
+        )
+    }
+
+    /// Flat trace with one zone spiked to `spike` during `[from_h, to_h)`.
+    fn flat_with_spike(
+        price: u64,
+        n_zones: usize,
+        hours: u64,
+        zone: usize,
+        from_h: u64,
+        to_h: u64,
+        spike: u64,
+    ) -> TraceSet {
+        let base = flat(price, n_zones, hours);
+        let w = Window::new(SimTime::from_hours(from_h), SimTime::from_hours(to_h));
+        redspot_trace::gen::inject_spike(&base, ZoneId(zone), w, m(spike))
+    }
+
+    fn cfg_1zone() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones = vec![ZoneId(0)];
+        cfg
+    }
+
+    fn run_with(traces: &TraceSet, cfg: ExperimentConfig, kind: PolicyKind) -> RunResult {
+        Engine::with_delay_model(traces, SimTime::ZERO, cfg, kind.build(), DelayModel::zero()).run()
+    }
+
+    #[test]
+    fn stable_cheap_market_completes_on_spot() {
+        let traces = flat(270, 1, 40);
+        let r = run_with(&traces, cfg_1zone(), PolicyKind::Periodic);
+        assert!(r.met_deadline);
+        assert!(!r.used_on_demand);
+        assert_eq!(r.od_cost, Price::ZERO);
+        assert_eq!(r.out_of_bid_terminations, 0);
+        // 20h of work at ~55 min/hour effective: 21–23 paid hours at $0.27.
+        let dollars = r.cost_dollars();
+        assert!((5.4..7.0).contains(&dollars), "cost {dollars}");
+        assert!(r.checkpoints >= 15, "checkpoints {}", r.checkpoints);
+        assert_eq!(r.restarts, 1);
+    }
+
+    #[test]
+    fn unaffordable_market_migrates_and_meets_deadline() {
+        let traces = flat(5_000, 1, 40); // always above the $0.81 bid
+        let r = run_with(&traces, cfg_1zone(), PolicyKind::Periodic);
+        assert!(r.met_deadline);
+        assert!(r.used_on_demand);
+        assert_eq!(r.spot_cost, Price::ZERO);
+        // Full 20-hour workload on-demand: the paper's $48 reference.
+        assert_eq!(r.od_cost, Price::from_dollars(48.0));
+        assert_eq!(r.checkpoints, 0);
+    }
+
+    #[test]
+    fn spike_terminates_rolls_back_and_recovers() {
+        let traces = flat_with_spike(300, 1, 60, 0, 5, 8, 2_000);
+        let cfg = cfg_1zone().with_slack_percent(50);
+        let r = run_with(&traces, cfg, PolicyKind::Periodic);
+        assert!(r.met_deadline);
+        assert_eq!(r.out_of_bid_terminations, 1);
+        assert!(r.restarts >= 2, "restarts {}", r.restarts);
+        assert!(!r.used_on_demand);
+        // Paid hours before the spike + after relaunch, all at $0.30.
+        assert!(r.cost_dollars() < 10.0, "cost {}", r.cost_dollars());
+    }
+
+    #[test]
+    fn redundancy_rides_through_single_zone_outage() {
+        // Zone 0 dies for 3 hours; zone 1 never does. With N = 2 the
+        // application keeps computing and never touches on-demand.
+        let traces = flat_with_spike(300, 2, 60, 0, 5, 8, 2_000);
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones = vec![ZoneId(0), ZoneId(1)];
+        let r = run_with(&traces, cfg, PolicyKind::Periodic);
+        assert!(r.met_deadline);
+        assert!(!r.used_on_demand);
+        assert_eq!(r.out_of_bid_terminations, 1); // zone 0 only
+                                                  // Both zones paid for most of the run: roughly twice single-zone.
+        assert!(
+            r.cost_dollars() > 10.0 && r.cost_dollars() < 16.0,
+            "cost {}",
+            r.cost_dollars()
+        );
+    }
+
+    #[test]
+    fn zero_slack_goes_straight_to_on_demand() {
+        let traces = flat(270, 1, 40);
+        let mut cfg = cfg_1zone();
+        cfg.deadline = cfg.app.work; // no slack at all
+        let r = run_with(&traces, cfg, PolicyKind::Periodic);
+        assert!(r.met_deadline);
+        assert!(r.used_on_demand);
+        assert_eq!(r.od_cost, Price::from_dollars(48.0));
+        // The guarantee is exact: with zero slack and nothing committed,
+        // the run finishes precisely at the deadline, not a second later.
+        assert_eq!(r.finished_at, SimTime::ZERO + SimDuration::from_hours(20));
+    }
+
+    #[test]
+    fn event_log_is_ordered_and_complete() {
+        let traces = flat_with_spike(300, 1, 60, 0, 5, 8, 2_000);
+        let cfg = cfg_1zone().with_slack_percent(50);
+        let r = run_with(&traces, cfg, PolicyKind::Periodic);
+        assert!(!r.events.is_empty());
+        assert!(r.events.windows(2).all(|w| w[0].at() <= w[1].at()));
+        assert!(matches!(r.events.last(), Some(Event::Completed { .. })));
+        let commits = r
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::CheckpointCommitted { .. }))
+            .count() as u32;
+        assert_eq!(commits, r.checkpoints);
+    }
+
+    #[test]
+    fn no_events_recorded_when_disabled() {
+        let traces = flat(270, 1, 40);
+        let mut cfg = cfg_1zone();
+        cfg.record_events = false;
+        let r = run_with(&traces, cfg, PolicyKind::Periodic);
+        assert!(r.events.is_empty());
+        assert!(r.met_deadline);
+    }
+
+    #[test]
+    fn edge_policy_checkpoints_on_rising_prices() {
+        // Price rises (within bid) every few steps: Edge checkpoints often.
+        let mut samples = Vec::new();
+        for i in 0..(60 * 12) {
+            samples.push(m(if i % 4 < 2 { 300 } else { 400 }));
+        }
+        let traces = TraceSet::new(vec![PriceSeries::new(SimTime::ZERO, samples)]);
+        let cfg = cfg_1zone().with_slack_percent(50);
+        let r = run_with(&traces, cfg, PolicyKind::RisingEdge);
+        assert!(r.met_deadline);
+        assert!(r.checkpoints > 10, "edge checkpoints {}", r.checkpoints);
+    }
+
+    #[test]
+    fn edge_policy_never_checkpoints_on_flat_prices() {
+        let traces = flat(270, 1, 60);
+        let cfg = cfg_1zone().with_slack_percent(50);
+        let r = run_with(&traces, cfg, PolicyKind::RisingEdge);
+        assert!(r.met_deadline);
+        assert!(!r.used_on_demand);
+        // Only the deadline guard's protective checkpoints, if any.
+        assert!(r.checkpoints <= 8, "checkpoints {}", r.checkpoints);
+    }
+
+    #[test]
+    fn markov_daly_completes_cheaply_on_stable_market() {
+        let traces = flat(270, 1, 60);
+        let r = run_with(&traces, cfg_1zone(), PolicyKind::MarkovDaly);
+        assert!(r.met_deadline);
+        assert!(!r.used_on_demand);
+        // Stable market → long Daly interval → few checkpoints.
+        assert!(r.checkpoints < 10, "checkpoints {}", r.checkpoints);
+        assert!(r.cost_dollars() < 6.5, "cost {}", r.cost_dollars());
+    }
+
+    #[test]
+    fn large_bid_survives_spike_at_a_price() {
+        // Spike to $19 for two hours: Large-bid (naive) keeps running and
+        // pays the spiked hours.
+        let traces = flat_with_spike(300, 1, 60, 0, 5, 7, 19_000);
+        let mut cfg = cfg_1zone().with_slack_percent(50);
+        cfg.bid = crate::policy::large_bid::LARGE_BID;
+        let policy = Box::new(crate::policy::LargeBidPolicy::naive());
+        let r =
+            Engine::with_delay_model(&traces, SimTime::ZERO, cfg, policy, DelayModel::zero()).run();
+        assert!(r.met_deadline);
+        assert_eq!(r.out_of_bid_terminations, 0);
+        // Two spiked hours at ~$19 dominate the cost.
+        assert!(r.cost_dollars() > 38.0, "cost {}", r.cost_dollars());
+    }
+
+    #[test]
+    fn large_bid_threshold_dodges_the_spike() {
+        let traces = flat_with_spike(300, 1, 60, 0, 5, 7, 19_000);
+        let mut cfg = cfg_1zone().with_slack_percent(50);
+        cfg.bid = crate::policy::large_bid::LARGE_BID;
+        let policy = Box::new(crate::policy::LargeBidPolicy::new(m(810)));
+        let r =
+            Engine::with_delay_model(&traces, SimTime::ZERO, cfg, policy, DelayModel::zero()).run();
+        assert!(r.met_deadline);
+        // Stopped during the spike, resumed after: far cheaper than naive.
+        assert!(r.cost_dollars() < 30.0, "cost {}", r.cost_dollars());
+        assert!(r.restarts >= 2);
+    }
+
+    #[test]
+    fn on_demand_baseline_matches_reference_line() {
+        let cfg = ExperimentConfig::paper_default();
+        let r = on_demand_run(SimTime::from_hours(1), &cfg);
+        assert_eq!(r.cost, Price::from_dollars(48.0));
+        assert_eq!(r.finished_at, SimTime::from_hours(21));
+        assert!(r.met_deadline);
+    }
+
+    #[test]
+    fn adaptive_mutators_change_future_behavior() {
+        let traces = flat(270, 3, 60);
+        let cfg = ExperimentConfig::paper_default();
+        let mut e = Engine::with_delay_model(
+            &traces,
+            SimTime::ZERO,
+            cfg,
+            PolicyKind::Periodic.build(),
+            DelayModel::zero(),
+        );
+        // Run a few steps, then deactivate two zones.
+        for _ in 0..6 {
+            e.step();
+        }
+        assert!(e.zone_state(1).is_billable());
+        e.set_active(1, false);
+        e.set_active(2, false);
+        e.set_bid(m(470));
+        assert_eq!(e.bid(), m(470));
+        let r = e.run();
+        assert!(r.met_deadline);
+        // Retired zones each paid only the hours before retirement; the
+        // full three-zone run would cost ≈ 3 × 22 h × $0.27 ≈ $17.8.
+        assert!(r.cost_dollars() < 13.0, "cost {}", r.cost_dollars());
+    }
+
+    #[test]
+    fn deterministic_across_reruns() {
+        let traces = flat_with_spike(300, 3, 60, 1, 4, 9, 2_000);
+        let cfg = ExperimentConfig::paper_default().with_seed(99);
+        let a = run_with(&traces, cfg.clone(), PolicyKind::MarkovDaly);
+        let b = run_with(&traces, cfg, PolicyKind::MarkovDaly);
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use redspot_ckpt::AppSpec;
+    use redspot_trace::{PriceSeries, ZoneId};
+
+    fn m(v: u64) -> Price {
+        Price::from_millis(v)
+    }
+
+    fn flat(price: u64, n_zones: usize, hours: u64) -> TraceSet {
+        let samples = vec![m(price); (hours * 12) as usize];
+        TraceSet::new(
+            (0..n_zones)
+                .map(|_| PriceSeries::new(SimTime::ZERO, samples.clone()))
+                .collect(),
+        )
+    }
+
+    fn engine(traces: &TraceSet, cfg: ExperimentConfig) -> Engine<'_> {
+        Engine::with_delay_model(
+            traces,
+            SimTime::ZERO,
+            cfg,
+            PolicyKind::Periodic.build(),
+            DelayModel::zero(),
+        )
+    }
+
+    #[test]
+    fn iterative_apps_commit_whole_iterations() {
+        let traces = flat(270, 1, 60);
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones = vec![ZoneId(0)];
+        cfg.app =
+            AppSpec::new(SimDuration::from_hours(20)).with_iteration(SimDuration::from_mins(42));
+        let r = engine(&traces, cfg).run();
+        assert!(r.met_deadline);
+        let it = 42 * 60;
+        for e in &r.events {
+            if let Event::CheckpointCommitted { position, .. } = e {
+                assert!(
+                    position.secs() % it == 0 || *position == SimDuration::from_hours(20),
+                    "commit at {position} is not an iteration boundary"
+                );
+            }
+        }
+        assert!(r.checkpoints > 5);
+    }
+
+    #[test]
+    fn iteration_quantization_costs_a_little_extra() {
+        let traces = flat(270, 1, 60);
+        // Generous slack: quantization should then cost (almost) nothing —
+        // commits land one partial iteration earlier but nothing migrates.
+        let mut smooth = ExperimentConfig::paper_default().with_slack_percent(50);
+        smooth.zones = vec![ZoneId(0)];
+        smooth.record_events = false;
+        let mut chunky = smooth.clone();
+        chunky.app =
+            AppSpec::new(SimDuration::from_hours(20)).with_iteration(SimDuration::from_mins(50));
+        let r_smooth = engine(&traces, smooth.clone()).run();
+        let r_chunky = engine(&traces, chunky.clone()).run();
+        assert!(r_smooth.met_deadline && r_chunky.met_deadline);
+        assert!(!r_chunky.used_on_demand);
+        assert!(r_chunky.cost_dollars() <= r_smooth.cost_dollars() + 1.0);
+
+        // At tight slack the committed-progress lag from coarse iterations
+        // is real: the guard may buy the tail on-demand — but the deadline
+        // still holds (the paper's guarantee is unconditional).
+        let tight = chunky.with_slack_percent(15);
+        let r_tight = engine(&traces, tight).run();
+        assert!(r_tight.met_deadline);
+    }
+
+    #[test]
+    fn deadline_extension_keeps_run_on_spot() {
+        // A market that turns expensive at hour 4 and recovers at hour 12:
+        // with the original 23h deadline the guard must migrate; extending
+        // the deadline mid-run lets the engine ride out the outage.
+        let base = flat(300, 1, 80);
+        let w = redspot_trace::Window::new(SimTime::from_hours(4), SimTime::from_hours(12));
+        let traces = redspot_trace::gen::inject_spike(&base, ZoneId(0), w, m(5_000));
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones = vec![ZoneId(0)];
+        cfg.record_events = false;
+
+        // Control: no extension → on-demand fallback.
+        let control = engine(&traces, cfg.clone()).run();
+        assert!(control.used_on_demand);
+
+        // Extended: at hour 2 the user moves the deadline to 36 h.
+        let mut e = engine(&traces, cfg);
+        while e.now() < SimTime::from_hours(2) {
+            e.step();
+        }
+        assert!(e.set_deadline(SimTime::from_hours(36)));
+        let extended = e.run();
+        assert!(extended.met_deadline);
+        assert!(!extended.used_on_demand, "extension should avoid on-demand");
+        assert!(extended.cost_dollars() < control.cost_dollars());
+    }
+
+    #[test]
+    fn deadline_shrink_reports_infeasibility_but_still_tries() {
+        let traces = flat(270, 1, 60);
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones = vec![ZoneId(0)];
+        cfg.record_events = false;
+        let mut e = engine(&traces, cfg);
+        while e.now() < SimTime::from_hours(1) {
+            e.step();
+        }
+        // 19h of work left but only 2h allowed: infeasible.
+        assert!(!e.set_deadline(SimTime::from_hours(3)));
+        let r = e.run();
+        assert!(!r.met_deadline);
+        // It still migrated immediately and finished as fast as possible.
+        assert!(r.used_on_demand);
+    }
+
+    #[test]
+    fn io_server_accounting_tracks_spot_time_only() {
+        let traces = flat(270, 1, 60);
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones = vec![ZoneId(0)];
+        cfg.record_events = false;
+        cfg.io_server = Some(Price::from_dollars(0.10));
+        let r = engine(&traces, cfg).run();
+        assert!(r.met_deadline);
+        // ~22 spot hours at $0.10.
+        let io = r.io_cost.as_dollars();
+        assert!((1.5..3.5).contains(&io), "io cost {io}");
+        assert_eq!(r.cost, r.spot_cost + r.od_cost + r.io_cost);
+
+        // A fully on-demand run needs no I/O server.
+        let expensive = flat(9_000, 1, 60);
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones = vec![ZoneId(0)];
+        cfg.record_events = false;
+        cfg.io_server = Some(Price::from_dollars(0.10));
+        let r = engine(&expensive, cfg).run();
+        assert_eq!(r.io_cost, Price::ZERO);
+    }
+
+    #[test]
+    fn snapshot_reflects_engine_state() {
+        let traces = flat(270, 2, 60);
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones = vec![ZoneId(0), ZoneId(1)];
+        let mut e = engine(&traces, cfg);
+        let s0 = e.snapshot();
+        assert_eq!(s0.committed, SimDuration::ZERO);
+        assert!(!s0.done);
+        assert_eq!(s0.zones.len(), 2);
+        for _ in 0..30 {
+            e.step();
+        }
+        let s1 = e.snapshot();
+        assert!(s1.now > s0.now);
+        assert!(s1.committed > SimDuration::ZERO);
+        assert!(s1.best_position >= s1.committed);
+        assert_eq!(s1.remaining + s1.committed, SimDuration::from_hours(20));
+        assert!(s1.zones.iter().any(|z| z.state.is_up()));
+        // Serializable for dashboards.
+        let json = serde_json::to_string(&s1).unwrap();
+        assert!(json.contains("committed"));
+        let r = e.run();
+        assert!(r.met_deadline);
+    }
+
+    #[test]
+    fn io_accounting_disabled_by_default() {
+        let traces = flat(270, 1, 60);
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones = vec![ZoneId(0)];
+        cfg.record_events = false;
+        let r = engine(&traces, cfg).run();
+        assert_eq!(r.io_cost, Price::ZERO);
+    }
+}

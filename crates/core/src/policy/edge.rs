@@ -1,0 +1,88 @@
+//! Rising Edge policy (Section 4.3): checkpoint whenever the spot price
+//! of an executing zone moves upward — an upward move signals `S > B` may
+//! be imminent, so progress is saved immediately.
+//! `ScheduleNextCheckpoint()` is a no-op; the decision is instantaneous.
+
+use crate::policy::{Policy, PolicyCtx};
+
+/// Checkpoint on rising price edges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgePolicy {
+    /// The 5-minute step index last acted on, so one edge triggers exactly
+    /// one checkpoint even though the engine revisits the same step for
+    /// other events.
+    last_step: Option<u64>,
+}
+
+impl EdgePolicy {
+    /// Construct the policy.
+    pub fn new() -> EdgePolicy {
+        EdgePolicy { last_step: None }
+    }
+}
+
+impl Policy for EdgePolicy {
+    fn name(&self) -> &'static str {
+        "Rising-Edge"
+    }
+
+    fn checkpoint_now(&mut self, ctx: &PolicyCtx) -> bool {
+        let step = ctx.now.price_step_index();
+        if self.last_step == Some(step) {
+            return false;
+        }
+        let edge = (0..ctx.zone_ids.len()).any(|i| ctx.up[i] && ctx.rising_edge(i));
+        if edge {
+            self.last_step = Some(step);
+        }
+        edge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_util::ctx_fixture;
+    use redspot_trace::{Price, PriceSeries, SimTime, TraceSet};
+
+    #[test]
+    fn flat_prices_never_trigger() {
+        let fx = ctx_fixture();
+        let mut p = EdgePolicy::new();
+        for step in 0..10 {
+            let ctx = fx.ctx(SimTime::from_secs(step * 300), None);
+            assert!(!p.checkpoint_now(&ctx));
+        }
+    }
+
+    #[test]
+    fn rising_edge_triggers_once_per_step() {
+        let mut fx = ctx_fixture();
+        let m = |v: u64| Price::from_millis(v);
+        let zone = PriceSeries::new(SimTime::ZERO, vec![m(270), m(500), m(500), m(700)]);
+        let flat = PriceSeries::new(SimTime::ZERO, vec![m(270); 4]);
+        fx.traces = TraceSet::new(vec![zone, flat.clone(), flat]);
+        let mut p = EdgePolicy::new();
+
+        let t = SimTime::from_secs(300);
+        assert!(p.checkpoint_now(&fx.ctx(t, None)));
+        // Revisiting the same step (another engine event) must not re-fire.
+        assert!(!p.checkpoint_now(&fx.ctx(SimTime::from_secs(400), None)));
+        // Flat step: no trigger.
+        assert!(!p.checkpoint_now(&fx.ctx(SimTime::from_secs(600), None)));
+        // Next rise fires again.
+        assert!(p.checkpoint_now(&fx.ctx(SimTime::from_secs(900), None)));
+    }
+
+    #[test]
+    fn edges_in_non_executing_zones_are_ignored() {
+        let mut fx = ctx_fixture();
+        let m = |v: u64| Price::from_millis(v);
+        let rising = PriceSeries::new(SimTime::ZERO, vec![m(270), m(500)]);
+        let flat = PriceSeries::new(SimTime::ZERO, vec![m(270); 2]);
+        // Rising zone is index 1, but only zone 0 is executing.
+        fx.traces = TraceSet::new(vec![flat.clone(), rising, flat]);
+        let mut p = EdgePolicy::new();
+        assert!(!p.checkpoint_now(&fx.ctx(SimTime::from_secs(300), None)));
+    }
+}

@@ -1,0 +1,183 @@
+//! Threshold policy (Section 4.4, after Jung et al.): Rising Edge plus
+//! two filters that cut Edge's checkpoint overhead.
+//!
+//! A checkpoint is taken when either
+//! 1. the price shows a rising edge **and** has climbed past
+//!    `PriceThresh = (S_min + B) / 2`, or
+//! 2. the time executed at bid `B` since the last checkpoint/restart
+//!    exceeds `TimeThresh`, the probabilistic average up-time of the zone.
+
+use crate::policy::markov_daly::{HISTORY, MARKOV_BIN_MILLIS};
+use crate::policy::{Policy, PolicyCtx};
+use redspot_markov::MarkovModel;
+use redspot_trace::{Price, SimDuration, SimTime, Window};
+
+/// Edge checkpointing filtered by price and time thresholds.
+pub struct ThresholdPolicy {
+    /// Running minimum observed price per configured zone.
+    min_price: Vec<Price>,
+    /// `TimeThresh`: probabilistic average up-time, refreshed at each
+    /// reschedule.
+    time_thresh: Option<SimDuration>,
+    /// Edge dedup, as in [`crate::policy::EdgePolicy`].
+    last_step: Option<u64>,
+}
+
+impl ThresholdPolicy {
+    /// Construct the policy.
+    pub fn new() -> ThresholdPolicy {
+        ThresholdPolicy {
+            min_price: Vec::new(),
+            time_thresh: None,
+            last_step: None,
+        }
+    }
+
+    /// Current `TimeThresh` (exposed for tests).
+    pub fn time_thresh(&self) -> Option<SimDuration> {
+        self.time_thresh
+    }
+
+    fn observe_prices(&mut self, ctx: &PolicyCtx) {
+        if self.min_price.len() != ctx.zone_ids.len() {
+            self.min_price = vec![Price::MAX_OBSERVED_SPOT * 100; ctx.zone_ids.len()];
+        }
+        for i in 0..ctx.zone_ids.len() {
+            let p = ctx.price(i);
+            if p < self.min_price[i] {
+                self.min_price[i] = p;
+            }
+        }
+    }
+}
+
+impl Default for ThresholdPolicy {
+    fn default() -> ThresholdPolicy {
+        ThresholdPolicy::new()
+    }
+}
+
+impl Policy for ThresholdPolicy {
+    fn name(&self) -> &'static str {
+        "Threshold"
+    }
+
+    fn checkpoint_now(&mut self, ctx: &PolicyCtx) -> bool {
+        self.observe_prices(ctx);
+
+        // Condition 2: executed longer than the zone's average up-time.
+        if let Some(tt) = self.time_thresh {
+            if ctx.now.since(ctx.last_commit_or_restart) > tt {
+                return true;
+            }
+        }
+
+        // Condition 1: rising edge that has climbed past PriceThresh.
+        let step = ctx.now.price_step_index();
+        if self.last_step == Some(step) {
+            return false;
+        }
+        let hit = (0..ctx.zone_ids.len()).any(|i| {
+            ctx.up[i] && ctx.rising_edge(i) && ctx.price(i) >= self.min_price[i].midpoint(ctx.bid)
+        });
+        if hit {
+            self.last_step = Some(step);
+        }
+        hit
+    }
+
+    fn reschedule(&mut self, ctx: &PolicyCtx) {
+        // TimeThresh from the leading zone's Markov model; falls back to
+        // the first configured zone when idle.
+        let zone = ctx.leader.unwrap_or(0);
+        let hist_start = ctx.now.saturating_sub(HISTORY).max(ctx.traces.start());
+        if ctx.now <= hist_start {
+            self.time_thresh = None;
+            return;
+        }
+        let window = Window::new(hist_start, ctx.now);
+        let model = MarkovModel::with_bin(
+            ctx.traces.zone(ctx.zone_ids[zone]),
+            window,
+            MARKOV_BIN_MILLIS,
+        );
+        let avg = model.average_uptime(ctx.bid);
+        self.time_thresh = (avg > SimDuration::ZERO).then_some(avg);
+    }
+
+    fn alarm(&self, ctx: &PolicyCtx) -> Option<SimTime> {
+        let tt = self.time_thresh?;
+        let t = ctx.last_commit_or_restart + tt + SimDuration::from_secs(1);
+        (t > ctx.now).then_some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_util::ctx_fixture;
+    use redspot_trace::{PriceSeries, SimTime, TraceSet};
+
+    fn m(v: u64) -> Price {
+        Price::from_millis(v)
+    }
+
+    #[test]
+    fn small_edges_below_price_threshold_are_filtered() {
+        let mut fx = ctx_fixture();
+        // Rising edge from 270 to 300, bid 810: PriceThresh = (270+810)/2
+        // = 540 > 300 → filtered out (this is the saving over plain Edge).
+        let z = PriceSeries::new(SimTime::ZERO, vec![m(270), m(300), m(300)]);
+        let flat = PriceSeries::new(SimTime::ZERO, vec![m(270); 3]);
+        fx.traces = TraceSet::new(vec![z, flat.clone(), flat]);
+        let mut p = ThresholdPolicy::new();
+        assert!(!p.checkpoint_now(&fx.ctx(SimTime::from_secs(300), None)));
+    }
+
+    #[test]
+    fn large_edges_past_threshold_trigger() {
+        let mut fx = ctx_fixture();
+        // Edge from 270 to 600 ≥ PriceThresh 540 (min starts at 270).
+        let z = PriceSeries::new(SimTime::ZERO, vec![m(270), m(600), m(600)]);
+        let flat = PriceSeries::new(SimTime::ZERO, vec![m(270); 3]);
+        fx.traces = TraceSet::new(vec![z, flat.clone(), flat]);
+        let mut p = ThresholdPolicy::new();
+        // Observe the first step so min_price is 270.
+        assert!(!p.checkpoint_now(&fx.ctx(SimTime::from_secs(0), None)));
+        assert!(p.checkpoint_now(&fx.ctx(SimTime::from_secs(300), None)));
+        // Deduped within the step.
+        assert!(!p.checkpoint_now(&fx.ctx(SimTime::from_secs(400), None)));
+    }
+
+    #[test]
+    fn time_threshold_fires_after_average_uptime() {
+        let fx = ctx_fixture(); // flat prices
+        let mut p = ThresholdPolicy::new();
+        p.reschedule(&fx.ctx(SimTime::from_hours(4), None));
+        let tt = p
+            .time_thresh()
+            .expect("affordable market has an average uptime");
+        assert!(tt > SimDuration::ZERO);
+        // Before the threshold: quiet; after: fire.
+        let before = fx.ctx(SimTime::ZERO + tt, None);
+        assert!(!p.checkpoint_now(&before));
+        let after = fx.ctx(SimTime::ZERO + tt + SimDuration::from_secs(2), None);
+        assert!(p.checkpoint_now(&after));
+        // Alarm points just past the expiry.
+        let early = fx.ctx(SimTime::ZERO, None);
+        assert_eq!(
+            p.alarm(&early),
+            Some(SimTime::ZERO + tt + SimDuration::from_secs(1))
+        );
+    }
+
+    #[test]
+    fn no_time_threshold_when_unaffordable() {
+        let mut fx = ctx_fixture();
+        fx.bid = m(100);
+        let mut p = ThresholdPolicy::new();
+        p.reschedule(&fx.ctx(SimTime::from_hours(4), None));
+        assert_eq!(p.time_thresh(), None);
+        assert_eq!(p.alarm(&fx.ctx(SimTime::from_hours(4), None)), None);
+    }
+}

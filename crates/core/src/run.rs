@@ -1,0 +1,218 @@
+//! Run results and event telemetry.
+
+use redspot_trace::{Price, SimDuration, SimTime, ZoneId};
+use serde::{Deserialize, Serialize};
+
+/// Why an instance stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TerminationCause {
+    /// Spot price exceeded the instance's bid (EC2-initiated).
+    OutOfBid,
+    /// The scheduler stopped it (retire, migration, completion).
+    Voluntary,
+}
+
+/// One entry in a run's event log — enough to reconstruct the Figure-1 /
+/// Figure-3 style mechanics diagrams.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A spot request was submitted for `zone` at bid `bid`.
+    Requested {
+        /// When.
+        at: SimTime,
+        /// Which zone.
+        zone: ZoneId,
+        /// Bid attached to the request.
+        bid: Price,
+    },
+    /// The instance finished booting and its replica started executing.
+    Started {
+        /// When.
+        at: SimTime,
+        /// Which zone.
+        zone: ZoneId,
+        /// Replica position it resumed from.
+        from: SimDuration,
+    },
+    /// A zone entered the waiting state (affordable, deliberately idle).
+    Waiting {
+        /// When.
+        at: SimTime,
+        /// Which zone.
+        zone: ZoneId,
+    },
+    /// An instance stopped.
+    Terminated {
+        /// When.
+        at: SimTime,
+        /// Which zone.
+        zone: ZoneId,
+        /// Why.
+        cause: TerminationCause,
+        /// Charge finalized for the run that just ended.
+        charged: Price,
+    },
+    /// A checkpoint began on the leading zone.
+    CheckpointStarted {
+        /// When.
+        at: SimTime,
+        /// Zone writing the checkpoint.
+        zone: ZoneId,
+        /// Application position being saved.
+        position: SimDuration,
+    },
+    /// The checkpoint committed.
+    CheckpointCommitted {
+        /// When.
+        at: SimTime,
+        /// Durable progress after the commit.
+        position: SimDuration,
+    },
+    /// A checkpoint was aborted (the writing zone was terminated).
+    CheckpointAborted {
+        /// When.
+        at: SimTime,
+        /// Zone that was writing it.
+        zone: ZoneId,
+    },
+    /// The deadline guard fired: execution migrated to on-demand.
+    SwitchedToOnDemand {
+        /// When.
+        at: SimTime,
+        /// Committed progress at the switch.
+        committed: SimDuration,
+    },
+    /// A full billing hour was charged on a spot instance.
+    HourCharged {
+        /// Boundary instant.
+        at: SimTime,
+        /// Which zone.
+        zone: ZoneId,
+        /// Rate fixed at the start of the charged hour.
+        rate: Price,
+    },
+    /// The user moved the deadline at runtime (Section 3.2).
+    DeadlineChanged {
+        /// When.
+        at: SimTime,
+        /// New absolute deadline.
+        deadline: SimTime,
+        /// Whether the guarantee still holds for the new deadline.
+        feasible: bool,
+    },
+    /// The adaptive controller switched configuration.
+    AdaptiveSwitch {
+        /// When.
+        at: SimTime,
+        /// Human-readable description of the new permutation.
+        to: String,
+    },
+    /// The application completed.
+    Completed {
+        /// When.
+        at: SimTime,
+    },
+}
+
+impl Event {
+    /// The instant the event occurred.
+    pub fn at(&self) -> SimTime {
+        match self {
+            Event::Requested { at, .. }
+            | Event::Started { at, .. }
+            | Event::Waiting { at, .. }
+            | Event::Terminated { at, .. }
+            | Event::CheckpointStarted { at, .. }
+            | Event::CheckpointCommitted { at, .. }
+            | Event::CheckpointAborted { at, .. }
+            | Event::SwitchedToOnDemand { at, .. }
+            | Event::HourCharged { at, .. }
+            | Event::DeadlineChanged { at, .. }
+            | Event::AdaptiveSwitch { at, .. }
+            | Event::Completed { at } => *at,
+        }
+    }
+}
+
+/// Outcome of one simulated experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Total charge: spot + on-demand.
+    pub cost: Price,
+    /// Spot-market portion of the cost.
+    pub spot_cost: Price,
+    /// On-demand portion of the cost.
+    pub od_cost: Price,
+    /// I/O-server portion of the cost (zero unless the experiment enables
+    /// `io_server` accounting).
+    #[serde(default)]
+    pub io_cost: Price,
+    /// Absolute completion time.
+    pub finished_at: SimTime,
+    /// Whether the run completed by the deadline (must always be true —
+    /// Algorithm 1 guarantees it; surfaced for property tests).
+    pub met_deadline: bool,
+    /// Number of committed checkpoints.
+    pub checkpoints: u32,
+    /// Number of replica (re)starts.
+    pub restarts: u32,
+    /// Number of out-of-bid terminations suffered.
+    pub out_of_bid_terminations: u32,
+    /// Whether the run ended on the on-demand market.
+    pub used_on_demand: bool,
+    /// Event log (empty unless `record_events` was set).
+    pub events: Vec<Event>,
+}
+
+impl RunResult {
+    /// Cost in dollars (reporting).
+    pub fn cost_dollars(&self) -> f64 {
+        self.cost.as_dollars()
+    }
+
+    /// Makespan from an experiment start time.
+    pub fn makespan(&self, start: SimTime) -> SimDuration {
+        self.finished_at.since(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_times_are_accessible() {
+        let e = Event::Completed {
+            at: SimTime::from_secs(42),
+        };
+        assert_eq!(e.at(), SimTime::from_secs(42));
+        let e = Event::Requested {
+            at: SimTime::from_secs(7),
+            zone: ZoneId(1),
+            bid: Price::from_dollars(0.81),
+        };
+        assert_eq!(e.at(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn result_helpers() {
+        let r = RunResult {
+            cost: Price::from_dollars(12.0),
+            spot_cost: Price::from_dollars(10.0),
+            od_cost: Price::from_dollars(2.0),
+            io_cost: Price::ZERO,
+            finished_at: SimTime::from_hours(25),
+            met_deadline: true,
+            checkpoints: 3,
+            restarts: 2,
+            out_of_bid_terminations: 1,
+            used_on_demand: true,
+            events: vec![],
+        };
+        assert!((r.cost_dollars() - 12.0).abs() < 1e-12);
+        assert_eq!(
+            r.makespan(SimTime::from_hours(1)),
+            SimDuration::from_hours(24)
+        );
+    }
+}

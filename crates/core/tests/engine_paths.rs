@@ -1,0 +1,239 @@
+//! Targeted tests for engine paths the broad suites don't pin down:
+//! non-contiguous zone subsets, retirement, waiting-state checkpoint
+//! hand-off, billing at boundary coincidences, and degenerate histories.
+
+use redspot_ckpt::AppSpec;
+use redspot_core::{Engine, Event, ExperimentConfig, PolicyKind, TerminationCause};
+use redspot_market::DelayModel;
+use redspot_trace::gen::inject_spike;
+use redspot_trace::{Price, PriceSeries, SimDuration, SimTime, TraceSet, Window, ZoneId};
+
+fn m(v: u64) -> Price {
+    Price::from_millis(v)
+}
+
+fn flat(price: u64, n_zones: usize, hours: u64) -> TraceSet {
+    let samples = vec![m(price); (hours * 12) as usize];
+    TraceSet::new(
+        (0..n_zones)
+            .map(|_| PriceSeries::new(SimTime::ZERO, samples.clone()))
+            .collect(),
+    )
+}
+
+fn engine(traces: &TraceSet, cfg: ExperimentConfig, kind: PolicyKind) -> Engine<'_> {
+    Engine::with_delay_model(traces, SimTime::ZERO, cfg, kind.build(), DelayModel::zero())
+}
+
+#[test]
+fn non_contiguous_zone_subsets_work() {
+    // Use zones {0, 2} of a 3-zone trace where zone 1 (unused) is the
+    // only cheap one — the engine must never touch it.
+    let mut traces = flat(2_000, 3, 60);
+    traces = inject_spike(
+        &traces,
+        ZoneId(1),
+        Window::new(SimTime::ZERO, SimTime::from_hours(60)),
+        m(100),
+    );
+    let mut cfg = ExperimentConfig::paper_default().with_slack_percent(50);
+    cfg.zones = vec![ZoneId(0), ZoneId(2)];
+    cfg.bid = m(2_400);
+    let r = engine(&traces, cfg, PolicyKind::Periodic).run();
+    assert!(r.met_deadline);
+    for e in &r.events {
+        match e {
+            Event::Requested { zone, .. } | Event::Started { zone, .. } => {
+                assert_ne!(*zone, ZoneId(1), "engine used an unconfigured zone");
+            }
+            _ => {}
+        }
+    }
+    // Paid for two expensive zones.
+    assert!(r.cost_dollars() > 48.0, "cost {}", r.cost_dollars());
+}
+
+#[test]
+fn retirement_checkpoints_then_stops_at_boundary() {
+    let traces = flat(300, 2, 60);
+    let mut cfg = ExperimentConfig::paper_default().with_slack_percent(50);
+    cfg.zones = vec![ZoneId(0), ZoneId(1)];
+    let mut e = engine(&traces, cfg, PolicyKind::MarkovDaly);
+    // Let both zones come up, then retire zone 1.
+    while !(e.zone_state(0).is_up() && e.zone_state(1).is_up()) {
+        assert!(!e.step().done, "finished before both zones were up");
+    }
+    e.set_active(1, false);
+    let r = e.run();
+    assert!(r.met_deadline);
+    let voluntary = r
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                Event::Terminated { zone, cause: TerminationCause::Voluntary, .. }
+                if *zone == ZoneId(1)
+            )
+        })
+        .count();
+    assert!(voluntary >= 1, "retired zone never stopped");
+    // The retirement stop happens on an exact hour boundary of its launch.
+    let req = r
+        .events
+        .iter()
+        .find_map(|ev| match ev {
+            Event::Requested { at, zone, .. } if *zone == ZoneId(1) => Some(*at),
+            _ => None,
+        })
+        .expect("zone 1 was requested");
+    let stop = r
+        .events
+        .iter()
+        .find_map(|ev| match ev {
+            Event::Terminated {
+                at,
+                zone,
+                cause: TerminationCause::Voluntary,
+                ..
+            } if *zone == ZoneId(1) => Some(*at),
+            _ => None,
+        })
+        .expect("zone 1 stopped");
+    assert_eq!(
+        (stop.secs() - req.secs()) % 3_600,
+        0,
+        "stop not on a billing boundary"
+    );
+}
+
+#[test]
+fn waiting_zone_restarts_from_fresh_checkpoint() {
+    // Zone 1 is unaffordable for the first 90 minutes, then cheap. It must
+    // enter waiting and start from the checkpoint committed by zone 0.
+    let base = flat(300, 2, 60);
+    let traces = inject_spike(
+        &base,
+        ZoneId(1),
+        Window::new(SimTime::ZERO, SimTime::from_secs(5_400)),
+        m(2_000),
+    );
+    let mut cfg = ExperimentConfig::paper_default().with_slack_percent(50);
+    cfg.zones = vec![ZoneId(0), ZoneId(1)];
+    let r = engine(&traces, cfg, PolicyKind::Periodic).run();
+    assert!(r.met_deadline);
+
+    // Find zone 1's start and the commit just before it.
+    let start1 = r
+        .events
+        .iter()
+        .find_map(|ev| match ev {
+            Event::Started { at, zone, from } if *zone == ZoneId(1) => Some((*at, *from)),
+            _ => None,
+        })
+        .expect("zone 1 eventually started");
+    let last_commit = r
+        .events
+        .iter()
+        .filter_map(|ev| match ev {
+            Event::CheckpointCommitted { at, position } if *at <= start1.0 => Some(*position),
+            _ => None,
+        })
+        .next_back()
+        .expect("a checkpoint committed before zone 1 started");
+    assert_eq!(
+        start1.1, last_commit,
+        "zone 1 did not start from the fresh checkpoint"
+    );
+    assert!(start1.1 > SimDuration::ZERO);
+}
+
+#[test]
+fn out_of_bid_at_exact_hour_boundary_charges_completed_hour() {
+    // Price jumps above the bid exactly at the 2-hour mark (an exact
+    // billing boundary for a zero-delay launch at t = 0): both completed
+    // hours must be charged, and nothing more.
+    let base = flat(300, 1, 60);
+    let traces = inject_spike(
+        &base,
+        ZoneId(0),
+        Window::new(SimTime::from_hours(2), SimTime::from_hours(20)),
+        m(2_000),
+    );
+    let mut cfg = ExperimentConfig::paper_default();
+    cfg.app = AppSpec::new(SimDuration::from_hours(4));
+    cfg.deadline = SimDuration::from_hours(30);
+    cfg.zones = vec![ZoneId(0)];
+    let r = engine(&traces, cfg, PolicyKind::RisingEdge).run();
+    assert!(r.met_deadline);
+    let charged_before_spike: Price = r
+        .events
+        .iter()
+        .filter_map(|ev| match ev {
+            Event::Terminated { at, charged, .. } if *at == SimTime::from_hours(2) => {
+                Some(*charged)
+            }
+            _ => None,
+        })
+        .sum();
+    assert_eq!(charged_before_spike, m(600), "expected exactly 2 x $0.30");
+}
+
+#[test]
+fn run_starting_at_trace_start_has_no_history_but_works() {
+    // Markov-Daly with zero history must degrade gracefully (one-sample
+    // model) rather than panic.
+    let traces = flat(300, 1, 60);
+    let mut cfg = ExperimentConfig::paper_default().with_slack_percent(50);
+    cfg.zones = vec![ZoneId(0)];
+    let r = engine(&traces, cfg, PolicyKind::MarkovDaly).run();
+    assert!(r.met_deadline);
+    assert!(!r.used_on_demand);
+}
+
+#[test]
+fn threshold_policy_full_run_on_volatile_market() {
+    let traces = redspot_trace::gen::GenConfig::high_volatility(23).generate();
+    let mut cfg = ExperimentConfig::paper_default().with_slack_percent(50);
+    cfg.zones = vec![ZoneId(0)];
+    cfg.record_events = false;
+    let r = Engine::new(
+        &traces,
+        SimTime::from_hours(48),
+        cfg,
+        PolicyKind::Threshold.build(),
+    )
+    .run();
+    assert!(r.met_deadline);
+    assert!(
+        r.checkpoints > 0,
+        "threshold never checkpointed on a volatile market"
+    );
+}
+
+#[test]
+fn reactivating_a_zone_rejoins_via_waiting() {
+    let traces = flat(300, 2, 60);
+    let mut cfg = ExperimentConfig::paper_default().with_slack_percent(50);
+    cfg.zones = vec![ZoneId(0), ZoneId(1)];
+    let mut e = engine(&traces, cfg, PolicyKind::Periodic);
+    while !e.zone_state(1).is_up() {
+        e.step();
+    }
+    e.set_active(1, false);
+    // Step past its retirement.
+    for _ in 0..8 {
+        e.step();
+    }
+    assert!(!e.zone_state(1).is_billable(), "zone 1 should be retired");
+    e.set_active(1, true);
+    let r = e.run();
+    assert!(r.met_deadline);
+    // Zone 1 started at least twice: initial + rejoin.
+    let starts = r
+        .events
+        .iter()
+        .filter(|ev| matches!(ev, Event::Started { zone, .. } if *zone == ZoneId(1)))
+        .count();
+    assert!(starts >= 2, "zone 1 never rejoined (starts = {starts})");
+}

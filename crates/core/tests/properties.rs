@@ -1,0 +1,227 @@
+//! Property-based tests for the scheduling engine — above all, the
+//! paper's central guarantee: **every run completes by the deadline**,
+//! whatever the market does and whichever policy is plugged in.
+
+use proptest::prelude::*;
+use redspot_ckpt::{AppSpec, CkptCosts};
+use redspot_core::{on_demand_run, Engine, ExperimentConfig, PolicyKind};
+use redspot_market::DelayModel;
+use redspot_trace::gen::{GenConfig, ZoneRegime};
+use redspot_trace::{Price, SimDuration, SimTime, TraceSet, ZoneId};
+
+/// An arbitrary (but bounded) market: arbitrary regime parameters per
+/// zone, arbitrary seed.
+fn arb_traces() -> impl Strategy<Value = TraceSet> {
+    (
+        0u64..10_000,  // seed
+        100u64..900,   // calm base
+        900u64..4_000, // elevated base
+        0.0f64..0.2,   // p_calm_to_elevated
+        0.01f64..0.3,  // p_elevated_to_calm
+        0.0f64..0.05,  // p_spike
+    )
+        .prop_map(|(seed, calm, elev, p_up, p_down, p_spike)| {
+            let mk = |i: usize| ZoneRegime {
+                calm_base: calm + 10 * i as u64,
+                calm_jitter: calm / 8,
+                p_move: 0.2,
+                elevated_base: elev,
+                elevated_jitter: elev / 8,
+                p_calm_to_elevated: p_up,
+                p_elevated_to_calm: p_down,
+                p_spike,
+                spike_range: (elev, elev * 3),
+                spike_steps: (1, 12),
+            };
+            GenConfig {
+                zones: (0..3).map(mk).collect(),
+                duration: SimDuration::from_hours(24 * 5),
+                start: SimTime::ZERO,
+                seed,
+                common_amplitude: 5,
+            }
+            .generate()
+        })
+}
+
+fn arb_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Periodic),
+        Just(PolicyKind::MarkovDaly),
+        Just(PolicyKind::RisingEdge),
+        Just(PolicyKind::Threshold),
+        (200u64..3_000).prop_map(PolicyKind::LargeBid),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// THE guarantee: any policy, any market, any bid, any slack — the
+    /// run finishes by the deadline, and the accounting adds up.
+    #[test]
+    fn deadline_is_always_met(
+        traces in arb_traces(),
+        kind in arb_policy(),
+        bid_millis in 100u64..3_200,
+        slack_pct in 5u64..60,
+        work_h in 4u64..16,
+        n_zones in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let mut cfg = ExperimentConfig {
+            app: AppSpec::new(SimDuration::from_hours(work_h)),
+            deadline: SimDuration::ZERO,
+            costs: CkptCosts::LOW,
+            bid: Price::from_millis(bid_millis),
+            zones: (0..n_zones).map(ZoneId).collect(),
+            seed,
+            record_events: false,
+            io_server: None,
+        };
+        cfg.deadline = cfg.app.work + SimDuration::from_secs(cfg.app.work.secs() * slack_pct / 100);
+        if let PolicyKind::LargeBid(_) = kind {
+            cfg.bid = redspot_core::policy::large_bid::LARGE_BID;
+            cfg.zones.truncate(1); // Large-bid is strictly single-zone
+        }
+
+        let start = SimTime::from_hours(48);
+        let r = Engine::new(&traces, start, cfg.clone(), kind.build()).run();
+
+        prop_assert!(r.met_deadline, "{kind:?} missed the deadline: finished {} vs deadline {}",
+            r.finished_at, start + cfg.deadline);
+        prop_assert_eq!(r.cost, r.spot_cost + r.od_cost);
+        // (Note: spot cost with zero replica starts is legitimate — a
+        // booting instance user-stopped at migration pays its started
+        // hour without the replica ever executing.)
+        prop_assert!(!r.used_on_demand || r.od_cost > Price::ZERO);
+    }
+
+    /// Checkpoint costs never make the engine *exceed* the guard bound:
+    /// even with enormous checkpoint costs, the deadline holds.
+    #[test]
+    fn deadline_met_with_huge_checkpoint_costs(
+        traces in arb_traces(),
+        tc in 300u64..3_600,
+        seed in 0u64..100,
+    ) {
+        let mut cfg = ExperimentConfig::paper_default().with_slack_percent(20);
+        cfg.costs = CkptCosts::symmetric_secs(tc);
+        cfg.app = AppSpec::new(SimDuration::from_hours(8));
+        cfg.deadline = SimDuration::from_hours(10);
+        cfg.seed = seed;
+        cfg.record_events = false;
+        let r = Engine::new(&traces, SimTime::from_hours(48), cfg, PolicyKind::Periodic.build()).run();
+        prop_assert!(r.met_deadline);
+    }
+
+    /// The engine is a pure function of (traces, config, policy):
+    /// reruns are bit-identical.
+    #[test]
+    fn engine_is_deterministic(traces in arb_traces(), seed in 0u64..500) {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.seed = seed;
+        cfg.app = AppSpec::new(SimDuration::from_hours(6));
+        cfg.deadline = SimDuration::from_hours(8);
+        let start = SimTime::from_hours(48);
+        let a = Engine::new(&traces, start, cfg.clone(), PolicyKind::MarkovDaly.build()).run();
+        let b = Engine::new(&traces, start, cfg, PolicyKind::MarkovDaly.build()).run();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Cost never falls below the theoretical floor: enough spot hours at
+    /// the window's minimum price to cover the work (or zero when the run
+    /// went fully on-demand before spending anything).
+    #[test]
+    fn cost_has_a_physical_floor(traces in arb_traces(), seed in 0u64..200) {
+        let mut cfg = ExperimentConfig::paper_default().with_slack_percent(50);
+        cfg.app = AppSpec::new(SimDuration::from_hours(6));
+        cfg.deadline = SimDuration::from_hours(9);
+        cfg.seed = seed;
+        cfg.zones = vec![ZoneId(0)];
+        cfg.record_events = false;
+        let start = SimTime::from_hours(48);
+        let r = Engine::new(&traces, start, cfg.clone(), PolicyKind::Periodic.build()).run();
+        if !r.used_on_demand {
+            let min_price = traces.zone(ZoneId(0)).min_price();
+            let floor = min_price * 6; // 6 compute hours minimum
+            prop_assert!(r.cost >= floor, "cost {} below physical floor {}", r.cost, floor);
+        }
+        // And never *above* slack-bounded worst case: deadline hours of
+        // on-demand plus deadline hours of spot at the bid.
+        let ceiling = Price::ON_DEMAND * 10 + cfg.bid * 10;
+        prop_assert!(r.cost <= ceiling, "cost {} above ceiling {}", r.cost, ceiling);
+    }
+
+    /// On-demand baseline: exact arithmetic for any workload.
+    #[test]
+    fn on_demand_baseline_is_exact(work_h in 1u64..200, start_h in 0u64..100) {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.app = AppSpec::new(SimDuration::from_hours(work_h));
+        cfg.deadline = SimDuration::from_hours(work_h + 1);
+        let r = on_demand_run(SimTime::from_hours(start_h), &cfg);
+        prop_assert_eq!(r.cost, Price::ON_DEMAND * work_h);
+        prop_assert!(r.met_deadline);
+    }
+
+    /// Engine behaviour is identical under any queuing-delay model bound:
+    /// the deadline holds even with the worst-case 880 s boot every time.
+    #[test]
+    fn worst_case_boot_delays_still_meet_deadline(traces in arb_traces(), seed in 0u64..100) {
+        let mut cfg = ExperimentConfig::paper_default().with_slack_percent(15);
+        cfg.app = AppSpec::new(SimDuration::from_hours(8));
+        cfg.deadline = SimDuration::from_hours(10);
+        cfg.seed = seed;
+        cfg.record_events = false;
+        let r = Engine::with_delay_model(
+            &traces,
+            SimTime::from_hours(48),
+            cfg,
+            PolicyKind::MarkovDaly.build(),
+            DelayModel::constant(880),
+        )
+        .run();
+        prop_assert!(r.met_deadline);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Step-by-step invariants: at every engine step, committed progress
+    /// is monotone, best position never lags committed, costs are
+    /// monotone, and the clock never goes backwards.
+    #[test]
+    fn stepwise_invariants_hold(traces in arb_traces(), seed in 0u64..300) {
+        let mut cfg = ExperimentConfig::paper_default().with_slack_percent(25);
+        cfg.app = AppSpec::new(SimDuration::from_hours(8));
+        cfg.deadline = SimDuration::from_hours(10);
+        cfg.seed = seed;
+        cfg.record_events = false;
+        cfg.io_server = Some(Price::from_dollars(0.10));
+        let mut e = Engine::new(&traces, SimTime::from_hours(48), cfg, PolicyKind::Periodic.build());
+
+        let mut prev = e.snapshot();
+        let mut fuel = 40_000;
+        loop {
+            let report = e.step();
+            let snap = e.snapshot();
+            prop_assert!(snap.now >= prev.now, "clock went backwards");
+            prop_assert!(snap.committed >= prev.committed, "committed regressed");
+            prop_assert!(snap.best_position >= snap.committed);
+            prop_assert!(snap.spot_cost >= prev.spot_cost, "spot cost shrank");
+            prop_assert!(snap.od_cost >= prev.od_cost);
+            prop_assert!(snap.checkpoints >= prev.checkpoints);
+            prop_assert!(snap.now <= snap.deadline, "ran past the deadline while live");
+            prev = snap;
+            if report.done {
+                break;
+            }
+            fuel -= 1;
+            prop_assert!(fuel > 0, "engine failed to terminate");
+        }
+        let r = e.into_result();
+        prop_assert!(r.met_deadline);
+        prop_assert_eq!(r.cost, r.spot_cost + r.od_cost + r.io_cost);
+    }
+}

@@ -1,0 +1,91 @@
+//! The paper's headline claims, checked end-to-end:
+//!
+//! 1. Adaptive is up to **7× cheaper than on-demand**;
+//! 2. Adaptive is up to **44 % cheaper** than the best-case existing
+//!    single-zone policy (high checkpoint cost, low volatility);
+//! 3. Adaptive's cost **never exceeds 20 % above on-demand**;
+//! 4. best-case redundancy beats the best single-zone policy by up to
+//!    **23.9 %** (`t_c` = 300 s) / **56 %** (`t_c` = 900 s) at low slack.
+
+use crate::experiments::fig5::{fig5, Fig5Panel};
+use crate::report::median;
+use crate::setup::PaperSetup;
+
+/// Aggregated headline metrics.
+pub struct Headline {
+    /// Max on-demand / adaptive-median cost ratio across panels.
+    pub best_vs_od: f64,
+    /// Max relative saving of Adaptive vs the best single-zone policy.
+    pub best_vs_single: f64,
+    /// Worst adaptive cost across all panels relative to on-demand.
+    pub worst_vs_od: f64,
+    /// The panels the metrics came from.
+    pub panels: Vec<Fig5Panel>,
+}
+
+/// Compute headline metrics from the full Figure-5 grid.
+pub fn headline(setup: &PaperSetup) -> Headline {
+    let panels = fig5(setup);
+    let mut best_vs_od = 0.0f64;
+    let mut best_vs_single = f64::MIN;
+    let mut worst_vs_od = 0.0f64;
+    for p in &panels {
+        let a = p.adaptive_median();
+        if a > 0.0 {
+            best_vs_od = best_vs_od.max(48.0 / a);
+        }
+        let best_single = [&p.periodic, &p.markov]
+            .into_iter()
+            .filter(|c| !c.is_empty())
+            .map(|c| median(c))
+            .fold(f64::INFINITY, f64::min);
+        if best_single.is_finite() && best_single > 0.0 {
+            best_vs_single = best_vs_single.max((best_single - a) / best_single);
+        }
+        worst_vs_od = worst_vs_od.max(p.adaptive_worst_vs_od());
+    }
+    Headline {
+        best_vs_od,
+        best_vs_single,
+        worst_vs_od,
+        panels,
+    }
+}
+
+/// Render the headline summary against the paper's numbers.
+pub fn render(h: &Headline) -> String {
+    format!(
+        "Headline claims (measured vs paper):\n  \
+         Adaptive vs on-demand:          up to {:.1}x cheaper   (paper: up to 7x)\n  \
+         Adaptive vs best single-zone:   up to {:.1}% cheaper  (paper: up to 44%)\n  \
+         Adaptive worst case:            {:.2}x on-demand      (paper bound: 1.20x)\n",
+        h.best_vs_od,
+        h.best_vs_single * 100.0,
+        h.worst_vs_od,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_claims_hold_in_quick_mode() {
+        let setup = PaperSetup::quick(29);
+        let h = headline(&setup);
+        // Direction and rough magnitude, not exact numbers.
+        assert!(
+            h.best_vs_od > 2.0,
+            "adaptive only {}x cheaper than on-demand",
+            h.best_vs_od
+        );
+        assert!(
+            h.worst_vs_od <= 1.2,
+            "adaptive worst case {}x on-demand",
+            h.worst_vs_od
+        );
+        assert_eq!(h.panels.len(), 8);
+        let text = render(&h);
+        assert!(text.contains("paper: up to 7x"));
+    }
+}

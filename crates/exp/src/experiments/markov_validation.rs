@@ -1,0 +1,169 @@
+//! Validation of the Appendix-B Markov model: does the Chapman-Kolmogorov
+//! expected up-time actually predict how long a zone stays affordable?
+//!
+//! For many `(time, zone)` points in the high-volatility window we build
+//! the model from the preceding two days, predict `E[T_u]` at a bid, and
+//! compare with the *observed* time until the price first exceeds the bid.
+//! A useful model separates short-lived from long-lived opportunities;
+//! we report the rank correlation proxy (Pearson on log uptimes) and the
+//! mean signed log-error.
+
+use crate::setup::PaperSetup;
+use redspot_core::policy::markov_daly::MARKOV_BIN_MILLIS;
+use redspot_markov::MarkovModel;
+use redspot_stats::descriptive::{correlation, mean};
+use redspot_trace::vol::Volatility;
+use redspot_trace::{Price, SimDuration, SimTime, Window, PRICE_STEP};
+
+/// One prediction/observation pair, log-seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Predicted expected up-time, seconds.
+    pub predicted: f64,
+    /// Observed up-time, seconds.
+    pub observed: f64,
+}
+
+/// Aggregated validation result.
+pub struct MarkovValidation {
+    /// Per-point samples.
+    pub samples: Vec<Sample>,
+    /// Pearson correlation of log-uptimes.
+    pub log_correlation: f64,
+    /// Mean of log(predicted / observed) — bias of the model.
+    pub mean_log_error: f64,
+}
+
+/// Observed time from `t` until the zone's price first exceeds `bid`
+/// (capped at the trace end).
+fn observed_uptime(series: &redspot_trace::PriceSeries, t: SimTime, bid: Price) -> SimDuration {
+    let mut cur = t;
+    loop {
+        match series.next_price_change(cur) {
+            Some((at, price)) => {
+                if price > bid {
+                    return at.since(t);
+                }
+                cur = at;
+            }
+            None => return series.end().since(t),
+        }
+    }
+}
+
+/// Run the validation at `bid` over the high-volatility window.
+pub fn validate(setup: &PaperSetup, bid: Price) -> MarkovValidation {
+    let traces = setup.traces(Volatility::High);
+    let history = SimDuration::from_hours(48);
+    let mut samples = Vec::new();
+    // Every 6 hours, every zone.
+    let mut t = traces.start() + history;
+    while t + SimDuration::from_hours(48) < traces.end() {
+        for z in traces.zone_ids() {
+            let series = traces.zone(z);
+            let price = series.price_at(t);
+            if price > bid {
+                continue; // not up: nothing to predict
+            }
+            let window = Window::new(t.saturating_sub(history), t);
+            let model = MarkovModel::with_bin(series, window, MARKOV_BIN_MILLIS);
+            let predicted = model.expected_uptime(price, bid).secs() as f64;
+            let observed = observed_uptime(series, t, bid).secs() as f64;
+            samples.push(Sample {
+                predicted: predicted.max(PRICE_STEP as f64 / 2.0),
+                observed: observed.max(PRICE_STEP as f64 / 2.0),
+            });
+        }
+        t += SimDuration::from_hours(6);
+    }
+    let logs_p: Vec<f64> = samples.iter().map(|s| s.predicted.ln()).collect();
+    let logs_o: Vec<f64> = samples.iter().map(|s| s.observed.ln()).collect();
+    let log_correlation = correlation(&logs_p, &logs_o).unwrap_or(0.0);
+    let diffs: Vec<f64> = logs_p.iter().zip(&logs_o).map(|(p, o)| p - o).collect();
+    let mean_log_error = mean(&diffs).unwrap_or(0.0);
+    MarkovValidation {
+        samples,
+        log_correlation,
+        mean_log_error,
+    }
+}
+
+/// Render the validation summary.
+pub fn render(v: &MarkovValidation, bid: Price) -> String {
+    format!(
+        "Markov model validation (Appendix B) at bid {bid}:\n  \
+         {} prediction points | log-uptime correlation {:.2} | mean log-error {:+.2} \
+         (e^err = {:.2}x)\n",
+        v.samples.len(),
+        v.log_correlation,
+        v.mean_log_error,
+        v.mean_log_error.exp(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_scale_is_calibrated_on_stochastic_market() {
+        // On the regime-switching generator, spell durations are
+        // geometric, hence *memoryless*: no model can rank-predict the
+        // remaining up-time from the current state (the paper's Section 2
+        // cites Ben-Yehuda et al. on exactly this unpredictability). What
+        // the Markov-Daly policy actually needs is the right *scale* of
+        // E[T_u], which we verify here: within a factor of ~5.
+        let setup = PaperSetup::quick(37);
+        let v = validate(&setup, Price::from_millis(810));
+        assert!(v.samples.len() > 50, "only {} samples", v.samples.len());
+        assert!(
+            v.mean_log_error.abs() < 1.7,
+            "scale bias e^{}",
+            v.mean_log_error
+        );
+        assert!(v
+            .samples
+            .iter()
+            .all(|s| s.predicted > 0.0 && s.observed > 0.0));
+    }
+
+    #[test]
+    fn model_predicts_deterministic_cycles_exactly() {
+        // A deterministic price cycle (each level appears in exactly one
+        // phase) makes the empirical chain deterministic, so Eq. 2-3 must
+        // recover the exact remaining up-time from any phase.
+        use redspot_trace::PriceSeries;
+        let m = |v: u64| Price::from_millis(v);
+        // 6 up phases (distinct levels under the bid), 2 down phases.
+        let cycle = [300u64, 350, 400, 450, 500, 550, 900, 950];
+        let samples: Vec<Price> = (0..400).map(|i| m(cycle[i % cycle.len()])).collect();
+        let series = PriceSeries::new(SimTime::ZERO, samples);
+        let model = MarkovModel::with_bin(&series, Window::new(series.start(), series.end()), 10);
+        let bid = m(810);
+        for (phase, &level) in cycle.iter().enumerate().take(6) {
+            let remaining_steps = 6 - phase;
+            let predicted = model.expected_uptime(m(level), bid);
+            let expected = SimDuration::from_secs(remaining_steps as u64 * PRICE_STEP);
+            assert_eq!(
+                predicted, expected,
+                "phase {phase}: predicted {predicted}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn observed_uptime_is_exact_on_known_series() {
+        use redspot_trace::PriceSeries;
+        let m = |v: u64| Price::from_millis(v);
+        let s = PriceSeries::new(SimTime::ZERO, vec![m(300), m(300), m(300), m(900), m(300)]);
+        assert_eq!(
+            observed_uptime(&s, SimTime::ZERO, m(810)),
+            SimDuration::from_secs(3 * PRICE_STEP)
+        );
+        // Never exceeds the bid: capped at trace end.
+        assert_eq!(
+            observed_uptime(&s, SimTime::from_secs(4 * PRICE_STEP), m(10_000)),
+            SimDuration::from_secs(PRICE_STEP)
+        );
+    }
+}

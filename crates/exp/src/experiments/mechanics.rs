@@ -1,0 +1,227 @@
+//! Figures 1 and 3: the mechanics of spot execution as timeline diagrams.
+//!
+//! The paper's first two figures are hand-drawn illustrations of (1) spot
+//! price movements with state transitions and checkpoint/restart costs,
+//! and (3) the Rising-Edge policy reacting to price movements. This
+//! module renders the same diagrams from an actual engine run: a price
+//! lane (relative to the bid), an instance-state lane, and a progress
+//! lane, each one character per five simulated minutes.
+
+use redspot_ckpt::AppSpec;
+use redspot_core::{Engine, Event, ExperimentConfig, PolicyKind, RunResult};
+use redspot_market::DelayModel;
+use redspot_trace::{Price, PriceSeries, SimDuration, SimTime, TraceSet, ZoneId, PRICE_STEP};
+
+/// A rendered mechanics diagram plus the run behind it.
+pub struct Mechanics {
+    /// The trace used.
+    pub traces: TraceSet,
+    /// The run.
+    pub result: RunResult,
+    /// Bid used.
+    pub bid: Price,
+}
+
+/// The hand-crafted single-zone scenario used by both figures: calm
+/// prices, one out-of-bid outage, then a rising-price episode.
+pub fn scenario() -> TraceSet {
+    let mut samples = Vec::new();
+    for step in 0..96 {
+        let t_h = step as f64 / 12.0;
+        let dollars = if (1.5..2.5).contains(&t_h) {
+            // Prices stepping upward every 15 minutes, still under the
+            // bid: the Figure-3 episode — Edge checkpoints on each rise,
+            // just in time for…
+            0.35 + ((t_h - 1.5) / 0.25).floor() * 0.1
+        } else if (2.5..3.5).contains(&t_h) {
+            // …the out-of-bid outage of Figure 1.
+            1.50
+        } else {
+            0.30
+        };
+        samples.push(Price::from_dollars(dollars));
+    }
+    TraceSet::new(vec![PriceSeries::new(SimTime::ZERO, samples)])
+}
+
+/// Run the scenario under a policy (Periodic ≙ Figure 1's generic
+/// checkpoints; RisingEdge ≙ Figure 3).
+pub fn run(kind: PolicyKind) -> Mechanics {
+    let traces = scenario();
+    let bid = Price::from_millis(810);
+    let mut cfg = ExperimentConfig::paper_default();
+    cfg.app = AppSpec::new(SimDuration::from_hours(5));
+    cfg.deadline = SimDuration::from_hours(8);
+    cfg.zones = vec![ZoneId(0)];
+    cfg.bid = bid;
+    let result = Engine::with_delay_model(
+        &traces,
+        SimTime::ZERO,
+        cfg,
+        kind.build(),
+        DelayModel::constant(150),
+    )
+    .run();
+    Mechanics {
+        traces,
+        result,
+        bid,
+    }
+}
+
+/// Render the three lanes.
+pub fn render(m: &Mechanics) -> String {
+    let hours = 8u64;
+    let cols = (hours * 3_600 / PRICE_STEP) as usize;
+    let zone = ZoneId(0);
+
+    // Price lane: '.' below bid, '^' above.
+    let mut price_lane = String::with_capacity(cols);
+    for c in 0..cols {
+        let t = SimTime::from_secs(c as u64 * PRICE_STEP);
+        price_lane.push(if m.traces.price_at(zone, t) <= m.bid {
+            '.'
+        } else {
+            '^'
+        });
+    }
+
+    // State lane from the event log: U(p), b(ooting), c(heckpointing),
+    // r(estarting — boot after a checkpoint exists), '-' down.
+    let mut state = vec!['-'; cols];
+    let mark = |from: SimTime, to: SimTime, ch: char, state: &mut Vec<char>| {
+        let a = (from.secs() / PRICE_STEP) as usize;
+        let b = (to.secs().div_ceil(PRICE_STEP) as usize).min(cols);
+        for cell in state.iter_mut().take(b).skip(a) {
+            *cell = ch;
+        }
+    };
+    let mut boot_from: Option<(SimTime, bool)> = None; // (requested_at, has_ckpt)
+    let mut up_from: Option<SimTime> = None;
+    let mut ckpt_from: Option<SimTime> = None;
+    let mut committed_any = false;
+    for e in &m.result.events {
+        match e {
+            Event::Requested { at, .. } => boot_from = Some((*at, committed_any)),
+            Event::Started { at, .. } => {
+                if let Some((req, has_ckpt)) = boot_from.take() {
+                    mark(req, *at, if has_ckpt { 'r' } else { 'b' }, &mut state);
+                }
+                up_from = Some(*at);
+            }
+            Event::CheckpointStarted { at, .. } => {
+                if let Some(up) = up_from.take() {
+                    mark(up, *at, 'U', &mut state);
+                }
+                ckpt_from = Some(*at);
+            }
+            Event::CheckpointCommitted { at, .. } | Event::CheckpointAborted { at, .. } => {
+                if let Some(c) = ckpt_from.take() {
+                    mark(c, *at, 'c', &mut state);
+                }
+                if matches!(e, Event::CheckpointCommitted { .. }) {
+                    committed_any = true;
+                }
+                up_from = Some(*at);
+            }
+            Event::Terminated { at, .. } | Event::Completed { at } => {
+                if let Some(up) = up_from.take() {
+                    mark(up, *at, 'U', &mut state);
+                }
+                if let Some(c) = ckpt_from.take() {
+                    mark(c, *at, 'c', &mut state);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Progress lane: committed progress quantized to the timeline.
+    let mut progress = vec![' '; cols];
+    let mut level = 0usize;
+    let mut commits: Vec<(usize, usize)> = m
+        .result
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::CheckpointCommitted { at, position } => Some((
+                (at.secs() / PRICE_STEP) as usize,
+                (position.secs() / (3_600 / 4)) as usize, // quarter-hours of work
+            )),
+            _ => None,
+        })
+        .collect();
+    commits.push((cols, level));
+    let mut cursor = 0usize;
+    for &(col, new_level) in &commits {
+        for cell in progress.iter_mut().take(col.min(cols)).skip(cursor) {
+            *cell = char::from_digit(level as u32 % 36, 36).unwrap_or('#');
+        }
+        cursor = col.min(cols);
+        if new_level > 0 {
+            level = new_level;
+        }
+    }
+
+    let hour_ruler: String = (0..cols)
+        .map(|c| if c % 12 == 0 { '|' } else { ' ' })
+        .collect();
+    format!(
+        "one column = 5 min; hours marked below\n\
+         price : {price_lane}\n\
+         state : {}\n\
+         commit: {}\n\
+         hours : {hour_ruler}\n\
+         legend: price '.'=S<=B '^'=S>B | state U=up b=boot r=restart c=checkpoint '-'=down\n\
+         commit lane digit = committed quarter-hours of work (base 36)\n",
+        state.iter().collect::<String>(),
+        progress.iter().collect::<String>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_periodic_shows_outage_and_recovery() {
+        let m = run(PolicyKind::Periodic);
+        assert!(m.result.met_deadline);
+        assert_eq!(m.result.out_of_bid_terminations, 1);
+        let text = render(&m);
+        assert!(text.contains('^'), "outage must appear in the price lane");
+        assert!(text.contains('U'));
+        assert!(text.contains('c'), "checkpoints must appear");
+        assert!(text.contains('b'), "initial boot must appear");
+    }
+
+    #[test]
+    fn figure3_edge_checkpoints_on_the_ramp() {
+        let m = run(PolicyKind::RisingEdge);
+        assert!(m.result.met_deadline);
+        // Edge checkpoints during the rising episode, so the outage costs
+        // only the progress since the last edge — the Figure-3 story.
+        assert!(m.result.checkpoints >= 1, "ckpts {}", m.result.checkpoints);
+        assert!(
+            !m.result.used_on_demand,
+            "Edge's checkpoint should save the run"
+        );
+        let text = render(&m);
+        assert!(text.lines().count() >= 6);
+    }
+
+    #[test]
+    fn lanes_have_equal_width() {
+        let m = run(PolicyKind::Periodic);
+        let text = render(&m);
+        let widths: Vec<usize> = text
+            .lines()
+            .filter(|l| {
+                l.starts_with("price :") || l.starts_with("state :") || l.starts_with("commit:")
+            })
+            .map(|l| l.len())
+            .collect();
+        assert_eq!(widths.len(), 3);
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{widths:?}");
+    }
+}

@@ -1,0 +1,15 @@
+//! One module per paper experiment (figure/table). Each computes a
+//! structured result and offers a `render` for terminal output; the
+//! `redspot-bench` binaries and the CLI drive these.
+
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod headline;
+pub mod markov_validation;
+pub mod mechanics;
+pub mod queuing;
+pub mod robustness;
+pub mod tables;
+pub mod var_analysis;

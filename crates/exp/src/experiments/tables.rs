@@ -1,0 +1,178 @@
+//! Tables 2 and 3: the optimal policy (and its bid) per evaluation cell.
+
+use crate::experiments::fig4::{sweep_cell, CellData};
+use crate::report::{markdown_table, median};
+use crate::setup::PaperSetup;
+use redspot_trace::vol::Volatility;
+
+/// One table cell: the winning configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Winner {
+    /// Human-readable policy name (e.g. "Periodic", "Redundancy (P)").
+    pub label: String,
+    /// Winning bid, formatted.
+    pub bid: String,
+    /// Winning median cost in dollars.
+    pub median_cost: f64,
+    /// Whether a redundancy-based scheme won.
+    pub redundant: bool,
+}
+
+/// Decide the winner of one sweep cell: lowest median across every
+/// single-zone `(kind, bid)` and every redundancy `(kind, bid)`.
+pub fn winner(cell: &CellData) -> Option<Winner> {
+    let mut best: Option<Winner> = None;
+    let mut consider = |label: String, bid: String, costs: &[f64], redundant: bool| {
+        if costs.is_empty() {
+            return;
+        }
+        let m = median(costs);
+        if best.as_ref().is_none_or(|b| m < b.median_cost) {
+            best = Some(Winner {
+                label,
+                bid,
+                median_cost: m,
+                redundant,
+            });
+        }
+    };
+    for (kind, bid, costs) in &cell.singles {
+        consider(kind.to_string(), bid.to_string(), costs, false);
+    }
+    for (kind, bid, costs) in &cell.reds {
+        consider(
+            format!("Redundancy ({})", kind.label()),
+            bid.to_string(),
+            costs,
+            true,
+        );
+    }
+    best
+}
+
+/// A full Table 2/3: winners for (low/high volatility) × (15 %/50 % slack)
+/// at one checkpoint cost.
+pub struct OptimalPolicyTable {
+    /// Checkpoint cost in seconds (300 → Table 2, 900 → Table 3).
+    pub tc_secs: u64,
+    /// `(volatility, slack %, winner)`.
+    pub cells: Vec<(Volatility, u64, Winner)>,
+}
+
+/// Compute the optimal-policy table for one checkpoint cost.
+pub fn optimal_policies(setup: &PaperSetup, tc_secs: u64) -> OptimalPolicyTable {
+    let mut cells = Vec::new();
+    for vol in [Volatility::Low, Volatility::High] {
+        for slack in [15u64, 50] {
+            let cell = sweep_cell(setup, vol, slack, tc_secs);
+            if let Some(w) = winner(&cell) {
+                cells.push((vol, slack, w));
+            }
+        }
+    }
+    OptimalPolicyTable { tc_secs, cells }
+}
+
+/// Render as a paper-style markdown table.
+pub fn render(table: &OptimalPolicyTable) -> String {
+    let mut rows = Vec::new();
+    for vol in [Volatility::Low, Volatility::High] {
+        let mut row = vec![vol.to_string()];
+        for slack in [15u64, 50] {
+            let cell = table
+                .cells
+                .iter()
+                .find(|(v, s, _)| *v == vol && *s == slack)
+                .map(|(_, _, w)| {
+                    format!("{} (bid = {}, med ${:.2})", w.label, w.bid, w.median_cost)
+                })
+                .unwrap_or_else(|| "—".into());
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+    format!(
+        "Optimal policies, t_c = {} s (paper Table {}):\n{}",
+        table.tc_secs,
+        if table.tc_secs == 300 { "2" } else { "3" },
+        markdown_table(&["Volatility", "Slack 15%", "Slack 50%"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redspot_core::PolicyKind;
+    use redspot_trace::Price;
+
+    fn fake_cell() -> CellData {
+        CellData {
+            volatility: Volatility::Low,
+            slack_pct: 15,
+            tc_secs: 300,
+            singles: vec![
+                (
+                    PolicyKind::Periodic,
+                    Price::from_millis(810),
+                    vec![6.0, 7.0, 8.0],
+                ),
+                (
+                    PolicyKind::MarkovDaly,
+                    Price::from_millis(810),
+                    vec![9.0, 10.0],
+                ),
+            ],
+            reds: vec![(
+                PolicyKind::Periodic,
+                Price::from_millis(810),
+                vec![15.0, 16.0],
+            )],
+        }
+    }
+
+    #[test]
+    fn winner_is_lowest_median() {
+        let w = winner(&fake_cell()).unwrap();
+        assert_eq!(w.label, "Periodic");
+        assert!(!w.redundant);
+        assert_eq!(w.median_cost, 7.0);
+        assert_eq!(w.bid, "$0.81");
+    }
+
+    #[test]
+    fn redundancy_can_win() {
+        let mut cell = fake_cell();
+        cell.reds[0].2 = vec![1.0, 2.0];
+        let w = winner(&cell).unwrap();
+        assert!(w.redundant);
+        assert_eq!(w.label, "Redundancy (P)");
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let table = OptimalPolicyTable {
+            tc_secs: 300,
+            cells: vec![
+                (Volatility::Low, 15, winner(&fake_cell()).unwrap()),
+                (Volatility::Low, 50, winner(&fake_cell()).unwrap()),
+            ],
+        };
+        let text = render(&table);
+        assert!(text.contains("Table 2"));
+        assert!(text.contains("Periodic (bid = $0.81"));
+        assert!(text.contains("| low |"));
+        assert!(text.contains("—")); // missing high-volatility cells
+    }
+
+    #[test]
+    fn empty_cell_has_no_winner() {
+        let cell = CellData {
+            volatility: Volatility::Low,
+            slack_pct: 15,
+            tc_secs: 300,
+            singles: vec![],
+            reds: vec![],
+        };
+        assert!(winner(&cell).is_none());
+    }
+}

@@ -1,0 +1,86 @@
+//! Section 3.1: Vector Auto-Regression over the three zones' prices,
+//! lag order chosen by the Akaike criterion, showing own-zone lagged
+//! effects 1–2 orders of magnitude above cross-zone effects.
+
+use crate::setup::PaperSetup;
+use redspot_stats::{EffectSummary, VarModel};
+use redspot_trace::vol::Volatility;
+
+/// The VAR analysis result for one volatility window.
+pub struct VarAnalysis {
+    /// Regime analysed.
+    pub volatility: Volatility,
+    /// AIC-selected lag order.
+    pub lag: usize,
+    /// Own- vs cross-zone effect magnitudes.
+    pub effects: EffectSummary,
+}
+
+/// Maximum lag order offered to the AIC selection.
+pub const MAX_LAG: usize = 6;
+
+/// Run the analysis on one volatility window.
+pub fn analyse(setup: &PaperSetup, vol: Volatility) -> Option<VarAnalysis> {
+    let traces = setup.traces(vol);
+    let series: Vec<Vec<f64>> = traces
+        .zones()
+        .iter()
+        .map(|z| z.samples().iter().map(|p| p.as_dollars()).collect())
+        .collect();
+    let model = VarModel::fit_auto(&series, MAX_LAG)?;
+    Some(VarAnalysis {
+        volatility: vol,
+        lag: model.p,
+        effects: model.effect_summary(),
+    })
+}
+
+/// Render both windows' analyses.
+pub fn render(analyses: &[VarAnalysis]) -> String {
+    let mut out =
+        String::from("Section 3.1 VAR analysis (own-zone vs cross-zone lagged price effects):\n");
+    for a in analyses {
+        out.push_str(&format!(
+            "  {:>4} volatility: VAR({}) | own {:.4} cross {:.4} | ratio {:.1}x ({:.1} orders of magnitude)\n",
+            a.volatility.to_string(),
+            a.lag,
+            a.effects.own,
+            a.effects.cross,
+            a.effects.ratio(),
+            a.effects.orders_of_magnitude(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zones_are_order_of_magnitude_independent() {
+        let setup = PaperSetup::new(23, 6);
+        for vol in [Volatility::Low, Volatility::High] {
+            let a = analyse(&setup, vol).expect("VAR fits a month of samples");
+            assert!(a.lag >= 1 && a.lag <= MAX_LAG);
+            assert!(
+                a.effects.ratio() > 10.0,
+                "{vol:?}: own/cross ratio only {:.2}",
+                a.effects.ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn render_reports_both_windows() {
+        let setup = PaperSetup::new(23, 6);
+        let analyses: Vec<_> = [Volatility::Low, Volatility::High]
+            .into_iter()
+            .filter_map(|v| analyse(&setup, v))
+            .collect();
+        let text = render(&analyses);
+        assert!(text.contains("low volatility"));
+        assert!(text.contains("high volatility"));
+        assert!(text.contains("orders of magnitude"));
+    }
+}

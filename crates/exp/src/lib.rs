@@ -1,0 +1,22 @@
+//! # redspot-exp
+//!
+//! Experiment harness: the paper's evaluation setup (synthetic low/high
+//! volatility windows, 80 overlapping experiment starts), run-spec sweeps
+//! over bids × zones × policies, a deterministic crossbeam worker pool,
+//! terminal rendering of boxplot figures and markdown tables, and one
+//! module per paper figure/table under [`experiments`].
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod parallel;
+pub mod report;
+pub mod results;
+pub mod scheme;
+pub mod setup;
+pub mod svg;
+pub mod sweep;
+pub mod windows;
+
+pub use scheme::{run_one, RunSpec, Scheme};
+pub use setup::PaperSetup;

@@ -1,0 +1,149 @@
+//! Terminal rendering of the paper's figures and tables: labeled ASCII
+//! boxplot panels (Figures 4–6) and markdown tables (Tables 2–3).
+
+use redspot_core::RunResult;
+use redspot_stats::boxplot::render_row;
+use redspot_stats::Boxplot;
+
+/// The paper's reference lines: on-demand cost ($48.00 for 20 h at
+/// $2.40/h) and the lowest-spot-price cost ($5.40 for 20 h at $0.27/h).
+pub const REF_LINES: [(f64, &str); 2] = [(48.0, "on-demand"), (5.4, "min-spot")];
+
+/// One labeled boxplot row in a panel.
+#[derive(Debug, Clone)]
+pub struct LabeledBox {
+    /// Row label (policy abbreviation, bid, …).
+    pub label: String,
+    /// The five-number summary.
+    pub plot: Boxplot,
+}
+
+impl LabeledBox {
+    /// Summarize a cost sample under a label. Returns `None` on empty data.
+    pub fn from_costs(label: impl Into<String>, costs: &[f64]) -> Option<LabeledBox> {
+        Boxplot::from_samples(costs).map(|plot| LabeledBox {
+            label: label.into(),
+            plot,
+        })
+    }
+}
+
+/// Extract cost-in-dollars samples from run results.
+pub fn dollars(results: &[RunResult]) -> Vec<f64> {
+    results.iter().map(RunResult::cost_dollars).collect()
+}
+
+const PLOT_WIDTH: usize = 56;
+const LABEL_WIDTH: usize = 14;
+
+/// Render a titled boxplot panel with reference lines, matching the
+/// layout of the paper's cost figures.
+pub fn boxplot_panel(title: &str, rows: &[LabeledBox], refs: &[(f64, &str)]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if rows.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let hi_data = rows.iter().map(|r| r.plot.max).fold(0.0f64, f64::max);
+    let hi_ref = refs.iter().map(|&(v, _)| v).fold(0.0f64, f64::max);
+    let hi = (hi_data.max(hi_ref) * 1.05).max(1.0);
+    let lo = 0.0;
+
+    // Reference-line ruler.
+    let mut ruler = vec![b' '; PLOT_WIDTH];
+    for &(v, _) in refs {
+        let pos = (((v - lo) / (hi - lo)).clamp(0.0, 1.0) * (PLOT_WIDTH - 1) as f64) as usize;
+        ruler[pos] = b'!';
+    }
+    let ruler = String::from_utf8(ruler).expect("ASCII");
+    out.push_str(&format!("{:>LABEL_WIDTH$}  {}\n", "", ruler));
+
+    for row in rows {
+        let bar = render_row(&row.plot, lo, hi, PLOT_WIDTH);
+        out.push_str(&format!(
+            "{:>LABEL_WIDTH$}  {}  med ${:.2} (n={})\n",
+            row.label, bar, row.plot.median, row.plot.n
+        ));
+    }
+    out.push_str(&format!(
+        "{:>LABEL_WIDTH$}  ${:.2} … ${:.2}",
+        "scale", lo, hi
+    ));
+    for &(v, name) in refs {
+        out.push_str(&format!("   ! {name} = ${v:.2}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Render a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", headers.join(" | ")));
+    out.push_str(&format!(
+        "|{}|\n",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    ));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Median of a sample (0.0 when empty — report-level convenience).
+pub fn median(xs: &[f64]) -> f64 {
+    redspot_stats::descriptive::median(xs).unwrap_or(0.0)
+}
+
+/// Maximum of a sample (0.0 when empty).
+pub fn maximum(xs: &[f64]) -> f64 {
+    redspot_stats::descriptive::max(xs).unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_renders_rows_and_refs() {
+        let rows = vec![
+            LabeledBox::from_costs("P@$0.27", &[5.0, 6.0, 7.0, 8.0]).unwrap(),
+            LabeledBox::from_costs("R(best)", &[10.0, 12.0, 14.0]).unwrap(),
+        ];
+        let panel = boxplot_panel("Figure 4(a)", &rows, &REF_LINES);
+        assert!(panel.contains("Figure 4(a)"));
+        assert!(panel.contains("P@$0.27"));
+        assert!(panel.contains("med $6.50"));
+        assert!(panel.contains("on-demand = $48.00"));
+        assert!(panel.contains('!'));
+    }
+
+    #[test]
+    fn empty_panel_is_graceful() {
+        let panel = boxplot_panel("empty", &[], &REF_LINES);
+        assert!(panel.contains("(no data)"));
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(
+            &["Volatility", "15%", "50%"],
+            &[vec![
+                "Low".into(),
+                "Periodic".into(),
+                "Periodic/Markov-Daly".into(),
+            ]],
+        );
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.contains("| Low | Periodic |"));
+    }
+
+    #[test]
+    fn helpers_handle_empty() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(maximum(&[]), 0.0);
+        assert!(LabeledBox::from_costs("x", &[]).is_none());
+    }
+}

@@ -1,0 +1,205 @@
+//! SVG rendering of boxplot panels — publication-style output for the
+//! regenerated figures, written without any plotting dependency.
+
+use crate::report::LabeledBox;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Geometry of the rendered panel.
+const ROW_H: f64 = 26.0;
+const PLOT_W: f64 = 560.0;
+const LABEL_W: f64 = 120.0;
+const MARGIN: f64 = 18.0;
+const TITLE_H: f64 = 30.0;
+const AXIS_H: f64 = 34.0;
+
+/// Render a boxplot panel as a standalone SVG document.
+pub fn render_panel(title: &str, rows: &[LabeledBox], refs: &[(f64, &str)]) -> String {
+    let hi_data = rows.iter().map(|r| r.plot.max).fold(0.0f64, f64::max);
+    let hi_ref = refs.iter().map(|&(v, _)| v).fold(0.0f64, f64::max);
+    let hi = (hi_data.max(hi_ref) * 1.05).max(1.0);
+    let x = |v: f64| MARGIN + LABEL_W + (v / hi).clamp(0.0, 1.0) * PLOT_W;
+
+    let height = TITLE_H + rows.len() as f64 * ROW_H + AXIS_H + MARGIN;
+    let width = MARGIN * 2.0 + LABEL_W + PLOT_W + 60.0;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
+    );
+    let _ = write!(
+        s,
+        r#"<style>text{{font-family:Helvetica,Arial,sans-serif;font-size:12px}}.t{{font-size:14px;font-weight:bold}}.r{{stroke-dasharray:4 3}}</style>"#
+    );
+    let _ = write!(s, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    let _ = write!(
+        s,
+        r#"<text class="t" x="{MARGIN}" y="20">{}</text>"#,
+        escape(title)
+    );
+
+    // Reference lines.
+    let top = TITLE_H;
+    let bottom = TITLE_H + rows.len() as f64 * ROW_H;
+    for &(v, name) in refs {
+        let rx = x(v);
+        let _ = write!(
+            s,
+            r##"<line class="r" x1="{rx:.1}" y1="{top:.1}" x2="{rx:.1}" y2="{bottom:.1}" stroke="#b00" stroke-width="1"/>"##
+        );
+        let _ = write!(
+            s,
+            r##"<text x="{:.1}" y="{:.1}" fill="#b00" transform="rotate(-90 {:.1} {:.1})">{}</text>"##,
+            rx + 4.0,
+            top + 60.0,
+            rx + 4.0,
+            top + 60.0,
+            escape(name)
+        );
+    }
+
+    // Rows.
+    for (i, row) in rows.iter().enumerate() {
+        let cy = TITLE_H + i as f64 * ROW_H + ROW_H / 2.0;
+        let b = &row.plot;
+        let _ = write!(
+            s,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"#,
+            MARGIN + LABEL_W - 8.0,
+            cy + 4.0,
+            escape(&row.label)
+        );
+        // Whiskers.
+        let _ = write!(
+            s,
+            r#"<line x1="{:.1}" y1="{cy:.1}" x2="{:.1}" y2="{cy:.1}" stroke="black"/>"#,
+            x(b.whisker_lo),
+            x(b.whisker_hi)
+        );
+        for w in [b.whisker_lo, b.whisker_hi] {
+            let _ = write!(
+                s,
+                r#"<line x1="{0:.1}" y1="{1:.1}" x2="{0:.1}" y2="{2:.1}" stroke="black"/>"#,
+                x(w),
+                cy - 6.0,
+                cy + 6.0
+            );
+        }
+        // Box.
+        let _ = write!(
+            s,
+            r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#9ecbff" stroke="black"/>"##,
+            x(b.q1),
+            cy - 8.0,
+            (x(b.q3) - x(b.q1)).max(1.0),
+            16.0
+        );
+        // Median.
+        let _ = write!(
+            s,
+            r#"<line x1="{0:.1}" y1="{1:.1}" x2="{0:.1}" y2="{2:.1}" stroke="black" stroke-width="2"/>"#,
+            x(b.median),
+            cy - 8.0,
+            cy + 8.0
+        );
+        // Extremes as dots (outliers beyond the whiskers).
+        for v in [b.min, b.max] {
+            if v < b.whisker_lo || v > b.whisker_hi {
+                let _ = write!(
+                    s,
+                    r#"<circle cx="{:.1}" cy="{cy:.1}" r="2.5" fill="black"/>"#,
+                    x(v)
+                );
+            }
+        }
+    }
+
+    // Axis.
+    let ay = bottom + 14.0;
+    let _ = write!(
+        s,
+        r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="black"/>"#,
+        x(0.0),
+        bottom + 4.0,
+        x(hi),
+        bottom + 4.0
+    );
+    let ticks = 6usize;
+    for t in 0..=ticks {
+        let v = hi * t as f64 / ticks as f64;
+        let _ = write!(
+            s,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">${v:.0}</text>"#,
+            x(v),
+            ay + 12.0
+        );
+    }
+    let _ = write!(
+        s,
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">cost per instance ($)</text>"#,
+        x(hi / 2.0),
+        ay + 28.0
+    );
+    s.push_str("</svg>");
+    s
+}
+
+/// Write a panel to a file.
+pub fn save_panel(
+    path: &Path,
+    title: &str,
+    rows: &[LabeledBox],
+    refs: &[(f64, &str)],
+) -> io::Result<()> {
+    std::fs::write(path, render_panel(title, rows, refs))
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<LabeledBox> {
+        vec![
+            LabeledBox::from_costs("P@$0.81", &[5.0, 6.0, 7.0, 9.0]).unwrap(),
+            LabeledBox::from_costs("Adaptive", &[4.0, 5.0, 30.0]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let svg = render_panel("Figure 4(a)", &rows(), &crate::report::REF_LINES);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("Figure 4(a)"));
+        assert!(svg.contains("P@$0.81"));
+        assert!(svg.contains("Adaptive"));
+        // Two rows → two boxes; reference lines dashed.
+        assert_eq!(svg.matches("<rect x=").count(), 2);
+        assert_eq!(svg.matches(r#"class="r""#).count(), 2);
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let r = vec![LabeledBox::from_costs("a<b&c>", &[1.0, 2.0]).unwrap()];
+        let svg = render_panel("t", &r, &[]);
+        assert!(svg.contains("a&lt;b&amp;c&gt;"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let dir = std::env::temp_dir().join("redspot-svg-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("panel.svg");
+        save_panel(&path, "test", &rows(), &[(48.0, "on-demand")]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("</svg>"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Experiment-window layout over a trace (Section 5: "80 experiments over
+//! partially overlapping chunks in each spot price window").
+
+use redspot_trace::{overlapping_windows, SimDuration, SimTime, TraceSet, Window};
+
+/// History required before each experiment start so Markov models and the
+/// adaptive bootstrap have data (the paper uses a 2-day price history).
+pub const BOOTSTRAP: SimDuration = SimDuration::from_hours(48);
+
+/// Lay out `count` experiment start times across `traces`, leaving
+/// [`BOOTSTRAP`] history before each start and `run_span` of trace after
+/// it. Returns the start times.
+pub fn experiment_starts(traces: &TraceSet, run_span: SimDuration, count: usize) -> Vec<SimTime> {
+    let lo = traces.start() + BOOTSTRAP;
+    let hi = traces.end();
+    if lo + run_span > hi {
+        return Vec::new();
+    }
+    let span = Window::new(lo, hi);
+    overlapping_windows(span, run_span, count)
+        .into_iter()
+        .map(|w| w.start())
+        .collect()
+}
+
+/// The run span to reserve for an experiment with deadline `d`: the
+/// deadline plus an hour of padding for trailing billing events.
+pub fn run_span_for(deadline: SimDuration) -> SimDuration {
+    deadline + SimDuration::from_hours(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redspot_trace::gen::GenConfig;
+
+    #[test]
+    fn starts_leave_bootstrap_and_span() {
+        let traces = GenConfig::low_volatility(1).generate(); // 30 days
+        let span = run_span_for(SimDuration::from_hours(30));
+        let starts = experiment_starts(&traces, span, 80);
+        assert_eq!(starts.len(), 80);
+        assert!(starts.iter().all(|&s| s >= traces.start() + BOOTSTRAP));
+        assert!(starts.iter().all(|&s| s + span <= traces.end()));
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+        // Distinct enough to be different experiments.
+        assert!(starts.first() != starts.last());
+    }
+
+    #[test]
+    fn impossible_layout_is_empty() {
+        let traces = GenConfig::low_volatility(1).generate();
+        let too_long = SimDuration::from_hours(24 * 40);
+        assert!(experiment_starts(&traces, too_long, 10).is_empty());
+    }
+}

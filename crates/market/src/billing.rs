@@ -1,0 +1,185 @@
+//! EC2 2014 billing semantics (Section 2.1).
+//!
+//! * **Hour-boundary pricing**: each instance-hour is charged at the spot
+//!   price in effect at the *start* of that hour; in-bid price movement
+//!   within the hour does not change the rate.
+//! * **Partial-hour usage**: an hour cut short by EC2 (out-of-bid
+//!   termination) is **free**; an hour cut short by the *user* (manual
+//!   stop, job completion) is charged in full.
+//! * **On-demand**: fixed $2.40/hour for CC2, charged per started hour.
+
+use redspot_trace::{Price, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// How a spot instance's final (partial) hour ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopCause {
+    /// EC2 terminated the instance (spot price exceeded the bid): the
+    /// in-progress hour is not charged.
+    OutOfBid,
+    /// The user stopped the instance (or the job completed): the started
+    /// hour is charged in full.
+    User,
+}
+
+/// Accrues charges for one spot-instance run (launch → stop).
+///
+/// Billing hours are anchored at the launch instant. The engine must call
+/// [`SpotBilling::on_hour_boundary`] at each anchor-aligned boundary with
+/// the spot price then in effect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpotBilling {
+    launch: SimTime,
+    next_boundary: SimTime,
+    current_rate: Price,
+    accrued: Price,
+}
+
+impl SpotBilling {
+    /// Start billing at launch; `rate` is the spot price at launch, which
+    /// fixes the first hour's charge.
+    pub fn launch(at: SimTime, rate: Price) -> SpotBilling {
+        SpotBilling {
+            launch: at,
+            next_boundary: at.next_hour_boundary(at),
+            current_rate: rate,
+            accrued: Price::ZERO,
+        }
+    }
+
+    /// The next hour boundary at which [`Self::on_hour_boundary`] must be
+    /// called.
+    pub fn next_boundary(&self) -> SimTime {
+        self.next_boundary
+    }
+
+    /// Rate of the hour currently in progress.
+    pub fn current_rate(&self) -> Price {
+        self.current_rate
+    }
+
+    /// Charges committed so far (complete hours only).
+    pub fn accrued(&self) -> Price {
+        self.accrued
+    }
+
+    /// Commit the completed hour and fix the next hour's rate to
+    /// `new_rate` (the spot price at the boundary).
+    ///
+    /// # Panics
+    /// Panics if `at` is not the expected boundary — the engine must not
+    /// skip boundaries, or hours would be mis-charged.
+    pub fn on_hour_boundary(&mut self, at: SimTime, new_rate: Price) {
+        assert_eq!(at, self.next_boundary, "hour boundary out of sequence");
+        self.accrued += self.current_rate;
+        self.current_rate = new_rate;
+        self.next_boundary = at.next_hour_boundary(self.launch);
+    }
+
+    /// Finalize the run at `at`. Out-of-bid stops forfeit (for Amazon) the
+    /// partial hour; user stops pay the full started hour. A stop exactly
+    /// at the current hour's start charges nothing extra (zero seconds of
+    /// it elapsed).
+    pub fn stop(self, at: SimTime, cause: StopCause) -> Price {
+        let hour_start = self
+            .next_boundary
+            .saturating_sub(redspot_trace::SimDuration::from_hours(1));
+        let partial_started = at > hour_start;
+        match cause {
+            StopCause::OutOfBid => self.accrued,
+            StopCause::User => {
+                if partial_started {
+                    self.accrued + self.current_rate
+                } else {
+                    self.accrued
+                }
+            }
+        }
+    }
+}
+
+/// On-demand cost for holding an instance over `[from, to)`: full hours,
+/// charged per started hour at [`Price::ON_DEMAND`].
+pub fn on_demand_cost(from: SimTime, to: SimTime) -> Price {
+    Price::ON_DEMAND * to.since(from).billed_hours()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redspot_trace::SimDuration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn p(d: f64) -> Price {
+        Price::from_dollars(d)
+    }
+
+    #[test]
+    fn out_of_bid_partial_hour_is_free() {
+        let b = SpotBilling::launch(t(0), p(0.30));
+        // Killed 45 minutes in: nothing charged.
+        assert_eq!(b.stop(t(2_700), StopCause::OutOfBid), Price::ZERO);
+    }
+
+    #[test]
+    fn completed_hours_charge_at_hour_start_rate() {
+        let mut b = SpotBilling::launch(t(0), p(0.30));
+        b.on_hour_boundary(t(3_600), p(0.50));
+        // Out-of-bid mid-second-hour: only the first hour is charged, at
+        // its start rate.
+        assert_eq!(b.stop(t(5_000), StopCause::OutOfBid), p(0.30));
+    }
+
+    #[test]
+    fn user_stop_pays_started_hour() {
+        let mut b = SpotBilling::launch(t(0), p(0.30));
+        b.on_hour_boundary(t(3_600), p(0.50));
+        // User stops 10 min into the second hour: pays both hours, second
+        // at its own start rate.
+        assert_eq!(b.stop(t(4_200), StopCause::User), p(0.80));
+    }
+
+    #[test]
+    fn rate_is_fixed_at_hour_start_not_bid() {
+        // Price movement inside the hour is irrelevant; the engine only
+        // reports boundary rates, so this is enforced by construction:
+        let mut b = SpotBilling::launch(t(100), p(0.27));
+        assert_eq!(b.next_boundary(), t(3_700));
+        b.on_hour_boundary(t(3_700), p(1.00));
+        assert_eq!(b.accrued(), p(0.27));
+        assert_eq!(b.current_rate(), p(1.00));
+        assert_eq!(b.next_boundary(), t(7_300));
+    }
+
+    #[test]
+    fn user_stop_exactly_on_boundary_adds_nothing() {
+        let mut b = SpotBilling::launch(t(0), p(0.30));
+        b.on_hour_boundary(t(3_600), p(0.50));
+        // Zero seconds of the new hour elapsed: it never started, so only
+        // the committed first hour is charged.
+        assert_eq!(b.stop(t(3_600), StopCause::User), p(0.30));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of sequence")]
+    fn skipping_boundaries_panics() {
+        let mut b = SpotBilling::launch(t(0), p(0.30));
+        b.on_hour_boundary(t(7_200), p(0.50));
+    }
+
+    #[test]
+    fn on_demand_charges_started_hours() {
+        assert_eq!(on_demand_cost(t(0), t(0)), Price::ZERO);
+        assert_eq!(on_demand_cost(t(0), t(1)), p(2.40));
+        assert_eq!(on_demand_cost(t(0), t(3_600)), p(2.40));
+        assert_eq!(on_demand_cost(t(0), t(3_601)), p(4.80));
+        // The paper's reference line: 20 hours on-demand = $48.
+        assert_eq!(
+            on_demand_cost(t(0), t(0) + SimDuration::from_hours(20)),
+            p(48.0)
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Spot-instance lifecycle (per zone).
+//!
+//! Algorithm 1 distinguishes **down** (out of bid or not requested),
+//! **waiting** (affordable but deliberately not launched, so it can
+//! receive a checkpoint from a running zone first), and **up**. We add a
+//! **booting** state covering the measured spot queuing delay between
+//! request submission and the instance being usable.
+
+use crate::billing::SpotBilling;
+use redspot_trace::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle state of one zone's spot instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InstanceState {
+    /// No instance: out of bid, or not requested.
+    Down,
+    /// Affordable (`S ≤ B`) but intentionally not yet requested
+    /// (Algorithm 1 lines 5–6): the zone waits to restart from the next
+    /// fresh checkpoint instead of immediately paying restart costs.
+    Waiting,
+    /// Spot request submitted; the instance becomes usable at `ready_at`
+    /// (launch + queuing delay). Billing has already started.
+    Booting {
+        /// When the instance becomes usable.
+        ready_at: SimTime,
+    },
+    /// Instance running and executing the application replica.
+    Up,
+}
+
+impl InstanceState {
+    /// Whether a spot instance exists (booting or up) — i.e. whether EC2
+    /// is billing for this zone.
+    pub fn is_billable(self) -> bool {
+        matches!(self, InstanceState::Booting { .. } | InstanceState::Up)
+    }
+
+    /// Whether the replica is executing.
+    pub fn is_up(self) -> bool {
+        self == InstanceState::Up
+    }
+
+    /// Whether the zone is in the waiting state.
+    pub fn is_waiting(self) -> bool {
+        self == InstanceState::Waiting
+    }
+}
+
+/// One zone's instance bookkeeping: lifecycle state plus the billing meter
+/// for the current run, if any.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoneInstance {
+    /// Lifecycle state.
+    pub state: InstanceState,
+    /// Billing meter; `Some` exactly while [`InstanceState::is_billable`].
+    pub billing: Option<SpotBilling>,
+}
+
+impl ZoneInstance {
+    /// A zone with no instance.
+    pub fn down() -> ZoneInstance {
+        ZoneInstance {
+            state: InstanceState::Down,
+            billing: None,
+        }
+    }
+
+    /// Internal consistency between state and billing meter.
+    pub fn is_consistent(&self) -> bool {
+        self.state.is_billable() == self.billing.is_some()
+    }
+}
+
+impl Default for ZoneInstance {
+    fn default() -> ZoneInstance {
+        ZoneInstance::down()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redspot_trace::Price;
+
+    #[test]
+    fn billable_states() {
+        assert!(!InstanceState::Down.is_billable());
+        assert!(!InstanceState::Waiting.is_billable());
+        assert!(InstanceState::Booting {
+            ready_at: SimTime::ZERO
+        }
+        .is_billable());
+        assert!(InstanceState::Up.is_billable());
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(InstanceState::Up.is_up());
+        assert!(!InstanceState::Waiting.is_up());
+        assert!(InstanceState::Waiting.is_waiting());
+        assert!(!InstanceState::Down.is_waiting());
+    }
+
+    #[test]
+    fn consistency_invariant() {
+        let down = ZoneInstance::down();
+        assert!(down.is_consistent());
+        let bad = ZoneInstance {
+            state: InstanceState::Up,
+            billing: None,
+        };
+        assert!(!bad.is_consistent());
+        let good = ZoneInstance {
+            state: InstanceState::Up,
+            billing: Some(SpotBilling::launch(SimTime::ZERO, Price::from_dollars(0.3))),
+        };
+        assert!(good.is_consistent());
+    }
+}

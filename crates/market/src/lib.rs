@@ -1,0 +1,19 @@
+//! # redspot-market
+//!
+//! EC2 market substrate: the 2014 spot billing rules (hour-boundary rate
+//! fixing, free out-of-bid partial hours, charged user-stopped hours,
+//! $2.40/h on-demand), the measured spot queuing-delay model, per-zone
+//! instance lifecycle states (down / waiting / booting / up), and a
+//! trace-driven [`SpotMarket`] façade the scheduling engine drives.
+
+#![warn(missing_docs)]
+
+pub mod billing;
+pub mod delay;
+pub mod instance;
+pub mod market;
+
+pub use billing::{on_demand_cost, SpotBilling, StopCause};
+pub use delay::DelayModel;
+pub use instance::{InstanceState, ZoneInstance};
+pub use market::SpotMarket;

@@ -1,0 +1,138 @@
+//! The spot market façade the scheduling engine talks to: trace-driven
+//! prices per zone plus a seeded queuing-delay source.
+
+use crate::delay::DelayModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use redspot_trace::{Price, SimDuration, SimTime, TraceSet, ZoneId};
+
+/// A trace-driven spot market for a set of availability zones.
+///
+/// Deterministic: all randomness (queuing delays) comes from a seeded RNG,
+/// so a `(trace, seed)` pair always replays identically.
+#[derive(Debug, Clone)]
+pub struct SpotMarket {
+    traces: TraceSet,
+    delays: DelayModel,
+    rng: StdRng,
+}
+
+impl SpotMarket {
+    /// Build a market over `traces` with the paper's queuing-delay model.
+    pub fn new(traces: TraceSet, seed: u64) -> SpotMarket {
+        SpotMarket::with_delays(traces, DelayModel::paper(), seed)
+    }
+
+    /// Build with an explicit delay model (tests, ablations).
+    pub fn with_delays(traces: TraceSet, delays: DelayModel, seed: u64) -> SpotMarket {
+        SpotMarket {
+            traces,
+            delays,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying traces.
+    pub fn traces(&self) -> &TraceSet {
+        &self.traces
+    }
+
+    /// Number of zones.
+    pub fn n_zones(&self) -> usize {
+        self.traces.n_zones()
+    }
+
+    /// Spot price of `zone` at `t`.
+    pub fn price(&self, zone: ZoneId, t: SimTime) -> Price {
+        self.traces.price_at(zone, t)
+    }
+
+    /// Whether `zone` is affordable at bid `bid` at time `t` (`S ≤ B`).
+    pub fn affordable(&self, zone: ZoneId, t: SimTime, bid: Price) -> bool {
+        self.price(zone, t) <= bid
+    }
+
+    /// Whether the price in `zone` shows a rising edge at `t`
+    /// (Section 4.3's checkpoint trigger).
+    pub fn rising_edge(&self, zone: ZoneId, t: SimTime) -> bool {
+        self.traces.zone(zone).is_rising_edge(t)
+    }
+
+    /// Draw the queuing delay for a spot request submitted now.
+    pub fn boot_delay(&mut self) -> SimDuration {
+        self.delays.sample(&mut self.rng)
+    }
+
+    /// The earliest instant strictly after `t` at which *any* zone's price
+    /// changes, or `None` when prices are quiet until the trace ends. The
+    /// engine uses this to hop between decision points instead of ticking
+    /// every second.
+    pub fn next_price_change(&self, t: SimTime) -> Option<SimTime> {
+        self.traces
+            .zones()
+            .iter()
+            .filter_map(|z| z.next_price_change(t).map(|(at, _)| at))
+            .min()
+    }
+
+    /// End of the price trace.
+    pub fn end(&self) -> SimTime {
+        self.traces.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redspot_trace::PriceSeries;
+
+    fn p(m: u64) -> Price {
+        Price::from_millis(m)
+    }
+
+    fn market() -> SpotMarket {
+        let z0 = PriceSeries::new(SimTime::ZERO, vec![p(270), p(270), p(600), p(300)]);
+        let z1 = PriceSeries::new(SimTime::ZERO, vec![p(500), p(400), p(400), p(400)]);
+        SpotMarket::with_delays(TraceSet::new(vec![z0, z1]), DelayModel::constant(200), 1)
+    }
+
+    #[test]
+    fn affordability_tracks_prices() {
+        let m = market();
+        let bid = p(450);
+        assert!(m.affordable(ZoneId(0), SimTime::ZERO, bid));
+        assert!(!m.affordable(ZoneId(1), SimTime::ZERO, bid));
+        assert!(m.affordable(ZoneId(1), SimTime::from_secs(300), bid));
+        assert!(!m.affordable(ZoneId(0), SimTime::from_secs(600), bid));
+    }
+
+    #[test]
+    fn rising_edges_follow_trace() {
+        let m = market();
+        assert!(m.rising_edge(ZoneId(0), SimTime::from_secs(600)));
+        assert!(!m.rising_edge(ZoneId(0), SimTime::from_secs(900)));
+        assert!(!m.rising_edge(ZoneId(1), SimTime::from_secs(300)));
+    }
+
+    #[test]
+    fn next_price_change_is_cross_zone_min() {
+        let m = market();
+        // zone 1 changes at 300, zone 0 at 600.
+        assert_eq!(
+            m.next_price_change(SimTime::ZERO),
+            Some(SimTime::from_secs(300))
+        );
+        assert_eq!(
+            m.next_price_change(SimTime::from_secs(300)),
+            Some(SimTime::from_secs(600))
+        );
+        assert_eq!(m.next_price_change(SimTime::from_secs(900)), None);
+    }
+
+    #[test]
+    fn boot_delay_is_deterministic_with_constant_model() {
+        let mut m = market();
+        assert_eq!(m.boot_delay(), SimDuration::from_secs(200));
+        assert_eq!(m.boot_delay(), SimDuration::from_secs(200));
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests for the market substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use redspot_market::{on_demand_cost, DelayModel, SpotBilling, StopCause};
+use redspot_trace::{Price, SimTime};
+
+proptest! {
+    /// Billing invariants: the out-of-bid total never exceeds the
+    /// user-stop total; both equal the sum of committed hour rates
+    /// (+ the started hour for user stops); costs are monotone in hours.
+    #[test]
+    fn billing_invariants(
+        rates in prop::collection::vec(1u64..25_000, 1..30),
+        stop_offset in 0u64..3_600,
+    ) {
+        let launch = SimTime::from_secs(500);
+        let mut billing = SpotBilling::launch(launch, Price::from_millis(rates[0]));
+        let mut committed = Price::ZERO;
+        for &r in &rates[1..] {
+            committed += billing.current_rate();
+            let boundary = billing.next_boundary();
+            billing.on_hour_boundary(boundary, Price::from_millis(r));
+        }
+        prop_assert_eq!(billing.accrued(), committed);
+        let stop_at = SimTime::from_secs(billing.next_boundary().secs() - 3_600 + stop_offset);
+        let oob = billing.stop(stop_at, StopCause::OutOfBid);
+        let user = billing.stop(stop_at, StopCause::User);
+        prop_assert_eq!(oob, committed);
+        prop_assert!(user >= oob);
+        if stop_offset > 0 {
+            prop_assert_eq!(user, committed + billing.current_rate());
+        } else {
+            prop_assert_eq!(user, committed);
+        }
+    }
+
+    /// On-demand cost is monotone and charges whole started hours.
+    #[test]
+    fn on_demand_monotone(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let t0 = SimTime::ZERO;
+        let c_lo = on_demand_cost(t0, SimTime::from_secs(lo));
+        let c_hi = on_demand_cost(t0, SimTime::from_secs(hi));
+        prop_assert!(c_lo <= c_hi);
+        prop_assert_eq!(c_hi.millis() % Price::ON_DEMAND.millis(), 0);
+    }
+
+    /// Delay samples always respect the configured bounds.
+    #[test]
+    fn delay_model_bounds(seed in 0u64..5_000, min in 1u64..400, extra in 1u64..600) {
+        let model = DelayModel { mu: 5.6, sigma: 0.4, min_secs: min, max_secs: min + extra };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let d = model.sample(&mut rng).secs();
+            prop_assert!((min..=min + extra).contains(&d));
+        }
+    }
+}

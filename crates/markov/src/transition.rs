@@ -1,0 +1,149 @@
+//! Empirical transition matrices over price states.
+
+use crate::states::StateSpace;
+use redspot_trace::Price;
+
+/// A row-stochastic transition matrix `TRANS` where `TRANS[n][m]` is the
+/// probability of the spot price moving from state `n` to state `m` in one
+/// 5-minute step (Appendix B).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionMatrix {
+    n: usize,
+    /// Row-major probabilities.
+    probs: Vec<f64>,
+}
+
+impl TransitionMatrix {
+    /// Count transitions between consecutive samples of `history` under
+    /// `states`. States that never occur as a source get a self-loop
+    /// (the only unbiased choice with zero evidence).
+    ///
+    /// # Panics
+    /// Panics if `history` has fewer than two samples.
+    pub fn from_history(states: &StateSpace, history: &[Price]) -> TransitionMatrix {
+        assert!(
+            history.len() >= 2,
+            "need at least two samples for transitions"
+        );
+        let n = states.len();
+        let mut counts = vec![0u64; n * n];
+        for w in history.windows(2) {
+            let from = states.state_of(w[0]);
+            let to = states.state_of(w[1]);
+            counts[from * n + to] += 1;
+        }
+        let mut probs = vec![0.0f64; n * n];
+        for row in 0..n {
+            let total: u64 = counts[row * n..(row + 1) * n].iter().sum();
+            if total == 0 {
+                probs[row * n + row] = 1.0;
+            } else {
+                for col in 0..n {
+                    probs[row * n + col] = counts[row * n + col] as f64 / total as f64;
+                }
+            }
+        }
+        TransitionMatrix { n, probs }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Transition probability from state `from` to state `to`.
+    pub fn prob(&self, from: usize, to: usize) -> f64 {
+        self.probs[from * self.n + to]
+    }
+
+    /// One Chapman-Kolmogorov step restricted to *up* states (Eq. 2):
+    /// propagate `dist` through the chain, zeroing mass that sits in
+    /// masked-out (down) source states first. Returns the new distribution;
+    /// the lost mass is the termination probability at this step.
+    pub fn step_masked(&self, dist: &[f64], up: &[bool]) -> Vec<f64> {
+        debug_assert_eq!(dist.len(), self.n);
+        debug_assert_eq!(up.len(), self.n);
+        let mut next = vec![0.0f64; self.n];
+        for (i, (&mass, &alive)) in dist.iter().zip(up).enumerate() {
+            if !alive || mass == 0.0 {
+                continue;
+            }
+            let row = &self.probs[i * self.n..(i + 1) * self.n];
+            for (nx, &p) in next.iter_mut().zip(row) {
+                *nx += mass * p;
+            }
+        }
+        next
+    }
+
+    /// Each row sums to 1 (within tolerance) — used by tests and debug
+    /// assertions.
+    pub fn is_stochastic(&self) -> bool {
+        (0..self.n).all(|row| {
+            let s: f64 = self.probs[row * self.n..(row + 1) * self.n].iter().sum();
+            (s - 1.0).abs() < 1e-9
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(m: u64) -> Price {
+        Price::from_millis(m)
+    }
+
+    #[test]
+    fn counts_simple_chain() {
+        // 270 -> 270 -> 900 -> 270
+        let hist = vec![p(270), p(270), p(900), p(270)];
+        let s = StateSpace::from_history(&hist, 10);
+        let t = TransitionMatrix::from_history(&s, &hist);
+        assert!(t.is_stochastic());
+        // From 270: one self-loop, one to 900.
+        assert!((t.prob(0, 0) - 0.5).abs() < 1e-12);
+        assert!((t.prob(0, 1) - 0.5).abs() < 1e-12);
+        // From 900: always back to 270.
+        assert!((t.prob(1, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unobserved_source_gets_self_loop() {
+        // 900 appears only as the final sample: never a source.
+        let hist = vec![p(270), p(270), p(900)];
+        let s = StateSpace::from_history(&hist, 10);
+        let t = TransitionMatrix::from_history(&s, &hist);
+        assert!(t.is_stochastic());
+        assert!((t.prob(1, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_step_absorbs_down_states() {
+        let hist = vec![p(270), p(900), p(270), p(900)];
+        let s = StateSpace::from_history(&hist, 10);
+        let t = TransitionMatrix::from_history(&s, &hist);
+        // Start fully in state 0 (price 270); bid only covers state 0.
+        let up = s.up_mask(p(500));
+        let d1 = t.step_masked(&[1.0, 0.0], &up);
+        // 270 always moves to 900 in this history: all mass lands in the
+        // down state.
+        assert!((d1[1] - 1.0).abs() < 1e-12);
+        // Next step: that mass is absorbed (terminated).
+        let d2 = t.step_masked(&d1, &up);
+        assert!(d2.iter().sum::<f64>() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn single_sample_panics() {
+        let hist = vec![p(270)];
+        let s = StateSpace::from_history(&hist, 10);
+        TransitionMatrix::from_history(&s, &hist);
+    }
+}

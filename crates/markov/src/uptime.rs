@@ -1,0 +1,251 @@
+//! Expected zone up-time at a bid price (Appendix B, Eqs. 2–3).
+//!
+//! Starting from the current price state, probability mass is propagated
+//! through the empirical transition matrix with mass in out-of-bid states
+//! absorbed (the instance terminates). The expected up-time is the
+//! expected number of surviving 5-minute steps; iteration stops once the
+//! estimate is stable at seconds granularity (the paper's `Th`).
+
+use crate::states::{StateSpace, DEFAULT_BIN_MILLIS};
+use crate::transition::TransitionMatrix;
+use redspot_trace::{Price, PriceSeries, SimDuration, Window};
+
+/// A per-zone Markov price model built from a history window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovModel {
+    states: StateSpace,
+    trans: TransitionMatrix,
+    /// Seconds per chain step (the history's sampling interval).
+    step_secs: u64,
+}
+
+/// Iterations before switching to geometric tail extrapolation. Sticky
+/// chains (prices that essentially never leave the bid) would otherwise
+/// burn thousands of matrix-vector products per query.
+const EXACT_STEPS: usize = 600;
+
+/// Cap on the expected up-time: 30 days of 5-minute steps. Beyond this the
+/// distinction is irrelevant to a ≤ 30-hour experiment.
+const MAX_EXPECTED_STEPS: f64 = 8_640.0;
+
+impl MarkovModel {
+    /// Build from the portion of `series` inside `window` (the paper uses
+    /// a 2-day history) with the default one-cent price quantization.
+    ///
+    /// ```
+    /// use redspot_markov::MarkovModel;
+    /// use redspot_trace::{Price, PriceSeries, SimDuration, SimTime, Window};
+    /// // A sticky cheap price: long expected up-time at any higher bid.
+    /// let series = PriceSeries::new(
+    ///     SimTime::ZERO,
+    ///     vec![Price::from_dollars(0.27); 288],
+    /// );
+    /// let model = MarkovModel::from_series(&series, Window::new(series.start(), series.end()));
+    /// let uptime = model.expected_uptime(Price::from_dollars(0.27), Price::from_dollars(0.81));
+    /// assert!(uptime > SimDuration::from_hours(24));
+    /// ```
+    pub fn from_series(series: &PriceSeries, window: Window) -> MarkovModel {
+        MarkovModel::with_bin(series, window, DEFAULT_BIN_MILLIS)
+    }
+
+    /// Build with an explicit quantization bin width.
+    pub fn with_bin(series: &PriceSeries, window: Window, bin_millis: u64) -> MarkovModel {
+        let slice = series.slice(window);
+        let samples = slice.samples();
+        let states = StateSpace::from_history(samples, bin_millis);
+        let trans = if samples.len() >= 2 {
+            TransitionMatrix::from_history(&states, samples)
+        } else {
+            // Degenerate one-sample history: the price never moves.
+            TransitionMatrix::from_history(&states, &[samples[0], samples[0]])
+        };
+        MarkovModel {
+            states,
+            trans,
+            step_secs: slice.step(),
+        }
+    }
+
+    /// Number of price states.
+    pub fn n_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Expected up-time of a spot instance started now, given the current
+    /// spot price and a bid (Eq. 3). Zero when the zone is already
+    /// out-of-bid.
+    pub fn expected_uptime(&self, current_price: Price, bid: Price) -> SimDuration {
+        if current_price > bid {
+            return SimDuration::ZERO;
+        }
+        let up = self.states.up_mask(bid);
+        let mut dist = vec![0.0f64; self.states.len()];
+        dist[self.states.state_of(current_price)] = 1.0;
+
+        // If quantization snapped the current price into a down state even
+        // though current_price <= bid, nudge to the nearest up state; the
+        // instance is observably up right now.
+        if !up[self.states.state_of(current_price)] {
+            if let Some(i) = up.iter().position(|&u| u) {
+                dist.iter_mut().for_each(|d| *d = 0.0);
+                dist[i] = 1.0;
+            } else {
+                return SimDuration::ZERO;
+            }
+        }
+
+        // E[steps up] = Σ_k (probability still alive after k steps).
+        let mut expected_steps = 0.0f64;
+        let tol = 1.0 / self.step_secs as f64; // seconds granularity (Th)
+        let mut prev_alive = 1.0f64;
+        for k in 0..EXACT_STEPS {
+            dist = self.trans.step_masked(&dist, &up);
+            let alive: f64 = dist.iter().sum();
+            expected_steps += alive;
+            if alive < tol {
+                break;
+            }
+            if k + 1 == EXACT_STEPS {
+                // Geometric tail: survival decays roughly by a constant
+                // per-step ratio once the distribution has mixed; the
+                // remaining sum is alive · r / (1 − r).
+                let r = (alive / prev_alive).clamp(0.0, 0.999_999);
+                expected_steps += alive * r / (1.0 - r);
+            }
+            prev_alive = alive;
+        }
+        let steps = expected_steps.min(MAX_EXPECTED_STEPS);
+        SimDuration::from_secs((steps * self.step_secs as f64).round() as u64)
+    }
+
+    /// Combined expected up-time across several zones at a common bid: the
+    /// paper sums per-zone expectations for (near-)independent zones
+    /// (Section 4.2), so redundancy's effective MTBF grows with `N`.
+    pub fn combined_uptime(
+        models: &[MarkovModel],
+        current_prices: &[Price],
+        bid: Price,
+    ) -> SimDuration {
+        debug_assert_eq!(models.len(), current_prices.len());
+        models
+            .iter()
+            .zip(current_prices)
+            .map(|(m, &p)| m.expected_uptime(p, bid))
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    /// Probabilistic average up-time across all starting states weighted
+    /// by their empirical frequency — the Threshold policy's `TimeThresh`.
+    pub fn average_uptime(&self, bid: Price) -> SimDuration {
+        // Weight each up state equally by its appearance in the state
+        // space; a frequency-weighted version would need the raw history,
+        // and the uniform version is what the Threshold description needs:
+        // "the probabilistic average up time of a zone".
+        let ups: Vec<usize> = (0..self.states.len())
+            .filter(|&i| self.states.price_of(i) <= bid)
+            .collect();
+        if ups.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u64 = ups
+            .iter()
+            .map(|&i| self.expected_uptime(self.states.price_of(i), bid).secs())
+            .sum();
+        SimDuration::from_secs(total / ups.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redspot_trace::{SimTime, SimTime as T, PRICE_STEP};
+
+    fn p(m: u64) -> Price {
+        Price::from_millis(m)
+    }
+
+    fn series(prices: &[u64]) -> PriceSeries {
+        PriceSeries::new(T::ZERO, prices.iter().map(|&m| p(m)).collect())
+    }
+
+    fn model(prices: &[u64]) -> MarkovModel {
+        let s = series(prices);
+        let w = Window::new(s.start(), s.end());
+        MarkovModel::from_series(&s, w)
+    }
+
+    #[test]
+    fn out_of_bid_has_zero_uptime() {
+        let m = model(&[270, 270, 900, 270]);
+        assert_eq!(m.expected_uptime(p(900), p(500)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn stable_price_gives_long_uptime() {
+        // Price never moves: survival forever, capped at 30 days.
+        let m = model(&[270; 100]);
+        let up = m.expected_uptime(p(270), p(500));
+        assert_eq!(up, SimDuration::from_secs(PRICE_STEP * 8_640), "got {up}");
+    }
+
+    #[test]
+    fn geometric_survival_matches_closed_form() {
+        // Two states, P(leave up) = 0.5 per step: E[steps] = 1 (geometric
+        // survival: sum of 0.5^k for k>=1).
+        let m = model(&[270, 900, 270, 900, 270]);
+        let up = m.expected_uptime(p(270), p(500));
+        let expected = PRICE_STEP as f64 * 1.0;
+        assert!(
+            (up.secs() as f64 - expected).abs() <= PRICE_STEP as f64 * 0.1,
+            "got {up}, expected ≈{expected}s"
+        );
+    }
+
+    #[test]
+    fn higher_bid_never_reduces_uptime() {
+        let hist = [270, 310, 500, 270, 800, 310, 270, 500, 900, 270];
+        let m = model(&hist);
+        let mut last = SimDuration::ZERO;
+        for bid in [300u64, 500, 800, 1000] {
+            let up = m.expected_uptime(p(270), p(bid));
+            assert!(up >= last, "uptime decreased at bid {bid}");
+            last = up;
+        }
+    }
+
+    #[test]
+    fn combined_uptime_sums_zones() {
+        let m1 = model(&[270, 900, 270, 900, 270]);
+        let m2 = model(&[270; 50]);
+        let solo1 = m1.expected_uptime(p(270), p(500));
+        let solo2 = m2.expected_uptime(p(270), p(500));
+        let combined = MarkovModel::combined_uptime(&[m1, m2], &[p(270), p(270)], p(500));
+        assert_eq!(combined, solo1 + solo2);
+        assert!(combined > solo1);
+    }
+
+    #[test]
+    fn average_uptime_positive_when_affordable() {
+        let m = model(&[270, 310, 900, 270, 310, 270]);
+        assert!(m.average_uptime(p(500)) > SimDuration::ZERO);
+        assert_eq!(m.average_uptime(p(100)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn quantization_snap_keeps_running_zone_alive() {
+        // Bid sits inside the bin holding the current price: the mask may
+        // mark that bin down, but the zone is observably up.
+        let m = model(&[270, 271, 272, 273, 274, 270]);
+        let up = m.expected_uptime(p(274), p(274));
+        assert!(up > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_window_degenerates_gracefully() {
+        let s = series(&[270, 900, 270]);
+        let w = Window::new(SimTime::ZERO, SimTime::from_secs(PRICE_STEP));
+        let m = MarkovModel::from_series(&s, w);
+        assert_eq!(m.n_states(), 1);
+        assert!(m.expected_uptime(p(270), p(500)) > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,199 @@
+//! Descriptive statistics over `f64` samples.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance. Returns `None` for an empty slice.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample (Bessel-corrected) variance. Returns `None` for < 2 samples.
+pub fn sample_variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Minimum (ignoring NaNs is the caller's job; NaN input gives NaN-ish
+/// results). Returns `None` for an empty slice.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::min)
+}
+
+/// Maximum. Returns `None` for an empty slice.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
+}
+
+/// Linear-interpolated quantile (the "R-7" / NumPy default definition).
+/// `q` must lie in `[0, 1]`. Returns `None` for an empty slice.
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// [`quantile`] on data already sorted ascending.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Pearson correlation coefficient. Returns `None` if either series is
+/// empty, lengths differ, or either variance is zero.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.is_empty() {
+        return None;
+    }
+    let (mx, my) = (mean(xs)?, mean(ys)?);
+    let cov: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / xs.len() as f64;
+    let (sx, sy) = (stddev(xs)?, stddev(ys)?);
+    if sx == 0.0 || sy == 0.0 {
+        return None;
+    }
+    Some(cov / (sx * sy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slices_yield_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[]), None);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(correlation(&[], &[]), None);
+    }
+
+    #[test]
+    fn mean_variance_known_values() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert_eq!(variance(&xs), Some(4.0));
+        assert_eq!(stddev(&xs), Some(2.0));
+        assert!((sample_variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_variance_needs_two_points() {
+        assert_eq!(sample_variance(&[1.0]), None);
+        assert_eq!(sample_variance(&[1.0, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(median(&xs), Some(2.5));
+        assert_eq!(quantile(&xs, 0.25), Some(1.75));
+        // unsorted input is handled
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        // single element
+        assert_eq!(quantile(&[7.0], 0.9), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn quantile_rejects_out_of_range() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn correlation_known_values() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((correlation(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg = [6.0, 4.0, 2.0];
+        assert!((correlation(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(correlation(&xs, &[1.0, 1.0, 1.0]), None); // zero variance
+        assert_eq!(correlation(&xs, &[1.0]), None); // length mismatch
+    }
+}
+
+/// Sample autocorrelation at `lag`. Returns `None` for empty input,
+/// `lag >= len`, or zero variance.
+pub fn autocorrelation(xs: &[f64], lag: usize) -> Option<f64> {
+    if xs.is_empty() || lag >= xs.len() {
+        return None;
+    }
+    let m = mean(xs)?;
+    let denom: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    if denom == 0.0 {
+        return None;
+    }
+    let num: f64 = xs[lag..]
+        .iter()
+        .zip(xs)
+        .map(|(a, b)| (a - m) * (b - m))
+        .sum();
+    Some(num / denom)
+}
+
+#[cfg(test)]
+mod autocorr_tests {
+    use super::*;
+
+    #[test]
+    fn lag_zero_is_one() {
+        let xs = [1.0, 3.0, 2.0, 5.0, 4.0];
+        assert!((autocorrelation(&xs, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_series_is_anticorrelated_at_lag_one() {
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!(autocorrelation(&xs, 1).unwrap() < -0.9);
+        assert!(autocorrelation(&xs, 2).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(autocorrelation(&[], 0), None);
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), None);
+        assert_eq!(autocorrelation(&[2.0, 2.0, 2.0], 1), None); // zero variance
+    }
+}

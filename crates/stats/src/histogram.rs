@@ -1,0 +1,156 @@
+//! Fixed-bin histograms, used for queuing-delay and cost distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with equal-width bins plus underflow /
+/// overflow counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `n_bins` bins.
+    ///
+    /// # Panics
+    /// Panics if `hi <= lo` or `n_bins == 0`.
+    pub fn new(lo: f64, hi: f64, n_bins: usize) -> Histogram {
+        assert!(hi > lo, "histogram range must be non-degenerate");
+        assert!(n_bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; n_bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all recorded observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// `(bin_lo, bin_hi, count)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + w * i as f64, self.lo + w * (i + 1) as f64, c))
+    }
+
+    /// Render as ASCII bars, `width` characters for the fullest bin.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (lo, hi, c) in self.iter() {
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("[{lo:8.1}, {hi:8.1}) {c:6} {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_observations_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 5.5, 9.99] {
+            h.record(x);
+        }
+        assert_eq!(h.bins(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn out_of_range_goes_to_flows() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-1.0);
+        h.record(1.0);
+        h.record(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins(), &[0, 0]);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn mean_tracks_all_observations() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.record(2.0);
+        h.record(4.0);
+        h.record(100.0); // overflow still counts toward the mean
+        assert!((h.mean() - 106.0 / 3.0).abs() < 1e-12);
+        assert_eq!(Histogram::new(0.0, 1.0, 1).mean(), 0.0);
+    }
+
+    #[test]
+    fn render_produces_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.record(0.5);
+        h.record(0.7);
+        h.record(3.0);
+        let s = h.render(10);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn degenerate_range_panics() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

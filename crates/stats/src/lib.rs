@@ -1,0 +1,21 @@
+//! # redspot-stats
+//!
+//! Numerics substrate for redspot: descriptive statistics, Tukey boxplots
+//! (the paper reports every evaluation as cost boxplots), a minimal dense
+//! matrix with Gaussian elimination, ordinary least squares, and Vector
+//! Auto-Regression with Akaike-criterion lag selection (the Section-3.1
+//! cross-zone independence analysis).
+
+#![warn(missing_docs)]
+
+pub mod boxplot;
+pub mod descriptive;
+pub mod histogram;
+pub mod matrix;
+pub mod ols;
+pub mod var;
+
+pub use boxplot::Boxplot;
+pub use histogram::Histogram;
+pub use matrix::Matrix;
+pub use var::{EffectSummary, VarModel};

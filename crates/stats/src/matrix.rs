@@ -1,0 +1,293 @@
+//! Minimal dense matrix support: just enough linear algebra for OLS and
+//! vector auto-regression (solve, least squares, determinant). Row-major
+//! `f64` storage; sizes here are tiny (a handful of lags × zones), so
+//! clarity beats cleverness.
+
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from nested rows.
+    ///
+    /// # Panics
+    /// Panics if rows are empty or ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
+        assert!(
+            !rows.is_empty() && !rows[0].is_empty(),
+            "matrix must be non-empty"
+        );
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matmul");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Solve `self * X = b` for `X` by Gaussian elimination with partial
+    /// pivoting, where `b` may have multiple right-hand-side columns.
+    /// Returns `None` if the system is (numerically) singular.
+    ///
+    /// # Panics
+    /// Panics if `self` is not square or `b.rows() != self.rows()`.
+    pub fn solve(&self, b: &Matrix) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.rows, self.rows, "right-hand side has wrong height");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x = b.clone();
+
+        for col in 0..n {
+            // Partial pivot.
+            let pivot_row = (col..n)
+                .max_by(|&r1, &r2| {
+                    a[(r1, col)]
+                        .abs()
+                        .partial_cmp(&a[(r2, col)].abs())
+                        .expect("NaN in solve")
+                })
+                .expect("non-empty range");
+            if a[(pivot_row, col)].abs() < 1e-12 {
+                return None;
+            }
+            if pivot_row != col {
+                a.swap_rows(pivot_row, col);
+                x.swap_rows(pivot_row, col);
+            }
+            let pivot = a[(col, col)];
+            for r in (col + 1)..n {
+                let factor = a[(r, col)] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    let v = a[(col, c)];
+                    a[(r, c)] -= factor * v;
+                }
+                for c in 0..x.cols {
+                    let v = x[(col, c)];
+                    x[(r, c)] -= factor * v;
+                }
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let pivot = a[(col, col)];
+            for c in 0..x.cols {
+                let mut acc = x[(col, c)];
+                for k in (col + 1)..n {
+                    acc -= a[(col, k)] * x[(k, c)];
+                }
+                x[(col, c)] = acc / pivot;
+            }
+        }
+        Some(x)
+    }
+
+    /// Determinant by LU decomposition. Square matrices only.
+    ///
+    /// # Panics
+    /// Panics if `self` is not square.
+    pub fn det(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "det requires a square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut det = 1.0;
+        for col in 0..n {
+            let pivot_row = (col..n)
+                .max_by(|&r1, &r2| {
+                    a[(r1, col)]
+                        .abs()
+                        .partial_cmp(&a[(r2, col)].abs())
+                        .expect("NaN in det")
+                })
+                .expect("non-empty range");
+            if a[(pivot_row, col)].abs() < 1e-300 {
+                return 0.0;
+            }
+            if pivot_row != col {
+                a.swap_rows(pivot_row, col);
+                det = -det;
+            }
+            let pivot = a[(col, col)];
+            det *= pivot;
+            for r in (col + 1)..n {
+                let factor = a[(r, col)] / pivot;
+                for c in col..n {
+                    let v = a[(col, c)];
+                    a[(r, c)] -= factor * v;
+                }
+            }
+        }
+        det
+    }
+
+    fn swap_rows(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(r1 * self.cols + c, r2 * self.cols + c);
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let i = Matrix::identity(3);
+        let b = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        assert_eq!(i.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let b = Matrix::from_rows(&[vec![5.0], vec![10.0]]);
+        let x = a.solve(&b).unwrap();
+        assert!((x[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let b = Matrix::from_rows(&[vec![2.0], vec![3.0]]);
+        let x = a.solve(&b).unwrap();
+        assert!((x[(0, 0)] - 3.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        assert!(a.solve(&b).is_none());
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        assert_eq!(Matrix::identity(4).det(), 1.0);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert!((a.det() + 2.0).abs() < 1e-12);
+        let sing = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(sing.det(), 0.0);
+        // Row swap flips sign.
+        let swapped = Matrix::from_rows(&[vec![3.0, 4.0], vec![1.0, 2.0]]);
+        assert!((swapped.det() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0], vec![6.0]]);
+        let ab = a.matmul(&b);
+        assert_eq!(ab.rows(), 2);
+        assert_eq!(ab.cols(), 1);
+        assert_eq!(ab[(0, 0)], 17.0);
+        assert_eq!(ab[(1, 0)], 39.0);
+        let t = a.transpose();
+        assert_eq!(t[(0, 1)], 3.0);
+        assert_eq!(t[(1, 0)], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_rejects_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        a.matmul(&b);
+    }
+}

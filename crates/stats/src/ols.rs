@@ -1,0 +1,115 @@
+//! Ordinary least squares via the normal equations, with ridge fallback
+//! for near-collinear designs (spot prices sit flat for long spans, which
+//! makes lagged designs rank-deficient).
+
+use crate::matrix::Matrix;
+
+/// Result of a least-squares fit `y ≈ X β`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OlsFit {
+    /// Coefficient estimates, one per design column.
+    pub beta: Vec<f64>,
+    /// Residual sum of squares.
+    pub rss: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+/// Fit `y ≈ X β` by OLS. `x` is `n × k` (rows = observations), `y` has
+/// length `n`. Returns `None` if `n < k`, or the normal equations are
+/// singular even after a tiny ridge regularizer.
+pub fn fit(x: &Matrix, y: &[f64]) -> Option<OlsFit> {
+    let (n, k) = (x.rows(), x.cols());
+    if y.len() != n || n < k {
+        return None;
+    }
+    let xt = x.transpose();
+    let xtx = xt.matmul(x);
+    let ycol = Matrix::from_rows(&y.iter().map(|&v| vec![v]).collect::<Vec<_>>());
+    let xty = xt.matmul(&ycol);
+
+    let solution = xtx.solve(&xty).or_else(|| {
+        // Tiny ridge: spot-price designs are frequently collinear because
+        // prices are constant for long stretches.
+        let mut ridged = xtx.clone();
+        for i in 0..k {
+            ridged[(i, i)] += 1e-8;
+        }
+        ridged.solve(&xty)
+    })?;
+
+    let beta: Vec<f64> = (0..k).map(|i| solution[(i, 0)]).collect();
+    let mut rss = 0.0;
+    for row in 0..n {
+        let pred: f64 = (0..k).map(|j| x[(row, j)] * beta[j]).sum();
+        let r = y[row] - pred;
+        rss += r * r;
+    }
+    Some(OlsFit { beta, rss, n })
+}
+
+/// Convenience: simple linear regression `y ≈ a + b·x`, returning `(a, b)`.
+pub fn simple(xs: &[f64], ys: &[f64]) -> Option<(f64, f64)> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let design = Matrix::from_rows(&xs.iter().map(|&x| vec![1.0, x]).collect::<Vec<_>>());
+    let f = fit(&design, ys)?;
+    Some((f.beta[0], f.beta[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_line() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let (a, b) = simple(&xs, &ys).unwrap();
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rss_is_zero_for_perfect_fit() {
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 2.0], vec![1.0, 3.0]]);
+        let y = [2.0, 4.0, 6.0]; // y = 0 + 2x
+        let f = fit(&x, &y).unwrap();
+        assert!(f.rss < 1e-18);
+        assert!((f.beta[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underdetermined_returns_none() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        assert!(fit(&x, &[1.0]).is_none());
+        assert!(simple(&[1.0], &[1.0]).is_none());
+        assert!(simple(&[1.0, 2.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn collinear_design_uses_ridge() {
+        // Two identical columns: singular normal equations.
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let y = [2.0, 4.0, 6.0];
+        let f = fit(&x, &y).expect("ridge fallback should handle collinearity");
+        // Ridge splits the coefficient between the two identical columns;
+        // their sum predicts y.
+        assert!((f.beta[0] + f.beta[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn noisy_fit_has_positive_rss() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 1.0 + 0.5 * x + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let design = Matrix::from_rows(&xs.iter().map(|&x| vec![1.0, x]).collect::<Vec<_>>());
+        let f = fit(&design, &ys).unwrap();
+        assert!(f.rss > 0.0);
+        assert!((f.beta[1] - 0.5).abs() < 0.02);
+    }
+}

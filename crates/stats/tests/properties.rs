@@ -1,0 +1,81 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use redspot_stats::descriptive::{max, mean, median, min, quantile, variance};
+use redspot_stats::{Boxplot, Matrix};
+
+proptest! {
+    /// Quantiles are bounded by the extremes and monotone in q.
+    #[test]
+    fn quantiles_bounded_and_monotone(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let a = quantile(&xs, lo).unwrap();
+        let b = quantile(&xs, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+        prop_assert!(a >= min(&xs).unwrap() - 1e-9);
+        prop_assert!(b <= max(&xs).unwrap() + 1e-9);
+    }
+
+    /// The boxplot five-number summary is always ordered.
+    #[test]
+    fn boxplot_is_well_formed(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let b = Boxplot::from_samples(&xs).unwrap();
+        prop_assert!(b.is_well_formed(), "{b:?}");
+        prop_assert_eq!(b.n, xs.len());
+        prop_assert!((b.median - median(&xs).unwrap()).abs() < 1e-9);
+    }
+
+    /// Mean is translation-equivariant; variance is translation-invariant.
+    #[test]
+    fn mean_variance_translation(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..50),
+        shift in -100.0f64..100.0,
+    ) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        prop_assert!((mean(&shifted).unwrap() - mean(&xs).unwrap() - shift).abs() < 1e-6);
+        prop_assert!((variance(&shifted).unwrap() - variance(&xs).unwrap()).abs() < 1e-6);
+    }
+
+    /// Solving A·x = A·e recovers e for well-conditioned random matrices.
+    #[test]
+    fn solve_recovers_known_solution(
+        diag in prop::collection::vec(1.0f64..10.0, 2..6),
+        off in 0.0f64..0.3,
+    ) {
+        let n = diag.len();
+        // Diagonally dominant: guaranteed non-singular.
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = if i == j { diag[i] + off * n as f64 } else { off };
+            }
+        }
+        let e = Matrix::from_rows(&(0..n).map(|i| vec![i as f64 + 1.0]).collect::<Vec<_>>());
+        let b = a.matmul(&e);
+        let x = a.solve(&b).expect("diagonally dominant is non-singular");
+        for i in 0..n {
+            prop_assert!((x[(i, 0)] - e[(i, 0)]).abs() < 1e-6);
+        }
+    }
+
+    /// det(A) changes sign under row swap and det(I) = 1.
+    #[test]
+    fn det_row_swap_flips_sign(vals in prop::collection::vec(-5.0f64..5.0, 9)) {
+        let a = Matrix::from_rows(&[
+            vals[0..3].to_vec(),
+            vals[3..6].to_vec(),
+            vals[6..9].to_vec(),
+        ]);
+        let swapped = Matrix::from_rows(&[
+            vals[3..6].to_vec(),
+            vals[0..3].to_vec(),
+            vals[6..9].to_vec(),
+        ]);
+        let (d1, d2) = (a.det(), swapped.det());
+        prop_assert!((d1 + d2).abs() < 1e-6 * (1.0 + d1.abs()), "d1={d1} d2={d2}");
+    }
+}

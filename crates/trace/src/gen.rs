@@ -1,0 +1,440 @@
+//! Synthetic spot-price trace generation.
+//!
+//! The paper evaluates against 12 months of recorded CC2 spot prices
+//! (December 2012 – January 2014, three US-East zones, 5-minute samples).
+//! Those traces are not publicly archived, so redspot substitutes a seeded
+//! regime-switching stochastic process calibrated to the summary statistics
+//! the paper publishes (Section 5):
+//!
+//! * **low-volatility window** (March 2013): mean spot ≈ $0.30,
+//!   per-zone variance < 0.01;
+//! * **high-volatility window** (January 2013): per-zone means
+//!   $0.70–$1.12, variance up to 2.02, spikes up to ≈ $3.00;
+//! * one rare extreme spike to **$20.02** somewhere in the year (drives the
+//!   Large-bid worst case in Figure 6).
+//!
+//! Zones evolve almost independently (their own RNG substreams) with a
+//! small shared market factor, so a Vector Auto-Regression reproduces the
+//! paper's Section-3.1 finding that cross-zone lagged effects are 1–2
+//! orders of magnitude smaller than own-zone effects.
+
+use crate::price::Price;
+use crate::series::PriceSeries;
+use crate::time::{SimDuration, SimTime, PRICE_STEP};
+use crate::traceset::{TraceSet, ZoneId};
+use crate::window::Window;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Price-regime parameters for one zone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoneRegime {
+    /// Calm-regime base price, milli-dollars.
+    pub calm_base: u64,
+    /// Half-width of the calm jitter band, milli-dollars.
+    pub calm_jitter: u64,
+    /// Probability per 5-min step that the calm price moves at all.
+    /// Real spot prices are sticky; most steps see no movement.
+    pub p_move: f64,
+    /// Elevated-regime base price, milli-dollars.
+    pub elevated_base: u64,
+    /// Half-width of the elevated jitter band, milli-dollars.
+    pub elevated_jitter: u64,
+    /// Probability per step of entering the elevated regime from calm.
+    pub p_calm_to_elevated: f64,
+    /// Probability per step of returning to calm from elevated.
+    pub p_elevated_to_calm: f64,
+    /// Probability per step of a short price spike (from either regime).
+    pub p_spike: f64,
+    /// Spike price range, milli-dollars (inclusive).
+    pub spike_range: (u64, u64),
+    /// Spike length range in steps (inclusive).
+    pub spike_steps: (u64, u64),
+}
+
+impl ZoneRegime {
+    /// Calm-market profile matching the paper's March-2013 window:
+    /// mean ≈ $0.30, variance < 0.01.
+    pub fn low_volatility(zone_index: usize) -> ZoneRegime {
+        ZoneRegime {
+            calm_base: 285 + 10 * (zone_index as u64 % 3),
+            calm_jitter: 20,
+            p_move: 0.08,
+            elevated_base: 430,
+            elevated_jitter: 40,
+            p_calm_to_elevated: 0.002,
+            p_elevated_to_calm: 0.08,
+            p_spike: 0.0006,
+            spike_range: (600, 900),
+            spike_steps: (1, 3),
+        }
+    }
+
+    /// Turbulent profile matching the paper's January-2013 window:
+    /// per-zone means $0.70–$1.12, variance up to ≈ 2, spikes to ≈ $3.00.
+    /// Roughly a quarter of the time is spent in the elevated regime
+    /// (above the $0.81 sweet-spot bid), so single zones are unreliable at
+    /// moderate bids while three-zone redundancy stays mostly available —
+    /// the regime structure behind the paper's Figure 4(c).
+    pub fn high_volatility(zone_index: usize) -> ZoneRegime {
+        ZoneRegime {
+            calm_base: 330 + 25 * (zone_index as u64 % 3),
+            calm_jitter: 50,
+            p_move: 0.25,
+            elevated_base: 1_400 + 150 * (zone_index as u64 % 3),
+            elevated_jitter: 300,
+            // Hour-scale regimes: calm spells last ~7.5 h, elevated spells
+            // ~3.8 h, spikes ~0.5–2.5 h every ~1.4 days — zones fail a few
+            // times per 23-hour experiment rather than hourly.
+            p_calm_to_elevated: 0.006,
+            p_elevated_to_calm: 0.022,
+            p_spike: 0.005,
+            spike_range: (2_300, 3_070),
+            spike_steps: (6, 30),
+        }
+    }
+}
+
+/// Full generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenConfig {
+    /// Per-zone regime parameters; the vector length fixes the zone count.
+    pub zones: Vec<ZoneRegime>,
+    /// Trace length.
+    pub duration: SimDuration,
+    /// Trace start time.
+    pub start: SimTime,
+    /// Master RNG seed; every zone derives an independent substream.
+    pub seed: u64,
+    /// Amplitude (milli-dollars) of the weak shared market factor that
+    /// couples zones. Keep small relative to jitter so cross-zone effects
+    /// stay 1–2 orders below own-zone effects.
+    pub common_amplitude: u64,
+}
+
+impl GenConfig {
+    /// The paper's low-volatility evaluation window: three zones, one
+    /// month, calm prices.
+    ///
+    /// ```
+    /// use redspot_trace::gen::GenConfig;
+    /// let traces = GenConfig::low_volatility(42).generate();
+    /// assert_eq!(traces.n_zones(), 3);
+    /// // Calibrated to the paper's March-2013 statistics.
+    /// for zone in traces.zones() {
+    ///     assert!(zone.variance_dollars() < 0.01);
+    /// }
+    /// ```
+    pub fn low_volatility(seed: u64) -> GenConfig {
+        GenConfig {
+            zones: (0..3).map(ZoneRegime::low_volatility).collect(),
+            duration: SimDuration::from_hours(24 * 30),
+            start: SimTime::ZERO,
+            seed,
+            common_amplitude: 6,
+        }
+    }
+
+    /// The paper's high-volatility evaluation window: three zones, one
+    /// month, turbulent prices.
+    pub fn high_volatility(seed: u64) -> GenConfig {
+        GenConfig {
+            zones: (0..3).map(ZoneRegime::high_volatility).collect(),
+            duration: SimDuration::from_hours(24 * 30),
+            start: SimTime::ZERO,
+            seed,
+            common_amplitude: 12,
+        }
+    }
+
+    /// Generate a trace set from this configuration.
+    pub fn generate(&self) -> TraceSet {
+        assert!(!self.zones.is_empty(), "need at least one zone");
+        let n_steps = (self.duration.secs() / PRICE_STEP).max(1) as usize;
+
+        // Shared market factor: a slow, small-amplitude random walk added
+        // to every zone. This is what the VAR analysis picks up as the weak
+        // cross-zone dependency.
+        let mut common_rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut common = Vec::with_capacity(n_steps);
+        let mut level: i64 = 0;
+        let amp = self.common_amplitude as i64;
+        for _ in 0..n_steps {
+            if common_rng.gen_bool(0.2) {
+                level += common_rng.gen_range(-1..=1) * amp.max(1) / 2;
+                level = level.clamp(-amp, amp);
+            }
+            common.push(level);
+        }
+
+        let zones = self
+            .zones
+            .iter()
+            .enumerate()
+            .map(|(i, regime)| {
+                let zone_seed = self
+                    .seed
+                    .wrapping_add(0xA076_1D64_78BD_642F_u64.wrapping_mul(i as u64 + 1));
+                let samples = generate_zone(regime, zone_seed, n_steps, &common);
+                PriceSeries::new(self.start, samples)
+            })
+            .collect();
+        TraceSet::new(zones)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Regime {
+    Calm,
+    Elevated,
+    /// Spiking, with this many steps left.
+    Spike(u64),
+}
+
+fn generate_zone(regime: &ZoneRegime, seed: u64, n_steps: usize, common: &[i64]) -> Vec<Price> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = Regime::Calm;
+    let mut price = regime.calm_base as i64;
+    let mut spike_price = 0i64;
+    let mut out = Vec::with_capacity(n_steps);
+
+    for &drift in common.iter().take(n_steps) {
+        // Regime transitions.
+        state = match state {
+            Regime::Spike(0) => Regime::Calm,
+            Regime::Spike(left) => Regime::Spike(left - 1),
+            cur => {
+                if rng.gen_bool(regime.p_spike) {
+                    let len = rng.gen_range(regime.spike_steps.0..=regime.spike_steps.1);
+                    spike_price = rng.gen_range(regime.spike_range.0..=regime.spike_range.1) as i64;
+                    Regime::Spike(len)
+                } else {
+                    match cur {
+                        Regime::Calm if rng.gen_bool(regime.p_calm_to_elevated) => Regime::Elevated,
+                        Regime::Elevated if rng.gen_bool(regime.p_elevated_to_calm) => Regime::Calm,
+                        other => other,
+                    }
+                }
+            }
+        };
+
+        // Within-regime sticky random walk toward the regime base.
+        let (base, jitter) = match state {
+            Regime::Calm => (regime.calm_base as i64, regime.calm_jitter as i64),
+            Regime::Elevated => (regime.elevated_base as i64, regime.elevated_jitter as i64),
+            Regime::Spike(_) => (spike_price, spike_price / 20),
+        };
+        let moved = match state {
+            Regime::Spike(_) => true,
+            _ => rng.gen_bool(regime.p_move),
+        };
+        if moved || (price - base).abs() > 4 * jitter.max(1) {
+            // Mean-revert with jitter; jumps to a new regime snap quickly.
+            let target = base
+                + if jitter > 0 {
+                    rng.gen_range(-jitter..=jitter)
+                } else {
+                    0
+                };
+            price = (price + 3 * target) / 4;
+        }
+        let quoted = (price + drift).max(1) as u64;
+        out.push(Price::from_millis(quoted));
+    }
+    out
+}
+
+/// Overwrite `zone`'s prices with `price` over `window` — used to inject
+/// the rare $20.02 extreme spike the paper observed on March 13–14, 2013.
+///
+/// # Panics
+/// Panics if the zone id is out of range or the window does not overlap
+/// the trace.
+pub fn inject_spike(set: &TraceSet, zone: ZoneId, window: Window, price: Price) -> TraceSet {
+    assert!(zone.0 < set.n_zones(), "zone out of range");
+    assert!(window.overlaps(set.span()), "spike window outside trace");
+    let zones = set
+        .zones()
+        .iter()
+        .enumerate()
+        .map(|(i, z)| {
+            if i != zone.0 {
+                return z.clone();
+            }
+            let samples = z
+                .iter()
+                .map(|(t, p)| if window.contains(t) { price } else { p })
+                .collect();
+            PriceSeries::new(z.start(), samples)
+        })
+        .collect();
+    TraceSet::new(zones)
+}
+
+/// Build the 12-month composite trace standing in for the paper's
+/// December 2012 – January 2014 history: months alternate volatility
+/// profiles (month 1 = high volatility ≙ January 2013, month 3 = low
+/// volatility ≙ March 2013), and month 3 carries the $20.02 extreme spike
+/// in one zone ("March 13th to 14th, 2013").
+pub fn year_history(seed: u64) -> TraceSet {
+    let month = SimDuration::from_hours(24 * 30);
+    let mut per_zone: Vec<Vec<Price>> = vec![Vec::new(); 3];
+    for m in 0..12u64 {
+        // Months 1 (Jan) and 7 are high-volatility; 5 and 10 moderately so;
+        // the rest calm. "Moderate" reuses the high profile with a damped
+        // spike rate.
+        let cfg = match m {
+            1 | 7 => GenConfig::high_volatility(seed.wrapping_add(m)),
+            5 | 10 => {
+                let mut c = GenConfig::high_volatility(seed.wrapping_add(m));
+                for z in &mut c.zones {
+                    z.p_spike /= 4.0;
+                    z.p_calm_to_elevated /= 2.0;
+                }
+                c
+            }
+            _ => GenConfig::low_volatility(seed.wrapping_add(m)),
+        };
+        let cfg = GenConfig {
+            duration: month,
+            ..cfg
+        };
+        let set = cfg.generate();
+        for (i, z) in set.zones().iter().enumerate() {
+            per_zone[i].extend_from_slice(z.samples());
+        }
+    }
+    let zones = per_zone
+        .into_iter()
+        .map(|samples| PriceSeries::new(SimTime::ZERO, samples))
+        .collect();
+    let set = TraceSet::new(zones);
+
+    // The extreme spike: ~30 hours at $20.02 in zone 0, mid-March
+    // (month index 3, day 13).
+    let spike_start = SimTime::from_secs(month.secs() * 3) + SimDuration::from_hours(13 * 24);
+    let spike = Window::starting_at(spike_start, SimDuration::from_hours(30));
+    inject_spike(&set, ZoneId(0), spike, Price::MAX_OBSERVED_SPOT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = GenConfig::low_volatility(42).generate();
+        let b = GenConfig::low_volatility(42).generate();
+        let c = GenConfig::low_volatility(43).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn low_volatility_matches_paper_calibration() {
+        let set = GenConfig::low_volatility(7).generate();
+        assert_eq!(set.n_zones(), 3);
+        for z in set.zones() {
+            let mean = z.mean_dollars();
+            let var = z.variance_dollars();
+            assert!((0.25..=0.40).contains(&mean), "mean {mean} out of range");
+            assert!(
+                var < 0.01,
+                "variance {var} too high for low-volatility window"
+            );
+        }
+    }
+
+    #[test]
+    fn high_volatility_matches_paper_calibration() {
+        let set = GenConfig::high_volatility(7).generate();
+        for z in set.zones() {
+            let mean = z.mean_dollars();
+            let var = z.variance_dollars();
+            assert!((0.55..=1.35).contains(&mean), "mean {mean} out of range");
+            assert!((0.2..=2.5).contains(&var), "variance {var} out of range");
+            // Spikes approach but do not exceed the $3.07 bid cap rationale.
+            assert!(
+                z.max_price() <= Price::from_millis(3_300),
+                "max {}",
+                z.max_price()
+            );
+            assert!(
+                z.max_price() >= Price::from_millis(2_000),
+                "max {}",
+                z.max_price()
+            );
+        }
+    }
+
+    #[test]
+    fn zones_are_nearly_independent() {
+        // Correlation of 5-min changes across zones should be weak.
+        let set = GenConfig::high_volatility(11).generate();
+        let d = |z: &PriceSeries| -> Vec<f64> {
+            z.samples()
+                .windows(2)
+                .map(|w| w[1].as_dollars() - w[0].as_dollars())
+                .collect()
+        };
+        let a = d(set.zone(ZoneId(0)));
+        let b = d(set.zone(ZoneId(1)));
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (ma, mb) = (mean(&a), mean(&b));
+        let cov: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - ma) * (y - mb))
+            .sum::<f64>()
+            / a.len() as f64;
+        let sd = |v: &[f64], m: f64| {
+            (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        let corr = cov / (sd(&a, ma) * sd(&b, mb));
+        assert!(
+            corr.abs() < 0.2,
+            "cross-zone change correlation too strong: {corr}"
+        );
+    }
+
+    #[test]
+    fn spike_injection_replaces_window_only() {
+        let set = GenConfig::low_volatility(5).generate();
+        let w = Window::starting_at(SimTime::from_hours(100), SimDuration::from_hours(10));
+        let spiked = inject_spike(&set, ZoneId(1), w, Price::MAX_OBSERVED_SPOT);
+        assert_eq!(
+            spiked.price_at(ZoneId(1), SimTime::from_hours(105)),
+            Price::MAX_OBSERVED_SPOT
+        );
+        // Other zones and other times untouched.
+        assert_eq!(
+            spiked.price_at(ZoneId(0), SimTime::from_hours(105)),
+            set.price_at(ZoneId(0), SimTime::from_hours(105))
+        );
+        assert_eq!(
+            spiked.price_at(ZoneId(1), SimTime::from_hours(200)),
+            set.price_at(ZoneId(1), SimTime::from_hours(200))
+        );
+    }
+
+    #[test]
+    fn year_history_contains_extreme_spike() {
+        let set = year_history(3);
+        assert_eq!(set.n_zones(), 3);
+        // 12 months of 30 days.
+        assert_eq!(set.duration(), SimDuration::from_hours(12 * 30 * 24));
+        let max = set.zones().iter().map(|z| z.max_price()).max().unwrap();
+        assert_eq!(max, Price::MAX_OBSERVED_SPOT);
+        // The spike is confined to zone 0.
+        assert!(set.zone(ZoneId(1)).max_price() < Price::from_dollars(4.0));
+    }
+
+    #[test]
+    fn prices_are_always_positive() {
+        let set = GenConfig::high_volatility(99).generate();
+        for z in set.zones() {
+            assert!(z.min_price() > Price::ZERO);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Trace persistence: JSON (self-describing, via serde) and CSV export for
+//! external plotting tools.
+
+use crate::price::Price;
+use crate::time::SimDuration;
+use crate::traceset::TraceSet;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Save a trace set as JSON.
+pub fn save_json(set: &TraceSet, path: &Path) -> io::Result<()> {
+    let file = BufWriter::new(File::create(path)?);
+    serde_json::to_writer(file, set).map_err(io::Error::other)
+}
+
+/// Load a trace set from JSON.
+pub fn load_json(path: &Path) -> io::Result<TraceSet> {
+    let file = BufReader::new(File::open(path)?);
+    serde_json::from_reader(file).map_err(io::Error::other)
+}
+
+/// Export a trace set as CSV: `time_s,zone0_usd,zone1_usd,...`.
+pub fn export_csv<W: Write>(set: &TraceSet, out: &mut W) -> io::Result<()> {
+    write!(out, "time_s")?;
+    for id in set.zone_ids() {
+        write!(out, ",{id}")?;
+    }
+    writeln!(out)?;
+    let z0 = set.zone(crate::traceset::ZoneId(0));
+    for i in 0..z0.len() {
+        let t = z0.start().secs() + i as u64 * z0.step();
+        write!(out, "{t}")?;
+        for z in set.zones() {
+            write!(out, ",{:.3}", z.samples()[i].as_dollars())?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Import a trace set from CSV in the [`export_csv`] format. All zones use
+/// the row spacing of the first two rows as the sampling step.
+pub fn import_csv<R: BufRead>(input: R) -> io::Result<TraceSet> {
+    use crate::series::PriceSeries;
+    use crate::time::SimTime;
+
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty CSV"))??;
+    let n_zones = header.split(',').count().saturating_sub(1);
+    if n_zones == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "no zone columns",
+        ));
+    }
+
+    let mut times: Vec<u64> = Vec::new();
+    let mut cols: Vec<Vec<Price>> = vec![Vec::new(); n_zones];
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let t: u64 = fields
+            .next()
+            .and_then(|f| f.trim().parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad time field"))?;
+        times.push(t);
+        for col in cols.iter_mut() {
+            let v: f64 = fields
+                .next()
+                .and_then(|f| f.trim().parse().ok())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad price field"))?;
+            col.push(Price::from_dollars(v));
+        }
+    }
+    if times.len() < 2 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "need at least two samples",
+        ));
+    }
+    let step = times[1] - times[0];
+    let start = SimTime::from_secs(times[0]);
+    let zones = cols
+        .into_iter()
+        .map(|samples| PriceSeries::with_step(start, step, samples))
+        .collect();
+    Ok(TraceSet::new(zones))
+}
+
+/// Round-trip helper used by the CLI: write CSV to a file.
+pub fn save_csv(set: &TraceSet, path: &Path) -> io::Result<()> {
+    let mut file = BufWriter::new(File::create(path)?);
+    export_csv(set, &mut file)?;
+    file.flush()
+}
+
+/// Load a trace set from a CSV file.
+pub fn load_csv(path: &Path) -> io::Result<TraceSet> {
+    import_csv(BufReader::new(File::open(path)?))
+}
+
+/// A short human-readable description of a trace set.
+pub fn describe(set: &TraceSet) -> String {
+    let mut s = format!(
+        "{} zones, {} samples/zone, span {}\n",
+        set.n_zones(),
+        set.zone(crate::traceset::ZoneId(0)).len(),
+        fmt_span(set.duration()),
+    );
+    for (id, z) in set.zone_ids().zip(set.zones()) {
+        s.push_str(&format!(
+            "  {id}: mean {:.3} var {:.4} min {} max {}\n",
+            z.mean_dollars(),
+            z.variance_dollars(),
+            z.min_price(),
+            z.max_price()
+        ));
+    }
+    s
+}
+
+fn fmt_span(d: SimDuration) -> String {
+    format!("{:.1}h", d.as_hours())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenConfig;
+    use std::io::Cursor;
+
+    #[test]
+    fn json_round_trip() {
+        let set = GenConfig::low_volatility(1).generate();
+        let dir = std::env::temp_dir().join("redspot-test-io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        save_json(&set, &path).unwrap();
+        let loaded = load_json(&path).unwrap();
+        assert_eq!(set, loaded);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let set = GenConfig::high_volatility(2).generate();
+        let mut buf = Vec::new();
+        export_csv(&set, &mut buf).unwrap();
+        let loaded = import_csv(Cursor::new(buf)).unwrap();
+        assert_eq!(set.n_zones(), loaded.n_zones());
+        assert_eq!(
+            set.zone(crate::traceset::ZoneId(0)).len(),
+            loaded.zone(crate::traceset::ZoneId(0)).len()
+        );
+        // CSV stores 3 decimals = exact milli-dollars, so prices round-trip.
+        assert_eq!(set, loaded);
+    }
+
+    #[test]
+    fn import_rejects_garbage() {
+        assert!(import_csv(Cursor::new(b"".as_slice())).is_err());
+        assert!(import_csv(Cursor::new(b"time_s\n".as_slice())).is_err());
+        assert!(import_csv(Cursor::new(b"time_s,z\nx,y\n".as_slice())).is_err());
+        assert!(import_csv(Cursor::new(b"time_s,z\n0,0.3\n".as_slice())).is_err());
+    }
+
+    #[test]
+    fn describe_mentions_all_zones() {
+        let set = GenConfig::low_volatility(1).generate();
+        let d = describe(&set);
+        assert!(d.contains("us-east-1a"));
+        assert!(d.contains("us-east-1c"));
+    }
+}

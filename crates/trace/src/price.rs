@@ -1,0 +1,254 @@
+//! Fixed-point money types.
+//!
+//! All prices and costs in redspot are stored as integer **milli-dollars**
+//! (1/1000 of a US dollar). The paper's price grid ($0.27 … $3.07 in $0.20
+//! steps, spikes to $20.02, on-demand $2.40) is exactly representable, and
+//! integer arithmetic keeps long simulation sweeps bit-for-bit reproducible
+//! across platforms and thread counts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A spot/on-demand price or an accumulated cost, in milli-dollars.
+///
+/// `Price` is used both for instantaneous hourly rates and for accumulated
+/// charges; the arithmetic is identical and keeping one type avoids a zoo of
+/// conversions in the billing code.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Price(u64);
+
+impl Price {
+    /// Zero dollars.
+    pub const ZERO: Price = Price(0);
+
+    /// The paper's on-demand rate for CC2 instances: $2.40/hour.
+    pub const ON_DEMAND: Price = Price::from_millis(2_400);
+
+    /// The lowest spot price observed in the paper's 12-month history: $0.27.
+    pub const MIN_SPOT: Price = Price::from_millis(270);
+
+    /// The largest spot price observed in the paper's 12-month history: $20.02.
+    pub const MAX_OBSERVED_SPOT: Price = Price::from_millis(20_020);
+
+    /// Construct from integer milli-dollars ($0.001 units).
+    pub const fn from_millis(millis: u64) -> Price {
+        Price(millis)
+    }
+
+    /// Construct from integer cents.
+    pub const fn from_cents(cents: u64) -> Price {
+        Price(cents * 10)
+    }
+
+    /// Construct from a floating-point dollar amount, rounding to the
+    /// nearest milli-dollar. Negative inputs clamp to zero.
+    pub fn from_dollars(dollars: f64) -> Price {
+        if dollars <= 0.0 || !dollars.is_finite() {
+            return Price::ZERO;
+        }
+        Price((dollars * 1000.0).round() as u64)
+    }
+
+    /// Raw milli-dollar value.
+    pub const fn millis(self) -> u64 {
+        self.0
+    }
+
+    /// Value in dollars as a float (for reporting only).
+    pub fn as_dollars(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: Price) -> Price {
+        Price(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Price) -> Option<Price> {
+        self.0.checked_add(rhs.0).map(Price)
+    }
+
+    /// Midpoint of two prices, rounding down. Used by the Threshold policy's
+    /// `PriceThresh = (S_min + B) / 2`.
+    pub const fn midpoint(self, other: Price) -> Price {
+        Price((self.0 + other.0) / 2)
+    }
+
+    /// Multiply by a dimensionless scale (e.g. 1.2 for "120% of on-demand"),
+    /// rounding to nearest.
+    pub fn scale(self, factor: f64) -> Price {
+        Price::from_dollars(self.as_dollars() * factor)
+    }
+
+    /// Cost of running for `seconds` at this hourly rate, pro-rated to the
+    /// second. EC2's 2014 billing never pro-rates (it charges whole hours);
+    /// this is provided for *forecasting* inside policies, not for billing.
+    pub fn prorated(self, seconds: u64) -> Price {
+        // u128 intermediate: 20_020 * u64::MAX would overflow u64.
+        Price(((self.0 as u128 * seconds as u128) / 3600) as u64)
+    }
+}
+
+impl Add for Price {
+    type Output = Price;
+    fn add(self, rhs: Price) -> Price {
+        Price(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Price {
+    fn add_assign(&mut self, rhs: Price) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Price {
+    type Output = Price;
+    fn sub(self, rhs: Price) -> Price {
+        Price(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Price {
+    fn sub_assign(&mut self, rhs: Price) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Price {
+    type Output = Price;
+    fn mul(self, rhs: u64) -> Price {
+        Price(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Price {
+    type Output = Price;
+    fn div(self, rhs: u64) -> Price {
+        Price(self.0 / rhs)
+    }
+}
+
+impl Sum for Price {
+    fn sum<I: Iterator<Item = Price>>(iter: I) -> Price {
+        iter.fold(Price::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Price {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dollars = self.0 / 1000;
+        let millis = self.0 % 1000;
+        if millis.is_multiple_of(10) {
+            write!(f, "${}.{:02}", dollars, millis / 10)
+        } else {
+            write!(f, "${}.{:03}", dollars, millis)
+        }
+    }
+}
+
+/// The paper's bid grid: $0.27 to $3.07 in steps of $0.20 (15 values).
+///
+/// Bids above $2.40 exist "to avoid failures due to occasional spot price
+/// spikes of up to $3.00" (Section 5).
+pub fn paper_bid_grid() -> Vec<Price> {
+    (0..15).map(|i| Price::from_millis(270 + 200 * i)).collect()
+}
+
+/// The three bid prices Figure 4 highlights: $0.27, $0.81 and $2.40.
+///
+/// $0.81 is not on the Section-5 sweep grid; the paper calls it out
+/// separately as the bid that "generally results in better median costs".
+pub fn highlight_bids() -> [Price; 3] {
+    [
+        Price::from_millis(270),
+        Price::from_millis(810),
+        Price::from_millis(2_400),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Price::from_cents(27), Price::from_millis(270));
+        assert_eq!(Price::from_dollars(0.27), Price::from_millis(270));
+        assert_eq!(Price::from_dollars(20.02), Price::MAX_OBSERVED_SPOT);
+        assert_eq!(Price::from_dollars(2.40), Price::ON_DEMAND);
+    }
+
+    #[test]
+    fn from_dollars_clamps_and_rounds() {
+        assert_eq!(Price::from_dollars(-1.0), Price::ZERO);
+        assert_eq!(Price::from_dollars(f64::NAN), Price::ZERO);
+        assert_eq!(Price::from_dollars(0.0004), Price::ZERO);
+        assert_eq!(Price::from_dollars(0.0006), Price::from_millis(1));
+    }
+
+    #[test]
+    fn display_formats_dollars() {
+        assert_eq!(Price::from_millis(270).to_string(), "$0.27");
+        assert_eq!(Price::from_millis(2400).to_string(), "$2.40");
+        assert_eq!(Price::from_millis(20020).to_string(), "$20.02");
+        assert_eq!(Price::from_millis(1).to_string(), "$0.001");
+        assert_eq!(Price::ZERO.to_string(), "$0.00");
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Price::from_millis(300);
+        let b = Price::from_millis(120);
+        assert_eq!(a + b, Price::from_millis(420));
+        assert_eq!(a - b, Price::from_millis(180));
+        assert_eq!(a * 3, Price::from_millis(900));
+        assert_eq!(a / 2, Price::from_millis(150));
+        assert_eq!(b.saturating_sub(a), Price::ZERO);
+        assert_eq!(a.midpoint(b), Price::from_millis(210));
+    }
+
+    #[test]
+    fn prorated_is_exact_for_whole_hours() {
+        let rate = Price::from_dollars(2.40);
+        assert_eq!(rate.prorated(3600), rate);
+        assert_eq!(rate.prorated(1800), Price::from_dollars(1.20));
+        assert_eq!(rate.prorated(0), Price::ZERO);
+        // 20 hours at on-demand: the paper's $48.00 reference line.
+        assert_eq!(rate.prorated(20 * 3600), Price::from_dollars(48.0));
+    }
+
+    #[test]
+    fn paper_grid_matches_section_5() {
+        let grid = paper_bid_grid();
+        assert_eq!(grid.len(), 15);
+        assert_eq!(grid[0], Price::from_dollars(0.27));
+        assert_eq!(grid[1], Price::from_dollars(0.47));
+        assert_eq!(grid[14], Price::from_dollars(3.07));
+        assert!(grid.contains(&Price::from_dollars(0.27)));
+    }
+
+    #[test]
+    fn highlight_bids_match_figure_4() {
+        assert_eq!(
+            highlight_bids(),
+            [
+                Price::from_dollars(0.27),
+                Price::from_dollars(0.81),
+                Price::from_dollars(2.40)
+            ]
+        );
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Price = (1..=4).map(Price::from_millis).sum();
+        assert_eq!(total, Price::from_millis(10));
+    }
+}

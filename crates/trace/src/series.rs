@@ -1,0 +1,317 @@
+//! A single availability zone's spot-price history.
+
+use crate::price::Price;
+use crate::time::{SimDuration, SimTime, PRICE_STEP};
+use crate::window::Window;
+use serde::{Deserialize, Serialize};
+
+/// A stepwise-constant spot-price series for one availability zone, sampled
+/// at a fixed interval (5 minutes in all paper experiments).
+///
+/// The price at time `t` is the sample of the step containing `t`; queries
+/// before the first sample return the first sample, queries at or past the
+/// end return the last sample (policies only ever look backwards, so this
+/// clamping only matters at trace edges).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PriceSeries {
+    start: SimTime,
+    step: u64,
+    prices: Vec<Price>,
+}
+
+impl PriceSeries {
+    /// Build a series starting at `start` with one sample per [`PRICE_STEP`].
+    ///
+    /// # Panics
+    /// Panics if `prices` is empty.
+    pub fn new(start: SimTime, prices: Vec<Price>) -> PriceSeries {
+        PriceSeries::with_step(start, PRICE_STEP, prices)
+    }
+
+    /// Build a series with an explicit sampling step (seconds).
+    ///
+    /// # Panics
+    /// Panics if `prices` is empty or `step` is zero.
+    pub fn with_step(start: SimTime, step: u64, prices: Vec<Price>) -> PriceSeries {
+        assert!(
+            !prices.is_empty(),
+            "price series must have at least one sample"
+        );
+        assert!(step > 0, "sampling step must be positive");
+        PriceSeries {
+            start,
+            step,
+            prices,
+        }
+    }
+
+    /// First instant covered by the series.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// One past the last instant covered (start + len * step).
+    pub fn end(&self) -> SimTime {
+        self.start + SimDuration::from_secs(self.step * self.prices.len() as u64)
+    }
+
+    /// Sampling step in seconds.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Whether the series has no samples. Always false by construction, but
+    /// provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+
+    /// Time span covered.
+    pub fn duration(&self) -> SimDuration {
+        self.end() - self.start
+    }
+
+    /// Raw samples.
+    pub fn samples(&self) -> &[Price] {
+        &self.prices
+    }
+
+    /// Index of the sample covering `t`, clamped to the series bounds.
+    fn index_at(&self, t: SimTime) -> usize {
+        if t <= self.start {
+            return 0;
+        }
+        let idx = (t.secs() - self.start.secs()) / self.step;
+        (idx as usize).min(self.prices.len() - 1)
+    }
+
+    /// The spot price in effect at `t`.
+    pub fn price_at(&self, t: SimTime) -> Price {
+        self.prices[self.index_at(t)]
+    }
+
+    /// True when the sample covering `t` is strictly higher than the
+    /// previous sample — the paper's "rising edge" signal (Section 4.3).
+    /// The first sample is never a rising edge.
+    pub fn is_rising_edge(&self, t: SimTime) -> bool {
+        let idx = self.index_at(t);
+        idx > 0 && self.prices[idx] > self.prices[idx - 1]
+    }
+
+    /// The instant the sample covering `t` begins.
+    pub fn step_start(&self, t: SimTime) -> SimTime {
+        self.start + SimDuration::from_secs(self.index_at(t) as u64 * self.step)
+    }
+
+    /// Iterate over `(sample_start_time, price)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, Price)> + '_ {
+        self.prices
+            .iter()
+            .enumerate()
+            .map(move |(i, &p)| (self.start + SimDuration::from_secs(i as u64 * self.step), p))
+    }
+
+    /// Extract the sub-series covering `window` (clamped to the series
+    /// bounds). The returned series starts at the sample boundary at or
+    /// before `window.start()`.
+    ///
+    /// # Panics
+    /// Panics if the window does not overlap the series at all.
+    pub fn slice(&self, window: Window) -> PriceSeries {
+        let lo = self.index_at(window.start());
+        let hi_t = window.end().min(self.end());
+        assert!(
+            window.start() < self.end() && hi_t > self.start,
+            "window does not overlap series"
+        );
+        let hi_excl = {
+            let raw = (hi_t.secs().saturating_sub(self.start.secs())).div_ceil(self.step) as usize;
+            raw.clamp(lo + 1, self.prices.len())
+        };
+        PriceSeries {
+            start: self.start + SimDuration::from_secs(lo as u64 * self.step),
+            step: self.step,
+            prices: self.prices[lo..hi_excl].to_vec(),
+        }
+    }
+
+    /// Samples within `window`, as raw prices (used by statistics).
+    pub fn samples_in(&self, window: Window) -> &[Price] {
+        let lo = self.index_at(window.start());
+        let hi = (self.index_at(window.end().saturating_sub(SimDuration::from_secs(1))) + 1)
+            .min(self.prices.len());
+        &self.prices[lo..hi.max(lo + 1)]
+    }
+
+    /// Minimum price over the whole series.
+    pub fn min_price(&self) -> Price {
+        *self.prices.iter().min().expect("non-empty by construction")
+    }
+
+    /// Maximum price over the whole series.
+    pub fn max_price(&self) -> Price {
+        *self.prices.iter().max().expect("non-empty by construction")
+    }
+
+    /// Minimum price over the samples covering `[from, to)` looking
+    /// backwards — used by the Threshold policy, which tracks the minimum
+    /// observed spot price.
+    pub fn min_price_in(&self, window: Window) -> Price {
+        *self
+            .samples_in(window)
+            .iter()
+            .min()
+            .expect("samples_in returns at least one sample")
+    }
+
+    /// Mean price in dollars (reporting / calibration only).
+    pub fn mean_dollars(&self) -> f64 {
+        self.prices.iter().map(|p| p.as_dollars()).sum::<f64>() / self.prices.len() as f64
+    }
+
+    /// Population variance of the price in dollars² (reporting /
+    /// calibration only).
+    pub fn variance_dollars(&self) -> f64 {
+        let mean = self.mean_dollars();
+        self.prices
+            .iter()
+            .map(|p| {
+                let d = p.as_dollars() - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.prices.len() as f64
+    }
+
+    /// Fraction of samples at which the zone would be available at bid `b`
+    /// (price ≤ bid).
+    pub fn availability_at_bid(&self, bid: Price) -> f64 {
+        let up = self.prices.iter().filter(|&&p| p <= bid).count();
+        up as f64 / self.prices.len() as f64
+    }
+
+    /// Time of the next sample boundary strictly after `t` at which the
+    /// price moves (changes value), or `None` if the price never moves
+    /// again. Used by event-driven simulation to skip quiet spans.
+    pub fn next_price_change(&self, t: SimTime) -> Option<(SimTime, Price)> {
+        let idx = self.index_at(t);
+        let cur = self.prices[idx];
+        for (j, &p) in self.prices.iter().enumerate().skip(idx + 1) {
+            if p != cur {
+                return Some((self.start + SimDuration::from_secs(j as u64 * self.step), p));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(millis: u64) -> Price {
+        Price::from_millis(millis)
+    }
+
+    fn series() -> PriceSeries {
+        // 5 samples at 300s: [t0..300)=270, [300..600)=270, [600..900)=500,
+        // [900..1200)=400, [1200..1500)=400
+        PriceSeries::new(SimTime::ZERO, vec![p(270), p(270), p(500), p(400), p(400)])
+    }
+
+    #[test]
+    fn price_lookup_is_stepwise_constant() {
+        let s = series();
+        assert_eq!(s.price_at(SimTime::from_secs(0)), p(270));
+        assert_eq!(s.price_at(SimTime::from_secs(299)), p(270));
+        assert_eq!(s.price_at(SimTime::from_secs(600)), p(500));
+        assert_eq!(s.price_at(SimTime::from_secs(899)), p(500));
+        // clamped past the end
+        assert_eq!(s.price_at(SimTime::from_secs(10_000)), p(400));
+    }
+
+    #[test]
+    fn rising_edge_detection() {
+        let s = series();
+        assert!(!s.is_rising_edge(SimTime::from_secs(0)));
+        assert!(!s.is_rising_edge(SimTime::from_secs(300)));
+        assert!(s.is_rising_edge(SimTime::from_secs(600)));
+        assert!(s.is_rising_edge(SimTime::from_secs(899)));
+        assert!(!s.is_rising_edge(SimTime::from_secs(900))); // falling
+        assert!(!s.is_rising_edge(SimTime::from_secs(1200))); // flat
+    }
+
+    #[test]
+    fn bounds_and_duration() {
+        let s = series();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.end(), SimTime::from_secs(1500));
+        assert_eq!(s.duration(), SimDuration::from_secs(1500));
+    }
+
+    #[test]
+    fn slicing_clamps_to_bounds() {
+        let s = series();
+        let w = Window::new(SimTime::from_secs(300), SimTime::from_secs(900));
+        let sub = s.slice(w);
+        assert_eq!(sub.start(), SimTime::from_secs(300));
+        assert_eq!(sub.samples(), &[p(270), p(500)]);
+
+        let w2 = Window::new(SimTime::from_secs(250), SimTime::from_secs(10_000));
+        let sub2 = s.slice(w2);
+        assert_eq!(sub2.start(), SimTime::ZERO);
+        assert_eq!(sub2.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "window does not overlap")]
+    fn slicing_disjoint_window_panics() {
+        let s = series();
+        s.slice(Window::new(
+            SimTime::from_secs(2_000),
+            SimTime::from_secs(3_000),
+        ));
+    }
+
+    #[test]
+    fn extrema_and_availability() {
+        let s = series();
+        assert_eq!(s.min_price(), p(270));
+        assert_eq!(s.max_price(), p(500));
+        assert!((s.availability_at_bid(p(400)) - 0.8).abs() < 1e-12);
+        assert!((s.availability_at_bid(p(269)) - 0.0).abs() < 1e-12);
+        assert!((s.availability_at_bid(p(500)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn next_price_change_skips_quiet_spans() {
+        let s = series();
+        assert_eq!(
+            s.next_price_change(SimTime::ZERO),
+            Some((SimTime::from_secs(600), p(500)))
+        );
+        assert_eq!(
+            s.next_price_change(SimTime::from_secs(600)),
+            Some((SimTime::from_secs(900), p(400)))
+        );
+        assert_eq!(s.next_price_change(SimTime::from_secs(900)), None);
+    }
+
+    #[test]
+    fn statistics() {
+        let s = PriceSeries::new(SimTime::ZERO, vec![p(1000), p(3000)]);
+        assert!((s.mean_dollars() - 2.0).abs() < 1e-12);
+        assert!((s.variance_dollars() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_series_panics() {
+        PriceSeries::new(SimTime::ZERO, vec![]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Up/down spell statistics at a bid price.
+//!
+//! A *spell* is a maximal run of consecutive samples on one side of the
+//! bid. Spell-length distributions are the raw material behind expected
+//! up-time models and availability forecasting, and make trace regimes
+//! comparable ("calm markets have day-long up-spells; turbulent ones,
+//! hour-long").
+
+use crate::price::Price;
+use crate::series::PriceSeries;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Spell-length statistics for one zone at one bid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpellStats {
+    /// Bid the spells were computed against.
+    pub bid: Price,
+    /// Lengths of maximal affordable runs.
+    pub up_spells: Vec<SimDuration>,
+    /// Lengths of maximal unaffordable runs.
+    pub down_spells: Vec<SimDuration>,
+}
+
+impl SpellStats {
+    /// Compute spells for a series at `bid`.
+    pub fn compute(series: &PriceSeries, bid: Price) -> SpellStats {
+        let step = series.step();
+        let mut up_spells = Vec::new();
+        let mut down_spells = Vec::new();
+        let mut current: Option<(bool, u64)> = None;
+        for &p in series.samples() {
+            let up = p <= bid;
+            current = match current {
+                Some((state, n)) if state == up => Some((state, n + 1)),
+                Some((state, n)) => {
+                    let spell = SimDuration::from_secs(n * step);
+                    if state {
+                        up_spells.push(spell);
+                    } else {
+                        down_spells.push(spell);
+                    }
+                    Some((up, 1))
+                }
+                None => Some((up, 1)),
+            };
+        }
+        if let Some((state, n)) = current {
+            let spell = SimDuration::from_secs(n * step);
+            if state {
+                up_spells.push(spell);
+            } else {
+                down_spells.push(spell);
+            }
+        }
+        SpellStats {
+            bid,
+            up_spells,
+            down_spells,
+        }
+    }
+
+    /// Mean up-spell length, or zero when never affordable.
+    pub fn mean_up(&self) -> SimDuration {
+        mean(&self.up_spells)
+    }
+
+    /// Mean down-spell length, or zero when never unaffordable.
+    pub fn mean_down(&self) -> SimDuration {
+        mean(&self.down_spells)
+    }
+
+    /// Fraction of time affordable.
+    pub fn availability(&self) -> f64 {
+        let up: u64 = self.up_spells.iter().map(|d| d.secs()).sum();
+        let down: u64 = self.down_spells.iter().map(|d| d.secs()).sum();
+        if up + down == 0 {
+            0.0
+        } else {
+            up as f64 / (up + down) as f64
+        }
+    }
+
+    /// Number of up→down transitions (failures a running instance at this
+    /// bid would suffer).
+    pub fn failures(&self) -> usize {
+        // Every down spell except a leading one is preceded by an up spell.
+        match (self.up_spells.is_empty(), self.down_spells.is_empty()) {
+            (true, _) => 0,
+            (_, true) => 0,
+            _ => self.down_spells.len().min(self.up_spells.len()),
+        }
+    }
+}
+
+fn mean(spells: &[SimDuration]) -> SimDuration {
+    if spells.is_empty() {
+        return SimDuration::ZERO;
+    }
+    SimDuration::from_secs(spells.iter().map(|d| d.secs()).sum::<u64>() / spells.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn m(v: u64) -> Price {
+        Price::from_millis(v)
+    }
+
+    fn series(vals: &[u64]) -> PriceSeries {
+        PriceSeries::new(SimTime::ZERO, vals.iter().map(|&v| m(v)).collect())
+    }
+
+    #[test]
+    fn spells_partition_the_series() {
+        // up(2), down(3), up(1)
+        let s = series(&[300, 300, 900, 900, 900, 300]);
+        let st = SpellStats::compute(&s, m(500));
+        assert_eq!(
+            st.up_spells,
+            vec![SimDuration::from_secs(600), SimDuration::from_secs(300)]
+        );
+        assert_eq!(st.down_spells, vec![SimDuration::from_secs(900)]);
+        assert!((st.availability() - 0.5).abs() < 1e-12);
+        assert_eq!(st.failures(), 1);
+    }
+
+    #[test]
+    fn always_up_and_always_down() {
+        let up = SpellStats::compute(&series(&[300; 10]), m(500));
+        assert_eq!(up.up_spells.len(), 1);
+        assert!(up.down_spells.is_empty());
+        assert_eq!(up.availability(), 1.0);
+        assert_eq!(up.failures(), 0);
+
+        let down = SpellStats::compute(&series(&[900; 10]), m(500));
+        assert!(down.up_spells.is_empty());
+        assert_eq!(down.availability(), 0.0);
+        assert_eq!(down.failures(), 0);
+        assert_eq!(down.mean_up(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn means_are_correct() {
+        let s = series(&[300, 900, 300, 300, 900, 900]);
+        let st = SpellStats::compute(&s, m(500));
+        // up spells: 1, 2 steps → mean 1.5 steps = 450s (integer: 450)
+        assert_eq!(st.mean_up(), SimDuration::from_secs(450));
+        // down spells: 1, 2 steps
+        assert_eq!(st.mean_down(), SimDuration::from_secs(450));
+    }
+
+    #[test]
+    fn high_volatility_spells_are_hour_scale() {
+        // The calibrated generator must produce hour-scale regime spells
+        // (this is what distinguishes it from per-step noise).
+        let set = crate::gen::GenConfig::high_volatility(3).generate();
+        let st = SpellStats::compute(set.zone(crate::traceset::ZoneId(0)), m(810));
+        assert!(
+            st.mean_up() > SimDuration::from_hours(1),
+            "mean up {}",
+            st.mean_up()
+        );
+        assert!(
+            st.mean_down() > SimDuration::from_mins(30),
+            "mean down {}",
+            st.mean_down()
+        );
+        assert!(st.failures() > 10);
+    }
+}

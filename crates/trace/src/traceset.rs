@@ -1,0 +1,233 @@
+//! Aligned multi-zone spot-price traces.
+
+use crate::price::Price;
+use crate::series::PriceSeries;
+use crate::time::{SimDuration, SimTime};
+use crate::window::Window;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an availability zone within a [`TraceSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ZoneId(pub usize);
+
+impl std::fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Mirror EC2's us-east-1a/b/c naming for the paper's three CC2 zones.
+        let letter = (b'a' + (self.0 % 26) as u8) as char;
+        write!(f, "us-east-1{letter}")
+    }
+}
+
+/// A set of per-zone price series with identical start, step, and length —
+/// the paper's three US-East CC2 zones.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSet {
+    zones: Vec<PriceSeries>,
+}
+
+impl TraceSet {
+    /// Build from per-zone series.
+    ///
+    /// # Panics
+    /// Panics if `zones` is empty or the series are not aligned (same
+    /// start, step and sample count).
+    pub fn new(zones: Vec<PriceSeries>) -> TraceSet {
+        assert!(!zones.is_empty(), "trace set needs at least one zone");
+        let (s0, st0, l0) = (zones[0].start(), zones[0].step(), zones[0].len());
+        for z in &zones[1..] {
+            assert!(
+                z.start() == s0 && z.step() == st0 && z.len() == l0,
+                "zone series must be aligned"
+            );
+        }
+        TraceSet { zones }
+    }
+
+    /// Number of availability zones.
+    pub fn n_zones(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// All zone ids.
+    pub fn zone_ids(&self) -> impl Iterator<Item = ZoneId> {
+        (0..self.zones.len()).map(ZoneId)
+    }
+
+    /// The series for one zone.
+    ///
+    /// # Panics
+    /// Panics if the zone id is out of range.
+    pub fn zone(&self, id: ZoneId) -> &PriceSeries {
+        &self.zones[id.0]
+    }
+
+    /// All zone series.
+    pub fn zones(&self) -> &[PriceSeries] {
+        &self.zones
+    }
+
+    /// First instant covered.
+    pub fn start(&self) -> SimTime {
+        self.zones[0].start()
+    }
+
+    /// One past the last instant covered.
+    pub fn end(&self) -> SimTime {
+        self.zones[0].end()
+    }
+
+    /// The full span as a window.
+    pub fn span(&self) -> Window {
+        Window::new(self.start(), self.end())
+    }
+
+    /// Time span covered.
+    pub fn duration(&self) -> SimDuration {
+        self.zones[0].duration()
+    }
+
+    /// Spot price of `zone` at `t`.
+    pub fn price_at(&self, zone: ZoneId, t: SimTime) -> Price {
+        self.zones[zone.0].price_at(t)
+    }
+
+    /// Slice every zone to `window`.
+    pub fn slice(&self, window: Window) -> TraceSet {
+        TraceSet::new(self.zones.iter().map(|z| z.slice(window)).collect())
+    }
+
+    /// Restrict to a subset of zones (used for single-zone experiments).
+    ///
+    /// # Panics
+    /// Panics if `ids` is empty or contains an out-of-range zone.
+    pub fn select_zones(&self, ids: &[ZoneId]) -> TraceSet {
+        assert!(!ids.is_empty(), "must select at least one zone");
+        TraceSet::new(ids.iter().map(|id| self.zones[id.0].clone()).collect())
+    }
+
+    /// Fraction of sample steps at which *at least one* zone's price is at
+    /// or below `bid` — the paper's "combined availability" (Figure 2).
+    pub fn combined_availability(&self, bid: Price) -> f64 {
+        let n = self.zones[0].len();
+        let up = (0..n)
+            .filter(|&i| self.zones.iter().any(|z| z.samples()[i] <= bid))
+            .count();
+        up as f64 / n as f64
+    }
+
+    /// Per-zone availability at `bid` (fraction of steps with price ≤ bid).
+    pub fn zone_availabilities(&self, bid: Price) -> Vec<f64> {
+        self.zones
+            .iter()
+            .map(|z| z.availability_at_bid(bid))
+            .collect()
+    }
+
+    /// Up/down runs for one zone at `bid`: a vector of `(window, up)` pairs
+    /// covering the whole trace — directly renders Figure 2's bars.
+    pub fn availability_runs(&self, zone: ZoneId, bid: Price) -> Vec<(Window, bool)> {
+        let z = &self.zones[zone.0];
+        let mut runs: Vec<(Window, bool)> = Vec::new();
+        for (t, p) in z.iter() {
+            let up = p <= bid;
+            let end = t + SimDuration::from_secs(z.step());
+            match runs.last_mut() {
+                Some((w, state)) if *state == up => *w = Window::new(w.start(), end),
+                _ => runs.push((Window::new(t, end), up)),
+            }
+        }
+        runs
+    }
+
+    /// Up/down runs of the *combined* system (up when any zone is up).
+    pub fn combined_availability_runs(&self, bid: Price) -> Vec<(Window, bool)> {
+        let z0 = &self.zones[0];
+        let mut runs: Vec<(Window, bool)> = Vec::new();
+        for i in 0..z0.len() {
+            let up = self.zones.iter().any(|z| z.samples()[i] <= bid);
+            let t = SimTime::from_secs(z0.start().secs() + i as u64 * z0.step());
+            let end = t + SimDuration::from_secs(z0.step());
+            match runs.last_mut() {
+                Some((w, state)) if *state == up => *w = Window::new(w.start(), end),
+                _ => runs.push((Window::new(t, end), up)),
+            }
+        }
+        runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(m: u64) -> Price {
+        Price::from_millis(m)
+    }
+
+    fn set() -> TraceSet {
+        let z0 = PriceSeries::new(SimTime::ZERO, vec![p(200), p(900), p(900), p(200)]);
+        let z1 = PriceSeries::new(SimTime::ZERO, vec![p(900), p(200), p(900), p(900)]);
+        let z2 = PriceSeries::new(SimTime::ZERO, vec![p(900), p(900), p(900), p(200)]);
+        TraceSet::new(vec![z0, z1, z2])
+    }
+
+    #[test]
+    fn alignment_is_enforced() {
+        let z0 = PriceSeries::new(SimTime::ZERO, vec![p(1), p(2)]);
+        let z1 = PriceSeries::new(SimTime::from_secs(300), vec![p(1), p(2)]);
+        let result = std::panic::catch_unwind(|| TraceSet::new(vec![z0, z1]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn combined_availability_is_union() {
+        let s = set();
+        let bid = p(500);
+        // zone availabilities: 2/4, 1/4, 1/4; union covers steps 0,1,3 = 3/4
+        assert_eq!(s.zone_availabilities(bid), vec![0.5, 0.25, 0.25]);
+        assert!((s.combined_availability(bid) - 0.75).abs() < 1e-12);
+        // Redundancy never lowers availability below the best single zone.
+        for z in s.zone_availabilities(bid) {
+            assert!(s.combined_availability(bid) >= z);
+        }
+    }
+
+    #[test]
+    fn runs_partition_the_trace() {
+        let s = set();
+        let runs = s.availability_runs(ZoneId(0), p(500));
+        assert_eq!(runs.len(), 3); // up, down(2 steps), up
+        assert!(runs[0].1 && !runs[1].1 && runs[2].1);
+        assert_eq!(runs[1].0.duration(), SimDuration::from_secs(600));
+        let total: u64 = runs.iter().map(|(w, _)| w.duration().secs()).sum();
+        assert_eq!(total, s.duration().secs());
+
+        let cruns = s.combined_availability_runs(p(500));
+        let ctotal: u64 = cruns.iter().map(|(w, _)| w.duration().secs()).sum();
+        assert_eq!(ctotal, s.duration().secs());
+        // combined: up, up, down, up -> merges to up(2), down(1), up(1)
+        assert_eq!(cruns.len(), 3);
+    }
+
+    #[test]
+    fn select_and_slice() {
+        let s = set();
+        let one = s.select_zones(&[ZoneId(1)]);
+        assert_eq!(one.n_zones(), 1);
+        assert_eq!(one.price_at(ZoneId(0), SimTime::from_secs(300)), p(200));
+
+        let sub = s.slice(Window::new(
+            SimTime::from_secs(300),
+            SimTime::from_secs(900),
+        ));
+        assert_eq!(sub.zone(ZoneId(0)).len(), 2);
+        assert_eq!(sub.start(), SimTime::from_secs(300));
+    }
+
+    #[test]
+    fn zone_id_display_mimics_ec2() {
+        assert_eq!(ZoneId(0).to_string(), "us-east-1a");
+        assert_eq!(ZoneId(2).to_string(), "us-east-1c");
+    }
+}

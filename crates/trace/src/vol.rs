@@ -1,0 +1,74 @@
+//! Volatility classification of price windows (the paper's low- vs
+//! high-volatility evaluation regimes, Section 5).
+
+use crate::traceset::TraceSet;
+use crate::window::Window;
+use serde::{Deserialize, Serialize};
+
+/// Volatility regime of a price window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Volatility {
+    /// Paper's March-2013-like regime: variance < 0.01 per zone.
+    Low,
+    /// Between the paper's published thresholds.
+    Moderate,
+    /// Paper's January-2013-like regime: variance up to ≈ 2 per zone.
+    High,
+}
+
+impl std::fmt::Display for Volatility {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Volatility::Low => "low",
+            Volatility::Moderate => "moderate",
+            Volatility::High => "high",
+        })
+    }
+}
+
+/// Variance threshold below which a window counts as low-volatility
+/// (the paper's "variance of less than 0.01 in each zone").
+pub const LOW_VARIANCE: f64 = 0.01;
+
+/// Variance threshold above which a window counts as high-volatility.
+/// The paper's high window has variance "up to 2.02"; any zone above 0.25
+/// already behaves qualitatively like the high regime for the policies.
+pub const HIGH_VARIANCE: f64 = 0.25;
+
+/// Classify the volatility of `window` within `set`: low iff *every* zone
+/// is below [`LOW_VARIANCE`], high iff *any* zone exceeds [`HIGH_VARIANCE`].
+pub fn classify(set: &TraceSet, window: Window) -> Volatility {
+    let vars: Vec<f64> = set
+        .zones()
+        .iter()
+        .map(|z| z.slice(window).variance_dollars())
+        .collect();
+    if vars.iter().all(|&v| v < LOW_VARIANCE) {
+        Volatility::Low
+    } else if vars.iter().any(|&v| v > HIGH_VARIANCE) {
+        Volatility::High
+    } else {
+        Volatility::Moderate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenConfig;
+
+    #[test]
+    fn presets_classify_as_intended() {
+        let low = GenConfig::low_volatility(21).generate();
+        assert_eq!(classify(&low, low.span()), Volatility::Low);
+        let high = GenConfig::high_volatility(21).generate();
+        assert_eq!(classify(&high, high.span()), Volatility::High);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Volatility::Low.to_string(), "low");
+        assert_eq!(Volatility::High.to_string(), "high");
+        assert_eq!(Volatility::Moderate.to_string(), "moderate");
+    }
+}

@@ -1,0 +1,157 @@
+//! Half-open time windows and the paper's overlapping-window experiment
+//! layout (Section 5: "80 experiments over partially overlapping chunks in
+//! each spot price window").
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A half-open interval `[start, end)` of simulation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Window {
+    start: SimTime,
+    end: SimTime,
+}
+
+impl Window {
+    /// Construct a window.
+    ///
+    /// # Panics
+    /// Panics if `end <= start`.
+    pub fn new(start: SimTime, end: SimTime) -> Window {
+        assert!(end > start, "window must have positive duration");
+        Window { start, end }
+    }
+
+    /// Construct from a start and a duration.
+    pub fn starting_at(start: SimTime, duration: SimDuration) -> Window {
+        Window::new(start, start + duration)
+    }
+
+    /// Inclusive start.
+    pub fn start(self) -> SimTime {
+        self.start
+    }
+
+    /// Exclusive end.
+    pub fn end(self) -> SimTime {
+        self.end
+    }
+
+    /// Length of the window.
+    pub fn duration(self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Whether `t` lies within `[start, end)`.
+    pub fn contains(self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Whether two windows share any instant.
+    pub fn overlaps(self, other: Window) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// The overlapping part of two windows, if any.
+    pub fn intersect(self, other: Window) -> Option<Window> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (end > start).then(|| Window::new(start, end))
+    }
+
+    /// Shift the whole window later by `d`.
+    pub fn shifted(self, d: SimDuration) -> Window {
+        Window::new(self.start + d, self.end + d)
+    }
+}
+
+/// Lay out `count` equal-length, partially overlapping experiment windows
+/// across `span`, mirroring the paper's "80 experiments over partially
+/// overlapping chunks". Windows are spaced evenly; when the span is large
+/// enough they merely overlap, when it is tight they stack more densely.
+///
+/// Returns fewer than `count` windows only if even a single window does not
+/// fit, in which case it returns an empty vector.
+pub fn overlapping_windows(span: Window, window_len: SimDuration, count: usize) -> Vec<Window> {
+    if count == 0 || window_len > span.duration() {
+        return Vec::new();
+    }
+    let free = span.duration().secs() - window_len.secs();
+    if count == 1 {
+        return vec![Window::starting_at(span.start(), window_len)];
+    }
+    (0..count)
+        .map(|i| {
+            // Evenly distribute starts over the available play, rounding to
+            // whole 5-minute steps so experiment starts align with samples.
+            let offset = free * i as u64 / (count as u64 - 1);
+            let offset = offset / 300 * 300;
+            Window::starting_at(span.start() + SimDuration::from_secs(offset), window_len)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(a: u64, b: u64) -> Window {
+        Window::new(SimTime::from_secs(a), SimTime::from_secs(b))
+    }
+
+    #[test]
+    fn basics() {
+        let win = w(100, 400);
+        assert_eq!(win.duration(), SimDuration::from_secs(300));
+        assert!(win.contains(SimTime::from_secs(100)));
+        assert!(win.contains(SimTime::from_secs(399)));
+        assert!(!win.contains(SimTime::from_secs(400)));
+        assert!(!win.contains(SimTime::from_secs(99)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn degenerate_window_panics() {
+        w(100, 100);
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        assert!(w(0, 10).overlaps(w(5, 15)));
+        assert!(!w(0, 10).overlaps(w(10, 20)));
+        assert_eq!(w(0, 10).intersect(w(5, 15)), Some(w(5, 10)));
+        assert_eq!(w(0, 10).intersect(w(10, 20)), None);
+    }
+
+    #[test]
+    fn shifted_moves_both_ends() {
+        assert_eq!(w(0, 10).shifted(SimDuration::from_secs(5)), w(5, 15));
+    }
+
+    #[test]
+    fn layout_produces_requested_count() {
+        let span = Window::new(SimTime::ZERO, SimTime::from_hours(24 * 30));
+        let wins = overlapping_windows(span, SimDuration::from_hours(30), 80);
+        assert_eq!(wins.len(), 80);
+        assert_eq!(wins[0].start(), span.start());
+        // All windows fit inside the span.
+        assert!(wins.iter().all(|x| x.end() <= span.end()));
+        // Starts are non-decreasing and the last window reaches near the end.
+        assert!(wins.windows(2).all(|p| p[0].start() <= p[1].start()));
+        assert!(wins.last().unwrap().end() + SimDuration::from_mins(5) > span.end());
+        // Starts align to 5-minute boundaries.
+        assert!(wins.iter().all(|x| x.start().secs() % 300 == 0));
+        // Consecutive windows overlap (partially overlapping chunks).
+        assert!(wins.windows(2).all(|p| p[0].overlaps(p[1])));
+    }
+
+    #[test]
+    fn layout_degenerate_cases() {
+        let span = Window::new(SimTime::ZERO, SimTime::from_hours(10));
+        assert!(overlapping_windows(span, SimDuration::from_hours(20), 5).is_empty());
+        assert!(overlapping_windows(span, SimDuration::from_hours(1), 0).is_empty());
+        let one = overlapping_windows(span, SimDuration::from_hours(10), 3);
+        assert_eq!(one.len(), 3);
+        assert!(one.iter().all(|x| *x == one[0]));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the trace substrate.
+
+use proptest::prelude::*;
+use redspot_trace::gen::{GenConfig, ZoneRegime};
+use redspot_trace::{Price, PriceSeries, SimDuration, SimTime, Window};
+
+proptest! {
+    /// Price fixed-point round trip through dollars never drifts more
+    /// than half a milli-dollar.
+    #[test]
+    fn price_dollar_round_trip(millis in 0u64..100_000_000) {
+        let p = Price::from_millis(millis);
+        let back = Price::from_dollars(p.as_dollars());
+        prop_assert_eq!(p, back);
+    }
+
+    /// Price arithmetic is consistent with the underlying integers.
+    #[test]
+    fn price_arithmetic_is_integer_arithmetic(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let (pa, pb) = (Price::from_millis(a), Price::from_millis(b));
+        prop_assert_eq!((pa + pb).millis(), a + b);
+        prop_assert_eq!(pa.saturating_sub(pb).millis(), a.saturating_sub(b));
+        prop_assert_eq!(pa.midpoint(pb).millis(), (a + b) / 2);
+        prop_assert_eq!((pa * 3).millis(), a * 3);
+    }
+
+    /// Pro-rated cost is monotone in duration and exact on whole hours.
+    #[test]
+    fn prorated_monotone(rate in 1u64..30_000, secs in 0u64..1_000_000) {
+        let p = Price::from_millis(rate);
+        prop_assert!(p.prorated(secs) <= p.prorated(secs + 60));
+        prop_assert_eq!(p.prorated(3_600), p);
+    }
+
+    /// Billed hours is the ceiling of the duration in hours.
+    #[test]
+    fn billed_hours_is_ceiling(secs in 0u64..1_000_000) {
+        let d = SimDuration::from_secs(secs);
+        let h = d.billed_hours();
+        prop_assert!(h * 3_600 >= secs);
+        prop_assert!(h == 0 || (h - 1) * 3_600 < secs);
+    }
+
+    /// price_at always returns one of the series' samples, and slicing
+    /// preserves lookups inside the window.
+    #[test]
+    fn series_lookup_and_slice_agree(
+        samples in prop::collection::vec(1u64..5_000, 4..60),
+        query in 0u64..20_000,
+        lo in 0usize..3,
+    ) {
+        let prices: Vec<Price> = samples.iter().map(|&m| Price::from_millis(m)).collect();
+        let s = PriceSeries::new(SimTime::ZERO, prices.clone());
+        let t = SimTime::from_secs(query);
+        prop_assert!(prices.contains(&s.price_at(t)));
+
+        let w = Window::new(
+            SimTime::from_secs(lo as u64 * 300),
+            s.end(),
+        );
+        let sub = s.slice(w);
+        // Lookups inside the slice agree with the parent series.
+        let mid = SimTime::from_secs(lo as u64 * 300 + 150);
+        prop_assert_eq!(sub.price_at(mid), s.price_at(mid));
+    }
+
+    /// Windows laid out by the overlapping layout always fit the span.
+    #[test]
+    fn layout_fits_span(count in 1usize..50, span_h in 40u64..200) {
+        let span = Window::new(SimTime::ZERO, SimTime::from_hours(span_h));
+        let wins = redspot_trace::overlapping_windows(span, SimDuration::from_hours(30), count);
+        prop_assert_eq!(wins.len(), count);
+        for w in &wins {
+            prop_assert!(w.start() >= span.start());
+            prop_assert!(w.end() <= span.end());
+        }
+    }
+
+    /// Generated traces are positive, aligned and deterministic per seed,
+    /// whatever the regime parameters.
+    #[test]
+    fn generator_is_total_and_deterministic(
+        seed in 0u64..1_000,
+        calm in 100u64..1_000,
+        elev in 1_000u64..3_000,
+        p_spike in 0.0f64..0.05,
+    ) {
+        let regime = ZoneRegime {
+            calm_base: calm,
+            calm_jitter: calm / 10,
+            p_move: 0.2,
+            elevated_base: elev,
+            elevated_jitter: elev / 10,
+            p_calm_to_elevated: 0.01,
+            p_elevated_to_calm: 0.05,
+            p_spike,
+            spike_range: (elev, elev * 2),
+            spike_steps: (1, 5),
+        };
+        let cfg = GenConfig {
+            zones: vec![regime.clone(), regime],
+            duration: SimDuration::from_hours(24),
+            start: SimTime::ZERO,
+            seed,
+            common_amplitude: 5,
+        };
+        let a = cfg.generate();
+        let b = cfg.generate();
+        prop_assert_eq!(&a, &b);
+        for z in a.zones() {
+            prop_assert!(z.min_price() > Price::ZERO);
+            prop_assert_eq!(z.len(), 24 * 12);
+        }
+    }
+
+    /// Combined availability is at least every single zone's availability
+    /// and at most their sum.
+    #[test]
+    fn combined_availability_bounds(seed in 0u64..200, bid in 200u64..3_000) {
+        let set = GenConfig::high_volatility(seed).generate();
+        let bid = Price::from_millis(bid);
+        let combined = set.combined_availability(bid);
+        let singles = set.zone_availabilities(bid);
+        for &s in &singles {
+            prop_assert!(combined >= s - 1e-12);
+        }
+        prop_assert!(combined <= singles.iter().sum::<f64>() + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&combined));
+    }
+}
+
+proptest! {
+    /// CSV export/import round-trips any generated trace exactly
+    /// (milli-dollar precision is preserved by the 3-decimal format).
+    #[test]
+    fn csv_round_trip_is_exact(seed in 0u64..300) {
+        use std::io::Cursor;
+        let cfg = GenConfig { duration: SimDuration::from_hours(24), ..GenConfig::high_volatility(seed) };
+        let set = cfg.generate();
+        let mut buf = Vec::new();
+        redspot_trace::io::export_csv(&set, &mut buf).unwrap();
+        let back = redspot_trace::io::import_csv(Cursor::new(buf)).unwrap();
+        prop_assert_eq!(set, back);
+    }
+
+    /// Bootstrap resampling preserves the sampling grid and value domain.
+    #[test]
+    fn bootstrap_respects_grid(seed in 0u64..100, block_h in 2u64..48, out_days in 1u64..20) {
+        use redspot_trace::bootstrap::{resample, BootstrapConfig};
+        let src = GenConfig::high_volatility(seed).generate();
+        let cfg = BootstrapConfig {
+            block: SimDuration::from_hours(block_h),
+            output_len: SimDuration::from_hours(out_days * 24),
+            seed,
+        };
+        let out = resample(&src, &cfg);
+        prop_assert_eq!(out.n_zones(), src.n_zones());
+        prop_assert_eq!(out.duration(), SimDuration::from_hours(out_days * 24));
+        prop_assert!(out.zones().iter().all(|z| z.min_price() > Price::ZERO));
+    }
+}

@@ -1,0 +1,74 @@
+//! The Large-bid cautionary tale (Section 7.2.2, Figure 6): bidding $100
+//! "so you never get kicked" works — until the market spikes to $20.02
+//! inside your billing hour. Adaptive caps its exposure instead.
+//!
+//! Uses the 12-month composite history, which (like the paper's data)
+//! contains one extreme spike to $20.02 in mid-March.
+//!
+//! ```sh
+//! cargo run --release --example large_bid_risk
+//! ```
+
+use redspot::core::policy::large_bid::LARGE_BID;
+use redspot::core::policy::LargeBidPolicy;
+use redspot::prelude::*;
+use redspot::trace::gen::year_history;
+
+fn main() {
+    let traces = year_history(42);
+    // Start the job a few hours before the extreme spike hits zone 0.
+    let start = SimTime::from_hours(3 * 30 * 24 + 13 * 24 - 4);
+
+    println!(
+        "12-month history: max observed price {}",
+        Price::MAX_OBSERVED_SPOT
+    );
+    println!("job: 20h compute, 23h deadline, starting 4h before the spike\n");
+
+    // Naive Large-bid in the spiking zone: no threshold, bid $100.
+    let mut cfg = ExperimentConfig::paper_default();
+    cfg.zones = vec![ZoneId(0)];
+    cfg.bid = LARGE_BID;
+    cfg.record_events = false;
+    let naive = redspot::core::Engine::new(
+        &traces,
+        start,
+        cfg.clone(),
+        Box::new(LargeBidPolicy::naive()),
+    )
+    .run();
+    println!(
+        "Large-bid (naive):    ${:>7.2}  ({:.1}x on-demand!)",
+        naive.cost_dollars(),
+        naive.cost_dollars() / 48.0
+    );
+
+    // Large-bid with a cost-control threshold L = $0.81.
+    let guarded = redspot::core::Engine::new(
+        &traces,
+        start,
+        cfg.clone(),
+        Box::new(LargeBidPolicy::new(Price::from_millis(810))),
+    )
+    .run();
+    println!(
+        "Large-bid (L=$0.81):  ${:>7.2}  (threshold dodges the spike, if you guessed L right)",
+        guarded.cost_dollars()
+    );
+
+    // Adaptive: no thresholds to guess; bounded by construction.
+    let mut acfg = ExperimentConfig::paper_default();
+    acfg.record_events = false;
+    let adaptive = AdaptiveRunner::new(&traces, start, acfg).run();
+    println!(
+        "Adaptive:             ${:>7.2}  (deadline met: {})",
+        adaptive.cost_dollars(),
+        adaptive.met_deadline
+    );
+
+    assert!(naive.met_deadline && guarded.met_deadline && adaptive.met_deadline);
+    assert!(
+        naive.cost_dollars() > adaptive.cost_dollars(),
+        "the spike must hurt the naive bidder"
+    );
+}

@@ -1,0 +1,75 @@
+//! Compare every checkpoint policy — single-zone and redundant — on calm
+//! and turbulent markets: a miniature of the paper's Figure 4.
+//!
+//! ```sh
+//! cargo run --release --example policy_comparison
+//! ```
+
+use redspot::prelude::*;
+
+fn run_policy(
+    traces: &TraceSet,
+    start: SimTime,
+    kind: PolicyKind,
+    zones: Vec<ZoneId>,
+) -> redspot::core::RunResult {
+    let mut cfg = ExperimentConfig::paper_default();
+    cfg.zones = zones;
+    cfg.record_events = false;
+    Engine::new(traces, start, cfg, kind.build()).run()
+}
+
+fn main() {
+    let kinds = [
+        PolicyKind::Threshold,
+        PolicyKind::RisingEdge,
+        PolicyKind::Periodic,
+        PolicyKind::MarkovDaly,
+    ];
+
+    for (name, traces) in [
+        (
+            "calm market (low volatility)",
+            GenConfig::low_volatility(42).generate(),
+        ),
+        (
+            "turbulent market (high volatility)",
+            GenConfig::high_volatility(42).generate(),
+        ),
+    ] {
+        println!("== {name} ==");
+        println!(
+            "{:<28}{:>10}{:>12}{:>12}",
+            "scheme", "cost", "ckpts", "failures"
+        );
+        let start = SimTime::from_hours(72);
+
+        for kind in kinds {
+            // Single zone.
+            let r = run_policy(&traces, start, kind, vec![ZoneId(0)]);
+            println!(
+                "{:<28}{:>9.2}${:>12}{:>12}",
+                format!("{kind} (1 zone)"),
+                r.cost_dollars(),
+                r.checkpoints,
+                r.out_of_bid_terminations
+            );
+            // Three-zone redundancy.
+            let zones: Vec<ZoneId> = traces.zone_ids().collect();
+            let r = run_policy(&traces, start, kind, zones);
+            println!(
+                "{:<28}{:>9.2}${:>12}{:>12}",
+                format!("{kind} (3 zones)"),
+                r.cost_dollars(),
+                r.checkpoints,
+                r.out_of_bid_terminations
+            );
+        }
+        println!("{:<28}{:>9.2}$\n", "on-demand", 48.0);
+    }
+    println!(
+        "On calm markets a single cheap zone wins; on turbulent markets\n\
+         redundancy buys availability that single zones cannot reach at\n\
+         moderate bids — the paper's Figure 4 in miniature."
+    );
+}

@@ -1,0 +1,101 @@
+//! The mechanics of spot-market execution (the paper's Figures 1 and 3):
+//! a short run on a hand-crafted price trace, printing the price
+//! movements, instance state transitions, checkpoints, rollbacks and the
+//! billing decisions they trigger.
+//!
+//! ```sh
+//! cargo run --release --example spot_mechanics
+//! ```
+
+use redspot::ckpt::{AppSpec, CkptCosts};
+use redspot::core::Event;
+use redspot::market::DelayModel;
+use redspot::prelude::*;
+use redspot::trace::PriceSeries;
+
+fn main() {
+    // A hand-crafted single-zone price trace (one sample per 5 minutes):
+    // calm at $0.30, a spike above the bid at hour 2.5, recovery at hour
+    // 3.5, a slow climb (rising edges) around hour 5.
+    let mut samples = Vec::new();
+    for step in 0..120 {
+        let t_h = step as f64 / 12.0;
+        let price = if (2.5..3.5).contains(&t_h) {
+            1.50 // out-of-bid outage
+        } else if (5.0..5.3).contains(&t_h) {
+            0.40 + (t_h - 5.0) * 0.8 // rising edge, still under the bid
+        } else {
+            0.30
+        };
+        samples.push(Price::from_dollars(price));
+    }
+    let traces = TraceSet::new(vec![PriceSeries::new(SimTime::ZERO, samples)]);
+
+    // A small 6-hour job with an 8-hour deadline, checkpointing on rising
+    // edges (the paper's Figure 3 policy).
+    let mut cfg = ExperimentConfig::paper_default();
+    cfg.app = AppSpec::new(SimDuration::from_hours(6));
+    cfg.deadline = SimDuration::from_hours(8);
+    cfg.costs = CkptCosts::LOW;
+    cfg.zones = vec![ZoneId(0)];
+    cfg.record_events = true;
+
+    let engine = redspot::core::Engine::with_delay_model(
+        &traces,
+        SimTime::ZERO,
+        cfg,
+        PolicyKind::RisingEdge.build(),
+        DelayModel::constant(150),
+    );
+    let result = engine.run();
+
+    println!("Rising-Edge policy on a hand-crafted trace (bid $0.81):\n");
+    for event in &result.events {
+        let t = event.at().as_hours();
+        let s = traces.price_at(ZoneId(0), event.at());
+        match event {
+            Event::Requested { bid, .. } => {
+                println!("{t:>5.2}h  S={s}  spot request submitted (bid {bid})")
+            }
+            Event::Started { from, .. } => {
+                println!(
+                    "{t:>5.2}h  S={s}  instance up, computing from {:.2}h",
+                    from.as_hours()
+                )
+            }
+            Event::Waiting { .. } => println!("{t:>5.2}h  S={s}  affordable again -> waiting"),
+            Event::Terminated { cause, charged, .. } => {
+                println!("{t:>5.2}h  S={s}  terminated ({cause:?}), charged {charged}")
+            }
+            Event::CheckpointStarted { position, .. } => {
+                println!(
+                    "{t:>5.2}h  S={s}  checkpoint started at {:.2}h",
+                    position.as_hours()
+                )
+            }
+            Event::CheckpointCommitted { position, .. } => {
+                println!(
+                    "{t:>5.2}h  S={s}  checkpoint committed ({:.2}h durable)",
+                    position.as_hours()
+                )
+            }
+            Event::CheckpointAborted { .. } => println!("{t:>5.2}h  S={s}  checkpoint ABORTED"),
+            Event::HourCharged { rate, .. } => println!("{t:>5.2}h  S={s}  hour billed at {rate}"),
+            Event::SwitchedToOnDemand { .. } => println!("{t:>5.2}h  S={s}  migrated to on-demand"),
+            Event::AdaptiveSwitch { .. } | Event::DeadlineChanged { .. } => {}
+            Event::Completed { .. } => println!("{t:>5.2}h  S={s}  job complete"),
+        }
+    }
+    println!(
+        "\ntotal ${:.2}; {} checkpoints, {} restarts, {} out-of-bid terminations; deadline met: {}",
+        result.cost_dollars(),
+        result.checkpoints,
+        result.restarts,
+        result.out_of_bid_terminations,
+        result.met_deadline
+    );
+    println!(
+        "\nNote the out-of-bid hour was free (EC2's partial-hour rule) but\n\
+         the uncommitted progress since the last checkpoint was lost."
+    );
+}

@@ -1,0 +1,63 @@
+//! The paper's motivating scenario (Section 2.1): "finish the weather
+//! prediction for tomorrow before the evening newscast at 7 pm."
+//!
+//! A 20-hour forecast model is kicked off at 8 pm the night before; the
+//! results must be ready by 7 pm — 23 hours of wall-clock, i.e. 3 hours of
+//! slack. The market is turbulent. The adaptive controller must finish on
+//! time *whatever happens*, as cheaply as it can.
+//!
+//! ```sh
+//! cargo run --release --example weather_deadline
+//! ```
+
+use redspot::core::Event;
+use redspot::prelude::*;
+
+fn main() {
+    // A turbulent (January-2013-like) month.
+    let traces = GenConfig::high_volatility(7).generate();
+
+    // Kick off at "8 pm on day 5" of the trace.
+    let start = SimTime::from_hours(5 * 24 + 20);
+    let mut cfg = ExperimentConfig::paper_default().with_slack_percent(15);
+    cfg.record_events = true;
+
+    println!("weather run: 20h forecast, must finish within 23h (3h slack)\n");
+
+    let result = AdaptiveRunner::new(&traces, start, cfg).run();
+
+    println!(
+        "cost ${:.2} (spot ${:.2} + on-demand ${:.2}); on air in {:.1}h — {}",
+        result.cost_dollars(),
+        result.spot_cost.as_dollars(),
+        result.od_cost.as_dollars(),
+        result.makespan(start).as_hours(),
+        if result.met_deadline {
+            "made the 7pm newscast"
+        } else {
+            "MISSED THE NEWSCAST"
+        },
+    );
+    assert!(result.met_deadline, "Algorithm 1 guarantees the deadline");
+
+    println!("\nwhat the controller did:");
+    for event in &result.events {
+        let t = event.at().since(start).as_hours();
+        match event {
+            Event::AdaptiveSwitch { to, .. } => println!("  {t:>5.1}h  switch to {to}"),
+            Event::SwitchedToOnDemand { committed, .. } => println!(
+                "  {t:>5.1}h  deadline guard: migrate to on-demand ({:.1}h of work committed)",
+                committed.as_hours()
+            ),
+            Event::Terminated { zone, cause, .. } => {
+                println!("  {t:>5.1}h  {zone} terminated ({cause:?})")
+            }
+            Event::Completed { .. } => println!("  {t:>5.1}h  forecast complete"),
+            _ => {}
+        }
+    }
+    println!(
+        "\ncheckpoints: {}, restarts: {}, out-of-bid terminations: {}",
+        result.checkpoints, result.restarts, result.out_of_bid_terminations
+    );
+}

@@ -1,0 +1,75 @@
+//! Property tests for the Adaptive meta-policy across randomized markets:
+//! the two promises the paper makes — deadline always met, cost bounded
+//! relative to on-demand — must hold for *any* market the generator can
+//! produce.
+
+use proptest::prelude::*;
+use redspot::prelude::*;
+use redspot::trace::gen::{GenConfig, ZoneRegime};
+
+fn arb_market() -> impl Strategy<Value = TraceSet> {
+    (
+        0u64..5_000,
+        150u64..800,     // calm base
+        1_000u64..3_000, // elevated base
+        0.0f64..0.05,    // p_calm_to_elevated
+        0.02f64..0.2,    // p_elevated_to_calm
+        0.0f64..0.02,    // p_spike
+    )
+        .prop_map(|(seed, calm, elev, p_up, p_down, p_spike)| {
+            let mk = |i: usize| ZoneRegime {
+                calm_base: calm + 15 * i as u64,
+                calm_jitter: calm / 10,
+                p_move: 0.15,
+                elevated_base: elev + 50 * i as u64,
+                elevated_jitter: elev / 10,
+                p_calm_to_elevated: p_up,
+                p_elevated_to_calm: p_down,
+                p_spike,
+                spike_range: (2_000, 3_070),
+                spike_steps: (2, 20),
+            };
+            GenConfig {
+                zones: (0..3).map(mk).collect(),
+                duration: SimDuration::from_hours(24 * 5),
+                start: SimTime::ZERO,
+                seed,
+                common_amplitude: 6,
+            }
+            .generate()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn adaptive_meets_deadline_and_bounds_cost(
+        traces in arb_market(),
+        slack_pct in 10u64..60,
+        tc in prop_oneof![Just(300u64), Just(900u64)],
+        seed in 0u64..100,
+    ) {
+        let mut cfg = ExperimentConfig::paper_default()
+            .with_slack_percent(slack_pct)
+            .with_costs(redspot::ckpt::CkptCosts::symmetric_secs(tc))
+            .with_seed(seed);
+        cfg.app = AppSpec::new(SimDuration::from_hours(10));
+        cfg.deadline = SimDuration::from_secs(cfg.app.work.secs() * (100 + slack_pct) / 100);
+        cfg.record_events = false;
+
+        let start = SimTime::from_hours(48);
+        let r = AdaptiveRunner::new(&traces, start, cfg).run();
+
+        prop_assert!(r.met_deadline, "adaptive missed the deadline");
+        // 10 h of work: on-demand reference is $24; the paper's empirical
+        // bound is 120% of on-demand.
+        let od = 24.0;
+        prop_assert!(
+            r.cost_dollars() <= od * 1.2 + 1e-9,
+            "adaptive cost ${} above 1.2x the ${od} on-demand reference",
+            r.cost_dollars()
+        );
+        prop_assert_eq!(r.cost, r.spot_cost + r.od_cost);
+    }
+}

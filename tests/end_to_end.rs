@@ -1,0 +1,158 @@
+//! Cross-crate integration: the full pipeline from trace generation
+//! through policy execution to figure-level aggregation.
+
+use redspot::exp::experiments::{fig4, tables};
+use redspot::exp::PaperSetup;
+use redspot::prelude::*;
+use redspot::trace::vol::Volatility;
+
+#[test]
+fn quickstart_pipeline_matches_docs() {
+    // The exact flow from the README/quickstart must keep working.
+    let traces = GenConfig::low_volatility(42).generate();
+    let cfg = ExperimentConfig::paper_default();
+    let start = SimTime::from_hours(72);
+    let result = Engine::new(&traces, start, cfg, PolicyKind::Periodic.build()).run();
+    assert!(result.met_deadline);
+    assert!(result.cost_dollars() < 48.0);
+}
+
+#[test]
+fn figure4_cell_preserves_paper_shape_low_volatility() {
+    let setup = PaperSetup::quick(31);
+    let cell = fig4::sweep_cell(&setup, Volatility::Low, 15, 300);
+    let (label_s, best_s) = cell.best_single().expect("single-zone data");
+    let (_, best_r) = cell.best_redundant().expect("redundancy data");
+    let med = |xs: &[f64]| redspot::exp::report::median(xs);
+
+    // Low volatility: the best single-zone policy is far below on-demand…
+    assert!(med(&best_s) < 15.0, "{label_s} median {}", med(&best_s));
+    // …and redundancy pays ~3x for nothing.
+    assert!(med(&best_r) > med(&best_s) * 1.8);
+}
+
+#[test]
+fn figure4_cell_preserves_paper_shape_high_volatility() {
+    let setup = PaperSetup::quick(31);
+    let cell = fig4::sweep_cell(&setup, Volatility::High, 15, 300);
+    let (_, best_s) = cell.best_single().expect("single-zone data");
+    let (_, best_r) = cell.best_redundant().expect("redundancy data");
+    let med = |xs: &[f64]| redspot::exp::report::median(xs);
+
+    // High volatility at low slack: redundancy wins (paper: by 23.9%).
+    assert!(
+        med(&best_r) < med(&best_s),
+        "redundancy {} should beat single-zone {}",
+        med(&best_r),
+        med(&best_s)
+    );
+}
+
+#[test]
+fn table2_winners_match_paper_direction() {
+    let setup = PaperSetup::quick(31);
+    let t = tables::optimal_policies(&setup, 300);
+    assert_eq!(t.cells.len(), 4);
+    let cell = |vol, slack| {
+        t.cells
+            .iter()
+            .find(|(v, s, _)| *v == vol && *s == slack)
+            .map(|(_, _, w)| w)
+            .expect("cell computed")
+    };
+    // Paper Table 2: low volatility → single-zone wins at both slacks;
+    // high volatility, low slack → redundancy wins.
+    assert!(!cell(Volatility::Low, 15).redundant);
+    assert!(!cell(Volatility::Low, 50).redundant);
+    assert!(cell(Volatility::High, 15).redundant);
+}
+
+#[test]
+fn adaptive_never_exceeds_120pct_of_on_demand_across_year() {
+    // The paper: "total cost never exceeds 20% above the on-demand cost
+    // for our experiments involving 12-month data."
+    let traces = redspot::trace::gen::year_history(5);
+    for start_h in [60u64, 800, 2_000, 2_160 + 13 * 24 - 6, 4_000, 6_000] {
+        let start = SimTime::from_hours(start_h);
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.record_events = false;
+        let r = AdaptiveRunner::new(&traces, start, cfg).run();
+        assert!(r.met_deadline, "missed deadline at {start_h}h");
+        assert!(
+            r.cost_dollars() <= 48.0 * 1.2 + 1e-9,
+            "adaptive cost ${} above the bound at start {start_h}h",
+            r.cost_dollars()
+        );
+    }
+}
+
+#[test]
+fn redundancy_beats_single_zone_on_anticorrelated_outages() {
+    // Two zones with disjoint outages: a single zone must roll back and
+    // wait; the redundant pair never stops computing.
+    use redspot::trace::gen::inject_spike;
+    use redspot::trace::PriceSeries;
+
+    let flat: Vec<Price> = vec![Price::from_millis(300); 60 * 12];
+    let base = TraceSet::new(vec![
+        PriceSeries::new(SimTime::ZERO, flat.clone()),
+        PriceSeries::new(SimTime::ZERO, flat),
+    ]);
+    let spiked = inject_spike(
+        &base,
+        ZoneId(0),
+        Window::new(SimTime::from_hours(5), SimTime::from_hours(9)),
+        Price::from_dollars(5.0),
+    );
+    let traces = inject_spike(
+        &spiked,
+        ZoneId(1),
+        Window::new(SimTime::from_hours(12), SimTime::from_hours(16)),
+        Price::from_dollars(5.0),
+    );
+
+    let mut single = ExperimentConfig::paper_default().with_slack_percent(15);
+    single.zones = vec![ZoneId(0)];
+    single.record_events = false;
+    let r_single = Engine::new(&traces, SimTime::ZERO, single, PolicyKind::Periodic.build()).run();
+
+    let mut redundant = ExperimentConfig::paper_default().with_slack_percent(15);
+    redundant.zones = vec![ZoneId(0), ZoneId(1)];
+    redundant.record_events = false;
+    let r_red = Engine::new(
+        &traces,
+        SimTime::ZERO,
+        redundant,
+        PolicyKind::Periodic.build(),
+    )
+    .run();
+
+    assert!(r_single.met_deadline && r_red.met_deadline);
+    // The single zone loses 8h to outages on a 3h-slack budget: it must
+    // finish on-demand. The pair stays on spot throughout.
+    assert!(r_single.used_on_demand);
+    assert!(!r_red.used_on_demand);
+}
+
+#[test]
+fn serde_round_trips_cross_crate() {
+    // Traces and run results survive JSON round trips (the exp harness
+    // and CLI rely on this).
+    let traces = GenConfig::high_volatility(3).generate();
+    let json = serde_json::to_string(&traces).unwrap();
+    let back: TraceSet = serde_json::from_str(&json).unwrap();
+    assert_eq!(traces, back);
+
+    let mut cfg = ExperimentConfig::paper_default();
+    cfg.zones = vec![ZoneId(0)];
+    let r = Engine::new(
+        &traces,
+        SimTime::from_hours(48),
+        cfg,
+        PolicyKind::Periodic.build(),
+    )
+    .run();
+    let json = serde_json::to_string(&r).unwrap();
+    let back: redspot::core::RunResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(r, back);
+}
