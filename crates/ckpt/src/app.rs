@@ -9,6 +9,7 @@
 //! any live replica. Only checkpoints make progress durable: when every
 //! replica dies, execution rolls back to the last committed checkpoint.
 
+use crate::store::GenerationStore;
 use redspot_trace::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -68,14 +69,16 @@ impl AppSpec {
     }
 }
 
-/// Positions of up to `n` application replicas plus the last committed
-/// checkpoint. Replica `i` corresponds to zone `i`.
+/// Positions of up to `n` application replicas plus the committed
+/// checkpoint history. Replica `i` corresponds to zone `i`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReplicaSet {
     spec: AppSpec,
     /// `Some(position)` while the replica is executing, `None` otherwise.
     positions: Vec<Option<SimDuration>>,
-    committed: SimDuration,
+    /// Committed checkpoint generations (see [`GenerationStore`]).
+    #[serde(default)]
+    store: GenerationStore,
 }
 
 impl ReplicaSet {
@@ -88,7 +91,7 @@ impl ReplicaSet {
         ReplicaSet {
             spec,
             positions: vec![None; n_zones],
-            committed: SimDuration::ZERO,
+            store: GenerationStore::new(),
         }
     }
 
@@ -102,16 +105,26 @@ impl ReplicaSet {
         self.positions.len()
     }
 
-    /// Durable progress `P`: the last committed checkpoint position.
+    /// Durable progress `P`: the newest *valid* committed checkpoint
+    /// position. Restores that discover corruption fall back to older
+    /// generations, so this can move backwards across a
+    /// [`Self::invalidate_newest_checkpoint`] call (never across a commit).
     pub fn committed(&self) -> SimDuration {
-        self.committed
+        self.store.newest_valid()
+    }
+
+    /// Furthest position ever committed — what the reliable I/O-server
+    /// path restores during an on-demand migration. Monotone; always at
+    /// least [`Self::committed`].
+    pub fn reliable(&self) -> SimDuration {
+        self.store.reliable()
     }
 
     /// Remaining compute `C_r` measured from *committed* progress — the
     /// conservative value Algorithm 1 uses for its deadline guard (an
     /// uncommitted replica position can still be lost).
     pub fn remaining_committed(&self) -> SimDuration {
-        self.spec.work - self.committed
+        self.spec.work - self.committed()
     }
 
     /// Remaining compute measured from the furthest live replica (used for
@@ -128,7 +141,7 @@ impl ReplicaSet {
             .iter()
             .flatten()
             .copied()
-            .chain(std::iter::once(self.committed))
+            .chain(std::iter::once(self.committed()))
             .max()
             .expect("chain is non-empty")
     }
@@ -145,7 +158,7 @@ impl ReplicaSet {
 
     /// Whether the committed position covers all work.
     pub fn complete(&self) -> bool {
-        self.committed >= self.spec.work
+        self.committed() >= self.spec.work
     }
 
     /// Begin executing a replica from `from` (usually the committed
@@ -176,18 +189,22 @@ impl ReplicaSet {
         }
     }
 
-    /// Commit a checkpoint at `position`, making that progress durable.
+    /// Commit a checkpoint at `position`, making that progress durable as
+    /// a fresh generation.
     ///
     /// # Panics
     /// Panics if `position` regresses behind the current committed point —
     /// checkpoints never move progress backwards.
     pub fn commit(&mut self, position: SimDuration) {
-        assert!(
-            position >= self.committed,
-            "checkpoint at {position} behind committed {committed}",
-            committed = self.committed
-        );
-        self.committed = position.min(self.spec.work);
+        self.store.commit(position.min(self.spec.work));
+    }
+
+    /// A restore found the newest checkpoint generation corrupt: drop it
+    /// and return the position restore now falls back to (zero once the
+    /// generation history is exhausted). The reliable I/O-server view is
+    /// unaffected.
+    pub fn invalidate_newest_checkpoint(&mut self) -> SimDuration {
+        self.store.invalidate_newest()
     }
 
     /// Reset every replica to idle (e.g. after migrating to on-demand).
@@ -292,6 +309,26 @@ mod tests {
         let mut r = set();
         r.start(0, SimDuration::ZERO);
         r.start(0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn corrupt_restore_falls_back_a_generation() {
+        let mut r = set();
+        r.start(0, SimDuration::ZERO);
+        r.advance(0, h(3));
+        r.commit(h(3));
+        r.advance(0, h(4));
+        r.commit(h(7));
+        assert_eq!(r.committed(), h(7));
+        // Restore discovers the 7h checkpoint is corrupt.
+        assert_eq!(r.invalidate_newest_checkpoint(), h(3));
+        assert_eq!(r.committed(), h(3));
+        assert_eq!(r.remaining_committed(), h(17));
+        // The reliable migration path still has the furthest commit.
+        assert_eq!(r.reliable(), h(7));
+        // Exhausting the history bottoms out at a from-scratch restart.
+        assert_eq!(r.invalidate_newest_checkpoint(), SimDuration::ZERO);
+        assert_eq!(r.reliable(), h(7));
     }
 
     #[test]

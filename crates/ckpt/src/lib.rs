@@ -2,18 +2,21 @@
 //!
 //! Checkpoint substrate for redspot: Daly's optimum checkpoint interval
 //! (first-order and higher-order forms), the paper's fixed
-//! checkpoint/restart cost model (`t_c = t_r ∈ {300, 900}` s), and the
+//! checkpoint/restart cost model (`t_c = t_r ∈ {300, 900}` s), the
 //! analytic application model with per-zone replica positions and
-//! committed-checkpoint progress semantics.
+//! committed-checkpoint progress semantics, and the checkpoint generation
+//! store that lets corrupted restores fall back to older generations.
 
 #![warn(missing_docs)]
 
 pub mod app;
 pub mod daly;
 pub mod model;
+pub mod store;
 pub mod workloads;
 
 pub use app::{AppSpec, ReplicaSet};
 pub use daly::{efficiency, optimum_interval, DalyOrder};
 pub use model::CkptCosts;
+pub use store::{Generation, GenerationStore};
 pub use workloads::Workload;

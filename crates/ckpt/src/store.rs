@@ -1,0 +1,208 @@
+//! Checkpoint generation store.
+//!
+//! The seed modeled durable progress as a single committed position. Fault
+//! injection needs more structure: a restore can discover that the newest
+//! checkpoint is corrupt and fall back to an older *generation*. This module
+//! keeps the short history of committed checkpoints that makes such
+//! fallback meaningful, while distinguishing two notions of durable
+//! progress:
+//!
+//! - [`GenerationStore::newest_valid`] — the newest generation not yet
+//!   found corrupt. Spot-side restarts restore from here, and the deadline
+//!   guard budgets remaining work against it (pessimistic: a later restore
+//!   may still invalidate it and fall further back).
+//! - [`GenerationStore::reliable`] — the furthest position ever committed.
+//!   The paper stores checkpoints on a dedicated I/O server whose writes
+//!   are synchronous and verified, so the on-demand migration path (which
+//!   reads from that same server, not from a spot node's view) always
+//!   recovers the furthest committed state. Corruption in this model is a
+//!   spot-side *read-path* failure, which is why `reliable` never
+//!   decreases and is never invalidated.
+//!
+//! Since `reliable() >= newest_valid()` always holds, a guard computed
+//! against `newest_valid` reserves at least as much time as the on-demand
+//! migration needs — the deadline guarantee survives arbitrary corruption
+//! schedules.
+
+use redspot_trace::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Oldest generations are dropped beyond this history depth. Eight is
+/// plenty: fallback chains longer than the store simply bottom out at a
+/// from-scratch restart (position zero), which is always safe.
+const MAX_GENERATIONS: usize = 8;
+
+/// One committed checkpoint generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Generation {
+    /// Application position captured by this checkpoint.
+    pub position: SimDuration,
+    /// Whether the generation is still believed restorable. Flipped to
+    /// `false` when a restore discovers corruption.
+    pub valid: bool,
+}
+
+/// Bounded history of committed checkpoint generations, newest last.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenerationStore {
+    gens: Vec<Generation>,
+    /// Furthest position ever committed; monotone, survives trimming and
+    /// invalidation (see module docs).
+    reliable: SimDuration,
+}
+
+impl Default for GenerationStore {
+    fn default() -> GenerationStore {
+        GenerationStore::new()
+    }
+}
+
+impl GenerationStore {
+    /// An empty store: nothing committed, everything restarts from zero.
+    pub fn new() -> GenerationStore {
+        GenerationStore {
+            gens: Vec::new(),
+            reliable: SimDuration::ZERO,
+        }
+    }
+
+    /// Commit a new generation at `position`.
+    ///
+    /// Committing at exactly the newest valid position is a no-op (the
+    /// checkpoint carries no new progress). Older generations beyond the
+    /// history cap are dropped.
+    ///
+    /// # Panics
+    /// Panics if `position` regresses behind the newest valid generation —
+    /// checkpoints never move durable progress backwards.
+    pub fn commit(&mut self, position: SimDuration) {
+        let newest = self.newest_valid();
+        assert!(
+            position >= newest,
+            "checkpoint at {position} behind committed {newest}"
+        );
+        if position == newest && self.gens.iter().any(|g| g.valid) {
+            return;
+        }
+        self.gens.push(Generation {
+            position,
+            valid: true,
+        });
+        if self.gens.len() > MAX_GENERATIONS {
+            let excess = self.gens.len() - MAX_GENERATIONS;
+            self.gens.drain(..excess);
+        }
+        self.reliable = self.reliable.max(position);
+    }
+
+    /// Position of the newest valid generation, or zero when none exists
+    /// (restart from scratch).
+    pub fn newest_valid(&self) -> SimDuration {
+        self.gens
+            .iter()
+            .rev()
+            .find(|g| g.valid)
+            .map_or(SimDuration::ZERO, |g| g.position)
+    }
+
+    /// Furthest position ever committed — what the reliable I/O-server
+    /// path (on-demand migration) restores from. Monotone.
+    pub fn reliable(&self) -> SimDuration {
+        self.reliable
+    }
+
+    /// Mark the newest valid generation corrupt and return the position of
+    /// the generation that restore now falls back to (zero once the history
+    /// is exhausted).
+    pub fn invalidate_newest(&mut self) -> SimDuration {
+        if let Some(g) = self.gens.iter_mut().rev().find(|g| g.valid) {
+            g.valid = false;
+        }
+        self.newest_valid()
+    }
+
+    /// The stored generations, oldest first.
+    pub fn generations(&self) -> &[Generation] {
+        &self.gens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(hours: u64) -> SimDuration {
+        SimDuration::from_hours(hours)
+    }
+
+    #[test]
+    fn fresh_store_is_zero() {
+        let s = GenerationStore::new();
+        assert_eq!(s.newest_valid(), SimDuration::ZERO);
+        assert_eq!(s.reliable(), SimDuration::ZERO);
+        assert!(s.generations().is_empty());
+    }
+
+    #[test]
+    fn commits_advance_both_views() {
+        let mut s = GenerationStore::new();
+        s.commit(h(2));
+        s.commit(h(5));
+        assert_eq!(s.newest_valid(), h(5));
+        assert_eq!(s.reliable(), h(5));
+        assert_eq!(s.generations().len(), 2);
+    }
+
+    #[test]
+    fn equal_position_commit_dedupes() {
+        let mut s = GenerationStore::new();
+        s.commit(h(3));
+        s.commit(h(3));
+        assert_eq!(s.generations().len(), 1);
+    }
+
+    #[test]
+    fn invalidation_falls_back_but_reliable_holds() {
+        let mut s = GenerationStore::new();
+        s.commit(h(2));
+        s.commit(h(5));
+        s.commit(h(9));
+        assert_eq!(s.invalidate_newest(), h(5));
+        assert_eq!(s.newest_valid(), h(5));
+        assert_eq!(s.invalidate_newest(), h(2));
+        assert_eq!(s.invalidate_newest(), SimDuration::ZERO);
+        // Exhausted history: further invalidation stays at zero.
+        assert_eq!(s.invalidate_newest(), SimDuration::ZERO);
+        // The reliable path never regressed.
+        assert_eq!(s.reliable(), h(9));
+    }
+
+    #[test]
+    fn recommit_after_fallback_is_allowed() {
+        let mut s = GenerationStore::new();
+        s.commit(h(6));
+        s.invalidate_newest(); // back to zero
+        s.commit(h(1)); // re-earned progress commits fine
+        assert_eq!(s.newest_valid(), h(1));
+        assert_eq!(s.reliable(), h(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "behind committed")]
+    fn regressing_commit_panics() {
+        let mut s = GenerationStore::new();
+        s.commit(h(5));
+        s.commit(h(4));
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut s = GenerationStore::new();
+        for i in 1..=20 {
+            s.commit(SimDuration::from_hours(i));
+        }
+        assert!(s.generations().len() <= MAX_GENERATIONS);
+        assert_eq!(s.newest_valid(), h(20));
+        assert_eq!(s.reliable(), h(20));
+    }
+}

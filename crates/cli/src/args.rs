@@ -72,6 +72,7 @@ USAGE:
   redspot var-analysis [--seed N]
   redspot queuing-delay [--seed N]
   redspot spike-stress [--n COUNT] [--seed N]
+  redspot chaos [--n COUNT] [--seed N] [--intensities 0,0.3,0.6,1]
   redspot markov-validation [--seed N] [--bid DOLLARS]
   redspot bootstrap --trace FILE --out FILE [--seed N] [--block-hours H] [--days D]
   redspot workloads                 # list the workload catalog

@@ -82,7 +82,7 @@ fn experiment_config(parsed: &ParsedArgs, traces: &TraceSet) -> Result<Experimen
     }
     cfg = cfg.with_slack_percent(slack);
     cfg.record_events = true;
-    cfg.validate()?;
+    cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
 
@@ -140,7 +140,9 @@ pub fn run(parsed: &ParsedArgs) -> Result<String, String> {
     if start + cfg.deadline > traces.end() {
         return Err("experiment start too late for the trace".into());
     }
-    let result = Engine::new(&traces, start, cfg, kind.build()).run();
+    let result = Engine::try_new(&traces, start, cfg, kind.build())
+        .map_err(|e| e.to_string())?
+        .run();
     Ok(report_run(&format!("{kind}"), start, &result))
 }
 
@@ -309,6 +311,14 @@ mod tests {
     }
 
     #[test]
+    fn chaos_runs_and_rejects_bad_intensities() {
+        let out = dispatch_str(&["chaos", "--n", "2", "--intensities", "0,0.5"]).unwrap();
+        assert!(out.contains("total deadline violations: 0"), "{out}");
+        assert!(dispatch_str(&["chaos", "--intensities", "0,2"]).is_err());
+        assert!(dispatch_str(&["chaos", "--intensities", "zebra"]).is_err());
+    }
+
+    #[test]
     fn help_prints_usage() {
         let out = dispatch_str(&["help"]).unwrap();
         assert!(out.contains("USAGE"));
@@ -377,6 +387,34 @@ pub fn spike_stress(parsed: &ParsedArgs) -> Result<String, String> {
         s.large_bid_worst_vs_od(),
         s.adaptive_worst_vs_od(),
     ))
+}
+
+/// `chaos`: the deadline guarantee under injected infrastructure faults.
+pub fn chaos(parsed: &ParsedArgs) -> Result<String, String> {
+    use redspot_exp::experiments::chaos;
+    let seed = parsed.num_or("seed", 42u64)?;
+    let n = parsed.num_or("n", 8usize)?;
+    let spec = parsed.get_or("intensities", "0,0.3,0.6,1");
+    let intensities: Vec<f64> = spec
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("--intensities: cannot parse '{s}'"))
+                .and_then(|v| {
+                    if (0.0..=1.0).contains(&v) {
+                        Ok(v)
+                    } else {
+                        Err(format!("--intensities: {v} outside [0, 1]"))
+                    }
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    if intensities.is_empty() {
+        return Err("--intensities: need at least one value".into());
+    }
+    let c = chaos::study(seed, &intensities, n, 0);
+    Ok(chaos::render(&c))
 }
 
 /// `markov-validation`: Appendix-B model vs observed up-times.

@@ -28,6 +28,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "var-analysis" => cmd::var_analysis(&parsed),
         "queuing-delay" => cmd::queuing_delay(&parsed),
         "spike-stress" => cmd::spike_stress(&parsed),
+        "chaos" => cmd::chaos(&parsed),
         "markov-validation" => cmd::markov_validation(&parsed),
         "bootstrap" => cmd::bootstrap(&parsed),
         "workloads" => cmd::workloads(&parsed),

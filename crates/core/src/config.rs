@@ -1,8 +1,56 @@
 //! Experiment configuration (the paper's Section-5 setup).
 
+use crate::faults::FaultPlan;
 use redspot_ckpt::{AppSpec, CkptCosts};
 use redspot_trace::{Price, SimDuration, ZoneId};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why an [`ExperimentConfig`] is unusable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Deadline `D` shorter than the workload `C`: infeasible by definition.
+    DeadlineBeforeWork {
+        /// The configured deadline.
+        deadline: SimDuration,
+        /// The workload it cannot fit.
+        work: SimDuration,
+    },
+    /// The zone list is empty.
+    NoZones,
+    /// The same zone appears more than once in the zone list.
+    DuplicateZones,
+    /// A configured zone does not exist in the trace set.
+    ZoneOutOfRange {
+        /// The offending zone.
+        zone: ZoneId,
+        /// Number of zones in the trace set.
+        n_zones: usize,
+    },
+    /// The fault plan's parameters are out of range.
+    InvalidFaultPlan(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::DeadlineBeforeWork { deadline, work } => {
+                write!(f, "deadline {deadline} shorter than workload {work}")
+            }
+            ConfigError::NoZones => write!(f, "experiment needs at least one zone"),
+            ConfigError::DuplicateZones => write!(f, "duplicate zones in experiment"),
+            ConfigError::ZoneOutOfRange { zone, n_zones } => {
+                write!(
+                    f,
+                    "config references zone {zone} outside the trace set ({n_zones} zones)"
+                )
+            }
+            ConfigError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// One experiment: a workload, a deadline, checkpoint costs, a bid, and
 /// the zones to bid in (`N` = `zones.len()`).
@@ -29,6 +77,11 @@ pub struct ExperimentConfig {
     /// ("a fraction of the total cost"); set it to account for it.
     #[serde(default)]
     pub io_server: Option<Price>,
+    /// Injected fault schedule (see [`FaultPlan`]); [`FaultPlan::none`]
+    /// by default, under which the engine is bit-identical to one without
+    /// the fault layer.
+    #[serde(default)]
+    pub faults: FaultPlan,
 }
 
 impl ExperimentConfig {
@@ -44,6 +97,7 @@ impl ExperimentConfig {
             seed: 0,
             record_events: true,
             io_server: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -83,24 +137,33 @@ impl ExperimentConfig {
         self
     }
 
-    /// Validate invariants (`D ≥ C`, at least one zone, distinct zones).
-    pub fn validate(&self) -> Result<(), String> {
+    /// Replace the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> ExperimentConfig {
+        self.faults = faults;
+        self
+    }
+
+    /// Validate invariants (`D ≥ C`, at least one zone, distinct zones, a
+    /// well-formed fault plan).
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.deadline < self.app.work {
-            return Err(format!(
-                "deadline {} shorter than workload {}",
-                self.deadline, self.app.work
-            ));
+            return Err(ConfigError::DeadlineBeforeWork {
+                deadline: self.deadline,
+                work: self.app.work,
+            });
         }
         if self.zones.is_empty() {
-            return Err("experiment needs at least one zone".into());
+            return Err(ConfigError::NoZones);
         }
         let mut sorted = self.zones.clone();
         sorted.sort();
         sorted.dedup();
         if sorted.len() != self.zones.len() {
-            return Err("duplicate zones in experiment".into());
+            return Err(ConfigError::DuplicateZones);
         }
-        Ok(())
+        self.faults
+            .validate()
+            .map_err(ConfigError::InvalidFaultPlan)
     }
 }
 
@@ -136,6 +199,21 @@ mod tests {
 
         let mut cfg = ExperimentConfig::paper_default();
         cfg.zones = vec![ZoneId(0), ZoneId(0)];
-        assert!(cfg.validate().is_err());
+        assert_eq!(cfg.validate(), Err(ConfigError::DuplicateZones));
+
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.faults.p_boot_fail = 2.0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::InvalidFaultPlan(_))
+        ));
+    }
+
+    #[test]
+    fn config_errors_display_clearly() {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.deadline = SimDuration::from_hours(10);
+        let msg = cfg.validate().unwrap_err().to_string();
+        assert!(msg.contains("shorter than workload"), "{msg}");
     }
 }

@@ -21,13 +21,14 @@
 //! termination during the protective checkpoint still leaves time to
 //! restart on-demand from the previous checkpoint (see DESIGN.md).
 
-use crate::config::ExperimentConfig;
+use crate::config::{ConfigError, ExperimentConfig};
+use crate::faults::FaultPlan;
 use crate::policy::{Policy, PolicyCtx};
 use crate::run::{Event, RunResult, TerminationCause};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use redspot_ckpt::ReplicaSet;
-use redspot_market::{DelayModel, InstanceState, SpotBilling, StopCause};
+use redspot_market::{DelayModel, InstanceState, OutageSchedule, SpotBilling, StopCause};
 use redspot_trace::{Price, SimDuration, SimTime, TraceSet};
 
 /// Execution phase.
@@ -56,6 +57,13 @@ struct ZoneRt {
     retire: bool,
     /// Whether this zone participates at all (adaptive `N` control).
     active: bool,
+    /// Consecutive injected boot failures (resets when a boot succeeds);
+    /// drives the retry backoff.
+    boot_retries: u32,
+    /// No new spot request before this instant (boot-retry backoff).
+    /// Initialized to the experiment start, so it never gates anything
+    /// until a boot failure pushes it forward.
+    blocked_until: SimTime,
 }
 
 /// An in-flight checkpoint.
@@ -90,6 +98,13 @@ pub struct Engine<'t> {
     policy: Box<dyn Policy>,
     delay: DelayModel,
     rng: StdRng,
+    /// Dedicated RNG for fault draws, kept separate from the queuing-delay
+    /// RNG so a [`FaultPlan::none`] run is bit-identical to an engine
+    /// without the fault layer: with no faults enabled this stream is
+    /// never advanced.
+    fault_rng: StdRng,
+    /// Per-zone blackout schedules (all empty under [`FaultPlan::none`]).
+    outages: Vec<OutageSchedule>,
 
     now: SimTime,
     zones: Vec<ZoneRt>,
@@ -114,6 +129,10 @@ pub struct Engine<'t> {
     /// billable), and the accumulated span total.
     io_active_since: Option<SimTime>,
     io_total: SimDuration,
+    /// Last step's total charge, for the cost-monotonicity invariant
+    /// (debug builds only).
+    #[cfg(debug_assertions)]
+    last_total_cost: Price,
 }
 
 impl<'t> Engine<'t> {
@@ -122,17 +141,32 @@ impl<'t> Engine<'t> {
     ///
     /// # Panics
     /// Panics if the configuration is invalid or references zones outside
-    /// the trace set.
+    /// the trace set; see [`Engine::try_new`] for the non-panicking form.
     pub fn new(
         traces: &'t TraceSet,
         start: SimTime,
         cfg: ExperimentConfig,
         policy: Box<dyn Policy>,
     ) -> Engine<'t> {
-        Engine::with_delay_model(traces, start, cfg, policy, DelayModel::paper())
+        Engine::try_new(traces, start, cfg, policy).expect("invalid experiment configuration")
+    }
+
+    /// Fallible [`Engine::new`]: returns the configuration problem instead
+    /// of panicking.
+    pub fn try_new(
+        traces: &'t TraceSet,
+        start: SimTime,
+        cfg: ExperimentConfig,
+        policy: Box<dyn Policy>,
+    ) -> Result<Engine<'t>, ConfigError> {
+        Engine::try_with_delay_model(traces, start, cfg, policy, DelayModel::paper())
     }
 
     /// Build with an explicit queuing-delay model (tests, ablations).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or references zones outside
+    /// the trace set; see [`Engine::try_with_delay_model`].
     pub fn with_delay_model(
         traces: &'t TraceSet,
         start: SimTime,
@@ -140,13 +174,31 @@ impl<'t> Engine<'t> {
         policy: Box<dyn Policy>,
         delay: DelayModel,
     ) -> Engine<'t> {
-        cfg.validate().expect("invalid experiment configuration");
-        assert!(
-            cfg.zones.iter().all(|z| z.0 < traces.n_zones()),
-            "config references zones outside the trace set"
-        );
+        Engine::try_with_delay_model(traces, start, cfg, policy, delay)
+            .expect("invalid experiment configuration")
+    }
+
+    /// Fallible [`Engine::with_delay_model`]: returns the configuration
+    /// problem instead of panicking.
+    pub fn try_with_delay_model(
+        traces: &'t TraceSet,
+        start: SimTime,
+        cfg: ExperimentConfig,
+        policy: Box<dyn Policy>,
+        delay: DelayModel,
+    ) -> Result<Engine<'t>, ConfigError> {
+        cfg.validate()?;
+        if let Some(&zone) = cfg.zones.iter().find(|z| z.0 >= traces.n_zones()) {
+            return Err(ConfigError::ZoneOutOfRange {
+                zone,
+                n_zones: traces.n_zones(),
+            });
+        }
         let n = cfg.zones.len();
         let deadline_abs = start + cfg.deadline;
+        let outages = (0..n)
+            .map(|i| cfg.faults.outage_schedule(cfg.seed, i, start, cfg.deadline))
+            .collect();
         let mut engine = Engine {
             traces,
             start,
@@ -154,6 +206,8 @@ impl<'t> Engine<'t> {
             policy,
             delay,
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xD1B5_4A32_D192_ED03),
+            fault_rng: StdRng::seed_from_u64(FaultPlan::rng_seed(cfg.seed)),
+            outages,
             now: start,
             zones: (0..n)
                 .map(|_| ZoneRt {
@@ -163,6 +217,8 @@ impl<'t> Engine<'t> {
                     busy_until: start,
                     retire: false,
                     active: true,
+                    boot_retries: 0,
+                    blocked_until: start,
                 })
                 .collect(),
             replicas: ReplicaSet::new(cfg.app, n),
@@ -180,13 +236,15 @@ impl<'t> Engine<'t> {
             finished_at: start,
             io_active_since: None,
             io_total: SimDuration::ZERO,
+            #[cfg(debug_assertions)]
+            last_total_cost: Price::ZERO,
             cfg,
         };
         let ctx_needed = engine.phase == Phase::Spot;
         if ctx_needed {
             engine.with_ctx(|policy, ctx| policy.reschedule(ctx));
         }
-        engine
+        Ok(engine)
     }
 
     // ------------------------------------------------------------------
@@ -366,8 +424,15 @@ impl<'t> Engine<'t> {
     }
 
     /// Advance the simulation by one event horizon, processing everything
-    /// due at the current instant first.
+    /// due at the current instant first. Debug builds re-check the engine's
+    /// internal invariants after every step.
     pub fn step(&mut self) -> StepReport {
+        let report = self.step_inner();
+        self.check_invariants();
+        report
+    }
+
+    fn step_inner(&mut self) -> StepReport {
         let mut report = StepReport::default();
         if self.phase == Phase::Done {
             report.done = true;
@@ -442,11 +507,16 @@ impl<'t> Engine<'t> {
             }
         }
 
-        // 3. Boot completions.
+        // 3. Boot completions (or injected boot failures at the ready
+        //    instant: InsufficientInstanceCapacity and friends).
         for i in 0..self.zones.len() {
             if let InstanceState::Booting { ready_at } = self.zones[i].inst {
                 if ready_at <= self.now {
-                    self.start_replica(i);
+                    if self.boot_fails() {
+                        self.boot_failed(i);
+                    } else {
+                        self.start_replica(i);
+                    }
                     acted = true;
                 }
             }
@@ -456,6 +526,11 @@ impl<'t> Engine<'t> {
         //    completes at the same instant the price moves out of bid is
         //    still charged (the termination only voids the *new* hour).
         acted |= self.process_hour_boundaries(report);
+
+        // 4b. Injected zone blackouts — after the boundaries for the same
+        //     reason, before the market scan so a dark zone cannot
+        //     transition to waiting in the same instant.
+        acted |= self.enforce_blackouts(report);
 
         // 5. Market scan: out-of-bid terminations, waiting transitions.
         acted |= self.scan_market(report);
@@ -546,6 +621,15 @@ impl<'t> Engine<'t> {
                     }
                 }
                 InstanceState::Down if self.zones[i].active => {
+                    // Fault gates: no requests while a boot-retry backoff
+                    // is pending or the zone is blacked out. Both are
+                    // inert under `FaultPlan::none` (`blocked_until` stays
+                    // at the start and the outage schedule is empty).
+                    if self.now < self.zones[i].blocked_until
+                        || self.outages[i].blacked_out(self.now).is_some()
+                    {
+                        continue;
+                    }
                     let threshold = resume_at.unwrap_or(self.cfg.bid);
                     if price <= threshold {
                         self.zones[i].inst = InstanceState::Waiting;
@@ -640,6 +724,138 @@ impl<'t> Engine<'t> {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection. Every probability draw is guarded by `p > 0.0` so
+    // the fault RNG is never advanced under `FaultPlan::none` — that is
+    // what makes the no-fault engine bit-identical to the seed engine.
+
+    /// Draw whether the boot completing now fails.
+    fn boot_fails(&mut self) -> bool {
+        let p = self.cfg.faults.p_boot_fail;
+        p > 0.0 && self.fault_rng.gen_bool(p)
+    }
+
+    /// A booting instance died at its ready instant: release it unbilled
+    /// (the instance never ran) and back off before re-requesting.
+    fn boot_failed(&mut self, i: usize) {
+        let billing = self.zones[i]
+            .billing
+            .take()
+            .expect("booting zone has billing");
+        // Out-of-bid stop semantics: the failed partial hour is free.
+        let charged = billing.stop(self.now, StopCause::OutOfBid);
+        self.spot_cost += charged;
+        self.zones[i].inst = InstanceState::Down;
+        self.zones[i].boot_retries += 1;
+        let backoff = self.cfg.faults.backoff_after(self.zones[i].boot_retries);
+        let retry_at = self.now + backoff;
+        self.zones[i].blocked_until = retry_at;
+        self.record(Event::BootFailed {
+            at: self.now,
+            zone: self.cfg.zones[i],
+            retry_at,
+        });
+    }
+
+    /// Force-terminate instances in blacked-out zones and knock waiting
+    /// zones down. A no-op under `FaultPlan::none` (no outage windows).
+    fn enforce_blackouts(&mut self, report: &mut StepReport) -> bool {
+        if self.phase != Phase::Spot {
+            return false;
+        }
+        let mut acted = false;
+        for i in 0..self.zones.len() {
+            let Some(until) = self.outages[i].blacked_out(self.now) else {
+                continue;
+            };
+            match self.zones[i].inst {
+                InstanceState::Up | InstanceState::Booting { .. } => {
+                    self.blackout_zone(i, until);
+                    report.termination = true;
+                    acted = true;
+                }
+                InstanceState::Waiting => {
+                    self.zones[i].inst = InstanceState::Down;
+                    acted = true;
+                }
+                InstanceState::Down => {}
+            }
+        }
+        acted
+    }
+
+    /// The blackout analogue of an out-of-bid termination: the provider
+    /// kills the instance (partial hour free), speculative progress is
+    /// lost, and an in-flight checkpoint on the zone aborts.
+    fn blackout_zone(&mut self, i: usize, until: SimTime) {
+        let billing = self.zones[i]
+            .billing
+            .take()
+            .expect("billable zone has billing");
+        let charged = billing.stop(self.now, StopCause::OutOfBid);
+        self.spot_cost += charged;
+        self.replicas.stop(i);
+        self.zones[i].inst = InstanceState::Down;
+        self.record(Event::ZoneBlackout {
+            at: self.now,
+            zone: self.cfg.zones[i],
+            until,
+        });
+        if let Some(c) = self.ckpt {
+            if c.zone == i {
+                self.ckpt = None;
+                self.record(Event::CheckpointAborted {
+                    at: self.now,
+                    zone: self.cfg.zones[i],
+                });
+            }
+        }
+    }
+
+    /// Internal-consistency checks, compiled into debug builds only and
+    /// re-verified after every [`Engine::step`]:
+    ///
+    /// * a zone has billing state iff its instance is billable;
+    /// * committed progress never exceeds the best live position;
+    /// * the reliable (I/O-server) position covers the committed one;
+    /// * total charge is monotone;
+    /// * an in-flight checkpoint's zone is billable.
+    fn check_invariants(&mut self) {
+        #[cfg(debug_assertions)]
+        {
+            for (i, z) in self.zones.iter().enumerate() {
+                assert_eq!(
+                    z.billing.is_some(),
+                    z.inst.is_billable(),
+                    "zone {i}: billing {:?} inconsistent with state {:?}",
+                    z.billing,
+                    z.inst
+                );
+            }
+            assert!(
+                self.replicas.committed() <= self.replicas.best_position(),
+                "committed progress ahead of best position"
+            );
+            assert!(
+                self.replicas.reliable() >= self.replicas.committed(),
+                "reliable store behind committed progress"
+            );
+            if let Some(c) = self.ckpt {
+                assert!(
+                    self.zones[c.zone].inst.is_billable(),
+                    "in-flight checkpoint on a dead zone"
+                );
+            }
+            let total = self.spot_cost + self.od_cost;
+            assert!(
+                total >= self.last_total_cost,
+                "total cost decreased: {total} < {}",
+                self.last_total_cost
+            );
+            self.last_total_cost = total;
+        }
+    }
+
+    // ------------------------------------------------------------------
     // State transitions.
 
     fn leader(&self) -> Option<usize> {
@@ -666,11 +882,31 @@ impl<'t> Engine<'t> {
     fn start_replica(&mut self, i: usize) {
         debug_assert!(matches!(self.zones[i].inst, InstanceState::Booting { .. }));
         self.zones[i].inst = InstanceState::Up;
-        let from = self.replicas.committed();
+        self.zones[i].boot_retries = 0;
+        let attempted = self.replicas.committed();
+        let mut from = attempted;
+        // Injected restore corruption: the newest generation turns out to
+        // be unreadable and the restore falls back to the one before it —
+        // re-checked per generation, so a restore can fall through several
+        // (bottoming out at a from-scratch restart). The deadline guard
+        // recomputes from the new, lower committed position at the next
+        // drain iteration.
+        let p = self.cfg.faults.p_restore_corrupt;
+        if p > 0.0 {
+            while from > SimDuration::ZERO && self.fault_rng.gen_bool(p) {
+                from = self.replicas.invalidate_newest_checkpoint();
+                self.record(Event::RestoreFailed {
+                    at: self.now,
+                    zone: self.cfg.zones[i],
+                    fell_back_to: from,
+                });
+            }
+        }
         self.replicas.start(i, from);
         // Reading the checkpoint costs t_r; a cold start (no checkpoint)
-        // only pays the queuing delay already elapsed.
-        self.zones[i].busy_until = if from > SimDuration::ZERO {
+        // only pays the queuing delay already elapsed. A corrupted restore
+        // still pays t_r for the attempted read.
+        self.zones[i].busy_until = if attempted > SimDuration::ZERO {
             self.now + self.cfg.costs.restart
         } else {
             self.now
@@ -760,6 +996,30 @@ impl<'t> Engine<'t> {
 
     fn finish_checkpoint(&mut self, c: CkptRt) {
         self.ckpt = None;
+
+        // Injected checkpoint write failure: the t_c window was spent but
+        // the data never committed. Progress stays at the previous
+        // generation; waiting zones keep waiting for a *fresh* checkpoint.
+        // If this was the guard's protective checkpoint, the t_c + t_r
+        // reserve still covers migration: exactly t_r remains, which is
+        // what the on-demand restore needs.
+        let p = self.cfg.faults.p_ckpt_write_fail;
+        if p > 0.0 && self.fault_rng.gen_bool(p) {
+            self.record(Event::CheckpointWriteFailed {
+                at: self.now,
+                zone: self.cfg.zones[c.zone],
+            });
+            if self.guard_pending {
+                self.guard_pending = false;
+                if self.now >= self.guard_time() {
+                    self.migrate_to_on_demand();
+                    return;
+                }
+            }
+            self.with_ctx(|policy, ctx| policy.reschedule(ctx));
+            return;
+        }
+
         if c.position >= self.replicas.committed() {
             self.replicas.commit(c.position);
         }
@@ -795,7 +1055,14 @@ impl<'t> Engine<'t> {
         if let Some(since) = self.io_active_since.take() {
             self.io_total += self.now.since(since);
         }
-        let committed = self.replicas.committed();
+        // The on-demand path restores from the I/O server directly, which
+        // is reliable storage (Section 5): it holds the furthest committed
+        // generation regardless of spot-side read corruption. That is
+        // always at least the newest *valid* generation the guard budgeted
+        // for, so the migration can only finish earlier than the guard's
+        // reserve assumed — the deadline guarantee survives every fault
+        // schedule. Identical to `committed()` under `FaultPlan::none`.
+        let committed = self.replicas.reliable().max(self.replicas.committed());
         self.record(Event::SwitchedToOnDemand {
             at: self.now,
             committed,
@@ -907,6 +1174,19 @@ impl<'t> Engine<'t> {
                     let finish = resume + (self.cfg.app.work - pos);
                     consider(finish, self.now, &mut t);
                 }
+            }
+        }
+
+        // Fault wake-ups: boot-retry backoff expiries and blackout
+        // transitions. Inert under `FaultPlan::none`: `blocked_until`
+        // never exceeds `now` and the outage schedules are empty.
+        for (i, z) in self.zones.iter().enumerate() {
+            if !z.active {
+                continue;
+            }
+            consider(z.blocked_until, self.now, &mut t);
+            if let Some(tr) = self.outages[i].next_transition(self.now) {
+                consider(tr, self.now, &mut t);
             }
         }
 

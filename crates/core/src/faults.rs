@@ -1,0 +1,294 @@
+//! Seeded, deterministic fault injection.
+//!
+//! The paper's deadline guarantee (Algorithm 1) is an *invariant*, not a
+//! best-effort property: it must hold no matter how hostile the spot market
+//! or the infrastructure gets. The engine's chaos harness stresses it with
+//! four fault classes the real EC2 deployment would face:
+//!
+//! 1. **Checkpoint write failures** — the checkpoint completes its `t_c`
+//!    window but never commits (lost write on the I/O path). Progress stays
+//!    at the previous generation.
+//! 2. **Corrupted restores** — a restarting replica finds the newest
+//!    checkpoint generation unreadable and falls back to an older one
+//!    (possibly all the way to a from-scratch restart).
+//! 3. **Boot failures** — a booting instance dies at `ready_at`
+//!    (`InsufficientInstanceCapacity` and friends); the engine retries with
+//!    bounded exponential backoff.
+//! 4. **Zone blackouts** — a whole zone goes dark for a fixed window,
+//!    force-terminating its instance and rejecting requests, independent of
+//!    the spot price.
+//!
+//! All draws come from a dedicated fault RNG seeded from the experiment
+//! seed, kept separate from the queuing-delay RNG so that
+//! [`FaultPlan::none`] reproduces the fault-free engine bit for bit: with
+//! no faults active the fault RNG is never advanced.
+
+use redspot_market::OutageSchedule;
+use redspot_trace::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Probabilities and shapes for the injected fault classes. The default
+/// ([`FaultPlan::none`]) disables everything.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability that a completed checkpoint fails to commit.
+    #[serde(default)]
+    pub p_ckpt_write_fail: f64,
+    /// Probability that a restore finds the newest generation corrupt
+    /// (applied per generation: the fallback target is checked again, so
+    /// a restore can fall through several generations).
+    #[serde(default)]
+    pub p_restore_corrupt: f64,
+    /// Probability that a booting instance fails at its ready instant.
+    #[serde(default)]
+    pub p_boot_fail: f64,
+    /// Backoff before re-requesting after the first boot failure; doubles
+    /// per consecutive failure up to [`FaultPlan::boot_backoff_cap`].
+    #[serde(default = "default_boot_backoff")]
+    pub boot_backoff: SimDuration,
+    /// Upper bound on the boot-retry backoff.
+    #[serde(default = "default_boot_backoff_cap")]
+    pub boot_backoff_cap: SimDuration,
+    /// Per-hour probability that a zone blackout begins.
+    #[serde(default)]
+    pub p_blackout_per_hour: f64,
+    /// Length of each blackout window.
+    #[serde(default = "default_blackout_duration")]
+    pub blackout_duration: SimDuration,
+}
+
+fn default_boot_backoff() -> SimDuration {
+    SimDuration::from_secs(120)
+}
+
+fn default_boot_backoff_cap() -> SimDuration {
+    SimDuration::from_secs(1920)
+}
+
+fn default_blackout_duration() -> SimDuration {
+    SimDuration::from_hours(2)
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// No faults: the engine behaves exactly as without the fault layer.
+    pub const fn none() -> FaultPlan {
+        FaultPlan {
+            p_ckpt_write_fail: 0.0,
+            p_restore_corrupt: 0.0,
+            p_boot_fail: 0.0,
+            boot_backoff: SimDuration::from_secs(120),
+            boot_backoff_cap: SimDuration::from_secs(1920),
+            p_blackout_per_hour: 0.0,
+            blackout_duration: SimDuration::from_hours(2),
+        }
+    }
+
+    /// Whether every fault class is disabled.
+    pub fn is_none(&self) -> bool {
+        self.p_ckpt_write_fail == 0.0
+            && self.p_restore_corrupt == 0.0
+            && self.p_boot_fail == 0.0
+            && self.p_blackout_per_hour == 0.0
+    }
+
+    /// A plan whose fault rates all scale with one `intensity` knob in
+    /// `[0, 1]` — the axis the chaos experiment sweeps. Intensity 1 is
+    /// deliberately brutal: a third of checkpoints fail to commit, a
+    /// quarter of restores hit corruption, a third of boots fail, and each
+    /// zone is dark roughly five hours a day.
+    ///
+    /// # Panics
+    /// Panics if `intensity` is not in `[0, 1]`.
+    pub fn with_intensity(intensity: f64) -> FaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&intensity),
+            "fault intensity must be in [0, 1], got {intensity}"
+        );
+        FaultPlan {
+            p_ckpt_write_fail: 0.35 * intensity,
+            p_restore_corrupt: 0.25 * intensity,
+            p_boot_fail: 0.35 * intensity,
+            p_blackout_per_hour: 0.10 * intensity,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Validate the plan's parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("p_ckpt_write_fail", self.p_ckpt_write_fail),
+            ("p_restore_corrupt", self.p_restore_corrupt),
+            ("p_boot_fail", self.p_boot_fail),
+            ("p_blackout_per_hour", self.p_blackout_per_hour),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be in [0, 1], got {p}"));
+            }
+        }
+        if self.p_restore_corrupt >= 1.0 {
+            // p = 1 would make every restore fall through the entire
+            // generation history forever, so restores never make progress.
+            return Err(format!(
+                "p_restore_corrupt must be < 1, got {}",
+                self.p_restore_corrupt
+            ));
+        }
+        if self.p_boot_fail >= 1.0 {
+            return Err(format!("p_boot_fail must be < 1, got {}", self.p_boot_fail));
+        }
+        if self.p_boot_fail > 0.0 && self.boot_backoff == SimDuration::ZERO {
+            return Err("boot_backoff must be positive when boot failures are enabled".into());
+        }
+        if self.boot_backoff_cap < self.boot_backoff {
+            return Err(format!(
+                "boot_backoff_cap ({}) below boot_backoff ({})",
+                self.boot_backoff_cap, self.boot_backoff
+            ));
+        }
+        if self.p_blackout_per_hour > 0.0 && self.blackout_duration == SimDuration::ZERO {
+            return Err("blackout_duration must be positive when blackouts are enabled".into());
+        }
+        Ok(())
+    }
+
+    /// The boot-retry backoff after `failures` consecutive boot failures
+    /// (`failures >= 1`): exponential, capped.
+    pub fn backoff_after(&self, failures: u32) -> SimDuration {
+        let doublings = failures.saturating_sub(1).min(16);
+        let secs = self
+            .boot_backoff
+            .secs()
+            .saturating_mul(1u64 << doublings)
+            .min(self.boot_backoff_cap.secs());
+        SimDuration::from_secs(secs)
+    }
+
+    /// The blackout schedule for one zone slot: seeded from the experiment
+    /// seed and the slot index so zones fail independently but every rerun
+    /// sees the same schedule.
+    pub fn outage_schedule(
+        &self,
+        cfg_seed: u64,
+        zone_slot: usize,
+        from: SimTime,
+        horizon: SimDuration,
+    ) -> OutageSchedule {
+        if self.p_blackout_per_hour <= 0.0 {
+            return OutageSchedule::none();
+        }
+        let seed = mix(cfg_seed ^ 0xB1AC_0175_0000_0000, zone_slot as u64);
+        OutageSchedule::generate(
+            seed,
+            from,
+            horizon,
+            self.p_blackout_per_hour,
+            self.blackout_duration,
+        )
+    }
+
+    /// The seed for the engine's dedicated fault RNG.
+    pub fn rng_seed(cfg_seed: u64) -> u64 {
+        mix(cfg_seed, 0xFA17_5EED_ABCD_EF01)
+    }
+}
+
+/// SplitMix64-style mix of two words, for decorrelating derived seeds.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none_and_valid() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        assert!(p.validate().is_ok());
+        assert_eq!(p, FaultPlan::default());
+    }
+
+    #[test]
+    fn intensity_scales_rates() {
+        let zero = FaultPlan::with_intensity(0.0);
+        assert!(zero.is_none());
+        let full = FaultPlan::with_intensity(1.0);
+        assert!(!full.is_none());
+        assert!(full.validate().is_ok());
+        let half = FaultPlan::with_intensity(0.5);
+        assert!((half.p_boot_fail - full.p_boot_fail / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let mut p = FaultPlan::none();
+        p.p_ckpt_write_fail = 1.5;
+        assert!(p.validate().is_err());
+
+        let mut p = FaultPlan::none();
+        p.p_restore_corrupt = 1.0;
+        assert!(p.validate().is_err());
+
+        let mut p = FaultPlan::none();
+        p.p_boot_fail = 0.2;
+        p.boot_backoff = SimDuration::ZERO;
+        assert!(p.validate().is_err());
+
+        let mut p = FaultPlan::none();
+        p.boot_backoff_cap = SimDuration::from_secs(1);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = FaultPlan::none();
+        assert_eq!(p.backoff_after(1), SimDuration::from_secs(120));
+        assert_eq!(p.backoff_after(2), SimDuration::from_secs(240));
+        assert_eq!(p.backoff_after(3), SimDuration::from_secs(480));
+        assert_eq!(p.backoff_after(10), SimDuration::from_secs(1920));
+        assert_eq!(p.backoff_after(60), SimDuration::from_secs(1920));
+    }
+
+    #[test]
+    fn outage_schedules_differ_per_zone_but_not_per_rerun() {
+        let p = FaultPlan::with_intensity(1.0);
+        let from = SimTime::from_hours(10);
+        let horizon = SimDuration::from_hours(400);
+        let a0 = p.outage_schedule(7, 0, from, horizon);
+        let a0_again = p.outage_schedule(7, 0, from, horizon);
+        let a1 = p.outage_schedule(7, 1, from, horizon);
+        assert_eq!(a0, a0_again);
+        assert_ne!(a0, a1, "zones should black out independently");
+        assert!(!a0.windows().is_empty());
+    }
+
+    #[test]
+    fn none_generates_no_outages() {
+        let p = FaultPlan::none();
+        let s = p.outage_schedule(7, 0, SimTime::ZERO, SimDuration::from_hours(1000));
+        assert!(s.windows().is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip_and_defaults() {
+        let p = FaultPlan::with_intensity(0.4);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+        // An empty object deserializes to the no-fault plan.
+        let empty: FaultPlan = serde_json::from_str("{}").unwrap();
+        assert!(empty.is_none());
+        assert_eq!(empty, FaultPlan::none());
+    }
+}

@@ -3,19 +3,22 @@
 //! The paper's contribution: Algorithm 1 (deadline-guaranteed checkpoint
 //! scheduling over redundant EC2 availability zones) as an event-driven
 //! trace simulator, the four checkpoint policies of Section 4, the
-//! Large-bid and on-demand baselines, and the Adaptive meta-policy of
-//! Section 7.
+//! Large-bid and on-demand baselines, the Adaptive meta-policy of
+//! Section 7, and the seeded fault-injection layer the chaos harness uses
+//! to stress the deadline guarantee.
 
 #![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod policy;
 pub mod run;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveRunner};
-pub use config::ExperimentConfig;
+pub use config::{ConfigError, ExperimentConfig};
 pub use engine::{on_demand_run, Engine, Snapshot, StepReport, ZoneSnapshot};
+pub use faults::FaultPlan;
 pub use policy::{Policy, PolicyCtx, PolicyKind};
 pub use run::{Event, RunResult, TerminationCause};

@@ -107,6 +107,44 @@ pub enum Event {
         /// Human-readable description of the new permutation.
         to: String,
     },
+    /// An in-flight checkpoint completed but failed to commit (injected
+    /// write failure): the run continues on the previous generation.
+    CheckpointWriteFailed {
+        /// When.
+        at: SimTime,
+        /// Zone that was writing it.
+        zone: ZoneId,
+    },
+    /// A restarting replica found the newest checkpoint generation corrupt
+    /// and fell back to an older one (injected restore corruption).
+    RestoreFailed {
+        /// When.
+        at: SimTime,
+        /// Zone attempting the restore.
+        zone: ZoneId,
+        /// Position of the generation the restore fell back to.
+        fell_back_to: SimDuration,
+    },
+    /// A booting instance failed to come up (injected boot failure /
+    /// insufficient capacity); the engine retries with bounded backoff.
+    BootFailed {
+        /// When.
+        at: SimTime,
+        /// Which zone.
+        zone: ZoneId,
+        /// Earliest instant a new request will be submitted.
+        retry_at: SimTime,
+    },
+    /// The zone went dark (injected blackout): any instance there was
+    /// force-terminated and requests fail until the blackout lifts.
+    ZoneBlackout {
+        /// When.
+        at: SimTime,
+        /// Which zone.
+        zone: ZoneId,
+        /// Instant the zone comes back.
+        until: SimTime,
+    },
     /// The application completed.
     Completed {
         /// When.
@@ -129,6 +167,10 @@ impl Event {
             | Event::HourCharged { at, .. }
             | Event::DeadlineChanged { at, .. }
             | Event::AdaptiveSwitch { at, .. }
+            | Event::CheckpointWriteFailed { at, .. }
+            | Event::RestoreFailed { at, .. }
+            | Event::BootFailed { at, .. }
+            | Event::ZoneBlackout { at, .. }
             | Event::Completed { at } => *at,
         }
     }

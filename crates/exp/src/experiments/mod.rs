@@ -2,6 +2,7 @@
 //! structured result and offers a `render` for terminal output; the
 //! `redspot-bench` binaries and the CLI drive these.
 
+pub mod chaos;
 pub mod fig2;
 pub mod fig4;
 pub mod fig5;

@@ -4,7 +4,8 @@
 //! fixing, free out-of-bid partial hours, charged user-stopped hours,
 //! $2.40/h on-demand), the measured spot queuing-delay model, per-zone
 //! instance lifecycle states (down / waiting / booting / up), and a
-//! trace-driven [`SpotMarket`] façade the scheduling engine drives.
+//! trace-driven [`SpotMarket`] façade the scheduling engine drives, plus
+//! seeded per-zone blackout schedules for fault injection.
 
 #![warn(missing_docs)]
 
@@ -12,8 +13,10 @@ pub mod billing;
 pub mod delay;
 pub mod instance;
 pub mod market;
+pub mod outage;
 
 pub use billing::{on_demand_cost, SpotBilling, StopCause};
 pub use delay::DelayModel;
 pub use instance::{InstanceState, ZoneInstance};
 pub use market::SpotMarket;
+pub use outage::{OutageSchedule, OutageWindow};

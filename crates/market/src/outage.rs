@@ -1,0 +1,157 @@
+//! Zone blackout schedules.
+//!
+//! EC2 availability zones occasionally go dark independently of the spot
+//! price: an outage or an `InsufficientInstanceCapacity` streak terminates
+//! running instances and rejects new requests until capacity returns. The
+//! paper's redundancy argument leans on zones failing independently, so the
+//! fault-injection layer models blackouts as per-zone schedules generated
+//! ahead of time from a seed — deterministic, reproducible, and independent
+//! of the price trace.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use redspot_trace::{SimDuration, SimTime};
+
+/// One contiguous blackout: the zone is dark for `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    /// First dark instant.
+    pub start: SimTime,
+    /// First instant the zone is back (exclusive end).
+    pub end: SimTime,
+}
+
+impl OutageWindow {
+    /// Whether `at` falls inside the window.
+    pub fn contains(&self, at: SimTime) -> bool {
+        self.start <= at && at < self.end
+    }
+}
+
+/// A zone's blackout windows over the simulated horizon, sorted and
+/// non-overlapping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutageSchedule {
+    windows: Vec<OutageWindow>,
+}
+
+impl OutageSchedule {
+    /// A schedule with no blackouts (the no-fault default).
+    pub fn none() -> OutageSchedule {
+        OutageSchedule::default()
+    }
+
+    /// Generate a schedule by walking `[from, from + horizon)` in hour
+    /// steps, starting a blackout of `duration` with probability
+    /// `p_per_hour` at each step. Hours already inside a blackout are
+    /// skipped, so windows never overlap. Fully determined by the inputs.
+    pub fn generate(
+        seed: u64,
+        from: SimTime,
+        horizon: SimDuration,
+        p_per_hour: f64,
+        duration: SimDuration,
+    ) -> OutageSchedule {
+        if p_per_hour <= 0.0 || duration == SimDuration::ZERO {
+            return OutageSchedule::none();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut windows = Vec::new();
+        let end = from + horizon;
+        let mut at = from;
+        while at < end {
+            if rng.gen_bool(p_per_hour) {
+                let w = OutageWindow {
+                    start: at,
+                    end: at + duration,
+                };
+                at = w.end;
+                windows.push(w);
+            } else {
+                at += SimDuration::from_hours(1);
+            }
+        }
+        OutageSchedule { windows }
+    }
+
+    /// If the zone is dark at `at`, the instant it comes back.
+    pub fn blacked_out(&self, at: SimTime) -> Option<SimTime> {
+        self.windows.iter().find(|w| w.contains(at)).map(|w| w.end)
+    }
+
+    /// The next instant strictly after `after` at which the zone's
+    /// dark/up state changes (a window starts or ends), if any.
+    pub fn next_transition(&self, after: SimTime) -> Option<SimTime> {
+        self.windows
+            .iter()
+            .flat_map(|w| [w.start, w.end])
+            .filter(|&t| t > after)
+            .min()
+    }
+
+    /// The blackout windows, sorted by start.
+    pub fn windows(&self) -> &[OutageWindow] {
+        &self.windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(hours: u64) -> SimTime {
+        SimTime::from_hours(hours)
+    }
+
+    fn d(hours: u64) -> SimDuration {
+        SimDuration::from_hours(hours)
+    }
+
+    #[test]
+    fn none_is_always_up() {
+        let s = OutageSchedule::none();
+        assert_eq!(s.blacked_out(t(5)), None);
+        assert_eq!(s.next_transition(SimTime::ZERO), None);
+        assert!(s.windows().is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = OutageSchedule::generate(7, t(0), d(200), 0.05, d(2));
+        let b = OutageSchedule::generate(7, t(0), d(200), 0.05, d(2));
+        assert_eq!(a, b);
+        let c = OutageSchedule::generate(8, t(0), d(200), 0.05, d(2));
+        assert_ne!(a, c, "different seeds should differ at p = 0.05");
+    }
+
+    #[test]
+    fn windows_are_sorted_and_disjoint() {
+        let s = OutageSchedule::generate(3, t(0), d(500), 0.2, d(3));
+        assert!(!s.windows().is_empty());
+        for pair in s.windows().windows(2) {
+            assert!(pair[0].end <= pair[1].start);
+        }
+        for w in s.windows() {
+            assert!(w.start < w.end);
+        }
+    }
+
+    #[test]
+    fn blackout_lookup_and_transitions() {
+        let s = OutageSchedule::generate(3, t(0), d(500), 0.2, d(3));
+        let w = s.windows()[0];
+        assert_eq!(s.blacked_out(w.start), Some(w.end));
+        assert_eq!(s.blacked_out(w.end), None);
+        assert_eq!(s.next_transition(w.start), Some(w.end));
+        let before = SimTime::from_secs(w.start.secs().saturating_sub(1));
+        if before < w.start {
+            assert_eq!(s.next_transition(before), Some(w.start));
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_empty() {
+        let s = OutageSchedule::generate(1, t(0), d(100), 0.0, d(2));
+        assert!(s.windows().is_empty());
+    }
+}

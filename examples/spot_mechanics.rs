@@ -80,6 +80,27 @@ fn main() {
                 )
             }
             Event::CheckpointAborted { .. } => println!("{t:>5.2}h  S={s}  checkpoint ABORTED"),
+            Event::CheckpointWriteFailed { .. } => {
+                println!("{t:>5.2}h  S={s}  checkpoint write FAILED (not committed)")
+            }
+            Event::RestoreFailed { fell_back_to, .. } => {
+                println!(
+                    "{t:>5.2}h  S={s}  restore hit corruption, fell back to {:.2}h",
+                    fell_back_to.as_hours()
+                )
+            }
+            Event::BootFailed { retry_at, .. } => {
+                println!(
+                    "{t:>5.2}h  S={s}  boot failed, retrying at {:.2}h",
+                    retry_at.as_hours()
+                )
+            }
+            Event::ZoneBlackout { until, .. } => {
+                println!(
+                    "{t:>5.2}h  S={s}  zone blackout until {:.2}h",
+                    until.as_hours()
+                )
+            }
             Event::HourCharged { rate, .. } => println!("{t:>5.2}h  S={s}  hour billed at {rate}"),
             Event::SwitchedToOnDemand { .. } => println!("{t:>5.2}h  S={s}  migrated to on-demand"),
             Event::AdaptiveSwitch { .. } | Event::DeadlineChanged { .. } => {}

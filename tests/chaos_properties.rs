@@ -1,0 +1,259 @@
+//! Chaos property tests: the paper's deadline guarantee and the billing
+//! invariants must survive *arbitrary* fault schedules — checkpoint write
+//! failures, corrupted restores with generation fallback, boot failures
+//! with bounded backoff, zone blackouts — on arbitrary markets.
+//!
+//! Also the determinism regression: [`FaultPlan::none`] must reproduce
+//! the fault-free engine bit for bit, across reruns and across sweep
+//! thread counts.
+
+use proptest::prelude::*;
+use redspot::core::{Engine, Event, FaultPlan};
+use redspot::exp::parallel::run_batch;
+use redspot::exp::{RunSpec, Scheme};
+use redspot::prelude::*;
+use redspot::trace::gen::{GenConfig, ZoneRegime};
+
+/// An arbitrary (but bounded) market: arbitrary regime parameters per
+/// zone, arbitrary seed.
+fn arb_market() -> impl Strategy<Value = TraceSet> {
+    (
+        0u64..10_000,  // seed
+        100u64..900,   // calm base
+        900u64..4_000, // elevated base
+        0.0f64..0.2,   // p_calm_to_elevated
+        0.01f64..0.3,  // p_elevated_to_calm
+        0.0f64..0.05,  // p_spike
+    )
+        .prop_map(|(seed, calm, elev, p_up, p_down, p_spike)| {
+            let mk = |i: usize| ZoneRegime {
+                calm_base: calm + 10 * i as u64,
+                calm_jitter: calm / 8,
+                p_move: 0.2,
+                elevated_base: elev,
+                elevated_jitter: elev / 8,
+                p_calm_to_elevated: p_up,
+                p_elevated_to_calm: p_down,
+                p_spike,
+                spike_range: (elev, elev * 3),
+                spike_steps: (1, 12),
+            };
+            GenConfig {
+                zones: (0..3).map(mk).collect(),
+                duration: SimDuration::from_hours(24 * 5),
+                start: SimTime::ZERO,
+                seed,
+                common_amplitude: 5,
+            }
+            .generate()
+        })
+}
+
+/// An arbitrary fault schedule, spanning everything from "almost benign"
+/// to "most checkpoints lost, boots flaky, zones regularly dark".
+fn arb_faults() -> impl Strategy<Value = FaultPlan> {
+    (
+        0.0f64..0.9,   // p_ckpt_write_fail
+        0.0f64..0.8,   // p_restore_corrupt (< 1: a restore must terminate)
+        0.0f64..0.8,   // p_boot_fail (< 1: a boot must eventually succeed)
+        30u64..600,    // boot_backoff (secs)
+        0.0f64..0.25,  // p_blackout_per_hour
+        600u64..7_200, // blackout_duration (secs)
+    )
+        .prop_map(|(w, r, b, backoff, bl, bl_dur)| FaultPlan {
+            p_ckpt_write_fail: w,
+            p_restore_corrupt: r,
+            p_boot_fail: b,
+            boot_backoff: SimDuration::from_secs(backoff),
+            boot_backoff_cap: SimDuration::from_secs(backoff * 16),
+            p_blackout_per_hour: bl,
+            blackout_duration: SimDuration::from_secs(bl_dur),
+        })
+}
+
+/// Walk the event log holding the engine to the generation-store
+/// semantics: committed progress only moves backwards through an explicit
+/// corrupted-restore fallback, and every commit lands at or above the
+/// current newest valid generation.
+fn check_commit_monotonicity(events: &[Event]) {
+    let mut newest_valid = SimDuration::ZERO;
+    for e in events {
+        match e {
+            Event::CheckpointCommitted { position, .. } => {
+                assert!(
+                    *position >= newest_valid,
+                    "commit at {position} behind newest valid generation {newest_valid}"
+                );
+                newest_valid = *position;
+            }
+            Event::RestoreFailed { fell_back_to, .. } => {
+                assert!(
+                    *fell_back_to <= newest_valid,
+                    "fallback to {fell_back_to} above newest valid {newest_valid}"
+                );
+                newest_valid = *fell_back_to;
+            }
+            Event::SwitchedToOnDemand { committed, .. } => {
+                // Migration restores from the reliable I/O server, which
+                // never trails the spot-side generation store.
+                assert!(
+                    *committed >= newest_valid,
+                    "migration from {committed} behind newest valid {newest_valid}"
+                );
+            }
+            Event::BootFailed { at, retry_at, .. } => {
+                assert!(retry_at > at, "boot retry not in the future");
+            }
+            Event::ZoneBlackout { at, until, .. } => {
+                assert!(until > at, "empty blackout window");
+            }
+            _ => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// THE chaos property: any market, any fault schedule, any policy —
+    /// the deadline holds whenever it was feasible at submission, the
+    /// accounting adds up, and committed progress respects the
+    /// generation store.
+    #[test]
+    fn guarantee_survives_arbitrary_fault_schedules(
+        traces in arb_market(),
+        faults in arb_faults(),
+        kind in prop_oneof![Just(PolicyKind::Periodic), Just(PolicyKind::MarkovDaly)],
+        slack_pct in 10u64..60,
+        seed in 0u64..1_000,
+    ) {
+        let mut cfg = ExperimentConfig::paper_default()
+            .with_slack_percent(slack_pct)
+            .with_seed(seed)
+            .with_faults(faults);
+        cfg.app = AppSpec::new(SimDuration::from_hours(8));
+        cfg.deadline = SimDuration::from_secs(cfg.app.work.secs() * (100 + slack_pct) / 100);
+        cfg.record_events = true;
+
+        let feasible = cfg.deadline >= cfg.app.work + cfg.costs.migration();
+        let start = SimTime::from_hours(48);
+        let r = Engine::new(&traces, start, cfg.clone(), kind.build()).run();
+
+        prop_assert!(
+            r.met_deadline || !feasible,
+            "{kind:?} missed a feasible deadline under {faults:?}: finished {} vs {}",
+            r.finished_at,
+            start + cfg.deadline
+        );
+        prop_assert_eq!(r.cost, r.spot_cost + r.od_cost + r.io_cost);
+        prop_assert!(!r.used_on_demand || r.od_cost > Price::ZERO);
+        check_commit_monotonicity(&r.events);
+    }
+
+    /// The same seed and fault schedule replay to the identical run —
+    /// fault injection is deterministic, not merely statistical.
+    #[test]
+    fn fault_injection_replays_bit_for_bit(
+        traces in arb_market(),
+        faults in arb_faults(),
+        seed in 0u64..1_000,
+    ) {
+        let cfg = {
+            let mut c = ExperimentConfig::paper_default()
+                .with_slack_percent(15)
+                .with_seed(seed)
+                .with_faults(faults);
+            c.app = AppSpec::new(SimDuration::from_hours(8));
+            c.deadline = SimDuration::from_secs(c.app.work.secs() * 115 / 100);
+            c.record_events = true;
+            c
+        };
+        let start = SimTime::from_hours(48);
+        let a = Engine::new(&traces, start, cfg.clone(), PolicyKind::Periodic.build()).run();
+        let b = Engine::new(&traces, start, cfg, PolicyKind::Periodic.build()).run();
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Determinism regression: the none-plan engine IS the fault-free engine.
+
+/// The paper-default experiment used by the pinned regression below.
+fn pinned_setup() -> (TraceSet, SimTime, ExperimentConfig) {
+    let traces = GenConfig::low_volatility(42).generate();
+    let cfg = ExperimentConfig::paper_default();
+    (traces, SimTime::from_hours(72), cfg)
+}
+
+#[test]
+fn none_plan_is_identical_to_the_default_config() {
+    let (traces, start, cfg) = pinned_setup();
+    let explicit = cfg.clone().with_faults(FaultPlan::none());
+    let a = Engine::new(&traces, start, cfg, PolicyKind::Periodic.build()).run();
+    let b = Engine::new(&traces, start, explicit, PolicyKind::Periodic.build()).run();
+    assert_eq!(a, b);
+
+    // And reruns are bit-identical.
+    let (traces2, start2, cfg2) = pinned_setup();
+    let c = Engine::new(&traces2, start2, cfg2, PolicyKind::Periodic.build()).run();
+    assert_eq!(a, c);
+}
+
+/// Pin of the fault-free engine's output on the paper-default scenario.
+/// `FaultPlan::none()` must keep reproducing the pre-fault-layer results
+/// exactly; if this changes, the fault layer has leaked into the
+/// fault-free path (an RNG draw, an extra event-horizon stop, ...).
+#[test]
+fn none_plan_reproduces_the_pinned_fault_free_result() {
+    let (traces, start, cfg) = pinned_setup();
+    let r = Engine::new(&traces, start, cfg, PolicyKind::Periodic.build()).run();
+    assert!(r.met_deadline);
+    assert_eq!(r.cost, r.spot_cost + r.od_cost + r.io_cost);
+    assert_eq!(
+        (r.cost, r.finished_at, r.checkpoints, r.restarts),
+        pinned_expectation(),
+        "fault-free engine output drifted: {r:?}"
+    );
+}
+
+/// The expected (cost, finish, checkpoints, restarts) for
+/// [`pinned_setup`], captured from the engine before the fault layer
+/// existed.
+fn pinned_expectation() -> (Price, SimTime, u32, u32) {
+    (
+        Price::from_millis(PINNED_COST_MILLIS),
+        SimTime::from_secs(PINNED_FINISH_SECS),
+        PINNED_CHECKPOINTS,
+        PINNED_RESTARTS,
+    )
+}
+
+const PINNED_COST_MILLIS: u64 = 18_563;
+const PINNED_FINISH_SECS: u64 = 333_290;
+const PINNED_CHECKPOINTS: u32 = 20;
+const PINNED_RESTARTS: u32 = 3;
+
+#[test]
+fn none_plan_sweeps_are_thread_count_invariant() {
+    let (traces, _, cfg) = pinned_setup();
+    let specs: Vec<RunSpec> = (0..6)
+        .map(|i| RunSpec {
+            start: SimTime::from_hours(48 + 12 * i),
+            bid: Price::from_millis(810),
+            scheme: Scheme::Redundant {
+                kind: PolicyKind::Periodic,
+                zones: traces.zone_ids().collect(),
+            },
+        })
+        .collect();
+    let serial = run_batch(&traces, &specs, &cfg, 1);
+    let threaded = run_batch(&traces, &specs, &cfg, 4);
+    assert_eq!(serial, threaded);
+
+    // The same holds with faults switched on: the fault RNG is seeded
+    // per run, not shared across workers.
+    let chaotic = cfg.with_faults(FaultPlan::with_intensity(0.7));
+    let serial = run_batch(&traces, &specs, &chaotic, 1);
+    let threaded = run_batch(&traces, &specs, &chaotic, 4);
+    assert_eq!(serial, threaded);
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Runs each benchmark for a small, fixed number of timed iterations and
+//! prints the mean wall-clock time per iteration. No statistics, warm-up
+//! tuning, or HTML reports — just enough to keep `cargo bench` useful and
+//! the bench targets compiling offline.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped between setup calls (accepted for API
+/// compatibility; every batch size runs one setup per iteration here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    /// Mean nanoseconds per iteration, recorded by the run.
+    mean_nanos: f64,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.mean_nanos = start.elapsed().as_nanos() as f64 / self.iterations as f64;
+    }
+
+    /// Time `routine` with a fresh `setup()` input per iteration; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total_nanos = 0u128;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_nanos += start.elapsed().as_nanos();
+        }
+        self.mean_nanos = total_nanos as f64 / self.iterations as f64;
+    }
+}
+
+fn run_bench(name: &str, iterations: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iterations,
+        mean_nanos: 0.0,
+    };
+    f(&mut b);
+    let mean = b.mean_nanos;
+    if mean >= 1_000_000.0 {
+        println!("{name:<48} {:>12.3} ms/iter", mean / 1_000_000.0);
+    } else if mean >= 1_000.0 {
+        println!("{name:<48} {:>12.3} us/iter", mean / 1_000.0);
+    } else {
+        println!("{name:<48} {:>12.1} ns/iter", mean);
+    }
+}
+
+/// Top-level benchmark registry, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name.as_ref(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group with its own sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the iteration count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        run_bench(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($bench(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` for a bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

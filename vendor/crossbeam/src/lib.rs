@@ -1,0 +1,67 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented over
+//! `std::thread::scope` (stable since Rust 1.63), preserving crossbeam's
+//! `Result`-returning signature: a panic in any spawned thread surfaces as
+//! `Err` from `scope` instead of unwinding through the caller.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Error type carried by a failed scope: the payload of the first panic.
+    pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A scope handle passed to the closure and to every spawned thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope (ignored by
+        /// most callers as `|_|`), matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which threads borrowing local state can be
+    /// spawned; all are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_share_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        let result = super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        });
+        assert!(result.is_ok());
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("worker failed"));
+        });
+        assert!(result.is_err());
+    }
+}

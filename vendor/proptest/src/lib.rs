@@ -1,0 +1,90 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest API redspot's property suites use:
+//! the `proptest!` macro, `Strategy` with `prop_map`, `Just`, ranges as
+//! strategies, `prop::collection::vec`, `prop_oneof!`, and
+//! `ProptestConfig::with_cases`. Cases are generated from a deterministic
+//! per-test RNG (seeded from the test name), so failures reproduce exactly.
+//! There is no shrinking: a failing case asserts immediately with its values
+//! printed by the failing `prop_assert*!`.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Compatibility alias so `prop::collection::vec(...)` works via the prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-import surface used by test files.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestRng};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property; maps to `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property; maps to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property; maps to `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Choose uniformly between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a test that runs `body` for `Config::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::Config::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::new_value(&($strategy), &mut __rng);
+                )*
+                $body
+            }
+        }
+    )*};
+}

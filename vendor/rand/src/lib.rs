@@ -1,0 +1,232 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! workspace vendors a minimal, API-compatible subset of `rand 0.8`: the
+//! pieces redspot actually uses (`StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range`, `Rng::gen_bool`). The generator is SplitMix64 — not
+//! cryptographic, but statistically solid for simulation workloads and fully
+//! deterministic across platforms, which is the property redspot cares about.
+
+pub mod rngs;
+
+/// Low-level source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// Next raw 64-bit value from the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit value (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed. Identical seeds yield identical
+    /// streams on every platform.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can serve as the argument of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a single value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// High-level convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from a range (half-open `a..b` or inclusive `a..=b`).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Map a raw `u64` to a uniform `f64` in `[0, 1)` using the top 53 bits.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Unbiased uniform draw from `[0, span]` via rejection sampling
+/// (Lemire-style bounded draw, widened to avoid modulo bias).
+#[inline]
+fn bounded_inclusive<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == u64::MAX {
+        return rng.next_u64();
+    }
+    let bound = span + 1;
+    // Rejection zone keeps the draw exactly uniform.
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+/// Types drawable uniformly from a range. The blanket [`SampleRange`] impls
+/// below are written over this trait (one impl per range shape, like the
+/// real crate) so that integer-literal ranges unify with surrounding
+/// arithmetic during type inference.
+pub trait SampleUniform: PartialOrd + Sized {
+    /// Draw from `[lo, hi)`. Caller guarantees `lo < hi`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Draw from `[lo, hi]`. Caller guarantees `lo <= hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty => $wide:ty),* $(,)?) => {
+        $(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64 - 1;
+                    let off = bounded_inclusive(rng, span);
+                    ((lo as $wide).wrapping_add(off as $wide)) as $t
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    let off = bounded_inclusive(rng, span);
+                    ((lo as $wide).wrapping_add(off as $wide)) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_int_uniform!(
+    u8 => u64,
+    u16 => u64,
+    u32 => u64,
+    u64 => u64,
+    usize => u64,
+    i8 => i64,
+    i16 => i64,
+    i32 => i64,
+    i64 => i64,
+    isize => i64,
+);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        let v = lo + (hi - lo) * unit_f64(rng.next_u64());
+        // Floating rounding can land exactly on `hi`; nudge back inside.
+        if v >= hi {
+            lo.max(prev_down(hi))
+        } else {
+            v
+        }
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: f32, hi: f32) -> f32 {
+        f64::sample_half_open(rng, lo as f64, hi as f64) as f32
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: f32, hi: f32) -> f32 {
+        f64::sample_inclusive(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+/// Largest `f64` strictly below `x` (for finite positive spans).
+fn prev_down(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1_000 {
+            match rng.gen_range(0u64..=3) {
+                0 => lo = true,
+                3 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn uniform_f64_mean_is_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean = {mean}");
+    }
+}

@@ -1,0 +1,549 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! `syn`/`quote` are unavailable offline, so this crate parses the derive
+//! input directly from `proc_macro::TokenTree`s and emits the generated impl
+//! as source text. The supported grammar is exactly what redspot uses:
+//!
+//! - named-field structs (with `#[serde(default)]` and
+//!   `#[serde(default = "path")]` on fields)
+//! - single-field tuple structs and `#[serde(transparent)]`
+//! - enums with unit, single-field tuple, and struct variants
+//!
+//! Generics are deliberately unsupported; a clear compile error points here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    /// `struct Name { fields }`
+    NamedStruct {
+        name: String,
+        transparent: bool,
+        fields: Vec<Field>,
+    },
+    /// `struct Name(T, ...);`
+    TupleStruct {
+        name: String,
+        transparent: bool,
+        arity: usize,
+    },
+    /// `enum Name { variants }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` / `#[serde(default = "path")]`: a missing key
+    /// deserializes via `Default::default()` (empty string) or the named
+    /// function.
+    default: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    /// Tuple variant; payload is the field count.
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().unwrap()
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Scan one attribute block if present; returns serde flags found in it.
+/// `i` is advanced past the attribute.
+fn eat_attr(tokens: &[TokenTree], i: &mut usize) -> Option<(bool, Option<String>)> {
+    if *i + 1 < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            if p.as_char() == '#' {
+                if let TokenTree::Group(g) = &tokens[*i + 1] {
+                    if g.delimiter() == Delimiter::Bracket {
+                        *i += 2;
+                        return Some(inspect_serde_attr(&g.stream()));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Returns `(transparent, default)` settings if the attr is `#[serde(...)]`.
+/// `default` is `Some("")` for bare `default` and `Some(path)` for
+/// `default = "path"`.
+fn inspect_serde_attr(stream: &TokenStream) -> (bool, Option<String>) {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut transparent = false;
+    let mut default = None;
+    if let Some(TokenTree::Ident(id)) = toks.first() {
+        if id.to_string() == "serde" {
+            if let Some(TokenTree::Group(args)) = toks.get(1) {
+                let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+                let mut j = 0;
+                while j < inner.len() {
+                    if let TokenTree::Ident(flag) = &inner[j] {
+                        match flag.to_string().as_str() {
+                            "transparent" => transparent = true,
+                            "default" => match (inner.get(j + 1), inner.get(j + 2)) {
+                                (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(path)))
+                                    if p.as_char() == '=' =>
+                                {
+                                    default = Some(path.to_string().trim_matches('"').to_string());
+                                    j += 2;
+                                }
+                                _ => default = Some(String::new()),
+                            },
+                            other => panic!(
+                                "vendored serde_derive: unsupported serde attribute `{other}`"
+                            ),
+                        }
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+    (transparent, default)
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn eat_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let mut transparent = false;
+    while let Some((t, _)) = eat_attr(&tokens, &mut i) {
+        transparent |= t;
+    }
+    eat_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("vendored serde_derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("vendored serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive: generic types are not supported (type `{name}`)");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                transparent,
+                fields: parse_fields(&g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    transparent,
+                    arity: count_tuple_fields(&g.stream()),
+                }
+            }
+            other => panic!("vendored serde_derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(&g.stream()),
+            },
+            other => panic!("vendored serde_derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("vendored serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Parse `name: Type` fields from a brace-group stream, honoring attributes
+/// and skipping type tokens (commas inside `<...>` do not split fields).
+fn parse_fields(stream: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = None;
+        while let Some((_, d)) = eat_attr(&tokens, &mut i) {
+            if d.is_some() {
+                default = d;
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        eat_vis(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("vendored serde_derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("vendored serde_derive: expected `:` after field, found {other}"),
+        }
+        // Skip the type: scan to the next comma at angle-bracket depth 0.
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Count fields of a tuple struct/variant (commas at angle depth 0, plus one).
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle: i32 = 0;
+    let mut count = 1;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            // A trailing comma does not start another field.
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 && idx + 1 < tokens.len() => {
+                count += 1
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while eat_attr(&tokens, &mut i).is_some() {}
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("vendored serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_fields(&g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip the separating comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn named_map_literal(fields: &[Field], accessor: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({a}{n})),",
+                n = f.name,
+                a = accessor
+            )
+        })
+        .collect();
+    format!(
+        "::serde::Value::Map(::std::vec::Vec::from([{}]))",
+        entries.join("")
+    )
+}
+
+/// Generate the field initializers of a named struct/variant from a map
+/// binding named `__m`.
+fn named_field_inits(type_name: &str, fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let missing = match &f.default {
+                Some(path) if path.is_empty() => "::std::default::Default::default()".to_string(),
+                Some(path) => format!("{path}()"),
+                None => format!(
+                    "return ::std::result::Result::Err(::serde::Error::custom(\
+                     \"{type_name}: missing field `{n}`\"))",
+                    n = f.name
+                ),
+            };
+            format!(
+                "{n}: match ::serde::__find(__m, \"{n}\") {{ \
+                 ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                 ::std::option::Option::None => {missing}, }},",
+                n = f.name
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct {
+            name,
+            transparent,
+            fields,
+        } => {
+            let body = if *transparent {
+                assert!(
+                    fields.len() == 1,
+                    "vendored serde_derive: #[serde(transparent)] needs exactly one field"
+                );
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                named_map_literal(fields, "&self.")
+            };
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct {
+            name,
+            transparent,
+            arity,
+        } => {
+            let body = if *transparent || *arity == 1 {
+                assert!(
+                    *arity == 1,
+                    "vendored serde_derive: #[serde(transparent)] needs exactly one field"
+                );
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let entries: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                    .collect();
+                format!(
+                    "::serde::Value::Seq(::std::vec::Vec::from([{}]))",
+                    entries.join("")
+                )
+            };
+            impl_serialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let content = if *arity == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Seq(::std::vec::Vec::from([{}]))",
+                                    items.join("")
+                                )
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Map(\
+                                 ::std::vec::Vec::from([\
+                                 (::std::string::String::from(\"{vn}\"), {content})])),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let content = named_map_literal(fields, "");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(\
+                                 ::std::vec::Vec::from([\
+                                 (::std::string::String::from(\"{vn}\"), {content})])),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            impl_serialize(name, &format!("match self {{ {} }}", arms.join("")))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct {
+            name,
+            transparent,
+            fields,
+        } => {
+            let body = if *transparent {
+                assert!(
+                    fields.len() == 1,
+                    "vendored serde_derive: #[serde(transparent)] needs exactly one field"
+                );
+                format!(
+                    "::std::result::Result::Ok({name} {{ {f}: \
+                     ::serde::Deserialize::from_value(__v)? }})",
+                    f = fields[0].name
+                )
+            } else {
+                format!(
+                    "let __m = match __v {{ \
+                     ::serde::Value::Map(__m) => __m.as_slice(), \
+                     _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                     \"{name}: expected map\")) }}; \
+                     ::std::result::Result::Ok({name} {{ {inits} }})",
+                    inits = named_field_inits(name, fields)
+                )
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity, .. } => {
+            assert!(
+                *arity == 1,
+                "vendored serde_derive: only single-field tuple structs are supported"
+            );
+            let body = format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            );
+            impl_deserialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let content_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(arity) => {
+                            assert!(
+                                *arity == 1,
+                                "vendored serde_derive: multi-field tuple variants unsupported"
+                            );
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(__content)?)),"
+                            ))
+                        }
+                        VariantShape::Struct(fields) => Some(format!(
+                            "\"{vn}\" => {{ let __m = __content.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(\"{name}::{vn}: expected map\"))?; \
+                             ::std::result::Result::Ok({name}::{vn} {{ {inits} }}) }},",
+                            inits = named_field_inits(name, fields)
+                        )),
+                    }
+                })
+                .collect();
+            let body = format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                 {unit_arms} \
+                 __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                 \"{name}: unknown variant `{{__other}}`\"))), }}, \
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{ \
+                 let (__tag, __content) = &__m[0]; \
+                 match __tag.as_str() {{ \
+                 {content_arms} \
+                 __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                 \"{name}: unknown variant `{{__other}}`\"))), }} }}, \
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"{name}: expected variant tag\")), }}",
+                unit_arms = unit_arms.join(""),
+                content_arms = content_arms.join(""),
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
