@@ -3,6 +3,9 @@
 
 use std::collections::BTreeMap;
 
+/// Flags that take no value: present means `true`.
+const BOOL_FLAGS: &[&str] = &["api"];
+
 /// Parsed flags plus positional arguments.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ParsedArgs {
@@ -11,12 +14,16 @@ pub struct ParsedArgs {
 }
 
 impl ParsedArgs {
-    /// Parse `--key value` pairs and positionals.
+    /// Parse `--key value` pairs (plus bare boolean flags) and positionals.
     pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
         let mut out = ParsedArgs::default();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             if let Some(key) = arg.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&key) {
+                    out.flags.insert(key.to_string(), "true".to_string());
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -31,6 +38,11 @@ impl ParsedArgs {
     /// A string flag.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(String::as_str)
+    }
+
+    /// Whether a bare boolean flag was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 
     /// A string flag with a default.
@@ -72,7 +84,9 @@ USAGE:
   redspot var-analysis [--seed N]
   redspot queuing-delay [--seed N]
   redspot spike-stress [--n COUNT] [--seed N]
-  redspot chaos [--n COUNT] [--seed N] [--intensities 0,0.3,0.6,1]
+  redspot chaos [--api] [--n COUNT] [--seed N] [--intensities 0,0.3,0.6,1]
+                                    # --api injects control-plane faults instead of
+                                    # infrastructure faults; exits 1 on any deadline violation
   redspot markov-validation [--seed N] [--bid DOLLARS]
   redspot bootstrap --trace FILE --out FILE [--seed N] [--block-hours H] [--days D]
   redspot workloads                 # list the workload catalog
@@ -107,6 +121,18 @@ mod tests {
     #[test]
     fn dangling_flag_is_an_error() {
         assert!(parse(&["--n"]).is_err());
+    }
+
+    #[test]
+    fn bare_boolean_flags_take_no_value() {
+        let a = parse(&["--api", "--n", "4"]).unwrap();
+        assert!(a.has("api"));
+        assert_eq!(a.get("n"), Some("4"));
+        assert!(!a.has("n-missing"));
+        // --api must not swallow the following token.
+        let a = parse(&["--api", "positional"]).unwrap();
+        assert!(a.has("api"));
+        assert_eq!(a.positional(0), Some("positional"));
     }
 
     #[test]

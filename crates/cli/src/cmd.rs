@@ -1,6 +1,7 @@
 //! Command implementations.
 
 use crate::args::ParsedArgs;
+use crate::CliError;
 use redspot_core::{AdaptiveRunner, Engine, ExperimentConfig, PolicyKind, RunResult};
 use redspot_exp::experiments::{fig2, fig4, fig5, fig6, tables};
 use redspot_exp::report::{boxplot_panel, REF_LINES};
@@ -244,7 +245,7 @@ mod tests {
     use crate::dispatch;
 
     fn dispatch_str(args: &[&str]) -> Result<String, String> {
-        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).map_err(|e| e.to_string())
     }
 
     fn tmp(name: &str) -> String {
@@ -319,6 +320,22 @@ mod tests {
     }
 
     #[test]
+    fn chaos_api_flag_switches_to_control_plane_faults() {
+        let out = dispatch_str(&["chaos", "--api", "--n", "2", "--intensities", "0,0.5"]).unwrap();
+        assert!(out.contains("Chaos-API"), "{out}");
+        assert!(out.contains("total deadline violations: 0"), "{out}");
+        // Bad intensities are usage errors regardless of the mode.
+        let err = crate::dispatch(&[
+            "chaos".to_string(),
+            "--api".to_string(),
+            "--intensities".to_string(),
+            "0,2".to_string(),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, crate::CliError::Usage(_)));
+    }
+
+    #[test]
     fn help_prints_usage() {
         let out = dispatch_str(&["help"]).unwrap();
         assert!(out.contains("USAGE"));
@@ -389,11 +406,15 @@ pub fn spike_stress(parsed: &ParsedArgs) -> Result<String, String> {
     ))
 }
 
-/// `chaos`: the deadline guarantee under injected infrastructure faults.
-pub fn chaos(parsed: &ParsedArgs) -> Result<String, String> {
-    use redspot_exp::experiments::chaos;
-    let seed = parsed.num_or("seed", 42u64)?;
-    let n = parsed.num_or("n", 8usize)?;
+/// `chaos`: the deadline guarantee under injected faults — infrastructure
+/// faults by default, control-plane (API) faults with `--api`. Any
+/// deadline violation in the sweep is a [`CliError::Violation`]: the
+/// binary prints the table and exits nonzero, so CI can gate on it.
+pub fn chaos(parsed: &ParsedArgs) -> Result<String, CliError> {
+    use redspot_exp::experiments::{chaos, chaos_api};
+    let usage = CliError::Usage;
+    let seed = parsed.num_or("seed", 42u64).map_err(usage)?;
+    let n = parsed.num_or("n", 8usize).map_err(usage)?;
     let spec = parsed.get_or("intensities", "0,0.3,0.6,1");
     let intensities: Vec<f64> = spec
         .split(',')
@@ -409,12 +430,24 @@ pub fn chaos(parsed: &ParsedArgs) -> Result<String, String> {
                     }
                 })
         })
-        .collect::<Result<_, _>>()?;
+        .collect::<Result<_, _>>()
+        .map_err(usage)?;
     if intensities.is_empty() {
-        return Err("--intensities: need at least one value".into());
+        return Err(CliError::Usage(
+            "--intensities: need at least one value".into(),
+        ));
     }
-    let c = chaos::study(seed, &intensities, n, 0);
-    Ok(chaos::render(&c))
+    let (rendered, violations) = if parsed.has("api") {
+        let c = chaos_api::study(seed, &intensities, n, 0);
+        (chaos_api::render(&c), c.total_violations())
+    } else {
+        let c = chaos::study(seed, &intensities, n, 0);
+        (chaos::render(&c), c.total_violations())
+    };
+    if violations > 0 {
+        return Err(CliError::Violation(rendered));
+    }
+    Ok(rendered)
 }
 
 /// `markov-validation`: Appendix-B model vs observed up-times.
@@ -451,7 +484,7 @@ mod extra_tests {
     use crate::dispatch;
 
     fn dispatch_str(args: &[&str]) -> Result<String, String> {
-        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).map_err(|e| e.to_string())
     }
 
     fn tmp(name: &str) -> String {
@@ -506,7 +539,7 @@ mod workload_tests {
     use crate::dispatch;
 
     fn dispatch_str(args: &[&str]) -> Result<String, String> {
-        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).map_err(|e| e.to_string())
     }
 
     fn tmp(name: &str) -> String {
@@ -642,7 +675,7 @@ mod sweep_tests {
     use crate::dispatch;
 
     fn dispatch_str(args: &[&str]) -> Result<String, String> {
-        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).map_err(|e| e.to_string())
     }
 
     fn tmp(name: &str) -> String {

@@ -8,32 +8,54 @@
 mod args;
 mod cmd;
 
+use std::fmt;
+
 pub use args::{usage, ParsedArgs};
+
+/// How a command invocation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad arguments or I/O trouble: exit 2 and show usage.
+    Usage(String),
+    /// The command ran to completion but its result breaks a guarantee
+    /// the tool is supposed to uphold (a chaos sweep with deadline
+    /// violations): print the output, exit 1, no usage text.
+    Violation(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Violation(output) => write!(f, "{output}"),
+        }
+    }
+}
 
 /// Dispatch a command line (without the program name) and return the text
 /// to print.
-pub fn dispatch(args: &[String]) -> Result<String, String> {
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     let Some((cmd, rest)) = args.split_first() else {
-        return Err("no command given".into());
+        return Err(CliError::Usage("no command given".into()));
     };
-    let parsed = ParsedArgs::parse(rest)?;
+    let parsed = ParsedArgs::parse(rest).map_err(CliError::Usage)?;
     match cmd.as_str() {
-        "gen-trace" => cmd::gen_trace(&parsed),
-        "describe" => cmd::describe(&parsed),
-        "run" => cmd::run(&parsed),
-        "adaptive" => cmd::adaptive(&parsed),
-        "figure" => cmd::figure(&parsed),
-        "table" => cmd::table(&parsed),
-        "headline" => cmd::headline(&parsed),
-        "var-analysis" => cmd::var_analysis(&parsed),
-        "queuing-delay" => cmd::queuing_delay(&parsed),
-        "spike-stress" => cmd::spike_stress(&parsed),
+        "gen-trace" => cmd::gen_trace(&parsed).map_err(CliError::Usage),
+        "describe" => cmd::describe(&parsed).map_err(CliError::Usage),
+        "run" => cmd::run(&parsed).map_err(CliError::Usage),
+        "adaptive" => cmd::adaptive(&parsed).map_err(CliError::Usage),
+        "figure" => cmd::figure(&parsed).map_err(CliError::Usage),
+        "table" => cmd::table(&parsed).map_err(CliError::Usage),
+        "headline" => cmd::headline(&parsed).map_err(CliError::Usage),
+        "var-analysis" => cmd::var_analysis(&parsed).map_err(CliError::Usage),
+        "queuing-delay" => cmd::queuing_delay(&parsed).map_err(CliError::Usage),
+        "spike-stress" => cmd::spike_stress(&parsed).map_err(CliError::Usage),
         "chaos" => cmd::chaos(&parsed),
-        "markov-validation" => cmd::markov_validation(&parsed),
-        "bootstrap" => cmd::bootstrap(&parsed),
-        "workloads" => cmd::workloads(&parsed),
-        "sweep" => cmd::sweep(&parsed),
+        "markov-validation" => cmd::markov_validation(&parsed).map_err(CliError::Usage),
+        "bootstrap" => cmd::bootstrap(&parsed).map_err(CliError::Usage),
+        "workloads" => cmd::workloads(&parsed).map_err(CliError::Usage),
+        "sweep" => cmd::sweep(&parsed).map_err(CliError::Usage),
         "help" | "--help" | "-h" => Ok(usage()),
-        other => Err(format!("unknown command: {other}")),
+        other => Err(CliError::Usage(format!("unknown command: {other}"))),
     }
 }

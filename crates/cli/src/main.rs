@@ -1,12 +1,17 @@
 //! `redspot` — command-line interface to the HPDC'14 reproduction.
 
-use redspot_cli::{dispatch, usage};
+use redspot_cli::{dispatch, usage, CliError};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(&args) {
         Ok(output) => print!("{output}"),
-        Err(e) => {
+        Err(CliError::Violation(output)) => {
+            print!("{output}");
+            eprintln!("error: deadline violations detected");
+            std::process::exit(1);
+        }
+        Err(CliError::Usage(e)) => {
             eprintln!("error: {e}\n");
             eprintln!("{}", usage());
             std::process::exit(2);

@@ -1,0 +1,145 @@
+//! Reusable exponential backoff with an optional deterministic jitter.
+//!
+//! Two retry loops share this shape: boot re-requests after
+//! `InsufficientInstanceCapacity`-style boot failures (PR 1's fault
+//! layer) and the supervisor's control-plane retries. Both need the same
+//! discipline — exponential growth from a base, a hard cap, saturation
+//! far below u64 overflow — and the supervisor additionally wants
+//! jitter so that N zones tripped by the same outage do not retry in
+//! lockstep. Jitter draws come from a caller-supplied RNG so schedules
+//! stay deterministic per seed, and the un-jittered path performs no
+//! draw at all (preserving the bit-identical no-fault guarantee).
+
+use rand::Rng;
+use redspot_trace::SimDuration;
+
+/// Exponential backoff: `base × multiplier^(attempt−1)`, capped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay after the first failure.
+    pub base: SimDuration,
+    /// Growth factor per consecutive failure (≥ 1).
+    pub multiplier: u32,
+    /// Upper bound on the delay.
+    pub cap: SimDuration,
+}
+
+impl Backoff {
+    /// A doubling backoff from `base` up to `cap` — the shape both the
+    /// boot-retry path and the supervisor use.
+    pub fn doubling(base: SimDuration, cap: SimDuration) -> Backoff {
+        Backoff {
+            base,
+            multiplier: 2,
+            cap,
+        }
+    }
+
+    /// The delay after `attempt` consecutive failures (`attempt ≥ 1`;
+    /// an `attempt` of 0 is treated as 1). Exponent growth saturates at
+    /// 2^16 before the cap is applied, so absurd attempt counts cannot
+    /// overflow.
+    pub fn delay(&self, attempt: u32) -> SimDuration {
+        let exponent = attempt.saturating_sub(1).min(16);
+        let mut secs = self.base.secs();
+        for _ in 0..exponent {
+            secs = secs.saturating_mul(self.multiplier as u64);
+            if secs >= self.cap.secs() {
+                break;
+            }
+        }
+        SimDuration::from_secs(secs.min(self.cap.secs()))
+    }
+
+    /// Like [`Backoff::delay`] but with uniform jitter in
+    /// `[delay/2, delay]` drawn from `rng`, so concurrent failures
+    /// desynchronize. A zero delay performs no draw.
+    pub fn jittered<R: Rng>(&self, attempt: u32, rng: &mut R) -> SimDuration {
+        let full = self.delay(attempt).secs();
+        if full == 0 {
+            return SimDuration::ZERO;
+        }
+        let lo = full / 2;
+        SimDuration::from_secs(rng.gen_range(lo..=full))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn doubling_matches_boot_retry_schedule() {
+        // The exact series the PR-1 fault layer pinned: 120, 240, 480,
+        // ... capped at 1920.
+        let b = Backoff::doubling(SimDuration::from_secs(120), SimDuration::from_secs(1920));
+        assert_eq!(b.delay(1), SimDuration::from_secs(120));
+        assert_eq!(b.delay(2), SimDuration::from_secs(240));
+        assert_eq!(b.delay(3), SimDuration::from_secs(480));
+        assert_eq!(b.delay(4), SimDuration::from_secs(960));
+        assert_eq!(b.delay(5), SimDuration::from_secs(1920));
+        assert_eq!(b.delay(10), SimDuration::from_secs(1920));
+        assert_eq!(b.delay(60), SimDuration::from_secs(1920));
+    }
+
+    #[test]
+    fn attempt_zero_is_treated_as_first() {
+        let b = Backoff::doubling(SimDuration::from_secs(10), SimDuration::from_secs(80));
+        assert_eq!(b.delay(0), b.delay(1));
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_instead_of_overflowing() {
+        let b = Backoff::doubling(
+            SimDuration::from_secs(u64::MAX / 2),
+            SimDuration::from_secs(u64::MAX),
+        );
+        assert_eq!(b.delay(u32::MAX), SimDuration::from_secs(u64::MAX));
+    }
+
+    #[test]
+    fn multiplier_one_is_constant() {
+        let b = Backoff {
+            base: SimDuration::from_secs(30),
+            multiplier: 1,
+            cap: SimDuration::from_secs(300),
+        };
+        assert_eq!(b.delay(1), SimDuration::from_secs(30));
+        assert_eq!(b.delay(9), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn jitter_stays_in_half_open_band_and_is_deterministic() {
+        let b = Backoff::doubling(SimDuration::from_secs(100), SimDuration::from_secs(1600));
+        let mut rng = StdRng::seed_from_u64(11);
+        for attempt in 1..=8 {
+            let full = b.delay(attempt);
+            let j = b.jittered(attempt, &mut rng);
+            assert!(j >= SimDuration::from_secs(full.secs() / 2), "{j} < half");
+            assert!(j <= full, "{j} > {full}");
+        }
+        // Same seed, same schedule.
+        let draws = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (1..=8).map(|a| b.jittered(a, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(5), draws(5));
+    }
+
+    #[test]
+    fn zero_base_never_draws() {
+        let b = Backoff::doubling(SimDuration::ZERO, SimDuration::ZERO);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(b.jittered(3, &mut rng), SimDuration::ZERO);
+        // The RNG must not have advanced: a fresh RNG produces the same
+        // next value.
+        let mut fresh = StdRng::seed_from_u64(1);
+        use rand::Rng;
+        assert_eq!(
+            rng.gen_range(0u64..1_000_000),
+            fresh.gen_range(0u64..1_000_000)
+        );
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::faults::FaultPlan;
 use redspot_ckpt::{AppSpec, CkptCosts};
+use redspot_market::ApiFaultPlan;
 use redspot_trace::{Price, SimDuration, ZoneId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -29,6 +30,8 @@ pub enum ConfigError {
     },
     /// The fault plan's parameters are out of range.
     InvalidFaultPlan(String),
+    /// The API fault plan's parameters are out of range.
+    InvalidApiFaultPlan(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -46,6 +49,9 @@ impl fmt::Display for ConfigError {
                 )
             }
             ConfigError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            ConfigError::InvalidApiFaultPlan(msg) => {
+                write!(f, "invalid API fault plan: {msg}")
+            }
         }
     }
 }
@@ -82,6 +88,11 @@ pub struct ExperimentConfig {
     /// the fault layer.
     #[serde(default)]
     pub faults: FaultPlan,
+    /// Injected control-plane fault schedule (see [`ApiFaultPlan`]);
+    /// [`ApiFaultPlan::none`] by default, under which the supervised
+    /// engine is bit-identical to one talking to a perfect API.
+    #[serde(default)]
+    pub api: ApiFaultPlan,
 }
 
 impl ExperimentConfig {
@@ -98,6 +109,7 @@ impl ExperimentConfig {
             record_events: true,
             io_server: None,
             faults: FaultPlan::none(),
+            api: ApiFaultPlan::none(),
         }
     }
 
@@ -143,8 +155,14 @@ impl ExperimentConfig {
         self
     }
 
-    /// Validate invariants (`D ≥ C`, at least one zone, distinct zones, a
-    /// well-formed fault plan).
+    /// Replace the control-plane fault plan.
+    pub fn with_api_faults(mut self, api: ApiFaultPlan) -> ExperimentConfig {
+        self.api = api;
+        self
+    }
+
+    /// Validate invariants (`D ≥ C`, at least one zone, distinct zones,
+    /// well-formed fault plans).
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.deadline < self.app.work {
             return Err(ConfigError::DeadlineBeforeWork {
@@ -163,7 +181,10 @@ impl ExperimentConfig {
         }
         self.faults
             .validate()
-            .map_err(ConfigError::InvalidFaultPlan)
+            .map_err(ConfigError::InvalidFaultPlan)?;
+        self.api
+            .validate()
+            .map_err(ConfigError::InvalidApiFaultPlan)
     }
 }
 
@@ -207,6 +228,15 @@ mod tests {
             cfg.validate(),
             Err(ConfigError::InvalidFaultPlan(_))
         ));
+
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.api.p_capacity = -0.5;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::InvalidApiFaultPlan(_))
+        ));
+        let msg = cfg.validate().unwrap_err().to_string();
+        assert!(msg.contains("invalid API fault plan"), "{msg}");
     }
 
     #[test]

@@ -25,10 +25,14 @@ use crate::config::{ConfigError, ExperimentConfig};
 use crate::faults::FaultPlan;
 use crate::policy::{Policy, PolicyCtx};
 use crate::run::{Event, RunResult, TerminationCause};
+use crate::supervisor::{DenyReason, RequestOutcome, Supervisor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use redspot_ckpt::ReplicaSet;
-use redspot_market::{DelayModel, InstanceState, OutageSchedule, SpotBilling, StopCause};
+use redspot_market::{
+    ApiFaultPlan, CloudApi, DelayModel, FaultyApi, InstanceState, OutageSchedule, PerfectApi,
+    SpotBilling, StopCause,
+};
 use redspot_trace::{Price, SimDuration, SimTime, TraceSet};
 
 /// Execution phase.
@@ -105,6 +109,11 @@ pub struct Engine<'t> {
     fault_rng: StdRng,
     /// Per-zone blackout schedules (all empty under [`FaultPlan::none`]).
     outages: Vec<OutageSchedule>,
+    /// The control-plane supervisor: every market action (spot request,
+    /// terminate, price read, on-demand request) routes through it. Under
+    /// [`ApiFaultPlan::none`] it wraps a [`PerfectApi`] and the engine is
+    /// bit-identical to one acting on the market directly.
+    supervisor: Supervisor<Box<dyn CloudApi + 't>>,
 
     now: SimTime,
     zones: Vec<ZoneRt>,
@@ -199,6 +208,25 @@ impl<'t> Engine<'t> {
         let outages = (0..n)
             .map(|i| cfg.faults.outage_schedule(cfg.seed, i, start, cfg.deadline))
             .collect();
+        // The control plane: perfect unless API faults are configured, in
+        // which case the perfect API is wrapped in the deterministic fault
+        // injector. The supervisor's jitter RNG gets a decorrelated seed;
+        // both streams are only advanced when API faults are enabled.
+        let api: Box<dyn CloudApi + 't> = if cfg.api.is_none() {
+            Box::new(PerfectApi::new(traces))
+        } else {
+            Box::new(FaultyApi::new(
+                PerfectApi::new(traces),
+                cfg.api,
+                ApiFaultPlan::rng_seed(cfg.seed),
+            ))
+        };
+        let supervisor = Supervisor::new(
+            api,
+            cfg.api,
+            n,
+            ApiFaultPlan::rng_seed(cfg.seed ^ 0x5C4A_11ED_B0FF_5EED),
+        );
         let mut engine = Engine {
             traces,
             start,
@@ -208,6 +236,7 @@ impl<'t> Engine<'t> {
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xD1B5_4A32_D192_ED03),
             fault_rng: StdRng::seed_from_u64(FaultPlan::rng_seed(cfg.seed)),
             outages,
+            supervisor,
             now: start,
             zones: (0..n)
                 .map(|_| ZoneRt {
@@ -398,7 +427,9 @@ impl<'t> Engine<'t> {
     /// best (the guard fires at the next step).
     pub fn set_deadline(&mut self, deadline_abs: SimTime) -> bool {
         self.deadline_abs = deadline_abs;
-        let needed = self.replicas.remaining_committed() + self.cfg.costs.migration();
+        let needed = self.replicas.remaining_committed()
+            + self.cfg.costs.migration()
+            + self.supervisor.od_reserve();
         let feasible = deadline_abs >= self.now + needed;
         let at = self.now;
         self.record(Event::DeadlineChanged {
@@ -482,6 +513,7 @@ impl<'t> Engine<'t> {
             restarts: self.restarts,
             out_of_bid_terminations: self.oob_terminations,
             used_on_demand: self.used_on_demand,
+            api: self.supervisor.stats(),
             events: self.events,
         }
     }
@@ -622,16 +654,22 @@ impl<'t> Engine<'t> {
                 }
                 InstanceState::Down if self.zones[i].active => {
                     // Fault gates: no requests while a boot-retry backoff
-                    // is pending or the zone is blacked out. Both are
-                    // inert under `FaultPlan::none` (`blocked_until` stays
-                    // at the start and the outage schedule is empty).
+                    // (or a supervisor retry backoff / quarantine) is
+                    // pending or the zone is blacked out. All inert under
+                    // the no-fault plans (`blocked_until` stays at the
+                    // start and the outage schedule is empty).
                     if self.now < self.zones[i].blocked_until
                         || self.outages[i].blacked_out(self.now).is_some()
                     {
                         continue;
                     }
+                    // Scheduler decision: runs on the supervisor's
+                    // (possibly stale) price view, not the true price.
+                    let Some(observed) = self.observed_price(i) else {
+                        continue;
+                    };
                     let threshold = resume_at.unwrap_or(self.cfg.bid);
-                    if price <= threshold {
+                    if observed <= threshold {
                         self.zones[i].inst = InstanceState::Waiting;
                         self.record(Event::Waiting {
                             at: self.now,
@@ -641,8 +679,9 @@ impl<'t> Engine<'t> {
                     }
                 }
                 InstanceState::Waiting => {
+                    let observed = self.observed_price(i).unwrap_or(price);
                     let threshold = resume_at.unwrap_or(self.cfg.bid);
-                    if price > threshold || !self.zones[i].active {
+                    if observed > threshold || !self.zones[i].active {
                         self.zones[i].inst = InstanceState::Down;
                         acted = true;
                     }
@@ -651,6 +690,24 @@ impl<'t> Engine<'t> {
             }
         }
         acted
+    }
+
+    /// The scheduler-side price for configured zone `i`: the supervisor's
+    /// latest (possibly stale) observation. A failed read falls back to
+    /// the last known price and records the staleness window; `None` only
+    /// if the zone's price has never been observed. Identical to the true
+    /// trace price under [`ApiFaultPlan::none`].
+    fn observed_price(&mut self, i: usize) -> Option<Price> {
+        let zone = self.cfg.zones[i];
+        let (view, stale) = self.supervisor.observe_price(i, zone, self.now)?;
+        if stale {
+            self.record(Event::StalePriceUsed {
+                at: self.now,
+                zone,
+                age: view.age(self.now),
+            });
+        }
+        Some(view.price)
     }
 
     fn process_hour_boundaries(&mut self, report: &mut StepReport) -> bool {
@@ -687,9 +744,14 @@ impl<'t> Engine<'t> {
     }
 
     /// The instant the deadline guard trips, measured from committed
-    /// progress with a full `t_c + t_r` reserve.
+    /// progress with a full `t_c + t_r` reserve — plus, when API faults
+    /// are configured, the worst-case control-plane delay of the bounded
+    /// on-demand retry loop, so even a flaky migration path cannot push
+    /// completion past `D`. Zero extra under [`ApiFaultPlan::none`].
     fn guard_time(&self) -> SimTime {
-        let needed = self.replicas.remaining_committed() + self.cfg.costs.migration();
+        let needed = self.replicas.remaining_committed()
+            + self.cfg.costs.migration()
+            + self.supervisor.od_reserve();
         self.deadline_abs.saturating_sub(needed)
     }
 
@@ -864,19 +926,67 @@ impl<'t> Engine<'t> {
             .max_by_key(|&i| (self.replicas.position(i), std::cmp::Reverse(i)))
     }
 
+    /// Submit a spot request for configured zone `i` through the
+    /// supervisor. On acceptance the control-plane round-trip latency is
+    /// folded into the boot delay; on denial (API failure, quarantine, or
+    /// exhausted retry budget) the zone goes down, unbilled, until the
+    /// supervisor's retry instant. Under [`ApiFaultPlan::none`] requests
+    /// are always accepted with zero latency — the pre-supervisor path.
     fn request_instance(&mut self, i: usize) {
         debug_assert!(self.zones[i].inst.is_waiting());
-        let boot = self.delay.sample(&mut self.rng);
-        let ready_at = self.now + boot;
-        let rate = self.traces.price_at(self.cfg.zones[i], self.now);
-        self.zones[i].inst = InstanceState::Booting { ready_at };
-        self.zones[i].billing = Some(SpotBilling::launch(self.now, rate));
-        self.zones[i].bid = self.cfg.bid;
-        self.record(Event::Requested {
-            at: self.now,
-            zone: self.cfg.zones[i],
-            bid: self.cfg.bid,
-        });
+        let zone = self.cfg.zones[i];
+        let slack = self.guard_time().since(self.now);
+        match self
+            .supervisor
+            .request_spot(i, zone, self.now, self.cfg.bid, slack)
+        {
+            RequestOutcome::Accepted {
+                latency,
+                breaker_closed,
+            } => {
+                if breaker_closed {
+                    self.record(Event::ZoneBreakerClosed { at: self.now, zone });
+                }
+                let boot = self.delay.sample(&mut self.rng);
+                let ready_at = self.now + latency + boot;
+                let rate = self.traces.price_at(zone, self.now);
+                self.zones[i].inst = InstanceState::Booting { ready_at };
+                self.zones[i].billing = Some(SpotBilling::launch(self.now, rate));
+                self.zones[i].bid = self.cfg.bid;
+                self.record(Event::Requested {
+                    at: self.now,
+                    zone,
+                    bid: self.cfg.bid,
+                });
+            }
+            RequestOutcome::Denied {
+                retry_at,
+                reason,
+                tripped_until,
+            } => {
+                // Never fulfilled, never billed: the zone just stays down
+                // (with its retry gate set) and no billing state exists.
+                self.zones[i].inst = InstanceState::Down;
+                self.zones[i].blocked_until = retry_at;
+                let error = match reason {
+                    DenyReason::Api(e) => Some(e),
+                    DenyReason::Quarantined { .. } | DenyReason::BudgetExhausted => None,
+                };
+                self.record(Event::SpotRequestFailed {
+                    at: self.now,
+                    zone,
+                    error,
+                    retry_at,
+                });
+                if let Some(until) = tripped_until {
+                    self.record(Event::ZoneQuarantined {
+                        at: self.now,
+                        zone,
+                        until,
+                    });
+                }
+            }
+        }
     }
 
     fn start_replica(&mut self, i: usize) {
@@ -949,12 +1059,37 @@ impl<'t> Engine<'t> {
     }
 
     fn stop_zone(&mut self, i: usize, cause: StopCause, reason: TerminationCause) {
-        if let Some(billing) = self.zones[i].billing.take() {
-            let charged = billing.stop(self.now, cause);
+        if let Some(mut billing) = self.zones[i].billing.take() {
+            let zone = self.cfg.zones[i];
+            let mut stop_at = self.now;
+            if matches!(cause, StopCause::User) {
+                // Scheduler-initiated stops go through the control plane;
+                // a flaky terminate keeps the instance billing for the
+                // retry lag. Zero under `ApiFaultPlan::none`.
+                let lag = self.supervisor.terminate(zone, self.now);
+                if lag > SimDuration::ZERO {
+                    stop_at = self.now + lag;
+                    // Settle hour boundaries crossed during the lag at the
+                    // true trace rates, silently: the charges land in
+                    // `charged` below and every event stays stamped `now`,
+                    // keeping the log time-ordered.
+                    while billing.next_boundary() < stop_at {
+                        let b_at = billing.next_boundary();
+                        let rate = self.traces.price_at(zone, b_at);
+                        billing.on_hour_boundary(b_at, rate);
+                    }
+                    self.record(Event::TerminateLagged {
+                        at: self.now,
+                        zone,
+                        lag,
+                    });
+                }
+            }
+            let charged = billing.stop(stop_at, cause);
             self.spot_cost += charged;
             self.record(Event::Terminated {
                 at: self.now,
-                zone: self.cfg.zones[i],
+                zone,
                 cause: reason,
                 charged,
             });
@@ -1074,14 +1209,26 @@ impl<'t> Engine<'t> {
                 self.zones[i].inst = InstanceState::Down;
             }
         }
+        // The migration path's own escape hatch: the on-demand request is
+        // retried up to the plan's bound and then forced through, so its
+        // delay never exceeds the `od_reserve` the guard already budgeted
+        // for. Zero under `ApiFaultPlan::none`.
+        let od_delay = self.supervisor.request_on_demand(self.now);
+        if od_delay > SimDuration::ZERO {
+            self.record(Event::OnDemandDelayed {
+                at: self.now,
+                delay: od_delay,
+            });
+        }
         let restart = if committed > SimDuration::ZERO {
             self.cfg.costs.restart
         } else {
             SimDuration::ZERO
         };
         let need = restart + (self.cfg.app.work - committed);
-        let finish = self.now + need;
-        self.od_cost += redspot_market::on_demand_cost(self.now, finish);
+        let od_start = self.now + od_delay;
+        let finish = od_start + need;
+        self.od_cost += redspot_market::on_demand_cost(od_start, finish);
         self.used_on_demand = true;
         self.phase = Phase::OnDemand(finish);
     }
@@ -1311,6 +1458,7 @@ pub fn on_demand_run(start: SimTime, cfg: &ExperimentConfig) -> RunResult {
         restarts: 0,
         out_of_bid_terminations: 0,
         used_on_demand: true,
+        api: crate::run::ApiStats::default(),
         events: vec![Event::Completed { at: finish }],
     }
 }

@@ -23,6 +23,7 @@
 //! [`FaultPlan::none`] reproduces the fault-free engine bit for bit: with
 //! no faults active the fault RNG is never advanced.
 
+use crate::backoff::Backoff;
 use redspot_market::OutageSchedule;
 use redspot_trace::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -161,13 +162,12 @@ impl FaultPlan {
     /// The boot-retry backoff after `failures` consecutive boot failures
     /// (`failures >= 1`): exponential, capped.
     pub fn backoff_after(&self, failures: u32) -> SimDuration {
-        let doublings = failures.saturating_sub(1).min(16);
-        let secs = self
-            .boot_backoff
-            .secs()
-            .saturating_mul(1u64 << doublings)
-            .min(self.boot_backoff_cap.secs());
-        SimDuration::from_secs(secs)
+        self.boot_backoff().delay(failures)
+    }
+
+    /// The boot-retry backoff schedule as a [`Backoff`] value.
+    pub fn boot_backoff(&self) -> Backoff {
+        Backoff::doubling(self.boot_backoff, self.boot_backoff_cap)
     }
 
     /// The blackout schedule for one zone slot: seeded from the experiment

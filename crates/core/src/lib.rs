@@ -10,15 +10,20 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod backoff;
 pub mod config;
 pub mod engine;
 pub mod faults;
 pub mod policy;
 pub mod run;
+pub mod supervisor;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveRunner};
+pub use backoff::Backoff;
 pub use config::{ConfigError, ExperimentConfig};
 pub use engine::{on_demand_run, Engine, Snapshot, StepReport, ZoneSnapshot};
 pub use faults::FaultPlan;
 pub use policy::{Policy, PolicyCtx, PolicyKind};
-pub use run::{Event, RunResult, TerminationCause};
+pub use redspot_market::ApiFaultPlan;
+pub use run::{ApiStats, Event, RunResult, TerminationCause};
+pub use supervisor::{DenyReason, PriceView, RequestOutcome, Supervisor};

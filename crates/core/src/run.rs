@@ -1,5 +1,6 @@
 //! Run results and event telemetry.
 
+use redspot_market::ApiError;
 use redspot_trace::{Price, SimDuration, SimTime, ZoneId};
 use serde::{Deserialize, Serialize};
 
@@ -145,6 +146,67 @@ pub enum Event {
         /// Instant the zone comes back.
         until: SimTime,
     },
+    /// A spot request failed at the control plane (timeout, throttle,
+    /// insufficient capacity) or was refused by the supervisor (zone
+    /// quarantined, retry budget exhausted); the zone stays down until
+    /// `retry_at`.
+    SpotRequestFailed {
+        /// When.
+        at: SimTime,
+        /// Which zone.
+        zone: ZoneId,
+        /// The API error, if the call was actually made (`None` when the
+        /// supervisor refused without calling).
+        error: Option<ApiError>,
+        /// Earliest instant the supervisor will retry the zone.
+        retry_at: SimTime,
+    },
+    /// A terminate call needed control-plane retries; the instance kept
+    /// billing for `lag` past the scheduler's decision.
+    TerminateLagged {
+        /// When the scheduler decided to stop the instance.
+        at: SimTime,
+        /// Which zone.
+        zone: ZoneId,
+        /// Extra billed wall-clock until the terminate stuck.
+        lag: SimDuration,
+    },
+    /// A price read failed; policies ran on the last known price, `age`
+    /// old at decision time.
+    StalePriceUsed {
+        /// When.
+        at: SimTime,
+        /// Which zone.
+        zone: ZoneId,
+        /// Staleness window of the price actually used.
+        age: SimDuration,
+    },
+    /// A zone's circuit breaker tripped after consecutive control-plane
+    /// failures: no requests go there until `until`, then one probe.
+    ZoneQuarantined {
+        /// When.
+        at: SimTime,
+        /// Which zone.
+        zone: ZoneId,
+        /// Quarantine end (half-open probe time).
+        until: SimTime,
+    },
+    /// A quarantined zone's half-open probe succeeded: the breaker
+    /// closed and the zone is eligible for requests again.
+    ZoneBreakerClosed {
+        /// When.
+        at: SimTime,
+        /// Which zone.
+        zone: ZoneId,
+    },
+    /// The on-demand migration path itself needed retries; the switch
+    /// was delayed by `delay` (bounded by the guard's reserve).
+    OnDemandDelayed {
+        /// When the migration was initiated.
+        at: SimTime,
+        /// Control-plane delay before the on-demand instance was granted.
+        delay: SimDuration,
+    },
     /// The application completed.
     Completed {
         /// When.
@@ -171,8 +233,44 @@ impl Event {
             | Event::RestoreFailed { at, .. }
             | Event::BootFailed { at, .. }
             | Event::ZoneBlackout { at, .. }
+            | Event::SpotRequestFailed { at, .. }
+            | Event::TerminateLagged { at, .. }
+            | Event::StalePriceUsed { at, .. }
+            | Event::ZoneQuarantined { at, .. }
+            | Event::ZoneBreakerClosed { at, .. }
+            | Event::OnDemandDelayed { at, .. }
             | Event::Completed { at } => *at,
         }
+    }
+}
+
+/// Control-plane health counters accumulated by the supervisor over one
+/// run. All zero when the API fault plan is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ApiStats {
+    /// Spot requests that failed at the API and were retried later.
+    pub spot_retries: u64,
+    /// Circuit-breaker trips (a zone quarantined after consecutive
+    /// control-plane failures).
+    pub breaker_trips: u64,
+    /// Price reads that failed (policies ran on the last known price).
+    pub stale_price_reads: u64,
+    /// Failed terminate calls (each adds billed lag).
+    pub terminate_retries: u64,
+    /// Total billed lag accumulated by terminate retries, in seconds.
+    pub terminate_lag_secs: u64,
+    /// Failed on-demand requests on the migration path.
+    pub od_retries: u64,
+}
+
+impl ApiStats {
+    /// Whether the run saw any control-plane failure at all.
+    pub fn any_failures(&self) -> bool {
+        self.spot_retries > 0
+            || self.breaker_trips > 0
+            || self.stale_price_reads > 0
+            || self.terminate_retries > 0
+            || self.od_retries > 0
     }
 }
 
@@ -202,6 +300,9 @@ pub struct RunResult {
     pub out_of_bid_terminations: u32,
     /// Whether the run ended on the on-demand market.
     pub used_on_demand: bool,
+    /// Control-plane health counters (all zero without API faults).
+    #[serde(default)]
+    pub api: ApiStats,
     /// Event log (empty unless `record_events` was set).
     pub events: Vec<Event>,
 }
@@ -249,6 +350,7 @@ mod tests {
             restarts: 2,
             out_of_bid_terminations: 1,
             used_on_demand: true,
+            api: ApiStats::default(),
             events: vec![],
         };
         assert!((r.cost_dollars() - 12.0).abs() < 1e-12);

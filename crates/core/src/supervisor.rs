@@ -1,0 +1,658 @@
+//! The control-plane supervisor: retries, circuit breakers, and the
+//! deadline-aware retry budget.
+//!
+//! The engine never talks to the [`CloudApi`] directly — every control
+//! action routes through the supervisor, which owns three concerns:
+//!
+//! 1. **Retry with jittered exponential backoff.** A failed spot request
+//!    blocks the zone until a retry instant computed from the shared
+//!    [`Backoff`] schedule (or the server's `Retry-After` when the error
+//!    carried one). Jitter keeps zones tripped by the same outage from
+//!    retrying in lockstep.
+//! 2. **Per-zone circuit breakers.** After `breaker_threshold`
+//!    consecutive failures a zone is quarantined for `breaker_cooldown`;
+//!    when the cooldown expires the breaker half-opens and one cheap
+//!    `describe_instance` probe decides between closing (zone back in
+//!    rotation) and re-opening (another full cooldown).
+//! 3. **The deadline-aware retry budget.** Before making a call whose
+//!    worst case could eat into the deadline guard's `t_c + t_r`
+//!    reserve, the supervisor compares the guard's remaining slack with
+//!    the plan's worst-case call time and refuses — without calling —
+//!    when the budget is exhausted. The engine then degrades to the
+//!    on-demand migration path, whose own bounded retry loop is paid for
+//!    by the guard reserving [`ApiFaultPlan::od_reserve`] up front.
+//!
+//! Price reads are handled separately: they are modelled as asynchronous
+//! polling that never blocks the scheduler, so a failed `describe_price`
+//! simply leaves the policy running on the last observed price (and the
+//! caller records the staleness window). Terminate calls never consult
+//! the breaker either — a stop must go through regardless of the zone's
+//! request health, and EC2 terminations are idempotent; what a flaky
+//! terminate costs is billed *lag*, not a lost stop.
+
+use crate::backoff::Backoff;
+use crate::run::ApiStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use redspot_market::{ApiError, ApiFaultPlan, CloudApi};
+use redspot_trace::{Price, SimDuration, SimTime, ZoneId};
+
+/// A price as the scheduler sees it: possibly stale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriceView {
+    /// The last successfully observed price.
+    pub price: Price,
+    /// When it was observed.
+    pub observed_at: SimTime,
+}
+
+impl PriceView {
+    /// Staleness of this observation at `now` (zero for a fresh read).
+    pub fn age(&self, now: SimTime) -> SimDuration {
+        now.since(self.observed_at)
+    }
+}
+
+/// Why the supervisor denied a spot request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DenyReason {
+    /// The control-plane call was made and failed.
+    Api(ApiError),
+    /// The zone's circuit breaker is open; no call was made.
+    Quarantined {
+        /// Quarantine end.
+        until: SimTime,
+    },
+    /// The guard's slack no longer covers a worst-case call; no call was
+    /// made. The engine should let the deadline guard migrate.
+    BudgetExhausted,
+}
+
+/// Outcome of a supervised spot request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RequestOutcome {
+    /// The request was submitted; the instance enters its boot sequence
+    /// after the call's round-trip `latency`.
+    Accepted {
+        /// Control-plane round-trip latency to add to the boot delay.
+        latency: SimDuration,
+        /// Whether this acceptance also closed the zone's breaker (a
+        /// successful half-open probe preceded it).
+        breaker_closed: bool,
+    },
+    /// The request was not fulfilled; the zone must not be retried
+    /// before `retry_at` (always strictly after the request instant).
+    Denied {
+        /// Earliest retry instant.
+        retry_at: SimTime,
+        /// Why.
+        reason: DenyReason,
+        /// Set when this failure tripped the breaker: quarantine end.
+        tripped_until: Option<SimTime>,
+    },
+}
+
+/// Circuit-breaker state for one zone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Breaker {
+    Closed,
+    Open { until: SimTime },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ZoneCtl {
+    breaker: Breaker,
+    consecutive_failures: u32,
+    last_price: Option<(SimTime, Price)>,
+}
+
+impl ZoneCtl {
+    fn new() -> ZoneCtl {
+        ZoneCtl {
+            breaker: Breaker::Closed,
+            consecutive_failures: 0,
+            last_price: None,
+        }
+    }
+}
+
+/// The supervisor: owns the [`CloudApi`], all retry state, and the
+/// health counters surfaced in [`crate::RunResult`].
+pub struct Supervisor<A> {
+    api: A,
+    plan: ApiFaultPlan,
+    backoff: Backoff,
+    jitter_rng: StdRng,
+    zones: Vec<ZoneCtl>,
+    stats: ApiStats,
+}
+
+/// Denied retries must move time forward: a `retry_at` equal to the
+/// request instant would let the engine's drain loop spin forever.
+const MIN_RETRY_STEP: SimDuration = SimDuration::from_secs(1);
+
+impl<A: CloudApi> Supervisor<A> {
+    /// Build a supervisor over `api` for `n_zones` zone slots. `seed`
+    /// feeds the jitter RNG only; it is drawn from exclusively on
+    /// failures, so a no-fault run never advances it.
+    pub fn new(api: A, plan: ApiFaultPlan, n_zones: usize, seed: u64) -> Supervisor<A> {
+        Supervisor {
+            api,
+            plan,
+            backoff: Backoff::doubling(plan.retry_base, plan.retry_cap),
+            jitter_rng: StdRng::seed_from_u64(seed),
+            zones: vec![ZoneCtl::new(); n_zones],
+            stats: ApiStats::default(),
+        }
+    }
+
+    /// Health counters accumulated so far.
+    pub fn stats(&self) -> ApiStats {
+        self.stats
+    }
+
+    /// Time the deadline guard must reserve for the on-demand migration
+    /// path's bounded retry loop.
+    pub fn od_reserve(&self) -> SimDuration {
+        self.plan.od_reserve()
+    }
+
+    /// Read `zone`'s price, falling back to the last observation when
+    /// the control plane fails. Returns `None` only if the zone's price
+    /// has never been observed (the caller should skip the decision).
+    /// The boolean is `true` when the view is stale (this read failed).
+    pub fn observe_price(
+        &mut self,
+        slot: usize,
+        zone: ZoneId,
+        at: SimTime,
+    ) -> Option<(PriceView, bool)> {
+        match self.api.describe_price(at, zone) {
+            Ok(ok) => {
+                self.zones[slot].last_price = Some((at, ok.value));
+                Some((
+                    PriceView {
+                        price: ok.value,
+                        observed_at: at,
+                    },
+                    false,
+                ))
+            }
+            Err(_) => {
+                self.stats.stale_price_reads += 1;
+                self.zones[slot]
+                    .last_price
+                    .map(|(observed_at, price)| (PriceView { price, observed_at }, true))
+            }
+        }
+    }
+
+    /// Submit a spot request for `zone`, subject to the breaker and the
+    /// deadline budget. `slack` is the time left until the deadline
+    /// guard fires; the supervisor will not start a call whose worst
+    /// case exceeds it.
+    pub fn request_spot(
+        &mut self,
+        slot: usize,
+        zone: ZoneId,
+        at: SimTime,
+        bid: Price,
+        slack: SimDuration,
+    ) -> RequestOutcome {
+        let mut breaker_closed = false;
+        match self.zones[slot].breaker {
+            Breaker::Open { until } if at < until => {
+                return RequestOutcome::Denied {
+                    retry_at: until.max(at + MIN_RETRY_STEP),
+                    reason: DenyReason::Quarantined { until },
+                    tripped_until: None,
+                };
+            }
+            Breaker::Open { .. } => {
+                // Cooldown over: half-open. One probe decides.
+                match self.api.describe_instance(at, zone) {
+                    Ok(_) => {
+                        self.zones[slot].breaker = Breaker::Closed;
+                        self.zones[slot].consecutive_failures = 0;
+                        breaker_closed = true;
+                    }
+                    Err(e) => {
+                        let until = at + e.elapsed() + self.plan.breaker_cooldown;
+                        self.zones[slot].breaker = Breaker::Open { until };
+                        return RequestOutcome::Denied {
+                            retry_at: until.max(at + MIN_RETRY_STEP),
+                            reason: DenyReason::Api(e),
+                            tripped_until: Some(until),
+                        };
+                    }
+                }
+            }
+            Breaker::Closed => {}
+        }
+
+        let worst = self.plan.worst_case_call();
+        if slack < worst {
+            // A worst-case call could eat the guard's reserve; refuse
+            // without calling and let the guard migrate at its instant.
+            return RequestOutcome::Denied {
+                retry_at: at + slack.max(MIN_RETRY_STEP),
+                reason: DenyReason::BudgetExhausted,
+                tripped_until: None,
+            };
+        }
+
+        match self.api.request_spot(at, zone, bid) {
+            Ok(ok) => {
+                self.zones[slot].consecutive_failures = 0;
+                RequestOutcome::Accepted {
+                    latency: ok.latency,
+                    breaker_closed,
+                }
+            }
+            Err(e) => {
+                self.stats.spot_retries += 1;
+                self.zones[slot].consecutive_failures += 1;
+                let tripped_until =
+                    if self.zones[slot].consecutive_failures >= self.plan.breaker_threshold {
+                        let until = at + e.elapsed() + self.plan.breaker_cooldown;
+                        self.zones[slot].breaker = Breaker::Open { until };
+                        self.zones[slot].consecutive_failures = 0;
+                        self.stats.breaker_trips += 1;
+                        Some(until)
+                    } else {
+                        None
+                    };
+                let wait = match e.retry_after() {
+                    Some(advised) => advised,
+                    None => self.backoff.jittered(
+                        self.zones[slot].consecutive_failures.max(1),
+                        &mut self.jitter_rng,
+                    ),
+                };
+                let mut retry_at = at + e.elapsed() + wait;
+                if let Some(until) = tripped_until {
+                    retry_at = retry_at.max(until);
+                }
+                RequestOutcome::Denied {
+                    retry_at: retry_at.max(at + MIN_RETRY_STEP),
+                    reason: DenyReason::Api(e),
+                    tripped_until,
+                }
+            }
+        }
+    }
+
+    /// Terminate `zone`'s instance, retrying failed calls immediately up
+    /// to the plan's attempt bound; past the bound the terminate is
+    /// forced through (EC2 terminations are idempotent — the instance
+    /// dies; what a flaky control plane costs is billed lag). Returns
+    /// the total lag between the scheduler's decision and the instant
+    /// the terminate stuck.
+    pub fn terminate(&mut self, zone: ZoneId, at: SimTime) -> SimDuration {
+        let mut lag = SimDuration::ZERO;
+        for _attempt in 1..self.plan.max_terminate_attempts {
+            match self.api.terminate(at + lag, zone) {
+                Ok(ok) => {
+                    lag += ok.latency;
+                    self.stats.terminate_lag_secs += lag.secs();
+                    return lag;
+                }
+                Err(e) => {
+                    self.stats.terminate_retries += 1;
+                    lag += e.elapsed();
+                }
+            }
+        }
+        // Final attempt: forced through whatever the API says.
+        match self.api.terminate(at + lag, zone) {
+            Ok(ok) => lag += ok.latency,
+            Err(e) => {
+                self.stats.terminate_retries += 1;
+                lag += e.elapsed();
+            }
+        }
+        self.stats.terminate_lag_secs += lag.secs();
+        lag
+    }
+
+    /// Request the on-demand instance for the migration path, retrying
+    /// up to the plan's attempt bound; past it the request is forced
+    /// through (on-demand is modelled highly-but-not-perfectly
+    /// available: it can be slow, never absent). Returns the total
+    /// control-plane delay, bounded by [`ApiFaultPlan::od_reserve`].
+    pub fn request_on_demand(&mut self, at: SimTime) -> SimDuration {
+        let mut delay = SimDuration::ZERO;
+        for _attempt in 1..self.plan.od_max_attempts {
+            match self.api.request_on_demand(at + delay) {
+                Ok(ok) => return delay + ok.latency,
+                Err(e) => {
+                    self.stats.od_retries += 1;
+                    delay += e.elapsed();
+                }
+            }
+        }
+        match self.api.request_on_demand(at + delay) {
+            Ok(ok) => delay + ok.latency,
+            Err(e) => {
+                self.stats.od_retries += 1;
+                delay + e.elapsed()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redspot_market::{ApiOk, ApiResult};
+    use std::collections::VecDeque;
+
+    /// Scripted API: pops one outcome per call, defaulting to instant
+    /// success when the script runs dry. Records the verbs called.
+    struct ScriptApi {
+        script: VecDeque<Result<SimDuration, ApiError>>,
+        calls: Vec<&'static str>,
+    }
+
+    impl ScriptApi {
+        fn new(script: Vec<Result<SimDuration, ApiError>>) -> ScriptApi {
+            ScriptApi {
+                script: script.into(),
+                calls: Vec::new(),
+            }
+        }
+
+        fn next(&mut self, verb: &'static str) -> ApiResult<()> {
+            self.calls.push(verb);
+            match self.script.pop_front() {
+                Some(Ok(latency)) => Ok(ApiOk { value: (), latency }),
+                Some(Err(e)) => Err(e),
+                None => Ok(ApiOk {
+                    value: (),
+                    latency: SimDuration::ZERO,
+                }),
+            }
+        }
+    }
+
+    impl CloudApi for ScriptApi {
+        fn request_spot(&mut self, _at: SimTime, _zone: ZoneId, _bid: Price) -> ApiResult<()> {
+            self.next("request_spot")
+        }
+        fn terminate(&mut self, _at: SimTime, _zone: ZoneId) -> ApiResult<()> {
+            self.next("terminate")
+        }
+        fn describe_price(&mut self, _at: SimTime, _zone: ZoneId) -> ApiResult<Price> {
+            self.next("describe_price").map(|ok| ApiOk {
+                value: Price::from_millis(300),
+                latency: ok.latency,
+            })
+        }
+        fn describe_instance(&mut self, _at: SimTime, _zone: ZoneId) -> ApiResult<()> {
+            self.next("describe_instance")
+        }
+        fn request_on_demand(&mut self, _at: SimTime) -> ApiResult<()> {
+            self.next("request_on_demand")
+        }
+    }
+
+    fn cap_err() -> ApiError {
+        ApiError::InsufficientCapacity {
+            elapsed: SimDuration::from_secs(2),
+        }
+    }
+
+    fn plan() -> ApiFaultPlan {
+        ApiFaultPlan {
+            p_capacity: 0.5, // non-none so worst_case_call is meaningful
+            latency: SimDuration::from_secs(2),
+            ..ApiFaultPlan::none()
+        }
+    }
+
+    const BID: Price = Price::from_millis(810);
+    const WIDE_SLACK: SimDuration = SimDuration::from_hours(3);
+
+    #[test]
+    fn success_resets_failure_count_and_carries_latency() {
+        let api = ScriptApi::new(vec![
+            Err(cap_err()),
+            Ok(SimDuration::from_secs(2)),
+            Err(cap_err()),
+        ]);
+        let mut sup = Supervisor::new(api, plan(), 1, 9);
+        let t = SimTime::from_hours(1);
+        let d1 = sup.request_spot(0, ZoneId(0), t, BID, WIDE_SLACK);
+        assert!(matches!(d1, RequestOutcome::Denied { .. }));
+        let a = sup.request_spot(
+            0,
+            ZoneId(0),
+            t + SimDuration::from_secs(60),
+            BID,
+            WIDE_SLACK,
+        );
+        match a {
+            RequestOutcome::Accepted {
+                latency,
+                breaker_closed,
+            } => {
+                assert_eq!(latency, SimDuration::from_secs(2));
+                assert!(!breaker_closed);
+            }
+            other => panic!("expected accept, got {other:?}"),
+        }
+        // The earlier failure must not count toward the threshold after
+        // a success: one more failure is failure #1, not #2.
+        let d2 = sup.request_spot(
+            0,
+            ZoneId(0),
+            t + SimDuration::from_secs(120),
+            BID,
+            WIDE_SLACK,
+        );
+        match d2 {
+            RequestOutcome::Denied { tripped_until, .. } => assert!(tripped_until.is_none()),
+            other => panic!("expected deny, got {other:?}"),
+        }
+        assert_eq!(sup.stats().spot_retries, 2);
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_quarantines() {
+        let api = ScriptApi::new(vec![Err(cap_err()), Err(cap_err()), Err(cap_err())]);
+        let mut sup = Supervisor::new(api, plan(), 1, 9);
+        let mut t = SimTime::from_hours(1);
+        let mut tripped = None;
+        for _ in 0..3 {
+            match sup.request_spot(0, ZoneId(0), t, BID, WIDE_SLACK) {
+                RequestOutcome::Denied {
+                    retry_at,
+                    tripped_until,
+                    ..
+                } => {
+                    assert!(retry_at > t, "retry must move time forward");
+                    tripped = tripped_until;
+                    t = retry_at;
+                }
+                other => panic!("expected deny, got {other:?}"),
+            }
+        }
+        let until = tripped.expect("third consecutive failure must trip the breaker");
+        assert_eq!(sup.stats().breaker_trips, 1);
+
+        // While quarantined: denied without any API call.
+        let before = t.min(until.saturating_sub(SimDuration::from_secs(1)));
+        match sup.request_spot(0, ZoneId(0), before, BID, WIDE_SLACK) {
+            RequestOutcome::Denied { reason, .. } => {
+                assert!(matches!(reason, DenyReason::Quarantined { .. }));
+            }
+            other => panic!("expected quarantine deny, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn half_open_probe_recovers_the_zone() {
+        // Three failures trip the breaker; after the cooldown the probe
+        // succeeds (script dry -> success) and the request goes through.
+        let api = ScriptApi::new(vec![Err(cap_err()), Err(cap_err()), Err(cap_err())]);
+        let mut sup = Supervisor::new(api, plan(), 1, 9);
+        let t = SimTime::from_hours(1);
+        let mut until = None;
+        let mut at = t;
+        for _ in 0..3 {
+            if let RequestOutcome::Denied {
+                retry_at,
+                tripped_until,
+                ..
+            } = sup.request_spot(0, ZoneId(0), at, BID, WIDE_SLACK)
+            {
+                until = tripped_until.or(until);
+                at = retry_at;
+            }
+        }
+        let until = until.expect("breaker should have tripped");
+        match sup.request_spot(0, ZoneId(0), until, BID, WIDE_SLACK) {
+            RequestOutcome::Accepted { breaker_closed, .. } => {
+                assert!(breaker_closed, "recovery must be observable");
+            }
+            other => panic!("recovered zone must accept, got {other:?}"),
+        }
+        // The probe used describe_instance before the request.
+        // (ScriptApi records verbs; the probe precedes the final spot
+        // request.)
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_full_cooldown() {
+        let api = ScriptApi::new(vec![
+            Err(cap_err()),
+            Err(cap_err()),
+            Err(cap_err()),
+            Err(cap_err()), // the half-open probe fails too
+        ]);
+        let mut sup = Supervisor::new(api, plan(), 1, 9);
+        let mut at = SimTime::from_hours(1);
+        let mut until = None;
+        for _ in 0..3 {
+            if let RequestOutcome::Denied {
+                retry_at,
+                tripped_until,
+                ..
+            } = sup.request_spot(0, ZoneId(0), at, BID, WIDE_SLACK)
+            {
+                until = tripped_until.or(until);
+                at = retry_at;
+            }
+        }
+        let until = until.unwrap();
+        match sup.request_spot(0, ZoneId(0), until, BID, WIDE_SLACK) {
+            RequestOutcome::Denied {
+                tripped_until,
+                retry_at,
+                ..
+            } => {
+                let reopened = tripped_until.expect("failed probe must re-quarantine");
+                assert!(reopened > until, "a fresh cooldown starts");
+                assert!(retry_at >= reopened);
+            }
+            other => panic!("expected deny, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhausted_refuses_without_calling() {
+        let api = ScriptApi::new(vec![]);
+        let mut sup = Supervisor::new(api, plan(), 1, 9);
+        let t = SimTime::from_hours(1);
+        // worst_case_call = latency = 2 s; slack of 1 s is not enough.
+        match sup.request_spot(0, ZoneId(0), t, BID, SimDuration::from_secs(1)) {
+            RequestOutcome::Denied {
+                reason, retry_at, ..
+            } => {
+                assert_eq!(reason, DenyReason::BudgetExhausted);
+                assert!(retry_at > t);
+            }
+            other => panic!("expected budget deny, got {other:?}"),
+        }
+        assert_eq!(sup.stats(), ApiStats::default(), "no call was made");
+    }
+
+    #[test]
+    fn terminate_accumulates_lag_and_is_bounded() {
+        let api = ScriptApi::new(vec![
+            Err(cap_err()),
+            Err(cap_err()),
+            Ok(SimDuration::from_secs(2)),
+        ]);
+        let mut sup = Supervisor::new(api, plan(), 1, 9);
+        let lag = sup.terminate(ZoneId(0), SimTime::from_hours(1));
+        assert_eq!(lag, SimDuration::from_secs(6)); // 2 + 2 failed + 2 ok
+        assert_eq!(sup.stats().terminate_retries, 2);
+        assert_eq!(sup.stats().terminate_lag_secs, 6);
+    }
+
+    #[test]
+    fn terminate_forces_through_after_attempt_bound() {
+        let api = ScriptApi::new(vec![Err(cap_err()); 10]);
+        let mut sup = Supervisor::new(api, plan(), 1, 9);
+        let lag = sup.terminate(ZoneId(0), SimTime::from_hours(1));
+        // max_terminate_attempts = 4, each failure costs 2 s.
+        assert_eq!(lag, SimDuration::from_secs(8));
+    }
+
+    #[test]
+    fn on_demand_delay_is_bounded_by_the_reserve() {
+        let p = ApiFaultPlan {
+            p_od_fail: 0.5,
+            latency: SimDuration::from_secs(5),
+            ..ApiFaultPlan::none()
+        };
+        let all_fail = vec![
+            Err(ApiError::Unavailable {
+                elapsed: SimDuration::from_secs(5),
+            });
+            10
+        ];
+        let mut sup = Supervisor::new(ScriptApi::new(all_fail), p, 1, 9);
+        let delay = sup.request_on_demand(SimTime::from_hours(1));
+        assert!(
+            delay <= p.od_reserve(),
+            "{delay} > reserve {}",
+            p.od_reserve()
+        );
+        assert_eq!(sup.stats().od_retries, p.od_max_attempts as u64);
+    }
+
+    #[test]
+    fn price_reads_fall_back_to_last_observation() {
+        let api = ScriptApi::new(vec![
+            Ok(SimDuration::ZERO),
+            Err(ApiError::Unavailable {
+                elapsed: SimDuration::from_secs(1),
+            }),
+        ]);
+        let mut sup = Supervisor::new(api, plan(), 1, 9);
+        let t0 = SimTime::from_hours(1);
+        let (fresh, stale) = sup.observe_price(0, ZoneId(0), t0).unwrap();
+        assert!(!stale);
+        assert_eq!(fresh.price, Price::from_millis(300));
+        assert_eq!(fresh.age(t0), SimDuration::ZERO);
+
+        let t1 = t0 + SimDuration::from_secs(300);
+        let (view, stale) = sup.observe_price(0, ZoneId(0), t1).unwrap();
+        assert!(stale);
+        assert_eq!(view.price, Price::from_millis(300));
+        assert_eq!(view.age(t1), SimDuration::from_secs(300));
+        assert_eq!(sup.stats().stale_price_reads, 1);
+    }
+
+    #[test]
+    fn never_observed_price_is_none() {
+        let api = ScriptApi::new(vec![Err(ApiError::Unavailable {
+            elapsed: SimDuration::from_secs(1),
+        })]);
+        let mut sup = Supervisor::new(api, plan(), 1, 9);
+        assert!(sup.observe_price(0, ZoneId(0), SimTime::ZERO).is_none());
+        assert_eq!(sup.stats().stale_price_reads, 1);
+    }
+}

@@ -3,6 +3,7 @@
 //! `redspot-bench` binaries and the CLI drive these.
 
 pub mod chaos;
+pub mod chaos_api;
 pub mod fig2;
 pub mod fig4;
 pub mod fig5;

@@ -1,0 +1,660 @@
+//! The fallible cloud control plane.
+//!
+//! The engine's scheduler does not act on the market directly: every
+//! control action — submitting a spot request, terminating an instance,
+//! reading a price, probing a zone — goes through a [`CloudApi`]. Real
+//! EC2 calls time out, throttle (`RequestLimitExceeded`), run out of
+//! capacity (`InsufficientInstanceCapacity`), and serve stale data; the
+//! trait makes every one of those verbs fallible and latency-bearing so
+//! the supervisor layer above it has something real to retry against.
+//!
+//! Two implementations live here:
+//!
+//! * [`PerfectApi`] — the idealized control plane the paper assumes:
+//!   every call succeeds instantly. The engine under
+//!   [`ApiFaultPlan::none`] is bit-identical to the pre-API engine.
+//! * [`FaultyApi`] — a deterministic decorator that injects failures
+//!   drawn from a dedicated seeded RNG according to an [`ApiFaultPlan`],
+//!   following the same RNG discipline as the infrastructure
+//!   `FaultPlan`: a probability of zero never advances the stream.
+
+use redspot_trace::{Price, SimDuration, SimTime, TraceSet, ZoneId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a control-plane call failed. Every variant carries the wall-clock
+/// time the failed call consumed (`elapsed`) — a timeout eats its full
+/// window; fast rejections only the round-trip latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApiError {
+    /// The call hung until the client-side timeout fired.
+    Timeout {
+        /// Wall-clock time lost waiting.
+        elapsed: SimDuration,
+    },
+    /// `RequestLimitExceeded`: the API throttled the caller and advised
+    /// a wait before retrying.
+    Throttled {
+        /// Server-advised `Retry-After` interval.
+        retry_after: SimDuration,
+        /// Round-trip time of the rejected call.
+        elapsed: SimDuration,
+    },
+    /// `InsufficientInstanceCapacity`: the zone cannot fulfil the request
+    /// right now (spot requests only).
+    InsufficientCapacity {
+        /// Round-trip time of the rejected call.
+        elapsed: SimDuration,
+    },
+    /// A transient service error (5xx); price reads come back empty.
+    Unavailable {
+        /// Round-trip time of the failed call.
+        elapsed: SimDuration,
+    },
+}
+
+impl ApiError {
+    /// Wall-clock time the failed call consumed.
+    pub fn elapsed(&self) -> SimDuration {
+        match self {
+            ApiError::Timeout { elapsed }
+            | ApiError::Throttled { elapsed, .. }
+            | ApiError::InsufficientCapacity { elapsed }
+            | ApiError::Unavailable { elapsed } => *elapsed,
+        }
+    }
+
+    /// The server-advised retry interval, if the error carried one.
+    pub fn retry_after(&self) -> Option<SimDuration> {
+        match self {
+            ApiError::Throttled { retry_after, .. } => Some(*retry_after),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::Timeout { elapsed } => write!(f, "timeout after {elapsed}"),
+            ApiError::Throttled { retry_after, .. } => {
+                write!(f, "throttled (retry after {retry_after})")
+            }
+            ApiError::InsufficientCapacity { .. } => write!(f, "insufficient capacity"),
+            ApiError::Unavailable { .. } => write!(f, "service unavailable"),
+        }
+    }
+}
+
+/// A successful control-plane call: its value plus the round-trip
+/// latency it cost the caller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApiOk<T> {
+    /// The call's result.
+    pub value: T,
+    /// Round-trip latency of the call.
+    pub latency: SimDuration,
+}
+
+/// Result of a control-plane call.
+pub type ApiResult<T> = Result<ApiOk<T>, ApiError>;
+
+/// The cloud control plane as the scheduler sees it. All methods take the
+/// current simulation instant so implementations can be trace-driven and
+/// stateless in wall-clock terms; `&mut self` because fault injection
+/// advances an RNG per call.
+pub trait CloudApi {
+    /// Submit a spot request for `zone` at `bid`.
+    fn request_spot(&mut self, at: SimTime, zone: ZoneId, bid: Price) -> ApiResult<()>;
+
+    /// Terminate the instance running in `zone`.
+    fn terminate(&mut self, at: SimTime, zone: ZoneId) -> ApiResult<()>;
+
+    /// Read the current spot price of `zone`.
+    fn describe_price(&mut self, at: SimTime, zone: ZoneId) -> ApiResult<Price>;
+
+    /// Probe `zone`'s control plane (a cheap `DescribeInstances` health
+    /// check; the supervisor uses it to half-open circuit breakers).
+    fn describe_instance(&mut self, at: SimTime, zone: ZoneId) -> ApiResult<()>;
+
+    /// Request an on-demand instance (the migration path). On-demand is
+    /// modelled as highly — but not perfectly — available.
+    fn request_on_demand(&mut self, at: SimTime) -> ApiResult<()>;
+}
+
+impl<A: CloudApi + ?Sized> CloudApi for Box<A> {
+    fn request_spot(&mut self, at: SimTime, zone: ZoneId, bid: Price) -> ApiResult<()> {
+        (**self).request_spot(at, zone, bid)
+    }
+    fn terminate(&mut self, at: SimTime, zone: ZoneId) -> ApiResult<()> {
+        (**self).terminate(at, zone)
+    }
+    fn describe_price(&mut self, at: SimTime, zone: ZoneId) -> ApiResult<Price> {
+        (**self).describe_price(at, zone)
+    }
+    fn describe_instance(&mut self, at: SimTime, zone: ZoneId) -> ApiResult<()> {
+        (**self).describe_instance(at, zone)
+    }
+    fn request_on_demand(&mut self, at: SimTime) -> ApiResult<()> {
+        (**self).request_on_demand(at)
+    }
+}
+
+/// The idealized control plane: every call succeeds with zero latency,
+/// prices come straight from the trace. This is the paper's implicit
+/// model and the engine's default.
+#[derive(Debug, Clone)]
+pub struct PerfectApi<'t> {
+    traces: &'t TraceSet,
+}
+
+impl<'t> PerfectApi<'t> {
+    /// Build over a trace set.
+    pub fn new(traces: &'t TraceSet) -> PerfectApi<'t> {
+        PerfectApi { traces }
+    }
+}
+
+const INSTANT: SimDuration = SimDuration::ZERO;
+
+impl CloudApi for PerfectApi<'_> {
+    fn request_spot(&mut self, _at: SimTime, _zone: ZoneId, _bid: Price) -> ApiResult<()> {
+        Ok(ApiOk {
+            value: (),
+            latency: INSTANT,
+        })
+    }
+
+    fn terminate(&mut self, _at: SimTime, _zone: ZoneId) -> ApiResult<()> {
+        Ok(ApiOk {
+            value: (),
+            latency: INSTANT,
+        })
+    }
+
+    fn describe_price(&mut self, at: SimTime, zone: ZoneId) -> ApiResult<Price> {
+        Ok(ApiOk {
+            value: self.traces.price_at(zone, at),
+            latency: INSTANT,
+        })
+    }
+
+    fn describe_instance(&mut self, _at: SimTime, _zone: ZoneId) -> ApiResult<()> {
+        Ok(ApiOk {
+            value: (),
+            latency: INSTANT,
+        })
+    }
+
+    fn request_on_demand(&mut self, _at: SimTime) -> ApiResult<()> {
+        Ok(ApiOk {
+            value: (),
+            latency: INSTANT,
+        })
+    }
+}
+
+/// Which control-plane verb a call is — drives per-verb fault classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ApiOp {
+    RequestSpot,
+    Terminate,
+    DescribePrice,
+    DescribeInstance,
+    RequestOnDemand,
+}
+
+/// Failure rates and shapes for the injected control-plane faults. The
+/// default ([`ApiFaultPlan::none`]) disables everything and pins every
+/// latency to zero, making the decorated API indistinguishable from the
+/// perfect one.
+///
+/// The plan also carries the supervisor's retry policy (backoff base and
+/// cap, breaker threshold and cooldown, attempt bounds) so one value
+/// configures the whole control-plane model, mirroring how `FaultPlan`
+/// carries the boot-retry backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApiFaultPlan {
+    /// Probability that any call hangs until the client timeout.
+    #[serde(default)]
+    pub p_timeout: f64,
+    /// Client-side timeout window (time lost per timed-out call).
+    #[serde(default = "default_timeout")]
+    pub timeout: SimDuration,
+    /// Probability that any call is throttled (`RequestLimitExceeded`).
+    #[serde(default)]
+    pub p_throttle: f64,
+    /// Server-advised wait attached to a throttle rejection.
+    #[serde(default = "default_retry_after")]
+    pub retry_after: SimDuration,
+    /// Probability that a spot request is rejected with
+    /// `InsufficientInstanceCapacity`.
+    #[serde(default)]
+    pub p_capacity: f64,
+    /// Probability that a price read fails (the scheduler then operates
+    /// on its last observed price).
+    #[serde(default)]
+    pub p_price_error: f64,
+    /// Probability that an on-demand request fails (on-demand is highly
+    /// but not perfectly available; the supervisor's bounded escape
+    /// hatch caps the total delay).
+    #[serde(default)]
+    pub p_od_fail: f64,
+    /// Round-trip latency of every successful or fast-failing call.
+    #[serde(default)]
+    pub latency: SimDuration,
+    /// Supervisor retry backoff base (first retry delay).
+    #[serde(default = "default_retry_base")]
+    pub retry_base: SimDuration,
+    /// Supervisor retry backoff cap.
+    #[serde(default = "default_retry_cap")]
+    pub retry_cap: SimDuration,
+    /// Consecutive spot-request failures that trip a zone's breaker.
+    #[serde(default = "default_breaker_threshold")]
+    pub breaker_threshold: u32,
+    /// Quarantine length after a breaker trips; the breaker half-opens
+    /// (probes once) when it expires.
+    #[serde(default = "default_breaker_cooldown")]
+    pub breaker_cooldown: SimDuration,
+    /// Attempt bound on the terminate retry loop (a terminate that still
+    /// fails is forced through — EC2 terminations are idempotent and the
+    /// instance dies with the bid anyway — but the lag is billed).
+    #[serde(default = "default_max_terminate_attempts")]
+    pub max_terminate_attempts: u32,
+    /// Attempt bound on the on-demand request loop; the deadline guard
+    /// reserves `od_max_attempts × worst_case_call` so the migration
+    /// path stays inside the guarantee.
+    #[serde(default = "default_od_max_attempts")]
+    pub od_max_attempts: u32,
+}
+
+fn default_timeout() -> SimDuration {
+    SimDuration::from_secs(30)
+}
+fn default_retry_after() -> SimDuration {
+    SimDuration::from_secs(60)
+}
+fn default_retry_base() -> SimDuration {
+    SimDuration::from_secs(10)
+}
+fn default_retry_cap() -> SimDuration {
+    SimDuration::from_secs(320)
+}
+fn default_breaker_threshold() -> u32 {
+    3
+}
+fn default_breaker_cooldown() -> SimDuration {
+    SimDuration::from_secs(600)
+}
+fn default_max_terminate_attempts() -> u32 {
+    4
+}
+fn default_od_max_attempts() -> u32 {
+    3
+}
+
+impl Default for ApiFaultPlan {
+    fn default() -> ApiFaultPlan {
+        ApiFaultPlan::none()
+    }
+}
+
+impl ApiFaultPlan {
+    /// No API faults: the decorated control plane behaves exactly like
+    /// [`PerfectApi`] and never advances its RNG.
+    pub const fn none() -> ApiFaultPlan {
+        ApiFaultPlan {
+            p_timeout: 0.0,
+            timeout: SimDuration::from_secs(30),
+            p_throttle: 0.0,
+            retry_after: SimDuration::from_secs(60),
+            p_capacity: 0.0,
+            p_price_error: 0.0,
+            p_od_fail: 0.0,
+            latency: SimDuration::ZERO,
+            retry_base: SimDuration::from_secs(10),
+            retry_cap: SimDuration::from_secs(320),
+            breaker_threshold: 3,
+            breaker_cooldown: SimDuration::from_secs(600),
+            max_terminate_attempts: 4,
+            od_max_attempts: 3,
+        }
+    }
+
+    /// Whether every fault class is disabled and latency is zero.
+    pub fn is_none(&self) -> bool {
+        self.p_timeout == 0.0
+            && self.p_throttle == 0.0
+            && self.p_capacity == 0.0
+            && self.p_price_error == 0.0
+            && self.p_od_fail == 0.0
+            && self.latency == SimDuration::ZERO
+    }
+
+    /// A plan whose failure rates all scale with one `intensity` knob in
+    /// `[0, 1]` — the axis the chaos-api experiment sweeps. Intensity 1
+    /// is hostile: most price reads fail, a third of spot requests hit a
+    /// capacity wall, calls regularly time out or throttle, and even the
+    /// on-demand path needs retries.
+    ///
+    /// # Panics
+    /// Panics if `intensity` is not in `[0, 1]`.
+    pub fn with_intensity(intensity: f64) -> ApiFaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&intensity),
+            "API fault intensity must be in [0, 1], got {intensity}"
+        );
+        ApiFaultPlan {
+            p_timeout: 0.15 * intensity,
+            p_throttle: 0.25 * intensity,
+            p_capacity: 0.35 * intensity,
+            p_price_error: 0.50 * intensity,
+            p_od_fail: 0.15 * intensity,
+            latency: SimDuration::from_secs((10.0 * intensity) as u64),
+            ..ApiFaultPlan::none()
+        }
+    }
+
+    /// Validate the plan's parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("p_timeout", self.p_timeout),
+            ("p_throttle", self.p_throttle),
+            ("p_capacity", self.p_capacity),
+            ("p_price_error", self.p_price_error),
+            ("p_od_fail", self.p_od_fail),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be in [0, 1], got {p}"));
+            }
+        }
+        if self.p_timeout > 0.0 && self.timeout == SimDuration::ZERO {
+            return Err("timeout must be positive when p_timeout > 0".into());
+        }
+        if self.retry_base == SimDuration::ZERO {
+            return Err("retry_base must be positive".into());
+        }
+        if self.retry_cap < self.retry_base {
+            return Err(format!(
+                "retry_cap ({}) below retry_base ({})",
+                self.retry_cap, self.retry_base
+            ));
+        }
+        if self.breaker_threshold == 0 {
+            return Err("breaker_threshold must be at least 1".into());
+        }
+        if self.breaker_cooldown == SimDuration::ZERO {
+            return Err("breaker_cooldown must be positive".into());
+        }
+        if self.max_terminate_attempts == 0 {
+            return Err("max_terminate_attempts must be at least 1".into());
+        }
+        if self.od_max_attempts == 0 {
+            return Err("od_max_attempts must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// Worst-case wall-clock time a single call can consume (the budget
+    /// unit for deadline-aware retry accounting). Zero under
+    /// [`ApiFaultPlan::none`].
+    pub fn worst_case_call(&self) -> SimDuration {
+        if self.is_none() {
+            return SimDuration::ZERO;
+        }
+        let timeout = if self.p_timeout > 0.0 {
+            self.timeout
+        } else {
+            SimDuration::ZERO
+        };
+        timeout.max(self.latency)
+    }
+
+    /// The time the deadline guard must reserve for the on-demand
+    /// migration path's bounded retry loop: the worst case is every
+    /// attempt failing at the worst-case call time.
+    pub fn od_reserve(&self) -> SimDuration {
+        if self.p_od_fail <= 0.0 {
+            return self.worst_case_call();
+        }
+        SimDuration::from_secs(
+            self.worst_case_call()
+                .secs()
+                .saturating_mul(self.od_max_attempts as u64),
+        )
+    }
+
+    /// The seed for the API fault RNG, decorrelated (SplitMix64 mix with
+    /// a constant distinct from the infrastructure fault stream's) from
+    /// both the queuing-delay and the infrastructure-fault streams.
+    pub fn rng_seed(cfg_seed: u64) -> u64 {
+        let mut z = cfg_seed ^ 0xA91F_AB1E_C0DE_0001u64.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Deterministic fault-injecting decorator over any [`CloudApi`]. Every
+/// call first consults the plan's fault draws (in a fixed order, each
+/// guarded by `p > 0` so disabled classes never advance the RNG), then
+/// delegates to the inner API on success.
+#[derive(Debug, Clone)]
+pub struct FaultyApi<A> {
+    inner: A,
+    plan: ApiFaultPlan,
+    rng: rand::rngs::StdRng,
+}
+
+impl<A: CloudApi> FaultyApi<A> {
+    /// Wrap `inner` with the fault plan, seeding the dedicated API RNG.
+    pub fn new(inner: A, plan: ApiFaultPlan, seed: u64) -> FaultyApi<A> {
+        use rand::SeedableRng;
+        FaultyApi {
+            inner,
+            plan,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw the outcome of one call: `Ok(latency)` or an error. Draw
+    /// order is fixed (timeout, throttle, verb-specific) so schedules
+    /// replay bit for bit.
+    fn outcome(&mut self, op: ApiOp) -> Result<SimDuration, ApiError> {
+        use rand::Rng;
+        let p = self.plan;
+        if p.p_timeout > 0.0 && self.rng.gen_bool(p.p_timeout) {
+            return Err(ApiError::Timeout { elapsed: p.timeout });
+        }
+        if p.p_throttle > 0.0 && self.rng.gen_bool(p.p_throttle) {
+            return Err(ApiError::Throttled {
+                retry_after: p.retry_after,
+                elapsed: p.latency,
+            });
+        }
+        match op {
+            ApiOp::RequestSpot if p.p_capacity > 0.0 && self.rng.gen_bool(p.p_capacity) => {
+                return Err(ApiError::InsufficientCapacity { elapsed: p.latency });
+            }
+            ApiOp::DescribePrice if p.p_price_error > 0.0 && self.rng.gen_bool(p.p_price_error) => {
+                return Err(ApiError::Unavailable { elapsed: p.latency });
+            }
+            ApiOp::RequestOnDemand if p.p_od_fail > 0.0 && self.rng.gen_bool(p.p_od_fail) => {
+                return Err(ApiError::Unavailable { elapsed: p.latency });
+            }
+            _ => {}
+        }
+        Ok(p.latency)
+    }
+}
+
+impl<A: CloudApi> CloudApi for FaultyApi<A> {
+    fn request_spot(&mut self, at: SimTime, zone: ZoneId, bid: Price) -> ApiResult<()> {
+        let latency = self.outcome(ApiOp::RequestSpot)?;
+        self.inner
+            .request_spot(at, zone, bid)
+            .map(|ok| ApiOk { latency, ..ok })
+    }
+
+    fn terminate(&mut self, at: SimTime, zone: ZoneId) -> ApiResult<()> {
+        let latency = self.outcome(ApiOp::Terminate)?;
+        self.inner
+            .terminate(at, zone)
+            .map(|ok| ApiOk { latency, ..ok })
+    }
+
+    fn describe_price(&mut self, at: SimTime, zone: ZoneId) -> ApiResult<Price> {
+        let latency = self.outcome(ApiOp::DescribePrice)?;
+        self.inner
+            .describe_price(at, zone)
+            .map(|ok| ApiOk { latency, ..ok })
+    }
+
+    fn describe_instance(&mut self, at: SimTime, zone: ZoneId) -> ApiResult<()> {
+        let latency = self.outcome(ApiOp::DescribeInstance)?;
+        self.inner
+            .describe_instance(at, zone)
+            .map(|ok| ApiOk { latency, ..ok })
+    }
+
+    fn request_on_demand(&mut self, at: SimTime) -> ApiResult<()> {
+        let latency = self.outcome(ApiOp::RequestOnDemand)?;
+        self.inner
+            .request_on_demand(at)
+            .map(|ok| ApiOk { latency, ..ok })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redspot_trace::PriceSeries;
+
+    fn traces() -> TraceSet {
+        let z = PriceSeries::new(
+            SimTime::ZERO,
+            vec![Price::from_millis(270), Price::from_millis(600)],
+        );
+        TraceSet::new(vec![z])
+    }
+
+    #[test]
+    fn none_is_none_and_valid() {
+        let p = ApiFaultPlan::none();
+        assert!(p.is_none());
+        assert!(p.validate().is_ok());
+        assert_eq!(p, ApiFaultPlan::default());
+        assert_eq!(p.worst_case_call(), SimDuration::ZERO);
+        assert_eq!(p.od_reserve(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn intensity_scales_rates() {
+        let zero = ApiFaultPlan::with_intensity(0.0);
+        assert!(zero.is_none());
+        let full = ApiFaultPlan::with_intensity(1.0);
+        assert!(!full.is_none());
+        assert!(full.validate().is_ok());
+        let half = ApiFaultPlan::with_intensity(0.5);
+        assert!((half.p_capacity - full.p_capacity / 2.0).abs() < 1e-12);
+        assert!(full.od_reserve() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let mut p = ApiFaultPlan::none();
+        p.p_timeout = 1.5;
+        assert!(p.validate().is_err());
+
+        let mut p = ApiFaultPlan::none();
+        p.p_timeout = 0.2;
+        p.timeout = SimDuration::ZERO;
+        assert!(p.validate().is_err());
+
+        let mut p = ApiFaultPlan::none();
+        p.retry_cap = SimDuration::from_secs(1);
+        assert!(p.validate().is_err());
+
+        let mut p = ApiFaultPlan::none();
+        p.breaker_threshold = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = ApiFaultPlan::none();
+        p.od_max_attempts = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn perfect_api_reads_the_trace() {
+        let t = traces();
+        let mut api = PerfectApi::new(&t);
+        let ok = api.describe_price(SimTime::ZERO, ZoneId(0)).unwrap();
+        assert_eq!(ok.value, Price::from_millis(270));
+        assert_eq!(ok.latency, SimDuration::ZERO);
+        assert!(api
+            .request_spot(SimTime::ZERO, ZoneId(0), Price::from_millis(810))
+            .is_ok());
+        assert!(api.terminate(SimTime::ZERO, ZoneId(0)).is_ok());
+        assert!(api.describe_instance(SimTime::ZERO, ZoneId(0)).is_ok());
+        assert!(api.request_on_demand(SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn none_plan_never_fails_and_replays() {
+        let t = traces();
+        let mut api = FaultyApi::new(PerfectApi::new(&t), ApiFaultPlan::none(), 7);
+        for _ in 0..100 {
+            let ok = api.describe_price(SimTime::ZERO, ZoneId(0)).unwrap();
+            assert_eq!(ok.latency, SimDuration::ZERO);
+            assert_eq!(ok.value, Price::from_millis(270));
+        }
+    }
+
+    #[test]
+    fn faulty_api_is_deterministic() {
+        let t = traces();
+        let plan = ApiFaultPlan::with_intensity(0.8);
+        let run = |seed: u64| {
+            let mut api = FaultyApi::new(PerfectApi::new(&t), plan, seed);
+            (0..200)
+                .map(|_| {
+                    api.request_spot(SimTime::ZERO, ZoneId(0), Price::from_millis(810))
+                        .map(|ok| ok.latency)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "different seeds should differ");
+        let outcomes = run(3);
+        assert!(outcomes.iter().any(|o| o.is_err()), "faults should fire");
+        assert!(outcomes.iter().any(|o| o.is_ok()), "not everything fails");
+    }
+
+    #[test]
+    fn error_accessors() {
+        let e = ApiError::Throttled {
+            retry_after: SimDuration::from_secs(60),
+            elapsed: SimDuration::from_secs(2),
+        };
+        assert_eq!(e.retry_after(), Some(SimDuration::from_secs(60)));
+        assert_eq!(e.elapsed(), SimDuration::from_secs(2));
+        let e = ApiError::Timeout {
+            elapsed: SimDuration::from_secs(30),
+        };
+        assert_eq!(e.retry_after(), None);
+        assert_eq!(e.elapsed(), SimDuration::from_secs(30));
+        assert!(e.to_string().contains("timeout"));
+    }
+
+    #[test]
+    fn serde_round_trip_and_defaults() {
+        let p = ApiFaultPlan::with_intensity(0.4);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ApiFaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+        let empty: ApiFaultPlan = serde_json::from_str("{}").unwrap();
+        assert!(empty.is_none());
+        assert_eq!(empty, ApiFaultPlan::none());
+    }
+}

@@ -164,6 +164,31 @@ mod tests {
     }
 
     #[test]
+    fn out_of_bid_exactly_on_boundary_keeps_prior_hours() {
+        // EC2 kills the instance at the very instant an hour boundary
+        // passes. The completed hours stay charged; the hour that would
+        // have started at the boundary never accrues (partial-hour rule).
+        let mut b = SpotBilling::launch(t(0), p(0.30));
+        b.on_hour_boundary(t(3_600), p(0.50));
+        b.on_hour_boundary(t(7_200), p(0.70));
+        assert_eq!(b.stop(t(7_200), StopCause::OutOfBid), p(0.80));
+    }
+
+    #[test]
+    fn user_stop_in_first_second_of_an_hour_pays_it_in_full() {
+        // One second into the third hour: the hour started, so a user
+        // stop pays it whole, at the rate fixed at its boundary.
+        let mut b = SpotBilling::launch(t(0), p(0.30));
+        b.on_hour_boundary(t(3_600), p(0.50));
+        b.on_hour_boundary(t(7_200), p(0.70));
+        assert_eq!(b.stop(t(7_201), StopCause::User), p(1.50));
+        // Same rule for a non-aligned launch anchor.
+        let mut b = SpotBilling::launch(t(100), p(0.30));
+        b.on_hour_boundary(t(3_700), p(0.50));
+        assert_eq!(b.stop(t(3_701), StopCause::User), p(0.80));
+    }
+
+    #[test]
     #[should_panic(expected = "out of sequence")]
     fn skipping_boundaries_panics() {
         let mut b = SpotBilling::launch(t(0), p(0.30));

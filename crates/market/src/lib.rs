@@ -5,16 +5,19 @@
 //! $2.40/h on-demand), the measured spot queuing-delay model, per-zone
 //! instance lifecycle states (down / waiting / booting / up), and a
 //! trace-driven [`SpotMarket`] façade the scheduling engine drives, plus
-//! seeded per-zone blackout schedules for fault injection.
+//! seeded per-zone blackout schedules for fault injection and a fallible
+//! [`CloudApi`] control plane with deterministic fault injection.
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod billing;
 pub mod delay;
 pub mod instance;
 pub mod market;
 pub mod outage;
 
+pub use api::{ApiError, ApiFaultPlan, ApiOk, ApiResult, CloudApi, FaultyApi, PerfectApi};
 pub use billing::{on_demand_cost, SpotBilling, StopCause};
 pub use delay::DelayModel;
 pub use instance::{InstanceState, ZoneInstance};

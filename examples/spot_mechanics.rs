@@ -103,6 +103,30 @@ fn main() {
             }
             Event::HourCharged { rate, .. } => println!("{t:>5.2}h  S={s}  hour billed at {rate}"),
             Event::SwitchedToOnDemand { .. } => println!("{t:>5.2}h  S={s}  migrated to on-demand"),
+            Event::SpotRequestFailed { retry_at, .. } => {
+                println!(
+                    "{t:>5.2}h  S={s}  spot request failed, retrying at {:.2}h",
+                    retry_at.as_hours()
+                )
+            }
+            Event::TerminateLagged { lag, .. } => {
+                println!("{t:>5.2}h  S={s}  terminate lagged {lag}")
+            }
+            Event::StalePriceUsed { age, .. } => {
+                println!("{t:>5.2}h  S={s}  price read failed, using {age}-old price")
+            }
+            Event::ZoneQuarantined { until, .. } => {
+                println!(
+                    "{t:>5.2}h  S={s}  zone quarantined until {:.2}h",
+                    until.as_hours()
+                )
+            }
+            Event::ZoneBreakerClosed { .. } => {
+                println!("{t:>5.2}h  S={s}  zone breaker closed")
+            }
+            Event::OnDemandDelayed { delay, .. } => {
+                println!("{t:>5.2}h  S={s}  on-demand request delayed {delay}")
+            }
             Event::AdaptiveSwitch { .. } | Event::DeadlineChanged { .. } => {}
             Event::Completed { .. } => println!("{t:>5.2}h  S={s}  job complete"),
         }

@@ -8,7 +8,7 @@
 //! thread counts.
 
 use proptest::prelude::*;
-use redspot::core::{Engine, Event, FaultPlan};
+use redspot::core::{ApiFaultPlan, Engine, Event, FaultPlan};
 use redspot::exp::parallel::run_batch;
 use redspot::exp::{RunSpec, Scheme};
 use redspot::prelude::*;
@@ -232,6 +232,173 @@ const PINNED_COST_MILLIS: u64 = 18_563;
 const PINNED_FINISH_SECS: u64 = 333_290;
 const PINNED_CHECKPOINTS: u32 = 20;
 const PINNED_RESTARTS: u32 = 3;
+
+// ----------------------------------------------------------------------
+// Control-plane chaos: the guarantee under arbitrary API fault schedules.
+
+/// An arbitrary control-plane fault schedule: timeouts, throttling,
+/// capacity rejections, failing price reads, flaky on-demand requests —
+/// from "barely noticeable" to "most calls fail".
+fn arb_api_faults() -> impl Strategy<Value = ApiFaultPlan> {
+    (
+        (
+            0.0f64..0.6,  // p_timeout
+            5u64..120,    // timeout (secs)
+            0.0f64..0.6,  // p_throttle
+            10u64..300,   // retry_after (secs)
+            0.0f64..0.9,  // p_capacity
+            0.0f64..0.95, // p_price_error
+        ),
+        (
+            0.0f64..0.9,   // p_od_fail (bounded retries force through anyway)
+            0u64..30,      // latency (secs)
+            5u64..60,      // retry_base (secs)
+            1u32..6,       // breaker_threshold
+            300u64..1_200, // breaker_cooldown (secs)
+        ),
+    )
+        .prop_map(
+            |((p_t, t, p_th, ra, p_c, p_p), (p_od, lat, base, thresh, cool))| ApiFaultPlan {
+                p_timeout: p_t,
+                timeout: SimDuration::from_secs(t),
+                p_throttle: p_th,
+                retry_after: SimDuration::from_secs(ra),
+                p_capacity: p_c,
+                p_price_error: p_p,
+                p_od_fail: p_od,
+                latency: SimDuration::from_secs(lat),
+                retry_base: SimDuration::from_secs(base),
+                retry_cap: SimDuration::from_secs(base * 32),
+                breaker_threshold: thresh,
+                breaker_cooldown: SimDuration::from_secs(cool),
+                ..ApiFaultPlan::none()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// THE control-plane chaos property: any market, any API fault
+    /// schedule — the deadline holds, the accounting adds up, and denied
+    /// spot requests are never billed.
+    #[test]
+    fn guarantee_survives_arbitrary_api_fault_schedules(
+        traces in arb_market(),
+        api in arb_api_faults(),
+        kind in prop_oneof![Just(PolicyKind::Periodic), Just(PolicyKind::MarkovDaly)],
+        slack_pct in 10u64..60,
+        seed in 0u64..1_000,
+    ) {
+        let mut cfg = ExperimentConfig::paper_default()
+            .with_slack_percent(slack_pct)
+            .with_seed(seed)
+            .with_api_faults(api);
+        cfg.app = AppSpec::new(SimDuration::from_hours(8));
+        cfg.deadline = SimDuration::from_secs(cfg.app.work.secs() * (100 + slack_pct) / 100);
+        cfg.record_events = true;
+        prop_assert!(cfg.validate().is_ok());
+
+        // Feasible at submission: deadline covers the work, the migration
+        // reserve, and the bounded on-demand retry budget.
+        let feasible =
+            cfg.deadline >= cfg.app.work + cfg.costs.migration() + cfg.api.od_reserve();
+        let start = SimTime::from_hours(48);
+        let r = Engine::new(&traces, start, cfg.clone(), kind.build()).run();
+
+        prop_assert!(
+            r.met_deadline || !feasible,
+            "{kind:?} missed a feasible deadline under {:?}: finished {} vs {}",
+            cfg.api,
+            r.finished_at,
+            start + cfg.deadline
+        );
+        prop_assert_eq!(r.cost, r.spot_cost + r.od_cost + r.io_cost);
+        prop_assert!(!r.used_on_demand || r.od_cost > Price::ZERO);
+        check_commit_monotonicity(&r.events);
+
+        // Denied spot requests carry no billing: every SpotRequestFailed
+        // schedules a retry strictly in the future, and quarantine
+        // windows are non-empty.
+        for e in &r.events {
+            match e {
+                Event::SpotRequestFailed { at, retry_at, .. } => {
+                    prop_assert!(retry_at > at, "API retry not in the future");
+                }
+                Event::ZoneQuarantined { at, until, .. } => {
+                    prop_assert!(until > at, "empty quarantine window");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The same seed and API fault schedule replay to the identical run —
+    /// control-plane fault injection is deterministic, not statistical.
+    #[test]
+    fn api_fault_injection_replays_bit_for_bit(
+        traces in arb_market(),
+        api in arb_api_faults(),
+        seed in 0u64..1_000,
+    ) {
+        let cfg = {
+            let mut c = ExperimentConfig::paper_default()
+                .with_slack_percent(15)
+                .with_seed(seed)
+                .with_api_faults(api);
+            c.app = AppSpec::new(SimDuration::from_hours(8));
+            c.deadline = SimDuration::from_secs(c.app.work.secs() * 115 / 100);
+            c.record_events = true;
+            c
+        };
+        let start = SimTime::from_hours(48);
+        let a = Engine::new(&traces, start, cfg.clone(), PolicyKind::Periodic.build()).run();
+        let b = Engine::new(&traces, start, cfg, PolicyKind::Periodic.build()).run();
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Total capacity drought: every spot request is rejected with
+/// `InsufficientInstanceCapacity`. No spot instance ever starts, so no
+/// spot dollar is ever billed ("no billing for unfulfilled requests"),
+/// and the run still meets its deadline by migrating to on-demand.
+#[test]
+fn total_capacity_drought_bills_no_spot_and_meets_the_deadline() {
+    let (traces, start, mut cfg) = pinned_setup();
+    cfg.api = ApiFaultPlan {
+        p_capacity: 1.0,
+        ..ApiFaultPlan::none()
+    };
+    let r = Engine::new(&traces, start, cfg.clone(), PolicyKind::Periodic.build()).run();
+    assert!(r.met_deadline, "capacity drought broke the deadline: {r:?}");
+    assert_eq!(
+        r.spot_cost,
+        Price::ZERO,
+        "billed for spot requests that were never fulfilled"
+    );
+    assert!(r.used_on_demand);
+    assert!(r.od_cost > Price::ZERO);
+    assert!(r.api.spot_retries > 0, "no denials recorded: {:?}", r.api);
+    assert_eq!(r.cost, r.spot_cost + r.od_cost + r.io_cost);
+}
+
+/// `ApiFaultPlan::none()` must reproduce the pre-supervisor engine bit
+/// for bit — the control-plane layer leaks nothing into the perfect-API
+/// path. The pinned constants below double-check against drift.
+#[test]
+fn api_none_plan_is_identical_to_the_default_config() {
+    let (traces, start, cfg) = pinned_setup();
+    let explicit = cfg.clone().with_api_faults(ApiFaultPlan::none());
+    let a = Engine::new(&traces, start, cfg, PolicyKind::Periodic.build()).run();
+    let b = Engine::new(&traces, start, explicit, PolicyKind::Periodic.build()).run();
+    assert_eq!(a, b);
+    assert_eq!(a.api, redspot::core::ApiStats::default());
+    assert_eq!(
+        (a.cost, a.finished_at, a.checkpoints, a.restarts),
+        pinned_expectation(),
+        "perfect-API engine output drifted: {a:?}"
+    );
+}
 
 #[test]
 fn none_plan_sweeps_are_thread_count_invariant() {
