@@ -679,9 +679,19 @@ impl<'t> Engine<'t> {
                     }
                 }
                 InstanceState::Waiting => {
-                    let observed = self.observed_price(i).unwrap_or(price);
+                    if !self.zones[i].active {
+                        self.zones[i].inst = InstanceState::Down;
+                        acted = true;
+                        continue;
+                    }
+                    // As in the Down arm: no observation means no
+                    // decision — never fall back to the true trace
+                    // price, which the scheduler cannot see.
+                    let Some(observed) = self.observed_price(i) else {
+                        continue;
+                    };
                     let threshold = resume_at.unwrap_or(self.cfg.bid);
-                    if observed > threshold || !self.zones[i].active {
+                    if observed > threshold {
                         self.zones[i].inst = InstanceState::Down;
                         acted = true;
                     }

@@ -252,22 +252,23 @@ impl<A: CloudApi> Supervisor<A> {
             Err(e) => {
                 self.stats.spot_retries += 1;
                 self.zones[slot].consecutive_failures += 1;
-                let tripped_until =
-                    if self.zones[slot].consecutive_failures >= self.plan.breaker_threshold {
-                        let until = at + e.elapsed() + self.plan.breaker_cooldown;
-                        self.zones[slot].breaker = Breaker::Open { until };
-                        self.zones[slot].consecutive_failures = 0;
-                        self.stats.breaker_trips += 1;
-                        Some(until)
-                    } else {
-                        None
-                    };
+                let failures = self.zones[slot].consecutive_failures;
+                let tripped_until = if failures >= self.plan.breaker_threshold {
+                    let until = at + e.elapsed() + self.plan.breaker_cooldown;
+                    self.zones[slot].breaker = Breaker::Open { until };
+                    self.zones[slot].consecutive_failures = 0;
+                    self.stats.breaker_trips += 1;
+                    Some(until)
+                } else {
+                    None
+                };
+                // The backoff attempt is the pre-reset failure count: a
+                // trip must not silently restart the schedule from base
+                // (the quarantine end usually dominates, but the draw
+                // should still reflect the real failure streak).
                 let wait = match e.retry_after() {
                     Some(advised) => advised,
-                    None => self.backoff.jittered(
-                        self.zones[slot].consecutive_failures.max(1),
-                        &mut self.jitter_rng,
-                    ),
+                    None => self.backoff.jittered(failures, &mut self.jitter_rng),
                 };
                 let mut retry_at = at + e.elapsed() + wait;
                 if let Some(until) = tripped_until {

@@ -411,11 +411,20 @@ impl ApiFaultPlan {
         timeout.max(self.latency)
     }
 
+    /// Whether any fault class can reject an on-demand request. Timeout
+    /// and throttle draws apply to *every* verb — including
+    /// `request_on_demand` — so the migration path can burn retries even
+    /// with `p_od_fail = 0`.
+    fn od_can_fail(&self) -> bool {
+        self.p_timeout > 0.0 || self.p_throttle > 0.0 || self.p_od_fail > 0.0
+    }
+
     /// The time the deadline guard must reserve for the on-demand
     /// migration path's bounded retry loop: the worst case is every
-    /// attempt failing at the worst-case call time.
+    /// attempt failing at the worst-case call time. A single call
+    /// suffices only when no fault class can reach `request_on_demand`.
     pub fn od_reserve(&self) -> SimDuration {
-        if self.p_od_fail <= 0.0 {
+        if !self.od_can_fail() {
             return self.worst_case_call();
         }
         SimDuration::from_secs(
@@ -559,6 +568,45 @@ mod tests {
         let half = ApiFaultPlan::with_intensity(0.5);
         assert!((half.p_capacity - full.p_capacity / 2.0).abs() < 1e-12);
         assert!(full.od_reserve() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn od_reserve_covers_every_fault_class_that_reaches_on_demand() {
+        // Timeouts hit request_on_demand even with p_od_fail = 0, and the
+        // supervisor retries on any error: the guard must reserve the
+        // full bounded loop, not a single call.
+        let p = ApiFaultPlan {
+            p_timeout: 0.95,
+            timeout: SimDuration::from_secs(7200),
+            p_capacity: 1.0,
+            ..ApiFaultPlan::none()
+        };
+        assert_eq!(p.p_od_fail, 0.0);
+        assert_eq!(
+            p.od_reserve(),
+            SimDuration::from_secs(7200 * p.od_max_attempts as u64)
+        );
+
+        // Throttling reaches request_on_demand too.
+        let p = ApiFaultPlan {
+            p_throttle: 0.5,
+            latency: SimDuration::from_secs(9),
+            ..ApiFaultPlan::none()
+        };
+        assert_eq!(
+            p.od_reserve(),
+            SimDuration::from_secs(9 * p.od_max_attempts as u64)
+        );
+
+        // Fault classes that never reach request_on_demand (capacity,
+        // price errors) leave the reserve at a single worst-case call.
+        let p = ApiFaultPlan {
+            p_capacity: 1.0,
+            p_price_error: 0.9,
+            latency: SimDuration::from_secs(4),
+            ..ApiFaultPlan::none()
+        };
+        assert_eq!(p.od_reserve(), SimDuration::from_secs(4));
     }
 
     #[test]

@@ -382,6 +382,39 @@ fn total_capacity_drought_bills_no_spot_and_meets_the_deadline() {
     assert_eq!(r.cost, r.spot_cost + r.od_cost + r.io_cost);
 }
 
+/// Timeouts and throttles hit `request_on_demand` even with
+/// `p_od_fail = 0`, and the supervisor retries any error up to
+/// `od_max_attempts` — so the guard must reserve the full bounded loop,
+/// not a single worst-case call. Regression: with huge timeouts, a
+/// guaranteed capacity drought, and an *exactly* feasible deadline,
+/// every seed must still finish by the deadline.
+#[test]
+fn on_demand_timeouts_with_zero_od_fail_stay_inside_the_reserve() {
+    let traces = GenConfig::low_volatility(42).generate();
+    let start = SimTime::from_hours(72);
+    for seed in 0..50 {
+        let mut cfg = ExperimentConfig::paper_default().with_seed(seed);
+        cfg.api = ApiFaultPlan {
+            p_timeout: 0.95,
+            timeout: SimDuration::from_secs(7200),
+            p_capacity: 1.0, // no spot request ever fulfilled
+            ..ApiFaultPlan::none()
+        };
+        assert_eq!(cfg.api.p_od_fail, 0.0);
+        // Exactly feasible at submission: zero slack beyond the reserve.
+        cfg.deadline = cfg.app.work + cfg.costs.migration() + cfg.api.od_reserve();
+        let r = Engine::new(&traces, start, cfg.clone(), PolicyKind::Periodic.build()).run();
+        assert!(
+            r.met_deadline,
+            "seed {seed}: finished {} past deadline {} (od_retries={})",
+            r.finished_at,
+            start + cfg.deadline,
+            r.api.od_retries
+        );
+        assert_eq!(r.spot_cost, Price::ZERO, "seed {seed}: billed unfulfilled spot");
+    }
+}
+
 /// `ApiFaultPlan::none()` must reproduce the pre-supervisor engine bit
 /// for bit — the control-plane layer leaks nothing into the perfect-API
 /// path. The pinned constants below double-check against drift.
