@@ -1,0 +1,50 @@
+//! Criterion: one full adaptive decision point (rank zones, forecast every
+//! permutation, pick the cheapest) under the three evaluation strategies —
+//! naive walks, a cold scan per decision, and the incrementally advanced
+//! scan the runner actually uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redspot_core::{AdaptiveConfig, AdaptiveRunner, ExperimentConfig, ForecastMode};
+use redspot_trace::gen::GenConfig;
+use redspot_trace::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_decision(c: &mut Criterion) {
+    let traces = GenConfig::high_volatility(42).generate();
+    let cfg = ExperimentConfig::paper_default();
+    let work = cfg.app.work;
+    let deadline = cfg.deadline;
+    let start = SimTime::from_hours(48);
+    let mode = |forecast| AdaptiveConfig {
+        forecast,
+        ..AdaptiveConfig::default()
+    };
+
+    let naive =
+        AdaptiveRunner::new(&traces, start, cfg.clone()).with_config(mode(ForecastMode::Naive));
+    c.bench_function("adaptive/decide_naive", |b| {
+        b.iter(|| naive.session().decide(black_box(start), work, deadline))
+    });
+
+    let scan = AdaptiveRunner::new(&traces, start, cfg).with_config(mode(ForecastMode::Scan));
+    c.bench_function("adaptive/decide_scan_cold", |b| {
+        // A fresh session per decision: measures build + full query sweep.
+        b.iter(|| scan.session().decide(black_box(start), work, deadline))
+    });
+
+    c.bench_function("adaptive/decide_scan_incremental", |b| {
+        // One session advanced hourly across a week of decision points,
+        // as `AdaptiveRunner::run` does between billing boundaries.
+        let mut session = scan.session();
+        session.decide(start, work, deadline);
+        let mut hour = 0u64;
+        b.iter(|| {
+            hour = if hour >= 168 { 1 } else { hour + 1 };
+            let now = start + SimDuration::from_hours(hour);
+            session.decide(black_box(now), work, deadline)
+        })
+    });
+}
+
+criterion_group!(benches, bench_decision);
+criterion_main!(benches);

@@ -1,10 +1,12 @@
-//! Criterion: the adaptive controller's per-permutation forecast — called
-//! ~100 times per decision point.
+//! Criterion: the adaptive controller's decision-point forecasting — the
+//! naive per-permutation `estimate` walk (called ~100 times per decision
+//! point) against the shared permutation scan (built once per decision
+//! point, then queried per permutation).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use redspot_ckpt::CkptCosts;
 use redspot_core::adaptive::forecast::estimate;
-use redspot_core::PolicyKind;
+use redspot_core::{AdaptiveConfig, PermutationScan, PolicyKind};
 use redspot_trace::gen::GenConfig;
 use redspot_trace::{Price, SimTime, Window, ZoneId};
 use std::hint::black_box;
@@ -23,6 +25,30 @@ fn bench_forecast(c: &mut Criterion) {
                 CkptCosts::LOW,
                 PolicyKind::MarkovDaly,
             )
+        })
+    });
+
+    let acfg = AdaptiveConfig::default();
+    c.bench_function("forecast/scan_build_24h_3zones", |b| {
+        b.iter(|| PermutationScan::build(black_box(&traces), &zones, &acfg.bid_grid, window, 1))
+    });
+
+    // The per-decision query load once the scan is built: every
+    // (B, N, policy) permutation's ranking + forecast.
+    let scan = PermutationScan::build(&traces, &zones, &acfg.bid_grid, window, 1);
+    c.bench_function("forecast/scan_query_all_permutations", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &bid in &acfg.bid_grid {
+                let j = scan.bid_index(bid);
+                for &n in &acfg.n_options {
+                    let mask = scan.top_zones(j, n);
+                    for &kind in &acfg.policy_kinds {
+                        acc += scan.forecast(j, &mask, CkptCosts::LOW, kind).progress_rate;
+                    }
+                }
+            }
+            black_box(acc)
         })
     });
 }

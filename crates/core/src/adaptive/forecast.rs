@@ -25,29 +25,60 @@ pub struct Forecast {
     pub availability: f64,
 }
 
-/// Estimate how a `(bid, zones, policy)` permutation would have behaved
-/// over `window` of history.
-pub fn estimate(
+impl Forecast {
+    /// The forecast of an empty effective history window: nothing is known,
+    /// so the permutation is predicted to make no progress and spend
+    /// nothing on spot (its predicted cost is then the on-demand fallback).
+    pub const EMPTY: Forecast = Forecast {
+        progress_rate: 0.0,
+        spend_rate: 0.0,
+        availability: 0.0,
+    };
+}
+
+/// Integer sufficient statistics of one `(bid, zone set)` pair over a
+/// history window. Every float in a [`Forecast`] is a deterministic
+/// function of these five integers, which is what makes the permutation
+/// scan ([`super::scan::PermutationScan`]) bit-identical to the naive
+/// per-permutation walk: both reduce the window to the same `WindowStats`
+/// and share [`forecast_from_stats`] for the float arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowStats {
+    /// Probe steps on the canonical forecast grid; `0` means the window
+    /// does not overlap the trace at all (empty effective window).
+    pub n_steps: u64,
+    /// Steps with at least one selected zone affordable.
+    pub up_steps: u64,
+    /// Maximal runs of consecutive up steps (a trailing run counts).
+    pub n_runs: u64,
+    /// Up→down transitions strictly inside the window (a run ending at the
+    /// window edge is not a failure).
+    pub failures: u64,
+    /// Sum of price millis over every affordable `(zone, step)` pair —
+    /// every affordable zone runs, and is paid for, in the redundant scheme.
+    pub spend_millis: u64,
+}
+
+/// Reduce a window of history to [`WindowStats`] by walking every probe
+/// step of the canonical forecast grid (see [`redspot_trace::PriceSeries::forecast_grid`])
+/// for every selected zone. This is the naive `O(steps × zones)` reference
+/// the permutation scan is pinned against.
+pub fn window_stats(
     traces: &TraceSet,
     zones: &[ZoneId],
     window: Window,
     bid: Price,
-    costs: CkptCosts,
-    kind: PolicyKind,
-) -> Forecast {
+) -> WindowStats {
     debug_assert!(!zones.is_empty());
-    let z0 = traces.zone(zones[0]);
-    let lo = window.start().max(z0.start());
-    let n_steps = ((window.end().secs().saturating_sub(lo.secs())) / PRICE_STEP).max(1);
-    let window_secs = (n_steps * PRICE_STEP) as f64;
+    let Some((lo, n_steps)) = traces.zone(zones[0]).forecast_grid(window) else {
+        return WindowStats::default();
+    };
 
-    let mut up_steps = 0u64;
-    let mut failures = 0u64;
-    let mut spend_millis = 0.0f64;
+    let mut stats = WindowStats {
+        n_steps,
+        ..WindowStats::default()
+    };
     let mut prev_up = false;
-    let mut run_lengths: Vec<u64> = Vec::new();
-    let mut current_run = 0u64;
-
     for i in 0..n_steps {
         let t = redspot_trace::SimTime::from_secs(lo.secs() + i * PRICE_STEP);
         let mut any_up = false;
@@ -55,36 +86,37 @@ pub fn estimate(
             let s = traces.price_at(z, t);
             if s <= bid {
                 any_up = true;
-                // Every affordable zone runs (and is paid for) in the
-                // redundant scheme; pro-rate its hourly price per step.
-                spend_millis += s.millis() as f64 * PRICE_STEP as f64 / 3_600.0;
+                stats.spend_millis += s.millis();
             }
         }
         if any_up {
-            up_steps += 1;
-            current_run += 1;
-        } else {
-            if prev_up {
-                failures += 1;
-                run_lengths.push(current_run);
+            stats.up_steps += 1;
+            if !prev_up {
+                stats.n_runs += 1;
             }
-            current_run = 0;
+        } else if prev_up {
+            stats.failures += 1;
         }
         prev_up = any_up;
     }
-    if current_run > 0 {
-        run_lengths.push(current_run);
-    }
+    stats
+}
 
-    let availability = up_steps as f64 / n_steps as f64;
-    let mean_up_secs = if run_lengths.is_empty() {
-        if availability > 0.0 {
-            window_secs
-        } else {
-            0.0
-        }
+/// Turn integer window statistics into a [`Forecast`]. All float
+/// arithmetic for both the naive estimate and the permutation scan lives
+/// here, in one place, so equal stats give bit-identical forecasts.
+pub fn forecast_from_stats(stats: WindowStats, costs: CkptCosts, kind: PolicyKind) -> Forecast {
+    if stats.n_steps == 0 {
+        return Forecast::EMPTY;
+    }
+    let window_secs = (stats.n_steps * PRICE_STEP) as f64;
+    let availability = stats.up_steps as f64 / stats.n_steps as f64;
+    // Every up step belongs to exactly one run, so the mean up-run length
+    // is total up time over the run count.
+    let mean_up_secs = if stats.n_runs == 0 {
+        0.0
     } else {
-        run_lengths.iter().sum::<u64>() as f64 * PRICE_STEP as f64 / run_lengths.len() as f64
+        stats.up_steps as f64 * PRICE_STEP as f64 / stats.n_runs as f64
     };
 
     // Characteristic checkpoint interval of the policy.
@@ -109,14 +141,37 @@ pub fn estimate(
     // work (bounded by half the up-run) plus the restart cost.
     let tr = costs.restart.secs() as f64;
     let rollback = (tau / 2.0).min(mean_up_secs / 2.0) + tr;
-    let failure_rate = failures as f64 / window_secs;
+    let failure_rate = stats.failures as f64 / window_secs;
 
     let progress_rate = (availability * overhead - failure_rate * rollback).clamp(0.0, 1.0);
+    // Pro-rate each affordable zone-hour price over its 5-minute step.
+    let spend_rate = stats.spend_millis as f64 * (PRICE_STEP as f64 / 3_600.0) / window_secs;
     Forecast {
         progress_rate,
-        spend_rate: spend_millis / window_secs,
+        spend_rate,
         availability,
     }
+}
+
+/// Estimate how a `(bid, zones, policy)` permutation would have behaved
+/// over `window` of history.
+///
+/// The window is clamped to the trace span on **both** edges: a window
+/// overrunning the trace end forecasts only from the samples that exist
+/// (rather than silently repeating the final price through the clamping
+/// lookup in `price_at`), and a window with no overlap at all — entirely
+/// before the trace, or entirely at-or-past its end — yields
+/// [`Forecast::EMPTY`] instead of presenting one out-of-window sample as a
+/// full forecast.
+pub fn estimate(
+    traces: &TraceSet,
+    zones: &[ZoneId],
+    window: Window,
+    bid: Price,
+    costs: CkptCosts,
+    kind: PolicyKind,
+) -> Forecast {
+    forecast_from_stats(window_stats(traces, zones, window, bid), costs, kind)
 }
 
 /// Predicted remaining cost (milli-dollars) of running a permutation with
@@ -238,6 +293,80 @@ mod tests {
         assert!(both.progress_rate > single.progress_rate);
         // ~One zone paid at a time here, so spend is similar; never less.
         assert!(both.spend_rate >= single.spend_rate - 1e-9);
+    }
+
+    #[test]
+    fn window_overrunning_trace_end_is_clamped_not_padded() {
+        // 24 h of cheap history ending in a single expensive sample. A
+        // 48 h window anchored at the trace end used to "forecast" 24 h of
+        // phantom steps by repeating that final price; clamping the end
+        // means only the real samples count.
+        let mut prices = vec![m(270); 287];
+        prices.push(m(5_000));
+        let t = traces(vec![prices]);
+        let f = estimate(
+            &t,
+            &[ZoneId(0)],
+            Window::new(SimTime::ZERO, SimTime::from_hours(48)),
+            m(810),
+            CkptCosts::LOW,
+            PolicyKind::Periodic,
+        );
+        // 287 of 288 real steps affordable — nowhere near the ~50%
+        // availability the padded window used to report with a cheap tail,
+        // nor the 0% it would report with an expensive tail.
+        assert!((f.availability - 287.0 / 288.0).abs() < 1e-12);
+        let clamped = estimate(
+            &t,
+            &[ZoneId(0)],
+            Window::new(SimTime::ZERO, SimTime::from_hours(24)),
+            m(810),
+            CkptCosts::LOW,
+            PolicyKind::Periodic,
+        );
+        assert_eq!(f, clamped);
+    }
+
+    #[test]
+    fn window_with_no_trace_overlap_forecasts_empty() {
+        let t = traces(vec![vec![m(270); 288]]); // covers [0, 24 h)
+        for w in [
+            // Entirely at-or-past the trace end.
+            Window::new(SimTime::from_hours(24), SimTime::from_hours(30)),
+            Window::new(SimTime::from_hours(100), SimTime::from_hours(124)),
+        ] {
+            let f = estimate(
+                &t,
+                &[ZoneId(0)],
+                w,
+                m(810),
+                CkptCosts::LOW,
+                PolicyKind::Periodic,
+            );
+            assert_eq!(f, Forecast::EMPTY, "window {w:?} should be empty");
+        }
+        // A window entirely before a later-starting trace is empty too.
+        let late = TraceSet::new(vec![PriceSeries::new(
+            SimTime::from_hours(10),
+            vec![m(270); 288],
+        )]);
+        let f = estimate(
+            &late,
+            &[ZoneId(0)],
+            Window::new(SimTime::ZERO, SimTime::from_hours(10)),
+            m(810),
+            CkptCosts::LOW,
+            PolicyKind::Periodic,
+        );
+        assert_eq!(f, Forecast::EMPTY);
+        // The empty forecast still predicts the on-demand fallback cost.
+        let cost = predicted_cost(
+            &Forecast::EMPTY,
+            SimDuration::from_hours(20),
+            SimDuration::from_hours(23),
+            CkptCosts::LOW,
+        );
+        assert!(cost > 40_000.0, "cost {cost}");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! hour-boundary retirement, never mid-hour).
 
 pub mod forecast;
+pub mod scan;
 
 use crate::config::ExperimentConfig;
 use crate::engine::Engine;
@@ -19,6 +20,22 @@ use crate::run::RunResult;
 use forecast::{estimate, predicted_cost};
 use redspot_market::DelayModel;
 use redspot_trace::{Price, SimDuration, SimTime, TraceSet, Window, ZoneId};
+use scan::PermutationScan;
+
+/// How the controller evaluates the permutation space at a decision point.
+///
+/// Both modes produce bit-identical decisions (pinned by the property
+/// suite); `Naive` exists as the reference implementation and for
+/// benchmarking the speedup of the scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ForecastMode {
+    /// One full history walk per `(B, N, policy)` permutation.
+    Naive,
+    /// One shared [`PermutationScan`] per decision point, advanced
+    /// incrementally between decision points.
+    #[default]
+    Scan,
+}
 
 /// Tuning knobs for the adaptive controller.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +51,11 @@ pub struct AdaptiveConfig {
     pub history: SimDuration,
     /// Hard cap on the bid (user-configurable in the paper).
     pub max_bid: Price,
+    /// Permutation evaluation strategy.
+    pub forecast: ForecastMode,
+    /// Worker threads for the scan's cold build (≤ 1 = serial). Results
+    /// are bit-identical for any value.
+    pub scan_threads: usize,
 }
 
 impl Default for AdaptiveConfig {
@@ -48,6 +70,8 @@ impl Default for AdaptiveConfig {
             policy_kinds: vec![PolicyKind::Periodic, PolicyKind::MarkovDaly],
             history: SimDuration::from_hours(24),
             max_bid: Price::from_millis(3_070),
+            forecast: ForecastMode::Scan,
+            scan_threads: 1,
         }
     }
 }
@@ -129,16 +153,24 @@ impl<'t> AdaptiveRunner<'t> {
     }
 
     /// Rank zones by availability at `bid` over `window` and keep the top
-    /// `n` (stable on ties by preferring lower zone index).
+    /// `n` (stable on ties by preferring lower zone index). Availability
+    /// is read over the canonical forecast grid
+    /// ([`redspot_trace::PriceSeries::availability_in`]) so the ranking
+    /// samples exactly the steps the forecast walks, without allocating a
+    /// sliced series per `(bid, N, zone)`.
+    ///
+    /// # Invariant
+    /// `n >= 1`: both `choose_*` paths skip the degenerate `n = 0` option
+    /// before ranking (a zero-zone mask would make `estimate` assert), so
+    /// this no longer silently promotes `n` to 1 the way earlier versions
+    /// did — debug builds assert instead.
     fn top_zones(&self, window: Window, bid: Price, n: usize) -> Vec<bool> {
+        debug_assert!(n >= 1, "top_zones needs n >= 1");
         let zones = &self.base.zones;
         let mut scored: Vec<(usize, f64)> = zones
             .iter()
             .enumerate()
-            .map(|(i, &z)| {
-                let avail = self.traces.zone(z).slice(window).availability_at_bid(bid);
-                (i, avail)
-            })
+            .map(|(i, &z)| (i, self.traces.availability_in(z, window, bid)))
             .collect();
         scored.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
@@ -146,20 +178,49 @@ impl<'t> AdaptiveRunner<'t> {
                 .then(a.0.cmp(&b.0))
         });
         let mut mask = vec![false; zones.len()];
-        for &(i, _) in scored.iter().take(n.max(1)) {
+        for &(i, _) in scored.iter().take(n) {
             mask[i] = true;
         }
         mask
     }
 
-    /// Evaluate every permutation at `now` and return the cheapest.
+    /// Evaluate every permutation at `now` and return the cheapest,
+    /// reusing (and advancing) the cached scan when in scan mode.
     fn choose(
         &self,
+        scan: &mut Option<PermutationScan>,
         now: SimTime,
         remaining_compute: SimDuration,
         remaining_time: SimDuration,
     ) -> Option<Permutation> {
         let window = self.history_window(now)?;
+        match self.acfg.forecast {
+            ForecastMode::Naive => self.choose_naive(window, remaining_compute, remaining_time),
+            ForecastMode::Scan => {
+                if let Some(s) = scan.as_mut() {
+                    s.advance(self.traces, window);
+                } else {
+                    *scan = Some(PermutationScan::build(
+                        self.traces,
+                        &self.base.zones,
+                        &self.acfg.bid_grid,
+                        window,
+                        self.acfg.scan_threads,
+                    ));
+                }
+                let s = scan.as_ref().expect("scan installed above");
+                self.choose_scanned(s, remaining_compute, remaining_time)
+            }
+        }
+    }
+
+    /// Reference decision loop: one full history walk per permutation.
+    fn choose_naive(
+        &self,
+        window: Window,
+        remaining_compute: SimDuration,
+        remaining_time: SimDuration,
+    ) -> Option<Permutation> {
         let mut best: Option<Permutation> = None;
         for &bid in &self.acfg.bid_grid {
             if bid > self.acfg.max_bid {
@@ -181,23 +242,65 @@ impl<'t> AdaptiveRunner<'t> {
                     let f = estimate(self.traces, &zone_ids, window, bid, self.base.costs, kind);
                     let cost =
                         predicted_cost(&f, remaining_compute, remaining_time, self.base.costs);
-                    let cand = Permutation {
-                        bid,
-                        mask: mask.clone(),
-                        kind,
-                        predicted_millis: cost,
-                    };
-                    let better = match &best {
-                        None => true,
-                        Some(b) => cost < b.predicted_millis,
-                    };
-                    if better {
-                        best = Some(cand);
-                    }
+                    Self::consider(&mut best, bid, &mask, kind, cost);
                 }
             }
         }
         best
+    }
+
+    /// Scan-backed decision loop: identical iteration order and selection
+    /// rule to [`choose_naive`](Self::choose_naive), with every forecast
+    /// and zone ranking derived from the shared scan structures.
+    fn choose_scanned(
+        &self,
+        scan: &PermutationScan,
+        remaining_compute: SimDuration,
+        remaining_time: SimDuration,
+    ) -> Option<Permutation> {
+        let mut best: Option<Permutation> = None;
+        for &bid in &self.acfg.bid_grid {
+            if bid > self.acfg.max_bid {
+                continue;
+            }
+            let bid_idx = scan.bid_index(bid);
+            for &n in &self.acfg.n_options {
+                if n == 0 || n > self.base.zones.len() {
+                    continue;
+                }
+                let mask = scan.top_zones(bid_idx, n);
+                for &kind in &self.acfg.policy_kinds {
+                    let f = scan.forecast(bid_idx, &mask, self.base.costs, kind);
+                    let cost =
+                        predicted_cost(&f, remaining_compute, remaining_time, self.base.costs);
+                    Self::consider(&mut best, bid, &mask, kind, cost);
+                }
+            }
+        }
+        best
+    }
+
+    /// Keep `cand` iff strictly cheaper than the incumbent (ties keep the
+    /// earlier permutation in iteration order, for both modes alike).
+    fn consider(
+        best: &mut Option<Permutation>,
+        bid: Price,
+        mask: &[bool],
+        kind: PolicyKind,
+        cost: f64,
+    ) {
+        let better = match best {
+            None => true,
+            Some(b) => cost < b.predicted_millis,
+        };
+        if better {
+            *best = Some(Permutation {
+                bid,
+                mask: mask.to_vec(),
+                kind,
+                predicted_millis: cost,
+            });
+        }
     }
 
     fn apply(engine: &mut Engine<'_>, perm: &Permutation) {
@@ -209,12 +312,25 @@ impl<'t> AdaptiveRunner<'t> {
         engine.note_adaptive_switch(perm.describe());
     }
 
+    /// Open a reusable decision session: the entry point for probing
+    /// decision points without running an experiment (benchmarks, tools).
+    /// The session owns the scan cache, so successive
+    /// [`decide`](DecisionSession::decide) calls at advancing times share
+    /// window state through the scan's incremental advance.
+    pub fn session(&self) -> DecisionSession<'_, 't> {
+        DecisionSession {
+            runner: self,
+            scan: None,
+        }
+    }
+
     /// Run the experiment to completion under adaptive control.
     pub fn run(self) -> RunResult {
         let mut cfg = self.base.clone();
+        let mut scan: Option<PermutationScan> = None;
         // Bootstrap permutation from history before the experiment starts;
         // fall back to the paper's sweet spot when there is no history.
-        let boot = self.choose(self.start, cfg.app.work, cfg.deadline);
+        let boot = self.choose(&mut scan, self.start, cfg.app.work, cfg.deadline);
         let (bid, kind) = boot
             .as_ref()
             .map(|p| (p.bid, p.kind))
@@ -240,7 +356,9 @@ impl<'t> AdaptiveRunner<'t> {
             }
             let remaining_compute = engine.config().app.work - engine.best_position();
             let remaining_time = engine.deadline_abs().since(engine.now());
-            if let Some(next) = self.choose(engine.now(), remaining_compute, remaining_time) {
+            if let Some(next) =
+                self.choose(&mut scan, engine.now(), remaining_compute, remaining_time)
+            {
                 let changed = match &current {
                     Some(cur) => {
                         cur.bid != next.bid || cur.mask != next.mask || cur.kind != next.kind
@@ -254,6 +372,30 @@ impl<'t> AdaptiveRunner<'t> {
             }
         }
         engine.into_result()
+    }
+}
+
+/// A reusable decision-point evaluator over one [`AdaptiveRunner`],
+/// carrying the permutation-scan cache between calls. Obtained from
+/// [`AdaptiveRunner::session`].
+pub struct DecisionSession<'r, 't> {
+    runner: &'r AdaptiveRunner<'t>,
+    scan: Option<PermutationScan>,
+}
+
+impl DecisionSession<'_, '_> {
+    /// Evaluate every permutation at `now` and return the cheapest — the
+    /// same decision [`AdaptiveRunner::run`] makes at each billing
+    /// boundary or termination. Returns `None` when there is no history
+    /// before `now` or no permutation is admissible.
+    pub fn decide(
+        &mut self,
+        now: SimTime,
+        remaining_compute: SimDuration,
+        remaining_time: SimDuration,
+    ) -> Option<Permutation> {
+        self.runner
+            .choose(&mut self.scan, now, remaining_compute, remaining_time)
     }
 }
 

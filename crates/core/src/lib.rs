@@ -18,7 +18,8 @@ pub mod policy;
 pub mod run;
 pub mod supervisor;
 
-pub use adaptive::{AdaptiveConfig, AdaptiveRunner};
+pub use adaptive::scan::PermutationScan;
+pub use adaptive::{AdaptiveConfig, AdaptiveRunner, DecisionSession, ForecastMode};
 pub use backoff::Backoff;
 pub use config::{ConfigError, ExperimentConfig};
 pub use engine::{on_demand_run, Engine, Snapshot, StepReport, ZoneSnapshot};

@@ -195,6 +195,39 @@ impl PriceSeries {
         up as f64 / self.prices.len() as f64
     }
 
+    /// The canonical forecast sampling grid for `window`: [`PRICE_STEP`]-spaced
+    /// probe times starting at `window.start()` clamped up to the series
+    /// start, truncated at `window.end()` clamped down to the series end.
+    /// Returns `(origin, n_steps)`, or `None` when the clamped window is
+    /// empty (the window lies entirely before or after the series). Windows
+    /// shorter than one step but with a non-empty overlap probe a single
+    /// sample, which by construction lies inside the requested window.
+    ///
+    /// Every forecast-style reader (the adaptive controller's `estimate`,
+    /// its permutation scan, and [`availability_in`](Self::availability_in))
+    /// shares this grid, so their sample sets — and therefore their
+    /// statistics — agree exactly without materialising a [`slice`](Self::slice).
+    pub fn forecast_grid(&self, window: Window) -> Option<(SimTime, u64)> {
+        let lo = window.start().max(self.start());
+        let hi = window.end().min(self.end());
+        (hi > lo).then(|| (lo, ((hi.secs() - lo.secs()) / PRICE_STEP).max(1)))
+    }
+
+    /// Availability at `bid` over the canonical forecast grid of `window`
+    /// (see [`forecast_grid`](Self::forecast_grid)): the fraction of probe
+    /// steps whose price is at or below `bid`. An empty clamped window has
+    /// zero availability. Unlike `slice(window).availability_at_bid(bid)`,
+    /// this allocates nothing and never panics on disjoint windows.
+    pub fn availability_in(&self, window: Window, bid: Price) -> f64 {
+        let Some((lo, n_steps)) = self.forecast_grid(window) else {
+            return 0.0;
+        };
+        let up = (0..n_steps)
+            .filter(|i| self.price_at(SimTime::from_secs(lo.secs() + i * PRICE_STEP)) <= bid)
+            .count();
+        up as f64 / n_steps as f64
+    }
+
     /// Time of the next sample boundary strictly after `t` at which the
     /// price moves (changes value), or `None` if the price never moves
     /// again. Used by event-driven simulation to skip quiet spans.
@@ -286,6 +319,51 @@ mod tests {
         assert!((s.availability_at_bid(p(400)) - 0.8).abs() < 1e-12);
         assert!((s.availability_at_bid(p(269)) - 0.0).abs() < 1e-12);
         assert!((s.availability_at_bid(p(500)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forecast_grid_clamps_both_edges() {
+        // `series()` covers [0, 1500).
+        let s = series();
+        // Fully inside.
+        let w = Window::new(SimTime::from_secs(300), SimTime::from_secs(900));
+        assert_eq!(s.forecast_grid(w), Some((SimTime::from_secs(300), 2)));
+        // Overrunning the end: steps stop at the series end instead of
+        // repeating the final sample.
+        let w = Window::new(SimTime::from_secs(900), SimTime::from_secs(90_000));
+        assert_eq!(s.forecast_grid(w), Some((SimTime::from_secs(900), 2)));
+        // Starting before the series: origin clamps up.
+        let w = Window::new(SimTime::ZERO, SimTime::from_secs(600));
+        let shifted = PriceSeries::new(SimTime::from_secs(300), vec![p(1), p(2)]);
+        assert_eq!(shifted.forecast_grid(w), Some((SimTime::from_secs(300), 1)));
+        // Entirely past the end / entirely before the start: empty.
+        assert_eq!(
+            s.forecast_grid(Window::new(
+                SimTime::from_secs(1_500),
+                SimTime::from_secs(2_000)
+            )),
+            None
+        );
+        assert_eq!(
+            shifted.forecast_grid(Window::new(SimTime::ZERO, SimTime::from_secs(300))),
+            None
+        );
+        // Sub-step overlap probes exactly one in-window sample.
+        let w = Window::new(SimTime::from_secs(600), SimTime::from_secs(700));
+        assert_eq!(s.forecast_grid(w), Some((SimTime::from_secs(600), 1)));
+    }
+
+    #[test]
+    fn availability_in_matches_sliced_availability_on_aligned_windows() {
+        let s = series();
+        let w = Window::new(SimTime::from_secs(300), SimTime::from_secs(1_200));
+        assert_eq!(
+            s.availability_in(w, p(400)),
+            s.slice(w).availability_at_bid(p(400))
+        );
+        // Disjoint window: 0.0 instead of the panic slice() raises.
+        let disjoint = Window::new(SimTime::from_secs(9_000), SimTime::from_secs(9_300));
+        assert_eq!(s.availability_in(disjoint, p(400)), 0.0);
     }
 
     #[test]

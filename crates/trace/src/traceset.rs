@@ -116,6 +116,15 @@ impl TraceSet {
         up as f64 / n as f64
     }
 
+    /// Availability of one zone at `bid` over the canonical forecast grid
+    /// of `window` (see [`PriceSeries::forecast_grid`]). Because all zone
+    /// series are aligned, every zone shares the same grid, so these
+    /// per-zone fractions are directly comparable. Empty clamped windows
+    /// report zero availability instead of panicking like `slice` would.
+    pub fn availability_in(&self, zone: ZoneId, window: Window, bid: Price) -> f64 {
+        self.zones[zone.0].availability_in(window, bid)
+    }
+
     /// Per-zone availability at `bid` (fraction of steps with price ≤ bid).
     pub fn zone_availabilities(&self, bid: Price) -> Vec<f64> {
         self.zones
@@ -223,6 +232,20 @@ mod tests {
         ));
         assert_eq!(sub.zone(ZoneId(0)).len(), 2);
         assert_eq!(sub.start(), SimTime::from_secs(300));
+    }
+
+    #[test]
+    fn windowed_availability_shares_one_grid_across_zones() {
+        let s = set(); // 4 samples, [0, 1200)
+        let w = Window::new(SimTime::from_secs(300), SimTime::from_secs(900));
+        assert_eq!(s.availability_in(ZoneId(0), w, p(500)), 0.0);
+        assert_eq!(s.availability_in(ZoneId(1), w, p(500)), 0.5);
+        // Window overrunning the trace: clamped, not padded.
+        let over = Window::new(SimTime::from_secs(900), SimTime::from_secs(9_000));
+        assert_eq!(s.availability_in(ZoneId(0), over, p(500)), 1.0);
+        // Disjoint window: zero, no panic.
+        let gone = Window::new(SimTime::from_secs(5_000), SimTime::from_secs(6_000));
+        assert_eq!(s.availability_in(ZoneId(2), gone, p(500)), 0.0);
     }
 
     #[test]

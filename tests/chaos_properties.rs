@@ -411,7 +411,11 @@ fn on_demand_timeouts_with_zero_od_fail_stay_inside_the_reserve() {
             start + cfg.deadline,
             r.api.od_retries
         );
-        assert_eq!(r.spot_cost, Price::ZERO, "seed {seed}: billed unfulfilled spot");
+        assert_eq!(
+            r.spot_cost,
+            Price::ZERO,
+            "seed {seed}: billed unfulfilled spot"
+        );
     }
 }
 
