@@ -23,7 +23,6 @@ fn bench_engine(c: &mut Criterion) {
                 || {
                     let mut cfg = ExperimentConfig::paper_default();
                     cfg.zones = vec![ZoneId(0)];
-                    cfg.record_events = false;
                     Engine::with_delay_model(&traces, start, cfg, kind.build(), DelayModel::zero())
                 },
                 |engine| engine.run(),
@@ -34,8 +33,7 @@ fn bench_engine(c: &mut Criterion) {
     group.bench_function("redundant_3/Periodic", |b| {
         b.iter_batched(
             || {
-                let mut cfg = ExperimentConfig::paper_default();
-                cfg.record_events = false;
+                let cfg = ExperimentConfig::paper_default();
                 Engine::with_delay_model(
                     &traces,
                     start,

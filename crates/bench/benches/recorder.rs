@@ -1,0 +1,46 @@
+//! Criterion: recorder sink overhead on a full single-zone engine run —
+//! what observation costs relative to the `NullRecorder` baseline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use redspot_core::{
+    Engine, ExperimentConfig, JsonlRecorder, MetricsRecorder, NullRecorder, PolicyKind, Recorder,
+    VecRecorder,
+};
+use redspot_trace::gen::GenConfig;
+use redspot_trace::{SimTime, TraceSet, ZoneId};
+
+fn bench_sink<R: Recorder>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    traces: &TraceSet,
+    name: &str,
+    make: impl Fn() -> R,
+) {
+    let start = SimTime::from_hours(72);
+    group.bench_function(name, |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = ExperimentConfig::paper_default();
+                cfg.zones = vec![ZoneId(0)];
+                Engine::with_recorder(traces, start, cfg, PolicyKind::Periodic.build(), make())
+            },
+            |engine| engine.run_full(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_recorder(c: &mut Criterion) {
+    let traces = GenConfig::high_volatility(42).generate();
+    let mut group = c.benchmark_group("recorder_sink");
+    group.sample_size(20);
+    bench_sink(&mut group, &traces, "null", || NullRecorder);
+    bench_sink(&mut group, &traces, "vec", VecRecorder::new);
+    bench_sink(&mut group, &traces, "metrics", MetricsRecorder::new);
+    bench_sink(&mut group, &traces, "jsonl_sink", || {
+        JsonlRecorder::new(std::io::sink())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recorder);
+criterion_main!(benches);

@@ -20,7 +20,6 @@ fn main() {
             ("higher-order", DalyOrder::HigherOrder),
         ] {
             let mut cfg = ExperimentConfig::paper_default().with_slack_percent(15);
-            cfg.record_events = false;
             cfg.bid = Price::from_millis(810);
             let mut costs = Vec::new();
             for start in experiment_starts(traces, run_span_for(cfg.deadline), setup.n_experiments)

@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 /// Flags that take no value: present means `true`.
-const BOOL_FLAGS: &[&str] = &["api"];
+const BOOL_FLAGS: &[&str] = &["api", "metrics"];
 
 /// Parsed flags plus positional arguments.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -76,7 +76,10 @@ USAGE:
   redspot describe FILE
   redspot run --trace FILE [--policy periodic|markov-daly|edge|threshold]
               [--bid DOLLARS] [--zones 0,1,2] [--slack PCT] [--tc SECS]
-              [--start HOURS] [--seed N]
+              [--start HOURS] [--seed N] [--trace-out FILE.jsonl] [--metrics]
+                                    # observation is opt-in: --trace-out streams the
+                                    # event log as JSONL, --metrics prints telemetry
+  redspot validate-trace FILE.jsonl # check a --trace-out file line by line
   redspot adaptive --trace FILE [--slack PCT] [--tc SECS] [--start HOURS] [--seed N]
   redspot figure 2|4|5|6 [--n COUNT] [--seed N]
   redspot table 2|3 [--n COUNT] [--seed N]
@@ -91,7 +94,7 @@ USAGE:
   redspot bootstrap --trace FILE --out FILE [--seed N] [--block-hours H] [--days D]
   redspot workloads                 # list the workload catalog
   redspot sweep --trace FILE [--policy P] [--bids 0.27,0.81,2.40] [--n COUNT]
-                [--redundant true] [--slack PCT] [--tc SECS] [--seed N]
+                [--redundant true] [--slack PCT] [--tc SECS] [--seed N] [--metrics]
   redspot help
 
 Flags --workload NAME (on run/adaptive) override C, t_c and iteration

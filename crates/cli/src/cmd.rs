@@ -82,7 +82,6 @@ fn experiment_config(parsed: &ParsedArgs, traces: &TraceSet) -> Result<Experimen
         cfg.costs = w.costs;
     }
     cfg = cfg.with_slack_percent(slack);
-    cfg.record_events = true;
     cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
@@ -126,25 +125,131 @@ fn report_run(label: &str, start: SimTime, r: &RunResult) -> String {
     )
 }
 
+fn parse_policy(parsed: &ParsedArgs) -> Result<PolicyKind, String> {
+    match parsed.get_or("policy", "periodic") {
+        "periodic" => Ok(PolicyKind::Periodic),
+        "markov-daly" => Ok(PolicyKind::MarkovDaly),
+        "edge" => Ok(PolicyKind::RisingEdge),
+        "threshold" => Ok(PolicyKind::Threshold),
+        other => Err(format!("unknown policy: {other}")),
+    }
+}
+
 /// `run`: a single experiment under one policy.
+///
+/// Observation is opt-in: by default the engine runs with a
+/// `NullRecorder` (telemetry costs nothing). `--trace-out FILE` streams
+/// every event as one JSON line; `--metrics` folds events into counters
+/// and appends a telemetry table. Both flags compose (a tee).
 pub fn run(parsed: &ParsedArgs) -> Result<String, String> {
+    use redspot_core::{JsonlRecorder, MetricsRecorder, NullRecorder};
+    use std::io::BufWriter;
+
     let traces = load_trace(parsed, "trace")?;
     let cfg = experiment_config(parsed, &traces)?;
-    let kind = match parsed.get_or("policy", "periodic") {
-        "periodic" => PolicyKind::Periodic,
-        "markov-daly" => PolicyKind::MarkovDaly,
-        "edge" => PolicyKind::RisingEdge,
-        "threshold" => PolicyKind::Threshold,
-        other => return Err(format!("unknown policy: {other}")),
-    };
+    let kind = parse_policy(parsed)?;
     let start = SimTime::from_hours(parsed.num_or("start", 48u64)?);
     if start + cfg.deadline > traces.end() {
         return Err("experiment start too late for the trace".into());
     }
-    let result = Engine::try_new(&traces, start, cfg, kind.build())
-        .map_err(|e| e.to_string())?
-        .run();
-    Ok(report_run(&format!("{kind}"), start, &result))
+
+    let trace_out = parsed.get("trace-out");
+    let want_metrics = parsed.has("metrics");
+    let jsonl_sink = |path: &str| -> Result<JsonlRecorder<BufWriter<std::fs::File>>, String> {
+        let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        Ok(JsonlRecorder::new(BufWriter::new(file)))
+    };
+    // Four statically-dispatched sink shapes; the engine is monomorphized
+    // per recorder type, so the unobserved path carries no recording cost.
+    let (result, metrics) = match (trace_out, want_metrics) {
+        (None, false) => {
+            let r = Engine::try_with_recorder(&traces, start, cfg, kind.build(), NullRecorder)
+                .map_err(|e| e.to_string())?
+                .run();
+            (r, None)
+        }
+        (None, true) => {
+            let (r, m) = Engine::try_with_recorder(
+                &traces,
+                start,
+                cfg,
+                kind.build(),
+                MetricsRecorder::new(),
+            )
+            .map_err(|e| e.to_string())?
+            .run_full();
+            (r, Some(m))
+        }
+        (Some(path), false) => {
+            let (r, m) =
+                Engine::try_with_recorder(&traces, start, cfg, kind.build(), jsonl_sink(path)?)
+                    .map_err(|e| e.to_string())?
+                    .run_full();
+            if m.trace_write_errors > 0 {
+                return Err(format!(
+                    "{} write errors streaming to {path}",
+                    m.trace_write_errors
+                ));
+            }
+            (r, None)
+        }
+        (Some(path), true) => {
+            let sink = (jsonl_sink(path)?, MetricsRecorder::new());
+            let (r, m) = Engine::try_with_recorder(&traces, start, cfg, kind.build(), sink)
+                .map_err(|e| e.to_string())?
+                .run_full();
+            if m.trace_write_errors > 0 {
+                return Err(format!(
+                    "{} write errors streaming to {path}",
+                    m.trace_write_errors
+                ));
+            }
+            (r, Some(m))
+        }
+    };
+
+    let mut out = report_run(&format!("{kind}"), start, &result);
+    if let Some(path) = trace_out {
+        out.push_str(&format!("  wrote event trace to {path}\n"));
+    }
+    if let Some(m) = metrics {
+        out.push_str(&redspot_exp::report::sweep_metrics_table(&m));
+    }
+    Ok(out)
+}
+
+/// `validate-trace`: check that a `--trace-out` JSONL file is well formed
+/// — every line parses as an [`redspot_core::Event`] and timestamps never
+/// go backwards. CI's observability smoke test.
+pub fn validate_trace(parsed: &ParsedArgs) -> Result<String, String> {
+    let path = parsed
+        .get("trace")
+        .or_else(|| parsed.positional(0))
+        .ok_or("need a trace file (positional or --trace)")?;
+    let data = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut events = 0u64;
+    let mut last_at = None;
+    for (i, line) in data.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: redspot_core::Event = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: not a valid Event: {e}", i + 1))?;
+        let at = event.at();
+        if let Some(prev) = last_at {
+            if at < prev {
+                return Err(format!("{path}:{}: timestamps go backwards", i + 1));
+            }
+        }
+        last_at = Some(at);
+        events += 1;
+    }
+    if events == 0 {
+        return Err(format!("{path}: no events"));
+    }
+    Ok(format!(
+        "{path}: {events} events, all lines parse, timestamps non-decreasing\n"
+    ))
 }
 
 /// `adaptive`: a single experiment under the adaptive meta-policy.
@@ -588,22 +693,15 @@ mod workload_tests {
 /// print a cost boxplot per bid — the Figure-4 machinery pointed at your
 /// own data.
 pub fn sweep(parsed: &ParsedArgs) -> Result<String, String> {
-    use redspot_exp::parallel::run_batch;
-    use redspot_exp::report::{boxplot_panel, LabeledBox, REF_LINES};
+    use redspot_exp::parallel::{run_batch, run_batch_metered};
+    use redspot_exp::report::{boxplot_panel, sweep_metrics_table, LabeledBox, REF_LINES};
     use redspot_exp::scheme::{RunSpec, Scheme};
     use redspot_exp::windows::{experiment_starts, run_span_for};
 
     let traces = load_trace(parsed, "trace")?;
     let cfg = experiment_config(parsed, &traces)?;
-    let mut base = cfg.clone();
-    base.record_events = false;
-    let kind = match parsed.get_or("policy", "periodic") {
-        "periodic" => PolicyKind::Periodic,
-        "markov-daly" => PolicyKind::MarkovDaly,
-        "edge" => PolicyKind::RisingEdge,
-        "threshold" => PolicyKind::Threshold,
-        other => return Err(format!("unknown policy: {other}")),
-    };
+    let base = cfg.clone();
+    let kind = parse_policy(parsed)?;
     let redundant = parsed.get_or("redundant", "false") == "true";
     let n = parsed.num_or("n", 16usize)?;
     let bids: Vec<Price> = match parsed.get("bids") {
@@ -629,7 +727,9 @@ pub fn sweep(parsed: &ParsedArgs) -> Result<String, String> {
         );
     }
 
+    let want_metrics = parsed.has("metrics");
     let mut rows = Vec::new();
+    let mut merged = redspot_core::RunMetrics::default();
     for bid in bids {
         let mut specs = Vec::new();
         for &start in &starts {
@@ -652,7 +752,13 @@ pub fn sweep(parsed: &ParsedArgs) -> Result<String, String> {
                 }
             }
         }
-        let results = run_batch(&traces, &specs, &base, 0);
+        let results = if want_metrics {
+            let (results, metrics) = run_batch_metered(&traces, &specs, &base, 0);
+            merged.merge(&metrics);
+            results
+        } else {
+            run_batch(&traces, &specs, &base, 0)
+        };
         let costs: Vec<f64> = results.iter().map(|r| r.cost_dollars()).collect();
         if let Some(row) = LabeledBox::from_costs(format!("{}@{bid}", kind.label()), &costs) {
             rows.push(row);
@@ -667,7 +773,11 @@ pub fn sweep(parsed: &ParsedArgs) -> Result<String, String> {
             "single zones merged"
         },
     );
-    Ok(boxplot_panel(&title, &rows, &REF_LINES))
+    let mut out = boxplot_panel(&title, &rows, &REF_LINES);
+    if want_metrics {
+        out.push_str(&sweep_metrics_table(&merged));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -741,5 +851,123 @@ mod sweep_tests {
         ])
         .unwrap();
         assert!(out.contains("redundant, all zones"));
+    }
+
+    #[test]
+    fn sweep_metrics_flag_appends_merged_telemetry() {
+        let path = tmp("sweep3.json");
+        dispatch_str(&[
+            "gen-trace",
+            "--profile",
+            "low",
+            "--seed",
+            "8",
+            "--out",
+            &path,
+        ])
+        .unwrap();
+        let out = dispatch_str(&[
+            "sweep",
+            "--trace",
+            &path,
+            "--policy",
+            "markov-daly",
+            "--bids",
+            "0.81,2.40",
+            "--n",
+            "3",
+            "--metrics",
+        ])
+        .unwrap();
+        assert!(out.contains("telemetry:"), "{out}");
+        // 3 experiment starts × 3 single zones × 2 bids merged into one table.
+        assert!(out.contains("| runs | 18 |"), "{out}");
+    }
+}
+
+#[cfg(test)]
+mod observability_tests {
+    use crate::dispatch;
+
+    fn dispatch_str(args: &[&str]) -> Result<String, String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).map_err(|e| e.to_string())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("redspot-cli-test5");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn gen(path: &str) {
+        dispatch_str(&[
+            "gen-trace",
+            "--profile",
+            "low",
+            "--seed",
+            "5",
+            "--out",
+            path,
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn run_without_observability_flags_prints_summary_only() {
+        let path = tmp("plain.json");
+        gen(&path);
+        let out = dispatch_str(&["run", "--trace", &path, "--start", "48"]).unwrap();
+        assert!(out.contains("cost $"), "{out}");
+        assert!(!out.contains("telemetry:"), "{out}");
+        assert!(!out.contains("wrote event trace"), "{out}");
+    }
+
+    #[test]
+    fn trace_out_and_metrics_round_trip_through_validate_trace() {
+        let path = tmp("obs.json");
+        gen(&path);
+        let jsonl = tmp("obs.jsonl");
+        let out = dispatch_str(&[
+            "run",
+            "--trace",
+            &path,
+            "--start",
+            "48",
+            "--trace-out",
+            &jsonl,
+            "--metrics",
+        ])
+        .unwrap();
+        assert!(out.contains("wrote event trace to"), "{out}");
+        assert!(out.contains("telemetry:"), "{out}");
+        assert!(out.contains("| runs | 1 |"), "{out}");
+
+        let lines = std::fs::read_to_string(&jsonl)
+            .unwrap()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count();
+        assert!(lines > 0);
+        let checked = dispatch_str(&["validate-trace", &jsonl]).unwrap();
+        assert!(
+            checked.contains(&format!("{lines} events, all lines parse")),
+            "{checked}"
+        );
+
+        // The streamed event count matches the metrics sink's count.
+        assert!(out.contains(&format!("| events seen | {lines} |")), "{out}");
+    }
+
+    #[test]
+    fn validate_trace_rejects_garbage_and_missing_files() {
+        let bad = tmp("bad.jsonl");
+        std::fs::write(&bad, "not json\n").unwrap();
+        let err = dispatch_str(&["validate-trace", &bad]).unwrap_err();
+        assert!(err.contains("not a valid Event"), "{err}");
+        assert!(dispatch_str(&["validate-trace", &tmp("absent.jsonl")]).is_err());
+        assert!(dispatch_str(&["validate-trace"]).is_err());
+        let empty = tmp("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        assert!(dispatch_str(&["validate-trace", &empty]).is_err());
     }
 }

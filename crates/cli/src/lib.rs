@@ -43,6 +43,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "gen-trace" => cmd::gen_trace(&parsed).map_err(CliError::Usage),
         "describe" => cmd::describe(&parsed).map_err(CliError::Usage),
         "run" => cmd::run(&parsed).map_err(CliError::Usage),
+        "validate-trace" => cmd::validate_trace(&parsed).map_err(CliError::Usage),
         "adaptive" => cmd::adaptive(&parsed).map_err(CliError::Usage),
         "figure" => cmd::figure(&parsed).map_err(CliError::Usage),
         "table" => cmd::table(&parsed).map_err(CliError::Usage),

@@ -17,6 +17,7 @@ use crate::config::ExperimentConfig;
 use crate::engine::Engine;
 use crate::policy::PolicyKind;
 use crate::run::RunResult;
+use crate::telemetry::{NullRecorder, Recorder, RunMetrics, VecRecorder};
 use forecast::{estimate, predicted_cost};
 use redspot_market::DelayModel;
 use redspot_trace::{Price, SimDuration, SimTime, TraceSet, Window, ZoneId};
@@ -303,7 +304,7 @@ impl<'t> AdaptiveRunner<'t> {
         }
     }
 
-    fn apply(engine: &mut Engine<'_>, perm: &Permutation) {
+    fn apply<R: Recorder>(engine: &mut Engine<'_, R>, perm: &Permutation) {
         engine.set_bid(perm.bid);
         for (i, &active) in perm.mask.iter().enumerate() {
             engine.set_active(i, active);
@@ -324,8 +325,22 @@ impl<'t> AdaptiveRunner<'t> {
         }
     }
 
-    /// Run the experiment to completion under adaptive control.
+    /// Run the experiment to completion under adaptive control, retaining
+    /// the full event log (a [`VecRecorder`] sink).
     pub fn run(self) -> RunResult {
+        self.run_with(VecRecorder::new()).0
+    }
+
+    /// [`AdaptiveRunner::run`] with a [`NullRecorder`] sink: observation
+    /// costs nothing, and `RunResult::events` stays empty (and
+    /// unallocated). The right call for sweeps and throwaway runs.
+    pub fn run_quiet(self) -> RunResult {
+        self.run_with(NullRecorder).0
+    }
+
+    /// Run under adaptive control with an explicit telemetry sink,
+    /// returning the result and whatever metrics the sink aggregated.
+    pub fn run_with<R: Recorder>(self, recorder: R) -> (RunResult, RunMetrics) {
         let mut cfg = self.base.clone();
         let mut scan: Option<PermutationScan> = None;
         // Bootstrap permutation from history before the experiment starts;
@@ -339,8 +354,15 @@ impl<'t> AdaptiveRunner<'t> {
         let bid = bid.min(self.acfg.max_bid);
         cfg.bid = bid;
 
-        let mut engine =
-            Engine::with_delay_model(self.traces, self.start, cfg, kind.build(), self.delay);
+        let mut engine = Engine::try_with_parts(
+            self.traces,
+            self.start,
+            cfg,
+            kind.build(),
+            self.delay,
+            recorder,
+        )
+        .expect("invalid experiment configuration");
         let mut current = boot;
         if let Some(p) = &current {
             AdaptiveRunner::apply(&mut engine, p);
@@ -371,7 +393,7 @@ impl<'t> AdaptiveRunner<'t> {
                 }
             }
         }
-        engine.into_result()
+        engine.into_result_with_metrics()
     }
 }
 
@@ -419,9 +441,7 @@ mod tests {
     }
 
     fn base() -> ExperimentConfig {
-        let mut cfg = ExperimentConfig::paper_default();
-        cfg.record_events = false;
-        cfg
+        ExperimentConfig::paper_default()
     }
 
     #[test]
@@ -503,8 +523,7 @@ mod tests {
     #[test]
     fn records_switch_events() {
         let traces = GenConfig::high_volatility(3).generate();
-        let mut cfg = base();
-        cfg.record_events = true;
+        let cfg = base();
         let r = AdaptiveRunner::new(&traces, SimTime::from_hours(100), cfg)
             .with_delay_model(DelayModel::zero())
             .run();
@@ -530,9 +549,7 @@ mod config_tests {
     }
 
     fn base() -> crate::config::ExperimentConfig {
-        let mut cfg = crate::config::ExperimentConfig::paper_default();
-        cfg.record_events = false;
-        cfg
+        crate::config::ExperimentConfig::paper_default()
     }
 
     #[test]
@@ -572,8 +589,7 @@ mod config_tests {
             n_options: vec![3],
             ..AdaptiveConfig::default()
         };
-        let mut cfg = base();
-        cfg.record_events = true;
+        let cfg = base();
         let r = AdaptiveRunner::new(&traces, SimTime::from_hours(30), cfg)
             .with_config(acfg)
             .with_delay_model(redspot_market::DelayModel::zero())

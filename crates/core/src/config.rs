@@ -75,9 +75,6 @@ pub struct ExperimentConfig {
     /// Seed for the queuing-delay RNG; combined with zone/window identity
     /// by the harness for deterministic parallel sweeps.
     pub seed: u64,
-    /// Whether to record a detailed event log in the result (costs memory
-    /// in large sweeps; on by default for single runs).
-    pub record_events: bool,
     /// Hourly rate of the on-demand I/O server that holds checkpoints
     /// while spot instances run (Section 5). The paper ignores this cost
     /// ("a fraction of the total cost"); set it to account for it.
@@ -106,7 +103,6 @@ impl ExperimentConfig {
             bid: Price::from_millis(810),
             zones: vec![ZoneId(0), ZoneId(1), ZoneId(2)],
             seed: 0,
-            record_events: true,
             io_server: None,
             faults: FaultPlan::none(),
             api: ApiFaultPlan::none(),

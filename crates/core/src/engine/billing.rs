@@ -1,0 +1,77 @@
+//! Billing: hour-boundary processing and I/O-server accounting.
+
+use super::{Engine, Phase, StepReport};
+use crate::run::{Event, TerminationCause};
+use crate::telemetry::Recorder;
+use redspot_market::StopCause;
+use redspot_trace::Price;
+
+impl<'t, R: Recorder> Engine<'t, R> {
+    /// Settle every billing hour ending at the current instant: charge
+    /// the completed hour at its fixed rate, or retire the zone if the
+    /// policy (or an adaptive retirement) asks for a voluntary stop at
+    /// the boundary.
+    pub(super) fn process_hour_boundaries(&mut self, report: &mut StepReport) -> bool {
+        let mut acted = false;
+        for i in 0..self.zones.len() {
+            let Some(billing) = self.zones[i].billing else {
+                continue;
+            };
+            if billing.next_boundary() > self.now {
+                continue;
+            }
+            report.hour_boundary = true;
+            acted = true;
+            let stop =
+                self.zones[i].retire || self.with_ctx(|policy, ctx| policy.voluntary_stop(ctx, i));
+            if stop {
+                self.stop_zone(i, StopCause::User, TerminationCause::Voluntary);
+            } else {
+                let rate = self.traces.price_at(self.cfg.zones[i], self.now);
+                let b = self.zones[i]
+                    .billing
+                    .as_mut()
+                    .expect("billing checked above");
+                let charged_rate = b.current_rate();
+                b.on_hour_boundary(self.now, rate);
+                self.record(Event::HourCharged {
+                    at: self.now,
+                    zone: self.cfg.zones[i],
+                    rate: charged_rate,
+                });
+            }
+        }
+        acted
+    }
+
+    /// Track the union of time during which any spot instance is billable
+    /// — that is when the on-demand I/O server must be up (Section 5).
+    pub(super) fn update_io_tracking(&mut self) {
+        if self.cfg.io_server.is_none() {
+            return;
+        }
+        let active = self.phase == Phase::Spot && self.zones.iter().any(|z| z.inst.is_billable());
+        match (active, self.io_active_since) {
+            (true, None) => self.io_active_since = Some(self.now),
+            (false, Some(since)) => {
+                self.io_total += self.now.since(since);
+                self.io_active_since = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Total I/O-server charge so far.
+    pub(super) fn io_cost(&self) -> Price {
+        match self.cfg.io_server {
+            None => Price::ZERO,
+            Some(rate) => {
+                let mut total = self.io_total;
+                if let Some(since) = self.io_active_since {
+                    total += self.now.since(since);
+                }
+                rate * total.billed_hours()
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Checkpoint flow: starting and committing checkpoints, injected write
+//! failures, retirement checkpoints, and run completion.
+
+use super::{Engine, Phase};
+use crate::run::{Event, TerminationCause};
+use crate::telemetry::Recorder;
+use rand::Rng;
+use redspot_market::StopCause;
+use redspot_trace::{SimDuration, SimTime};
+
+/// An in-flight checkpoint.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct CkptRt {
+    pub(super) zone: usize,
+    pub(super) done_at: SimTime,
+    pub(super) position: SimDuration,
+}
+
+impl<'t, R: Recorder> Engine<'t, R> {
+    pub(super) fn begin_checkpoint(&mut self, leader: usize) {
+        debug_assert!(self.ckpt.is_none());
+        let raw = self.replicas.position(leader).expect("leader is executing");
+        // Iterative applications can only checkpoint completed iterations
+        // (progress is reported via an MPI_Pcontrol-style hook).
+        let position = self.cfg.app.checkpointable(raw);
+        let done_at = self.now + self.cfg.costs.checkpoint;
+        self.ckpt = Some(CkptRt {
+            zone: leader,
+            done_at,
+            position,
+        });
+        // The writing zone makes no progress during the checkpoint.
+        self.zones[leader].busy_until = self.zones[leader].busy_until.max(done_at);
+        self.record(Event::CheckpointStarted {
+            at: self.now,
+            zone: self.cfg.zones[leader],
+            position,
+        });
+    }
+
+    pub(super) fn finish_checkpoint(&mut self, c: CkptRt) {
+        self.ckpt = None;
+
+        // Injected checkpoint write failure: the t_c window was spent but
+        // the data never committed. Progress stays at the previous
+        // generation; waiting zones keep waiting for a *fresh* checkpoint.
+        // If this was the guard's protective checkpoint, the t_c + t_r
+        // reserve still covers migration: exactly t_r remains, which is
+        // what the on-demand restore needs.
+        let p = self.cfg.faults.p_ckpt_write_fail;
+        if p > 0.0 && self.fault_rng.gen_bool(p) {
+            self.record(Event::CheckpointWriteFailed {
+                at: self.now,
+                zone: self.cfg.zones[c.zone],
+            });
+            if self.guard_pending {
+                self.guard_pending = false;
+                if self.now >= self.guard_time() {
+                    self.migrate_to_on_demand();
+                    return;
+                }
+            }
+            self.with_ctx(|policy, ctx| policy.reschedule(ctx));
+            return;
+        }
+
+        if c.position >= self.replicas.committed() {
+            self.replicas.commit(c.position);
+        }
+        self.checkpoints += 1;
+        self.last_commit_or_restart = self.now;
+        self.record(Event::CheckpointCommitted {
+            at: self.now,
+            position: c.position,
+        });
+
+        if self.guard_pending {
+            self.guard_pending = false;
+            if self.now >= self.guard_time() {
+                self.migrate_to_on_demand();
+                return;
+            }
+        }
+
+        // Algorithm 1 lines 19–24: waiting zones restart from this fresh
+        // checkpoint.
+        for i in 0..self.zones.len() {
+            if self.zones[i].inst.is_waiting() {
+                self.request_instance(i);
+            }
+        }
+        self.with_ctx(|policy, ctx| policy.reschedule(ctx));
+    }
+
+    /// Whether the retiring leader is close enough to its hour boundary
+    /// that the retirement checkpoint must start now.
+    pub(super) fn retirement_ckpt_due(&self, leader: usize) -> bool {
+        let z = &self.zones[leader];
+        if !z.retire || !z.inst.is_up() {
+            return false;
+        }
+        let Some(billing) = z.billing else {
+            return false;
+        };
+        self.now
+            >= billing
+                .next_boundary()
+                .saturating_sub(self.cfg.costs.checkpoint)
+    }
+
+    /// Complete the run if any executing replica has finished the work.
+    pub(super) fn try_complete(&mut self) -> bool {
+        if self.phase != Phase::Spot {
+            return false;
+        }
+        let complete = (0..self.zones.len()).any(|i| {
+            self.zones[i].inst.is_up()
+                && self.zones[i].busy_until <= self.now
+                && self.replicas.position(i) == Some(self.cfg.app.work)
+        });
+        if !complete {
+            return false;
+        }
+        for i in 0..self.zones.len() {
+            if self.zones[i].inst.is_billable() {
+                self.stop_zone(i, StopCause::User, TerminationCause::Voluntary);
+            }
+        }
+        self.replicas.commit(self.cfg.app.work);
+        self.finish_run();
+        true
+    }
+}

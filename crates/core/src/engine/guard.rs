@@ -1,0 +1,103 @@
+//! The deadline guard and the on-demand migration path — the enforcement
+//! half of the paper's guarantee.
+
+use super::{Engine, Phase};
+use crate::run::{Event, TerminationCause};
+use crate::telemetry::Recorder;
+use redspot_market::StopCause;
+use redspot_trace::{SimDuration, SimTime};
+
+impl<'t, R: Recorder> Engine<'t, R> {
+    /// The instant the deadline guard trips, measured from committed
+    /// progress with a full `t_c + t_r` reserve — plus, when API faults
+    /// are configured, the worst-case control-plane delay of the bounded
+    /// on-demand retry loop, so even a flaky migration path cannot push
+    /// completion past `D`. Zero extra under
+    /// [`ApiFaultPlan::none`](redspot_market::ApiFaultPlan::none).
+    pub(super) fn guard_time(&self) -> SimTime {
+        let needed = self.replicas.remaining_committed()
+            + self.cfg.costs.migration()
+            + self.supervisor.od_reserve();
+        self.deadline_abs.saturating_sub(needed)
+    }
+
+    pub(super) fn handle_guard(&mut self) -> bool {
+        if self.ckpt.is_some() {
+            // A checkpoint is already in flight; decide at its commit.
+            if !self.guard_pending {
+                self.guard_pending = true;
+                return true;
+            }
+            return false;
+        }
+        if self.guard_pending {
+            // The reserve attempt was already spent: the in-flight
+            // checkpoint aborted (its zone was terminated or retired).
+            // Starting another checkpoint would overrun the t_c + t_r
+            // reserve and break the deadline guarantee — migrate now.
+            self.migrate_to_on_demand();
+            return true;
+        }
+        match self.leader() {
+            Some(leader) => {
+                // Protective checkpoint: commit the leader's position, then
+                // re-evaluate. The t_c + t_r reserve makes this safe even
+                // if the leader dies mid-checkpoint.
+                self.guard_pending = true;
+                self.begin_checkpoint(leader);
+            }
+            None => self.migrate_to_on_demand(),
+        }
+        true
+    }
+
+    pub(super) fn migrate_to_on_demand(&mut self) {
+        debug_assert!(self.phase == Phase::Spot);
+        // Close the I/O-server span: on-demand compute no longer needs the
+        // checkpoint server.
+        if let Some(since) = self.io_active_since.take() {
+            self.io_total += self.now.since(since);
+        }
+        // The on-demand path restores from the I/O server directly, which
+        // is reliable storage (Section 5): it holds the furthest committed
+        // generation regardless of spot-side read corruption. That is
+        // always at least the newest *valid* generation the guard budgeted
+        // for, so the migration can only finish earlier than the guard's
+        // reserve assumed — the deadline guarantee survives every fault
+        // schedule. Identical to `committed()` under `FaultPlan::none`.
+        let committed = self.replicas.reliable().max(self.replicas.committed());
+        self.record(Event::SwitchedToOnDemand {
+            at: self.now,
+            committed,
+        });
+        for i in 0..self.zones.len() {
+            if self.zones[i].inst.is_billable() {
+                self.stop_zone(i, StopCause::User, TerminationCause::Voluntary);
+            } else {
+                self.zones[i].inst = redspot_market::InstanceState::Down;
+            }
+        }
+        // The migration path's own escape hatch: the on-demand request is
+        // retried up to the plan's bound and then forced through, so its
+        // delay never exceeds the `od_reserve` the guard already budgeted
+        // for. Zero under `ApiFaultPlan::none`.
+        let od_delay = self.supervisor.request_on_demand(self.now);
+        if od_delay > SimDuration::ZERO {
+            self.record(Event::OnDemandDelayed {
+                at: self.now,
+                delay: od_delay,
+            });
+        }
+        let restart = if committed > SimDuration::ZERO {
+            self.cfg.costs.restart
+        } else {
+            SimDuration::ZERO
+        };
+        let need = restart + (self.cfg.app.work - committed);
+        let od_start = self.now + od_delay;
+        let finish = od_start + need;
+        self.od_cost += redspot_market::on_demand_cost(od_start, finish);
+        self.used_on_demand = true;
+        self.phase = Phase::OnDemand(finish);
+    }
+}

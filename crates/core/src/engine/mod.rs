@@ -1,0 +1,496 @@
+//! The Algorithm-1 simulation engine.
+//!
+//! An event-driven simulator that executes one experiment configuration
+//! against recorded (or synthetic) spot-price traces, enforcing:
+//!
+//! * EC2 spot semantics — fixed bids, abrupt out-of-bid termination,
+//!   hour-boundary billing, free out-of-bid partial hours, queuing delays;
+//! * Algorithm 1 — the *waiting* state (an affordable zone idles until the
+//!   next checkpoint so it can restart from fresh state), restart of all
+//!   waiting zones when every zone is down, and pluggable
+//!   `CheckpointCondition` / `ScheduleNextCheckpoint` policies;
+//! * the deadline guarantee (line 11) — a guard that keeps
+//!   `T_r ≥ C_r + t_c + t_r` *measured from committed progress*. When the
+//!   guard trips, the engine first takes a protective checkpoint (if a
+//!   replica is executing); if the margin is restored by the commit, spot
+//!   execution continues, otherwise execution migrates to a single
+//!   on-demand instance, which always completes by `D`.
+//!
+//! The guard-then-checkpoint refinement is what makes the guarantee hard:
+//! firing on *committed* progress with a `t_c + t_r` reserve means even a
+//! termination during the protective checkpoint still leaves time to
+//! restart on-demand from the previous checkpoint (see DESIGN.md).
+//!
+//! The engine is split along its natural seams; this module holds the
+//! state, the constructors, and the [`Engine::process_now`] dispatcher,
+//! while each concern lives in its own submodule:
+//!
+//! * [`clock`](self) — the run/step loop, the next-event hop, and fuel;
+//! * `zones` — boot/terminate/replica lifecycle and the market scan;
+//! * `billing` — hour-boundary processing and I/O-server accounting;
+//! * `ckpt_flow` — checkpoint/restore propagation;
+//! * `guard` — the deadline guard and on-demand migration;
+//! * `control` — accessors and the adaptive controller's mutators;
+//! * `snapshot` — point-in-time views and the on-demand baseline.
+//!
+//! Every event the engine emits is routed through a pluggable
+//! [`Recorder`](crate::telemetry::Recorder) sink (see
+//! [`telemetry`](crate::telemetry)); the default [`VecRecorder`] retains
+//! the full log in `RunResult::events`, while `NullRecorder` makes
+//! observation free.
+
+mod billing;
+mod ckpt_flow;
+mod clock;
+mod control;
+mod guard;
+mod snapshot;
+#[cfg(test)]
+mod tests;
+mod zones;
+
+pub use snapshot::{on_demand_run, Snapshot, ZoneSnapshot};
+
+use crate::config::{ConfigError, ExperimentConfig};
+use crate::faults::FaultPlan;
+use crate::policy::{Policy, PolicyCtx};
+use crate::run::Event;
+use crate::supervisor::Supervisor;
+use crate::telemetry::{Recorder, VecRecorder};
+use ckpt_flow::CkptRt;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use redspot_ckpt::ReplicaSet;
+use redspot_market::{
+    ApiFaultPlan, CloudApi, DelayModel, FaultyApi, InstanceState, OutageSchedule, PerfectApi,
+};
+use redspot_trace::{Price, SimDuration, SimTime, TraceSet};
+use zones::ZoneRt;
+
+/// Execution phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Bidding on the spot market.
+    Spot,
+    /// Migrated to on-demand; completes at the contained instant.
+    OnDemand(SimTime),
+    /// Finished.
+    Done,
+}
+
+/// What a single [`Engine::step`] did — the adaptive controller keys its
+/// re-evaluation off these flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepReport {
+    /// An instance was terminated out-of-bid during this step.
+    pub termination: bool,
+    /// A billing hour ended during this step.
+    pub hour_boundary: bool,
+    /// The run finished (completed or fully migrated and done).
+    pub done: bool,
+}
+
+/// The Algorithm-1 engine. Construct with [`Engine::new`], then either
+/// [`Engine::run`] to completion or drive it with [`Engine::step`] (the
+/// adaptive controller does the latter, mutating bid/zones/policy at
+/// decision points).
+///
+/// Generic over its telemetry sink `R`; the default [`VecRecorder`]
+/// retains the full event log, pinning the engine's historical behavior.
+/// Use [`Engine::try_with_parts`] to plug any other
+/// [`Recorder`](crate::telemetry::Recorder) statically.
+pub struct Engine<'t, R: Recorder = VecRecorder> {
+    traces: &'t TraceSet,
+    cfg: ExperimentConfig,
+    start: SimTime,
+    deadline_abs: SimTime,
+    policy: Box<dyn Policy>,
+    delay: DelayModel,
+    rng: StdRng,
+    /// Dedicated RNG for fault draws, kept separate from the queuing-delay
+    /// RNG so a [`FaultPlan::none`] run is bit-identical to an engine
+    /// without the fault layer: with no faults enabled this stream is
+    /// never advanced.
+    fault_rng: StdRng,
+    /// Per-zone blackout schedules (all empty under [`FaultPlan::none`]).
+    outages: Vec<OutageSchedule>,
+    /// The control-plane supervisor: every market action (spot request,
+    /// terminate, price read, on-demand request) routes through it. Under
+    /// [`ApiFaultPlan::none`] it wraps a [`PerfectApi`] and the engine is
+    /// bit-identical to one acting on the market directly.
+    supervisor: Supervisor<Box<dyn CloudApi + 't>>,
+
+    now: SimTime,
+    zones: Vec<ZoneRt>,
+    replicas: ReplicaSet,
+    ckpt: Option<CkptRt>,
+    /// Deadline guard tripped; decide migrate-vs-continue when the
+    /// in-flight checkpoint commits.
+    guard_pending: bool,
+
+    phase: Phase,
+    spot_cost: Price,
+    od_cost: Price,
+    checkpoints: u32,
+    restarts: u32,
+    oob_terminations: u32,
+    used_on_demand: bool,
+    last_commit_or_restart: SimTime,
+    /// The observability sink: every emitted event flows through here.
+    recorder: R,
+    finished_at: SimTime,
+    /// I/O-server accounting: the instant the current spot-activity span
+    /// began (the on-demand I/O server runs while any spot instance is
+    /// billable), and the accumulated span total.
+    io_active_since: Option<SimTime>,
+    io_total: SimDuration,
+    /// Last step's total charge, for the cost-monotonicity invariant
+    /// (debug builds only).
+    #[cfg(debug_assertions)]
+    last_total_cost: Price,
+}
+
+impl<'t> Engine<'t> {
+    /// Build an engine starting at `start` within `traces`, using the
+    /// paper's measured queuing-delay model and the default
+    /// [`VecRecorder`] sink (the full event log lands in
+    /// `RunResult::events`).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or references zones outside
+    /// the trace set; see [`Engine::try_new`] for the non-panicking form.
+    pub fn new(
+        traces: &'t TraceSet,
+        start: SimTime,
+        cfg: ExperimentConfig,
+        policy: Box<dyn Policy>,
+    ) -> Engine<'t> {
+        Engine::try_new(traces, start, cfg, policy).expect("invalid experiment configuration")
+    }
+
+    /// Fallible [`Engine::new`]: returns the configuration problem instead
+    /// of panicking.
+    pub fn try_new(
+        traces: &'t TraceSet,
+        start: SimTime,
+        cfg: ExperimentConfig,
+        policy: Box<dyn Policy>,
+    ) -> Result<Engine<'t>, ConfigError> {
+        Engine::try_with_delay_model(traces, start, cfg, policy, DelayModel::paper())
+    }
+
+    /// Build with an explicit queuing-delay model (tests, ablations).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or references zones outside
+    /// the trace set; see [`Engine::try_with_delay_model`].
+    pub fn with_delay_model(
+        traces: &'t TraceSet,
+        start: SimTime,
+        cfg: ExperimentConfig,
+        policy: Box<dyn Policy>,
+        delay: DelayModel,
+    ) -> Engine<'t> {
+        Engine::try_with_delay_model(traces, start, cfg, policy, delay)
+            .expect("invalid experiment configuration")
+    }
+
+    /// Fallible [`Engine::with_delay_model`]: returns the configuration
+    /// problem instead of panicking.
+    pub fn try_with_delay_model(
+        traces: &'t TraceSet,
+        start: SimTime,
+        cfg: ExperimentConfig,
+        policy: Box<dyn Policy>,
+        delay: DelayModel,
+    ) -> Result<Engine<'t>, ConfigError> {
+        Engine::try_with_parts(traces, start, cfg, policy, delay, VecRecorder::new())
+    }
+}
+
+impl<'t, R: Recorder> Engine<'t, R> {
+    /// Build with an explicit telemetry sink and the paper's queuing-delay
+    /// model. `NullRecorder` makes observation free (sweeps, forecasts);
+    /// `JsonlRecorder` streams the trace; tuples tee.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or references zones outside
+    /// the trace set; see [`Engine::try_with_recorder`].
+    pub fn with_recorder(
+        traces: &'t TraceSet,
+        start: SimTime,
+        cfg: ExperimentConfig,
+        policy: Box<dyn Policy>,
+        recorder: R,
+    ) -> Engine<'t, R> {
+        Engine::try_with_recorder(traces, start, cfg, policy, recorder)
+            .expect("invalid experiment configuration")
+    }
+
+    /// Fallible [`Engine::with_recorder`].
+    pub fn try_with_recorder(
+        traces: &'t TraceSet,
+        start: SimTime,
+        cfg: ExperimentConfig,
+        policy: Box<dyn Policy>,
+        recorder: R,
+    ) -> Result<Engine<'t, R>, ConfigError> {
+        Engine::try_with_parts(traces, start, cfg, policy, DelayModel::paper(), recorder)
+    }
+
+    /// The fully-general constructor: explicit queuing-delay model and
+    /// telemetry sink. Every other constructor delegates here.
+    pub fn try_with_parts(
+        traces: &'t TraceSet,
+        start: SimTime,
+        cfg: ExperimentConfig,
+        policy: Box<dyn Policy>,
+        delay: DelayModel,
+        recorder: R,
+    ) -> Result<Engine<'t, R>, ConfigError> {
+        cfg.validate()?;
+        if let Some(&zone) = cfg.zones.iter().find(|z| z.0 >= traces.n_zones()) {
+            return Err(ConfigError::ZoneOutOfRange {
+                zone,
+                n_zones: traces.n_zones(),
+            });
+        }
+        let n = cfg.zones.len();
+        let deadline_abs = start + cfg.deadline;
+        let outages = (0..n)
+            .map(|i| cfg.faults.outage_schedule(cfg.seed, i, start, cfg.deadline))
+            .collect();
+        // The control plane: perfect unless API faults are configured, in
+        // which case the perfect API is wrapped in the deterministic fault
+        // injector. The supervisor's jitter RNG gets a decorrelated seed;
+        // both streams are only advanced when API faults are enabled.
+        let api: Box<dyn CloudApi + 't> = if cfg.api.is_none() {
+            Box::new(PerfectApi::new(traces))
+        } else {
+            Box::new(FaultyApi::new(
+                PerfectApi::new(traces),
+                cfg.api,
+                ApiFaultPlan::rng_seed(cfg.seed),
+            ))
+        };
+        let supervisor = Supervisor::new(
+            api,
+            cfg.api,
+            n,
+            ApiFaultPlan::rng_seed(cfg.seed ^ 0x5C4A_11ED_B0FF_5EED),
+        );
+        let mut engine = Engine {
+            traces,
+            start,
+            deadline_abs,
+            policy,
+            delay,
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xD1B5_4A32_D192_ED03),
+            fault_rng: StdRng::seed_from_u64(FaultPlan::rng_seed(cfg.seed)),
+            outages,
+            supervisor,
+            now: start,
+            zones: (0..n)
+                .map(|_| ZoneRt {
+                    inst: InstanceState::Down,
+                    billing: None,
+                    bid: cfg.bid,
+                    busy_until: start,
+                    retire: false,
+                    active: true,
+                    boot_retries: 0,
+                    blocked_until: start,
+                })
+                .collect(),
+            replicas: ReplicaSet::new(cfg.app, n),
+            ckpt: None,
+            guard_pending: false,
+            phase: Phase::Spot,
+            spot_cost: Price::ZERO,
+            od_cost: Price::ZERO,
+            checkpoints: 0,
+            restarts: 0,
+            oob_terminations: 0,
+            used_on_demand: false,
+            last_commit_or_restart: start,
+            recorder,
+            finished_at: start,
+            io_active_since: None,
+            io_total: SimDuration::ZERO,
+            #[cfg(debug_assertions)]
+            last_total_cost: Price::ZERO,
+            cfg,
+        };
+        let ctx_needed = engine.phase == Phase::Spot;
+        if ctx_needed {
+            engine.with_ctx(|policy, ctx| policy.reschedule(ctx));
+        }
+        Ok(engine)
+    }
+
+    // ------------------------------------------------------------------
+    // Event processing: the dispatcher.
+
+    /// Handle every condition due at `self.now`, dispatching to the
+    /// concern submodules in their fixed order. Returns true if any state
+    /// changed (the caller loops until quiescent).
+    fn process_now(&mut self, report: &mut StepReport) -> bool {
+        let mut acted = false;
+
+        // 1. Completion?
+        if self.try_complete() {
+            return true;
+        }
+
+        // 2. Checkpoint completion.
+        if let Some(c) = self.ckpt {
+            if c.done_at <= self.now && self.zones[c.zone].inst.is_up() {
+                self.finish_checkpoint(c);
+                acted = true;
+            }
+        }
+
+        // 3. Boot completions (or injected boot failures at the ready
+        //    instant: InsufficientInstanceCapacity and friends).
+        for i in 0..self.zones.len() {
+            if let InstanceState::Booting { ready_at } = self.zones[i].inst {
+                if ready_at <= self.now {
+                    if self.boot_fails() {
+                        self.boot_failed(i);
+                    } else {
+                        self.start_replica(i);
+                    }
+                    acted = true;
+                }
+            }
+        }
+
+        // 4. Hour boundaries — before the market scan, so an hour that
+        //    completes at the same instant the price moves out of bid is
+        //    still charged (the termination only voids the *new* hour).
+        acted |= self.process_hour_boundaries(report);
+
+        // 4b. Injected zone blackouts — after the boundaries for the same
+        //     reason, before the market scan so a dark zone cannot
+        //     transition to waiting in the same instant.
+        acted |= self.enforce_blackouts(report);
+
+        // 5. Market scan: out-of-bid terminations, waiting transitions.
+        acted |= self.scan_market(report);
+
+        // 6. Deadline guard.
+        if self.phase == Phase::Spot && self.now >= self.guard_time() {
+            acted |= self.handle_guard();
+            if self.phase != Phase::Spot {
+                return true;
+            }
+        }
+
+        // 7. Restart waiting zones when nothing is billable (Alg. 1
+        //    lines 29–33).
+        if self.phase == Phase::Spot
+            && !self.zones.iter().any(|z| z.inst.is_billable())
+            && self.zones.iter().any(|z| z.inst.is_waiting())
+        {
+            for i in 0..self.zones.len() {
+                if self.zones[i].inst.is_waiting() {
+                    self.request_instance(i);
+                    acted = true;
+                }
+            }
+        }
+
+        // 8. Policy checkpoint condition.
+        if self.phase == Phase::Spot && self.ckpt.is_none() {
+            if let Some(leader) = self.leader() {
+                let due = self.retirement_ckpt_due(leader)
+                    || self.with_ctx(|policy, ctx| policy.checkpoint_now(ctx));
+                if due {
+                    self.begin_checkpoint(leader);
+                    acted = true;
+                }
+            }
+        }
+
+        self.update_io_tracking();
+        acted
+    }
+
+    // ------------------------------------------------------------------
+    // Plumbing.
+
+    /// Run `f` with a freshly-assembled policy context. Factored this way
+    /// because the context borrows engine fields while the policy needs
+    /// `&mut self.policy`.
+    fn with_ctx<T>(&mut self, f: impl FnOnce(&mut dyn Policy, &PolicyCtx) -> T) -> T {
+        let up: Vec<bool> = self.zones.iter().map(|z| z.inst.is_up()).collect();
+        let leader = (0..self.zones.len())
+            .filter(|&i| up[i])
+            .max_by_key(|&i| (self.replicas.position(i), std::cmp::Reverse(i)));
+        let leader_boundary = leader.and_then(|i| self.zones[i].billing.map(|b| b.next_boundary()));
+        let ctx = PolicyCtx {
+            now: self.now,
+            start: self.start,
+            bid: self.cfg.bid,
+            costs: self.cfg.costs,
+            traces: self.traces,
+            zone_ids: &self.cfg.zones,
+            up: &up,
+            leader_boundary,
+            leader,
+            last_commit_or_restart: self.last_commit_or_restart,
+        };
+        f(self.policy.as_mut(), &ctx)
+    }
+
+    /// Emit one event into the telemetry sink. With `NullRecorder` this
+    /// inlines to nothing and the event construction is elided.
+    #[inline]
+    fn record(&mut self, e: Event) {
+        self.recorder.record(e);
+    }
+
+    /// Internal-consistency checks, compiled into debug builds only and
+    /// re-verified after every [`Engine::step`]:
+    ///
+    /// * a zone has billing state iff its instance is billable;
+    /// * committed progress never exceeds the best live position;
+    /// * the reliable (I/O-server) position covers the committed one;
+    /// * total charge is monotone;
+    /// * an in-flight checkpoint's zone is billable.
+    fn check_invariants(&mut self) {
+        #[cfg(debug_assertions)]
+        {
+            for (i, z) in self.zones.iter().enumerate() {
+                assert_eq!(
+                    z.billing.is_some(),
+                    z.inst.is_billable(),
+                    "zone {i}: billing {:?} inconsistent with state {:?}",
+                    z.billing,
+                    z.inst
+                );
+            }
+            assert!(
+                self.replicas.committed() <= self.replicas.best_position(),
+                "committed progress ahead of best position"
+            );
+            assert!(
+                self.replicas.reliable() >= self.replicas.committed(),
+                "reliable store behind committed progress"
+            );
+            if let Some(c) = self.ckpt {
+                assert!(
+                    self.zones[c.zone].inst.is_billable(),
+                    "in-flight checkpoint on a dead zone"
+                );
+            }
+            let total = self.spot_cost + self.od_cost;
+            assert!(
+                total >= self.last_total_cost,
+                "total cost decreased: {total} < {}",
+                self.last_total_cost
+            );
+            self.last_total_cost = total;
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Point-in-time views of the engine for dashboards and drivers, plus
+//! the trivial on-demand baseline.
+
+use super::Engine;
+use crate::config::ExperimentConfig;
+use crate::run::{Event, RunResult};
+use crate::telemetry::Recorder;
+use redspot_market::InstanceState;
+use redspot_trace::{Price, SimDuration, SimTime};
+
+/// A point-in-time view of one zone's runtime state.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ZoneSnapshot {
+    /// Which zone.
+    pub zone: redspot_trace::ZoneId,
+    /// Instance lifecycle state.
+    pub state: InstanceState,
+    /// Whether the zone participates (adaptive N control).
+    pub active: bool,
+    /// Bid attached to the zone's current/last request.
+    pub bid: Price,
+    /// Replica position, if executing.
+    pub position: Option<SimDuration>,
+}
+
+/// A point-in-time view of the whole engine (see [`Engine::snapshot`]).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Snapshot {
+    /// Simulation clock.
+    pub now: SimTime,
+    /// Absolute deadline.
+    pub deadline: SimTime,
+    /// Durable (checkpointed) progress.
+    pub committed: SimDuration,
+    /// Furthest live replica position.
+    pub best_position: SimDuration,
+    /// Remaining compute measured from committed progress.
+    pub remaining: SimDuration,
+    /// Spot charges so far.
+    pub spot_cost: Price,
+    /// On-demand charges so far.
+    pub od_cost: Price,
+    /// Whether execution has migrated to on-demand.
+    pub on_demand: bool,
+    /// Whether the run has finished.
+    pub done: bool,
+    /// Per-zone states.
+    pub zones: Vec<ZoneSnapshot>,
+    /// Committed checkpoints so far.
+    pub checkpoints: u32,
+    /// Replica starts so far.
+    pub restarts: u32,
+    /// Out-of-bid terminations so far.
+    pub out_of_bid_terminations: u32,
+}
+
+impl<'t, R: Recorder> Engine<'t, R> {
+    /// A serializable point-in-time summary of the engine state, for
+    /// dashboards, logging, and driver code.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            now: self.now,
+            deadline: self.deadline_abs,
+            committed: self.replicas.committed(),
+            best_position: self.replicas.best_position(),
+            remaining: self.replicas.remaining_committed(),
+            spot_cost: self.spot_cost,
+            od_cost: self.od_cost,
+            on_demand: self.on_demand(),
+            done: self.is_done(),
+            zones: self
+                .zones
+                .iter()
+                .enumerate()
+                .map(|(i, z)| ZoneSnapshot {
+                    zone: self.cfg.zones[i],
+                    state: z.inst,
+                    active: z.active,
+                    bid: z.bid,
+                    position: self.replicas.position(i),
+                })
+                .collect(),
+            checkpoints: self.checkpoints,
+            restarts: self.restarts,
+            out_of_bid_terminations: self.oob_terminations,
+        }
+    }
+}
+
+/// The trivial on-demand baseline: run the whole workload on a dedicated
+/// on-demand instance. Cost for the paper's 20-hour job: $48.00.
+pub fn on_demand_run(start: SimTime, cfg: &ExperimentConfig) -> RunResult {
+    let finish = start + cfg.app.work;
+    let cost = redspot_market::on_demand_cost(start, finish);
+    RunResult {
+        cost,
+        spot_cost: Price::ZERO,
+        od_cost: cost,
+        io_cost: Price::ZERO,
+        finished_at: finish,
+        met_deadline: cfg.app.work <= cfg.deadline,
+        checkpoints: 0,
+        restarts: 0,
+        out_of_bid_terminations: 0,
+        used_on_demand: true,
+        api: crate::run::ApiStats::default(),
+        events: vec![Event::Completed { at: finish }],
+    }
+}

@@ -1,0 +1,460 @@
+//! Engine behavior tests: spot mechanics, policies, deadline guarantee,
+//! runtime extensions, and the observability plane's recorder wiring.
+
+use super::*;
+use crate::policy::PolicyKind;
+use crate::run::RunResult;
+use crate::telemetry::NullRecorder;
+use redspot_trace::{PriceSeries, Window, ZoneId};
+
+fn m(v: u64) -> Price {
+    Price::from_millis(v)
+}
+
+/// A flat-priced trace: `n_zones` zones at `price` for `hours`.
+fn flat(price: u64, n_zones: usize, hours: u64) -> TraceSet {
+    let samples = vec![m(price); (hours * 12) as usize];
+    TraceSet::new(
+        (0..n_zones)
+            .map(|_| PriceSeries::new(SimTime::ZERO, samples.clone()))
+            .collect(),
+    )
+}
+
+/// Flat trace with one zone spiked to `spike` during `[from_h, to_h)`.
+fn flat_with_spike(
+    price: u64,
+    n_zones: usize,
+    hours: u64,
+    zone: usize,
+    from_h: u64,
+    to_h: u64,
+    spike: u64,
+) -> TraceSet {
+    let base = flat(price, n_zones, hours);
+    let w = Window::new(SimTime::from_hours(from_h), SimTime::from_hours(to_h));
+    redspot_trace::gen::inject_spike(&base, ZoneId(zone), w, m(spike))
+}
+
+fn cfg_1zone() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_default();
+    cfg.zones = vec![ZoneId(0)];
+    cfg
+}
+
+fn run_with(traces: &TraceSet, cfg: ExperimentConfig, kind: PolicyKind) -> RunResult {
+    Engine::with_delay_model(traces, SimTime::ZERO, cfg, kind.build(), DelayModel::zero()).run()
+}
+
+#[test]
+fn stable_cheap_market_completes_on_spot() {
+    let traces = flat(270, 1, 40);
+    let r = run_with(&traces, cfg_1zone(), PolicyKind::Periodic);
+    assert!(r.met_deadline);
+    assert!(!r.used_on_demand);
+    assert_eq!(r.od_cost, Price::ZERO);
+    assert_eq!(r.out_of_bid_terminations, 0);
+    // 20h of work at ~55 min/hour effective: 21–23 paid hours at $0.27.
+    let dollars = r.cost_dollars();
+    assert!((5.4..7.0).contains(&dollars), "cost {dollars}");
+    assert!(r.checkpoints >= 15, "checkpoints {}", r.checkpoints);
+    assert_eq!(r.restarts, 1);
+}
+
+#[test]
+fn unaffordable_market_migrates_and_meets_deadline() {
+    let traces = flat(5_000, 1, 40); // always above the $0.81 bid
+    let r = run_with(&traces, cfg_1zone(), PolicyKind::Periodic);
+    assert!(r.met_deadline);
+    assert!(r.used_on_demand);
+    assert_eq!(r.spot_cost, Price::ZERO);
+    // Full 20-hour workload on-demand: the paper's $48 reference.
+    assert_eq!(r.od_cost, Price::from_dollars(48.0));
+    assert_eq!(r.checkpoints, 0);
+}
+
+#[test]
+fn spike_terminates_rolls_back_and_recovers() {
+    let traces = flat_with_spike(300, 1, 60, 0, 5, 8, 2_000);
+    let cfg = cfg_1zone().with_slack_percent(50);
+    let r = run_with(&traces, cfg, PolicyKind::Periodic);
+    assert!(r.met_deadline);
+    assert_eq!(r.out_of_bid_terminations, 1);
+    assert!(r.restarts >= 2, "restarts {}", r.restarts);
+    assert!(!r.used_on_demand);
+    // Paid hours before the spike + after relaunch, all at $0.30.
+    assert!(r.cost_dollars() < 10.0, "cost {}", r.cost_dollars());
+}
+
+#[test]
+fn redundancy_rides_through_single_zone_outage() {
+    // Zone 0 dies for 3 hours; zone 1 never does. With N = 2 the
+    // application keeps computing and never touches on-demand.
+    let traces = flat_with_spike(300, 2, 60, 0, 5, 8, 2_000);
+    let mut cfg = ExperimentConfig::paper_default();
+    cfg.zones = vec![ZoneId(0), ZoneId(1)];
+    let r = run_with(&traces, cfg, PolicyKind::Periodic);
+    assert!(r.met_deadline);
+    assert!(!r.used_on_demand);
+    assert_eq!(r.out_of_bid_terminations, 1); // zone 0 only
+                                              // Both zones paid for most of the run: roughly twice single-zone.
+    assert!(
+        r.cost_dollars() > 10.0 && r.cost_dollars() < 16.0,
+        "cost {}",
+        r.cost_dollars()
+    );
+}
+
+#[test]
+fn zero_slack_goes_straight_to_on_demand() {
+    let traces = flat(270, 1, 40);
+    let mut cfg = cfg_1zone();
+    cfg.deadline = cfg.app.work; // no slack at all
+    let r = run_with(&traces, cfg, PolicyKind::Periodic);
+    assert!(r.met_deadline);
+    assert!(r.used_on_demand);
+    assert_eq!(r.od_cost, Price::from_dollars(48.0));
+    // The guarantee is exact: with zero slack and nothing committed,
+    // the run finishes precisely at the deadline, not a second later.
+    assert_eq!(r.finished_at, SimTime::ZERO + SimDuration::from_hours(20));
+}
+
+#[test]
+fn event_log_is_ordered_and_complete() {
+    let traces = flat_with_spike(300, 1, 60, 0, 5, 8, 2_000);
+    let cfg = cfg_1zone().with_slack_percent(50);
+    let r = run_with(&traces, cfg, PolicyKind::Periodic);
+    assert!(!r.events.is_empty());
+    assert!(r.events.windows(2).all(|w| w[0].at() <= w[1].at()));
+    assert!(matches!(r.events.last(), Some(Event::Completed { .. })));
+    let commits = r
+        .events
+        .iter()
+        .filter(|e| matches!(e, Event::CheckpointCommitted { .. }))
+        .count() as u32;
+    assert_eq!(commits, r.checkpoints);
+}
+
+#[test]
+fn null_recorder_runs_identically_with_no_events() {
+    let traces = flat_with_spike(300, 1, 60, 0, 5, 8, 2_000);
+    let cfg = cfg_1zone().with_slack_percent(50);
+    let vec_run = run_with(&traces, cfg.clone(), PolicyKind::Periodic);
+    let null_run = Engine::try_with_parts(
+        &traces,
+        SimTime::ZERO,
+        cfg,
+        PolicyKind::Periodic.build(),
+        DelayModel::zero(),
+        NullRecorder,
+    )
+    .unwrap()
+    .run();
+    // No events, no allocation — and everything else bit-identical.
+    assert!(null_run.events.is_empty());
+    assert_eq!(null_run.events.capacity(), 0);
+    let stripped = RunResult {
+        events: Vec::new(),
+        ..vec_run
+    };
+    assert_eq!(null_run, stripped);
+}
+
+#[test]
+fn edge_policy_checkpoints_on_rising_prices() {
+    // Price rises (within bid) every few steps: Edge checkpoints often.
+    let mut samples = Vec::new();
+    for i in 0..(60 * 12) {
+        samples.push(m(if i % 4 < 2 { 300 } else { 400 }));
+    }
+    let traces = TraceSet::new(vec![PriceSeries::new(SimTime::ZERO, samples)]);
+    let cfg = cfg_1zone().with_slack_percent(50);
+    let r = run_with(&traces, cfg, PolicyKind::RisingEdge);
+    assert!(r.met_deadline);
+    assert!(r.checkpoints > 10, "edge checkpoints {}", r.checkpoints);
+}
+
+#[test]
+fn edge_policy_never_checkpoints_on_flat_prices() {
+    let traces = flat(270, 1, 60);
+    let cfg = cfg_1zone().with_slack_percent(50);
+    let r = run_with(&traces, cfg, PolicyKind::RisingEdge);
+    assert!(r.met_deadline);
+    assert!(!r.used_on_demand);
+    // Only the deadline guard's protective checkpoints, if any.
+    assert!(r.checkpoints <= 8, "checkpoints {}", r.checkpoints);
+}
+
+#[test]
+fn markov_daly_completes_cheaply_on_stable_market() {
+    let traces = flat(270, 1, 60);
+    let r = run_with(&traces, cfg_1zone(), PolicyKind::MarkovDaly);
+    assert!(r.met_deadline);
+    assert!(!r.used_on_demand);
+    // Stable market → long Daly interval → few checkpoints.
+    assert!(r.checkpoints < 10, "checkpoints {}", r.checkpoints);
+    assert!(r.cost_dollars() < 6.5, "cost {}", r.cost_dollars());
+}
+
+#[test]
+fn large_bid_survives_spike_at_a_price() {
+    // Spike to $19 for two hours: Large-bid (naive) keeps running and
+    // pays the spiked hours.
+    let traces = flat_with_spike(300, 1, 60, 0, 5, 7, 19_000);
+    let mut cfg = cfg_1zone().with_slack_percent(50);
+    cfg.bid = crate::policy::large_bid::LARGE_BID;
+    let policy = Box::new(crate::policy::LargeBidPolicy::naive());
+    let r = Engine::with_delay_model(&traces, SimTime::ZERO, cfg, policy, DelayModel::zero()).run();
+    assert!(r.met_deadline);
+    assert_eq!(r.out_of_bid_terminations, 0);
+    // Two spiked hours at ~$19 dominate the cost.
+    assert!(r.cost_dollars() > 38.0, "cost {}", r.cost_dollars());
+}
+
+#[test]
+fn large_bid_threshold_dodges_the_spike() {
+    let traces = flat_with_spike(300, 1, 60, 0, 5, 7, 19_000);
+    let mut cfg = cfg_1zone().with_slack_percent(50);
+    cfg.bid = crate::policy::large_bid::LARGE_BID;
+    let policy = Box::new(crate::policy::LargeBidPolicy::new(m(810)));
+    let r = Engine::with_delay_model(&traces, SimTime::ZERO, cfg, policy, DelayModel::zero()).run();
+    assert!(r.met_deadline);
+    // Stopped during the spike, resumed after: far cheaper than naive.
+    assert!(r.cost_dollars() < 30.0, "cost {}", r.cost_dollars());
+    assert!(r.restarts >= 2);
+}
+
+#[test]
+fn on_demand_baseline_matches_reference_line() {
+    let cfg = ExperimentConfig::paper_default();
+    let r = on_demand_run(SimTime::from_hours(1), &cfg);
+    assert_eq!(r.cost, Price::from_dollars(48.0));
+    assert_eq!(r.finished_at, SimTime::from_hours(21));
+    assert!(r.met_deadline);
+}
+
+#[test]
+fn adaptive_mutators_change_future_behavior() {
+    let traces = flat(270, 3, 60);
+    let cfg = ExperimentConfig::paper_default();
+    let mut e = Engine::with_delay_model(
+        &traces,
+        SimTime::ZERO,
+        cfg,
+        PolicyKind::Periodic.build(),
+        DelayModel::zero(),
+    );
+    // Run a few steps, then deactivate two zones.
+    for _ in 0..6 {
+        e.step();
+    }
+    assert!(e.zone_state(1).is_billable());
+    e.set_active(1, false);
+    e.set_active(2, false);
+    e.set_bid(m(470));
+    assert_eq!(e.bid(), m(470));
+    let r = e.run();
+    assert!(r.met_deadline);
+    // Retired zones each paid only the hours before retirement; the
+    // full three-zone run would cost ≈ 3 × 22 h × $0.27 ≈ $17.8.
+    assert!(r.cost_dollars() < 13.0, "cost {}", r.cost_dollars());
+}
+
+#[test]
+fn deterministic_across_reruns() {
+    let traces = flat_with_spike(300, 3, 60, 1, 4, 9, 2_000);
+    let cfg = ExperimentConfig::paper_default().with_seed(99);
+    let a = run_with(&traces, cfg.clone(), PolicyKind::MarkovDaly);
+    let b = run_with(&traces, cfg, PolicyKind::MarkovDaly);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn run_full_surfaces_sink_metrics() {
+    use crate::telemetry::MetricsRecorder;
+    let traces = flat_with_spike(300, 1, 60, 0, 5, 8, 2_000);
+    let cfg = cfg_1zone().with_slack_percent(50);
+    let baseline = run_with(&traces, cfg.clone(), PolicyKind::Periodic);
+    let (r, m) = Engine::try_with_parts(
+        &traces,
+        SimTime::ZERO,
+        cfg,
+        PolicyKind::Periodic.build(),
+        DelayModel::zero(),
+        MetricsRecorder::new(),
+    )
+    .unwrap()
+    .run_full();
+    assert_eq!(m.runs, 1);
+    assert_eq!(m.events_seen as usize, baseline.events.len());
+    assert_eq!(m.restarts, u64::from(r.restarts));
+    assert_eq!(
+        m.out_of_bid_terminations,
+        u64::from(r.out_of_bid_terminations)
+    );
+    assert_eq!(m.checkpoints_committed, u64::from(r.checkpoints));
+    assert_eq!(m.completed, 1);
+    // Billing events fully attribute the spot spend.
+    assert_eq!(m.spot_charged, r.spot_cost);
+}
+
+mod extension_tests {
+    use super::*;
+    use redspot_ckpt::AppSpec;
+
+    fn engine(traces: &TraceSet, cfg: ExperimentConfig) -> Engine<'_> {
+        Engine::with_delay_model(
+            traces,
+            SimTime::ZERO,
+            cfg,
+            PolicyKind::Periodic.build(),
+            DelayModel::zero(),
+        )
+    }
+
+    #[test]
+    fn iterative_apps_commit_whole_iterations() {
+        let traces = flat(270, 1, 60);
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones = vec![ZoneId(0)];
+        cfg.app =
+            AppSpec::new(SimDuration::from_hours(20)).with_iteration(SimDuration::from_mins(42));
+        let r = engine(&traces, cfg).run();
+        assert!(r.met_deadline);
+        let it = 42 * 60;
+        for e in &r.events {
+            if let Event::CheckpointCommitted { position, .. } = e {
+                assert!(
+                    position.secs() % it == 0 || *position == SimDuration::from_hours(20),
+                    "commit at {position} is not an iteration boundary"
+                );
+            }
+        }
+        assert!(r.checkpoints > 5);
+    }
+
+    #[test]
+    fn iteration_quantization_costs_a_little_extra() {
+        let traces = flat(270, 1, 60);
+        // Generous slack: quantization should then cost (almost) nothing —
+        // commits land one partial iteration earlier but nothing migrates.
+        let mut smooth = ExperimentConfig::paper_default().with_slack_percent(50);
+        smooth.zones = vec![ZoneId(0)];
+        let mut chunky = smooth.clone();
+        chunky.app =
+            AppSpec::new(SimDuration::from_hours(20)).with_iteration(SimDuration::from_mins(50));
+        let r_smooth = engine(&traces, smooth.clone()).run();
+        let r_chunky = engine(&traces, chunky.clone()).run();
+        assert!(r_smooth.met_deadline && r_chunky.met_deadline);
+        assert!(!r_chunky.used_on_demand);
+        assert!(r_chunky.cost_dollars() <= r_smooth.cost_dollars() + 1.0);
+
+        // At tight slack the committed-progress lag from coarse iterations
+        // is real: the guard may buy the tail on-demand — but the deadline
+        // still holds (the paper's guarantee is unconditional).
+        let tight = chunky.with_slack_percent(15);
+        let r_tight = engine(&traces, tight).run();
+        assert!(r_tight.met_deadline);
+    }
+
+    #[test]
+    fn deadline_extension_keeps_run_on_spot() {
+        // A market that turns expensive at hour 4 and recovers at hour 12:
+        // with the original 23h deadline the guard must migrate; extending
+        // the deadline mid-run lets the engine ride out the outage.
+        let base = flat(300, 1, 80);
+        let w = redspot_trace::Window::new(SimTime::from_hours(4), SimTime::from_hours(12));
+        let traces = redspot_trace::gen::inject_spike(&base, ZoneId(0), w, m(5_000));
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones = vec![ZoneId(0)];
+
+        // Control: no extension → on-demand fallback.
+        let control = engine(&traces, cfg.clone()).run();
+        assert!(control.used_on_demand);
+
+        // Extended: at hour 2 the user moves the deadline to 36 h.
+        let mut e = engine(&traces, cfg);
+        while e.now() < SimTime::from_hours(2) {
+            e.step();
+        }
+        assert!(e.set_deadline(SimTime::from_hours(36)));
+        let extended = e.run();
+        assert!(extended.met_deadline);
+        assert!(!extended.used_on_demand, "extension should avoid on-demand");
+        assert!(extended.cost_dollars() < control.cost_dollars());
+    }
+
+    #[test]
+    fn deadline_shrink_reports_infeasibility_but_still_tries() {
+        let traces = flat(270, 1, 60);
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones = vec![ZoneId(0)];
+        let mut e = engine(&traces, cfg);
+        while e.now() < SimTime::from_hours(1) {
+            e.step();
+        }
+        // 19h of work left but only 2h allowed: infeasible.
+        assert!(!e.set_deadline(SimTime::from_hours(3)));
+        let r = e.run();
+        assert!(!r.met_deadline);
+        // It still migrated immediately and finished as fast as possible.
+        assert!(r.used_on_demand);
+    }
+
+    #[test]
+    fn io_server_accounting_tracks_spot_time_only() {
+        let traces = flat(270, 1, 60);
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones = vec![ZoneId(0)];
+        cfg.io_server = Some(Price::from_dollars(0.10));
+        let r = engine(&traces, cfg).run();
+        assert!(r.met_deadline);
+        // ~22 spot hours at $0.10.
+        let io = r.io_cost.as_dollars();
+        assert!((1.5..3.5).contains(&io), "io cost {io}");
+        assert_eq!(r.cost, r.spot_cost + r.od_cost + r.io_cost);
+
+        // A fully on-demand run needs no I/O server.
+        let expensive = flat(9_000, 1, 60);
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones = vec![ZoneId(0)];
+        cfg.io_server = Some(Price::from_dollars(0.10));
+        let r = engine(&expensive, cfg).run();
+        assert_eq!(r.io_cost, Price::ZERO);
+    }
+
+    #[test]
+    fn snapshot_reflects_engine_state() {
+        let traces = flat(270, 2, 60);
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones = vec![ZoneId(0), ZoneId(1)];
+        let mut e = engine(&traces, cfg);
+        let s0 = e.snapshot();
+        assert_eq!(s0.committed, SimDuration::ZERO);
+        assert!(!s0.done);
+        assert_eq!(s0.zones.len(), 2);
+        for _ in 0..30 {
+            e.step();
+        }
+        let s1 = e.snapshot();
+        assert!(s1.now > s0.now);
+        assert!(s1.committed > SimDuration::ZERO);
+        assert!(s1.best_position >= s1.committed);
+        assert_eq!(s1.remaining + s1.committed, SimDuration::from_hours(20));
+        assert!(s1.zones.iter().any(|z| z.state.is_up()));
+        // Serializable for dashboards.
+        let json = serde_json::to_string(&s1).unwrap();
+        assert!(json.contains("committed"));
+        let r = e.run();
+        assert!(r.met_deadline);
+    }
+
+    #[test]
+    fn io_accounting_disabled_by_default() {
+        let traces = flat(270, 1, 60);
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.zones = vec![ZoneId(0)];
+        let r = engine(&traces, cfg).run();
+        assert_eq!(r.io_cost, Price::ZERO);
+    }
+}

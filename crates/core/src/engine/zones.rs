@@ -1,0 +1,399 @@
+//! Zone lifecycle: the market scan, spot requests, boot completions and
+//! failures, replica starts, terminations, and blackout enforcement.
+
+use super::{Engine, Phase, StepReport};
+use crate::run::{Event, TerminationCause};
+use crate::supervisor::{DenyReason, RequestOutcome};
+use crate::telemetry::Recorder;
+use rand::Rng;
+use redspot_market::{InstanceState, SpotBilling, StopCause};
+use redspot_trace::{Price, SimDuration, SimTime};
+
+/// Per-zone runtime state.
+#[derive(Debug, Clone)]
+pub(super) struct ZoneRt {
+    pub(super) inst: InstanceState,
+    pub(super) billing: Option<SpotBilling>,
+    /// Bid attached to the current request (spot requests are fixed-bid;
+    /// an engine-level bid change only affects *future* requests).
+    pub(super) bid: Price,
+    /// Restart/checkpoint overhead: the replica makes no progress before
+    /// this instant.
+    pub(super) busy_until: SimTime,
+    /// Stop voluntarily at the next hour boundary (adaptive retirement).
+    pub(super) retire: bool,
+    /// Whether this zone participates at all (adaptive `N` control).
+    pub(super) active: bool,
+    /// Consecutive injected boot failures (resets when a boot succeeds);
+    /// drives the retry backoff.
+    pub(super) boot_retries: u32,
+    /// No new spot request before this instant (boot-retry backoff).
+    /// Initialized to the experiment start, so it never gates anything
+    /// until a boot failure pushes it forward.
+    pub(super) blocked_until: SimTime,
+}
+
+impl<'t, R: Recorder> Engine<'t, R> {
+    pub(super) fn scan_market(&mut self, report: &mut StepReport) -> bool {
+        if self.phase != Phase::Spot {
+            return false;
+        }
+        let mut acted = false;
+        let resume_at = self.policy.resume_threshold();
+        for i in 0..self.zones.len() {
+            let price = self.traces.price_at(self.cfg.zones[i], self.now);
+            match self.zones[i].inst {
+                InstanceState::Up | InstanceState::Booting { .. } => {
+                    if price > self.zones[i].bid {
+                        self.terminate_out_of_bid(i);
+                        report.termination = true;
+                        acted = true;
+                    }
+                }
+                InstanceState::Down if self.zones[i].active => {
+                    // Fault gates: no requests while a boot-retry backoff
+                    // (or a supervisor retry backoff / quarantine) is
+                    // pending or the zone is blacked out. All inert under
+                    // the no-fault plans (`blocked_until` stays at the
+                    // start and the outage schedule is empty).
+                    if self.now < self.zones[i].blocked_until
+                        || self.outages[i].blacked_out(self.now).is_some()
+                    {
+                        continue;
+                    }
+                    // Scheduler decision: runs on the supervisor's
+                    // (possibly stale) price view, not the true price.
+                    let Some(observed) = self.observed_price(i) else {
+                        continue;
+                    };
+                    let threshold = resume_at.unwrap_or(self.cfg.bid);
+                    if observed <= threshold {
+                        self.zones[i].inst = InstanceState::Waiting;
+                        self.record(Event::Waiting {
+                            at: self.now,
+                            zone: self.cfg.zones[i],
+                        });
+                        acted = true;
+                    }
+                }
+                InstanceState::Waiting => {
+                    if !self.zones[i].active {
+                        self.zones[i].inst = InstanceState::Down;
+                        acted = true;
+                        continue;
+                    }
+                    // As in the Down arm: no observation means no
+                    // decision — never fall back to the true trace
+                    // price, which the scheduler cannot see.
+                    let Some(observed) = self.observed_price(i) else {
+                        continue;
+                    };
+                    let threshold = resume_at.unwrap_or(self.cfg.bid);
+                    if observed > threshold {
+                        self.zones[i].inst = InstanceState::Down;
+                        acted = true;
+                    }
+                }
+                InstanceState::Down => {}
+            }
+        }
+        acted
+    }
+
+    /// The scheduler-side price for configured zone `i`: the supervisor's
+    /// latest (possibly stale) observation. A failed read falls back to
+    /// the last known price and records the staleness window; `None` only
+    /// if the zone's price has never been observed. Identical to the true
+    /// trace price under [`ApiFaultPlan::none`](redspot_market::ApiFaultPlan::none).
+    fn observed_price(&mut self, i: usize) -> Option<Price> {
+        let zone = self.cfg.zones[i];
+        let (view, stale) = self.supervisor.observe_price(i, zone, self.now)?;
+        if stale {
+            self.record(Event::StalePriceUsed {
+                at: self.now,
+                zone,
+                age: view.age(self.now),
+            });
+        }
+        Some(view.price)
+    }
+
+    /// The executing replica with the furthest position (ties broken by
+    /// lowest index).
+    pub(super) fn leader(&self) -> Option<usize> {
+        (0..self.zones.len())
+            .filter(|&i| self.zones[i].inst.is_up())
+            .max_by_key(|&i| (self.replicas.position(i), std::cmp::Reverse(i)))
+    }
+
+    /// Submit a spot request for configured zone `i` through the
+    /// supervisor. On acceptance the control-plane round-trip latency is
+    /// folded into the boot delay; on denial (API failure, quarantine, or
+    /// exhausted retry budget) the zone goes down, unbilled, until the
+    /// supervisor's retry instant. Under
+    /// [`ApiFaultPlan::none`](redspot_market::ApiFaultPlan::none) requests
+    /// are always accepted with zero latency — the pre-supervisor path.
+    pub(super) fn request_instance(&mut self, i: usize) {
+        debug_assert!(self.zones[i].inst.is_waiting());
+        let zone = self.cfg.zones[i];
+        let slack = self.guard_time().since(self.now);
+        match self
+            .supervisor
+            .request_spot(i, zone, self.now, self.cfg.bid, slack)
+        {
+            RequestOutcome::Accepted {
+                latency,
+                breaker_closed,
+            } => {
+                if breaker_closed {
+                    self.record(Event::ZoneBreakerClosed { at: self.now, zone });
+                }
+                let boot = self.delay.sample(&mut self.rng);
+                let ready_at = self.now + latency + boot;
+                let rate = self.traces.price_at(zone, self.now);
+                self.zones[i].inst = InstanceState::Booting { ready_at };
+                self.zones[i].billing = Some(SpotBilling::launch(self.now, rate));
+                self.zones[i].bid = self.cfg.bid;
+                self.record(Event::Requested {
+                    at: self.now,
+                    zone,
+                    bid: self.cfg.bid,
+                });
+            }
+            RequestOutcome::Denied {
+                retry_at,
+                reason,
+                tripped_until,
+            } => {
+                // Never fulfilled, never billed: the zone just stays down
+                // (with its retry gate set) and no billing state exists.
+                self.zones[i].inst = InstanceState::Down;
+                self.zones[i].blocked_until = retry_at;
+                let error = match reason {
+                    DenyReason::Api(e) => Some(e),
+                    DenyReason::Quarantined { .. } | DenyReason::BudgetExhausted => None,
+                };
+                self.record(Event::SpotRequestFailed {
+                    at: self.now,
+                    zone,
+                    error,
+                    retry_at,
+                });
+                if let Some(until) = tripped_until {
+                    self.record(Event::ZoneQuarantined {
+                        at: self.now,
+                        zone,
+                        until,
+                    });
+                }
+            }
+        }
+    }
+
+    pub(super) fn start_replica(&mut self, i: usize) {
+        debug_assert!(matches!(self.zones[i].inst, InstanceState::Booting { .. }));
+        self.zones[i].inst = InstanceState::Up;
+        self.zones[i].boot_retries = 0;
+        let attempted = self.replicas.committed();
+        let mut from = attempted;
+        // Injected restore corruption: the newest generation turns out to
+        // be unreadable and the restore falls back to the one before it —
+        // re-checked per generation, so a restore can fall through several
+        // (bottoming out at a from-scratch restart). The deadline guard
+        // recomputes from the new, lower committed position at the next
+        // drain iteration.
+        let p = self.cfg.faults.p_restore_corrupt;
+        if p > 0.0 {
+            while from > SimDuration::ZERO && self.fault_rng.gen_bool(p) {
+                from = self.replicas.invalidate_newest_checkpoint();
+                self.record(Event::RestoreFailed {
+                    at: self.now,
+                    zone: self.cfg.zones[i],
+                    fell_back_to: from,
+                });
+            }
+        }
+        self.replicas.start(i, from);
+        // Reading the checkpoint costs t_r; a cold start (no checkpoint)
+        // only pays the queuing delay already elapsed. A corrupted restore
+        // still pays t_r for the attempted read.
+        self.zones[i].busy_until = if attempted > SimDuration::ZERO {
+            self.now + self.cfg.costs.restart
+        } else {
+            self.now
+        };
+        self.restarts += 1;
+        self.last_commit_or_restart = self.now;
+        self.record(Event::Started {
+            at: self.now,
+            zone: self.cfg.zones[i],
+            from,
+        });
+        self.with_ctx(|policy, ctx| policy.reschedule(ctx));
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection. Every probability draw is guarded by `p > 0.0` so
+    // the fault RNG is never advanced under `FaultPlan::none` — that is
+    // what makes the no-fault engine bit-identical to the seed engine.
+
+    /// Draw whether the boot completing now fails.
+    pub(super) fn boot_fails(&mut self) -> bool {
+        let p = self.cfg.faults.p_boot_fail;
+        p > 0.0 && self.fault_rng.gen_bool(p)
+    }
+
+    /// A booting instance died at its ready instant: release it unbilled
+    /// (the instance never ran) and back off before re-requesting.
+    pub(super) fn boot_failed(&mut self, i: usize) {
+        let billing = self.zones[i]
+            .billing
+            .take()
+            .expect("booting zone has billing");
+        // Out-of-bid stop semantics: the failed partial hour is free.
+        let charged = billing.stop(self.now, StopCause::OutOfBid);
+        self.spot_cost += charged;
+        self.zones[i].inst = InstanceState::Down;
+        self.zones[i].boot_retries += 1;
+        let backoff = self.cfg.faults.backoff_after(self.zones[i].boot_retries);
+        let retry_at = self.now + backoff;
+        self.zones[i].blocked_until = retry_at;
+        self.record(Event::BootFailed {
+            at: self.now,
+            zone: self.cfg.zones[i],
+            retry_at,
+        });
+    }
+
+    /// Force-terminate instances in blacked-out zones and knock waiting
+    /// zones down. A no-op under `FaultPlan::none` (no outage windows).
+    pub(super) fn enforce_blackouts(&mut self, report: &mut StepReport) -> bool {
+        if self.phase != Phase::Spot {
+            return false;
+        }
+        let mut acted = false;
+        for i in 0..self.zones.len() {
+            let Some(until) = self.outages[i].blacked_out(self.now) else {
+                continue;
+            };
+            match self.zones[i].inst {
+                InstanceState::Up | InstanceState::Booting { .. } => {
+                    self.blackout_zone(i, until);
+                    report.termination = true;
+                    acted = true;
+                }
+                InstanceState::Waiting => {
+                    self.zones[i].inst = InstanceState::Down;
+                    acted = true;
+                }
+                InstanceState::Down => {}
+            }
+        }
+        acted
+    }
+
+    /// The blackout analogue of an out-of-bid termination: the provider
+    /// kills the instance (partial hour free), speculative progress is
+    /// lost, and an in-flight checkpoint on the zone aborts.
+    fn blackout_zone(&mut self, i: usize, until: SimTime) {
+        let billing = self.zones[i]
+            .billing
+            .take()
+            .expect("billable zone has billing");
+        let charged = billing.stop(self.now, StopCause::OutOfBid);
+        self.spot_cost += charged;
+        self.replicas.stop(i);
+        self.zones[i].inst = InstanceState::Down;
+        self.record(Event::ZoneBlackout {
+            at: self.now,
+            zone: self.cfg.zones[i],
+            until,
+        });
+        if let Some(c) = self.ckpt {
+            if c.zone == i {
+                self.ckpt = None;
+                self.record(Event::CheckpointAborted {
+                    at: self.now,
+                    zone: self.cfg.zones[i],
+                });
+            }
+        }
+    }
+
+    fn terminate_out_of_bid(&mut self, i: usize) {
+        let billing = self.zones[i]
+            .billing
+            .take()
+            .expect("billable zone has billing");
+        let charged = billing.stop(self.now, StopCause::OutOfBid);
+        self.spot_cost += charged;
+        self.replicas.stop(i);
+        self.zones[i].inst = InstanceState::Down;
+        self.oob_terminations += 1;
+        self.record(Event::Terminated {
+            at: self.now,
+            zone: self.cfg.zones[i],
+            cause: TerminationCause::OutOfBid,
+            charged,
+        });
+        if let Some(c) = self.ckpt {
+            if c.zone == i {
+                self.ckpt = None;
+                self.record(Event::CheckpointAborted {
+                    at: self.now,
+                    zone: self.cfg.zones[i],
+                });
+            }
+        }
+    }
+
+    pub(super) fn stop_zone(&mut self, i: usize, cause: StopCause, reason: TerminationCause) {
+        if let Some(mut billing) = self.zones[i].billing.take() {
+            let zone = self.cfg.zones[i];
+            let mut stop_at = self.now;
+            if matches!(cause, StopCause::User) {
+                // Scheduler-initiated stops go through the control plane;
+                // a flaky terminate keeps the instance billing for the
+                // retry lag. Zero under `ApiFaultPlan::none`.
+                let lag = self.supervisor.terminate(zone, self.now);
+                if lag > SimDuration::ZERO {
+                    stop_at = self.now + lag;
+                    // Settle hour boundaries crossed during the lag at the
+                    // true trace rates, silently: the charges land in
+                    // `charged` below and every event stays stamped `now`,
+                    // keeping the log time-ordered.
+                    while billing.next_boundary() < stop_at {
+                        let b_at = billing.next_boundary();
+                        let rate = self.traces.price_at(zone, b_at);
+                        billing.on_hour_boundary(b_at, rate);
+                    }
+                    self.record(Event::TerminateLagged {
+                        at: self.now,
+                        zone,
+                        lag,
+                    });
+                }
+            }
+            let charged = billing.stop(stop_at, cause);
+            self.spot_cost += charged;
+            self.record(Event::Terminated {
+                at: self.now,
+                zone,
+                cause: reason,
+                charged,
+            });
+        }
+        self.replicas.stop(i);
+        self.zones[i].inst = InstanceState::Down;
+        self.zones[i].retire = false;
+        if let Some(c) = self.ckpt {
+            if c.zone == i {
+                self.ckpt = None;
+                self.record(Event::CheckpointAborted {
+                    at: self.now,
+                    zone: self.cfg.zones[i],
+                });
+            }
+        }
+    }
+}

@@ -17,6 +17,7 @@ pub mod faults;
 pub mod policy;
 pub mod run;
 pub mod supervisor;
+pub mod telemetry;
 
 pub use adaptive::scan::PermutationScan;
 pub use adaptive::{AdaptiveConfig, AdaptiveRunner, DecisionSession, ForecastMode};
@@ -28,3 +29,7 @@ pub use policy::{Policy, PolicyCtx, PolicyKind};
 pub use redspot_market::ApiFaultPlan;
 pub use run::{ApiStats, Event, RunResult, TerminationCause};
 pub use supervisor::{DenyReason, PriceView, RequestOutcome, Supervisor};
+pub use telemetry::{
+    Histogram, JsonlRecorder, MetricsRecorder, NullRecorder, Recorder, RunMetrics, VecRecorder,
+    ZoneDwell,
+};

@@ -303,7 +303,8 @@ pub struct RunResult {
     /// Control-plane health counters (all zero without API faults).
     #[serde(default)]
     pub api: ApiStats,
-    /// Event log (empty unless `record_events` was set).
+    /// Event log, as retained by the engine's telemetry sink (empty
+    /// when the run used a non-retaining sink such as `NullRecorder`).
     pub events: Vec<Event>,
 }
 

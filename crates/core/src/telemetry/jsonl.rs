@@ -1,0 +1,153 @@
+//! Streaming JSONL trace sink.
+//!
+//! One event per line, serialized with the externally-tagged serde
+//! representation of [`Event`] — the same shape `RunResult::events`
+//! serializes to inside a JSON array, minus the array. A trace file is
+//! therefore greppable, tail-able, and parseable line by line:
+//!
+//! ```text
+//! {"Requested":{"at":172800,"zone":0,"bid":810}}
+//! {"Started":{"at":172920,"zone":0,"from":0}}
+//! {"CheckpointCommitted":{"at":176400,"position":3480}}
+//! ```
+//!
+//! Write errors never interrupt the simulation: they are counted and
+//! surfaced through [`RunMetrics::trace_write_errors`], mirroring how
+//! production telemetry must not take down the workload it observes.
+
+use super::{Recorder, RunMetrics};
+use crate::run::Event;
+use std::io::Write;
+
+/// Streams each event as one line of JSON to an [`io::Write`](std::io::Write).
+///
+/// Wrap files in a [`BufWriter`](std::io::BufWriter) — the recorder
+/// issues one `write_all` per event. `finish` flushes.
+#[derive(Debug)]
+pub struct JsonlRecorder<W: Write> {
+    out: W,
+    lines: u64,
+    write_errors: u64,
+}
+
+impl<W: Write> JsonlRecorder<W> {
+    /// A recorder streaming to `out`.
+    pub fn new(out: W) -> JsonlRecorder<W> {
+        JsonlRecorder {
+            out,
+            lines: 0,
+            write_errors: 0,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Serialization or I/O failures so far (the run continues past them).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+
+    /// Flush and recover the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write> Recorder for JsonlRecorder<W> {
+    fn record(&mut self, event: Event) {
+        match serde_json::to_string(&event) {
+            Ok(mut line) => {
+                line.push('\n');
+                match self.out.write_all(line.as_bytes()) {
+                    Ok(()) => self.lines += 1,
+                    Err(_) => self.write_errors += 1,
+                }
+            }
+            Err(_) => self.write_errors += 1,
+        }
+    }
+
+    fn finish(&mut self) -> RunMetrics {
+        if self.out.flush().is_err() {
+            self.write_errors += 1;
+        }
+        RunMetrics {
+            events_recorded: self.lines,
+            trace_write_errors: self.write_errors,
+            ..RunMetrics::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redspot_trace::{Price, SimTime, ZoneId};
+
+    #[test]
+    fn lines_round_trip_to_events() {
+        let events = vec![
+            Event::Requested {
+                at: SimTime::from_secs(10),
+                zone: ZoneId(1),
+                bid: Price::from_dollars(0.81),
+            },
+            Event::AdaptiveSwitch {
+                at: SimTime::from_secs(20),
+                to: "bid $0.85 N=2 Periodic".to_string(),
+            },
+            Event::Completed {
+                at: SimTime::from_secs(30),
+            },
+        ];
+        let mut rec = JsonlRecorder::new(Vec::new());
+        for e in &events {
+            rec.record(e.clone());
+        }
+        assert_eq!(rec.lines(), 3);
+        assert_eq!(rec.write_errors(), 0);
+        let buf = rec.into_inner();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed: Vec<Event> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("line parses as Event"))
+            .collect();
+        assert_eq!(parsed, events);
+    }
+
+    /// A writer that fails after `ok` successful writes.
+    struct Flaky {
+        ok: usize,
+    }
+
+    impl Write for Flaky {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.ok == 0 {
+                return Err(std::io::Error::other("full"));
+            }
+            self.ok -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_errors_are_counted_not_fatal() {
+        let mut rec = JsonlRecorder::new(Flaky { ok: 1 });
+        let e = Event::Completed {
+            at: SimTime::from_secs(1),
+        };
+        rec.record(e.clone());
+        rec.record(e);
+        assert_eq!(rec.lines(), 1);
+        let m = rec.finish();
+        assert_eq!(m.trace_write_errors, 1);
+        assert_eq!(m.events_recorded, 1);
+    }
+}

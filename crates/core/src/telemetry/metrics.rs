@@ -1,0 +1,472 @@
+//! Metrics aggregation: fold the event stream into counters and
+//! histograms without retaining the events.
+//!
+//! [`MetricsRecorder`] is the constant-memory answer to "what happened
+//! in this run?": it counts every fault-tolerance action (checkpoints,
+//! restarts, out-of-bid terminations), every control-plane symptom
+//! (request failures, breaker trips, stale prices, terminate lag),
+//! tracks per-state dwell time for each zone, and attributes spot spend
+//! from billing events. [`RunMetrics`] values merge, so a sweep can sum
+//! its windows into one table row.
+
+use super::Recorder;
+use crate::run::{Event, TerminationCause};
+use redspot_trace::{Price, SimDuration, SimTime};
+use serde::Serialize;
+
+/// Number of log2 buckets: `secs == 0` lands in bucket 0, otherwise
+/// bucket `1 + floor(log2(secs))`; 40 buckets cover ~17 000 years.
+const BUCKETS: usize = 40;
+
+/// A log2-bucketed histogram of durations in seconds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Histogram {
+    /// Bucket `i` counts observations with `floor(log2(secs)) == i - 1`
+    /// (bucket 0 counts zero-length observations).
+    counts: Vec<u64>,
+    /// Total observations.
+    count: u64,
+    /// Sum of all observed seconds (for the mean).
+    sum_secs: u64,
+    /// Largest observation, in seconds.
+    max_secs: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum_secs: 0,
+            max_secs: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one duration.
+    pub fn observe(&mut self, d: SimDuration) {
+        let secs = d.secs();
+        let bucket = if secs == 0 {
+            0
+        } else {
+            (64 - secs.leading_zeros() as usize).min(BUCKETS - 1)
+        };
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum_secs = self.sum_secs.saturating_add(secs);
+        self.max_secs = self.max_secs.max(secs);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean observation in seconds (0 when empty).
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_secs as f64 / self.count as f64
+        }
+    }
+
+    /// Largest observation in seconds.
+    pub fn max_secs(&self) -> u64 {
+        self.max_secs
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_secs = self.sum_secs.saturating_add(other.sum_secs);
+        self.max_secs = self.max_secs.max(other.max_secs);
+    }
+}
+
+/// Wall-clock seconds spent by zones in each lifecycle state, summed
+/// over all zones. Derived from event transitions, so it only covers
+/// the span between a run's first and last event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct ZoneDwell {
+    /// No instance and no outstanding request.
+    pub down_secs: u64,
+    /// Request submitted, instance not yet running.
+    pub booting_secs: u64,
+    /// Replica executing.
+    pub up_secs: u64,
+    /// Affordable but deliberately idle (redundancy policy).
+    pub waiting_secs: u64,
+}
+
+impl ZoneDwell {
+    /// Fold another dwell tally into this one.
+    pub fn merge(&mut self, other: &ZoneDwell) {
+        self.down_secs += other.down_secs;
+        self.booting_secs += other.booting_secs;
+        self.up_secs += other.up_secs;
+        self.waiting_secs += other.waiting_secs;
+    }
+}
+
+/// Aggregated per-run telemetry, the output of [`Recorder::finish`].
+///
+/// All fields are additive: [`merge`](RunMetrics::merge) sums two runs
+/// (or tees), which is how sweeps aggregate windows.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct RunMetrics {
+    /// Runs folded into this value (0 for sinks that do not aggregate).
+    pub runs: u64,
+    /// Events retained or streamed by the sink (VecRecorder log length,
+    /// JSONL lines written; 0 for sinks that drop events).
+    pub events_recorded: u64,
+    /// Events observed by the metrics fold.
+    pub events_seen: u64,
+    /// Spot requests submitted.
+    pub spot_requests: u64,
+    /// Spot requests that failed at the control plane or were refused.
+    pub spot_request_failures: u64,
+    /// Replica (re)starts.
+    pub restarts: u64,
+    /// Zones parked in the waiting state.
+    pub waits: u64,
+    /// Out-of-bid (EC2-initiated) terminations.
+    pub out_of_bid_terminations: u64,
+    /// Scheduler-initiated terminations.
+    pub voluntary_terminations: u64,
+    /// Checkpoints started.
+    pub checkpoints_started: u64,
+    /// Checkpoints committed.
+    pub checkpoints_committed: u64,
+    /// Checkpoints aborted (writer terminated mid-write).
+    pub checkpoints_aborted: u64,
+    /// Checkpoint commits lost to injected write failures.
+    pub checkpoint_write_failures: u64,
+    /// Restores that fell back past a corrupt generation.
+    pub restore_fallbacks: u64,
+    /// Injected boot failures.
+    pub boot_failures: u64,
+    /// Zone blackout windows entered.
+    pub blackouts: u64,
+    /// Circuit-breaker trips (zone quarantined).
+    pub breaker_trips: u64,
+    /// Breaker half-open probes that closed the breaker.
+    pub breaker_closes: u64,
+    /// Price reads served stale.
+    pub stale_price_reads: u64,
+    /// Billed lag from terminate retries, in seconds.
+    pub terminate_lag_secs: u64,
+    /// Delayed on-demand migrations (control-plane retries on the path).
+    pub od_delays: u64,
+    /// Deadline-guard migrations to on-demand.
+    pub migrations: u64,
+    /// Adaptive controller reconfigurations.
+    pub adaptive_switches: u64,
+    /// Runtime deadline changes.
+    pub deadline_changes: u64,
+    /// Full billing hours charged at a boundary.
+    pub hours_charged: u64,
+    /// Runs that emitted `Completed`.
+    pub completed: u64,
+    /// Spot spend settled at instance stops (`Terminated.charged`) —
+    /// cross-checks `RunResult.spot_cost` on fault-free runs. (Blackout
+    /// and boot-failure settlements have no `Terminated` event, so the
+    /// two can diverge under injected faults.)
+    pub spot_charged: Price,
+    /// Per-state dwell time summed over zones.
+    pub dwell: ZoneDwell,
+    /// Time between consecutive checkpoint commits.
+    pub commit_interval: Histogram,
+    /// Lengths of uninterrupted replica executions.
+    pub up_run: Histogram,
+    /// Trace-sink write failures (JSONL sink; the run continues).
+    pub trace_write_errors: u64,
+}
+
+impl RunMetrics {
+    /// Fold `other` into `self`, field-wise.
+    pub fn merge(&mut self, other: &RunMetrics) {
+        self.runs += other.runs;
+        self.events_recorded += other.events_recorded;
+        self.events_seen += other.events_seen;
+        self.spot_requests += other.spot_requests;
+        self.spot_request_failures += other.spot_request_failures;
+        self.restarts += other.restarts;
+        self.waits += other.waits;
+        self.out_of_bid_terminations += other.out_of_bid_terminations;
+        self.voluntary_terminations += other.voluntary_terminations;
+        self.checkpoints_started += other.checkpoints_started;
+        self.checkpoints_committed += other.checkpoints_committed;
+        self.checkpoints_aborted += other.checkpoints_aborted;
+        self.checkpoint_write_failures += other.checkpoint_write_failures;
+        self.restore_fallbacks += other.restore_fallbacks;
+        self.boot_failures += other.boot_failures;
+        self.blackouts += other.blackouts;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_closes += other.breaker_closes;
+        self.stale_price_reads += other.stale_price_reads;
+        self.terminate_lag_secs += other.terminate_lag_secs;
+        self.od_delays += other.od_delays;
+        self.migrations += other.migrations;
+        self.adaptive_switches += other.adaptive_switches;
+        self.deadline_changes += other.deadline_changes;
+        self.hours_charged += other.hours_charged;
+        self.completed += other.completed;
+        self.spot_charged += other.spot_charged;
+        self.dwell.merge(&other.dwell);
+        self.commit_interval.merge(&other.commit_interval);
+        self.up_run.merge(&other.up_run);
+        self.trace_write_errors += other.trace_write_errors;
+    }
+}
+
+/// Zone lifecycle states tracked for dwell accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ZoneState {
+    Down,
+    Booting,
+    Up,
+    Waiting,
+}
+
+/// Per-zone dwell tracking: current state and when it was entered.
+#[derive(Debug, Clone, Copy)]
+struct ZoneTrack {
+    state: ZoneState,
+    since: SimTime,
+}
+
+/// Folds the event stream into [`RunMetrics`] in constant memory.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRecorder {
+    m: RunMetrics,
+    zones: Vec<Option<ZoneTrack>>,
+    last_commit: Option<SimTime>,
+    last_event: SimTime,
+}
+
+impl MetricsRecorder {
+    /// A fresh, all-zero recorder.
+    pub fn new() -> MetricsRecorder {
+        MetricsRecorder::default()
+    }
+
+    /// Transition `zone` to `state` at `now`, crediting the time spent
+    /// in the previous state.
+    fn transition(&mut self, zone: redspot_trace::ZoneId, now: SimTime, state: ZoneState) {
+        let idx = zone.0;
+        if self.zones.len() <= idx {
+            self.zones.resize(idx + 1, None);
+        }
+        let prev = self.zones[idx].replace(ZoneTrack { state, since: now });
+        if let Some(t) = prev {
+            self.credit(t, now);
+            if t.state == ZoneState::Up && state != ZoneState::Up {
+                self.m.up_run.observe(now.since(t.since));
+            }
+        }
+    }
+
+    /// Add `since → now` to the dwell bucket for a zone's old state.
+    fn credit(&mut self, t: ZoneTrack, now: SimTime) {
+        let secs = now.since(t.since).secs();
+        match t.state {
+            ZoneState::Down => self.m.dwell.down_secs += secs,
+            ZoneState::Booting => self.m.dwell.booting_secs += secs,
+            ZoneState::Up => self.m.dwell.up_secs += secs,
+            ZoneState::Waiting => self.m.dwell.waiting_secs += secs,
+        }
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn record(&mut self, event: Event) {
+        self.m.events_seen += 1;
+        self.last_event = self.last_event.max(event.at());
+        match &event {
+            Event::Requested { at, zone, .. } => {
+                self.m.spot_requests += 1;
+                self.transition(*zone, *at, ZoneState::Booting);
+            }
+            Event::Started { at, zone, .. } => {
+                self.m.restarts += 1;
+                self.transition(*zone, *at, ZoneState::Up);
+            }
+            Event::Waiting { at, zone } => {
+                self.m.waits += 1;
+                self.transition(*zone, *at, ZoneState::Waiting);
+            }
+            Event::Terminated {
+                at,
+                zone,
+                cause,
+                charged,
+            } => {
+                match cause {
+                    TerminationCause::OutOfBid => self.m.out_of_bid_terminations += 1,
+                    TerminationCause::Voluntary => self.m.voluntary_terminations += 1,
+                }
+                self.m.spot_charged += *charged;
+                self.transition(*zone, *at, ZoneState::Down);
+            }
+            Event::CheckpointStarted { .. } => self.m.checkpoints_started += 1,
+            Event::CheckpointCommitted { at, .. } => {
+                self.m.checkpoints_committed += 1;
+                if let Some(prev) = self.last_commit.replace(*at) {
+                    self.m.commit_interval.observe(at.since(prev));
+                }
+            }
+            Event::CheckpointAborted { .. } => self.m.checkpoints_aborted += 1,
+            Event::CheckpointWriteFailed { .. } => self.m.checkpoint_write_failures += 1,
+            Event::RestoreFailed { .. } => self.m.restore_fallbacks += 1,
+            Event::BootFailed { at, zone, .. } => {
+                self.m.boot_failures += 1;
+                self.transition(*zone, *at, ZoneState::Down);
+            }
+            Event::ZoneBlackout { at, zone, .. } => {
+                self.m.blackouts += 1;
+                self.transition(*zone, *at, ZoneState::Down);
+            }
+            Event::SpotRequestFailed { at, zone, .. } => {
+                self.m.spot_request_failures += 1;
+                self.transition(*zone, *at, ZoneState::Down);
+            }
+            Event::TerminateLagged { lag, .. } => {
+                self.m.terminate_lag_secs += lag.secs();
+            }
+            Event::StalePriceUsed { .. } => self.m.stale_price_reads += 1,
+            Event::ZoneQuarantined { .. } => self.m.breaker_trips += 1,
+            Event::ZoneBreakerClosed { .. } => self.m.breaker_closes += 1,
+            Event::OnDemandDelayed { .. } => self.m.od_delays += 1,
+            Event::SwitchedToOnDemand { .. } => self.m.migrations += 1,
+            Event::AdaptiveSwitch { .. } => self.m.adaptive_switches += 1,
+            Event::DeadlineChanged { .. } => self.m.deadline_changes += 1,
+            // `HourCharged` is informational: the spend it describes is
+            // settled (accrued) into `Terminated.charged` when the
+            // instance stops, so counting it here would double-bill.
+            Event::HourCharged { .. } => self.m.hours_charged += 1,
+            Event::Completed { .. } => self.m.completed += 1,
+        }
+    }
+
+    fn finish(&mut self) -> RunMetrics {
+        // Close open dwell intervals at the last event seen, then reset
+        // so the recorder can be reused for another run.
+        let end = self.last_event;
+        for t in std::mem::take(&mut self.zones).into_iter().flatten() {
+            self.credit(t, end);
+            if t.state == ZoneState::Up {
+                self.m.up_run.observe(end.since(t.since));
+            }
+        }
+        self.last_commit = None;
+        self.last_event = SimTime::ZERO;
+        let mut out = std::mem::take(&mut self.m);
+        out.runs = 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redspot_trace::ZoneId;
+
+    #[test]
+    fn histogram_buckets_and_merge() {
+        let mut h = Histogram::new();
+        h.observe(SimDuration::ZERO);
+        h.observe(SimDuration::from_secs(1));
+        h.observe(SimDuration::from_secs(300));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max_secs(), 300);
+        assert!((h.mean_secs() - 301.0 / 3.0).abs() < 1e-9);
+
+        let mut other = Histogram::new();
+        other.observe(SimDuration::from_hours(2));
+        h.merge(&other);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max_secs(), 7200);
+    }
+
+    #[test]
+    fn dwell_time_follows_transitions() {
+        let mut r = MetricsRecorder::new();
+        let z = ZoneId(0);
+        r.record(Event::Requested {
+            at: SimTime::from_secs(0),
+            zone: z,
+            bid: Price::from_dollars(0.81),
+        });
+        r.record(Event::Started {
+            at: SimTime::from_secs(120),
+            zone: z,
+            from: SimDuration::ZERO,
+        });
+        r.record(Event::Terminated {
+            at: SimTime::from_secs(720),
+            zone: z,
+            cause: TerminationCause::OutOfBid,
+            charged: Price::from_dollars(0.30),
+        });
+        r.record(Event::Completed {
+            at: SimTime::from_secs(900),
+        });
+        let m = r.finish();
+        assert_eq!(m.dwell.booting_secs, 120);
+        assert_eq!(m.dwell.up_secs, 600);
+        assert_eq!(m.dwell.down_secs, 180);
+        assert_eq!(m.up_run.count(), 1);
+        assert_eq!(m.up_run.max_secs(), 600);
+        assert_eq!(m.out_of_bid_terminations, 1);
+        assert_eq!(m.spot_charged, Price::from_dollars(0.30));
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.runs, 1);
+    }
+
+    #[test]
+    fn merge_is_fieldwise_additive() {
+        let mut a = RunMetrics {
+            runs: 1,
+            restarts: 2,
+            spot_charged: Price::from_dollars(1.0),
+            ..RunMetrics::default()
+        };
+        let b = RunMetrics {
+            runs: 1,
+            restarts: 3,
+            terminate_lag_secs: 7,
+            spot_charged: Price::from_dollars(0.5),
+            ..RunMetrics::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.runs, 2);
+        assert_eq!(a.restarts, 5);
+        assert_eq!(a.terminate_lag_secs, 7);
+        assert_eq!(a.spot_charged, Price::from_dollars(1.5));
+    }
+
+    #[test]
+    fn commit_interval_measures_gaps() {
+        let mut r = MetricsRecorder::new();
+        for t in [100u64, 400, 1000] {
+            r.record(Event::CheckpointCommitted {
+                at: SimTime::from_secs(t),
+                position: SimDuration::from_secs(t / 2),
+            });
+        }
+        let m = r.finish();
+        assert_eq!(m.checkpoints_committed, 3);
+        assert_eq!(m.commit_interval.count(), 2);
+        assert!((m.commit_interval.mean_secs() - 450.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,206 @@
+//! The observability plane: pluggable [`Recorder`] sinks for engine
+//! telemetry.
+//!
+//! Every event the engine emits flows through exactly one `Recorder`.
+//! The sink decides what observation costs:
+//!
+//! * [`NullRecorder`] — drops everything. `record` is an empty inline
+//!   body, so with static dispatch the compiler elides both the call and
+//!   the construction of the [`Event`] argument; a `NullRecorder` run is
+//!   indistinguishable from not instrumenting at all. This replaces the
+//!   old `record_events = false` config flag everywhere (forecast
+//!   sub-simulations, sweeps, benches).
+//! * [`VecRecorder`] — accumulates the event log in memory and hands it
+//!   to [`RunResult::events`](crate::RunResult), pinning the historical
+//!   `record_events = true` behavior bit for bit (events are moved, never
+//!   cloned).
+//! * [`JsonlRecorder`] — streams each event as one line of JSON to any
+//!   [`std::io::Write`], so arbitrarily long runs trace in constant
+//!   memory. See [`jsonl`] for the schema.
+//! * [`MetricsRecorder`] — folds events into [`RunMetrics`] counters and
+//!   histograms (checkpoints, restarts, breaker trips, per-state dwell,
+//!   cost by source) without retaining the events themselves.
+//!
+//! Sinks compose: `(A, B)` is a recorder that feeds both, and
+//! `Box<dyn Recorder>` defers the choice to runtime (the CLI uses both).
+//! The engine is generic over its recorder (`Engine<'_, R: Recorder>`),
+//! defaulting to `VecRecorder`, so the common paths stay statically
+//! dispatched.
+
+mod jsonl;
+mod metrics;
+
+pub use jsonl::JsonlRecorder;
+pub use metrics::{Histogram, MetricsRecorder, RunMetrics, ZoneDwell};
+
+use crate::run::Event;
+
+/// A sink for engine telemetry.
+///
+/// The engine calls [`record`](Recorder::record) once per emitted event,
+/// in simulation order, and [`finish`](Recorder::finish) exactly once
+/// when the run completes. The trait is dyn-safe; `Box<dyn Recorder>`
+/// and tuple composition are provided.
+pub trait Recorder {
+    /// Observe one event. Events arrive by value so that accumulating
+    /// sinks never clone; dropping the argument is free for sinks that
+    /// ignore it.
+    fn record(&mut self, event: Event);
+
+    /// Drain the retained event log, if this sink keeps one. The engine
+    /// calls this when assembling [`RunResult::events`](crate::RunResult);
+    /// non-retaining sinks return an empty (non-allocating) `Vec`.
+    fn take_events(&mut self) -> Vec<Event> {
+        Vec::new()
+    }
+
+    /// Finalize the run and surface whatever metrics this sink gathered.
+    /// Sinks that do not aggregate return the all-zero default.
+    fn finish(&mut self) -> RunMetrics {
+        RunMetrics::default()
+    }
+}
+
+/// Discards every event; observation costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline(always)]
+    fn record(&mut self, _event: Event) {}
+}
+
+/// Retains the full event log in memory, exactly as the engine's old
+/// `events: Vec<Event>` field did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VecRecorder {
+    events: Vec<Event>,
+}
+
+impl VecRecorder {
+    /// An empty log.
+    pub fn new() -> VecRecorder {
+        VecRecorder::default()
+    }
+
+    /// Read access to the events recorded so far.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+impl Recorder for VecRecorder {
+    #[inline]
+    fn record(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    fn take_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn finish(&mut self) -> RunMetrics {
+        RunMetrics {
+            events_recorded: self.events.len() as u64,
+            ..RunMetrics::default()
+        }
+    }
+}
+
+impl<R: Recorder + ?Sized> Recorder for Box<R> {
+    #[inline]
+    fn record(&mut self, event: Event) {
+        (**self).record(event);
+    }
+
+    fn take_events(&mut self) -> Vec<Event> {
+        (**self).take_events()
+    }
+
+    fn finish(&mut self) -> RunMetrics {
+        (**self).finish()
+    }
+}
+
+/// Tee: feed two sinks from one event stream. `finish` merges both
+/// sides' metrics; `take_events` drains whichever side retains a log
+/// (the left side wins if both do).
+impl<A: Recorder, B: Recorder> Recorder for (A, B) {
+    #[inline]
+    fn record(&mut self, event: Event) {
+        self.0.record(event.clone());
+        self.1.record(event);
+    }
+
+    fn take_events(&mut self) -> Vec<Event> {
+        let left = self.0.take_events();
+        let right = self.1.take_events();
+        if left.is_empty() {
+            right
+        } else {
+            left
+        }
+    }
+
+    fn finish(&mut self) -> RunMetrics {
+        let mut m = self.0.finish();
+        m.merge(&self.1.finish());
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redspot_trace::{Price, SimTime, ZoneId};
+
+    fn ev(secs: u64) -> Event {
+        Event::Requested {
+            at: SimTime::from_secs(secs),
+            zone: ZoneId(0),
+            bid: Price::from_dollars(0.81),
+        }
+    }
+
+    #[test]
+    fn null_recorder_retains_nothing() {
+        let mut r = NullRecorder;
+        r.record(ev(1));
+        let drained = r.take_events();
+        assert!(drained.is_empty());
+        assert_eq!(drained.capacity(), 0, "null sink must not allocate");
+        assert_eq!(r.finish(), RunMetrics::default());
+    }
+
+    #[test]
+    fn vec_recorder_retains_in_order_and_drains() {
+        let mut r = VecRecorder::new();
+        r.record(ev(1));
+        r.record(ev(2));
+        assert_eq!(r.events().len(), 2);
+        assert_eq!(r.finish().events_recorded, 2);
+        let drained = r.take_events();
+        assert_eq!(drained, vec![ev(1), ev(2)]);
+        assert!(r.take_events().is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn boxed_dyn_recorder_dispatches() {
+        let mut r: Box<dyn Recorder> = Box::new(VecRecorder::new());
+        r.record(ev(3));
+        assert_eq!(r.take_events(), vec![ev(3)]);
+    }
+
+    #[test]
+    fn tuple_recorder_feeds_both_sides() {
+        let mut r = (VecRecorder::new(), MetricsRecorder::new());
+        r.record(ev(4));
+        r.record(Event::Completed {
+            at: SimTime::from_secs(9),
+        });
+        let m = r.finish();
+        assert_eq!(m.spot_requests, 1);
+        assert_eq!(m.completed, 1);
+        assert_eq!(r.take_events().len(), 2);
+    }
+}

@@ -196,7 +196,6 @@ fn threshold_policy_full_run_on_volatile_market() {
     let traces = redspot_trace::gen::GenConfig::high_volatility(23).generate();
     let mut cfg = ExperimentConfig::paper_default().with_slack_percent(50);
     cfg.zones = vec![ZoneId(0)];
-    cfg.record_events = false;
     let r = Engine::new(
         &traces,
         SimTime::from_hours(48),

@@ -76,7 +76,6 @@ proptest! {
             bid: Price::from_millis(bid_millis),
             zones: (0..n_zones).map(ZoneId).collect(),
             seed,
-            record_events: false,
             io_server: None,
             faults: redspot_core::FaultPlan::none(),
             api: redspot_core::ApiFaultPlan::none(),
@@ -112,7 +111,6 @@ proptest! {
         cfg.app = AppSpec::new(SimDuration::from_hours(8));
         cfg.deadline = SimDuration::from_hours(10);
         cfg.seed = seed;
-        cfg.record_events = false;
         let r = Engine::new(&traces, SimTime::from_hours(48), cfg, PolicyKind::Periodic.build()).run();
         prop_assert!(r.met_deadline);
     }
@@ -141,7 +139,6 @@ proptest! {
         cfg.deadline = SimDuration::from_hours(9);
         cfg.seed = seed;
         cfg.zones = vec![ZoneId(0)];
-        cfg.record_events = false;
         let start = SimTime::from_hours(48);
         let r = Engine::new(&traces, start, cfg.clone(), PolicyKind::Periodic.build()).run();
         if !r.used_on_demand {
@@ -174,7 +171,6 @@ proptest! {
         cfg.app = AppSpec::new(SimDuration::from_hours(8));
         cfg.deadline = SimDuration::from_hours(10);
         cfg.seed = seed;
-        cfg.record_events = false;
         let r = Engine::with_delay_model(
             &traces,
             SimTime::from_hours(48),
@@ -199,7 +195,6 @@ proptest! {
         cfg.app = AppSpec::new(SimDuration::from_hours(8));
         cfg.deadline = SimDuration::from_hours(10);
         cfg.seed = seed;
-        cfg.record_events = false;
         cfg.io_server = Some(Price::from_dollars(0.10));
         let mut e = Engine::new(&traces, SimTime::from_hours(48), cfg, PolicyKind::Periodic.build());
 

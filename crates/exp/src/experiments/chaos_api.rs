@@ -74,11 +74,7 @@ impl ChaosApi {
 /// high-volatility market. `threads = 0` means one worker per CPU.
 pub fn study(seed: u64, intensities: &[f64], n_starts: usize, threads: usize) -> ChaosApi {
     let traces = GenConfig::high_volatility(seed).generate();
-    let base = {
-        let mut cfg = ExperimentConfig::paper_default().with_slack_percent(15);
-        cfg.record_events = false;
-        cfg
-    };
+    let base = ExperimentConfig::paper_default().with_slack_percent(15);
     let bid = Price::from_millis(810);
     let starts = experiment_starts(&traces, run_span_for(base.deadline), n_starts);
     let schemes = [

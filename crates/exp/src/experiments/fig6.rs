@@ -159,8 +159,7 @@ pub fn spike_stress(seed: u64, n_starts: usize) -> SpikeStress {
             SimTime::from_hours(spike_start_h - back)
         })
         .collect();
-    let mut base = ExperimentConfig::paper_default();
-    base.record_events = false;
+    let base = ExperimentConfig::paper_default();
     let _ = SimDuration::ZERO;
 
     let mut large_bid: Vec<(String, Vec<f64>)> = Vec::new();

@@ -50,8 +50,7 @@ impl Robustness {
 }
 
 fn medians_on(traces: &TraceSet, n_starts: usize, threads: usize) -> VariantOutcome {
-    let mut base = ExperimentConfig::paper_default().with_slack_percent(15);
-    base.record_events = false;
+    let base = ExperimentConfig::paper_default().with_slack_percent(15);
     let bid = Price::from_millis(810);
     let starts = experiment_starts(traces, run_span_for(base.deadline), n_starts);
 

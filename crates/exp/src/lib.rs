@@ -18,5 +18,5 @@ pub mod svg;
 pub mod sweep;
 pub mod windows;
 
-pub use scheme::{run_one, RunSpec, Scheme};
+pub use scheme::{run_one, run_one_metered, run_one_with, RunSpec, Scheme};
 pub use setup::PaperSetup;

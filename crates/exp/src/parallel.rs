@@ -7,9 +7,9 @@
 //! dynamic load balancing — adaptive runs take far longer than on-demand
 //! baselines), and a shared progress counter lets callers render progress.
 
-use crate::scheme::{run_one, RunSpec};
+use crate::scheme::{run_one, run_one_metered, RunSpec};
 use parking_lot::Mutex;
-use redspot_core::{ExperimentConfig, RunResult};
+use redspot_core::{ExperimentConfig, RunMetrics, RunResult};
 use redspot_trace::TraceSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -52,6 +52,43 @@ pub fn run_batch_with_progress(
     threads: usize,
     progress: &Progress,
 ) -> Vec<RunResult> {
+    pooled(specs, threads, progress, |i| {
+        run_one(traces, &specs[i], base)
+    })
+}
+
+/// [`run_batch`] with per-run [`MetricsRecorder`] sinks: returns results
+/// in spec order plus every run's metrics merged into one sweep-level
+/// [`RunMetrics`]. Merging is order-independent (all fields are additive),
+/// so the aggregate is bit-identical for any thread count.
+pub fn run_batch_metered(
+    traces: &TraceSet,
+    specs: &[RunSpec],
+    base: &ExperimentConfig,
+    threads: usize,
+) -> (Vec<RunResult>, RunMetrics) {
+    let pairs = pooled(specs, threads, &Progress::default(), |i| {
+        run_one_metered(traces, &specs[i], base)
+    });
+    let mut merged = RunMetrics::default();
+    let results = pairs
+        .into_iter()
+        .map(|(r, m)| {
+            merged.merge(&m);
+            r
+        })
+        .collect();
+    (results, merged)
+}
+
+/// The shared worker pool: run `job(i)` for every spec index, returning
+/// outputs in spec order. `threads = 0` means one worker per CPU.
+fn pooled<T: Send>(
+    specs: &[RunSpec],
+    threads: usize,
+    progress: &Progress,
+    job: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -64,10 +101,9 @@ pub fn run_batch_with_progress(
         return Vec::new();
     }
     if threads == 1 || specs.len() == 1 {
-        return specs
-            .iter()
-            .map(|s| {
-                let r = run_one(traces, s, base);
+        return (0..specs.len())
+            .map(|i| {
+                let r = job(i);
                 progress.done.fetch_add(1, Ordering::Relaxed);
                 r
             })
@@ -75,7 +111,7 @@ pub fn run_batch_with_progress(
     }
 
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RunResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<T>>> = specs.iter().map(|_| Mutex::new(None)).collect();
 
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads.min(specs.len()) {
@@ -84,7 +120,7 @@ pub fn run_batch_with_progress(
                 if i >= specs.len() {
                     break;
                 }
-                let result = run_one(traces, &specs[i], base);
+                let result = job(i);
                 *slots[i].lock() = Some(result);
                 progress.done.fetch_add(1, Ordering::Relaxed);
             });
@@ -130,11 +166,7 @@ mod tests {
     #[test]
     fn results_identical_across_thread_counts() {
         let traces = flat3(270, 120);
-        let base = {
-            let mut b = redspot_core::ExperimentConfig::paper_default();
-            b.record_events = false;
-            b
-        };
+        let base = redspot_core::ExperimentConfig::paper_default();
         let jobs = specs(12);
         let serial = run_batch(&traces, &jobs, &base, 1);
         let parallel = run_batch(&traces, &jobs, &base, 4);

@@ -1,7 +1,7 @@
 //! Terminal rendering of the paper's figures and tables: labeled ASCII
 //! boxplot panels (Figures 4–6) and markdown tables (Tables 2–3).
 
-use redspot_core::RunResult;
+use redspot_core::{RunMetrics, RunResult};
 use redspot_stats::boxplot::render_row;
 use redspot_stats::Boxplot;
 
@@ -88,6 +88,87 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     ));
     for row in rows {
         out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Render telemetry — a [`RunMetrics`] value from one run, or merged over
+/// every run in a sweep — as a markdown table plus derived summary lines
+/// (mean commit interval, mean uninterrupted up-run, dwell share).
+pub fn sweep_metrics_table(m: &RunMetrics) -> String {
+    let row = |k: &str, v: String| vec![k.to_string(), v];
+    let mut rows = vec![
+        row("runs", m.runs.to_string()),
+        row("completed", m.completed.to_string()),
+        row("events seen", m.events_seen.to_string()),
+        row("restarts", m.restarts.to_string()),
+        row("waits", m.waits.to_string()),
+        row(
+            "out-of-bid terminations",
+            m.out_of_bid_terminations.to_string(),
+        ),
+        row(
+            "voluntary terminations",
+            m.voluntary_terminations.to_string(),
+        ),
+        row(
+            "checkpoints (started/committed/aborted)",
+            format!(
+                "{}/{}/{}",
+                m.checkpoints_started, m.checkpoints_committed, m.checkpoints_aborted
+            ),
+        ),
+        row("on-demand migrations", m.migrations.to_string()),
+        row("adaptive switches", m.adaptive_switches.to_string()),
+        row("hours charged", m.hours_charged.to_string()),
+        row("spot charged", format!("{}", m.spot_charged)),
+    ];
+    // Fault-layer symptoms only clutter clean sweeps: show when nonzero.
+    let faults = [
+        ("boot failures", m.boot_failures),
+        ("blackouts", m.blackouts),
+        ("checkpoint write failures", m.checkpoint_write_failures),
+        ("restore fallbacks", m.restore_fallbacks),
+        ("spot request failures", m.spot_request_failures),
+        ("breaker trips", m.breaker_trips),
+        ("stale price reads", m.stale_price_reads),
+        ("terminate lag (s)", m.terminate_lag_secs),
+        ("delayed on-demand requests", m.od_delays),
+        ("trace write errors", m.trace_write_errors),
+    ];
+    for (k, v) in faults {
+        if v > 0 {
+            rows.push(row(k, v.to_string()));
+        }
+    }
+    let dwell_total =
+        m.dwell.down_secs + m.dwell.booting_secs + m.dwell.up_secs + m.dwell.waiting_secs;
+    let mut out = String::from("telemetry:\n");
+    out.push_str(&markdown_table(&["metric", "value"], &rows));
+    if m.commit_interval.count() > 0 {
+        out.push_str(&format!(
+            "  commit interval: mean {:.0}s, max {}s over {} gaps\n",
+            m.commit_interval.mean_secs(),
+            m.commit_interval.max_secs(),
+            m.commit_interval.count(),
+        ));
+    }
+    if m.up_run.count() > 0 {
+        out.push_str(&format!(
+            "  up-run length:   mean {:.0}s, max {}s over {} runs\n",
+            m.up_run.mean_secs(),
+            m.up_run.max_secs(),
+            m.up_run.count(),
+        ));
+    }
+    if dwell_total > 0 {
+        out.push_str(&format!(
+            "  zone dwell: up {:.1}%, waiting {:.1}%, booting {:.1}%, down {:.1}%\n",
+            100.0 * m.dwell.up_secs as f64 / dwell_total as f64,
+            100.0 * m.dwell.waiting_secs as f64 / dwell_total as f64,
+            100.0 * m.dwell.booting_secs as f64 / dwell_total as f64,
+            100.0 * m.dwell.down_secs as f64 / dwell_total as f64,
+        ));
     }
     out
 }

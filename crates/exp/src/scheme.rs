@@ -3,7 +3,8 @@
 use redspot_core::policy::large_bid::LARGE_BID;
 use redspot_core::policy::LargeBidPolicy;
 use redspot_core::{
-    on_demand_run, AdaptiveRunner, Engine, ExperimentConfig, PolicyKind, RunResult,
+    on_demand_run, AdaptiveRunner, Engine, ExperimentConfig, MetricsRecorder, NullRecorder,
+    PolicyKind, Recorder, RunMetrics, RunResult,
 };
 use redspot_market::DelayModel;
 use redspot_trace::{Price, SimTime, TraceSet, ZoneId};
@@ -73,22 +74,46 @@ pub struct RunSpec {
 /// Execute one run spec. Deterministic given `(traces, spec, base)`; the
 /// spec's identity is folded into the seed so queuing delays differ across
 /// jobs but never across reruns.
+///
+/// Sweeps are large, so observation is off by type: the run uses a
+/// [`NullRecorder`] sink and `RunResult::events` stays empty. Use
+/// [`run_one_metered`] (or [`run_one_with`]) to observe a run.
 pub fn run_one(traces: &TraceSet, spec: &RunSpec, base: &ExperimentConfig) -> RunResult {
+    run_one_with(traces, spec, base, NullRecorder).0
+}
+
+/// [`run_one`] with a [`MetricsRecorder`] sink: the run's events are
+/// folded into counters and histograms instead of being retained.
+pub fn run_one_metered(
+    traces: &TraceSet,
+    spec: &RunSpec,
+    base: &ExperimentConfig,
+) -> (RunResult, RunMetrics) {
+    run_one_with(traces, spec, base, MetricsRecorder::new())
+}
+
+/// Execute one run spec with an explicit telemetry sink.
+pub fn run_one_with<R: Recorder>(
+    traces: &TraceSet,
+    spec: &RunSpec,
+    base: &ExperimentConfig,
+    mut recorder: R,
+) -> (RunResult, RunMetrics) {
     let mut cfg = base.clone();
     cfg.bid = spec.bid;
     cfg.seed = mix_seed(base.seed, spec);
     match &spec.scheme {
         Scheme::Single { kind, zone } => {
             cfg.zones = vec![*zone];
-            Engine::new(traces, spec.start, cfg, kind.build()).run()
+            Engine::with_recorder(traces, spec.start, cfg, kind.build(), recorder).run_full()
         }
         Scheme::Redundant { kind, zones } => {
             cfg.zones = zones.clone();
-            Engine::new(traces, spec.start, cfg, kind.build()).run()
+            Engine::with_recorder(traces, spec.start, cfg, kind.build(), recorder).run_full()
         }
         Scheme::Adaptive => {
             cfg.zones = traces.zone_ids().collect();
-            AdaptiveRunner::new(traces, spec.start, cfg).run()
+            AdaptiveRunner::new(traces, spec.start, cfg).run_with(recorder)
         }
         Scheme::LargeBid { threshold, zone } => {
             cfg.zones = vec![*zone];
@@ -97,9 +122,15 @@ pub fn run_one(traces: &TraceSet, spec: &RunSpec, base: &ExperimentConfig) -> Ru
                 Some(l) => Box::new(LargeBidPolicy::new(*l)),
                 None => Box::new(LargeBidPolicy::naive()),
             };
-            Engine::new(traces, spec.start, cfg, policy).run()
+            Engine::with_recorder(traces, spec.start, cfg, policy, recorder).run_full()
         }
-        Scheme::OnDemand => on_demand_run(spec.start, &cfg),
+        Scheme::OnDemand => {
+            let r = on_demand_run(spec.start, &cfg);
+            for e in &r.events {
+                recorder.record(e.clone());
+            }
+            (r, recorder.finish())
+        }
     }
 }
 
@@ -163,9 +194,7 @@ mod tests {
     }
 
     fn base() -> ExperimentConfig {
-        let mut cfg = ExperimentConfig::paper_default();
-        cfg.record_events = false;
-        cfg
+        ExperimentConfig::paper_default()
     }
 
     #[test]

@@ -60,13 +60,13 @@ impl PaperSetup {
     }
 
     /// Base experiment configuration for a `(slack %, t_c)` cell of the
-    /// evaluation grid, with event recording off (sweeps are large).
+    /// evaluation grid. Sweeps run with a `NullRecorder` sink, so there
+    /// is no event-log toggle to set here.
     pub fn base_config(&self, slack_pct: u64, tc_secs: u64) -> ExperimentConfig {
         let mut cfg = ExperimentConfig::paper_default()
             .with_slack_percent(slack_pct)
             .with_costs(redspot_ckpt::CkptCosts::symmetric_secs(tc_secs));
         cfg.seed = self.seed;
-        cfg.record_events = false;
         cfg
     }
 }
@@ -90,7 +90,6 @@ mod tests {
         let cfg = s.base_config(50, 900);
         assert_eq!(cfg.slack(), SimDuration::from_hours(10));
         assert_eq!(cfg.costs.checkpoint.secs(), 900);
-        assert!(!cfg.record_events);
     }
 
     #[test]

@@ -29,7 +29,6 @@ fn main() {
     let mut cfg = ExperimentConfig::paper_default();
     cfg.zones = vec![ZoneId(0)];
     cfg.bid = LARGE_BID;
-    cfg.record_events = false;
     let naive = redspot::core::Engine::new(
         &traces,
         start,
@@ -57,8 +56,7 @@ fn main() {
     );
 
     // Adaptive: no thresholds to guess; bounded by construction.
-    let mut acfg = ExperimentConfig::paper_default();
-    acfg.record_events = false;
+    let acfg = ExperimentConfig::paper_default();
     let adaptive = AdaptiveRunner::new(&traces, start, acfg).run();
     println!(
         "Adaptive:             ${:>7.2}  (deadline met: {})",

@@ -15,7 +15,6 @@ fn run_policy(
 ) -> redspot::core::RunResult {
     let mut cfg = ExperimentConfig::paper_default();
     cfg.zones = zones;
-    cfg.record_events = false;
     Engine::new(traces, start, cfg, kind.build()).run()
 }
 

@@ -38,7 +38,6 @@ fn main() {
     cfg.deadline = SimDuration::from_hours(8);
     cfg.costs = CkptCosts::LOW;
     cfg.zones = vec![ZoneId(0)];
-    cfg.record_events = true;
 
     let engine = redspot::core::Engine::with_delay_model(
         &traces,

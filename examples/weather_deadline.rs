@@ -19,8 +19,7 @@ fn main() {
 
     // Kick off at "8 pm on day 5" of the trace.
     let start = SimTime::from_hours(5 * 24 + 20);
-    let mut cfg = ExperimentConfig::paper_default().with_slack_percent(15);
-    cfg.record_events = true;
+    let cfg = ExperimentConfig::paper_default().with_slack_percent(15);
 
     println!("weather run: 20h forecast, must finish within 23h (3h slack)\n");
 

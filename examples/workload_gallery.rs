@@ -23,7 +23,6 @@ fn main() {
         cfg.app = w.app;
         cfg.deadline = SimDuration::from_secs(w.app.work.secs() * 130 / 100);
         cfg.costs = w.costs;
-        cfg.record_events = false;
 
         let mut single = cfg.clone();
         single.zones = vec![ZoneId(0)];

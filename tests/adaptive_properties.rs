@@ -56,7 +56,6 @@ proptest! {
             .with_seed(seed);
         cfg.app = AppSpec::new(SimDuration::from_hours(10));
         cfg.deadline = SimDuration::from_secs(cfg.app.work.secs() * (100 + slack_pct) / 100);
-        cfg.record_events = false;
 
         let start = SimTime::from_hours(48);
         let r = AdaptiveRunner::new(&traces, start, cfg).run();

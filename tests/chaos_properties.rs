@@ -133,7 +133,6 @@ proptest! {
             .with_faults(faults);
         cfg.app = AppSpec::new(SimDuration::from_hours(8));
         cfg.deadline = SimDuration::from_secs(cfg.app.work.secs() * (100 + slack_pct) / 100);
-        cfg.record_events = true;
 
         let feasible = cfg.deadline >= cfg.app.work + cfg.costs.migration();
         let start = SimTime::from_hours(48);
@@ -165,7 +164,6 @@ proptest! {
                 .with_faults(faults);
             c.app = AppSpec::new(SimDuration::from_hours(8));
             c.deadline = SimDuration::from_secs(c.app.work.secs() * 115 / 100);
-            c.record_events = true;
             c
         };
         let start = SimTime::from_hours(48);
@@ -296,7 +294,6 @@ proptest! {
             .with_api_faults(api);
         cfg.app = AppSpec::new(SimDuration::from_hours(8));
         cfg.deadline = SimDuration::from_secs(cfg.app.work.secs() * (100 + slack_pct) / 100);
-        cfg.record_events = true;
         prop_assert!(cfg.validate().is_ok());
 
         // Feasible at submission: deadline covers the work, the migration
@@ -348,7 +345,6 @@ proptest! {
                 .with_api_faults(api);
             c.app = AppSpec::new(SimDuration::from_hours(8));
             c.deadline = SimDuration::from_secs(c.app.work.secs() * 115 / 100);
-            c.record_events = true;
             c
         };
         let start = SimTime::from_hours(48);

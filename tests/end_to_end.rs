@@ -74,8 +74,7 @@ fn adaptive_never_exceeds_120pct_of_on_demand_across_year() {
     let traces = redspot::trace::gen::year_history(5);
     for start_h in [60u64, 800, 2_000, 2_160 + 13 * 24 - 6, 4_000, 6_000] {
         let start = SimTime::from_hours(start_h);
-        let mut cfg = ExperimentConfig::paper_default();
-        cfg.record_events = false;
+        let cfg = ExperimentConfig::paper_default();
         let r = AdaptiveRunner::new(&traces, start, cfg).run();
         assert!(r.met_deadline, "missed deadline at {start_h}h");
         assert!(
@@ -113,12 +112,10 @@ fn redundancy_beats_single_zone_on_anticorrelated_outages() {
 
     let mut single = ExperimentConfig::paper_default().with_slack_percent(15);
     single.zones = vec![ZoneId(0)];
-    single.record_events = false;
     let r_single = Engine::new(&traces, SimTime::ZERO, single, PolicyKind::Periodic.build()).run();
 
     let mut redundant = ExperimentConfig::paper_default().with_slack_percent(15);
     redundant.zones = vec![ZoneId(0), ZoneId(1)];
-    redundant.record_events = false;
     let r_red = Engine::new(
         &traces,
         SimTime::ZERO,

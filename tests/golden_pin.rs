@@ -1,0 +1,136 @@
+//! Golden pin: the serialized `RunResult` — cost breakdown, event log,
+//! and `ApiStats` — of a set of fixed deterministic scenarios must stay
+//! bit-identical across refactors of the engine internals.
+//!
+//! The golden files under `tests/golden/` were generated from the
+//! pre-observability-plane engine (the monolithic `engine.rs` with
+//! `record_events: bool`); the suite therefore proves that routing event
+//! emission through `VecRecorder` changed nothing observable.
+//!
+//! Regenerate (only when an *intentional* behavior change lands) with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_pin
+//! ```
+
+use redspot::core::{AdaptiveRunner, Engine, ExperimentConfig, FaultPlan, PolicyKind, RunResult};
+use redspot::market::ApiFaultPlan;
+use redspot::trace::gen::GenConfig;
+use redspot::trace::SimTime;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+/// Compare `result` against `tests/golden/<name>.json`, or rewrite the
+/// golden file when `GOLDEN_REGEN=1` is set.
+fn check(name: &str, result: &RunResult) {
+    let json = serde_json::to_string_pretty(result).expect("RunResult serializes");
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &json).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); see module docs",
+            path.display()
+        )
+    });
+    if json != golden {
+        // Decode both sides for a readable first-divergence report before
+        // failing on the raw strings.
+        let got: RunResult = serde_json::from_str(&json).unwrap();
+        let want: RunResult = serde_json::from_str(&golden).unwrap();
+        assert_eq!(got, want, "golden divergence in {name}");
+        panic!("golden {name}: equal values but different serialization");
+    }
+}
+
+/// The quickstart scenario: calm market, paper defaults, Periodic.
+#[test]
+fn golden_baseline_periodic() {
+    let traces = GenConfig::low_volatility(42).generate();
+    let cfg = ExperimentConfig::paper_default();
+    let r = Engine::new(
+        &traces,
+        SimTime::from_hours(72),
+        cfg,
+        PolicyKind::Periodic.build(),
+    )
+    .run();
+    check("baseline_periodic", &r);
+}
+
+/// Volatile market under a brutal spot-fault plan: exercises checkpoint
+/// write failures, restore corruption, boot failures, and blackouts.
+#[test]
+fn golden_chaos_faults_periodic() {
+    let traces = GenConfig::high_volatility(7).generate();
+    let cfg = ExperimentConfig::paper_default()
+        .with_slack_percent(20)
+        .with_seed(9)
+        .with_faults(FaultPlan::with_intensity(0.6));
+    let r = Engine::new(
+        &traces,
+        SimTime::from_hours(48),
+        cfg,
+        PolicyKind::Periodic.build(),
+    )
+    .run();
+    check("chaos_faults_periodic", &r);
+}
+
+/// Control-plane faults: retries, throttles, and breaker trips must keep
+/// producing the identical `ApiStats` and event stream.
+#[test]
+fn golden_api_faults_markov_daly() {
+    let traces = GenConfig::high_volatility(11).generate();
+    let cfg = ExperimentConfig::paper_default()
+        .with_seed(3)
+        .with_api_faults(ApiFaultPlan::with_intensity(0.5));
+    let r = Engine::new(
+        &traces,
+        SimTime::from_hours(48),
+        cfg,
+        PolicyKind::MarkovDaly.build(),
+    )
+    .run();
+    check("api_faults_markov_daly", &r);
+}
+
+/// Combined spot + API faults on a single zone, the tightest RNG
+/// interleaving the engine supports.
+#[test]
+fn golden_combined_faults_single_zone() {
+    use redspot::trace::ZoneId;
+    let traces = GenConfig::high_volatility(23).generate();
+    let mut cfg = ExperimentConfig::paper_default()
+        .with_slack_percent(35)
+        .with_seed(17)
+        .with_faults(FaultPlan::with_intensity(0.4))
+        .with_api_faults(ApiFaultPlan::with_intensity(0.4));
+    cfg.zones = vec![ZoneId(0)];
+    let r = Engine::new(
+        &traces,
+        SimTime::from_hours(48),
+        cfg,
+        PolicyKind::Periodic.build(),
+    )
+    .run();
+    check("combined_faults_single_zone", &r);
+}
+
+/// The Adaptive meta-policy, whose decision points depend on the exact
+/// event cadence of the underlying engine.
+#[test]
+fn golden_adaptive_high_volatility() {
+    let traces = GenConfig::high_volatility(5).generate();
+    let cfg = ExperimentConfig::paper_default();
+    let r = AdaptiveRunner::new(&traces, SimTime::from_hours(60), cfg).run();
+    check("adaptive_high_volatility", &r);
+}

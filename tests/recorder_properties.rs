@@ -1,0 +1,217 @@
+//! Observability-plane properties: swapping the engine's [`Recorder`]
+//! sink must never change the simulation, only what gets observed.
+//!
+//! * Any market, any policy: `NullRecorder`, `MetricsRecorder`, and
+//!   `JsonlRecorder` all produce a [`RunResult`] identical to the
+//!   default `VecRecorder` run, modulo the retained event log.
+//! * A `NullRecorder` run's event log is not merely empty — it never
+//!   allocated.
+//! * The JSONL stream round-trips: every line parses back into the
+//!   exact [`Event`] the `VecRecorder` retained, in order.
+//! * On fault-free runs the `MetricsRecorder`'s settled spot spend
+//!   equals the engine's own `spot_cost` accounting.
+//! * The golden stream `tests/golden/baseline_periodic.jsonl` pins the
+//!   on-disk JSONL schema (regenerate with `GOLDEN_REGEN=1`, only when
+//!   an intentional schema change lands).
+
+use proptest::prelude::*;
+use redspot::core::{
+    Event, JsonlRecorder, MetricsRecorder, NullRecorder, Recorder, RunMetrics, VecRecorder,
+};
+use redspot::prelude::*;
+use redspot::trace::gen::ZoneRegime;
+
+/// An arbitrary bounded market (same shape as the chaos suite's).
+fn arb_market() -> impl Strategy<Value = TraceSet> {
+    (
+        0u64..10_000,  // seed
+        100u64..900,   // calm base
+        900u64..4_000, // elevated base
+        0.0f64..0.2,   // p_calm_to_elevated
+        0.01f64..0.3,  // p_elevated_to_calm
+        0.0f64..0.05,  // p_spike
+    )
+        .prop_map(|(seed, calm, elev, p_up, p_down, p_spike)| {
+            let mk = |i: usize| ZoneRegime {
+                calm_base: calm + 10 * i as u64,
+                calm_jitter: calm / 8,
+                p_move: 0.2,
+                elevated_base: elev,
+                elevated_jitter: elev / 8,
+                p_calm_to_elevated: p_up,
+                p_elevated_to_calm: p_down,
+                p_spike,
+                spike_range: (elev, elev * 3),
+                spike_steps: (1, 12),
+            };
+            GenConfig {
+                zones: (0..3).map(mk).collect(),
+                duration: SimDuration::from_hours(24 * 5),
+                start: SimTime::ZERO,
+                seed,
+                common_amplitude: 5,
+            }
+            .generate()
+        })
+}
+
+/// Run one engine over `traces` with the given sink.
+fn run_with<R: Recorder>(
+    traces: &TraceSet,
+    cfg: &ExperimentConfig,
+    kind: PolicyKind,
+    recorder: R,
+) -> (RunResult, RunMetrics) {
+    Engine::with_recorder(
+        traces,
+        SimTime::from_hours(48),
+        cfg.clone(),
+        kind.build(),
+        recorder,
+    )
+    .run_full()
+}
+
+/// A `RunResult` with the event log removed, for modulo-events equality.
+fn strip_events(mut r: RunResult) -> RunResult {
+    r.events = Vec::new();
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// THE sink-invariance property: every shipped recorder yields the
+    /// identical simulation, and what each one observes is consistent
+    /// with the `VecRecorder` ground truth.
+    #[test]
+    fn run_result_is_sink_invariant(
+        traces in arb_market(),
+        kind in prop_oneof![Just(PolicyKind::Periodic), Just(PolicyKind::MarkovDaly)],
+        slack_pct in 10u64..60,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = ExperimentConfig::paper_default()
+            .with_slack_percent(slack_pct)
+            .with_seed(seed);
+
+        let (vec_run, vec_metrics) = run_with(&traces, &cfg, kind, VecRecorder::new());
+        let bare = strip_events(vec_run.clone());
+
+        // NullRecorder: identical, and the event log never allocated.
+        let (null_run, null_metrics) = run_with(&traces, &cfg, kind, NullRecorder);
+        prop_assert_eq!(null_run.events.capacity(), 0, "NullRecorder allocated an event log");
+        prop_assert_eq!(&null_run, &bare);
+        prop_assert_eq!(null_metrics, RunMetrics::default());
+
+        // MetricsRecorder: identical modulo events; counters agree with
+        // the retained log and with the engine's own accounting.
+        let (metrics_run, m) = run_with(&traces, &cfg, kind, MetricsRecorder::new());
+        prop_assert_eq!(&metrics_run, &bare);
+        prop_assert_eq!(m.runs, 1);
+        prop_assert_eq!(m.events_seen as usize, vec_run.events.len());
+        prop_assert_eq!(m.restarts, vec_run.restarts as u64);
+        prop_assert_eq!(m.completed, u64::from(vec_run.met_deadline));
+        // Fault-free runs settle every instance through a Terminated
+        // event, so the sink's view of spot spend matches the engine's.
+        prop_assert_eq!(m.spot_charged, vec_run.spot_cost);
+
+        // The VecRecorder's own metrics see the same stream.
+        prop_assert_eq!(vec_metrics.events_recorded as usize, vec_run.events.len());
+
+        // JsonlRecorder: identical modulo events, no write errors, and
+        // the stream parses back into the exact retained log.
+        let mut buf = Vec::new();
+        let (jsonl_run, jm) = run_with(&traces, &cfg, kind, JsonlRecorder::new(&mut buf));
+        prop_assert_eq!(&jsonl_run, &bare);
+        prop_assert_eq!(jm.trace_write_errors, 0);
+        let parsed: Vec<Event> = String::from_utf8(buf)
+            .expect("JSONL stream is UTF-8")
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("every line is one Event"))
+            .collect();
+        prop_assert_eq!(parsed, vec_run.events);
+    }
+
+    /// The `(A, B)` tee feeds both sides the full stream and merges
+    /// their metrics, so tracing and counting compose in one run.
+    #[test]
+    fn tee_feeds_both_sinks(
+        traces in arb_market(),
+        seed in 0u64..1_000,
+    ) {
+        let cfg = ExperimentConfig::paper_default().with_seed(seed);
+        let (vec_run, _) = run_with(&traces, &cfg, PolicyKind::Periodic, VecRecorder::new());
+
+        let mut buf = Vec::new();
+        let tee = (JsonlRecorder::new(&mut buf), MetricsRecorder::new());
+        let (tee_run, m) = run_with(&traces, &cfg, PolicyKind::Periodic, tee);
+
+        prop_assert_eq!(&tee_run, &strip_events(vec_run.clone()));
+        prop_assert_eq!(m.events_seen as usize, vec_run.events.len());
+        let lines = buf.split(|b| *b == b'\n').filter(|l| !l.is_empty()).count();
+        prop_assert_eq!(lines, vec_run.events.len());
+    }
+}
+
+/// The Adaptive meta-policy's quiet path: `run_quiet` (forecast
+/// sub-simulations and the outer run all on `NullRecorder`) matches
+/// `run` modulo the event log, without allocating one.
+#[test]
+fn adaptive_run_quiet_matches_run() {
+    let traces = GenConfig::high_volatility(5).generate();
+    let cfg = ExperimentConfig::paper_default();
+    let start = SimTime::from_hours(60);
+    let loud = AdaptiveRunner::new(&traces, start, cfg.clone()).run();
+    let quiet = AdaptiveRunner::new(&traces, start, cfg).run_quiet();
+    assert_eq!(
+        quiet.events.capacity(),
+        0,
+        "run_quiet allocated an event log"
+    );
+    assert_eq!(quiet, strip_events(loud));
+}
+
+/// Pin the on-disk JSONL schema: the streamed trace of the quickstart
+/// scenario must stay byte-identical across refactors.
+#[test]
+fn golden_jsonl_stream_baseline_periodic() {
+    let traces = GenConfig::low_volatility(42).generate();
+    let cfg = ExperimentConfig::paper_default();
+    let mut buf = Vec::new();
+    let (_, m) = Engine::with_recorder(
+        &traces,
+        SimTime::from_hours(72),
+        cfg,
+        PolicyKind::Periodic.build(),
+        JsonlRecorder::new(&mut buf),
+    )
+    .run_full();
+    assert_eq!(m.trace_write_errors, 0);
+    let stream = String::from_utf8(buf).expect("JSONL stream is UTF-8");
+
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/baseline_periodic.jsonl");
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, &stream).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); see module docs",
+            path.display()
+        )
+    });
+    if stream != golden {
+        // Readable first-divergence report before failing on raw bytes.
+        for (i, (got, want)) in stream.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(got, want, "golden JSONL divergence at line {}", i + 1);
+        }
+        assert_eq!(
+            stream.lines().count(),
+            golden.lines().count(),
+            "golden JSONL line-count divergence"
+        );
+        panic!("golden JSONL: equal lines but different raw bytes");
+    }
+}

@@ -221,7 +221,6 @@ proptest! {
             .with_seed(seed);
         cfg.app = AppSpec::new(SimDuration::from_hours(10));
         cfg.deadline = SimDuration::from_secs(cfg.app.work.secs() * (100 + slack_pct) / 100);
-        cfg.record_events = true;
         let start = SimTime::from_hours(48);
 
         let mode = |forecast, scan_threads| AdaptiveConfig {
