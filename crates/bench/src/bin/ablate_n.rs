@@ -6,7 +6,7 @@ use redspot_bench::BinArgs;
 use redspot_core::PolicyKind;
 use redspot_exp::report::median;
 use redspot_exp::scheme::{RunSpec, Scheme};
-use redspot_exp::{parallel, PaperSetup};
+use redspot_exp::{PaperSetup, RunRequest};
 use redspot_trace::vol::Volatility;
 use redspot_trace::{Price, ZoneId};
 
@@ -34,7 +34,11 @@ fn costs_for_n(setup: &PaperSetup, kind: PolicyKind, n: usize) -> Vec<f64> {
             });
         }
     }
-    parallel::run_batch(traces, &specs, &base, setup.threads)
+    RunRequest::new(setup.ctx(vol), &base, &specs)
+        .threads(setup.threads)
+        .execute()
+        .expect("ablation base config is valid")
+        .results
         .iter()
         .map(|r| r.cost_dollars())
         .collect()

@@ -1,0 +1,210 @@
+//! Sweep throughput: the unified batch plane (shared scan seed, decision
+//! cache, Markov uptime memo, work-stealing executor) against the
+//! pre-batch-plane sequential path (one thread, no memoization).
+//!
+//! The workload is a paper-style sensitivity grid: adaptive runs at
+//! hourly-offset starts, swept across several slack levels (the paper
+//! compares 15 % and 50 % slack). All grid cells execute against one
+//! [`MarketCtx`], so the decision cache and uptime memo accumulate across
+//! the whole sweep — the sharing a real figure-generation run gets.
+//!
+//! Emits `BENCH_sweep.json` with wall-clock seconds and cells/s for each
+//! variant, the speedups, and both caches' hit rates. With `--check`,
+//! exits non-zero if the cached sequential path is slower than the
+//! uncached one, or if any variant's results diverge (determinism guard).
+
+use redspot_core::{CacheStats, ExperimentConfig, MarketCtx, MemoStats};
+use redspot_exp::exec::RunRequest;
+use redspot_exp::scheme::{RunSpec, Scheme};
+use redspot_trace::gen::GenConfig;
+use redspot_trace::{Price, SimTime};
+use std::time::Instant;
+
+/// Slack levels of the sensitivity grid, percent of `C`.
+const SLACKS: [u64; 4] = [10, 15, 25, 50];
+
+struct Args {
+    cells: usize,
+    seed: u64,
+    json: Option<String>,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        cells: 520,
+        seed: 42,
+        json: None,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let fail = |msg: &str| -> ! {
+        eprintln!("error: {msg}");
+        eprintln!(
+            "usage: bench_sweep [--quick] [--cells <n>] [--seed <s>] [--json <file>] [--check]"
+        );
+        std::process::exit(2);
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => out.cells = 60,
+            "--cells" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => out.cells = n,
+                _ => fail("--cells needs a positive integer"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => out.seed = s,
+                None => fail("--seed needs an integer"),
+            },
+            "--json" => match it.next() {
+                Some(p) => out.json = Some(p),
+                None => fail("--json needs a file path"),
+            },
+            "--check" => out.check = true,
+            other => fail(&format!("unknown flag: {other}")),
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let traces = GenConfig::high_volatility(args.seed).generate();
+
+    // Grid: `cells` = starts × slack levels. Starts are hourly offsets
+    // across the usable span of the month (48 h of history bootstrap in
+    // front, deadline + margin behind), cycling when needed.
+    let bases: Vec<ExperimentConfig> = SLACKS
+        .iter()
+        .map(|&pct| ExperimentConfig::paper_default().with_slack_percent(pct))
+        .collect();
+    let max_deadline = bases.iter().map(|b| b.deadline).max().expect("non-empty");
+    let span_hours = (traces.end().secs() / 3_600)
+        .saturating_sub(48 + max_deadline.secs() / 3_600 + 1)
+        .max(1);
+    let n_starts = args.cells.div_ceil(SLACKS.len());
+    let specs: Vec<RunSpec> = (0..n_starts)
+        .map(|i| RunSpec {
+            start: SimTime::from_hours(48 + (i as u64 % span_hours)),
+            bid: Price::from_millis(810),
+            scheme: Scheme::Adaptive,
+        })
+        .collect();
+    let cells = specs.len() * bases.len();
+
+    // Each variant runs the whole grid against one fresh context (no
+    // variant warms another's caches); `uncached` + one thread is the
+    // pre-batch-plane path.
+    struct Variant {
+        secs: f64,
+        results: Vec<redspot_core::RunResult>,
+        cache: CacheStats,
+        uptime: MemoStats,
+    }
+    let time = |mkt: &MarketCtx, threads: usize| -> Variant {
+        let t = Instant::now();
+        let mut results = Vec::with_capacity(cells);
+        let mut cache = CacheStats::default();
+        let mut uptime = MemoStats::default();
+        for base in &bases {
+            let out = RunRequest::new(mkt, base, &specs)
+                .threads(threads)
+                .execute()
+                .expect("paper-default config is valid");
+            results.extend(out.results);
+            cache.hits += out.cache.hits;
+            cache.misses += out.cache.misses;
+            cache.entries = out.cache.entries;
+            uptime.hits += out.uptime.hits;
+            uptime.misses += out.uptime.misses;
+            uptime.entries = out.uptime.entries;
+        }
+        Variant {
+            secs: t.elapsed().as_secs_f64(),
+            results,
+            cache,
+            uptime,
+        }
+    };
+    let uncached = time(&MarketCtx::uncached(traces.clone()), 1);
+    let cached = time(&MarketCtx::for_sweep(traces.clone()), 1);
+    let parallel = time(&MarketCtx::for_sweep(traces.clone()), 0);
+
+    let identical = uncached.results == cached.results && cached.results == parallel.results;
+    let per_sec = |s: f64| cells as f64 / s;
+    println!(
+        "adaptive sweep: {} cells ({} starts x {} slack levels), high volatility, {} zones, results identical: {identical}",
+        cells,
+        specs.len(),
+        bases.len(),
+        traces.n_zones(),
+    );
+    for (name, s) in [
+        ("sequential uncached", uncached.secs),
+        ("sequential cached", cached.secs),
+        ("parallel cached", parallel.secs),
+    ] {
+        println!(
+            "  {name:<20} {s:>8.2} s  {:>8.1} cells/s  {:>6.2}x vs uncached",
+            per_sec(s),
+            uncached.secs / s,
+        );
+    }
+    println!(
+        "  decision cache: {} hits / {} misses ({:.1}% hit rate), {} tables",
+        cached.cache.hits,
+        cached.cache.misses,
+        cached.cache.hit_rate() * 100.0,
+        cached.cache.entries,
+    );
+    println!(
+        "  uptime memo:    {} hits / {} misses ({:.1}% hit rate), {} scalars",
+        cached.uptime.hits,
+        cached.uptime.misses,
+        cached.uptime.hit_rate() * 100.0,
+        cached.uptime.entries,
+    );
+
+    if let Some(path) = &args.json {
+        let json = format!(
+            "{{\n  \"bench\": \"sweep_throughput\",\n  \"cells\": {},\n  \"starts\": {},\n  \"slack_percents\": [10, 15, 25, 50],\n  \"zones\": {},\n  \"sequential_uncached_secs\": {:.3},\n  \"sequential_cached_secs\": {:.3},\n  \"parallel_cached_secs\": {:.3},\n  \"speedup_cached\": {:.2},\n  \"speedup_parallel\": {:.2},\n  \"decision_cache_hits\": {},\n  \"decision_cache_misses\": {},\n  \"decision_cache_hit_rate\": {:.3},\n  \"decision_cache_tables\": {},\n  \"uptime_memo_hits\": {},\n  \"uptime_memo_misses\": {},\n  \"uptime_memo_hit_rate\": {:.3},\n  \"results_identical\": {}\n}}\n",
+            cells,
+            specs.len(),
+            traces.n_zones(),
+            uncached.secs,
+            cached.secs,
+            parallel.secs,
+            uncached.secs / cached.secs,
+            uncached.secs / parallel.secs,
+            cached.cache.hits,
+            cached.cache.misses,
+            cached.cache.hit_rate(),
+            cached.cache.entries,
+            cached.uptime.hits,
+            cached.uptime.misses,
+            cached.uptime.hit_rate(),
+            identical,
+        );
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if args.check {
+        if !identical {
+            eprintln!("check failed: results differ across variants");
+            std::process::exit(1);
+        }
+        if cached.secs > uncached.secs {
+            eprintln!(
+                "check failed: cached sequential sweep slower than uncached ({:.2}s vs {:.2}s)",
+                cached.secs, uncached.secs
+            );
+            std::process::exit(1);
+        }
+    }
+}

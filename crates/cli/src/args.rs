@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 /// Flags that take no value: present means `true`.
-const BOOL_FLAGS: &[&str] = &["api", "metrics"];
+const BOOL_FLAGS: &[&str] = &["api", "metrics", "cache-stats"];
 
 /// Parsed flags plus positional arguments.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -64,6 +64,27 @@ impl ParsedArgs {
     pub fn positional(&self, i: usize) -> Option<&str> {
         self.positional.get(i).map(String::as_str)
     }
+
+    /// The flags shared by every simulation subcommand, parsed in one
+    /// place so `run`, `sweep` and `chaos` agree on names and defaults.
+    pub fn common(&self) -> Result<CommonArgs, String> {
+        Ok(CommonArgs {
+            threads: self.num_or("threads", 0)?,
+            seed: self.num_or("seed", 42)?,
+            metrics: self.has("metrics"),
+        })
+    }
+}
+
+/// Flags every simulation subcommand shares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommonArgs {
+    /// Worker threads for batch execution (0 = one per CPU).
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Whether to print the telemetry table.
+    pub metrics: bool,
 }
 
 /// The help text.
@@ -93,12 +114,17 @@ USAGE:
   redspot markov-validation [--seed N] [--bid DOLLARS]
   redspot bootstrap --trace FILE --out FILE [--seed N] [--block-hours H] [--days D]
   redspot workloads                 # list the workload catalog
-  redspot sweep --trace FILE [--policy P] [--bids 0.27,0.81,2.40] [--n COUNT]
+  redspot sweep --trace FILE [--policy P|adaptive] [--bids 0.27,0.81,2.40] [--n COUNT]
                 [--redundant true] [--slack PCT] [--tc SECS] [--seed N] [--metrics]
+                [--threads N] [--cache-stats]
+                                    # --threads 0 (default) = one worker per CPU;
+                                    # --cache-stats prints decision-cache hit rates
+                                    # (adaptive sweeps share one memoization cache)
   redspot help
 
 Flags --workload NAME (on run/adaptive) override C, t_c and iteration
 structure from the catalog.
+Shared flags on run/sweep/chaos: --threads N, --seed N, --metrics.
 "
     .to_string()
 }
@@ -142,5 +168,31 @@ mod tests {
     fn bad_number_is_an_error() {
         let a = parse(&["--n", "many"]).unwrap();
         assert!(a.num_or("n", 1usize).is_err());
+    }
+
+    #[test]
+    fn common_args_share_defaults_and_flags() {
+        let c = parse(&[]).unwrap().common().unwrap();
+        assert_eq!(
+            c,
+            CommonArgs {
+                threads: 0,
+                seed: 42,
+                metrics: false
+            }
+        );
+        let c = parse(&["--threads", "3", "--seed", "9", "--metrics"])
+            .unwrap()
+            .common()
+            .unwrap();
+        assert_eq!(
+            c,
+            CommonArgs {
+                threads: 3,
+                seed: 9,
+                metrics: true
+            }
+        );
+        assert!(parse(&["--threads", "x"]).unwrap().common().is_err());
     }
 }

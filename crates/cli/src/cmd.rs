@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use crate::args::ParsedArgs;
+use crate::args::{CommonArgs, ParsedArgs};
 use crate::CliError;
 use redspot_core::{AdaptiveRunner, Engine, ExperimentConfig, PolicyKind, RunResult};
 use redspot_exp::experiments::{fig2, fig4, fig5, fig6, tables};
@@ -54,7 +54,11 @@ pub fn describe(parsed: &ParsedArgs) -> Result<String, String> {
     Ok(redspot_trace::io::describe(&traces))
 }
 
-fn experiment_config(parsed: &ParsedArgs, traces: &TraceSet) -> Result<ExperimentConfig, String> {
+fn experiment_config(
+    parsed: &ParsedArgs,
+    common: &CommonArgs,
+    traces: &TraceSet,
+) -> Result<ExperimentConfig, String> {
     let slack = parsed.num_or("slack", 15u64)?;
     let tc = parsed.num_or("tc", 300u64)?;
     let bid = Price::from_dollars(parsed.num_or("bid", 0.81f64)?);
@@ -74,7 +78,7 @@ fn experiment_config(parsed: &ParsedArgs, traces: &TraceSet) -> Result<Experimen
         .with_costs(redspot_ckpt::CkptCosts::symmetric_secs(tc))
         .with_bid(bid)
         .with_zones(zones)
-        .with_seed(parsed.num_or("seed", 42u64)?);
+        .with_seed(common.seed);
     if let Some(name) = parsed.get("workload") {
         let w = redspot_ckpt::workloads::by_name(name)
             .ok_or_else(|| format!("unknown workload: {name} (try `redspot workloads`)"))?;
@@ -82,8 +86,9 @@ fn experiment_config(parsed: &ParsedArgs, traces: &TraceSet) -> Result<Experimen
         cfg.costs = w.costs;
     }
     cfg = cfg.with_slack_percent(slack);
-    cfg.validate().map_err(|e| e.to_string())?;
-    Ok(cfg)
+    // Seal through the validating constructor: the engines re-check, but
+    // a bad flag combination should fail here with a config error.
+    Ok(cfg.build().map_err(|e| e.to_string())?.into_inner())
 }
 
 /// `workloads`: list the workload catalog.
@@ -145,8 +150,9 @@ pub fn run(parsed: &ParsedArgs) -> Result<String, String> {
     use redspot_core::{JsonlRecorder, MetricsRecorder, NullRecorder};
     use std::io::BufWriter;
 
+    let common = parsed.common()?;
     let traces = load_trace(parsed, "trace")?;
-    let cfg = experiment_config(parsed, &traces)?;
+    let cfg = experiment_config(parsed, &common, &traces)?;
     let kind = parse_policy(parsed)?;
     let start = SimTime::from_hours(parsed.num_or("start", 48u64)?);
     if start + cfg.deadline > traces.end() {
@@ -154,7 +160,7 @@ pub fn run(parsed: &ParsedArgs) -> Result<String, String> {
     }
 
     let trace_out = parsed.get("trace-out");
-    let want_metrics = parsed.has("metrics");
+    let want_metrics = common.metrics;
     let jsonl_sink = |path: &str| -> Result<JsonlRecorder<BufWriter<std::fs::File>>, String> {
         let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
         Ok(JsonlRecorder::new(BufWriter::new(file)))
@@ -254,8 +260,9 @@ pub fn validate_trace(parsed: &ParsedArgs) -> Result<String, String> {
 
 /// `adaptive`: a single experiment under the adaptive meta-policy.
 pub fn adaptive(parsed: &ParsedArgs) -> Result<String, String> {
+    let common = parsed.common()?;
     let traces = load_trace(parsed, "trace")?;
-    let mut cfg = experiment_config(parsed, &traces)?;
+    let mut cfg = experiment_config(parsed, &common, &traces)?;
     cfg.zones = traces.zone_ids().collect();
     let start = SimTime::from_hours(parsed.num_or("start", 48u64)?);
     if start + cfg.deadline > traces.end() {
@@ -518,7 +525,8 @@ pub fn spike_stress(parsed: &ParsedArgs) -> Result<String, String> {
 pub fn chaos(parsed: &ParsedArgs) -> Result<String, CliError> {
     use redspot_exp::experiments::{chaos, chaos_api};
     let usage = CliError::Usage;
-    let seed = parsed.num_or("seed", 42u64).map_err(usage)?;
+    let common = parsed.common().map_err(usage)?;
+    let seed = common.seed;
     let n = parsed.num_or("n", 8usize).map_err(usage)?;
     let spec = parsed.get_or("intensities", "0,0.3,0.6,1");
     let intensities: Vec<f64> = spec
@@ -543,10 +551,10 @@ pub fn chaos(parsed: &ParsedArgs) -> Result<String, CliError> {
         ));
     }
     let (rendered, violations) = if parsed.has("api") {
-        let c = chaos_api::study(seed, &intensities, n, 0);
+        let c = chaos_api::study(seed, &intensities, n, common.threads);
         (chaos_api::render(&c), c.total_violations())
     } else {
-        let c = chaos::study(seed, &intensities, n, 0);
+        let c = chaos::study(seed, &intensities, n, common.threads);
         (chaos::render(&c), c.total_violations())
     };
     if violations > 0 {
@@ -691,17 +699,26 @@ mod workload_tests {
 
 /// `sweep`: run many overlapping experiments on a user-provided trace and
 /// print a cost boxplot per bid — the Figure-4 machinery pointed at your
-/// own data.
+/// own data. `--policy adaptive` sweeps the meta-policy instead of a
+/// fixed checkpoint policy; `--cache-stats` reports how well the shared
+/// decision cache deduplicated adaptive sub-simulations.
 pub fn sweep(parsed: &ParsedArgs) -> Result<String, String> {
-    use redspot_exp::parallel::{run_batch, run_batch_metered};
+    use redspot_core::MarketCtx;
+    use redspot_exp::exec::RunRequest;
     use redspot_exp::report::{boxplot_panel, sweep_metrics_table, LabeledBox, REF_LINES};
     use redspot_exp::scheme::{RunSpec, Scheme};
     use redspot_exp::windows::{experiment_starts, run_span_for};
 
+    let common = parsed.common()?;
     let traces = load_trace(parsed, "trace")?;
-    let cfg = experiment_config(parsed, &traces)?;
+    let cfg = experiment_config(parsed, &common, &traces)?;
     let base = cfg.clone();
-    let kind = parse_policy(parsed)?;
+    let adaptive = parsed.get_or("policy", "periodic") == "adaptive";
+    let kind = if adaptive {
+        PolicyKind::Periodic // unused; the meta-policy picks per decision
+    } else {
+        parse_policy(parsed)?
+    };
     let redundant = parsed.get_or("redundant", "false") == "true";
     let n = parsed.num_or("n", 16usize)?;
     let bids: Vec<Price> = match parsed.get("bids") {
@@ -727,13 +744,28 @@ pub fn sweep(parsed: &ParsedArgs) -> Result<String, String> {
         );
     }
 
-    let want_metrics = parsed.has("metrics");
+    let want_cache_stats = parsed.has("cache-stats");
+    // One shared context for the whole sweep: every bid row reuses the
+    // same whole-trace scan seed and decision cache.
+    let mkt = if adaptive {
+        MarketCtx::for_sweep(traces.clone())
+    } else {
+        MarketCtx::new(traces.clone())
+    };
     let mut rows = Vec::new();
     let mut merged = redspot_core::RunMetrics::default();
+    let mut cache = redspot_core::CacheStats::default();
+    let mut uptime = redspot_core::MemoStats::default();
     for bid in bids {
         let mut specs = Vec::new();
         for &start in &starts {
-            if redundant {
+            if adaptive {
+                specs.push(RunSpec {
+                    start,
+                    bid,
+                    scheme: Scheme::Adaptive,
+                });
+            } else if redundant {
                 specs.push(RunSpec {
                     start,
                     bid,
@@ -752,30 +784,66 @@ pub fn sweep(parsed: &ParsedArgs) -> Result<String, String> {
                 }
             }
         }
-        let results = if want_metrics {
-            let (results, metrics) = run_batch_metered(&traces, &specs, &base, 0);
-            merged.merge(&metrics);
-            results
-        } else {
-            run_batch(&traces, &specs, &base, 0)
-        };
+        let out = RunRequest::new(&mkt, &base, &specs)
+            .threads(common.threads)
+            .metered(common.metrics)
+            .execute()
+            .map_err(|e| e.to_string())?;
+        if let Some(m) = &out.metrics {
+            merged.merge(m);
+        }
+        cache.hits += out.cache.hits;
+        cache.misses += out.cache.misses;
+        cache.entries = out.cache.entries;
+        uptime.hits += out.uptime.hits;
+        uptime.misses += out.uptime.misses;
+        uptime.entries = out.uptime.entries;
+        let results = out.results;
         let costs: Vec<f64> = results.iter().map(|r| r.cost_dollars()).collect();
-        if let Some(row) = LabeledBox::from_costs(format!("{}@{bid}", kind.label()), &costs) {
+        let label = if adaptive {
+            format!("A@{bid}")
+        } else {
+            format!("{}@{bid}", kind.label())
+        };
+        if let Some(row) = LabeledBox::from_costs(label, &costs) {
             rows.push(row);
         }
     }
+    let policy_label = if adaptive {
+        "Adaptive".to_string()
+    } else {
+        format!("{kind}")
+    };
     let title = format!(
-        "{kind} sweep over {} experiments ({})",
+        "{policy_label} sweep over {} experiments ({})",
         starts.len(),
-        if redundant {
+        if adaptive {
+            "meta-policy, all zones"
+        } else if redundant {
             "redundant, all zones"
         } else {
             "single zones merged"
         },
     );
     let mut out = boxplot_panel(&title, &rows, &REF_LINES);
-    if want_metrics {
+    if common.metrics {
         out.push_str(&sweep_metrics_table(&merged));
+    }
+    if want_cache_stats {
+        out.push_str(&format!(
+            "decision cache: {} hits / {} misses ({:.1}% hit rate), {} tables\n",
+            cache.hits,
+            cache.misses,
+            cache.hit_rate() * 100.0,
+            cache.entries,
+        ));
+        out.push_str(&format!(
+            "uptime memo: {} hits / {} misses ({:.1}% hit rate), {} scalars\n",
+            uptime.hits,
+            uptime.misses,
+            uptime.hit_rate() * 100.0,
+            uptime.entries,
+        ));
     }
     Ok(out)
 }
@@ -823,6 +891,41 @@ mod sweep_tests {
         assert!(out.contains("M@$2.40"));
         assert!(out.contains("on-demand = $48.00"));
         assert!(dispatch_str(&["sweep", "--trace", &path, "--bids", "xx"]).is_err());
+    }
+
+    #[test]
+    fn adaptive_sweep_reports_cache_stats() {
+        let path = tmp("sweep-adaptive.json");
+        dispatch_str(&[
+            "gen-trace",
+            "--profile",
+            "low",
+            "--seed",
+            "8",
+            "--out",
+            &path,
+        ])
+        .unwrap();
+        let out = dispatch_str(&[
+            "sweep",
+            "--trace",
+            &path,
+            "--policy",
+            "adaptive",
+            "--bids",
+            "0.81",
+            "--n",
+            "3",
+            "--threads",
+            "2",
+            "--cache-stats",
+        ])
+        .unwrap();
+        assert!(out.contains("A@$0.81"), "{out}");
+        assert!(out.contains("meta-policy, all zones"), "{out}");
+        assert!(out.contains("decision cache:"), "{out}");
+        assert!(out.contains("uptime memo:"), "{out}");
+        assert!(out.contains("hit rate"), "{out}");
     }
 
     #[test]

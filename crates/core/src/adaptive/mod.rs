@@ -10,6 +10,8 @@
 //! swaps are always compatible and bid/zone changes are applied through
 //! hour-boundary retirement, never mid-hour).
 
+pub mod cache;
+pub mod ctx;
 pub mod forecast;
 pub mod scan;
 
@@ -18,10 +20,13 @@ use crate::engine::Engine;
 use crate::policy::PolicyKind;
 use crate::run::RunResult;
 use crate::telemetry::{NullRecorder, Recorder, RunMetrics, VecRecorder};
+use cache::{CacheTally, DecisionCache, DecisionTable, ScopeKey, TableKey, TableRow};
+use ctx::MarketCtx;
 use forecast::{estimate, predicted_cost};
 use redspot_market::DelayModel;
 use redspot_trace::{Price, SimDuration, SimTime, TraceSet, Window, ZoneId};
-use scan::PermutationScan;
+use scan::{PermutationScan, ScanSeed};
+use std::sync::{Arc, OnceLock};
 
 /// How the controller evaluates the permutation space at a decision point.
 ///
@@ -104,6 +109,16 @@ pub struct AdaptiveRunner<'t> {
     base: ExperimentConfig,
     acfg: AdaptiveConfig,
     delay: DelayModel,
+    /// Sweep-shared decision-table cache (attached via
+    /// [`with_market_ctx`](Self::with_market_ctx)).
+    cache: Option<Arc<DecisionCache>>,
+    /// Sweep-shared whole-trace bucketing for seeded scan builds.
+    scan_seed: Option<Arc<ScanSeed>>,
+    /// Sweep-shared Markov model/uptime memo, attached to every policy
+    /// this runner instantiates.
+    uptime: Option<Arc<redspot_markov::UptimeMemo>>,
+    /// Interned scope id in `cache`, resolved on first use.
+    scope: OnceLock<u32>,
 }
 
 impl<'t> AdaptiveRunner<'t> {
@@ -130,6 +145,10 @@ impl<'t> AdaptiveRunner<'t> {
             base,
             acfg: AdaptiveConfig::default(),
             delay: DelayModel::paper(),
+            cache: None,
+            scan_seed: None,
+            uptime: None,
+            scope: OnceLock::new(),
         }
     }
 
@@ -142,6 +161,31 @@ impl<'t> AdaptiveRunner<'t> {
     /// Override the queuing-delay model (tests, ablations).
     pub fn with_delay_model(mut self, delay: DelayModel) -> AdaptiveRunner<'t> {
         self.delay = delay;
+        self
+    }
+
+    /// Attach a sweep-shared [`MarketCtx`]: decision tables are looked up
+    /// in (and inserted into) its cache, and scan builds reuse its
+    /// whole-trace bucketing when the seed's zone list and bid grid match
+    /// this runner's. Call *after* [`with_config`](Self::with_config) so
+    /// the compatibility check sees the final grid.
+    ///
+    /// Decisions are bit-identical with or without a context attached
+    /// (pinned by `tests/batch_properties.rs`). If `ctx` wraps a
+    /// different trace set than this runner's, nothing is attached.
+    pub fn with_market_ctx(mut self, mkt: &MarketCtx) -> AdaptiveRunner<'t> {
+        if !std::ptr::eq(self.traces, mkt.traces()) && self.traces != mkt.traces() {
+            return self;
+        }
+        self.cache = mkt.cache().map(Arc::clone);
+        self.uptime = mkt.uptime_memo().map(Arc::clone);
+        if let Some(seed) = mkt.scan_seed() {
+            let mut sorted = self.acfg.bid_grid.clone();
+            sorted.sort_unstable();
+            if seed.zones() == self.base.zones && seed.bids() == sorted {
+                self.scan_seed = Some(Arc::clone(seed));
+            }
+        }
         self
     }
 
@@ -185,44 +229,109 @@ impl<'t> AdaptiveRunner<'t> {
         mask
     }
 
-    /// Evaluate every permutation at `now` and return the cheapest,
-    /// reusing (and advancing) the cached scan when in scan mode.
+    /// Evaluate every permutation at `now` and return the cheapest.
+    ///
+    /// Split into two stages so the expensive one can be memoized: the
+    /// [`DecisionTable`] (zone ranking + every permutation's forecast)
+    /// depends only on the scope and the window's canonical probe grid,
+    /// while [`pick`](Self::pick) applies the
+    /// `(remaining compute, remaining time)`-dependent cost ranking row
+    /// by row — the same arithmetic, in the same order, the fused loops
+    /// used to run.
     fn choose(
         &self,
         scan: &mut Option<PermutationScan>,
+        tally: &mut CacheTally,
         now: SimTime,
         remaining_compute: SimDuration,
         remaining_time: SimDuration,
     ) -> Option<Permutation> {
         let window = self.history_window(now)?;
+        let table = self.decision_table(scan, tally, window);
+        self.pick(&table, remaining_compute, remaining_time)
+    }
+
+    /// The decision table for `window`: from the cache when a market
+    /// context is attached and the key is already present, otherwise
+    /// computed (and, with a cache, inserted).
+    ///
+    /// On a cache hit the scan is *not* advanced; a later miss either
+    /// advances it across the gap (the compatibility check in
+    /// [`PermutationScan::advance`] handles arbitrary jumps) or rebuilds,
+    /// so hits never change what misses compute.
+    fn decision_table(
+        &self,
+        scan: &mut Option<PermutationScan>,
+        tally: &mut CacheTally,
+        window: Window,
+    ) -> Arc<DecisionTable> {
+        let Some(cache) = self.cache.as_ref().filter(|_| !self.base.zones.is_empty()) else {
+            return Arc::new(self.build_table(scan, window));
+        };
+        let scope = *self.scope.get_or_init(|| cache.scope_id(&self.scope_key()));
+        let series = self.traces.zone(self.base.zones[0]);
+        let (first_step, n_steps) =
+            cache::window_key(series.start(), series.step(), series.end(), window);
+        let key = TableKey {
+            scope,
+            first_step,
+            n_steps,
+        };
+        if let Some(table) = cache.lookup(key) {
+            tally.hits += 1;
+            return table;
+        }
+        tally.misses += 1;
+        cache.insert(key, self.build_table(scan, window))
+    }
+
+    /// Full structural copy of everything the table depends on besides
+    /// the window (and the market, which scopes the cache itself).
+    fn scope_key(&self) -> ScopeKey {
+        ScopeKey {
+            zones: self.base.zones.clone(),
+            bid_grid: self.acfg.bid_grid.clone(),
+            n_options: self.acfg.n_options.clone(),
+            policy_kinds: self.acfg.policy_kinds.clone(),
+            costs: self.base.costs,
+            max_bid: self.acfg.max_bid,
+            forecast: self.acfg.forecast,
+        }
+    }
+
+    /// Compute the table for `window`, reusing (and advancing) the cached
+    /// scan in scan mode.
+    fn build_table(&self, scan: &mut Option<PermutationScan>, window: Window) -> DecisionTable {
         match self.acfg.forecast {
-            ForecastMode::Naive => self.choose_naive(window, remaining_compute, remaining_time),
+            ForecastMode::Naive => self.build_table_naive(window),
             ForecastMode::Scan => {
                 if let Some(s) = scan.as_mut() {
                     s.advance(self.traces, window);
                 } else {
-                    *scan = Some(PermutationScan::build(
-                        self.traces,
-                        &self.base.zones,
-                        &self.acfg.bid_grid,
-                        window,
-                        self.acfg.scan_threads,
-                    ));
+                    *scan = Some(match &self.scan_seed {
+                        Some(seed) => PermutationScan::build_seeded(
+                            self.traces,
+                            Arc::clone(seed),
+                            window,
+                            self.acfg.scan_threads,
+                        ),
+                        None => PermutationScan::build(
+                            self.traces,
+                            &self.base.zones,
+                            &self.acfg.bid_grid,
+                            window,
+                            self.acfg.scan_threads,
+                        ),
+                    });
                 }
-                let s = scan.as_ref().expect("scan installed above");
-                self.choose_scanned(s, remaining_compute, remaining_time)
+                self.build_table_scanned(scan.as_ref().expect("scan installed above"))
             }
         }
     }
 
-    /// Reference decision loop: one full history walk per permutation.
-    fn choose_naive(
-        &self,
-        window: Window,
-        remaining_compute: SimDuration,
-        remaining_time: SimDuration,
-    ) -> Option<Permutation> {
-        let mut best: Option<Permutation> = None;
+    /// Reference table builder: one full history walk per permutation.
+    fn build_table_naive(&self, window: Window) -> DecisionTable {
+        let mut table = DecisionTable::new();
         for &bid in &self.acfg.bid_grid {
             if bid > self.acfg.max_bid {
                 continue;
@@ -241,25 +350,23 @@ impl<'t> AdaptiveRunner<'t> {
                     .collect();
                 for &kind in &self.acfg.policy_kinds {
                     let f = estimate(self.traces, &zone_ids, window, bid, self.base.costs, kind);
-                    let cost =
-                        predicted_cost(&f, remaining_compute, remaining_time, self.base.costs);
-                    Self::consider(&mut best, bid, &mask, kind, cost);
+                    table.push(TableRow {
+                        bid,
+                        mask: mask.clone(),
+                        kind,
+                        forecast: f,
+                    });
                 }
             }
         }
-        best
+        table
     }
 
-    /// Scan-backed decision loop: identical iteration order and selection
-    /// rule to [`choose_naive`](Self::choose_naive), with every forecast
-    /// and zone ranking derived from the shared scan structures.
-    fn choose_scanned(
-        &self,
-        scan: &PermutationScan,
-        remaining_compute: SimDuration,
-        remaining_time: SimDuration,
-    ) -> Option<Permutation> {
-        let mut best: Option<Permutation> = None;
+    /// Scan-backed table builder: identical iteration order to
+    /// [`build_table_naive`](Self::build_table_naive), with every
+    /// forecast and zone ranking derived from the shared scan structures.
+    fn build_table_scanned(&self, scan: &PermutationScan) -> DecisionTable {
+        let mut table = DecisionTable::new();
         for &bid in &self.acfg.bid_grid {
             if bid > self.acfg.max_bid {
                 continue;
@@ -272,11 +379,37 @@ impl<'t> AdaptiveRunner<'t> {
                 let mask = scan.top_zones(bid_idx, n);
                 for &kind in &self.acfg.policy_kinds {
                     let f = scan.forecast(bid_idx, &mask, self.base.costs, kind);
-                    let cost =
-                        predicted_cost(&f, remaining_compute, remaining_time, self.base.costs);
-                    Self::consider(&mut best, bid, &mask, kind, cost);
+                    table.push(TableRow {
+                        bid,
+                        mask: mask.clone(),
+                        kind,
+                        forecast: f,
+                    });
                 }
             }
+        }
+        table
+    }
+
+    /// Rank a table's rows by predicted remaining cost and return the
+    /// cheapest — the decision-point-dependent half of the old fused
+    /// choose loops, bit-identical because rows are stored in iteration
+    /// order and all float arithmetic is unchanged.
+    fn pick(
+        &self,
+        table: &DecisionTable,
+        remaining_compute: SimDuration,
+        remaining_time: SimDuration,
+    ) -> Option<Permutation> {
+        let mut best: Option<Permutation> = None;
+        for row in table {
+            let cost = predicted_cost(
+                &row.forecast,
+                remaining_compute,
+                remaining_time,
+                self.base.costs,
+            );
+            Self::consider(&mut best, row.bid, &row.mask, row.kind, cost);
         }
         best
     }
@@ -304,12 +437,23 @@ impl<'t> AdaptiveRunner<'t> {
         }
     }
 
-    fn apply<R: Recorder>(engine: &mut Engine<'_, R>, perm: &Permutation) {
+    /// Instantiate `kind`'s policy with the shared uptime memo (if any)
+    /// attached — every policy this runner hands to an engine goes
+    /// through here.
+    fn build_policy(&self, kind: PolicyKind) -> Box<dyn crate::policy::Policy> {
+        let mut policy = kind.build();
+        if let Some(memo) = &self.uptime {
+            policy.attach_uptime_memo(memo);
+        }
+        policy
+    }
+
+    fn apply<R: Recorder>(&self, engine: &mut Engine<'_, R>, perm: &Permutation) {
         engine.set_bid(perm.bid);
         for (i, &active) in perm.mask.iter().enumerate() {
             engine.set_active(i, active);
         }
-        engine.set_policy(perm.kind.build());
+        engine.set_policy(self.build_policy(perm.kind));
         engine.note_adaptive_switch(perm.describe());
     }
 
@@ -322,6 +466,7 @@ impl<'t> AdaptiveRunner<'t> {
         DecisionSession {
             runner: self,
             scan: None,
+            tally: CacheTally::default(),
         }
     }
 
@@ -343,9 +488,16 @@ impl<'t> AdaptiveRunner<'t> {
     pub fn run_with<R: Recorder>(self, recorder: R) -> (RunResult, RunMetrics) {
         let mut cfg = self.base.clone();
         let mut scan: Option<PermutationScan> = None;
+        let mut tally = CacheTally::default();
         // Bootstrap permutation from history before the experiment starts;
         // fall back to the paper's sweet spot when there is no history.
-        let boot = self.choose(&mut scan, self.start, cfg.app.work, cfg.deadline);
+        let boot = self.choose(
+            &mut scan,
+            &mut tally,
+            self.start,
+            cfg.app.work,
+            cfg.deadline,
+        );
         let (bid, kind) = boot
             .as_ref()
             .map(|p| (p.bid, p.kind))
@@ -358,14 +510,14 @@ impl<'t> AdaptiveRunner<'t> {
             self.traces,
             self.start,
             cfg,
-            kind.build(),
+            self.build_policy(kind),
             self.delay,
             recorder,
         )
         .expect("invalid experiment configuration");
         let mut current = boot;
         if let Some(p) = &current {
-            AdaptiveRunner::apply(&mut engine, p);
+            self.apply(&mut engine, p);
         }
 
         loop {
@@ -378,9 +530,13 @@ impl<'t> AdaptiveRunner<'t> {
             }
             let remaining_compute = engine.config().app.work - engine.best_position();
             let remaining_time = engine.deadline_abs().since(engine.now());
-            if let Some(next) =
-                self.choose(&mut scan, engine.now(), remaining_compute, remaining_time)
-            {
+            if let Some(next) = self.choose(
+                &mut scan,
+                &mut tally,
+                engine.now(),
+                remaining_compute,
+                remaining_time,
+            ) {
                 let changed = match &current {
                     Some(cur) => {
                         cur.bid != next.bid || cur.mask != next.mask || cur.kind != next.kind
@@ -388,12 +544,15 @@ impl<'t> AdaptiveRunner<'t> {
                     None => true,
                 };
                 if changed {
-                    AdaptiveRunner::apply(&mut engine, &next);
+                    self.apply(&mut engine, &next);
                     current = Some(next);
                 }
             }
         }
-        engine.into_result_with_metrics()
+        let (result, mut metrics) = engine.into_result_with_metrics();
+        metrics.decision_cache_hits += tally.hits;
+        metrics.decision_cache_misses += tally.misses;
+        (result, metrics)
     }
 }
 
@@ -403,6 +562,7 @@ impl<'t> AdaptiveRunner<'t> {
 pub struct DecisionSession<'r, 't> {
     runner: &'r AdaptiveRunner<'t>,
     scan: Option<PermutationScan>,
+    tally: CacheTally,
 }
 
 impl DecisionSession<'_, '_> {
@@ -416,8 +576,19 @@ impl DecisionSession<'_, '_> {
         remaining_compute: SimDuration,
         remaining_time: SimDuration,
     ) -> Option<Permutation> {
-        self.runner
-            .choose(&mut self.scan, now, remaining_compute, remaining_time)
+        self.runner.choose(
+            &mut self.scan,
+            &mut self.tally,
+            now,
+            remaining_compute,
+            remaining_time,
+        )
+    }
+
+    /// Cache hits/misses accumulated by this session's decisions (always
+    /// zero when the runner has no market context attached).
+    pub fn cache_tally(&self) -> CacheTally {
+        self.tally
     }
 }
 
@@ -518,6 +689,57 @@ mod tests {
         let two = runner.top_zones(w, m(810), 2);
         assert!(two[1]);
         assert_eq!(two.iter().filter(|&&b| b).count(), 2);
+    }
+
+    #[test]
+    fn market_ctx_cache_is_bit_identical_and_counts() {
+        let traces = GenConfig::high_volatility(11).generate();
+        let mkt = MarketCtx::for_sweep(traces.clone());
+        let start = SimTime::from_hours(90);
+        let plain = AdaptiveRunner::new(&traces, start, base())
+            .with_delay_model(DelayModel::zero())
+            .run_quiet();
+        // First cached run: all misses (fills the cache).
+        let (first, m1) = AdaptiveRunner::new(mkt.traces(), start, base())
+            .with_market_ctx(&mkt)
+            .with_delay_model(DelayModel::zero())
+            .run_with(NullRecorder);
+        // Second identical run: every decision point hits.
+        let (second, m2) = AdaptiveRunner::new(mkt.traces(), start, base())
+            .with_market_ctx(&mkt)
+            .with_delay_model(DelayModel::zero())
+            .run_with(NullRecorder);
+        assert_eq!(plain, first);
+        assert_eq!(plain, second);
+        // The first run fills the cache (it may still hit intra-run when
+        // nearby decision points share a 5-minute probe bucket); the
+        // second run never misses.
+        assert!(m1.decision_cache_misses > 0);
+        assert_eq!(m2.decision_cache_misses, 0);
+        assert_eq!(
+            m2.decision_cache_hits,
+            m1.decision_cache_hits + m1.decision_cache_misses
+        );
+        let stats = mkt.cache_stats();
+        assert_eq!(stats.entries as u64, m1.decision_cache_misses);
+    }
+
+    #[test]
+    fn market_ctx_with_foreign_traces_attaches_nothing() {
+        let traces = GenConfig::low_volatility(5).generate();
+        let other = GenConfig::high_volatility(6).generate();
+        let mkt = MarketCtx::for_sweep(other);
+        let start = SimTime::from_hours(72);
+        let plain = AdaptiveRunner::new(&traces, start, base())
+            .with_delay_model(DelayModel::zero())
+            .run_quiet();
+        let (guarded, m) = AdaptiveRunner::new(&traces, start, base())
+            .with_market_ctx(&mkt)
+            .with_delay_model(DelayModel::zero())
+            .run_with(NullRecorder);
+        assert_eq!(plain, guarded);
+        assert_eq!(m.decision_cache_hits + m.decision_cache_misses, 0);
+        assert_eq!(mkt.cache_stats().entries, 0);
     }
 
     #[test]

@@ -43,10 +43,90 @@ use redspot_ckpt::CkptCosts;
 use redspot_trace::{Price, SimDuration, SimTime, TraceSet, Window, ZoneId, PRICE_STEP};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Sentinel bucket for "no bid in the grid affords this step".
 const NO_BID: u16 = u16::MAX;
+
+/// Whole-trace bucketing shared across every scan of a sweep.
+///
+/// Bucketing a price into its smallest affordable bid index is the only
+/// per-sample work a scan build does, and it depends only on the trace and
+/// the (sorted) bid grid — not on the decision window. A `ScanSeed`
+/// buckets every sample of every zone **once per sweep**; scans built
+/// [from a seed](PermutationScan::build_seeded) then answer each window
+/// probe with an array lookup instead of a price read plus binary search.
+///
+/// The lookup replicates `PriceSeries::price_at`'s index clamping exactly
+/// (probes before the series start hit sample 0, probes past the end hit
+/// the last sample), so seeded scans are bit-identical to unseeded ones.
+#[derive(Debug)]
+pub struct ScanSeed {
+    zones: Vec<ZoneId>,
+    /// Sorted copy of the bid grid the buckets were computed against.
+    bids: Vec<Price>,
+    /// Shared sample layout (TraceSet construction asserts alignment).
+    start: SimTime,
+    step: u64,
+    len: usize,
+    /// `[zone position][sample]` → (smallest affordable bid index or
+    /// [`NO_BID`], price millis).
+    buckets: Vec<Vec<(u16, u64)>>,
+}
+
+impl ScanSeed {
+    /// Bucket every sample of `zones` against `bid_grid` (any order).
+    pub fn build(traces: &TraceSet, zones: &[ZoneId], bid_grid: &[Price]) -> ScanSeed {
+        assert!(
+            bid_grid.len() < NO_BID as usize,
+            "bid grid too large for u16 bucketing"
+        );
+        assert!(!zones.is_empty(), "scan seed needs at least one zone");
+        let mut bids = bid_grid.to_vec();
+        bids.sort_unstable();
+        let first = traces.zone(zones[0]);
+        let buckets = zones
+            .iter()
+            .map(|&z| {
+                traces
+                    .zone(z)
+                    .samples()
+                    .iter()
+                    .map(|&p| (min_bid_index(&bids, p), p.millis()))
+                    .collect()
+            })
+            .collect();
+        ScanSeed {
+            zones: zones.to_vec(),
+            bids,
+            start: first.start(),
+            step: first.step(),
+            len: first.len(),
+            buckets,
+        }
+    }
+
+    /// The zone list the seed was bucketed for (mask order).
+    pub fn zones(&self) -> &[ZoneId] {
+        &self.zones
+    }
+
+    /// The sorted bid grid the seed was bucketed against.
+    pub fn bids(&self) -> &[Price] {
+        &self.bids
+    }
+
+    /// The bucket covering `t` for the zone at `zone_pos` — same clamping
+    /// as `PriceSeries::price_at`.
+    fn bucket_at(&self, zone_pos: usize, t: SimTime) -> (u16, u64) {
+        let idx = if t <= self.start {
+            0
+        } else {
+            (((t.secs() - self.start.secs()) / self.step) as usize).min(self.len - 1)
+        };
+        self.buckets[zone_pos][idx]
+    }
+}
 
 /// One zone's bucketed history window.
 #[derive(Debug, Clone, Default)]
@@ -126,12 +206,36 @@ pub struct PermutationScan {
     avail: Vec<Vec<u64>>,
     /// `[zone][bid]` affordable spend in price millis.
     spend: Vec<Vec<u64>>,
+    /// Pre-bucketed whole-trace samples (sweep-shared); probes become
+    /// array lookups when present.
+    seed: Option<Arc<ScanSeed>>,
+}
+
+/// The bucket for zone `zone_pos`/`zone` at `t`: an array lookup when a
+/// seed is attached, otherwise a price read plus binary search.
+fn probe(
+    traces: &TraceSet,
+    seed: Option<&ScanSeed>,
+    zone_pos: usize,
+    zone: ZoneId,
+    bids: &[Price],
+    t: SimTime,
+) -> (u16, u64) {
+    match seed {
+        Some(s) => s.bucket_at(zone_pos, t),
+        None => {
+            let price = traces.price_at(zone, t);
+            (min_bid_index(bids, price), price.millis())
+        }
+    }
 }
 
 /// Bucket one zone's prices over the grid. This is the only part of the
 /// scan that touches the trace, and the unit of build parallelism.
 fn build_ledger(
     traces: &TraceSet,
+    seed: Option<&ScanSeed>,
+    zone_pos: usize,
     zone: ZoneId,
     lo: SimTime,
     n_steps: u64,
@@ -140,8 +244,8 @@ fn build_ledger(
     let mut ledger = ZoneLedger::empty(bids.len());
     for i in 0..n_steps {
         let t = SimTime::from_secs(lo.secs() + i * PRICE_STEP);
-        let price = traces.price_at(zone, t);
-        ledger.push_back(min_bid_index(bids, price), price.millis());
+        let (k, millis) = probe(traces, seed, zone_pos, zone, bids, t);
+        ledger.push_back(k, millis);
     }
     ledger
 }
@@ -185,6 +289,35 @@ impl PermutationScan {
             masks: Vec::new(),
             avail: Vec::new(),
             spend: Vec::new(),
+            seed: None,
+        };
+        scan.rebuild(traces, window);
+        scan
+    }
+
+    /// [`build`](Self::build) from a sweep-shared [`ScanSeed`]: zones and
+    /// bid grid come from the seed, and every probe (cold build *and*
+    /// incremental advance) is an array lookup instead of a price read.
+    /// Bit-identical to an unseeded build of the same window.
+    pub fn build_seeded(
+        traces: &TraceSet,
+        seed: Arc<ScanSeed>,
+        window: Window,
+        threads: usize,
+    ) -> PermutationScan {
+        let mut scan = PermutationScan {
+            bids: seed.bids.clone(),
+            zones: seed.zones.clone(),
+            threads,
+            lo: SimTime::ZERO,
+            n_steps: 0,
+            floored: false,
+            ledgers: Vec::new(),
+            words: 0,
+            masks: Vec::new(),
+            avail: Vec::new(),
+            spend: Vec::new(),
+            seed: Some(seed),
         };
         scan.rebuild(traces, window);
         scan
@@ -239,11 +372,12 @@ impl PermutationScan {
             }
         }
         if new_n > kept {
-            for (ledger, &zone) in self.ledgers.iter_mut().zip(&self.zones) {
+            let seed = self.seed.as_deref();
+            for (z, (ledger, &zone)) in self.ledgers.iter_mut().zip(&self.zones).enumerate() {
                 for i in kept..new_n {
                     let t = SimTime::from_secs(new_lo.secs() + i * PRICE_STEP);
-                    let price = traces.price_at(zone, t);
-                    ledger.push_back(min_bid_index(&self.bids, price), price.millis());
+                    let (k, millis) = probe(traces, seed, z, zone, &self.bids, t);
+                    ledger.push_back(k, millis);
                 }
             }
         }
@@ -271,9 +405,11 @@ impl PermutationScan {
                 self.n_steps = n_steps;
                 self.floored =
                     window.end().min(traces.end()).since(lo) < SimDuration::from_secs(PRICE_STEP);
+                let seed = self.seed.as_deref();
                 self.ledgers = if self.threads > 1 && self.zones.len() > 1 {
                     build_ledgers_parallel(
                         traces,
+                        seed,
                         &self.zones,
                         lo,
                         n_steps,
@@ -283,7 +419,8 @@ impl PermutationScan {
                 } else {
                     self.zones
                         .iter()
-                        .map(|&z| build_ledger(traces, z, lo, n_steps, &self.bids))
+                        .enumerate()
+                        .map(|(i, &z)| build_ledger(traces, seed, i, z, lo, n_steps, &self.bids))
                         .collect()
                 };
             }
@@ -427,6 +564,7 @@ impl PermutationScan {
 /// serial build for any thread count.
 fn build_ledgers_parallel(
     traces: &TraceSet,
+    seed: Option<&ScanSeed>,
     zones: &[ZoneId],
     lo: SimTime,
     n_steps: u64,
@@ -442,7 +580,7 @@ fn build_ledgers_parallel(
                 if i >= zones.len() {
                     break;
                 }
-                let ledger = build_ledger(traces, zones[i], lo, n_steps, bids);
+                let ledger = build_ledger(traces, seed, i, zones[i], lo, n_steps, bids);
                 *slots[i].lock().expect("slot poisoned") = Some(ledger);
             });
         }
@@ -609,6 +747,68 @@ mod tests {
                     cold.stats(j, &[true, true, true])
                 );
             }
+        }
+    }
+
+    #[test]
+    fn seeded_build_and_advance_match_unseeded() {
+        let t = zig3(72);
+        let zones = all_zones(&t);
+        let seed = Arc::new(ScanSeed::build(&t, &zones, &grid()));
+        assert_eq!(seed.bids(), {
+            let mut g = grid();
+            g.sort_unstable();
+            g
+        });
+        assert_eq!(seed.zones(), zones);
+        let history = SimDuration::from_hours(24);
+        let w0 = Window::new(SimTime::ZERO, SimTime::from_hours(25));
+        let mut seeded = PermutationScan::build_seeded(&t, Arc::clone(&seed), w0, 1);
+        let mut plain = PermutationScan::build(&t, &zones, &grid(), w0, 1);
+        // Walk past the trace end so clamped/empty grids go through the
+        // seeded probe path too.
+        for now_h in 26..80u64 {
+            let now = SimTime::from_hours(now_h);
+            let w = Window::new(now.saturating_sub(history), now);
+            seeded.advance(&t, w);
+            plain.advance(&t, w);
+            for j in 0..grid().len() {
+                assert_eq!(
+                    seeded.stats(j, &[true, true, true]),
+                    plain.stats(j, &[true, true, true]),
+                    "at {now_h} h bid {j}"
+                );
+                assert_eq!(seeded.top_zones(j, 2), plain.top_zones(j, 2));
+            }
+        }
+    }
+
+    #[test]
+    fn seed_lookup_clamps_like_price_at() {
+        // Probes before the series start and past its end must hit the
+        // first/last sample, exactly as price_at does.
+        let t = {
+            let series = PriceSeries::new(
+                SimTime::from_hours(2),
+                vec![m(270), m(900), m(400), m(2_000)],
+            );
+            TraceSet::new(vec![series])
+        };
+        let zones = all_zones(&t);
+        let seed = ScanSeed::build(&t, &zones, &grid());
+        for t_probe in [
+            SimTime::ZERO,
+            SimTime::from_hours(1),
+            SimTime::from_hours(2),
+            SimTime::from_secs(2 * 3600 + 299),
+            SimTime::from_secs(2 * 3600 + 300),
+            SimTime::from_hours(3),
+            SimTime::from_hours(50),
+        ] {
+            let price = t.price_at(ZoneId(0), t_probe);
+            let (k, millis) = seed.bucket_at(0, t_probe);
+            assert_eq!(k, min_bid_index(&seed.bids, price), "at {t_probe}");
+            assert_eq!(millis, price.millis(), "at {t_probe}");
         }
     }
 

@@ -182,6 +182,85 @@ impl ExperimentConfig {
             .validate()
             .map_err(ConfigError::InvalidApiFaultPlan)
     }
+
+    /// Terminal builder step: check every invariant and seal the config.
+    ///
+    /// [`ValidatedConfig`] is the only currency the engine constructors
+    /// accept, so an invalid config cannot reach the engine boundary —
+    /// the `with_*` builders stay infallible and the single fallible
+    /// step lives here.
+    pub fn build(self) -> Result<ValidatedConfig, ConfigError> {
+        self.validate()?;
+        Ok(ValidatedConfig(self))
+    }
+}
+
+/// An [`ExperimentConfig`] whose invariants have been checked by
+/// [`ExperimentConfig::build`]. Engine constructors take
+/// `impl IntoValidated`, so both raw configs (validated on the way in)
+/// and pre-validated ones (free) are accepted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidatedConfig(ExperimentConfig);
+
+impl ValidatedConfig {
+    /// Read-only view of the sealed config.
+    pub fn get(&self) -> &ExperimentConfig {
+        &self.0
+    }
+
+    /// Unwrap the sealed config (for callers that need to mutate a copy;
+    /// the result must be re-`build()`-validated to reach an engine again).
+    pub fn into_inner(self) -> ExperimentConfig {
+        self.0
+    }
+}
+
+impl From<ValidatedConfig> for ExperimentConfig {
+    fn from(v: ValidatedConfig) -> ExperimentConfig {
+        v.0
+    }
+}
+
+impl std::ops::Deref for ValidatedConfig {
+    type Target = ExperimentConfig;
+
+    fn deref(&self) -> &ExperimentConfig {
+        &self.0
+    }
+}
+
+/// Conversion into a [`ValidatedConfig`] at the engine boundary.
+///
+/// A custom trait rather than `TryInto` because the std blanket impl
+/// would give `ValidatedConfig → ValidatedConfig` an `Infallible` error
+/// type, which cannot satisfy an `Error = ConfigError` bound.
+pub trait IntoValidated {
+    /// Validate (or pass through) into a sealed config.
+    fn into_validated(self) -> Result<ValidatedConfig, ConfigError>;
+}
+
+impl IntoValidated for ExperimentConfig {
+    fn into_validated(self) -> Result<ValidatedConfig, ConfigError> {
+        self.build()
+    }
+}
+
+impl IntoValidated for ValidatedConfig {
+    fn into_validated(self) -> Result<ValidatedConfig, ConfigError> {
+        Ok(self)
+    }
+}
+
+impl IntoValidated for &ExperimentConfig {
+    fn into_validated(self) -> Result<ValidatedConfig, ConfigError> {
+        self.clone().build()
+    }
+}
+
+impl IntoValidated for &ValidatedConfig {
+    fn into_validated(self) -> Result<ValidatedConfig, ConfigError> {
+        Ok(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +312,25 @@ mod tests {
         ));
         let msg = cfg.validate().unwrap_err().to_string();
         assert!(msg.contains("invalid API fault plan"), "{msg}");
+    }
+
+    #[test]
+    fn build_seals_valid_configs_and_rejects_invalid_ones() {
+        let sealed = ExperimentConfig::paper_default().build().expect("valid");
+        assert_eq!(sealed.get(), &ExperimentConfig::paper_default());
+        // Deref gives field access without unsealing.
+        assert_eq!(sealed.zones.len(), 3);
+        // A sealed config round-trips through IntoValidated for free.
+        let again = sealed.clone().into_validated().expect("already valid");
+        assert_eq!(again, sealed);
+        assert_eq!(
+            ExperimentConfig::from(sealed),
+            ExperimentConfig::paper_default()
+        );
+
+        let mut bad = ExperimentConfig::paper_default();
+        bad.zones.clear();
+        assert_eq!(bad.build().unwrap_err(), ConfigError::NoZones);
     }
 
     #[test]

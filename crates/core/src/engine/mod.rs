@@ -51,7 +51,7 @@ mod zones;
 
 pub use snapshot::{on_demand_run, Snapshot, ZoneSnapshot};
 
-use crate::config::{ConfigError, ExperimentConfig};
+use crate::config::{ConfigError, ExperimentConfig, IntoValidated};
 use crate::faults::FaultPlan;
 use crate::policy::{Policy, PolicyCtx};
 use crate::run::Event;
@@ -162,7 +162,7 @@ impl<'t> Engine<'t> {
     pub fn new(
         traces: &'t TraceSet,
         start: SimTime,
-        cfg: ExperimentConfig,
+        cfg: impl IntoValidated,
         policy: Box<dyn Policy>,
     ) -> Engine<'t> {
         Engine::try_new(traces, start, cfg, policy).expect("invalid experiment configuration")
@@ -173,7 +173,7 @@ impl<'t> Engine<'t> {
     pub fn try_new(
         traces: &'t TraceSet,
         start: SimTime,
-        cfg: ExperimentConfig,
+        cfg: impl IntoValidated,
         policy: Box<dyn Policy>,
     ) -> Result<Engine<'t>, ConfigError> {
         Engine::try_with_delay_model(traces, start, cfg, policy, DelayModel::paper())
@@ -187,7 +187,7 @@ impl<'t> Engine<'t> {
     pub fn with_delay_model(
         traces: &'t TraceSet,
         start: SimTime,
-        cfg: ExperimentConfig,
+        cfg: impl IntoValidated,
         policy: Box<dyn Policy>,
         delay: DelayModel,
     ) -> Engine<'t> {
@@ -200,7 +200,7 @@ impl<'t> Engine<'t> {
     pub fn try_with_delay_model(
         traces: &'t TraceSet,
         start: SimTime,
-        cfg: ExperimentConfig,
+        cfg: impl IntoValidated,
         policy: Box<dyn Policy>,
         delay: DelayModel,
     ) -> Result<Engine<'t>, ConfigError> {
@@ -219,7 +219,7 @@ impl<'t, R: Recorder> Engine<'t, R> {
     pub fn with_recorder(
         traces: &'t TraceSet,
         start: SimTime,
-        cfg: ExperimentConfig,
+        cfg: impl IntoValidated,
         policy: Box<dyn Policy>,
         recorder: R,
     ) -> Engine<'t, R> {
@@ -231,7 +231,7 @@ impl<'t, R: Recorder> Engine<'t, R> {
     pub fn try_with_recorder(
         traces: &'t TraceSet,
         start: SimTime,
-        cfg: ExperimentConfig,
+        cfg: impl IntoValidated,
         policy: Box<dyn Policy>,
         recorder: R,
     ) -> Result<Engine<'t, R>, ConfigError> {
@@ -240,15 +240,21 @@ impl<'t, R: Recorder> Engine<'t, R> {
 
     /// The fully-general constructor: explicit queuing-delay model and
     /// telemetry sink. Every other constructor delegates here.
+    ///
+    /// Accepts either a raw [`ExperimentConfig`] (validated on the way in
+    /// via [`ExperimentConfig::build`]) or a pre-sealed
+    /// [`crate::ValidatedConfig`] (free) — the sealed form is the only
+    /// path past this boundary, so invalid configs are unrepresentable
+    /// inside the engine.
     pub fn try_with_parts(
         traces: &'t TraceSet,
         start: SimTime,
-        cfg: ExperimentConfig,
+        cfg: impl IntoValidated,
         policy: Box<dyn Policy>,
         delay: DelayModel,
         recorder: R,
     ) -> Result<Engine<'t, R>, ConfigError> {
-        cfg.validate()?;
+        let cfg = cfg.into_validated()?.into_inner();
         if let Some(&zone) = cfg.zones.iter().find(|z| z.0 >= traces.n_zones()) {
             return Err(ConfigError::ZoneOutOfRange {
                 zone,

@@ -19,14 +19,17 @@ pub mod run;
 pub mod supervisor;
 pub mod telemetry;
 
-pub use adaptive::scan::PermutationScan;
+pub use adaptive::cache::{CacheStats, CacheTally, DecisionCache};
+pub use adaptive::ctx::MarketCtx;
+pub use adaptive::scan::{PermutationScan, ScanSeed};
 pub use adaptive::{AdaptiveConfig, AdaptiveRunner, DecisionSession, ForecastMode};
 pub use backoff::Backoff;
-pub use config::{ConfigError, ExperimentConfig};
+pub use config::{ConfigError, ExperimentConfig, IntoValidated, ValidatedConfig};
 pub use engine::{on_demand_run, Engine, Snapshot, StepReport, ZoneSnapshot};
 pub use faults::FaultPlan;
 pub use policy::{Policy, PolicyCtx, PolicyKind};
 pub use redspot_market::ApiFaultPlan;
+pub use redspot_markov::{MemoStats, UptimeMemo};
 pub use run::{ApiStats, Event, RunResult, TerminationCause};
 pub use supervisor::{DenyReason, PriceView, RequestOutcome, Supervisor};
 pub use telemetry::{

@@ -9,8 +9,9 @@
 
 use crate::policy::{Policy, PolicyCtx};
 use redspot_ckpt::{optimum_interval, DalyOrder};
-use redspot_markov::MarkovModel;
+use redspot_markov::{MarkovModel, UptimeMemo};
 use redspot_trace::{SimDuration, SimTime, Window};
+use std::sync::Arc;
 
 /// Price history used to build the Markov state (the paper uses 2 days).
 pub const HISTORY: SimDuration = SimDuration::from_hours(48);
@@ -28,9 +29,17 @@ pub struct MarkovDalyPolicy {
     /// Which Daly estimate to use (higher-order by default; the
     /// `ablate_daly` bench compares).
     order: DalyOrder,
-    /// Cached per-zone models plus the 5-minute step they were built at.
+    /// Cached per-zone models plus the 5-minute step they were built at
+    /// (unused when a shared memo is attached — the memo holds the models).
     models: Vec<MarkovModel>,
     built_at_step: Option<u64>,
+    /// History window the current models were built from. Reused for the
+    /// rest of the price step, exactly like the models themselves, so the
+    /// memoized path sees the same (possibly intra-step-stale) window the
+    /// unmemoized path would.
+    window: Option<Window>,
+    /// Batch-shared model/uptime cache ([`Policy::attach_uptime_memo`]).
+    memo: Option<Arc<UptimeMemo>>,
 }
 
 impl MarkovDalyPolicy {
@@ -46,6 +55,8 @@ impl MarkovDalyPolicy {
             order,
             models: Vec::new(),
             built_at_step: None,
+            window: None,
+            memo: None,
         }
     }
 
@@ -54,29 +65,59 @@ impl MarkovDalyPolicy {
         self.ts
     }
 
-    fn refresh_models(&mut self, ctx: &PolicyCtx) {
-        let step = ctx.now.price_step_index();
-        if self.built_at_step == Some(step) && self.models.len() == ctx.zone_ids.len() {
-            return;
-        }
+    /// The 48-hour history window ending at `ctx.now` (degenerate
+    /// one-step window at the very start of a trace).
+    pub(crate) fn history_window(ctx: &PolicyCtx) -> Window {
         let hist_start = ctx.now.saturating_sub(HISTORY).max(ctx.traces.start());
         let hist_end = if ctx.now > hist_start {
             ctx.now
         } else {
             hist_start + SimDuration::from_secs(300)
         };
-        let window = Window::new(hist_start, hist_end);
-        self.models = ctx
-            .zone_ids
-            .iter()
-            .map(|&z| MarkovModel::with_bin(ctx.traces.zone(z), window, MARKOV_BIN_MILLIS))
-            .collect();
+        Window::new(hist_start, hist_end)
+    }
+
+    fn refresh_models(&mut self, ctx: &PolicyCtx) {
+        let step = ctx.now.price_step_index();
+        let fresh = self.built_at_step == Some(step)
+            && self.window.is_some()
+            && (self.memo.is_some() || self.models.len() == ctx.zone_ids.len());
+        if fresh {
+            return;
+        }
+        let window = Self::history_window(ctx);
+        if self.memo.is_none() {
+            self.models = ctx
+                .zone_ids
+                .iter()
+                .map(|&z| MarkovModel::with_bin(ctx.traces.zone(z), window, MARKOV_BIN_MILLIS))
+                .collect();
+        }
+        self.window = Some(window);
         self.built_at_step = Some(step);
     }
 
     /// Combined `E[T_u]` over all configured zones at the current prices.
     pub fn expected_uptime(&mut self, ctx: &PolicyCtx) -> SimDuration {
         self.refresh_models(ctx);
+        if let Some(memo) = &self.memo {
+            let window = self.window.expect("refresh_models sets the window");
+            return ctx
+                .zone_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &z)| {
+                    memo.expected_uptime(
+                        z.0,
+                        ctx.traces.zone(z),
+                        window,
+                        MARKOV_BIN_MILLIS,
+                        ctx.price(i),
+                        ctx.bid,
+                    )
+                })
+                .fold(SimDuration::ZERO, |a, b| a + b);
+        }
         let prices: Vec<_> = (0..ctx.zone_ids.len()).map(|i| ctx.price(i)).collect();
         MarkovModel::combined_uptime(&self.models, &prices, ctx.bid)
     }
@@ -110,6 +151,10 @@ impl Policy for MarkovDalyPolicy {
 
     fn alarm(&self, ctx: &PolicyCtx) -> Option<SimTime> {
         self.ts.filter(|&t| t > ctx.now)
+    }
+
+    fn attach_uptime_memo(&mut self, memo: &Arc<UptimeMemo>) {
+        self.memo = Some(Arc::clone(memo));
     }
 }
 
@@ -173,6 +218,27 @@ mod tests {
         p.reschedule(&fx.ctx(SimTime::from_hours(2), None));
         assert_eq!(p.scheduled(), None);
         assert!(!p.checkpoint_now(&fx.ctx(SimTime::from_hours(3), None)));
+    }
+
+    #[test]
+    fn memoized_uptime_is_bit_identical() {
+        let fx = ctx_fixture();
+        let memo = std::sync::Arc::new(redspot_markov::UptimeMemo::new());
+        let mut plain = MarkovDalyPolicy::new();
+        let mut shared = MarkovDalyPolicy::new();
+        shared.attach_uptime_memo(&memo);
+        // Walk decision points at several instants, including two inside
+        // one price step (the stale-window reuse path).
+        for secs in [7_200u64, 7_230, 7_500, 14_400, 14_401] {
+            let ctx = fx.ctx(SimTime::from_secs(secs), None);
+            assert_eq!(
+                plain.expected_uptime(&ctx),
+                shared.expected_uptime(&ctx),
+                "diverged at t={secs}s"
+            );
+        }
+        let stats = memo.stats();
+        assert!(stats.hits > 0, "repeat decision points should hit");
     }
 
     #[test]

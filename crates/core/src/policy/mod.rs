@@ -6,8 +6,10 @@
 //! threshold distinct from the bid, and voluntary hour-boundary stops).
 
 use redspot_ckpt::CkptCosts;
+use redspot_markov::UptimeMemo;
 use redspot_trace::{Price, SimTime, TraceSet, ZoneId};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 pub mod edge;
 pub mod large_bid;
@@ -97,6 +99,13 @@ pub trait Policy: Send {
     fn voluntary_stop(&mut self, _ctx: &PolicyCtx, _idx: usize) -> bool {
         false
     }
+
+    /// Attach a batch-shared Markov memoization table (owned by the batch
+    /// plane's `MarketCtx`, scoped to one trace set). Policies that
+    /// estimate uptimes route their model builds and queries through it;
+    /// everything else ignores it. Attaching never changes decisions —
+    /// the memo returns bit-identical values to direct computation.
+    fn attach_uptime_memo(&mut self, _memo: &Arc<UptimeMemo>) {}
 }
 
 /// Constructible policy identifiers — what the experiment harness sweeps

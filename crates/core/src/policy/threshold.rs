@@ -9,8 +9,9 @@
 
 use crate::policy::markov_daly::{HISTORY, MARKOV_BIN_MILLIS};
 use crate::policy::{Policy, PolicyCtx};
-use redspot_markov::MarkovModel;
+use redspot_markov::{MarkovModel, UptimeMemo};
 use redspot_trace::{Price, SimDuration, SimTime, Window};
+use std::sync::Arc;
 
 /// Edge checkpointing filtered by price and time thresholds.
 pub struct ThresholdPolicy {
@@ -21,6 +22,8 @@ pub struct ThresholdPolicy {
     time_thresh: Option<SimDuration>,
     /// Edge dedup, as in [`crate::policy::EdgePolicy`].
     last_step: Option<u64>,
+    /// Batch-shared model/uptime cache ([`Policy::attach_uptime_memo`]).
+    memo: Option<Arc<UptimeMemo>>,
 }
 
 impl ThresholdPolicy {
@@ -30,6 +33,7 @@ impl ThresholdPolicy {
             min_price: Vec::new(),
             time_thresh: None,
             last_step: None,
+            memo: None,
         }
     }
 
@@ -96,12 +100,19 @@ impl Policy for ThresholdPolicy {
             return;
         }
         let window = Window::new(hist_start, ctx.now);
-        let model = MarkovModel::with_bin(
-            ctx.traces.zone(ctx.zone_ids[zone]),
-            window,
-            MARKOV_BIN_MILLIS,
-        );
-        let avg = model.average_uptime(ctx.bid);
+        let series = ctx.traces.zone(ctx.zone_ids[zone]);
+        let avg = match &self.memo {
+            Some(memo) => memo.average_uptime(
+                ctx.zone_ids[zone].0,
+                series,
+                window,
+                MARKOV_BIN_MILLIS,
+                ctx.bid,
+            ),
+            None => {
+                MarkovModel::with_bin(series, window, MARKOV_BIN_MILLIS).average_uptime(ctx.bid)
+            }
+        };
         self.time_thresh = (avg > SimDuration::ZERO).then_some(avg);
     }
 
@@ -109,6 +120,10 @@ impl Policy for ThresholdPolicy {
         let tt = self.time_thresh?;
         let t = ctx.last_commit_or_restart + tt + SimDuration::from_secs(1);
         (t > ctx.now).then_some(t)
+    }
+
+    fn attach_uptime_memo(&mut self, memo: &Arc<UptimeMemo>) {
+        self.memo = Some(Arc::clone(memo));
     }
 }
 

@@ -190,6 +190,11 @@ pub struct RunMetrics {
     pub up_run: Histogram,
     /// Trace-sink write failures (JSONL sink; the run continues).
     pub trace_write_errors: u64,
+    /// Adaptive decision points answered from the sweep-shared
+    /// decision-table cache (zero without a `MarketCtx` attached).
+    pub decision_cache_hits: u64,
+    /// Adaptive decision points that computed a fresh decision table.
+    pub decision_cache_misses: u64,
 }
 
 impl RunMetrics {
@@ -226,6 +231,8 @@ impl RunMetrics {
         self.commit_interval.merge(&other.commit_interval);
         self.up_run.merge(&other.up_run);
         self.trace_write_errors += other.trace_write_errors;
+        self.decision_cache_hits += other.decision_cache_hits;
+        self.decision_cache_misses += other.decision_cache_misses;
     }
 }
 

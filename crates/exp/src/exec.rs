@@ -1,0 +1,335 @@
+//! The unified batch execution plane.
+//!
+//! One entry point — [`RunRequest`] — replaces the old `run_one*` /
+//! `run_batch*` families. A request borrows an immutable [`MarketCtx`]
+//! (trace set + sweep-shared scan seed + decision cache), a base config,
+//! and a spec list, and executes the batch over a chunked crossbeam
+//! worker pool.
+//!
+//! # Determinism
+//!
+//! Every spec owns a seed derived from its identity
+//! (`scheme::mix_seed`), never from its worker or execution order, and
+//! the decision cache only ever substitutes bit-identical tables, so
+//! results are bit-identical for any thread count and any chunk size
+//! (pinned by `tests/batch_properties.rs`). Chunks are grabbed from a
+//! shared atomic cursor purely as a load-balancing granularity knob:
+//! adaptive cells run orders of magnitude longer than on-demand
+//! baselines, so small chunks keep workers busy while still amortising
+//! cursor traffic.
+
+use crate::scheme::{run_spec, RunSpec};
+use parking_lot::Mutex;
+use redspot_core::{
+    CacheStats, ConfigError, ExperimentConfig, MarketCtx, MemoStats, MetricsRecorder, NullRecorder,
+    RunMetrics, RunResult,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Shared progress observer for long sweeps.
+#[derive(Debug, Default)]
+pub struct Progress {
+    done: AtomicUsize,
+    total: AtomicUsize,
+}
+
+impl Progress {
+    /// Completed job count.
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Total job count of the active sweep.
+    pub fn total(&self) -> usize {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything a finished batch hands back.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One result per spec, in spec order.
+    pub results: Vec<RunResult>,
+    /// Sweep-level metrics (all runs merged, order-independently), when
+    /// the request was [`metered`](RunRequest::metered).
+    pub metrics: Option<RunMetrics>,
+    /// Decision-cache activity attributable to this batch: hit/miss
+    /// deltas across the execution, plus the cache's current entry count.
+    pub cache: CacheStats,
+    /// Markov uptime-memo activity attributable to this batch, in the
+    /// same delta form.
+    pub uptime: MemoStats,
+}
+
+/// Builder for one batch execution: the single entry point the sweep
+/// layer, the experiment modules, and the CLI all feed through.
+///
+/// ```
+/// use redspot_core::{ExperimentConfig, MarketCtx};
+/// use redspot_exp::exec::RunRequest;
+/// use redspot_exp::scheme::{RunSpec, Scheme};
+/// use redspot_trace::{gen::GenConfig, Price, SimTime};
+///
+/// let mkt = MarketCtx::for_sweep(GenConfig::low_volatility(7).generate());
+/// let specs: Vec<RunSpec> = (0..4)
+///     .map(|i| RunSpec {
+///         start: SimTime::from_hours(60 + 6 * i),
+///         bid: Price::from_millis(810),
+///         scheme: Scheme::Adaptive,
+///     })
+///     .collect();
+/// let out = RunRequest::new(&mkt, &ExperimentConfig::paper_default(), &specs)
+///     .threads(2)
+///     .execute()
+///     .expect("valid config");
+/// assert_eq!(out.results.len(), 4);
+/// assert!(out.results.iter().all(|r| r.met_deadline));
+/// ```
+#[derive(Debug)]
+pub struct RunRequest<'a> {
+    mkt: &'a MarketCtx,
+    base: &'a ExperimentConfig,
+    specs: &'a [RunSpec],
+    threads: usize,
+    chunk_size: Option<usize>,
+    metered: bool,
+    progress: Option<&'a Progress>,
+}
+
+impl<'a> RunRequest<'a> {
+    /// A batch over `specs` against `mkt`'s market, each run derived from
+    /// `base`. Defaults: one worker per CPU, automatic chunk size, no
+    /// metrics, no progress observer.
+    pub fn new(mkt: &'a MarketCtx, base: &'a ExperimentConfig, specs: &'a [RunSpec]) -> Self {
+        RunRequest {
+            mkt,
+            base,
+            specs,
+            threads: 0,
+            chunk_size: None,
+            metered: false,
+            progress: None,
+        }
+    }
+
+    /// Worker threads; `0` (the default) means one per available CPU.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Specs grabbed per cursor fetch. Defaults to an automatic size
+    /// (≈ 4 chunks per worker, capped at 32). Results are bit-identical
+    /// for any value ≥ 1; this only tunes load-balancing granularity.
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = Some(chunk_size.max(1));
+        self
+    }
+
+    /// Run every cell with a [`MetricsRecorder`] sink and merge the
+    /// per-run metrics into [`BatchOutcome::metrics`].
+    pub fn metered(mut self, metered: bool) -> Self {
+        self.metered = metered;
+        self
+    }
+
+    /// Attach an external progress observer.
+    pub fn with_progress(mut self, progress: &'a Progress) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// Execute the batch. The base config is validated once up front —
+    /// an invalid config fails here instead of panicking mid-sweep.
+    pub fn execute(self) -> Result<BatchOutcome, ConfigError> {
+        self.base.clone().build()?;
+        let before = self.mkt.cache_stats();
+        let uptime_before = self.mkt.uptime_stats();
+        let n = self.specs.len();
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, |t| t.get()),
+            t => t,
+        };
+        if let Some(p) = self.progress {
+            p.total.store(n, Ordering::Relaxed);
+            p.done.store(0, Ordering::Relaxed);
+        }
+
+        let job = |i: usize| -> (RunResult, RunMetrics) {
+            let spec = &self.specs[i];
+            if self.metered {
+                run_spec(self.mkt, spec, self.base, MetricsRecorder::new())
+            } else {
+                run_spec(self.mkt, spec, self.base, NullRecorder)
+            }
+        };
+        let tick = || {
+            if let Some(p) = self.progress {
+                p.done.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+
+        let pairs: Vec<(RunResult, RunMetrics)> = if threads == 1 || n <= 1 {
+            (0..n)
+                .map(|i| {
+                    let out = job(i);
+                    tick();
+                    out
+                })
+                .collect()
+        } else {
+            let chunk = self
+                .chunk_size
+                .unwrap_or_else(|| n.div_ceil(threads * 4).clamp(1, 32));
+            let n_chunks = n.div_ceil(chunk);
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<(RunResult, RunMetrics)>>> =
+                self.specs.iter().map(|_| Mutex::new(None)).collect();
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..threads.min(n_chunks) {
+                    scope.spawn(|_| loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let lo = c * chunk;
+                        let hi = ((c + 1) * chunk).min(n);
+                        for (i, slot) in slots[lo..hi].iter().enumerate() {
+                            let out = job(lo + i);
+                            *slot.lock() = Some(out);
+                            tick();
+                        }
+                    });
+                }
+            })
+            .expect("batch worker panicked");
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("every slot filled"))
+                .collect()
+        };
+
+        let mut metrics = self.metered.then(RunMetrics::default);
+        let mut results = Vec::with_capacity(n);
+        for (r, m) in pairs {
+            if let Some(agg) = metrics.as_mut() {
+                agg.merge(&m);
+            }
+            results.push(r);
+        }
+        let after = self.mkt.cache_stats();
+        let uptime_after = self.mkt.uptime_stats();
+        Ok(BatchOutcome {
+            results,
+            metrics,
+            cache: CacheStats {
+                hits: after.hits - before.hits,
+                misses: after.misses - before.misses,
+                entries: after.entries,
+            },
+            uptime: MemoStats {
+                hits: uptime_after.hits - uptime_before.hits,
+                misses: uptime_after.misses - uptime_before.misses,
+                entries: uptime_after.entries,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Scheme;
+    use redspot_core::PolicyKind;
+    use redspot_trace::{Price, PriceSeries, SimTime, TraceSet, ZoneId};
+
+    fn flat3(price: u64, hours: u64) -> TraceSet {
+        let samples = vec![Price::from_millis(price); (hours * 12) as usize];
+        TraceSet::new(
+            (0..3)
+                .map(|_| PriceSeries::new(SimTime::ZERO, samples.clone()))
+                .collect(),
+        )
+    }
+
+    fn mixed_specs(n: usize) -> Vec<RunSpec> {
+        (0..n)
+            .map(|i| RunSpec {
+                start: SimTime::from_hours(40 + i as u64),
+                bid: Price::from_millis(810),
+                scheme: match i % 3 {
+                    0 => Scheme::Single {
+                        kind: PolicyKind::Periodic,
+                        zone: ZoneId(i % 3),
+                    },
+                    1 => Scheme::Adaptive,
+                    _ => Scheme::OnDemand,
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_identical_across_threads_and_chunks() {
+        let mkt = MarketCtx::for_sweep(flat3(270, 120));
+        let base = ExperimentConfig::paper_default();
+        let specs = mixed_specs(13);
+        let serial = RunRequest::new(&mkt, &base, &specs)
+            .threads(1)
+            .execute()
+            .unwrap();
+        for (threads, chunk) in [(4, 1), (4, 5), (2, 32), (3, 2)] {
+            let parallel = RunRequest::new(&mkt, &base, &specs)
+                .threads(threads)
+                .chunk_size(chunk)
+                .execute()
+                .unwrap();
+            assert_eq!(serial.results, parallel.results, "{threads}t/{chunk}c");
+        }
+    }
+
+    #[test]
+    fn progress_and_metrics_flow() {
+        let mkt = MarketCtx::for_sweep(flat3(270, 120));
+        let base = ExperimentConfig::paper_default();
+        let specs = mixed_specs(6);
+        let progress = Progress::default();
+        let out = RunRequest::new(&mkt, &base, &specs)
+            .threads(2)
+            .metered(true)
+            .with_progress(&progress)
+            .execute()
+            .unwrap();
+        assert_eq!(progress.done(), 6);
+        assert_eq!(progress.total(), 6);
+        let m = out.metrics.expect("metered");
+        assert_eq!(m.runs, 6);
+        // Two adaptive cells ran: their decision points show up both in
+        // the merged metrics and the batch's cache delta.
+        assert_eq!(
+            m.decision_cache_hits + m.decision_cache_misses,
+            out.cache.hits + out.cache.misses
+        );
+        assert!(out.cache.misses > 0);
+    }
+
+    #[test]
+    fn invalid_base_fails_upfront() {
+        let mkt = MarketCtx::new(flat3(270, 60));
+        let mut base = ExperimentConfig::paper_default();
+        base.zones.clear();
+        let err = RunRequest::new(&mkt, &base, &mixed_specs(3))
+            .execute()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::NoZones);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let mkt = MarketCtx::new(flat3(270, 60));
+        let base = ExperimentConfig::paper_default();
+        let out = RunRequest::new(&mkt, &base, &[]).execute().unwrap();
+        assert!(out.results.is_empty());
+        assert!(out.metrics.is_none());
+    }
+}

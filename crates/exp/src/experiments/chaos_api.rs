@@ -12,10 +12,10 @@
 //! in every cell** — a flaky API may make runs more expensive, never
 //! late.
 
-use crate::parallel::run_batch;
+use crate::exec::RunRequest;
 use crate::scheme::{RunSpec, Scheme};
 use crate::windows::{experiment_starts, run_span_for};
-use redspot_core::{ApiFaultPlan, ExperimentConfig, PolicyKind};
+use redspot_core::{ApiFaultPlan, ExperimentConfig, MarketCtx, PolicyKind};
 use redspot_trace::gen::GenConfig;
 use redspot_trace::Price;
 
@@ -77,6 +77,7 @@ pub fn study(seed: u64, intensities: &[f64], n_starts: usize, threads: usize) ->
     let base = ExperimentConfig::paper_default().with_slack_percent(15);
     let bid = Price::from_millis(810);
     let starts = experiment_starts(&traces, run_span_for(base.deadline), n_starts);
+    let mkt = MarketCtx::new(traces.clone());
     let schemes = [
         Scheme::Single {
             kind: PolicyKind::Periodic,
@@ -106,7 +107,11 @@ pub fn study(seed: u64, intensities: &[f64], n_starts: usize, threads: usize) ->
                     scheme: scheme.clone(),
                 })
                 .collect();
-            let results = run_batch(&traces, &specs, &cfg, threads);
+            let results = RunRequest::new(&mkt, &cfg, &specs)
+                .threads(threads)
+                .execute()
+                .expect("chaos config is valid")
+                .results;
             let costs: Vec<f64> = results.iter().map(|r| r.cost_dollars()).collect();
             let n_runs = results.len();
             cells.push(ChaosApiCell {

@@ -145,12 +145,12 @@ impl SpikeStress {
 /// Run the spike-stress experiment: `n_starts` experiment starts placed
 /// across the 30 hours leading into the spike.
 pub fn spike_stress(seed: u64, n_starts: usize) -> SpikeStress {
-    use crate::scheme::{run_one, RunSpec, Scheme};
-    use redspot_core::ExperimentConfig;
+    use crate::scheme::{run_spec, RunSpec, Scheme};
+    use redspot_core::{ExperimentConfig, MarketCtx, NullRecorder};
     use redspot_trace::gen::year_history;
     use redspot_trace::{SimDuration, SimTime, ZoneId};
 
-    let traces = year_history(seed);
+    let mkt = MarketCtx::new(year_history(seed));
     // The spike starts at month 3 + 13 days (see redspot_trace::gen).
     let spike_start_h = 3 * 30 * 24 + 13 * 24;
     let starts: Vec<SimTime> = (0..n_starts.max(1))
@@ -188,7 +188,7 @@ pub fn spike_stress(seed: u64, n_starts: usize) -> SpikeStress {
                         zone: ZoneId(0),
                     },
                 };
-                run_one(&traces, &spec, &base).cost_dollars()
+                run_spec(&mkt, &spec, &base, NullRecorder).0.cost_dollars()
             })
             .collect();
         large_bid.push((label, costs));
@@ -201,7 +201,7 @@ pub fn spike_stress(seed: u64, n_starts: usize) -> SpikeStress {
                 bid: base.bid,
                 scheme: Scheme::Adaptive,
             };
-            run_one(&traces, &spec, &base).cost_dollars()
+            run_spec(&mkt, &spec, &base, NullRecorder).0.cost_dollars()
         })
         .collect();
     SpikeStress {

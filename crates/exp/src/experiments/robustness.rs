@@ -7,10 +7,10 @@
 //! across the ensemble, the conclusion is a property of the market
 //! *statistics*, not of one lucky trace.
 
-use crate::parallel::run_batch;
+use crate::exec::RunRequest;
 use crate::scheme::{RunSpec, Scheme};
 use crate::windows::{experiment_starts, run_span_for};
-use redspot_core::{ExperimentConfig, PolicyKind};
+use redspot_core::{ExperimentConfig, MarketCtx, PolicyKind};
 use redspot_trace::bootstrap::{ensemble, BootstrapConfig};
 use redspot_trace::gen::GenConfig;
 use redspot_trace::{Price, TraceSet};
@@ -53,6 +53,7 @@ fn medians_on(traces: &TraceSet, n_starts: usize, threads: usize) -> VariantOutc
     let base = ExperimentConfig::paper_default().with_slack_percent(15);
     let bid = Price::from_millis(810);
     let starts = experiment_starts(traces, run_span_for(base.deadline), n_starts);
+    let mkt = MarketCtx::new(traces.clone());
 
     let mut best_single = f64::INFINITY;
     let mut best_red = f64::INFINITY;
@@ -76,14 +77,18 @@ fn medians_on(traces: &TraceSet, n_starts: usize, threads: usize) -> VariantOutc
                 },
             });
         }
-        let s_costs: Vec<f64> = run_batch(traces, &singles, &base, threads)
-            .iter()
-            .map(|r| r.cost_dollars())
-            .collect();
-        let r_costs: Vec<f64> = run_batch(traces, &reds, &base, threads)
-            .iter()
-            .map(|r| r.cost_dollars())
-            .collect();
+        let run = |specs: &[RunSpec]| -> Vec<f64> {
+            RunRequest::new(&mkt, &base, specs)
+                .threads(threads)
+                .execute()
+                .expect("robustness base config is valid")
+                .results
+                .iter()
+                .map(|r| r.cost_dollars())
+                .collect()
+        };
+        let s_costs = run(&singles);
+        let r_costs = run(&reds);
         best_single = best_single.min(crate::report::median(&s_costs));
         best_red = best_red.min(crate::report::median(&r_costs));
     }

@@ -2,12 +2,14 @@
 //!
 //! Experiment harness: the paper's evaluation setup (synthetic low/high
 //! volatility windows, 80 overlapping experiment starts), run-spec sweeps
-//! over bids × zones × policies, a deterministic crossbeam worker pool,
+//! over bids × zones × policies, the unified batch execution plane
+//! ([`exec::RunRequest`] over a shared [`redspot_core::MarketCtx`]),
 //! terminal rendering of boxplot figures and markdown tables, and one
 //! module per paper figure/table under [`experiments`].
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod experiments;
 pub mod parallel;
 pub mod report;
@@ -18,5 +20,8 @@ pub mod svg;
 pub mod sweep;
 pub mod windows;
 
-pub use scheme::{run_one, run_one_metered, run_one_with, RunSpec, Scheme};
+pub use exec::{BatchOutcome, Progress, RunRequest};
+#[allow(deprecated)]
+pub use scheme::{run_one, run_one_metered, run_one_with};
+pub use scheme::{run_spec, RunSpec, Scheme};
 pub use setup::PaperSetup;

@@ -1,50 +1,38 @@
-//! Parallel sweep execution.
+//! Deprecated batch entry points, kept as thin shims over the unified
+//! execution plane in [`crate::exec`].
 //!
-//! Experiment sweeps are embarrassingly parallel: every [`RunSpec`] is
-//! independent and owns a seed derived from its identity, so results are
-//! bit-identical for any thread count. Work is distributed over a
-//! crossbeam-scoped worker pool through a shared atomic cursor (cheap
-//! dynamic load balancing — adaptive runs take far longer than on-demand
-//! baselines), and a shared progress counter lets callers render progress.
+//! Each shim wraps the trace set in a fresh one-shot [`MarketCtx`] per
+//! call (cheap — series samples are `Arc`-backed), so results stay
+//! bit-identical with the historical implementations while all actual
+//! execution flows through [`RunRequest`]. New code should build one
+//! `MarketCtx` per market and hold onto it: that is what makes the
+//! decision cache and the sweep-shared scan seed pay off.
 
-use crate::scheme::{run_one, run_one_metered, RunSpec};
-use parking_lot::Mutex;
-use redspot_core::{ExperimentConfig, RunMetrics, RunResult};
+pub use crate::exec::Progress;
+use crate::exec::RunRequest;
+use crate::scheme::RunSpec;
+use redspot_core::{ExperimentConfig, MarketCtx, RunMetrics, RunResult};
 use redspot_trace::TraceSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Shared progress observer for long sweeps.
-#[derive(Debug, Default)]
-pub struct Progress {
-    done: AtomicUsize,
-    total: AtomicUsize,
-}
-
-impl Progress {
-    /// Completed job count.
-    pub fn done(&self) -> usize {
-        self.done.load(Ordering::Relaxed)
-    }
-
-    /// Total job count of the active sweep.
-    pub fn total(&self) -> usize {
-        self.total.load(Ordering::Relaxed)
-    }
-}
 
 /// Run every spec and return results in spec order.
 ///
 /// `threads = 0` means one worker per available CPU.
+#[deprecated(note = "build a MarketCtx and use exec::RunRequest")]
 pub fn run_batch(
     traces: &TraceSet,
     specs: &[RunSpec],
     base: &ExperimentConfig,
     threads: usize,
 ) -> Vec<RunResult> {
-    run_batch_with_progress(traces, specs, base, threads, &Progress::default())
+    RunRequest::new(&MarketCtx::new(traces.clone()), base, specs)
+        .threads(threads)
+        .execute()
+        .expect("invalid experiment configuration")
+        .results
 }
 
 /// [`run_batch`] with an external progress observer.
+#[deprecated(note = "build a MarketCtx and use exec::RunRequest::with_progress")]
 pub fn run_batch_with_progress(
     traces: &TraceSet,
     specs: &[RunSpec],
@@ -52,93 +40,38 @@ pub fn run_batch_with_progress(
     threads: usize,
     progress: &Progress,
 ) -> Vec<RunResult> {
-    pooled(specs, threads, progress, |i| {
-        run_one(traces, &specs[i], base)
-    })
+    RunRequest::new(&MarketCtx::new(traces.clone()), base, specs)
+        .threads(threads)
+        .with_progress(progress)
+        .execute()
+        .expect("invalid experiment configuration")
+        .results
 }
 
-/// [`run_batch`] with per-run [`MetricsRecorder`] sinks: returns results
-/// in spec order plus every run's metrics merged into one sweep-level
-/// [`RunMetrics`]. Merging is order-independent (all fields are additive),
-/// so the aggregate is bit-identical for any thread count.
+/// [`run_batch`] with per-run metrics sinks: returns results in spec
+/// order plus every run's metrics merged into one sweep-level
+/// [`RunMetrics`].
+#[deprecated(note = "build a MarketCtx and use exec::RunRequest::metered")]
 pub fn run_batch_metered(
     traces: &TraceSet,
     specs: &[RunSpec],
     base: &ExperimentConfig,
     threads: usize,
 ) -> (Vec<RunResult>, RunMetrics) {
-    let pairs = pooled(specs, threads, &Progress::default(), |i| {
-        run_one_metered(traces, &specs[i], base)
-    });
-    let mut merged = RunMetrics::default();
-    let results = pairs
-        .into_iter()
-        .map(|(r, m)| {
-            merged.merge(&m);
-            r
-        })
-        .collect();
-    (results, merged)
-}
-
-/// The shared worker pool: run `job(i)` for every spec index, returning
-/// outputs in spec order. `threads = 0` means one worker per CPU.
-fn pooled<T: Send>(
-    specs: &[RunSpec],
-    threads: usize,
-    progress: &Progress,
-    job: impl Fn(usize) -> T + Sync,
-) -> Vec<T> {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        threads
-    };
-    progress.total.store(specs.len(), Ordering::Relaxed);
-    progress.done.store(0, Ordering::Relaxed);
-
-    if specs.is_empty() {
-        return Vec::new();
-    }
-    if threads == 1 || specs.len() == 1 {
-        return (0..specs.len())
-            .map(|i| {
-                let r = job(i);
-                progress.done.fetch_add(1, Ordering::Relaxed);
-                r
-            })
-            .collect();
-    }
-
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = specs.iter().map(|_| Mutex::new(None)).collect();
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(specs.len()) {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= specs.len() {
-                    break;
-                }
-                let result = job(i);
-                *slots[i].lock() = Some(result);
-                progress.done.fetch_add(1, Ordering::Relaxed);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot filled"))
-        .collect()
+    let out = RunRequest::new(&MarketCtx::new(traces.clone()), base, specs)
+        .threads(threads)
+        .metered(true)
+        .execute()
+        .expect("invalid experiment configuration");
+    (out.results, out.metrics.expect("metered batch"))
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::scheme::Scheme;
-    use redspot_core::PolicyKind;
+    use crate::scheme::{run_spec, Scheme};
+    use redspot_core::{NullRecorder, PolicyKind};
     use redspot_trace::{Price, PriceSeries, SimTime, ZoneId};
 
     fn flat3(price: u64, hours: u64) -> TraceSet {
@@ -164,14 +97,20 @@ mod tests {
     }
 
     #[test]
-    fn results_identical_across_thread_counts() {
+    fn shims_match_the_unified_plane() {
         let traces = flat3(270, 120);
         let base = redspot_core::ExperimentConfig::paper_default();
         let jobs = specs(12);
-        let serial = run_batch(&traces, &jobs, &base, 1);
-        let parallel = run_batch(&traces, &jobs, &base, 4);
-        assert_eq!(serial, parallel);
-        assert_eq!(serial.len(), 12);
+        let shimmed = run_batch(&traces, &jobs, &base, 4);
+        let mkt = MarketCtx::new(traces.clone());
+        let direct: Vec<_> = jobs
+            .iter()
+            .map(|s| run_spec(&mkt, s, &base, NullRecorder).0)
+            .collect();
+        assert_eq!(shimmed, direct);
+        let (metered, m) = run_batch_metered(&traces, &jobs, &base, 2);
+        assert_eq!(metered, shimmed);
+        assert_eq!(m.runs, 12);
     }
 
     #[test]

@@ -141,6 +141,14 @@ pub fn sweep_metrics_table(m: &RunMetrics) -> String {
             rows.push(row(k, v.to_string()));
         }
     }
+    // Decision-cache traffic exists only on adaptive runs behind a
+    // MarketCtx: show when any lookup happened.
+    if m.decision_cache_hits + m.decision_cache_misses > 0 {
+        rows.push(row(
+            "decision cache (hits/misses)",
+            format!("{}/{}", m.decision_cache_hits, m.decision_cache_misses),
+        ));
+    }
     let dwell_total =
         m.dwell.down_secs + m.dwell.booting_secs + m.dwell.up_secs + m.dwell.waiting_secs;
     let mut out = String::from("telemetry:\n");

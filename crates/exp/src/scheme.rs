@@ -3,8 +3,8 @@
 use redspot_core::policy::large_bid::LARGE_BID;
 use redspot_core::policy::LargeBidPolicy;
 use redspot_core::{
-    on_demand_run, AdaptiveRunner, Engine, ExperimentConfig, MetricsRecorder, NullRecorder,
-    PolicyKind, Recorder, RunMetrics, RunResult,
+    on_demand_run, AdaptiveRunner, Engine, ExperimentConfig, MarketCtx, MetricsRecorder,
+    NullRecorder, PolicyKind, Recorder, RunMetrics, RunResult,
 };
 use redspot_market::DelayModel;
 use redspot_trace::{Price, SimTime, TraceSet, ZoneId};
@@ -71,49 +71,48 @@ pub struct RunSpec {
     pub scheme: Scheme,
 }
 
-/// Execute one run spec. Deterministic given `(traces, spec, base)`; the
-/// spec's identity is folded into the seed so queuing delays differ across
-/// jobs but never across reruns.
+/// Execute one run spec against a shared [`MarketCtx`] with an explicit
+/// telemetry sink. Deterministic given `(mkt, spec, base)`: the spec's
+/// identity is folded into the seed so queuing delays differ across jobs
+/// but never across reruns, and the context's decision cache only ever
+/// substitutes bit-identical tables.
 ///
-/// Sweeps are large, so observation is off by type: the run uses a
-/// [`NullRecorder`] sink and `RunResult::events` stays empty. Use
-/// [`run_one_metered`] (or [`run_one_with`]) to observe a run.
-pub fn run_one(traces: &TraceSet, spec: &RunSpec, base: &ExperimentConfig) -> RunResult {
-    run_one_with(traces, spec, base, NullRecorder).0
-}
-
-/// [`run_one`] with a [`MetricsRecorder`] sink: the run's events are
-/// folded into counters and histograms instead of being retained.
-pub fn run_one_metered(
-    traces: &TraceSet,
-    spec: &RunSpec,
-    base: &ExperimentConfig,
-) -> (RunResult, RunMetrics) {
-    run_one_with(traces, spec, base, MetricsRecorder::new())
-}
-
-/// Execute one run spec with an explicit telemetry sink.
-pub fn run_one_with<R: Recorder>(
-    traces: &TraceSet,
+/// This is the one dispatch point every execution path feeds through;
+/// batches should go through [`crate::exec::RunRequest`], which calls
+/// this per cell.
+pub fn run_spec<R: Recorder>(
+    mkt: &MarketCtx,
     spec: &RunSpec,
     base: &ExperimentConfig,
     mut recorder: R,
 ) -> (RunResult, RunMetrics) {
+    let traces = mkt.traces();
     let mut cfg = base.clone();
     cfg.bid = spec.bid;
     cfg.seed = mix_seed(base.seed, spec);
+    // Policies that estimate uptimes share the context's Markov memo (a
+    // no-op for the rest, and for uncached contexts).
+    let build = |kind: &PolicyKind| {
+        let mut policy = kind.build();
+        if let Some(memo) = mkt.uptime_memo() {
+            policy.attach_uptime_memo(memo);
+        }
+        policy
+    };
     match &spec.scheme {
         Scheme::Single { kind, zone } => {
             cfg.zones = vec![*zone];
-            Engine::with_recorder(traces, spec.start, cfg, kind.build(), recorder).run_full()
+            Engine::with_recorder(traces, spec.start, cfg, build(kind), recorder).run_full()
         }
         Scheme::Redundant { kind, zones } => {
             cfg.zones = zones.clone();
-            Engine::with_recorder(traces, spec.start, cfg, kind.build(), recorder).run_full()
+            Engine::with_recorder(traces, spec.start, cfg, build(kind), recorder).run_full()
         }
         Scheme::Adaptive => {
             cfg.zones = traces.zone_ids().collect();
-            AdaptiveRunner::new(traces, spec.start, cfg).run_with(recorder)
+            AdaptiveRunner::new(traces, spec.start, cfg)
+                .with_market_ctx(mkt)
+                .run_with(recorder)
         }
         Scheme::LargeBid { threshold, zone } => {
             cfg.zones = vec![*zone];
@@ -132,6 +131,42 @@ pub fn run_one_with<R: Recorder>(
             (r, recorder.finish())
         }
     }
+}
+
+/// Execute one run spec. Deterministic given `(traces, spec, base)`.
+///
+/// Sweeps are large, so observation is off by type: the run uses a
+/// [`NullRecorder`] sink and `RunResult::events` stays empty.
+#[deprecated(note = "build a MarketCtx and use exec::RunRequest or run_spec")]
+pub fn run_one(traces: &TraceSet, spec: &RunSpec, base: &ExperimentConfig) -> RunResult {
+    run_spec(&MarketCtx::new(traces.clone()), spec, base, NullRecorder).0
+}
+
+/// [`run_one`] with a [`MetricsRecorder`] sink: the run's events are
+/// folded into counters and histograms instead of being retained.
+#[deprecated(note = "build a MarketCtx and use exec::RunRequest or run_spec")]
+pub fn run_one_metered(
+    traces: &TraceSet,
+    spec: &RunSpec,
+    base: &ExperimentConfig,
+) -> (RunResult, RunMetrics) {
+    run_spec(
+        &MarketCtx::new(traces.clone()),
+        spec,
+        base,
+        MetricsRecorder::new(),
+    )
+}
+
+/// Execute one run spec with an explicit telemetry sink.
+#[deprecated(note = "build a MarketCtx and use run_spec")]
+pub fn run_one_with<R: Recorder>(
+    traces: &TraceSet,
+    spec: &RunSpec,
+    base: &ExperimentConfig,
+    recorder: R,
+) -> (RunResult, RunMetrics) {
+    run_spec(&MarketCtx::new(traces.clone()), spec, base, recorder)
 }
 
 fn mix_seed(base: u64, spec: &RunSpec) -> u64 {
@@ -255,20 +290,21 @@ mod tests {
             },
             Scheme::OnDemand,
         ];
+        let mkt = MarketCtx::new(traces);
         for scheme in schemes {
             let spec = RunSpec {
                 start,
                 bid: m(810),
                 scheme: scheme.clone(),
             };
-            let r = run_one(&traces, &spec, &base());
+            let r = run_spec(&mkt, &spec, &base(), NullRecorder).0;
             assert!(r.met_deadline, "{} missed the deadline", scheme.label());
         }
     }
 
     #[test]
     fn runs_are_deterministic_and_seed_sensitive() {
-        let traces = flat3(270, 80);
+        let mkt = MarketCtx::new(flat3(270, 80));
         let spec = RunSpec {
             start: SimTime::from_hours(50),
             bid: m(810),
@@ -277,8 +313,8 @@ mod tests {
                 zone: ZoneId(0),
             },
         };
-        let a = run_one(&traces, &spec, &base());
-        let b = run_one(&traces, &spec, &base());
+        let a = run_spec(&mkt, &spec, &base(), NullRecorder).0;
+        let b = run_spec(&mkt, &spec, &base(), NullRecorder).0;
         assert_eq!(a, b);
 
         let other = RunSpec {
@@ -286,5 +322,22 @@ mod tests {
             ..spec.clone()
         };
         assert_ne!(mix_seed(0, &spec), mix_seed(0, &other));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_run_spec() {
+        let traces = flat3(270, 80);
+        let mkt = MarketCtx::new(traces.clone());
+        for scheme in [Scheme::Adaptive, Scheme::OnDemand] {
+            let spec = RunSpec {
+                start: SimTime::from_hours(50),
+                bid: m(810),
+                scheme,
+            };
+            let shim = run_one(&traces, &spec, &base());
+            let direct = run_spec(&mkt, &spec, &base(), NullRecorder).0;
+            assert_eq!(shim, direct);
+        }
     }
 }

@@ -2,15 +2,15 @@
 //! high-volatility month of three-zone prices, plus experiment sizing.
 
 use crate::windows::{experiment_starts, run_span_for};
-use redspot_core::ExperimentConfig;
+use redspot_core::{ExperimentConfig, MarketCtx};
 use redspot_trace::gen::GenConfig;
 use redspot_trace::vol::Volatility;
 use redspot_trace::{SimDuration, SimTime, TraceSet};
 
 /// Shared evaluation context for every figure and table.
 pub struct PaperSetup {
-    low: TraceSet,
-    high: TraceSet,
+    low: MarketCtx,
+    high: MarketCtx,
     /// Experiments per volatility window (the paper runs 80).
     pub n_experiments: usize,
     /// Worker threads for sweeps (0 = all CPUs).
@@ -20,11 +20,13 @@ pub struct PaperSetup {
 }
 
 impl PaperSetup {
-    /// Build the setup with a given experiment count.
+    /// Build the setup with a given experiment count. Each volatility
+    /// window gets a sweep-grade [`MarketCtx`] (whole-trace scan seed +
+    /// decision cache), built once and shared by every figure and table.
     pub fn new(seed: u64, n_experiments: usize) -> PaperSetup {
         PaperSetup {
-            low: GenConfig::low_volatility(seed).generate(),
-            high: GenConfig::high_volatility(seed.wrapping_add(1)).generate(),
+            low: MarketCtx::for_sweep(GenConfig::low_volatility(seed).generate()),
+            high: MarketCtx::for_sweep(GenConfig::high_volatility(seed.wrapping_add(1)).generate()),
             n_experiments,
             threads: 0,
             seed,
@@ -47,6 +49,17 @@ impl PaperSetup {
     /// Panics for [`Volatility::Moderate`], which has no dedicated window
     /// in the paper's evaluation.
     pub fn traces(&self, vol: Volatility) -> &TraceSet {
+        self.ctx(vol).traces()
+    }
+
+    /// The shared market context for a volatility regime — feed this to
+    /// [`crate::exec::RunRequest`] so every cell of a sweep shares one
+    /// scan seed and one decision cache.
+    ///
+    /// # Panics
+    /// Panics for [`Volatility::Moderate`], which has no dedicated window
+    /// in the paper's evaluation.
+    pub fn ctx(&self, vol: Volatility) -> &MarketCtx {
         match vol {
             Volatility::Low => &self.low,
             Volatility::High => &self.high,

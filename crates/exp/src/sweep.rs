@@ -1,7 +1,7 @@
 //! Sweep helpers: build run-spec batches for the evaluation grid and
 //! collect cost samples.
 
-use crate::parallel::run_batch;
+use crate::exec::RunRequest;
 use crate::scheme::{RunSpec, Scheme};
 use crate::setup::PaperSetup;
 use redspot_core::{ExperimentConfig, PolicyKind, RunResult};
@@ -26,10 +26,10 @@ pub fn single_zone_costs(
     kind: PolicyKind,
     bid: Price,
 ) -> Vec<f64> {
-    let traces = setup.traces(vol);
+    let mkt = setup.ctx(vol);
     let mut specs = Vec::new();
     for start in setup.starts(vol, base.deadline) {
-        for zone in traces.zone_ids() {
+        for zone in mkt.traces().zone_ids() {
             specs.push(RunSpec {
                 start,
                 bid,
@@ -37,7 +37,7 @@ pub fn single_zone_costs(
             });
         }
     }
-    costs(run_batch(traces, &specs, base, setup.threads))
+    costs(execute(mkt, base, &specs, setup.threads))
 }
 
 /// Costs of a redundancy-based policy (all zones) at one bid.
@@ -48,8 +48,8 @@ pub fn redundant_costs(
     kind: PolicyKind,
     bid: Price,
 ) -> Vec<f64> {
-    let traces = setup.traces(vol);
-    let zones = all_zones(traces);
+    let mkt = setup.ctx(vol);
+    let zones = all_zones(mkt.traces());
     let specs: Vec<RunSpec> = setup
         .starts(vol, base.deadline)
         .into_iter()
@@ -62,12 +62,12 @@ pub fn redundant_costs(
             },
         })
         .collect();
-    costs(run_batch(traces, &specs, base, setup.threads))
+    costs(execute(mkt, base, &specs, setup.threads))
 }
 
 /// Costs of the Adaptive meta-policy.
 pub fn adaptive_costs(setup: &PaperSetup, vol: Volatility, base: &ExperimentConfig) -> Vec<f64> {
-    let traces = setup.traces(vol);
+    let mkt = setup.ctx(vol);
     let specs: Vec<RunSpec> = setup
         .starts(vol, base.deadline)
         .into_iter()
@@ -77,7 +77,7 @@ pub fn adaptive_costs(setup: &PaperSetup, vol: Volatility, base: &ExperimentConf
             scheme: Scheme::Adaptive,
         })
         .collect();
-    costs(run_batch(traces, &specs, base, setup.threads))
+    costs(execute(mkt, base, &specs, setup.threads))
 }
 
 /// Costs of Large-bid at one threshold (zones merged, like other
@@ -88,10 +88,10 @@ pub fn large_bid_costs(
     base: &ExperimentConfig,
     threshold: Option<Price>,
 ) -> Vec<f64> {
-    let traces = setup.traces(vol);
+    let mkt = setup.ctx(vol);
     let mut specs = Vec::new();
     for start in setup.starts(vol, base.deadline) {
-        for zone in traces.zone_ids() {
+        for zone in mkt.traces().zone_ids() {
             specs.push(RunSpec {
                 start,
                 bid: base.bid,
@@ -99,7 +99,7 @@ pub fn large_bid_costs(
             });
         }
     }
-    costs(run_batch(traces, &specs, base, setup.threads))
+    costs(execute(mkt, base, &specs, setup.threads))
 }
 
 /// Pick the entry with the lowest median from labeled cost samples —
@@ -113,6 +113,19 @@ pub fn best_by_median(candidates: Vec<(String, Vec<f64>)>) -> Option<(String, Ve
             let mb = crate::report::median(&b.1);
             ma.partial_cmp(&mb).expect("costs are finite")
         })
+}
+
+fn execute(
+    mkt: &redspot_core::MarketCtx,
+    base: &ExperimentConfig,
+    specs: &[RunSpec],
+    threads: usize,
+) -> Vec<RunResult> {
+    RunRequest::new(mkt, base, specs)
+        .threads(threads)
+        .execute()
+        .expect("sweep base config is valid")
+        .results
 }
 
 fn costs(results: Vec<RunResult>) -> Vec<f64> {

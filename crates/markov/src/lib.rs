@@ -9,10 +9,12 @@
 
 #![warn(missing_docs)]
 
+pub mod memo;
 pub mod states;
 pub mod transition;
 pub mod uptime;
 
+pub use memo::{MemoStats, UptimeMemo};
 pub use states::{StateSpace, DEFAULT_BIN_MILLIS};
 pub use transition::TransitionMatrix;
 pub use uptime::MarkovModel;

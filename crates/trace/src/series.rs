@@ -4,6 +4,7 @@ use crate::price::Price;
 use crate::time::{SimDuration, SimTime, PRICE_STEP};
 use crate::window::Window;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A stepwise-constant spot-price series for one availability zone, sampled
 /// at a fixed interval (5 minutes in all paper experiments).
@@ -12,11 +13,14 @@ use serde::{Deserialize, Serialize};
 /// before the first sample return the first sample, queries at or past the
 /// end return the last sample (policies only ever look backwards, so this
 /// clamping only matters at trace edges).
+/// Samples live behind an [`Arc`] so cloning a series (and therefore a
+/// whole [`crate::TraceSet`]) is O(zones), not O(samples) — sweeps hand
+/// the same market to hundreds of cells without copying price data.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PriceSeries {
     start: SimTime,
     step: u64,
-    prices: Vec<Price>,
+    prices: Arc<Vec<Price>>,
 }
 
 impl PriceSeries {
@@ -41,7 +45,7 @@ impl PriceSeries {
         PriceSeries {
             start,
             step,
-            prices,
+            prices: Arc::new(prices),
         }
     }
 
@@ -116,13 +120,15 @@ impl PriceSeries {
             .map(move |(i, &p)| (self.start + SimDuration::from_secs(i as u64 * self.step), p))
     }
 
-    /// Extract the sub-series covering `window` (clamped to the series
-    /// bounds). The returned series starts at the sample boundary at or
-    /// before `window.start()`.
+    /// The half-open sample index range `slice(window)` would copy, without
+    /// copying it. Two windows that differ only by sub-step jitter map to
+    /// the same range (start floors to a sample boundary, end rounds up),
+    /// which is what makes the range usable as a canonical memoization key
+    /// for anything derived purely from the sliced samples.
     ///
     /// # Panics
     /// Panics if the window does not overlap the series at all.
-    pub fn slice(&self, window: Window) -> PriceSeries {
+    pub fn window_indices(&self, window: Window) -> (usize, usize) {
         let lo = self.index_at(window.start());
         let hi_t = window.end().min(self.end());
         assert!(
@@ -133,10 +139,21 @@ impl PriceSeries {
             let raw = (hi_t.secs().saturating_sub(self.start.secs())).div_ceil(self.step) as usize;
             raw.clamp(lo + 1, self.prices.len())
         };
+        (lo, hi_excl)
+    }
+
+    /// Extract the sub-series covering `window` (clamped to the series
+    /// bounds). The returned series starts at the sample boundary at or
+    /// before `window.start()`.
+    ///
+    /// # Panics
+    /// Panics if the window does not overlap the series at all.
+    pub fn slice(&self, window: Window) -> PriceSeries {
+        let (lo, hi_excl) = self.window_indices(window);
         PriceSeries {
             start: self.start + SimDuration::from_secs(lo as u64 * self.step),
             step: self.step,
-            prices: self.prices[lo..hi_excl].to_vec(),
+            prices: Arc::new(self.prices[lo..hi_excl].to_vec()),
         }
     }
 
@@ -391,5 +408,23 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn empty_series_panics() {
         PriceSeries::new(SimTime::ZERO, vec![]);
+    }
+
+    #[test]
+    fn window_indices_match_slice_and_absorb_substep_jitter() {
+        let s = series();
+        let t = |secs: u64| SimTime::from_secs(secs);
+        let aligned = Window::new(t(300), t(900));
+        let (lo, hi) = s.window_indices(aligned);
+        assert_eq!(s.slice(aligned).samples(), &s.samples()[lo..hi]);
+        // Jitter inside a step changes neither bound: the start floors to
+        // its sample, the end rounds up to the next boundary — exactly the
+        // samples slice() copies.
+        let jittered = Window::new(t(337), t(841));
+        assert_eq!(s.window_indices(jittered), (1, 3));
+        assert_eq!(s.slice(jittered).samples(), &s.samples()[1..3]);
+        // A boundary end excludes the sample a mid-step end would include.
+        assert_eq!(s.window_indices(Window::new(t(300), t(600))), (1, 2));
+        assert_eq!(s.window_indices(Window::new(t(300), t(601))), (1, 3));
     }
 }

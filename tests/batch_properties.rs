@@ -1,0 +1,162 @@
+//! Bit-identity properties of the batch execution plane.
+//!
+//! The plane's whole contract is that its machinery is invisible in the
+//! results: for any market and any mixed batch of schemes, the chunked
+//! work-stealing executor must return byte-equal `RunResult`s at every
+//! thread count and chunk size, and a context with memoization enabled
+//! (decision cache + Markov uptime memo + scan seed) must be byte-equal
+//! to one with every cache disabled.
+
+use proptest::prelude::*;
+use redspot::core::MarketCtx;
+use redspot::exp::{RunRequest, RunSpec, Scheme};
+use redspot::prelude::*;
+use redspot::trace::gen::{GenConfig, ZoneRegime};
+
+/// Realistic three-zone markets (mirrors the scan property suite's
+/// generator): calm/elevated regimes with occasional unaffordable spikes.
+fn arb_market() -> impl Strategy<Value = TraceSet> {
+    (
+        0u64..5_000,
+        150u64..800,     // calm base
+        1_000u64..3_000, // elevated base
+        0.0f64..0.05,    // p_calm_to_elevated
+        0.02f64..0.2,    // p_elevated_to_calm
+        0.0f64..0.02,    // p_spike
+    )
+        .prop_map(|(seed, calm, elev, p_up, p_down, p_spike)| {
+            let mk = |i: usize| ZoneRegime {
+                calm_base: calm + 15 * i as u64,
+                calm_jitter: calm / 10,
+                p_move: 0.15,
+                elevated_base: elev + 50 * i as u64,
+                elevated_jitter: elev / 10,
+                p_calm_to_elevated: p_up,
+                p_elevated_to_calm: p_down,
+                p_spike,
+                spike_range: (2_000, 3_070),
+                spike_steps: (2, 20),
+            };
+            GenConfig {
+                zones: (0..3).map(mk).collect(),
+                duration: SimDuration::from_hours(24 * 3),
+                start: SimTime::ZERO,
+                seed,
+                common_amplitude: 6,
+            }
+            .generate()
+        })
+}
+
+/// A batch mixing every scheme `run_spec` dispatches on, at two starts.
+fn mixed_specs(traces: &TraceSet) -> Vec<RunSpec> {
+    let bid = Price::from_millis(810);
+    let mut specs = Vec::new();
+    for start in [SimTime::from_hours(48), SimTime::from_hours(52)] {
+        specs.push(RunSpec {
+            start,
+            bid,
+            scheme: Scheme::Adaptive,
+        });
+        specs.push(RunSpec {
+            start,
+            bid,
+            scheme: Scheme::Single {
+                kind: PolicyKind::MarkovDaly,
+                zone: ZoneId(0),
+            },
+        });
+        specs.push(RunSpec {
+            start,
+            bid,
+            scheme: Scheme::Redundant {
+                kind: PolicyKind::Threshold,
+                zones: traces.zone_ids().collect(),
+            },
+        });
+        specs.push(RunSpec {
+            start,
+            bid,
+            scheme: Scheme::LargeBid {
+                threshold: Some(Price::from_millis(2_400)),
+                zone: ZoneId(1),
+            },
+        });
+        specs.push(RunSpec {
+            start,
+            bid,
+            scheme: Scheme::OnDemand,
+        });
+    }
+    specs
+}
+
+fn small_cfg(slack_pct: u64, seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_default()
+        .with_slack_percent(slack_pct)
+        .with_seed(seed);
+    cfg.app = AppSpec::new(SimDuration::from_hours(10));
+    cfg.deadline = SimDuration::from_secs(cfg.app.work.secs() * (100 + slack_pct) / 100);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The executor returns byte-equal results for every thread count and
+    /// chunk size, against one shared (warming) context.
+    #[test]
+    fn executor_is_bit_identical_across_threads_and_chunks(
+        traces in arb_market(),
+        slack_pct in 10u64..60,
+        seed in 0u64..100,
+    ) {
+        let cfg = small_cfg(slack_pct, seed);
+        let specs = mixed_specs(&traces);
+        let mkt = MarketCtx::for_sweep(traces.clone());
+        let run = |threads: usize, chunk: Option<usize>| {
+            let mut req = RunRequest::new(&mkt, &cfg, &specs).threads(threads);
+            if let Some(c) = chunk {
+                req = req.chunk_size(c);
+            }
+            req.execute().expect("valid batch config").results
+        };
+        let serial = run(1, None);
+        prop_assert_eq!(&serial, &run(2, None), "2 threads changed results");
+        prop_assert_eq!(&serial, &run(3, Some(1)), "chunk=1 changed results");
+        prop_assert_eq!(&serial, &run(2, Some(7)), "chunk=7 changed results");
+        prop_assert!(serial.iter().all(|r| r.met_deadline));
+    }
+
+    /// Memoization is invisible: an uncached context and both cached
+    /// constructors produce byte-equal batches — and re-running against
+    /// the already-warm cache stays byte-equal too.
+    #[test]
+    fn cached_and_uncached_batches_are_bit_identical(
+        traces in arb_market(),
+        slack_pct in 10u64..60,
+        seed in 0u64..100,
+    ) {
+        let cfg = small_cfg(slack_pct, seed);
+        let specs = mixed_specs(&traces);
+        let run = |mkt: &MarketCtx| {
+            RunRequest::new(mkt, &cfg, &specs)
+                .threads(1)
+                .execute()
+                .expect("valid batch config")
+        };
+        let uncached = run(&MarketCtx::uncached(traces.clone()));
+        let one_off = run(&MarketCtx::new(traces.clone()));
+        let sweep_ctx = MarketCtx::for_sweep(traces.clone());
+        let cold = run(&sweep_ctx);
+        let warm = run(&sweep_ctx);
+        prop_assert_eq!(&uncached.results, &one_off.results, "decision/uptime caches changed results");
+        prop_assert_eq!(&uncached.results, &cold.results, "sweep context changed results");
+        prop_assert_eq!(&uncached.results, &warm.results, "warm cache changed results");
+        // The uncached context really ran cold, and the warm pass really
+        // exercised the caches.
+        prop_assert_eq!(uncached.cache.hits + uncached.cache.misses, 0);
+        prop_assert_eq!(uncached.uptime.hits + uncached.uptime.misses, 0);
+        prop_assert!(warm.cache.hits > 0, "warm pass never hit the decision cache");
+    }
+}

@@ -9,8 +9,7 @@
 
 use proptest::prelude::*;
 use redspot::core::{ApiFaultPlan, Engine, Event, FaultPlan};
-use redspot::exp::parallel::run_batch;
-use redspot::exp::{RunSpec, Scheme};
+use redspot::exp::{RunRequest, RunSpec, Scheme};
 use redspot::prelude::*;
 use redspot::trace::gen::{GenConfig, ZoneRegime};
 
@@ -446,14 +445,22 @@ fn none_plan_sweeps_are_thread_count_invariant() {
             },
         })
         .collect();
-    let serial = run_batch(&traces, &specs, &cfg, 1);
-    let threaded = run_batch(&traces, &specs, &cfg, 4);
+    let mkt = redspot::core::MarketCtx::new(traces.clone());
+    let batch = |cfg: &redspot::core::ExperimentConfig, threads: usize| {
+        RunRequest::new(&mkt, cfg, &specs)
+            .threads(threads)
+            .execute()
+            .expect("valid config")
+            .results
+    };
+    let serial = batch(&cfg, 1);
+    let threaded = batch(&cfg, 4);
     assert_eq!(serial, threaded);
 
     // The same holds with faults switched on: the fault RNG is seeded
     // per run, not shared across workers.
     let chaotic = cfg.with_faults(FaultPlan::with_intensity(0.7));
-    let serial = run_batch(&traces, &specs, &chaotic, 1);
-    let threaded = run_batch(&traces, &specs, &chaotic, 4);
+    let serial = batch(&chaotic, 1);
+    let threaded = batch(&chaotic, 4);
     assert_eq!(serial, threaded);
 }
