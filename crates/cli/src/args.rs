@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 /// Flags that take no value: present means `true`.
-const BOOL_FLAGS: &[&str] = &["api", "metrics", "cache-stats"];
+const BOOL_FLAGS: &[&str] = &["api", "api-only", "metrics", "cache-stats"];
 
 /// Parsed flags plus positional arguments.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -108,9 +108,17 @@ USAGE:
   redspot var-analysis [--seed N]
   redspot queuing-delay [--seed N]
   redspot spike-stress [--n COUNT] [--seed N]
-  redspot chaos [--api] [--n COUNT] [--seed N] [--intensities 0,0.3,0.6,1]
-                                    # --api injects control-plane faults instead of
-                                    # infrastructure faults; exits 1 on any deadline violation
+  redspot chaos [--api | --api-only] [--n COUNT] [--seed N] [--intensities 0,0.3,0.6,1]
+                                    # --api composes control-plane faults WITH the
+                                    # infrastructure faults in the same runs; --api-only
+                                    # injects control-plane faults alone; exits 1 on any
+                                    # deadline violation
+  redspot fleet [--jobs N] [--capacity unbounded,2,1] [--intensities 0,0.5]
+                [--seed N] [--threads N] [--out metrics.json]
+                                    # N mixed jobs contending for shared per-zone spot
+                                    # capacity with the degradation ladder enabled;
+                                    # exits 1 on any deadline violation or capacity leak;
+                                    # --out writes the merged fleet metrics as JSON
   redspot markov-validation [--seed N] [--bid DOLLARS]
   redspot bootstrap --trace FILE --out FILE [--seed N] [--block-hours H] [--days D]
   redspot workloads                 # list the workload catalog

@@ -432,9 +432,9 @@ mod tests {
     }
 
     #[test]
-    fn chaos_api_flag_switches_to_control_plane_faults() {
+    fn chaos_api_flag_composes_both_fault_planes() {
         let out = dispatch_str(&["chaos", "--api", "--n", "2", "--intensities", "0,0.5"]).unwrap();
-        assert!(out.contains("Chaos-API"), "{out}");
+        assert!(out.contains("Chaos-API+infra"), "{out}");
         assert!(out.contains("total deadline violations: 0"), "{out}");
         // Bad intensities are usage errors regardless of the mode.
         let err = crate::dispatch(&[
@@ -445,6 +445,40 @@ mod tests {
         ])
         .unwrap_err();
         assert!(matches!(err, crate::CliError::Usage(_)));
+    }
+
+    #[test]
+    fn chaos_api_only_flag_keeps_control_plane_faults_alone() {
+        let out =
+            dispatch_str(&["chaos", "--api-only", "--n", "2", "--intensities", "0,0.5"]).unwrap();
+        assert!(out.contains("Chaos-API:"), "{out}");
+        assert!(!out.contains("Chaos-API+infra"), "{out}");
+        assert!(out.contains("total deadline violations: 0"), "{out}");
+    }
+
+    #[test]
+    fn fleet_contends_and_writes_the_metrics_artifact() {
+        let out_path = tmp("fleet-metrics.json");
+        let out = dispatch_str(&[
+            "fleet",
+            "--jobs",
+            "4",
+            "--capacity",
+            "unbounded,1",
+            "--intensities",
+            "0",
+            "--out",
+            &out_path,
+        ])
+        .unwrap();
+        assert!(out.contains("total deadline violations: 0"), "{out}");
+        assert!(out.contains("capacity conserved: yes"), "{out}");
+        assert!(out.contains("unbounded"), "{out}");
+        assert!(out.contains("1/zone"), "{out}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        assert!(json.contains("\"runs\""), "{json}");
+        // Bad capacity specs are usage errors.
+        assert!(dispatch_str(&["fleet", "--capacity", "many"]).is_err());
     }
 
     #[test]
@@ -518,17 +552,9 @@ pub fn spike_stress(parsed: &ParsedArgs) -> Result<String, String> {
     ))
 }
 
-/// `chaos`: the deadline guarantee under injected faults — infrastructure
-/// faults by default, control-plane (API) faults with `--api`. Any
-/// deadline violation in the sweep is a [`CliError::Violation`]: the
-/// binary prints the table and exits nonzero, so CI can gate on it.
-pub fn chaos(parsed: &ParsedArgs) -> Result<String, CliError> {
-    use redspot_exp::experiments::{chaos, chaos_api};
-    let usage = CliError::Usage;
-    let common = parsed.common().map_err(usage)?;
-    let seed = common.seed;
-    let n = parsed.num_or("n", 8usize).map_err(usage)?;
-    let spec = parsed.get_or("intensities", "0,0.3,0.6,1");
+/// Parse the shared `--intensities` list (values in `[0, 1]`).
+fn parse_intensities(parsed: &ParsedArgs, default: &str) -> Result<Vec<f64>, String> {
+    let spec = parsed.get_or("intensities", default);
     let intensities: Vec<f64> = spec
         .split(',')
         .map(|s| {
@@ -543,21 +569,85 @@ pub fn chaos(parsed: &ParsedArgs) -> Result<String, CliError> {
                     }
                 })
         })
-        .collect::<Result<_, _>>()
-        .map_err(usage)?;
+        .collect::<Result<_, _>>()?;
     if intensities.is_empty() {
-        return Err(CliError::Usage(
-            "--intensities: need at least one value".into(),
-        ));
+        return Err("--intensities: need at least one value".into());
     }
-    let (rendered, violations) = if parsed.has("api") {
-        let c = chaos_api::study(seed, &intensities, n, common.threads);
+    Ok(intensities)
+}
+
+/// `chaos`: the deadline guarantee under injected faults — infrastructure
+/// faults by default; `--api` *composes* control-plane faults with the
+/// infrastructure faults in the same runs; `--api-only` injects the
+/// control-plane faults alone. Any deadline violation in the sweep is a
+/// [`CliError::Violation`]: the binary prints the table and exits
+/// nonzero, so CI can gate on it.
+pub fn chaos(parsed: &ParsedArgs) -> Result<String, CliError> {
+    use redspot_exp::experiments::{chaos, chaos_api};
+    let usage = CliError::Usage;
+    let common = parsed.common().map_err(usage)?;
+    let seed = common.seed;
+    let n = parsed.num_or("n", 8usize).map_err(usage)?;
+    let intensities = parse_intensities(parsed, "0,0.3,0.6,1").map_err(usage)?;
+    let (rendered, violations) = if parsed.has("api") || parsed.has("api-only") {
+        let composed = !parsed.has("api-only");
+        let c = chaos_api::study(seed, &intensities, n, common.threads, composed);
         (chaos_api::render(&c), c.total_violations())
     } else {
         let c = chaos::study(seed, &intensities, n, common.threads);
         (chaos::render(&c), c.total_violations())
     };
     if violations > 0 {
+        return Err(CliError::Violation(rendered));
+    }
+    Ok(rendered)
+}
+
+/// `fleet`: N mixed jobs contending for shared per-zone spot capacity,
+/// with both fault planes live and the graceful-degradation ladder
+/// enabled. `--capacity` takes a comma list of per-zone unit counts
+/// ("unbounded" for the independent-runs control). Exits nonzero on any
+/// deadline violation or capacity-conservation failure; `--out` writes
+/// the merged fleet metrics as a JSON artifact.
+pub fn fleet(parsed: &ParsedArgs) -> Result<String, CliError> {
+    use redspot_exp::experiments::chaos_fleet;
+    let usage = CliError::Usage;
+    let common = parsed.common().map_err(usage)?;
+    let n_jobs = parsed.num_or("jobs", 8usize).map_err(usage)?;
+    if n_jobs == 0 {
+        return Err(CliError::Usage("--jobs must be at least 1".into()));
+    }
+    let intensities = parse_intensities(parsed, "0,0.5").map_err(usage)?;
+    let capacities: Vec<Option<u64>> = parsed
+        .get_or("capacity", "unbounded,2")
+        .split(',')
+        .map(|s| match s.trim() {
+            "unbounded" | "inf" => Ok(None),
+            v => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| format!("--capacity: cannot parse '{v}'")),
+        })
+        .collect::<Result<_, _>>()
+        .map_err(usage)?;
+
+    let c = chaos_fleet::study(
+        common.seed,
+        &capacities,
+        &intensities,
+        n_jobs,
+        common.threads,
+    );
+    let mut rendered = chaos_fleet::render(&c);
+
+    if let Some(out) = parsed.get("out") {
+        let json = serde_json::to_string(&c.merged_metrics())
+            .map_err(|e| CliError::Usage(format!("cannot serialize metrics: {e}")))?;
+        std::fs::write(out, json)
+            .map_err(|e| CliError::Usage(format!("cannot write {out}: {e}")))?;
+        rendered.push_str(&format!("\n  merged fleet metrics written to {out}\n"));
+    }
+    if c.total_violations() > 0 || !c.all_balanced() {
         return Err(CliError::Violation(rendered));
     }
     Ok(rendered)

@@ -52,6 +52,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "queuing-delay" => cmd::queuing_delay(&parsed).map_err(CliError::Usage),
         "spike-stress" => cmd::spike_stress(&parsed).map_err(CliError::Usage),
         "chaos" => cmd::chaos(&parsed),
+        "fleet" => cmd::fleet(&parsed),
         "markov-validation" => cmd::markov_validation(&parsed).map_err(CliError::Usage),
         "bootstrap" => cmd::bootstrap(&parsed).map_err(CliError::Usage),
         "workloads" => cmd::workloads(&parsed).map_err(CliError::Usage),

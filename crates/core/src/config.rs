@@ -1,5 +1,6 @@
 //! Experiment configuration (the paper's Section-5 setup).
 
+use crate::degrade::DegradePolicy;
 use crate::faults::FaultPlan;
 use redspot_ckpt::{AppSpec, CkptCosts};
 use redspot_market::ApiFaultPlan;
@@ -32,6 +33,8 @@ pub enum ConfigError {
     InvalidFaultPlan(String),
     /// The API fault plan's parameters are out of range.
     InvalidApiFaultPlan(String),
+    /// The degradation ladder's parameters are out of range.
+    InvalidDegradePolicy(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -51,6 +54,9 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
             ConfigError::InvalidApiFaultPlan(msg) => {
                 write!(f, "invalid API fault plan: {msg}")
+            }
+            ConfigError::InvalidDegradePolicy(msg) => {
+                write!(f, "invalid degradation policy: {msg}")
             }
         }
     }
@@ -90,6 +96,11 @@ pub struct ExperimentConfig {
     /// engine is bit-identical to one talking to a perfect API.
     #[serde(default)]
     pub api: ApiFaultPlan,
+    /// Graceful-degradation ladder for capacity contention (see
+    /// [`DegradePolicy`]); [`DegradePolicy::off`] by default, under
+    /// which the engine is bit-identical to one without the ladder.
+    #[serde(default)]
+    pub degrade: DegradePolicy,
 }
 
 impl ExperimentConfig {
@@ -106,6 +117,7 @@ impl ExperimentConfig {
             io_server: None,
             faults: FaultPlan::none(),
             api: ApiFaultPlan::none(),
+            degrade: DegradePolicy::off(),
         }
     }
 
@@ -157,6 +169,12 @@ impl ExperimentConfig {
         self
     }
 
+    /// Replace the capacity-contention degradation ladder.
+    pub fn with_degrade(mut self, degrade: DegradePolicy) -> ExperimentConfig {
+        self.degrade = degrade;
+        self
+    }
+
     /// Validate invariants (`D ≥ C`, at least one zone, distinct zones,
     /// well-formed fault plans).
     pub fn validate(&self) -> Result<(), ConfigError> {
@@ -180,7 +198,10 @@ impl ExperimentConfig {
             .map_err(ConfigError::InvalidFaultPlan)?;
         self.api
             .validate()
-            .map_err(ConfigError::InvalidApiFaultPlan)
+            .map_err(ConfigError::InvalidApiFaultPlan)?;
+        self.degrade
+            .validate()
+            .map_err(ConfigError::InvalidDegradePolicy)
     }
 
     /// Terminal builder step: check every invariant and seal the config.

@@ -1,0 +1,190 @@
+//! The graceful-degradation ladder for capacity contention.
+//!
+//! When a fleet drains a zone, every spot request there comes back
+//! `InsufficientInstanceCapacity`. Retrying forever burns supervisor
+//! budget on a market signal (the capacity is *gone*, not flaking), so
+//! the engine escalates through three rungs, each strictly
+//! deadline-safe:
+//!
+//! 1. **Shed** — after [`shed_after`](DegradePolicy::shed_after)
+//!    consecutive capacity denials in one zone, drop that zone from the
+//!    redundant set (never below
+//!    [`min_zones`](DegradePolicy::min_zones)). Redundancy was a cost
+//!    optimisation; giving it up only removes speculative replicas.
+//! 2. **Defer** — while *nothing has ever run* (admission control), a
+//!    capacity denial on the surviving set pushes the retry gate out by
+//!    a doubling [`defer_step`](DegradePolicy::defer_step), capped at
+//!    the deadline guard's migration instant. Waiting out contention is
+//!    free while the guard still covers the on-demand fallback.
+//! 3. **Spill** — when the last usable zone has been denied
+//!    [`spill_after`](DegradePolicy::spill_after) times in a row, stop
+//!    waiting for the guard and migrate to on-demand immediately.
+//!    Migrating *earlier* than the guard instant strictly increases
+//!    slack, so the deadline guarantee is untouched.
+//!
+//! The default policy is [`off`](DegradePolicy::off): the ladder is
+//! completely inert and the engine is bit-identical to one without it —
+//! the same discipline the fault plans follow.
+
+use redspot_trace::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Tuning for the capacity-contention degradation ladder. Inert by
+/// default ([`DegradePolicy::off`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradePolicy {
+    /// Master switch; `false` disables every rung.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Consecutive capacity denials in one zone before it is shed.
+    #[serde(default = "default_shed_after")]
+    pub shed_after: u32,
+    /// Never shed below this many active zones.
+    #[serde(default = "default_min_zones")]
+    pub min_zones: usize,
+    /// First admission-control deferral; doubles per deferral.
+    #[serde(default = "default_defer_step")]
+    pub defer_step: SimDuration,
+    /// Bound on admission-control deferrals per run.
+    #[serde(default = "default_max_deferrals")]
+    pub max_deferrals: u32,
+    /// Consecutive capacity denials on the last usable zone before the
+    /// job spills to on-demand ahead of the deadline guard.
+    #[serde(default = "default_spill_after")]
+    pub spill_after: u32,
+}
+
+fn default_shed_after() -> u32 {
+    3
+}
+fn default_min_zones() -> usize {
+    1
+}
+fn default_defer_step() -> SimDuration {
+    SimDuration::from_secs(600)
+}
+fn default_max_deferrals() -> u32 {
+    4
+}
+fn default_spill_after() -> u32 {
+    6
+}
+
+impl Default for DegradePolicy {
+    fn default() -> DegradePolicy {
+        DegradePolicy::off()
+    }
+}
+
+impl DegradePolicy {
+    /// The ladder disabled: capacity denials are handled exactly like
+    /// any other control-plane failure (supervisor backoff, then the
+    /// deadline guard). This is the default.
+    pub const fn off() -> DegradePolicy {
+        DegradePolicy {
+            enabled: false,
+            shed_after: 3,
+            min_zones: 1,
+            defer_step: SimDuration::from_secs(600),
+            max_deferrals: 4,
+            spill_after: 6,
+        }
+    }
+
+    /// The standard ladder: shed after 3 consecutive denials, defer up
+    /// to 4 times from 10 min doubling, spill after 6 denials on the
+    /// last zone.
+    pub const fn standard() -> DegradePolicy {
+        DegradePolicy {
+            enabled: true,
+            shed_after: 3,
+            min_zones: 1,
+            defer_step: SimDuration::from_secs(600),
+            max_deferrals: 4,
+            spill_after: 6,
+        }
+    }
+
+    /// Validate the ladder's parameters (only when enabled; an `off`
+    /// policy is always valid).
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.shed_after == 0 {
+            return Err("shed_after must be at least 1".into());
+        }
+        if self.min_zones == 0 {
+            return Err("min_zones must be at least 1".into());
+        }
+        if self.spill_after == 0 {
+            return Err("spill_after must be at least 1".into());
+        }
+        if self.max_deferrals > 0 && self.defer_step == SimDuration::ZERO {
+            return Err("defer_step must be positive when deferrals are allowed".into());
+        }
+        Ok(())
+    }
+
+    /// The deferral applied at the `n`-th admission-control deferral
+    /// (1-based): `defer_step · 2^(n-1)`, saturating.
+    pub fn deferral(&self, n: u32) -> SimDuration {
+        let factor = 1u64.checked_shl(n.saturating_sub(1)).unwrap_or(u64::MAX);
+        SimDuration::from_secs(self.defer_step.secs().saturating_mul(factor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_default_and_valid() {
+        assert_eq!(DegradePolicy::default(), DegradePolicy::off());
+        assert!(!DegradePolicy::off().enabled);
+        assert!(DegradePolicy::off().validate().is_ok());
+        assert!(DegradePolicy::standard().enabled);
+        assert!(DegradePolicy::standard().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_only_bites_when_enabled() {
+        let mut p = DegradePolicy::off();
+        p.shed_after = 0;
+        assert!(p.validate().is_ok(), "off policies are always valid");
+        p.enabled = true;
+        assert!(p.validate().is_err());
+
+        let mut p = DegradePolicy::standard();
+        p.min_zones = 0;
+        assert!(p.validate().is_err());
+        let mut p = DegradePolicy::standard();
+        p.spill_after = 0;
+        assert!(p.validate().is_err());
+        let mut p = DegradePolicy::standard();
+        p.defer_step = SimDuration::ZERO;
+        assert!(p.validate().is_err());
+        p.max_deferrals = 0;
+        assert!(p.validate().is_ok(), "no deferrals → step unused");
+    }
+
+    #[test]
+    fn deferrals_double_and_saturate() {
+        let p = DegradePolicy::standard();
+        assert_eq!(p.deferral(1), SimDuration::from_secs(600));
+        assert_eq!(p.deferral(2), SimDuration::from_secs(1_200));
+        assert_eq!(p.deferral(3), SimDuration::from_secs(2_400));
+        assert!(p.deferral(200) > SimDuration::from_hours(1_000));
+    }
+
+    #[test]
+    fn serde_defaults_to_off() {
+        let p: DegradePolicy = serde_json::from_str("{}").unwrap();
+        assert_eq!(p, DegradePolicy::off());
+        let q: DegradePolicy = serde_json::from_str("{\"enabled\": true}").unwrap();
+        assert_eq!(q, DegradePolicy::standard());
+        let json = serde_json::to_string(&DegradePolicy::standard()).unwrap();
+        let back: DegradePolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, DegradePolicy::standard());
+    }
+}

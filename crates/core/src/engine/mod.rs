@@ -127,6 +127,12 @@ pub struct Engine<'t, R: Recorder = VecRecorder> {
     /// Deadline guard tripped; decide migrate-vs-continue when the
     /// in-flight checkpoint commits.
     guard_pending: bool,
+    /// Consecutive `InsufficientCapacity` denials per zone slot, driving
+    /// the degradation ladder. Reset on any accepted request or
+    /// non-capacity denial; always zero when the ladder is off.
+    cap_denials: Vec<u32>,
+    /// Admission-control deferrals taken so far (ladder rung 2).
+    deferrals: u32,
 
     phase: Phase,
     spot_cost: Price,
@@ -254,18 +260,7 @@ impl<'t, R: Recorder> Engine<'t, R> {
         delay: DelayModel,
         recorder: R,
     ) -> Result<Engine<'t, R>, ConfigError> {
-        let cfg = cfg.into_validated()?.into_inner();
-        if let Some(&zone) = cfg.zones.iter().find(|z| z.0 >= traces.n_zones()) {
-            return Err(ConfigError::ZoneOutOfRange {
-                zone,
-                n_zones: traces.n_zones(),
-            });
-        }
-        let n = cfg.zones.len();
-        let deadline_abs = start + cfg.deadline;
-        let outages = (0..n)
-            .map(|i| cfg.faults.outage_schedule(cfg.seed, i, start, cfg.deadline))
-            .collect();
+        let cfg = cfg.into_validated()?;
         // The control plane: perfect unless API faults are configured, in
         // which case the perfect API is wrapped in the deterministic fault
         // injector. The supervisor's jitter RNG gets a decorrelated seed;
@@ -279,6 +274,38 @@ impl<'t, R: Recorder> Engine<'t, R> {
                 ApiFaultPlan::rng_seed(cfg.seed),
             ))
         };
+        Engine::try_with_api(traces, start, cfg, policy, delay, recorder, api)
+    }
+
+    /// [`Engine::try_with_parts`] with an externally-built control plane.
+    /// This is the fleet seam: a fleet wraps each job's API in a
+    /// [`redspot_market::ContendedApi`] sharing one capacity pool, so
+    /// insufficient-capacity errors emerge from the fleet's own draining
+    /// rather than fault-plan coin flips. The api must honour the same
+    /// contract as the default stack (notably: deterministic given the
+    /// config seed) for runs to be reproducible.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_with_api(
+        traces: &'t TraceSet,
+        start: SimTime,
+        cfg: impl IntoValidated,
+        policy: Box<dyn Policy>,
+        delay: DelayModel,
+        recorder: R,
+        api: Box<dyn CloudApi + 't>,
+    ) -> Result<Engine<'t, R>, ConfigError> {
+        let cfg = cfg.into_validated()?.into_inner();
+        if let Some(&zone) = cfg.zones.iter().find(|z| z.0 >= traces.n_zones()) {
+            return Err(ConfigError::ZoneOutOfRange {
+                zone,
+                n_zones: traces.n_zones(),
+            });
+        }
+        let n = cfg.zones.len();
+        let deadline_abs = start + cfg.deadline;
+        let outages = (0..n)
+            .map(|i| cfg.faults.outage_schedule(cfg.seed, i, start, cfg.deadline))
+            .collect();
         let supervisor = Supervisor::new(
             api,
             cfg.api,
@@ -311,6 +338,8 @@ impl<'t, R: Recorder> Engine<'t, R> {
             replicas: ReplicaSet::new(cfg.app, n),
             ckpt: None,
             guard_pending: false,
+            cap_denials: vec![0; n],
+            deferrals: 0,
             phase: Phase::Spot,
             spot_cost: Price::ZERO,
             od_cost: Price::ZERO,

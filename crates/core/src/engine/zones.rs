@@ -6,7 +6,7 @@ use crate::run::{Event, TerminationCause};
 use crate::supervisor::{DenyReason, RequestOutcome};
 use crate::telemetry::Recorder;
 use rand::Rng;
-use redspot_market::{InstanceState, SpotBilling, StopCause};
+use redspot_market::{ApiError, InstanceState, SpotBilling, StopCause};
 use redspot_trace::{Price, SimDuration, SimTime};
 
 /// Per-zone runtime state.
@@ -148,6 +148,7 @@ impl<'t, R: Recorder> Engine<'t, R> {
                 if breaker_closed {
                     self.record(Event::ZoneBreakerClosed { at: self.now, zone });
                 }
+                self.cap_denials[i] = 0;
                 let boot = self.delay.sample(&mut self.rng);
                 let ready_at = self.now + latency + boot;
                 let rate = self.traces.price_at(zone, self.now);
@@ -169,6 +170,10 @@ impl<'t, R: Recorder> Engine<'t, R> {
                 // (with its retry gate set) and no billing state exists.
                 self.zones[i].inst = InstanceState::Down;
                 self.zones[i].blocked_until = retry_at;
+                let capacity_denied = matches!(
+                    reason,
+                    DenyReason::Api(ApiError::InsufficientCapacity { .. })
+                );
                 let error = match reason {
                     DenyReason::Api(e) => Some(e),
                     DenyReason::Quarantined { .. } | DenyReason::BudgetExhausted => None,
@@ -186,6 +191,74 @@ impl<'t, R: Recorder> Engine<'t, R> {
                         until,
                     });
                 }
+                if capacity_denied {
+                    self.note_capacity_denial(i);
+                } else {
+                    self.cap_denials[i] = 0;
+                }
+            }
+        }
+    }
+
+    /// The graceful-degradation ladder, advanced on every consecutive
+    /// `InsufficientCapacity` denial in zone slot `i` (see
+    /// [`crate::DegradePolicy`]). Inert unless the config enables it.
+    /// Every rung is deadline-safe: shedding only removes speculative
+    /// redundancy, deferrals are capped at the guard instant, and
+    /// spilling migrates *earlier* than the guard would — migrating at
+    /// any `t ≤ guard_time` always meets `D`.
+    fn note_capacity_denial(&mut self, i: usize) {
+        let ladder = self.cfg.degrade;
+        if !ladder.enabled {
+            return;
+        }
+        self.cap_denials[i] += 1;
+        let denials = self.cap_denials[i];
+        let active = self.zones.iter().filter(|z| z.active).count();
+
+        // Rung 1: shed this zone while redundancy remains. The fleet
+        // keeps it drained; stop burning retry budget there. The zone is
+        // Down and unbilled at this point, so deactivation is immediate.
+        if active > ladder.min_zones && denials >= ladder.shed_after {
+            self.zones[i].active = false;
+            self.cap_denials[i] = 0;
+            self.record(Event::ZoneShed {
+                at: self.now,
+                zone: self.cfg.zones[i],
+                remaining: active - 1,
+            });
+            return;
+        }
+
+        // Rung 3: the surviving set keeps hitting the capacity wall —
+        // stop waiting for the guard and take the on-demand fallback now,
+        // with strictly more slack than the guard instant would have.
+        if active <= ladder.min_zones && denials >= ladder.spill_after {
+            self.record(Event::CapacitySpill {
+                at: self.now,
+                zone: self.cfg.zones[i],
+                denials,
+            });
+            self.migrate_to_on_demand();
+            return;
+        }
+
+        // Rung 2: admission control. Nothing has ever run, so there is no
+        // progress to protect — wait out the contention with doubling
+        // deferrals while guard slack allows, instead of hammering the
+        // drained zone on the supervisor's short backoff.
+        if self.restarts == 0 && self.deferrals < ladder.max_deferrals {
+            let n = self.deferrals + 1;
+            let until = (self.now + ladder.deferral(n)).min(self.guard_time());
+            if until > self.zones[i].blocked_until {
+                self.zones[i].blocked_until = until;
+                self.deferrals = n;
+                self.record(Event::StartDeferred {
+                    at: self.now,
+                    zone: self.cfg.zones[i],
+                    until,
+                    deferral: n,
+                });
             }
         }
     }
@@ -254,6 +327,9 @@ impl<'t, R: Recorder> Engine<'t, R> {
         let charged = billing.stop(self.now, StopCause::OutOfBid);
         self.spot_cost += charged;
         self.zones[i].inst = InstanceState::Down;
+        // The provider reclaimed the slot without a terminate call; give
+        // any capacity unit the request debited back to the pool.
+        self.supervisor.release(self.cfg.zones[i], self.now);
         self.zones[i].boot_retries += 1;
         let backoff = self.cfg.faults.backoff_after(self.zones[i].boot_retries);
         let retry_at = self.now + backoff;
@@ -304,6 +380,7 @@ impl<'t, R: Recorder> Engine<'t, R> {
         self.spot_cost += charged;
         self.replicas.stop(i);
         self.zones[i].inst = InstanceState::Down;
+        self.supervisor.release(self.cfg.zones[i], self.now);
         self.record(Event::ZoneBlackout {
             at: self.now,
             zone: self.cfg.zones[i],
@@ -329,6 +406,7 @@ impl<'t, R: Recorder> Engine<'t, R> {
         self.spot_cost += charged;
         self.replicas.stop(i);
         self.zones[i].inst = InstanceState::Down;
+        self.supervisor.release(self.cfg.zones[i], self.now);
         self.oob_terminations += 1;
         self.record(Event::Terminated {
             at: self.now,

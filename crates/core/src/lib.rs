@@ -12,6 +12,7 @@
 pub mod adaptive;
 pub mod backoff;
 pub mod config;
+pub mod degrade;
 pub mod engine;
 pub mod faults;
 pub mod policy;
@@ -25,6 +26,7 @@ pub use adaptive::scan::{PermutationScan, ScanSeed};
 pub use adaptive::{AdaptiveConfig, AdaptiveRunner, DecisionSession, ForecastMode};
 pub use backoff::Backoff;
 pub use config::{ConfigError, ExperimentConfig, IntoValidated, ValidatedConfig};
+pub use degrade::DegradePolicy;
 pub use engine::{on_demand_run, Engine, Snapshot, StepReport, ZoneSnapshot};
 pub use faults::FaultPlan;
 pub use policy::{Policy, PolicyCtx, PolicyKind};

@@ -207,6 +207,41 @@ pub enum Event {
         /// Control-plane delay before the on-demand instance was granted.
         delay: SimDuration,
     },
+    /// Graceful-degradation rung 1: a zone was dropped from the
+    /// redundant set after persistent capacity denials (the fleet keeps
+    /// it drained; stop burning retry budget there).
+    ZoneShed {
+        /// When.
+        at: SimTime,
+        /// Which zone was shed.
+        zone: ZoneId,
+        /// Active zones remaining after the shed.
+        remaining: usize,
+    },
+    /// Graceful-degradation rung 2: admission control deferred the job's
+    /// (re)start — no replica has run yet and every request is hitting a
+    /// capacity wall, so back off further while guard slack allows.
+    StartDeferred {
+        /// When.
+        at: SimTime,
+        /// Zone whose denial triggered the deferral.
+        zone: ZoneId,
+        /// No new requests before this instant (always ≤ guard time).
+        until: SimTime,
+        /// How many deferrals this run has taken, counting this one.
+        deferral: u32,
+    },
+    /// Graceful-degradation rung 3: the last usable zone stayed drained,
+    /// so the job spilled to on-demand ahead of the deadline guard
+    /// (always followed by [`Event::SwitchedToOnDemand`]).
+    CapacitySpill {
+        /// When.
+        at: SimTime,
+        /// Zone whose denial triggered the spill.
+        zone: ZoneId,
+        /// Consecutive capacity denials the zone had accumulated.
+        denials: u32,
+    },
     /// The application completed.
     Completed {
         /// When.
@@ -239,6 +274,9 @@ impl Event {
             | Event::ZoneQuarantined { at, .. }
             | Event::ZoneBreakerClosed { at, .. }
             | Event::OnDemandDelayed { at, .. }
+            | Event::ZoneShed { at, .. }
+            | Event::StartDeferred { at, .. }
+            | Event::CapacitySpill { at, .. }
             | Event::Completed { at } => *at,
         }
     }

@@ -157,6 +157,14 @@ impl<A: CloudApi> Supervisor<A> {
         self.plan.od_reserve()
     }
 
+    /// Notify the control plane that the provider reclaimed `zone`'s
+    /// instance outside a terminate call (out-of-bid kill, boot failure,
+    /// blackout). Infallible and latency-free — capacity-tracking APIs
+    /// credit their pools here; everything else ignores it.
+    pub fn release(&mut self, zone: ZoneId, at: SimTime) {
+        self.api.release(at, zone);
+    }
+
     /// Read `zone`'s price, falling back to the last observation when
     /// the control plane fails. Returns `None` only if the zone's price
     /// has never been observed (the caller should skip the decision).

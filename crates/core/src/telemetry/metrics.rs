@@ -169,6 +169,15 @@ pub struct RunMetrics {
     pub od_delays: u64,
     /// Deadline-guard migrations to on-demand.
     pub migrations: u64,
+    /// Zones dropped from the redundant set after persistent capacity
+    /// denials (degradation ladder rung 1).
+    pub zones_shed: u64,
+    /// Admission-control start deferrals under capacity contention
+    /// (degradation ladder rung 2).
+    pub start_deferrals: u64,
+    /// Proactive spills to on-demand after the last zone stayed drained
+    /// (degradation ladder rung 3).
+    pub capacity_spills: u64,
     /// Adaptive controller reconfigurations.
     pub adaptive_switches: u64,
     /// Runtime deadline changes.
@@ -222,6 +231,9 @@ impl RunMetrics {
         self.terminate_lag_secs += other.terminate_lag_secs;
         self.od_delays += other.od_delays;
         self.migrations += other.migrations;
+        self.zones_shed += other.zones_shed;
+        self.start_deferrals += other.start_deferrals;
+        self.capacity_spills += other.capacity_spills;
         self.adaptive_switches += other.adaptive_switches;
         self.deadline_changes += other.deadline_changes;
         self.hours_charged += other.hours_charged;
@@ -355,6 +367,9 @@ impl Recorder for MetricsRecorder {
             Event::ZoneBreakerClosed { .. } => self.m.breaker_closes += 1,
             Event::OnDemandDelayed { .. } => self.m.od_delays += 1,
             Event::SwitchedToOnDemand { .. } => self.m.migrations += 1,
+            Event::ZoneShed { .. } => self.m.zones_shed += 1,
+            Event::StartDeferred { .. } => self.m.start_deferrals += 1,
+            Event::CapacitySpill { .. } => self.m.capacity_spills += 1,
             Event::AdaptiveSwitch { .. } => self.m.adaptive_switches += 1,
             Event::DeadlineChanged { .. } => self.m.deadline_changes += 1,
             // `HourCharged` is informational: the spend it describes is

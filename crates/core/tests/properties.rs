@@ -79,6 +79,7 @@ proptest! {
             io_server: None,
             faults: redspot_core::FaultPlan::none(),
             api: redspot_core::ApiFaultPlan::none(),
+            degrade: redspot_core::DegradePolicy::off(),
         };
         cfg.deadline = cfg.app.work + SimDuration::from_secs(cfg.app.work.secs() * slack_pct / 100);
         if let PolicyKind::LargeBid(_) = kind {

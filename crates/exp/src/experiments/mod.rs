@@ -4,6 +4,7 @@
 
 pub mod chaos;
 pub mod chaos_api;
+pub mod chaos_fleet;
 pub mod fig2;
 pub mod fig4;
 pub mod fig5;

@@ -3,15 +3,17 @@
 //! Experiment harness: the paper's evaluation setup (synthetic low/high
 //! volatility windows, 80 overlapping experiment starts), run-spec sweeps
 //! over bids × zones × policies, the unified batch execution plane
-//! ([`exec::RunRequest`] over a shared [`redspot_core::MarketCtx`]),
-//! terminal rendering of boxplot figures and markdown tables, and one
-//! module per paper figure/table under [`experiments`].
+//! ([`exec::RunRequest`] over a shared [`redspot_core::MarketCtx`]), the
+//! fleet execution plane ([`fleet::FleetRequest`] — N jobs contending
+//! for a shared capacity pool), terminal rendering of boxplot figures
+//! and markdown tables, and one module per paper figure/table under
+//! [`experiments`].
 
 #![warn(missing_docs)]
 
 pub mod exec;
 pub mod experiments;
-pub mod parallel;
+pub mod fleet;
 pub mod report;
 pub mod results;
 pub mod scheme;
@@ -21,7 +23,6 @@ pub mod sweep;
 pub mod windows;
 
 pub use exec::{BatchOutcome, Progress, RunRequest};
-#[allow(deprecated)]
-pub use scheme::{run_one, run_one_metered, run_one_with};
+pub use fleet::{FleetError, FleetJob, FleetOutcome, FleetRequest};
 pub use scheme::{run_spec, RunSpec, Scheme};
 pub use setup::PaperSetup;

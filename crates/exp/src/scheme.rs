@@ -3,11 +3,11 @@
 use redspot_core::policy::large_bid::LARGE_BID;
 use redspot_core::policy::LargeBidPolicy;
 use redspot_core::{
-    on_demand_run, AdaptiveRunner, Engine, ExperimentConfig, MarketCtx, MetricsRecorder,
-    NullRecorder, PolicyKind, Recorder, RunMetrics, RunResult,
+    on_demand_run, AdaptiveRunner, Engine, ExperimentConfig, MarketCtx, PolicyKind, Recorder,
+    RunMetrics, RunResult,
 };
 use redspot_market::DelayModel;
-use redspot_trace::{Price, SimTime, TraceSet, ZoneId};
+use redspot_trace::{Price, SimTime, ZoneId};
 use serde::{Deserialize, Serialize};
 
 /// One way of executing the experiment — a policy plus its zone setup.
@@ -133,45 +133,12 @@ pub fn run_spec<R: Recorder>(
     }
 }
 
-/// Execute one run spec. Deterministic given `(traces, spec, base)`.
-///
-/// Sweeps are large, so observation is off by type: the run uses a
-/// [`NullRecorder`] sink and `RunResult::events` stays empty.
-#[deprecated(note = "build a MarketCtx and use exec::RunRequest or run_spec")]
-pub fn run_one(traces: &TraceSet, spec: &RunSpec, base: &ExperimentConfig) -> RunResult {
-    run_spec(&MarketCtx::new(traces.clone()), spec, base, NullRecorder).0
-}
-
-/// [`run_one`] with a [`MetricsRecorder`] sink: the run's events are
-/// folded into counters and histograms instead of being retained.
-#[deprecated(note = "build a MarketCtx and use exec::RunRequest or run_spec")]
-pub fn run_one_metered(
-    traces: &TraceSet,
-    spec: &RunSpec,
-    base: &ExperimentConfig,
-) -> (RunResult, RunMetrics) {
-    run_spec(
-        &MarketCtx::new(traces.clone()),
-        spec,
-        base,
-        MetricsRecorder::new(),
-    )
-}
-
-/// Execute one run spec with an explicit telemetry sink.
-#[deprecated(note = "build a MarketCtx and use run_spec")]
-pub fn run_one_with<R: Recorder>(
-    traces: &TraceSet,
-    spec: &RunSpec,
-    base: &ExperimentConfig,
-    recorder: R,
-) -> (RunResult, RunMetrics) {
-    run_spec(&MarketCtx::new(traces.clone()), spec, base, recorder)
-}
-
-fn mix_seed(base: u64, spec: &RunSpec) -> u64 {
-    // FNV-style mixing of the spec identity: stable across reruns and
-    // independent of execution order.
+/// Fold a spec's identity into a config seed (FNV-style): stable across
+/// reruns and independent of execution order, so queuing delays differ
+/// across jobs but never across replays. Shared with the fleet plane,
+/// which must mix identically for its unbounded-pool runs to be
+/// bit-identical to [`run_spec`].
+pub(crate) fn mix_seed(base: u64, spec: &RunSpec) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64 ^ base;
     let mut eat = |v: u64| {
         h ^= v;
@@ -213,7 +180,8 @@ pub fn delay_model() -> DelayModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use redspot_trace::PriceSeries;
+    use redspot_core::NullRecorder;
+    use redspot_trace::{PriceSeries, TraceSet};
 
     fn m(v: u64) -> Price {
         Price::from_millis(v)
@@ -322,22 +290,5 @@ mod tests {
             ..spec.clone()
         };
         assert_ne!(mix_seed(0, &spec), mix_seed(0, &other));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_run_spec() {
-        let traces = flat3(270, 80);
-        let mkt = MarketCtx::new(traces.clone());
-        for scheme in [Scheme::Adaptive, Scheme::OnDemand] {
-            let spec = RunSpec {
-                start: SimTime::from_hours(50),
-                bid: m(810),
-                scheme,
-            };
-            let shim = run_one(&traces, &spec, &base());
-            let direct = run_spec(&mkt, &spec, &base(), NullRecorder).0;
-            assert_eq!(shim, direct);
-        }
     }
 }

@@ -120,6 +120,15 @@ pub trait CloudApi {
     /// Request an on-demand instance (the migration path). On-demand is
     /// modelled as highly — but not perfectly — available.
     fn request_on_demand(&mut self, at: SimTime) -> ApiResult<()>;
+
+    /// Notify the control plane that the provider reclaimed `zone`'s
+    /// instance outside a terminate call — an out-of-bid kill, a boot
+    /// failure, or a zone blackout. This is a notification, not a
+    /// request: it cannot fail and costs no latency. Capacity-tracking
+    /// decorators credit their pools here; everything else ignores it.
+    fn release(&mut self, at: SimTime, zone: ZoneId) {
+        let _ = (at, zone);
+    }
 }
 
 impl<A: CloudApi + ?Sized> CloudApi for Box<A> {
@@ -137,6 +146,9 @@ impl<A: CloudApi + ?Sized> CloudApi for Box<A> {
     }
     fn request_on_demand(&mut self, at: SimTime) -> ApiResult<()> {
         (**self).request_on_demand(at)
+    }
+    fn release(&mut self, at: SimTime, zone: ZoneId) {
+        (**self).release(at, zone)
     }
 }
 
@@ -532,6 +544,12 @@ impl<A: CloudApi> CloudApi for FaultyApi<A> {
         self.inner
             .request_on_demand(at)
             .map(|ok| ApiOk { latency, ..ok })
+    }
+
+    fn release(&mut self, at: SimTime, zone: ZoneId) {
+        // A notification, not a fallible call: no fault draw, so the
+        // fault RNG stream is untouched and replay stays bit-identical.
+        self.inner.release(at, zone)
     }
 }
 

@@ -1,0 +1,379 @@
+//! Shared per-zone spot capacity and the contended control plane.
+//!
+//! The fault decorator ([`crate::FaultyApi`]) injects
+//! `InsufficientInstanceCapacity` as an exogenous coin flip. A fleet
+//! drains capacity *endogenously*: N jobs share one [`CapacityPool`] and
+//! every job's control plane is wrapped in a [`ContendedApi`] that debits
+//! a unit on a fulfilled spot request, credits it when the instance dies
+//! (terminate, out-of-bid, boot failure, blackout), and rejects with
+//! [`ApiError::InsufficientCapacity`] when the fleet has emptied the
+//! zone. Capacity faults then emerge from fleet behaviour instead of
+//! RNG draws.
+//!
+//! Two invariants are load-bearing and tested property-style upstream:
+//!
+//! * **Conservation** — the pool never goes negative (acquisition is a
+//!   compare-and-swap that only decrements a positive count) and every
+//!   debit is eventually credited (the engine notifies the API on every
+//!   instance-death path, so once a fleet finishes,
+//!   [`CapacityPool::fully_released`] holds).
+//! * **Inertness when unbounded** — [`CapacityPool::unbounded`] never
+//!   rejects, adds no latency, and draws no randomness, so a fleet run
+//!   against it is bit-identical to running each job independently.
+
+use crate::api::{ApiResult, CloudApi};
+use redspot_trace::{Price, SimTime, ZoneId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared per-zone spot capacity, safe to hand to concurrently running
+/// jobs behind an `Arc`. Acquisition never takes the count below zero.
+#[derive(Debug)]
+pub struct CapacityPool {
+    /// Configured units per zone; empty when the pool is unbounded.
+    capacity: Vec<u64>,
+    /// Remaining units per zone; same length as `capacity`.
+    available: Vec<AtomicU64>,
+    debits: AtomicU64,
+    credits: AtomicU64,
+    denials: AtomicU64,
+    od_requests: AtomicU64,
+}
+
+/// A point-in-time snapshot of a pool's lifetime counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Units successfully acquired (fulfilled spot requests).
+    pub debits: u64,
+    /// Units returned (terminations, out-of-bid kills, boot failures,
+    /// blackouts).
+    pub credits: u64,
+    /// Spot requests rejected because the zone was drained.
+    pub denials: u64,
+    /// On-demand requests routed through the pool. The on-demand fleet
+    /// is modelled as deep enough to never reject — the paper's deadline
+    /// guarantee is anchored on it — so these are counted, not gated.
+    pub od_requests: u64,
+}
+
+impl CapacityPool {
+    /// A pool that never rejects: the single-job model, where the market
+    /// is infinitely deep. Tracks nothing and is completely inert.
+    pub fn unbounded() -> CapacityPool {
+        CapacityPool::with_capacities(Vec::new())
+    }
+
+    /// `units` of capacity in each of `n_zones` zones.
+    pub fn uniform(n_zones: usize, units: u64) -> CapacityPool {
+        CapacityPool::with_capacities(vec![units; n_zones])
+    }
+
+    /// Explicit per-zone capacities. An empty vector means unbounded.
+    pub fn with_capacities(capacity: Vec<u64>) -> CapacityPool {
+        let available = capacity.iter().map(|&c| AtomicU64::new(c)).collect();
+        CapacityPool {
+            capacity,
+            available,
+            debits: AtomicU64::new(0),
+            credits: AtomicU64::new(0),
+            denials: AtomicU64::new(0),
+            od_requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this pool ever rejects anything.
+    pub fn is_unbounded(&self) -> bool {
+        self.capacity.is_empty()
+    }
+
+    /// Number of zones with bounded capacity (zero when unbounded).
+    pub fn n_zones(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// Configured units in `zone`; `None` when unbounded.
+    pub fn capacity(&self, zone: ZoneId) -> Option<u64> {
+        self.capacity.get(zone.0).copied()
+    }
+
+    /// Units currently free in `zone`; `None` when unbounded.
+    pub fn available(&self, zone: ZoneId) -> Option<u64> {
+        self.available.get(zone.0).map(|a| a.load(Ordering::SeqCst))
+    }
+
+    /// Try to take one unit from `zone`. Returns `false` when the zone
+    /// is drained; always `true` for an unbounded pool. The CAS loop
+    /// only ever decrements a positive count, so the pool can never go
+    /// negative regardless of how many jobs race here.
+    pub fn try_acquire(&self, zone: ZoneId) -> bool {
+        if self.is_unbounded() {
+            return true;
+        }
+        let slot = &self.available[self.index(zone)];
+        let mut cur = slot.load(Ordering::SeqCst);
+        loop {
+            if cur == 0 {
+                self.denials.fetch_add(1, Ordering::SeqCst);
+                return false;
+            }
+            match slot.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => {
+                    self.debits.fetch_add(1, Ordering::SeqCst);
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Return one unit to `zone`. A no-op for an unbounded pool.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if the credit would exceed the configured
+    /// capacity — that means a unit was returned twice.
+    pub fn release(&self, zone: ZoneId) {
+        if self.is_unbounded() {
+            return;
+        }
+        let i = self.index(zone);
+        let before = self.available[i].fetch_add(1, Ordering::SeqCst);
+        debug_assert!(
+            before < self.capacity[i],
+            "capacity over-credit in zone {zone:?}: {} units configured",
+            self.capacity[i]
+        );
+        self.credits.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Count an on-demand request (never gated; see [`PoolStats`]).
+    pub fn note_on_demand(&self) {
+        self.od_requests.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Whether every debited unit has been credited back — the
+    /// conservation invariant a finished fleet must satisfy. Vacuously
+    /// true for an unbounded pool.
+    pub fn fully_released(&self) -> bool {
+        self.capacity
+            .iter()
+            .zip(&self.available)
+            .all(|(&cap, avail)| avail.load(Ordering::SeqCst) == cap)
+    }
+
+    /// Snapshot the lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            debits: self.debits.load(Ordering::SeqCst),
+            credits: self.credits.load(Ordering::SeqCst),
+            denials: self.denials.load(Ordering::SeqCst),
+            od_requests: self.od_requests.load(Ordering::SeqCst),
+        }
+    }
+
+    fn index(&self, zone: ZoneId) -> usize {
+        let i = zone.0;
+        assert!(
+            i < self.capacity.len(),
+            "zone {zone:?} outside the capacity pool ({} zones)",
+            self.capacity.len()
+        );
+        i
+    }
+}
+
+/// Decorator that routes one job's control plane through a shared
+/// [`CapacityPool`]. Layered *outside* the fault decorator, so an
+/// injected fault never debits capacity and a fulfilled request always
+/// does:
+///
+/// ```text
+/// Supervisor → ContendedApi → FaultyApi → PerfectApi
+/// ```
+///
+/// A job holds at most one unit per zone (the engine runs one instance
+/// per configured zone), tracked in `held` so that terminate retries
+/// stay idempotent: only the first stop of a live instance credits the
+/// pool.
+#[derive(Debug)]
+pub struct ContendedApi<A> {
+    inner: A,
+    pool: std::sync::Arc<CapacityPool>,
+    held: Vec<bool>,
+}
+
+impl<A: CloudApi> ContendedApi<A> {
+    /// Wrap `inner` against the shared pool.
+    pub fn new(inner: A, pool: std::sync::Arc<CapacityPool>) -> ContendedApi<A> {
+        let held = vec![false; pool.n_zones()];
+        ContendedApi { inner, pool, held }
+    }
+
+    fn credit_if_held(&mut self, zone: ZoneId) {
+        let i = zone.0;
+        if let Some(h) = self.held.get_mut(i) {
+            if std::mem::take(h) {
+                self.pool.release(zone);
+            }
+        }
+    }
+}
+
+impl<A: CloudApi> CloudApi for ContendedApi<A> {
+    fn request_spot(&mut self, at: SimTime, zone: ZoneId, bid: Price) -> ApiResult<()> {
+        // Inner faults first: a timed-out or throttled request never
+        // reached the allocator, so it must not debit the pool.
+        let ok = self.inner.request_spot(at, zone, bid)?;
+        if self.pool.try_acquire(zone) {
+            if let Some(h) = self.held.get_mut(zone.0) {
+                debug_assert!(!*h, "zone {zone:?} already holds a unit");
+                *h = true;
+            }
+            Ok(ok)
+        } else {
+            Err(crate::ApiError::InsufficientCapacity {
+                elapsed: ok.latency,
+            })
+        }
+    }
+
+    fn terminate(&mut self, at: SimTime, zone: ZoneId) -> ApiResult<()> {
+        // Credit before delegating and regardless of the inner outcome:
+        // the supervisor forces terminations through (they are
+        // idempotent and the instance dies with the bid anyway), so the
+        // unit is coming back no matter how flaky the call is — and
+        // `held` makes retries credit exactly once.
+        self.credit_if_held(zone);
+        self.inner.terminate(at, zone)
+    }
+
+    fn describe_price(&mut self, at: SimTime, zone: ZoneId) -> ApiResult<Price> {
+        self.inner.describe_price(at, zone)
+    }
+
+    fn describe_instance(&mut self, at: SimTime, zone: ZoneId) -> ApiResult<()> {
+        self.inner.describe_instance(at, zone)
+    }
+
+    fn request_on_demand(&mut self, at: SimTime) -> ApiResult<()> {
+        let ok = self.inner.request_on_demand(at)?;
+        self.pool.note_on_demand();
+        Ok(ok)
+    }
+
+    fn release(&mut self, at: SimTime, zone: ZoneId) {
+        self.credit_if_held(zone);
+        self.inner.release(at, zone);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{ApiError, ApiFaultPlan, FaultyApi, PerfectApi};
+    use redspot_trace::{PriceSeries, SimDuration, TraceSet};
+    use std::sync::Arc;
+
+    fn traces() -> TraceSet {
+        let mk = |base: u64| {
+            PriceSeries::new(
+                SimTime::ZERO,
+                vec![Price::from_millis(base), Price::from_millis(base + 30)],
+            )
+        };
+        TraceSet::new(vec![mk(270), mk(300)])
+    }
+
+    #[test]
+    fn acquire_never_goes_negative_and_counts() {
+        let pool = CapacityPool::uniform(2, 2);
+        let z = ZoneId(0);
+        assert!(pool.try_acquire(z));
+        assert!(pool.try_acquire(z));
+        assert!(!pool.try_acquire(z), "drained zone must reject");
+        assert_eq!(pool.available(z), Some(0));
+        assert_eq!(pool.available(ZoneId(1)), Some(2));
+        pool.release(z);
+        assert!(pool.try_acquire(z));
+        let s = pool.stats();
+        assert_eq!(s.debits, 3);
+        assert_eq!(s.credits, 1);
+        assert_eq!(s.denials, 1);
+        assert!(!pool.fully_released());
+    }
+
+    #[test]
+    fn unbounded_pool_is_inert() {
+        let pool = CapacityPool::unbounded();
+        assert!(pool.is_unbounded());
+        for _ in 0..1_000 {
+            assert!(pool.try_acquire(ZoneId(7)));
+        }
+        pool.release(ZoneId(7));
+        assert_eq!(pool.stats(), PoolStats::default());
+        assert!(pool.fully_released());
+        assert_eq!(pool.available(ZoneId(0)), None);
+        assert_eq!(pool.capacity(ZoneId(0)), None);
+    }
+
+    #[test]
+    fn contended_api_debits_credits_and_denies() {
+        let t = traces();
+        let pool = Arc::new(CapacityPool::uniform(2, 1));
+        let mut a = ContendedApi::new(PerfectApi::new(&t), Arc::clone(&pool));
+        let mut b = ContendedApi::new(PerfectApi::new(&t), Arc::clone(&pool));
+        let bid = Price::from_millis(810);
+
+        assert!(a.request_spot(SimTime::ZERO, ZoneId(0), bid).is_ok());
+        // The fleet-mate now finds the zone drained.
+        let err = b.request_spot(SimTime::ZERO, ZoneId(0), bid).unwrap_err();
+        assert!(matches!(err, ApiError::InsufficientCapacity { .. }));
+        // ...but the other zone is free.
+        assert!(b.request_spot(SimTime::ZERO, ZoneId(1), bid).is_ok());
+
+        // Terminate credits exactly once, even when retried.
+        assert!(a.terminate(SimTime::ZERO, ZoneId(0)).is_ok());
+        assert!(a.terminate(SimTime::ZERO, ZoneId(0)).is_ok());
+        assert_eq!(pool.available(ZoneId(0)), Some(1));
+
+        // Provider-side reclaim (out-of-bid / blackout) credits too.
+        b.release(SimTime::ZERO, ZoneId(1));
+        assert!(pool.fully_released());
+        let s = pool.stats();
+        assert_eq!(s.debits, s.credits);
+        assert_eq!(s.denials, 1);
+    }
+
+    #[test]
+    fn inner_fault_never_debits() {
+        let t = traces();
+        let pool = Arc::new(CapacityPool::uniform(2, 1));
+        // Every spot request times out before reaching the allocator.
+        let plan = ApiFaultPlan {
+            p_timeout: 1.0,
+            timeout: SimDuration::from_secs(30),
+            ..ApiFaultPlan::none()
+        };
+        let mut api = ContendedApi::new(
+            FaultyApi::new(PerfectApi::new(&t), plan, 11),
+            Arc::clone(&pool),
+        );
+        let err = api
+            .request_spot(SimTime::ZERO, ZoneId(0), Price::from_millis(810))
+            .unwrap_err();
+        assert!(matches!(err, ApiError::Timeout { .. }));
+        assert_eq!(pool.stats().debits, 0);
+        assert_eq!(pool.available(ZoneId(0)), Some(1));
+    }
+
+    #[test]
+    fn on_demand_is_counted_not_gated() {
+        let t = traces();
+        let pool = Arc::new(CapacityPool::uniform(1, 0));
+        let mut api = ContendedApi::new(PerfectApi::new(&t), Arc::clone(&pool));
+        // Zero spot capacity, yet on-demand always goes through.
+        for _ in 0..5 {
+            assert!(api.request_on_demand(SimTime::ZERO).is_ok());
+        }
+        assert_eq!(pool.stats().od_requests, 5);
+        assert_eq!(pool.stats().denials, 0);
+    }
+}

@@ -12,6 +12,7 @@
 
 pub mod api;
 pub mod billing;
+pub mod capacity;
 pub mod delay;
 pub mod instance;
 pub mod market;
@@ -19,6 +20,7 @@ pub mod outage;
 
 pub use api::{ApiError, ApiFaultPlan, ApiOk, ApiResult, CloudApi, FaultyApi, PerfectApi};
 pub use billing::{on_demand_cost, SpotBilling, StopCause};
+pub use capacity::{CapacityPool, ContendedApi, PoolStats};
 pub use delay::DelayModel;
 pub use instance::{InstanceState, ZoneInstance};
 pub use market::SpotMarket;

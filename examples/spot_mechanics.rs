@@ -126,6 +126,18 @@ fn main() {
             Event::OnDemandDelayed { delay, .. } => {
                 println!("{t:>5.2}h  S={s}  on-demand request delayed {delay}")
             }
+            Event::ZoneShed { remaining, .. } => {
+                println!("{t:>5.2}h  S={s}  shed a contended zone ({remaining} left)")
+            }
+            Event::StartDeferred { until, .. } => {
+                println!(
+                    "{t:>5.2}h  S={s}  start deferred until {:.2}h (admission control)",
+                    until.as_hours()
+                )
+            }
+            Event::CapacitySpill { .. } => {
+                println!("{t:>5.2}h  S={s}  capacity spill -> on-demand")
+            }
             Event::AdaptiveSwitch { .. } | Event::DeadlineChanged { .. } => {}
             Event::Completed { .. } => println!("{t:>5.2}h  S={s}  job complete"),
         }

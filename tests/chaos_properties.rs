@@ -353,6 +353,93 @@ proptest! {
     }
 }
 
+// ----------------------------------------------------------------------
+// Composed chaos: both fault planes live in the same run.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Infrastructure faults AND control-plane faults in the same run —
+    /// arbitrary schedules on both planes, arbitrary markets. The planes
+    /// interact (a blackout ends, the re-request times out, the boot
+    /// fails, ...), yet the deadline holds whenever it was feasible at
+    /// submission and the billing invariants are untouched.
+    #[test]
+    fn guarantee_survives_composed_fault_planes(
+        traces in arb_market(),
+        faults in arb_faults(),
+        api in arb_api_faults(),
+        kind in prop_oneof![Just(PolicyKind::Periodic), Just(PolicyKind::MarkovDaly)],
+        slack_pct in 10u64..60,
+        seed in 0u64..1_000,
+    ) {
+        let mut cfg = ExperimentConfig::paper_default()
+            .with_slack_percent(slack_pct)
+            .with_seed(seed)
+            .with_faults(faults)
+            .with_api_faults(api);
+        cfg.app = AppSpec::new(SimDuration::from_hours(8));
+        cfg.deadline = SimDuration::from_secs(cfg.app.work.secs() * (100 + slack_pct) / 100);
+        prop_assert!(cfg.validate().is_ok());
+
+        // Feasible at submission under the stricter of both planes'
+        // reserves: work + migration + the bounded on-demand retry loop.
+        let feasible =
+            cfg.deadline >= cfg.app.work + cfg.costs.migration() + cfg.api.od_reserve();
+        let start = SimTime::from_hours(48);
+        let r = Engine::new(&traces, start, cfg.clone(), kind.build()).run();
+
+        prop_assert!(
+            r.met_deadline || !feasible,
+            "{kind:?} missed a feasible deadline with both planes live: finished {} vs {}",
+            r.finished_at,
+            start + cfg.deadline
+        );
+        prop_assert_eq!(r.cost, r.spot_cost + r.od_cost + r.io_cost);
+        prop_assert!(!r.used_on_demand || r.od_cost > Price::ZERO);
+        check_commit_monotonicity(&r.events);
+
+        // Control-plane bookkeeping stays sound under composition.
+        for e in &r.events {
+            match e {
+                Event::SpotRequestFailed { at, retry_at, .. } => {
+                    prop_assert!(retry_at > at, "API retry not in the future");
+                }
+                Event::ZoneQuarantined { at, until, .. } => {
+                    prop_assert!(until > at, "empty quarantine window");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Composed chaos replays bit for bit: the two planes draw from
+    /// independent deterministic streams, so running them together is
+    /// just as reproducible as running either alone.
+    #[test]
+    fn composed_fault_planes_replay_bit_for_bit(
+        traces in arb_market(),
+        faults in arb_faults(),
+        api in arb_api_faults(),
+        seed in 0u64..1_000,
+    ) {
+        let cfg = {
+            let mut c = ExperimentConfig::paper_default()
+                .with_slack_percent(15)
+                .with_seed(seed)
+                .with_faults(faults)
+                .with_api_faults(api);
+            c.app = AppSpec::new(SimDuration::from_hours(8));
+            c.deadline = SimDuration::from_secs(c.app.work.secs() * 115 / 100);
+            c
+        };
+        let start = SimTime::from_hours(48);
+        let a = Engine::new(&traces, start, cfg.clone(), PolicyKind::Periodic.build()).run();
+        let b = Engine::new(&traces, start, cfg, PolicyKind::Periodic.build()).run();
+        prop_assert_eq!(a, b);
+    }
+}
+
 /// Total capacity drought: every spot request is rejected with
 /// `InsufficientInstanceCapacity`. No spot instance ever starts, so no
 /// spot dollar is ever billed ("no billing for unfulfilled requests"),

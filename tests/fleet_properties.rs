@@ -1,0 +1,245 @@
+//! Fleet property tests: the two invariants the fleet execution plane
+//! stakes its design on.
+//!
+//! 1. **Unbounded-pool identity** — a fleet against an unbounded
+//!    [`CapacityPool`] is bit-identical to running every job
+//!    independently through [`run_spec`], at any thread count: the
+//!    contention wrapper never rejects, adds no latency, draws no
+//!    randomness.
+//! 2. **Bounded-pool safety** — under arbitrary fleet mixes and
+//!    arbitrary per-zone capacities, every job still meets its deadline
+//!    (Algorithm 1's guarantee is per job, anchored on on-demand) and
+//!    capacity is conserved: the pool never goes negative and every
+//!    debited unit is credited back by the time the fleet finishes.
+
+use proptest::prelude::*;
+use redspot::core::{DegradePolicy, FaultPlan};
+use redspot::exp::{run_spec, FleetJob, FleetRequest, RunSpec, Scheme};
+use redspot::market::{ApiFaultPlan, CapacityPool};
+use redspot::prelude::*;
+use redspot::trace::gen::{GenConfig, ZoneRegime};
+use std::sync::Arc;
+
+/// An arbitrary (but bounded) market: arbitrary regime parameters per
+/// zone, arbitrary seed.
+fn arb_market() -> impl Strategy<Value = TraceSet> {
+    (
+        0u64..10_000,  // seed
+        100u64..900,   // calm base
+        900u64..4_000, // elevated base
+        0.0f64..0.2,   // p_calm_to_elevated
+        0.01f64..0.3,  // p_elevated_to_calm
+        0.0f64..0.05,  // p_spike
+    )
+        .prop_map(|(seed, calm, elev, p_up, p_down, p_spike)| {
+            let mk = |i: usize| ZoneRegime {
+                calm_base: calm + 10 * i as u64,
+                calm_jitter: calm / 8,
+                p_move: 0.2,
+                elevated_base: elev,
+                elevated_jitter: elev / 8,
+                p_calm_to_elevated: p_up,
+                p_elevated_to_calm: p_down,
+                p_spike,
+                spike_range: (elev, elev * 3),
+                spike_steps: (1, 12),
+            };
+            GenConfig {
+                zones: (0..3).map(mk).collect(),
+                duration: SimDuration::from_hours(24 * 5),
+                start: SimTime::ZERO,
+                seed,
+                common_amplitude: 5,
+            }
+            .generate()
+        })
+}
+
+/// One arbitrary fleet member: mixed schemes, slacks, workloads,
+/// checkpoint-cost profiles, fault intensities, ladder settings and
+/// staggered starts. Adaptive is excluded so the same mix is legal under
+/// bounded pools.
+fn arb_job() -> impl Strategy<Value = FleetJob> {
+    (
+        0usize..4,   // scheme selector
+        0usize..3,   // zone for single-zone schemes
+        15u64..50,   // slack percent
+        4u64..9,     // work hours
+        0u64..1_000, // seed
+        0u64..12,    // start offset (hours past 40)
+        0u32..4,     // flag bits: 1 = heavy checkpoints, 2 = ladder on
+        0usize..3,   // fault intensity selector: 0.0 / 0.2 / 0.4
+    )
+        .prop_map(|(s, z, slack, work_h, seed, off, flags, fi)| {
+            let all = vec![ZoneId(0), ZoneId(1), ZoneId(2)];
+            let scheme = match s {
+                0 => Scheme::Single {
+                    kind: PolicyKind::Periodic,
+                    zone: ZoneId(z),
+                },
+                1 => Scheme::Redundant {
+                    kind: PolicyKind::Periodic,
+                    zones: all,
+                },
+                2 => Scheme::Redundant {
+                    kind: PolicyKind::MarkovDaly,
+                    zones: all,
+                },
+                _ => Scheme::OnDemand,
+            };
+            let intensity = [0.0, 0.2, 0.4][fi];
+            let mut cfg = ExperimentConfig::paper_default()
+                .with_slack_percent(slack)
+                .with_seed(seed)
+                .with_faults(FaultPlan::with_intensity(intensity))
+                .with_api_faults(ApiFaultPlan::with_intensity(intensity));
+            if flags & 2 != 0 {
+                cfg = cfg.with_degrade(DegradePolicy::standard());
+            }
+            cfg.app = AppSpec::new(SimDuration::from_hours(work_h));
+            cfg.deadline = SimDuration::from_secs(cfg.app.work.secs() * (100 + slack) / 100);
+            cfg.costs = if flags & 1 != 0 {
+                CkptCosts::HIGH
+            } else {
+                CkptCosts::LOW
+            };
+            FleetJob {
+                name: format!("job-s{seed}"),
+                spec: RunSpec {
+                    start: SimTime::from_hours(40 + off),
+                    bid: Price::from_millis(810),
+                    scheme,
+                },
+                cfg,
+            }
+        })
+}
+
+/// A fleet of 2–5 arbitrary jobs.
+fn arb_fleet() -> impl Strategy<Value = Vec<FleetJob>> {
+    prop::collection::vec(arb_job(), 2..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Invariant 1: with an unbounded pool, the fleet plane IS the
+    /// independent-runs plane — bit-identical results per job, at every
+    /// thread count, and the pool's gating counters never move.
+    #[test]
+    fn unbounded_fleet_is_bit_identical_to_independent_runs(
+        traces in arb_market(),
+        jobs in arb_fleet(),
+    ) {
+        let mkt = redspot::core::MarketCtx::new(traces);
+        let independent: Vec<RunResult> = jobs
+            .iter()
+            .map(|j| run_spec(&mkt, &j.spec, &j.cfg, redspot::core::NullRecorder).0)
+            .collect();
+        for threads in [1usize, 2, 3] {
+            let fleet = FleetRequest::new(&mkt, &jobs, Arc::new(CapacityPool::unbounded()))
+                .threads(threads)
+                .execute()
+                .expect("valid fleet");
+            prop_assert_eq!(
+                &fleet.results,
+                &independent,
+                "fleet diverged from independent runs at {} threads",
+                threads
+            );
+            prop_assert_eq!(fleet.pool.debits, 0);
+            prop_assert_eq!(fleet.pool.denials, 0);
+            prop_assert!(fleet.pool_balanced);
+        }
+    }
+
+    /// Invariant 2: under arbitrary per-zone capacities, every job meets
+    /// its deadline, the pool conserves capacity (debits == credits,
+    /// everything released), and the lock-step execution is
+    /// deterministic and thread-count independent.
+    #[test]
+    fn bounded_fleet_meets_deadlines_and_conserves_capacity(
+        traces in arb_market(),
+        jobs in arb_fleet(),
+        units in prop::collection::vec(0u64..3, 3),
+    ) {
+        let mkt = redspot::core::MarketCtx::new(traces);
+        let run = |threads: usize| {
+            let pool = Arc::new(CapacityPool::with_capacities(units.clone()));
+            let outcome = FleetRequest::new(&mkt, &jobs, Arc::clone(&pool))
+                .threads(threads)
+                .execute()
+                .expect("valid fleet");
+            (outcome, pool)
+        };
+        let (outcome, pool) = run(1);
+        for (job, r) in jobs.iter().zip(&outcome.results) {
+            prop_assert!(
+                r.met_deadline,
+                "{} missed its deadline under contention (finished {})",
+                job.name,
+                r.finished_at
+            );
+            prop_assert_eq!(r.cost, r.spot_cost + r.od_cost + r.io_cost);
+            prop_assert!(!r.used_on_demand || r.od_cost > Price::ZERO);
+        }
+        prop_assert!(pool.fully_released(), "capacity leaked: {:?}", pool.stats());
+        let s = pool.stats();
+        prop_assert_eq!(s.debits, s.credits, "unbalanced pool counters");
+
+        // The bounded path ignores the thread knob (it must: lock-step
+        // is the only order-deterministic schedule) — same results.
+        let (again, _) = run(4);
+        prop_assert_eq!(outcome.results, again.results);
+    }
+}
+
+/// Starvation pin: zero capacity everywhere forces every engine job
+/// through the full degradation ladder — shed to `min_zones`, defer
+/// within guard slack, spill to on-demand — and the deadline still
+/// holds, with no spot dollar billed (no request was ever fulfilled).
+#[test]
+fn zero_capacity_starvation_spills_every_engine_job_to_on_demand() {
+    let traces = GenConfig::low_volatility(42).generate();
+    let mkt = redspot::core::MarketCtx::new(traces);
+    let jobs: Vec<FleetJob> = (0..3)
+        .map(|i| {
+            let mut cfg = ExperimentConfig::paper_default()
+                .with_seed(i as u64)
+                .with_degrade(DegradePolicy::standard());
+            cfg.app = AppSpec::new(SimDuration::from_hours(6));
+            cfg.deadline = SimDuration::from_hours(8);
+            FleetJob {
+                name: format!("starved-{i}"),
+                spec: RunSpec {
+                    start: SimTime::from_hours(48 + 2 * i as u64),
+                    bid: Price::from_millis(810),
+                    scheme: Scheme::Redundant {
+                        kind: PolicyKind::Periodic,
+                        zones: vec![ZoneId(0), ZoneId(1), ZoneId(2)],
+                    },
+                },
+                cfg,
+            }
+        })
+        .collect();
+    let pool = Arc::new(CapacityPool::uniform(3, 0));
+    let outcome = FleetRequest::new(&mkt, &jobs, Arc::clone(&pool))
+        .metered(true)
+        .execute()
+        .expect("valid fleet");
+    for r in &outcome.results {
+        assert!(r.met_deadline, "starved job missed its deadline");
+        assert!(r.used_on_demand, "nowhere to go but on-demand");
+        assert_eq!(
+            r.spot_cost,
+            Price::ZERO,
+            "billed for spot that was never granted"
+        );
+    }
+    let m = outcome.metrics.expect("metered");
+    assert!(m.zones_shed > 0, "rung 1 (shed) never fired");
+    assert!(m.capacity_spills > 0, "rung 3 (spill) never fired");
+    assert_eq!(pool.stats().debits, 0);
+    assert!(pool.fully_released());
+}
