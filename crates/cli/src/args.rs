@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 /// Flags that take no value: present means `true`.
-const BOOL_FLAGS: &[&str] = &["api", "api-only", "metrics", "cache-stats"];
+const BOOL_FLAGS: &[&str] = &["api", "api-only", "metrics", "cache-stats", "force"];
 
 /// Parsed flags plus positional arguments.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -100,7 +100,8 @@ USAGE:
               [--start HOURS] [--seed N] [--trace-out FILE.jsonl] [--metrics]
                                     # observation is opt-in: --trace-out streams the
                                     # event log as JSONL, --metrics prints telemetry
-  redspot validate-trace FILE.jsonl # check a --trace-out file line by line
+  redspot validate-trace FILE.jsonl # check a --trace-out file line by line: schema,
+                                    # finite non-negative prices, ordered timestamps
   redspot adaptive --trace FILE [--slack PCT] [--tc SECS] [--start HOURS] [--seed N]
   redspot figure 2|4|5|6 [--n COUNT] [--seed N]
   redspot table 2|3 [--n COUNT] [--seed N]
@@ -114,20 +115,33 @@ USAGE:
                                     # injects control-plane faults alone; exits 1 on any
                                     # deadline violation
   redspot fleet [--jobs N] [--capacity unbounded,2,1] [--intensities 0,0.5]
-                [--seed N] [--threads N] [--out metrics.json]
+                [--seed N] [--threads N] [--out metrics.json] [--force]
                                     # N mixed jobs contending for shared per-zone spot
                                     # capacity with the degradation ladder enabled;
                                     # exits 1 on any deadline violation or capacity leak;
                                     # --out writes the merged fleet metrics as JSON
+                                    # (refuses to overwrite an existing file without
+                                    # --force)
   redspot markov-validation [--seed N] [--bid DOLLARS]
   redspot bootstrap --trace FILE --out FILE [--seed N] [--block-hours H] [--days D]
   redspot workloads                 # list the workload catalog
   redspot sweep --trace FILE [--policy P|adaptive] [--bids 0.27,0.81,2.40] [--n COUNT]
                 [--redundant true] [--slack PCT] [--tc SECS] [--seed N] [--metrics]
-                [--threads N] [--cache-stats]
+                [--threads N] [--cache-stats] [--out sweep.json]
+                [--shard K/N --journal DIR [--sync-every N]]
                                     # --threads 0 (default) = one worker per CPU;
                                     # --cache-stats prints decision-cache hit rates
-                                    # (adaptive sweeps share one memoization cache)
+                                    # (adaptive sweeps share one memoization cache);
+                                    # --out writes the merged sweep artifact as JSON;
+                                    # --shard K/N --journal DIR runs only shard K of
+                                    # the grid, journaling each completed cell — a
+                                    # killed invocation re-run with the same flags
+                                    # resumes, skipping already-journaled cells
+  redspot merge --journal DIR [--out sweep.json]
+                                    # verify and combine all N shard journals into the
+                                    # artifact an uninterrupted sweep --out produces
+                                    # (byte-identical); exits 1 with a diagnosis on
+                                    # schema/fingerprint/coverage/checksum violations
   redspot help
 
 Flags --workload NAME (on run/adaptive) override C, t_c and iteration

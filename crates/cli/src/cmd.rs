@@ -224,9 +224,55 @@ pub fn run(parsed: &ParsedArgs) -> Result<String, String> {
     Ok(out)
 }
 
+/// Event fields that carry a price. Listed here so the raw-JSON check in
+/// [`validate_trace`] stays in sync with the [`redspot_core::Event`]
+/// schema.
+const PRICE_FIELDS: &[&str] = &["bid", "charged", "rate"];
+
+/// Reject malformed price values in a raw JSON tree *before* the typed
+/// `Event` parse gets a chance to coerce them. `Price` is an integer
+/// milli-dollar count, but the deserializer accepts any non-negative
+/// integral float for a `u64` — so `"bid": 810.0` (or a value that was
+/// NaN/Infinity at write time, which JSON renders as `null`) would slip
+/// through silently. Returns `Err(reason)` naming the offending field.
+fn check_price_fields(value: &serde::Value) -> Result<(), String> {
+    match value {
+        serde::Value::Map(entries) => {
+            for (key, v) in entries {
+                if PRICE_FIELDS.contains(&key.as_str()) {
+                    match v {
+                        serde::Value::UInt(_) => {}
+                        serde::Value::Int(i) => {
+                            return Err(format!("price field '{key}' is negative ({i})"));
+                        }
+                        serde::Value::Float(f) => {
+                            return Err(format!(
+                                "price field '{key}' is not an integer milli-dollar count ({f})"
+                            ));
+                        }
+                        serde::Value::Null => {
+                            return Err(format!(
+                                "price field '{key}' is null (non-finite prices serialize as null)"
+                            ));
+                        }
+                        other => {
+                            return Err(format!("price field '{key}' is not a number ({other:?})"));
+                        }
+                    }
+                }
+                check_price_fields(v)?;
+            }
+            Ok(())
+        }
+        serde::Value::Seq(items) => items.iter().try_for_each(check_price_fields),
+        _ => Ok(()),
+    }
+}
+
 /// `validate-trace`: check that a `--trace-out` JSONL file is well formed
-/// — every line parses as an [`redspot_core::Event`] and timestamps never
-/// go backwards. CI's observability smoke test.
+/// — every line parses as an [`redspot_core::Event`], every price field
+/// is a finite, non-negative integer milli-dollar count, and timestamps
+/// never go backwards. CI's observability smoke test.
 pub fn validate_trace(parsed: &ParsedArgs) -> Result<String, String> {
     let path = parsed
         .get("trace")
@@ -239,6 +285,12 @@ pub fn validate_trace(parsed: &ParsedArgs) -> Result<String, String> {
         if line.trim().is_empty() {
             continue;
         }
+        // Two passes per line: the raw tree rejects price values the
+        // typed parse would coerce (floats) or mask (null from a
+        // non-finite write), then the typed parse checks the schema.
+        let raw: serde::Value = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: not valid JSON: {e}", i + 1))?;
+        check_price_fields(&raw).map_err(|why| format!("{path}:{}: {why}", i + 1))?;
         let event: redspot_core::Event = serde_json::from_str(line)
             .map_err(|e| format!("{path}:{}: not a valid Event: {e}", i + 1))?;
         let at = event.at();
@@ -254,7 +306,7 @@ pub fn validate_trace(parsed: &ParsedArgs) -> Result<String, String> {
         return Err(format!("{path}: no events"));
     }
     Ok(format!(
-        "{path}: {events} events, all lines parse, timestamps non-decreasing\n"
+        "{path}: {events} events, all lines parse, prices finite and non-negative, timestamps non-decreasing\n"
     ))
 }
 
@@ -459,6 +511,7 @@ mod tests {
     #[test]
     fn fleet_contends_and_writes_the_metrics_artifact() {
         let out_path = tmp("fleet-metrics.json");
+        let _ = std::fs::remove_file(&out_path);
         let out = dispatch_str(&[
             "fleet",
             "--jobs",
@@ -479,6 +532,35 @@ mod tests {
         assert!(json.contains("\"runs\""), "{json}");
         // Bad capacity specs are usage errors.
         assert!(dispatch_str(&["fleet", "--capacity", "many"]).is_err());
+
+        // A second run must refuse to clobber the artifact without
+        // --force, and must not have touched the file when refusing.
+        let before = std::fs::read_to_string(&out_path).unwrap();
+        let err = dispatch_str(&[
+            "fleet",
+            "--jobs",
+            "2",
+            "--intensities",
+            "0",
+            "--out",
+            &out_path,
+        ])
+        .unwrap_err();
+        assert!(err.contains("already exists"), "{err}");
+        assert!(err.contains("--force"), "{err}");
+        assert_eq!(std::fs::read_to_string(&out_path).unwrap(), before);
+        let forced = dispatch_str(&[
+            "fleet",
+            "--jobs",
+            "2",
+            "--intensities",
+            "0",
+            "--out",
+            &out_path,
+            "--force",
+        ])
+        .unwrap();
+        assert!(forced.contains("metrics written"), "{forced}");
     }
 
     #[test]
@@ -641,6 +723,13 @@ pub fn fleet(parsed: &ParsedArgs) -> Result<String, CliError> {
     let mut rendered = chaos_fleet::render(&c);
 
     if let Some(out) = parsed.get("out") {
+        // Never silently clobber an existing artifact: a fleet metrics
+        // file is typically the baseline another run diffs against.
+        if Path::new(out).exists() && !parsed.has("force") {
+            return Err(CliError::Usage(format!(
+                "{out} already exists; pass --force to overwrite"
+            )));
+        }
         let json = serde_json::to_string(&c.merged_metrics())
             .map_err(|e| CliError::Usage(format!("cannot serialize metrics: {e}")))?;
         std::fs::write(out, json)
@@ -787,22 +876,29 @@ mod workload_tests {
     }
 }
 
-/// `sweep`: run many overlapping experiments on a user-provided trace and
-/// print a cost boxplot per bid — the Figure-4 machinery pointed at your
-/// own data. `--policy adaptive` sweeps the meta-policy instead of a
-/// fixed checkpoint policy; `--cache-stats` reports how well the shared
-/// decision cache deduplicated adaptive sub-simulations.
-pub fn sweep(parsed: &ParsedArgs) -> Result<String, String> {
-    use redspot_core::MarketCtx;
-    use redspot_exp::exec::RunRequest;
-    use redspot_exp::report::{boxplot_panel, sweep_metrics_table, LabeledBox, REF_LINES};
+/// A sweep's full grid: the flat, canonically-ordered cell list every
+/// sweep mode (single-process, sharded, merged) agrees on. The order is
+/// bid-major — bids outer, experiment starts inner, zones innermost for
+/// single-zone schemes — so cell `i` means the same `RunSpec` to every
+/// invocation with the same flags, which is what makes `--shard K/N`
+/// journals from different processes mergeable.
+struct SweepGrid {
+    bids: Vec<Price>,
+    n_starts: usize,
+    specs: Vec<redspot_exp::scheme::RunSpec>,
+    adaptive: bool,
+    redundant: bool,
+    kind: PolicyKind,
+}
+
+fn sweep_grid(
+    parsed: &ParsedArgs,
+    traces: &TraceSet,
+    base: &ExperimentConfig,
+) -> Result<SweepGrid, String> {
     use redspot_exp::scheme::{RunSpec, Scheme};
     use redspot_exp::windows::{experiment_starts, run_span_for};
 
-    let common = parsed.common()?;
-    let traces = load_trace(parsed, "trace")?;
-    let cfg = experiment_config(parsed, &common, &traces)?;
-    let base = cfg.clone();
     let adaptive = parsed.get_or("policy", "periodic") == "adaptive";
     let kind = if adaptive {
         PolicyKind::Periodic // unused; the meta-policy picks per decision
@@ -827,27 +923,14 @@ pub fn sweep(parsed: &ParsedArgs) -> Result<String, String> {
             })
             .collect::<Result<_, _>>()?,
     };
-    let starts = experiment_starts(&traces, run_span_for(base.deadline), n);
+    let starts = experiment_starts(traces, run_span_for(base.deadline), n);
     if starts.is_empty() {
         return Err(
             "trace too short for this deadline (need 48h bootstrap + deadline + 1h)".into(),
         );
     }
-
-    let want_cache_stats = parsed.has("cache-stats");
-    // One shared context for the whole sweep: every bid row reuses the
-    // same whole-trace scan seed and decision cache.
-    let mkt = if adaptive {
-        MarketCtx::for_sweep(traces.clone())
-    } else {
-        MarketCtx::new(traces.clone())
-    };
-    let mut rows = Vec::new();
-    let mut merged = redspot_core::RunMetrics::default();
-    let mut cache = redspot_core::CacheStats::default();
-    let mut uptime = redspot_core::MemoStats::default();
-    for bid in bids {
-        let mut specs = Vec::new();
+    let mut specs = Vec::new();
+    for &bid in &bids {
         for &start in &starts {
             if adaptive {
                 specs.push(RunSpec {
@@ -874,42 +957,151 @@ pub fn sweep(parsed: &ParsedArgs) -> Result<String, String> {
                 }
             }
         }
-        let out = RunRequest::new(&mkt, &base, &specs)
-            .threads(common.threads)
-            .metered(common.metrics)
-            .execute()
-            .map_err(|e| e.to_string())?;
-        if let Some(m) = &out.metrics {
-            merged.merge(m);
-        }
-        cache.hits += out.cache.hits;
-        cache.misses += out.cache.misses;
-        cache.entries = out.cache.entries;
-        uptime.hits += out.uptime.hits;
-        uptime.misses += out.uptime.misses;
-        uptime.entries = out.uptime.entries;
-        let results = out.results;
-        let costs: Vec<f64> = results.iter().map(|r| r.cost_dollars()).collect();
-        let label = if adaptive {
+    }
+    Ok(SweepGrid {
+        bids,
+        n_starts: starts.len(),
+        specs,
+        adaptive,
+        redundant,
+        kind,
+    })
+}
+
+/// Parse `--shard K/N`.
+fn parse_shard(spec: &str) -> Result<(usize, usize), String> {
+    let bad = || format!("--shard: expected K/N (e.g. 2/4), got '{spec}'");
+    let (k, n) = spec.split_once('/').ok_or_else(bad)?;
+    let k: usize = k.trim().parse().map_err(|_| bad())?;
+    let n: usize = n.trim().parse().map_err(|_| bad())?;
+    Ok((k, n))
+}
+
+/// Write a merged sweep artifact. One function shared by `sweep --out`
+/// and `merge --out`, so the two paths are byte-identical by
+/// construction (same serializer, same call).
+fn write_merged(path: &str, merged: &redspot_exp::MergedSweep) -> Result<(), String> {
+    let json = serde_json::to_string(merged).map_err(|e| format!("cannot serialize: {e}"))?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// `sweep`: run many overlapping experiments on a user-provided trace and
+/// print a cost boxplot per bid — the Figure-4 machinery pointed at your
+/// own data. `--policy adaptive` sweeps the meta-policy instead of a
+/// fixed checkpoint policy; `--cache-stats` reports how well the shared
+/// decision cache deduplicated adaptive sub-simulations.
+///
+/// Crash-safe sharding: `--shard K/N --journal DIR` runs only shard `K`
+/// of the grid, appending each completed cell to a checksummed
+/// write-ahead journal; a killed invocation re-run with the same flags
+/// resumes, skipping journaled cells. `redspot merge --journal DIR`
+/// combines the `N` journals. `--out FILE` (without `--shard`) writes
+/// the same merged artifact from an uninterrupted in-process run.
+pub fn sweep(parsed: &ParsedArgs) -> Result<String, CliError> {
+    use redspot_core::MarketCtx;
+    use redspot_exp::exec::RunRequest;
+    use redspot_exp::report::{boxplot_panel, sweep_metrics_table, LabeledBox, REF_LINES};
+    use redspot_exp::shard::journal::DEFAULT_SYNC_EVERY;
+    use redspot_exp::shard::run::run_shard;
+    use redspot_exp::{fingerprint, MergedSweep, ShardManifest};
+
+    let common = parsed.common().map_err(CliError::Usage)?;
+    let traces = load_trace(parsed, "trace").map_err(CliError::Usage)?;
+    let base = experiment_config(parsed, &common, &traces).map_err(CliError::Usage)?;
+    let grid = sweep_grid(parsed, &traces, &base).map_err(CliError::Usage)?;
+    let fp = fingerprint(&base, &grid.specs);
+
+    // One shared context for the whole sweep: every bid row reuses the
+    // same whole-trace scan seed and decision cache.
+    let mkt = if grid.adaptive {
+        MarketCtx::for_sweep(traces.clone())
+    } else {
+        MarketCtx::new(traces.clone())
+    };
+
+    if let Some(shard_spec) = parsed.get("shard") {
+        let dir = parsed
+            .get("journal")
+            .ok_or_else(|| CliError::Usage("--shard needs --journal DIR".into()))?;
+        let (k, n) = parse_shard(shard_spec).map_err(CliError::Usage)?;
+        let manifest = ShardManifest::plan(grid.specs.len(), k, n, fp.clone())
+            .map_err(|e| CliError::Usage(e.to_string()))?;
+        let sync_every = parsed
+            .num_or("sync-every", DEFAULT_SYNC_EVERY)
+            .map_err(CliError::Usage)?;
+        // Journal problems are integrity violations, not usage errors:
+        // print the diagnosis and exit 1, like merge and chaos do.
+        let report = run_shard(
+            &mkt,
+            &base,
+            &grid.specs,
+            &manifest,
+            Path::new(dir),
+            Some(sync_every),
+        )
+        .map_err(|e| CliError::Violation(format!("shard journal error: {e}\n")))?;
+        return Ok(format!(
+            "shard {k}/{n}: cells {}..{} of {} ({} this shard)\n\
+             executed {} cell(s), skipped {} already-journaled{}{}\n\
+             fingerprint {fp}\njournal {}\n",
+            manifest.cell_lo,
+            manifest.cell_hi,
+            manifest.n_cells,
+            manifest.cells().len(),
+            report.executed,
+            report.skipped,
+            if report.resumed { " (resumed)" } else { "" },
+            if report.truncated_torn_tail {
+                ", truncated a torn final record"
+            } else {
+                ""
+            },
+            report.journal.display(),
+        ));
+    }
+    if parsed.get("journal").is_some() {
+        return Err(CliError::Usage("--journal needs --shard K/N".into()));
+    }
+
+    let out_path = parsed.get("out");
+    let want_cache_stats = parsed.has("cache-stats");
+    // `--out` always meters: the artifact embeds merged per-cell metrics
+    // and must match what `merge` assembles from journaled shards.
+    let outcome = RunRequest::new(&mkt, &base, &grid.specs)
+        .threads(common.threads)
+        .metered(common.metrics || out_path.is_some())
+        .execute()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+
+    let mut rows = Vec::new();
+    for &bid in &grid.bids {
+        let costs: Vec<f64> = grid
+            .specs
+            .iter()
+            .zip(&outcome.results)
+            .filter(|(s, _)| s.bid == bid)
+            .map(|(_, r)| r.cost_dollars())
+            .collect();
+        let label = if grid.adaptive {
             format!("A@{bid}")
         } else {
-            format!("{}@{bid}", kind.label())
+            format!("{}@{bid}", grid.kind.label())
         };
         if let Some(row) = LabeledBox::from_costs(label, &costs) {
             rows.push(row);
         }
     }
-    let policy_label = if adaptive {
+    let policy_label = if grid.adaptive {
         "Adaptive".to_string()
     } else {
-        format!("{kind}")
+        format!("{}", grid.kind)
     };
     let title = format!(
         "{policy_label} sweep over {} experiments ({})",
-        starts.len(),
-        if adaptive {
+        grid.n_starts,
+        if grid.adaptive {
             "meta-policy, all zones"
-        } else if redundant {
+        } else if grid.redundant {
             "redundant, all zones"
         } else {
             "single zones merged"
@@ -917,9 +1109,12 @@ pub fn sweep(parsed: &ParsedArgs) -> Result<String, String> {
     );
     let mut out = boxplot_panel(&title, &rows, &REF_LINES);
     if common.metrics {
-        out.push_str(&sweep_metrics_table(&merged));
+        if let Some(m) = &outcome.metrics {
+            out.push_str(&sweep_metrics_table(m));
+        }
     }
     if want_cache_stats {
+        let (cache, uptime) = (&outcome.cache, &outcome.uptime);
         out.push_str(&format!(
             "decision cache: {} hits / {} misses ({:.1}% hit rate), {} tables\n",
             cache.hits,
@@ -934,6 +1129,47 @@ pub fn sweep(parsed: &ParsedArgs) -> Result<String, String> {
             uptime.hit_rate() * 100.0,
             uptime.entries,
         ));
+    }
+    if let Some(path) = out_path {
+        let merged = MergedSweep::from_run(
+            fp.clone(),
+            outcome.results,
+            outcome.metrics.unwrap_or_default(),
+        );
+        write_merged(path, &merged).map_err(CliError::Usage)?;
+        out.push_str(&format!(
+            "merged sweep artifact ({} cells, fingerprint {fp}) written to {path}\n",
+            merged.n_cells
+        ));
+    }
+    Ok(out)
+}
+
+/// `merge`: verify and combine the `N` shard journals of a sharded sweep
+/// into the single merged artifact an uninterrupted `sweep --out` would
+/// have produced. Any integrity violation — schema version skew,
+/// fingerprint disagreement, a missing or incomplete shard, a corrupt
+/// record — is diagnosed precisely and exits 1.
+pub fn merge(parsed: &ParsedArgs) -> Result<String, CliError> {
+    use redspot_exp::shard::merge::merge_dir;
+
+    let dir = parsed
+        .get("journal")
+        .or_else(|| parsed.positional(0))
+        .ok_or_else(|| CliError::Usage("need --journal DIR (or a positional path)".into()))?;
+    let (merged, report) = merge_dir(Path::new(dir))
+        .map_err(|e| CliError::Violation(format!("merge failed: {e}\n")))?;
+    let mut out = format!(
+        "merged {} shard journal(s): {} cells, {} checksummed records verified\n\
+         fingerprint {}\n",
+        report.n_shards, report.n_cells, report.records_verified, merged.fingerprint,
+    );
+    for file in &report.files {
+        out.push_str(&format!("  {}\n", file.display()));
+    }
+    if let Some(path) = parsed.get("out") {
+        write_merged(path, &merged).map_err(CliError::Usage)?;
+        out.push_str(&format!("merged sweep artifact written to {path}\n"));
     }
     Ok(out)
 }
@@ -1076,6 +1312,134 @@ mod sweep_tests {
         // 3 experiment starts × 3 single zones × 2 bids merged into one table.
         assert!(out.contains("| runs | 18 |"), "{out}");
     }
+
+    #[test]
+    fn sharded_sweep_merges_byte_identical_to_single_process() {
+        let trace = tmp("sweep-shard.json");
+        dispatch_str(&[
+            "gen-trace",
+            "--profile",
+            "low",
+            "--seed",
+            "8",
+            "--out",
+            &trace,
+        ])
+        .unwrap();
+        let sweep_flags = [
+            "--trace",
+            trace.as_str(),
+            "--policy",
+            "markov-daly",
+            "--bids",
+            "0.81,2.40",
+            "--n",
+            "3",
+        ];
+        // Reference: uninterrupted single-process run.
+        let reference = tmp("sweep-ref.json");
+        let _ = std::fs::remove_file(&reference);
+        let mut args = vec!["sweep"];
+        args.extend_from_slice(&sweep_flags);
+        args.extend_from_slice(&["--out", &reference]);
+        dispatch_str(&args).unwrap();
+
+        // The same grid, run as two journaled shards and merged.
+        let dir = tmp("sweep-shard-journal");
+        let _ = std::fs::remove_dir_all(&dir);
+        for shard in ["1/2", "2/2"] {
+            let mut args = vec!["sweep"];
+            args.extend_from_slice(&sweep_flags);
+            args.extend_from_slice(&["--shard", shard, "--journal", &dir]);
+            let out = dispatch_str(&args).unwrap();
+            assert!(out.contains("executed 9 cell(s), skipped 0"), "{out}");
+        }
+        let merged = tmp("sweep-merged.json");
+        let _ = std::fs::remove_file(&merged);
+        let out = dispatch_str(&["merge", "--journal", &dir, "--out", &merged]).unwrap();
+        assert!(out.contains("merged 2 shard journal(s): 18 cells"), "{out}");
+        assert_eq!(
+            std::fs::read(&reference).unwrap(),
+            std::fs::read(&merged).unwrap(),
+            "merged artifact must be byte-identical to the single-process run"
+        );
+
+        // Re-running a completed shard executes nothing and the merge
+        // (and artifact) are unchanged.
+        let mut args = vec!["sweep"];
+        args.extend_from_slice(&sweep_flags);
+        args.extend_from_slice(&["--shard", "1/2", "--journal", &dir]);
+        let out = dispatch_str(&args).unwrap();
+        assert!(out.contains("executed 0 cell(s), skipped 9"), "{out}");
+
+        // Different flags -> different fingerprint -> merge-poisoning
+        // append is refused.
+        let mut args = vec!["sweep"];
+        args.extend_from_slice(&sweep_flags);
+        args.extend_from_slice(&["--shard", "1/2", "--journal", &dir, "--slack", "40"]);
+        let err = dispatch_str(&args).unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+
+        // Usage errors: shard without journal, journal without shard,
+        // malformed K/N, K outside 1..=N.
+        let mut args = vec!["sweep"];
+        args.extend_from_slice(&sweep_flags);
+        args.extend_from_slice(&["--shard", "1/2"]);
+        assert!(dispatch_str(&args).unwrap_err().contains("--journal"));
+        let mut args = vec!["sweep"];
+        args.extend_from_slice(&sweep_flags);
+        args.extend_from_slice(&["--journal", &dir]);
+        assert!(dispatch_str(&args).unwrap_err().contains("--shard"));
+        let mut args = vec!["sweep"];
+        args.extend_from_slice(&sweep_flags);
+        args.extend_from_slice(&["--shard", "banana", "--journal", &dir]);
+        assert!(dispatch_str(&args).unwrap_err().contains("K/N"));
+        let mut args = vec!["sweep"];
+        args.extend_from_slice(&sweep_flags);
+        args.extend_from_slice(&["--shard", "3/2", "--journal", &dir]);
+        assert!(dispatch_str(&args).unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn merge_refuses_incomplete_and_missing_journals() {
+        let trace = tmp("sweep-shard2.json");
+        dispatch_str(&[
+            "gen-trace",
+            "--profile",
+            "low",
+            "--seed",
+            "8",
+            "--out",
+            &trace,
+        ])
+        .unwrap();
+        let dir = tmp("sweep-shard2-journal");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Merging an absent/empty directory is an error.
+        assert!(dispatch_str(&["merge", "--journal", &dir]).is_err());
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = dispatch_str(&["merge", "--journal", &dir]).unwrap_err();
+        assert!(err.contains("no shard-"), "{err}");
+        // Only shard 1 of 2 journaled: merge names the missing shard.
+        dispatch_str(&[
+            "sweep",
+            "--trace",
+            &trace,
+            "--policy",
+            "markov-daly",
+            "--bids",
+            "0.81",
+            "--n",
+            "3",
+            "--shard",
+            "1/2",
+            "--journal",
+            &dir,
+        ])
+        .unwrap();
+        let err = dispatch_str(&["merge", "--journal", &dir]).unwrap_err();
+        assert!(err.contains("missing journals for shard(s) [2]"), "{err}");
+    }
 }
 
 #[cfg(test)]
@@ -1156,11 +1520,46 @@ mod observability_tests {
         let bad = tmp("bad.jsonl");
         std::fs::write(&bad, "not json\n").unwrap();
         let err = dispatch_str(&["validate-trace", &bad]).unwrap_err();
-        assert!(err.contains("not a valid Event"), "{err}");
+        assert!(err.contains("not valid JSON"), "{err}");
         assert!(dispatch_str(&["validate-trace", &tmp("absent.jsonl")]).is_err());
         assert!(dispatch_str(&["validate-trace"]).is_err());
         let empty = tmp("empty.jsonl");
         std::fs::write(&empty, "").unwrap();
         assert!(dispatch_str(&["validate-trace", &empty]).is_err());
+    }
+
+    #[test]
+    fn validate_trace_rejects_bad_prices_with_line_numbers() {
+        let ok = r#"{"Requested":{"at":0,"zone":0,"bid":810}}"#;
+        for (bad_line, why) in [
+            (
+                r#"{"Requested":{"at":300,"zone":0,"bid":810.0}}"#,
+                "not an integer milli-dollar count",
+            ),
+            (
+                r#"{"Requested":{"at":300,"zone":0,"bid":-810}}"#,
+                "negative",
+            ),
+            (
+                r#"{"Requested":{"at":300,"zone":0,"bid":810.5}}"#,
+                "not an integer milli-dollar count",
+            ),
+            (r#"{"Requested":{"at":300,"zone":0,"bid":null}}"#, "null"),
+            (
+                r#"{"HourCharged":{"at":300,"zone":0,"rate":"810"}}"#,
+                "not a number",
+            ),
+        ] {
+            let path = tmp("bad-price.jsonl");
+            std::fs::write(&path, format!("{ok}\n{bad_line}\n")).unwrap();
+            let err = dispatch_str(&["validate-trace", &path]).unwrap_err();
+            assert!(err.contains(why), "{bad_line} -> {err}");
+            assert!(err.contains(":2:"), "must name line 2: {bad_line} -> {err}");
+        }
+        // A fully valid file still passes and reports the price check.
+        let good = tmp("good-price.jsonl");
+        std::fs::write(&good, format!("{ok}\n")).unwrap();
+        let out = dispatch_str(&["validate-trace", &good]).unwrap();
+        assert!(out.contains("prices finite and non-negative"), "{out}");
     }
 }

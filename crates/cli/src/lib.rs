@@ -56,7 +56,8 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "markov-validation" => cmd::markov_validation(&parsed).map_err(CliError::Usage),
         "bootstrap" => cmd::bootstrap(&parsed).map_err(CliError::Usage),
         "workloads" => cmd::workloads(&parsed).map_err(CliError::Usage),
-        "sweep" => cmd::sweep(&parsed).map_err(CliError::Usage),
+        "sweep" => cmd::sweep(&parsed),
+        "merge" => cmd::merge(&parsed),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!("unknown command: {other}"))),
     }

@@ -8,7 +8,7 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(CliError::Violation(output)) => {
             print!("{output}");
-            eprintln!("error: deadline violations detected");
+            eprintln!("error: invariant violations detected");
             std::process::exit(1);
         }
         Err(CliError::Usage(e)) => {

@@ -1,0 +1,213 @@
+//! The sharded sweep plane's acceptance pin: a shard SIGKILL'd at an
+//! arbitrary instant, resumed, and merged produces an artifact
+//! byte-identical to an uninterrupted single-process sweep — and the
+//! resumed invocation re-executes only the cells the journal did not
+//! already certify (the skip counter is asserted against an independent
+//! scan of the post-kill journal).
+//!
+//! The kill timing is deliberately uncontrolled: whether SIGKILL lands
+//! before the manifest, mid-cell, between fsync batches, mid-record, or
+//! after the shard finished, every assertion below must hold.
+
+use redspot_exp::shard::journal::scan_journal;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+fn redspot() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_redspot"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = redspot().args(args).output().expect("spawn redspot");
+    assert!(
+        out.status.success(),
+        "redspot {:?} failed:\nstdout: {}\nstderr: {}",
+        args,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+fn work_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("redspot-kill-resume").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Grid flags shared verbatim by every invocation: same flags -> same
+/// fingerprint -> journals and artifact agree. 3 bids x 8 starts x 3
+/// zones = 72 cells.
+fn sweep_args(trace: &Path) -> Vec<String> {
+    [
+        "sweep",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--policy",
+        "markov-daly",
+        "--bids",
+        "0.27,0.81,2.40",
+        "--n",
+        "8",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+#[test]
+fn sigkilled_shard_resumes_and_merges_byte_identical() {
+    let dir = work_dir("main");
+    let trace = dir.join("trace.json");
+    run_ok(&[
+        "gen-trace",
+        "--profile",
+        "low",
+        "--seed",
+        "8",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+
+    // Uninterrupted single-process reference artifact.
+    let reference = dir.join("reference.json");
+    let mut args = sweep_args(&trace);
+    args.extend(["--out".into(), reference.to_str().unwrap().into()]);
+    run_ok(&args.iter().map(String::as_str).collect::<Vec<_>>());
+
+    // Start shard 1/2 journaled (fsync every record so the journal
+    // tracks progress closely), then SIGKILL it mid-sweep.
+    let journal_dir = dir.join("journal");
+    let mut args = sweep_args(&trace);
+    args.extend([
+        "--shard".into(),
+        "1/2".into(),
+        "--journal".into(),
+        journal_dir.to_str().unwrap().into(),
+        "--sync-every".into(),
+        "1".into(),
+    ]);
+    let mut child = redspot()
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn shard 1/2");
+    // Wait until the journal exists so the kill usually lands mid-run;
+    // killing earlier (or after completion) must also be recoverable.
+    let journal_path = journal_dir.join("shard-1-of-2.journal");
+    for _ in 0..100 {
+        if journal_path.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(40));
+    child.kill().expect("SIGKILL shard"); // kill() is SIGKILL on unix
+    child.wait().expect("reap shard");
+
+    // Independently count the cells the torn journal certifies: that is
+    // exactly what the resume must skip.
+    let certified = if journal_path.exists() {
+        scan_journal(&journal_path)
+            .expect("post-kill scan")
+            .records
+            .len()
+    } else {
+        0
+    };
+
+    // Resume shard 1/2 with identical flags; it must skip precisely the
+    // certified cells and execute the rest (shard 1 of 2 owns 36 of 72).
+    let mut args = sweep_args(&trace);
+    args.extend([
+        "--shard".into(),
+        "1/2".into(),
+        "--journal".into(),
+        journal_dir.to_str().unwrap().into(),
+    ]);
+    let stdout = run_ok(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(
+        stdout.contains(&format!("skipped {certified} already-journaled")),
+        "resume must skip exactly the {certified} certified cells:\n{stdout}"
+    );
+    assert!(
+        stdout.contains(&format!("executed {} cell(s)", 36 - certified)),
+        "resume must execute the remaining {} cells:\n{stdout}",
+        36 - certified
+    );
+
+    // Shard 2/2 runs uninterrupted, then merge all journals.
+    let mut args = sweep_args(&trace);
+    args.extend([
+        "--shard".into(),
+        "2/2".into(),
+        "--journal".into(),
+        journal_dir.to_str().unwrap().into(),
+    ]);
+    run_ok(&args.iter().map(String::as_str).collect::<Vec<_>>());
+
+    let merged = dir.join("merged.json");
+    let stdout = run_ok(&[
+        "merge",
+        "--journal",
+        journal_dir.to_str().unwrap(),
+        "--out",
+        merged.to_str().unwrap(),
+    ]);
+    assert!(
+        stdout.contains("merged 2 shard journal(s): 72 cells"),
+        "{stdout}"
+    );
+
+    // The acceptance pin: byte identity with the uninterrupted run.
+    let reference_bytes = std::fs::read(&reference).unwrap();
+    let merged_bytes = std::fs::read(&merged).unwrap();
+    assert_eq!(
+        reference_bytes, merged_bytes,
+        "kill-resume-merge artifact must be byte-identical to the single-process sweep"
+    );
+}
+
+#[test]
+fn merge_exit_codes_follow_violation_semantics() {
+    let dir = work_dir("exit-codes");
+    let trace = dir.join("trace.json");
+    run_ok(&[
+        "gen-trace",
+        "--profile",
+        "low",
+        "--seed",
+        "8",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+
+    // Missing --journal is a usage error: exit 2.
+    let out = redspot().arg("merge").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+
+    // An incomplete shard set is an integrity violation: exit 1 with a
+    // precise diagnosis, no usage text.
+    let journal_dir = dir.join("journal");
+    let mut args = sweep_args(&trace);
+    args.extend([
+        "--shard".into(),
+        "1/3".into(),
+        "--journal".into(),
+        journal_dir.to_str().unwrap().into(),
+    ]);
+    run_ok(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    let out = redspot()
+        .args(["merge", "--journal", journal_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "integrity violations exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("missing journals for shard(s) [2, 3]"),
+        "diagnosis must name the missing shards: {stdout}"
+    );
+    assert!(!stdout.contains("USAGE"), "no usage text on violations");
+}

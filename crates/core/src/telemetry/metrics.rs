@@ -12,14 +12,14 @@
 use super::Recorder;
 use crate::run::{Event, TerminationCause};
 use redspot_trace::{Price, SimDuration, SimTime};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Number of log2 buckets: `secs == 0` lands in bucket 0, otherwise
 /// bucket `1 + floor(log2(secs))`; 40 buckets cover ~17 000 years.
 const BUCKETS: usize = 40;
 
 /// A log2-bucketed histogram of durations in seconds.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Histogram {
     /// Bucket `i` counts observations with `floor(log2(secs)) == i - 1`
     /// (bucket 0 counts zero-length observations).
@@ -96,7 +96,7 @@ impl Histogram {
 /// Wall-clock seconds spent by zones in each lifecycle state, summed
 /// over all zones. Derived from event transitions, so it only covers
 /// the span between a run's first and last event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ZoneDwell {
     /// No instance and no outstanding request.
     pub down_secs: u64,
@@ -122,7 +122,7 @@ impl ZoneDwell {
 ///
 /// All fields are additive: [`merge`](RunMetrics::merge) sums two runs
 /// (or tees), which is how sweeps aggregate windows.
-#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RunMetrics {
     /// Runs folded into this value (0 for sinks that do not aggregate).
     pub runs: u64,

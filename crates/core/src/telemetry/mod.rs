@@ -27,6 +27,7 @@
 //! defaulting to `VecRecorder`, so the common paths stay statically
 //! dispatched.
 
+pub mod journal;
 mod jsonl;
 mod metrics;
 

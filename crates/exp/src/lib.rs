@@ -18,6 +18,7 @@ pub mod report;
 pub mod results;
 pub mod scheme;
 pub mod setup;
+pub mod shard;
 pub mod svg;
 pub mod sweep;
 pub mod windows;
@@ -26,3 +27,7 @@ pub use exec::{BatchOutcome, Progress, RunRequest};
 pub use fleet::{FleetError, FleetJob, FleetOutcome, FleetRequest};
 pub use scheme::{run_spec, RunSpec, Scheme};
 pub use setup::PaperSetup;
+pub use shard::{
+    fingerprint, merge::merge_dir, run::run_shard, shard_range, CellRecord, MergedSweep,
+    ShardManifest,
+};

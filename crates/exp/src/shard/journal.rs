@@ -1,0 +1,571 @@
+//! The shard write-ahead journal: append-only, checksummed, resumable.
+//!
+//! File layout (one file per shard, `shard-K-of-N.journal` in the
+//! journal directory): line 1 is the [`ShardManifest`], every further
+//! line is one [`CellRecord`], each framed by the checksummed line codec
+//! in `redspot_core::telemetry::journal`. Records are appended only
+//! *after* a cell's simulation completed, and the file is fsync'd every
+//! [`sync_every`](ShardJournal::sync_every) records (and on finish), so
+//! at any kill instant the durable prefix is a set of truly-completed
+//! cells plus at most one torn final line.
+//!
+//! Resume policy ([`ShardJournal::open`]): scan the file, verify the
+//! manifest matches the sweep the caller is about to run (schema
+//! version, fingerprint, shard geometry), truncate a torn final line,
+//! and report the completed cells so the caller re-executes only the
+//! rest. A torn *final* line is the expected crash artifact and is
+//! silently dropped (the cell re-runs deterministically); an invalid
+//! line anywhere else cannot be produced by this writer and is reported
+//! as corruption, never repaired.
+
+use super::{CellRecord, JournalLine, ShardManifest};
+use redspot_core::telemetry::journal::{frame, unframe};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Records between fsyncs when the caller does not override it: small
+/// enough that a crash re-runs at most a handful of cells, large enough
+/// to amortize `fdatasync` on fast grids.
+pub const DEFAULT_SYNC_EVERY: usize = 8;
+
+/// Why a journal could not be opened, scanned, or written.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem trouble.
+    Io {
+        /// The journal (or directory) involved.
+        path: PathBuf,
+        /// The underlying error.
+        err: std::io::Error,
+    },
+    /// A line that is neither a valid record nor a torn final line:
+    /// checksum mismatch, unparseable payload, out-of-range or duplicate
+    /// cell, or a record before the manifest.
+    Corrupt {
+        /// The offending journal.
+        path: PathBuf,
+        /// 1-based line number.
+        line: usize,
+        /// What exactly is wrong.
+        why: String,
+    },
+    /// The journal's manifest disagrees with the sweep being run or
+    /// merged (schema version, fingerprint, or shard geometry).
+    ManifestMismatch {
+        /// The offending journal.
+        path: PathBuf,
+        /// What exactly disagrees.
+        why: String,
+    },
+    /// The file has no (valid) manifest line but does contain records.
+    MissingManifest {
+        /// The offending journal.
+        path: PathBuf,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, err } => write!(f, "{}: {err}", path.display()),
+            JournalError::Corrupt { path, line, why } => {
+                write!(f, "{}:{line}: corrupt record: {why}", path.display())
+            }
+            JournalError::ManifestMismatch { path, why } => {
+                write!(f, "{}: manifest mismatch: {why}", path.display())
+            }
+            JournalError::MissingManifest { path } => {
+                write!(f, "{}: journal has records but no manifest", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl JournalError {
+    fn io(path: &Path, err: std::io::Error) -> JournalError {
+        JournalError::Io {
+            path: path.to_path_buf(),
+            err,
+        }
+    }
+}
+
+/// The journal file name for shard `K` of `N`.
+pub fn journal_file_name(shard: usize, n_shards: usize) -> String {
+    format!("shard-{shard}-of-{n_shards}.journal")
+}
+
+/// Everything a full scan of one journal file recovers.
+#[derive(Debug)]
+pub struct JournalScan {
+    /// The manifest, when a valid first line exists.
+    pub manifest: Option<ShardManifest>,
+    /// Every durably-completed cell, in append order.
+    pub records: Vec<CellRecord>,
+    /// Byte offset one past the last valid line — the truncation point
+    /// that discards a torn tail.
+    pub valid_bytes: u64,
+    /// Whether the file ends in a torn (invalid final) line.
+    pub torn_tail: bool,
+    /// Whether the final line is a *valid* record that lost only its
+    /// trailing newline (a kill between the payload and the `\n`). The
+    /// record counts, but an append without repair would concatenate
+    /// onto it — [`ShardJournal::open`] writes the missing newline.
+    pub newline_missing: bool,
+}
+
+impl JournalScan {
+    /// The set of completed cell indices.
+    pub fn completed(&self) -> BTreeSet<usize> {
+        self.records.iter().map(|r| r.cell).collect()
+    }
+}
+
+/// Scan one journal file: decode every line, stopping cleanly at a torn
+/// final line, and validate record-level invariants (manifest first,
+/// cells unique and inside the manifest's range).
+pub fn scan_journal(path: &Path) -> Result<JournalScan, JournalError> {
+    let data = std::fs::read_to_string(path).map_err(|e| JournalError::io(path, e))?;
+    let mut scan = JournalScan {
+        manifest: None,
+        records: Vec::new(),
+        valid_bytes: 0,
+        torn_tail: false,
+        newline_missing: false,
+    };
+    let mut seen = BTreeSet::new();
+    let mut offset = 0usize;
+    let mut line_no = 0usize;
+    for segment in data.split_inclusive('\n') {
+        line_no += 1;
+        let line = segment.strip_suffix('\n');
+        let is_final = offset + segment.len() == data.len();
+        let corrupt = |why: String| JournalError::Corrupt {
+            path: path.to_path_buf(),
+            line: line_no,
+            why,
+        };
+        // A line without a trailing newline can only be the file's last
+        // bytes; treat it like any other candidate record and let the
+        // checksum decide.
+        let parsed = unframe(line.unwrap_or(segment))
+            .map_err(|e| e.to_string())
+            .and_then(|payload| {
+                serde_json::from_str::<JournalLine>(payload).map_err(|e| e.to_string())
+            });
+        let entry = match parsed {
+            Ok(entry) => entry,
+            Err(why) if is_final => {
+                // Torn final line: the crash artifact resume is designed
+                // for. Everything before it stands.
+                let _ = why;
+                scan.torn_tail = true;
+                return Ok(scan);
+            }
+            Err(why) => return Err(corrupt(why)),
+        };
+        if line.is_none() {
+            scan.newline_missing = true;
+        }
+        match entry {
+            JournalLine::Manifest(m) => {
+                if line_no != 1 {
+                    return Err(corrupt("manifest after line 1".into()));
+                }
+                scan.manifest = Some(m);
+            }
+            JournalLine::Cell(rec) => {
+                let Some(m) = &scan.manifest else {
+                    return Err(JournalError::MissingManifest {
+                        path: path.to_path_buf(),
+                    });
+                };
+                if !m.cells().contains(&rec.cell) {
+                    return Err(corrupt(format!(
+                        "cell {} outside this shard's range {}..{}",
+                        rec.cell, m.cell_lo, m.cell_hi
+                    )));
+                }
+                if !seen.insert(rec.cell) {
+                    return Err(corrupt(format!("cell {} recorded twice", rec.cell)));
+                }
+                scan.records.push(rec);
+            }
+        }
+        offset += segment.len();
+        scan.valid_bytes = offset as u64;
+    }
+    Ok(scan)
+}
+
+/// What [`ShardJournal::open`] recovered from an existing journal.
+#[derive(Debug, Default)]
+pub struct Resume {
+    /// Cells already durably completed — the caller must skip these.
+    pub completed: BTreeSet<usize>,
+    /// Whether an existing journal was picked up (false for a fresh file).
+    pub resumed: bool,
+    /// Whether a torn final line was truncated away.
+    pub truncated_torn_tail: bool,
+}
+
+/// An open, append-mode shard journal.
+#[derive(Debug)]
+pub struct ShardJournal {
+    file: File,
+    path: PathBuf,
+    sync_every: usize,
+    unsynced: usize,
+    appended: u64,
+}
+
+impl ShardJournal {
+    /// Open (or create) the journal for `manifest` inside `dir`.
+    ///
+    /// A fresh file gets the manifest as its first line, fsync'd before
+    /// any cell can be recorded. An existing file is never clobbered: it
+    /// is scanned, its manifest checked against `manifest` (schema
+    /// version, fingerprint, geometry — any disagreement is an error,
+    /// because appending cells from a different grid would poison the
+    /// merge), a torn final line is truncated, and the completed cells
+    /// are returned so the caller skips them.
+    pub fn open(
+        dir: &Path,
+        manifest: &ShardManifest,
+        sync_every: usize,
+    ) -> Result<(ShardJournal, Resume), JournalError> {
+        std::fs::create_dir_all(dir).map_err(|e| JournalError::io(dir, e))?;
+        let path = dir.join(journal_file_name(manifest.shard, manifest.n_shards));
+        let mut resume = Resume::default();
+        let mut repair_newline = false;
+        let fresh_manifest = !path.exists() || {
+            let scan = scan_journal(&path)?;
+            match &scan.manifest {
+                None => {
+                    // The only way to get here is a crash that tore the
+                    // manifest line itself (no records can precede it):
+                    // start over.
+                    truncate(&path, 0)?;
+                    true
+                }
+                Some(found) => {
+                    check_manifest(&path, found, manifest)?;
+                    if scan.torn_tail {
+                        truncate(&path, scan.valid_bytes)?;
+                        resume.truncated_torn_tail = true;
+                    }
+                    // A kill between the final record's payload and its
+                    // `\n` leaves a valid but unterminated line; the
+                    // record counts, but the next append would
+                    // concatenate onto it — restore the newline first.
+                    repair_newline = scan.newline_missing;
+                    resume.completed = scan.completed();
+                    resume.resumed = true;
+                    false
+                }
+            }
+        };
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| JournalError::io(&path, e))?;
+        let mut journal = ShardJournal {
+            file,
+            path,
+            sync_every: sync_every.max(1),
+            unsynced: 0,
+            appended: 0,
+        };
+        if fresh_manifest {
+            journal.append(&JournalLine::Manifest(manifest.clone()))?;
+            journal.sync()?;
+        } else if repair_newline {
+            journal
+                .file
+                .write_all(b"\n")
+                .map_err(|e| JournalError::io(&journal.path, e))?;
+            journal.sync()?;
+        }
+        Ok((journal, resume))
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Cell records appended in this session.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Records between fsyncs.
+    pub fn sync_every(&self) -> usize {
+        self.sync_every
+    }
+
+    /// Durably append one completed cell. The line is written in a
+    /// single `write_all`; the batched fsync policy means a crash can
+    /// lose (and therefore re-run) at most the last `sync_every` cells,
+    /// never corrupt earlier ones.
+    pub fn append_cell(&mut self, record: &CellRecord) -> Result<(), JournalError> {
+        self.append(&JournalLine::Cell(record.clone()))?;
+        self.appended += 1;
+        self.unsynced += 1;
+        if self.unsynced >= self.sync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flush and fsync everything appended so far.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.file
+            .sync_data()
+            .map_err(|e| JournalError::io(&self.path, e))?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Final fsync; consumes the journal.
+    pub fn finish(mut self) -> Result<PathBuf, JournalError> {
+        self.sync()?;
+        Ok(self.path)
+    }
+
+    fn append(&mut self, line: &JournalLine) -> Result<(), JournalError> {
+        let payload = serde_json::to_string(line).expect("journal lines serialize");
+        self.file
+            .write_all(frame(&payload).as_bytes())
+            .map_err(|e| JournalError::io(&self.path, e))
+    }
+}
+
+fn truncate(path: &Path, len: u64) -> Result<(), JournalError> {
+    let file = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| JournalError::io(path, e))?;
+    file.set_len(len).map_err(|e| JournalError::io(path, e))?;
+    file.sync_data().map_err(|e| JournalError::io(path, e))
+}
+
+/// Compare a journal's recovered manifest against the one the current
+/// invocation expects, most-diagnostic mismatch first.
+pub(crate) fn check_manifest(
+    path: &Path,
+    found: &ShardManifest,
+    expected: &ShardManifest,
+) -> Result<(), JournalError> {
+    let fail = |why: String| {
+        Err(JournalError::ManifestMismatch {
+            path: path.to_path_buf(),
+            why,
+        })
+    };
+    if found.schema_version != expected.schema_version {
+        return fail(format!(
+            "schema version {} (this binary writes {})",
+            found.schema_version, expected.schema_version
+        ));
+    }
+    if found.fingerprint != expected.fingerprint {
+        return fail(format!(
+            "config fingerprint {} but this sweep is {} — \
+             the journal was produced by different sweep arguments",
+            found.fingerprint, expected.fingerprint
+        ));
+    }
+    if found != expected {
+        return fail(format!(
+            "shard geometry {}/{} over {} cells ({}..{}) vs expected {}/{} over {} cells ({}..{})",
+            found.shard,
+            found.n_shards,
+            found.n_cells,
+            found.cell_lo,
+            found.cell_hi,
+            expected.shard,
+            expected.n_shards,
+            expected.n_cells,
+            expected.cell_lo,
+            expected.cell_hi,
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redspot_core::{RunMetrics, RunResult};
+    use redspot_trace::{Price, SimTime};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("redspot-journal-test").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn manifest(shard: usize, n_shards: usize, n_cells: usize) -> ShardManifest {
+        ShardManifest::plan(n_cells, shard, n_shards, "deadbeefdeadbeef".into()).unwrap()
+    }
+
+    fn record(cell: usize) -> CellRecord {
+        CellRecord {
+            cell,
+            result: RunResult {
+                cost: Price::from_millis(100 + cell as u64),
+                spot_cost: Price::from_millis(100 + cell as u64),
+                od_cost: Price::ZERO,
+                io_cost: Price::ZERO,
+                finished_at: SimTime::from_hours(20),
+                met_deadline: true,
+                checkpoints: 3,
+                restarts: 1,
+                out_of_bid_terminations: 0,
+                used_on_demand: false,
+                api: Default::default(),
+                events: vec![],
+            },
+            metrics: RunMetrics {
+                runs: 1,
+                checkpoints_committed: 3,
+                ..RunMetrics::default()
+            },
+        }
+    }
+
+    #[test]
+    fn create_append_scan_round_trip() {
+        let dir = tmp_dir("round-trip");
+        let m = manifest(1, 2, 4);
+        let (mut j, resume) = ShardJournal::open(&dir, &m, 2).unwrap();
+        assert!(!resume.resumed);
+        j.append_cell(&record(0)).unwrap();
+        j.append_cell(&record(1)).unwrap();
+        let path = j.finish().unwrap();
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.manifest.as_ref(), Some(&m));
+        assert_eq!(scan.records, vec![record(0), record(1)]);
+        assert!(!scan.torn_tail);
+    }
+
+    #[test]
+    fn reopen_resumes_and_skips_completed() {
+        let dir = tmp_dir("resume");
+        let m = manifest(1, 1, 3);
+        let (mut j, _) = ShardJournal::open(&dir, &m, 1).unwrap();
+        j.append_cell(&record(0)).unwrap();
+        j.finish().unwrap();
+        let (mut j, resume) = ShardJournal::open(&dir, &m, 1).unwrap();
+        assert!(resume.resumed);
+        assert_eq!(resume.completed, BTreeSet::from([0]));
+        j.append_cell(&record(1)).unwrap();
+        j.append_cell(&record(2)).unwrap();
+        let scan = scan_journal(&j.finish().unwrap()).unwrap();
+        assert_eq!(scan.completed(), BTreeSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmp_dir("torn");
+        let m = manifest(1, 1, 3);
+        let (mut j, _) = ShardJournal::open(&dir, &m, 1).unwrap();
+        j.append_cell(&record(0)).unwrap();
+        j.append_cell(&record(1)).unwrap();
+        let path = j.finish().unwrap();
+        // Tear the final record in half.
+        let full = std::fs::read(&path).unwrap();
+        let cut = full.len() - 40;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let (j, resume) = ShardJournal::open(&dir, &m, 1).unwrap();
+        assert!(resume.resumed);
+        assert!(resume.truncated_torn_tail);
+        assert_eq!(resume.completed, BTreeSet::from([0]));
+        drop(j);
+        // The torn bytes are gone from disk.
+        let scan = scan_journal(&path).unwrap();
+        assert!(!scan.torn_tail);
+        assert_eq!(scan.completed(), BTreeSet::from([0]));
+    }
+
+    #[test]
+    fn mismatched_manifest_is_refused() {
+        let dir = tmp_dir("mismatch");
+        let m = manifest(1, 1, 3);
+        let (j, _) = ShardJournal::open(&dir, &m, 1).unwrap();
+        j.finish().unwrap();
+        let mut other = m.clone();
+        other.fingerprint = "0000000000000000".into();
+        let err = ShardJournal::open(&dir, &other, 1).unwrap_err();
+        assert!(
+            matches!(err, JournalError::ManifestMismatch { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn mid_file_corruption_is_fatal_not_repaired() {
+        let dir = tmp_dir("corrupt");
+        let m = manifest(1, 1, 3);
+        let (mut j, _) = ShardJournal::open(&dir, &m, 1).unwrap();
+        j.append_cell(&record(0)).unwrap();
+        j.append_cell(&record(1)).unwrap();
+        let path = j.finish().unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        // Flip a byte inside record 0's line (line 2), not the last line.
+        let line2_start = text.find('\n').unwrap() + 1;
+        let flip = line2_start + 30;
+        unsafe { text.as_bytes_mut()[flip] ^= 0x01 };
+        std::fs::write(&path, &text).unwrap();
+        let err = ShardJournal::open(&dir, &m, 1).unwrap_err();
+        assert!(
+            matches!(err, JournalError::Corrupt { line: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn torn_manifest_restarts_cleanly() {
+        let dir = tmp_dir("torn-manifest");
+        let m = manifest(1, 1, 2);
+        let path = dir.join(journal_file_name(1, 1));
+        std::fs::write(&path, "0123456789ab").unwrap(); // torn mid-manifest
+        let (mut j, resume) = ShardJournal::open(&dir, &m, 1).unwrap();
+        assert!(!resume.resumed);
+        assert!(resume.completed.is_empty());
+        j.append_cell(&record(0)).unwrap();
+        let scan = scan_journal(&j.finish().unwrap()).unwrap();
+        assert_eq!(scan.manifest.as_ref(), Some(&m));
+        assert_eq!(scan.completed(), BTreeSet::from([0]));
+    }
+
+    #[test]
+    fn out_of_range_and_duplicate_cells_are_corruption() {
+        let dir = tmp_dir("bad-cells");
+        let m = manifest(1, 2, 4); // owns 0..2
+        let (mut j, _) = ShardJournal::open(&dir, &m, 1).unwrap();
+        j.append_cell(&record(0)).unwrap();
+        let path = j.finish().unwrap();
+        // Hand-append a record for a cell this shard does not own.
+        let alien = serde_json::to_string(&JournalLine::Cell(record(3))).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(frame(&alien).as_bytes());
+        // A second valid line after it so the alien is not a "torn tail".
+        bytes.extend_from_slice(frame(&alien).as_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = scan_journal(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("outside this shard's range"),
+            "{err}"
+        );
+    }
+}

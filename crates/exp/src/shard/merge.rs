@@ -1,0 +1,473 @@
+//! Verified merge of `N` shard journals into one sweep artifact.
+//!
+//! [`merge_dir`] is the read side of the shard plane: it discovers every
+//! `shard-K-of-N.journal` in a directory, re-validates everything the
+//! write side promised (checksums, schema version, one fingerprint,
+//! exact shard set `1..=N`, per-shard ranges matching the planner, full
+//! cell coverage with no gaps or overlaps), and only then assembles a
+//! [`MergedSweep`]. Any violation is a precise, actionable
+//! [`MergeError`] — merge never emits a partial artifact.
+
+use super::journal::{journal_file_name, scan_journal, JournalError, JournalScan};
+use super::{shard_range, CellRecord, MergedSweep, ShardManifest, SCHEMA_VERSION};
+use redspot_core::{RunMetrics, RunResult};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Why a set of shard journals cannot be merged.
+#[derive(Debug)]
+pub enum MergeError {
+    /// A journal failed to open, scan, or checksum-verify.
+    Journal(JournalError),
+    /// The directory could not be listed.
+    Io {
+        /// The directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        err: std::io::Error,
+    },
+    /// The directory contains no `shard-*.journal` files at all.
+    NoJournals {
+        /// The directory searched.
+        dir: PathBuf,
+    },
+    /// A journal was written under a different schema version.
+    SchemaVersion {
+        /// The offending journal.
+        path: PathBuf,
+        /// Version found in its manifest.
+        found: u32,
+        /// Version this binary understands.
+        expected: u32,
+    },
+    /// Two journals carry different sweep fingerprints — they were
+    /// produced by different command lines and must not be combined.
+    FingerprintMismatch {
+        /// The offending journal.
+        path: PathBuf,
+        /// Its fingerprint.
+        found: String,
+        /// The fingerprint of the first journal scanned.
+        expected: String,
+    },
+    /// A journal's geometry (shard count, grid size, or cell range)
+    /// disagrees with the others or with the deterministic planner.
+    GridMismatch {
+        /// The offending journal.
+        path: PathBuf,
+        /// What exactly disagrees.
+        why: String,
+    },
+    /// Two journals claim the same shard index.
+    DuplicateShard {
+        /// The duplicated 1-based shard index.
+        shard: usize,
+        /// The second journal claiming it.
+        path: PathBuf,
+    },
+    /// Not every shard `1..=N` has a journal present.
+    MissingShards {
+        /// The absent 1-based shard indices.
+        missing: Vec<usize>,
+        /// Total shard count `N`.
+        n_shards: usize,
+    },
+    /// A shard's journal is present but does not cover all its cells —
+    /// the shard was killed and never resumed to completion.
+    MissingCells {
+        /// The incomplete shard (1-based).
+        shard: usize,
+        /// Its journal.
+        path: PathBuf,
+        /// The uncovered cell indices (capped for display).
+        missing: Vec<usize>,
+        /// Whether the journal ends in a torn record (mid-write kill).
+        torn_tail: bool,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Journal(e) => e.fmt(f),
+            MergeError::Io { path, err } => write!(f, "{}: {err}", path.display()),
+            MergeError::NoJournals { dir } => {
+                write!(f, "{}: no shard-*.journal files found", dir.display())
+            }
+            MergeError::SchemaVersion {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "{}: journal schema version {found}, this binary understands {expected}",
+                path.display()
+            ),
+            MergeError::FingerprintMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "{}: sweep fingerprint {found} disagrees with {expected} — \
+                 shards were produced by different sweep arguments",
+                path.display()
+            ),
+            MergeError::GridMismatch { path, why } => {
+                write!(f, "{}: grid mismatch: {why}", path.display())
+            }
+            MergeError::DuplicateShard { shard, path } => {
+                write!(
+                    f,
+                    "{}: shard {shard} already provided by another journal",
+                    path.display()
+                )
+            }
+            MergeError::MissingShards { missing, n_shards } => {
+                write!(f, "missing journals for shard(s) {missing:?} of {n_shards}")
+            }
+            MergeError::MissingCells {
+                shard,
+                path,
+                missing,
+                torn_tail,
+            } => {
+                write!(
+                    f,
+                    "{}: shard {shard} incomplete: {} cell(s) missing (first: {:?}){}",
+                    path.display(),
+                    missing.len(),
+                    &missing[..missing.len().min(8)],
+                    if *torn_tail {
+                        " — journal ends in a torn record; resume this shard to completion"
+                    } else {
+                        " — resume this shard to completion"
+                    }
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+impl From<JournalError> for MergeError {
+    fn from(e: JournalError) -> MergeError {
+        MergeError::Journal(e)
+    }
+}
+
+/// What a successful merge verified, for human-readable reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Shard count `N`.
+    pub n_shards: usize,
+    /// Total cells merged.
+    pub n_cells: usize,
+    /// Total checksummed records read (cells + manifests).
+    pub records_verified: usize,
+    /// The journal files consumed, in shard order.
+    pub files: Vec<PathBuf>,
+}
+
+/// Discover, verify, and merge every shard journal in `dir`.
+pub fn merge_dir(dir: &Path) -> Result<(MergedSweep, MergeReport), MergeError> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| MergeError::Io {
+            path: dir.to_path_buf(),
+            err: e,
+        })?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".journal"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(MergeError::NoJournals {
+            dir: dir.to_path_buf(),
+        });
+    }
+    let scans: Vec<(PathBuf, JournalScan)> = paths
+        .into_iter()
+        .map(|p| scan_journal(&p).map(|s| (p, s)))
+        .collect::<Result<_, _>>()?;
+    merge_scans(scans)
+}
+
+/// Merge already-scanned journals (shared by `merge_dir` and tests).
+pub fn merge_scans(
+    scans: Vec<(PathBuf, JournalScan)>,
+) -> Result<(MergedSweep, MergeReport), MergeError> {
+    let mut reference: Option<ShardManifest> = None;
+    let mut shards: BTreeMap<usize, (PathBuf, JournalScan)> = BTreeMap::new();
+    for (path, scan) in scans {
+        let manifest = scan
+            .manifest
+            .clone()
+            .ok_or_else(|| JournalError::MissingManifest { path: path.clone() })?;
+        if manifest.schema_version != SCHEMA_VERSION {
+            return Err(MergeError::SchemaVersion {
+                path,
+                found: manifest.schema_version,
+                expected: SCHEMA_VERSION,
+            });
+        }
+        if let Some(reference) = &reference {
+            if manifest.fingerprint != reference.fingerprint {
+                return Err(MergeError::FingerprintMismatch {
+                    path,
+                    found: manifest.fingerprint,
+                    expected: reference.fingerprint.clone(),
+                });
+            }
+            if manifest.n_shards != reference.n_shards || manifest.n_cells != reference.n_cells {
+                return Err(MergeError::GridMismatch {
+                    path,
+                    why: format!(
+                        "split {} ways over {} cells vs {} ways over {} cells",
+                        manifest.n_shards, manifest.n_cells, reference.n_shards, reference.n_cells
+                    ),
+                });
+            }
+        } else {
+            reference = Some(manifest.clone());
+        }
+        let planned = shard_range(manifest.n_cells, manifest.shard, manifest.n_shards);
+        if manifest.cells() != planned {
+            return Err(MergeError::GridMismatch {
+                path,
+                why: format!(
+                    "shard {} claims cells {}..{} but the planner assigns {}..{}",
+                    manifest.shard, manifest.cell_lo, manifest.cell_hi, planned.start, planned.end
+                ),
+            });
+        }
+        let shard = manifest.shard;
+        if shards.insert(shard, (path.clone(), scan)).is_some() {
+            return Err(MergeError::DuplicateShard { shard, path });
+        }
+    }
+    let reference = reference.expect("at least one scan");
+    let missing: Vec<usize> = (1..=reference.n_shards)
+        .filter(|k| !shards.contains_key(k))
+        .collect();
+    if !missing.is_empty() {
+        return Err(MergeError::MissingShards {
+            missing,
+            n_shards: reference.n_shards,
+        });
+    }
+    // Every shard present with planner-exact ranges, and scan_journal
+    // already rejected out-of-range and duplicate cells per file — so the
+    // only remaining coverage failure is an incomplete (killed, not yet
+    // resumed) shard, and cross-shard overlap is impossible.
+    let mut records_verified = 0usize;
+    let mut cells: BTreeMap<usize, CellRecord> = BTreeMap::new();
+    let mut files = Vec::with_capacity(shards.len());
+    for (shard, (path, scan)) in &shards {
+        let manifest = scan.manifest.as_ref().expect("verified above");
+        let completed = scan.completed();
+        let missing: Vec<usize> = manifest
+            .cells()
+            .filter(|c| !completed.contains(c))
+            .collect();
+        if !missing.is_empty() {
+            return Err(MergeError::MissingCells {
+                shard: *shard,
+                path: path.clone(),
+                missing,
+                torn_tail: scan.torn_tail,
+            });
+        }
+        records_verified += scan.records.len() + 1; // + manifest line
+        files.push(path.clone());
+        for rec in &scan.records {
+            cells.insert(rec.cell, rec.clone());
+        }
+    }
+    // Fold in cell order — RunMetrics merge is order-independent, but a
+    // canonical order keeps the artifact trivially reproducible.
+    let mut metrics = RunMetrics::default();
+    let results: Vec<RunResult> = cells
+        .into_values()
+        .map(|rec| {
+            metrics.merge(&rec.metrics);
+            rec.result
+        })
+        .collect();
+    let merged = MergedSweep::from_run(reference.fingerprint.clone(), results, metrics);
+    let report = MergeReport {
+        n_shards: reference.n_shards,
+        n_cells: merged.n_cells,
+        records_verified,
+        files,
+    };
+    Ok((merged, report))
+}
+
+/// Expected journal path for shard `K/N` under `dir` (for diagnostics).
+pub fn journal_path(dir: &Path, shard: usize, n_shards: usize) -> PathBuf {
+    dir.join(journal_file_name(shard, n_shards))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::journal::ShardJournal;
+    use redspot_trace::{Price, SimTime};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("redspot-merge-test").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn record(cell: usize) -> CellRecord {
+        CellRecord {
+            cell,
+            result: RunResult {
+                cost: Price::from_millis(500 + cell as u64),
+                spot_cost: Price::from_millis(500 + cell as u64),
+                od_cost: Price::ZERO,
+                io_cost: Price::ZERO,
+                finished_at: SimTime::from_hours(18),
+                met_deadline: true,
+                checkpoints: 2,
+                restarts: 0,
+                out_of_bid_terminations: 0,
+                used_on_demand: false,
+                api: Default::default(),
+                events: vec![],
+            },
+            metrics: RunMetrics {
+                runs: 1,
+                ..RunMetrics::default()
+            },
+        }
+    }
+
+    fn write_shard(dir: &Path, shard: usize, n_shards: usize, n_cells: usize, fp: &str) {
+        let m = ShardManifest::plan(n_cells, shard, n_shards, fp.into()).unwrap();
+        let (mut j, _) = ShardJournal::open(dir, &m, 4).unwrap();
+        for cell in m.cells() {
+            j.append_cell(&record(cell)).unwrap();
+        }
+        j.finish().unwrap();
+    }
+
+    #[test]
+    fn merges_complete_shards_in_cell_order() {
+        let dir = tmp_dir("complete");
+        write_shard(&dir, 2, 3, 7, "aaaaaaaaaaaaaaaa");
+        write_shard(&dir, 1, 3, 7, "aaaaaaaaaaaaaaaa");
+        write_shard(&dir, 3, 3, 7, "aaaaaaaaaaaaaaaa");
+        let (merged, report) = merge_dir(&dir).unwrap();
+        assert_eq!(merged.n_cells, 7);
+        assert_eq!(merged.results.len(), 7);
+        assert_eq!(merged.metrics.runs, 7);
+        for (i, r) in merged.results.iter().enumerate() {
+            assert_eq!(
+                r.cost,
+                Price::from_millis(500 + i as u64),
+                "cell {i} out of order"
+            );
+        }
+        assert_eq!(report.n_shards, 3);
+        assert_eq!(report.records_verified, 7 + 3);
+    }
+
+    #[test]
+    fn missing_shard_is_reported_by_index() {
+        let dir = tmp_dir("missing-shard");
+        write_shard(&dir, 1, 3, 6, "aaaaaaaaaaaaaaaa");
+        write_shard(&dir, 3, 3, 6, "aaaaaaaaaaaaaaaa");
+        let err = merge_dir(&dir).unwrap_err();
+        match err {
+            MergeError::MissingShards { missing, n_shards } => {
+                assert_eq!(missing, vec![2]);
+                assert_eq!(n_shards, 3);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn incomplete_shard_is_reported_with_missing_cells() {
+        let dir = tmp_dir("incomplete");
+        write_shard(&dir, 1, 2, 4, "aaaaaaaaaaaaaaaa");
+        // Shard 2 journals only one of its two cells.
+        let m = ShardManifest::plan(4, 2, 2, "aaaaaaaaaaaaaaaa".into()).unwrap();
+        let (mut j, _) = ShardJournal::open(&dir, &m, 4).unwrap();
+        j.append_cell(&record(2)).unwrap();
+        j.finish().unwrap();
+        let err = merge_dir(&dir).unwrap_err();
+        match err {
+            MergeError::MissingCells { shard, missing, .. } => {
+                assert_eq!(shard, 2);
+                assert_eq!(missing, vec![3]);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn fingerprint_disagreement_is_refused() {
+        let dir = tmp_dir("fp-mismatch");
+        write_shard(&dir, 1, 2, 4, "aaaaaaaaaaaaaaaa");
+        write_shard(&dir, 2, 2, 4, "bbbbbbbbbbbbbbbb");
+        let err = merge_dir(&dir).unwrap_err();
+        assert!(
+            matches!(err, MergeError::FingerprintMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn schema_version_is_checked() {
+        let dir = tmp_dir("schema");
+        let mut m = ShardManifest::plan(2, 1, 1, "aaaaaaaaaaaaaaaa".into()).unwrap();
+        m.schema_version = SCHEMA_VERSION + 1;
+        // Write the bad-version journal by hand (open() would also accept
+        // it here since it only compares against the expected manifest).
+        let payload = serde_json::to_string(&crate::shard::JournalLine::Manifest(m)).unwrap();
+        let path = journal_path(&dir, 1, 1);
+        std::fs::write(&path, redspot_core::telemetry::journal::frame(&payload)).unwrap();
+        let err = merge_dir(&dir).unwrap_err();
+        assert!(
+            matches!(err, MergeError::SchemaVersion { found, .. } if found == SCHEMA_VERSION + 1),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn empty_dir_is_an_error() {
+        let dir = tmp_dir("empty");
+        assert!(matches!(
+            merge_dir(&dir).unwrap_err(),
+            MergeError::NoJournals { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_shard_under_different_names_is_refused() {
+        let dir = tmp_dir("dup");
+        write_shard(&dir, 1, 2, 4, "aaaaaaaaaaaaaaaa");
+        write_shard(&dir, 2, 2, 4, "aaaaaaaaaaaaaaaa");
+        // A stray copy of shard 1 under another matching file name.
+        std::fs::copy(
+            journal_path(&dir, 1, 2),
+            dir.join("shard-1-of-2-copy.journal"),
+        )
+        .unwrap();
+        let err = merge_dir(&dir).unwrap_err();
+        assert!(
+            matches!(err, MergeError::DuplicateShard { shard: 1, .. }),
+            "{err}"
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! The crash-safe sharded sweep plane.
+//!
+//! A sweep grid is a flat, canonically-ordered list of [`RunSpec`] cells.
+//! This module splits that grid into `N` deterministic shards
+//! ([`shard_range`] — a pure function of `(n_cells, K, N)`), journals
+//! every completed cell to a checksummed write-ahead journal
+//! ([`journal::ShardJournal`]) so a killed shard resumes instead of
+//! restarting, and merges `N` shard journals back into one verified
+//! artifact ([`merge::merge_dir`]).
+//!
+//! Three facts make the merged artifact *byte-identical* to an
+//! uninterrupted single-process sweep:
+//!
+//! 1. every cell's result is a pure function of `(market, spec, base)` —
+//!    the batch plane's determinism contract (`tests/batch_properties.rs`);
+//! 2. the shard planner is a partition: every cell lands in exactly one
+//!    shard (`tests/shard_properties.rs`);
+//! 3. [`RunMetrics`] merge is field-wise additive over integers, hence
+//!    order-independent (DESIGN.md §12) — merging per-cell metrics in
+//!    cell order, journal order, or shard order yields the same value.
+
+pub mod journal;
+pub mod merge;
+pub mod run;
+
+use crate::scheme::RunSpec;
+use redspot_core::telemetry::journal::fnv1a;
+use redspot_core::{ExperimentConfig, RunMetrics, RunResult};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// Version of the journal record schema. Bump on any incompatible change
+/// to [`ShardManifest`], [`CellRecord`], or the line framing; `merge`
+/// refuses journals whose version disagrees with the binary's.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Why a shard plan is unusable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// `--shard K/N` with `K` outside `1..=N`.
+    ShardOutOfRange {
+        /// The requested shard (1-based).
+        shard: usize,
+        /// The shard count.
+        n_shards: usize,
+    },
+    /// `N = 0` shards.
+    NoShards,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::ShardOutOfRange { shard, n_shards } => {
+                write!(f, "shard {shard} outside 1..={n_shards}")
+            }
+            ShardError::NoShards => write!(f, "shard count must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// The cells shard `shard` (1-based) owns out of a `n_cells`-cell grid
+/// split `n_shards` ways: a contiguous, balanced range. Pure and total
+/// for `1 ≤ shard ≤ n_shards`: the `n_shards` ranges partition
+/// `0..n_cells` (every cell in exactly one shard, sizes differing by at
+/// most one), pinned by `tests/shard_properties.rs`.
+pub fn shard_range(n_cells: usize, shard: usize, n_shards: usize) -> Range<usize> {
+    assert!(shard >= 1 && shard <= n_shards, "shard outside 1..=N");
+    let q = n_cells / n_shards;
+    let r = n_cells % n_shards;
+    let i = shard - 1;
+    let lo = i * q + i.min(r);
+    let hi = lo + q + usize::from(i < r);
+    lo..hi
+}
+
+/// Fingerprint of a sweep's full identity: the base config plus every
+/// cell spec, hashed over their canonical JSON. Two invocations agree on
+/// the fingerprint iff they would run the same grid, so `merge` can
+/// refuse to combine shards produced by diverging command lines.
+pub fn fingerprint(base: &ExperimentConfig, specs: &[RunSpec]) -> String {
+    let cfg = serde_json::to_string(base).expect("config serializes");
+    let cells = serde_json::to_string(specs).expect("specs serialize");
+    let mut h = fnv1a(cfg.as_bytes());
+    // Chain rather than concatenate: no allocation of a combined buffer.
+    h ^= fnv1a(cells.as_bytes());
+    h = h.wrapping_mul(0x1000_0000_01b3);
+    format!("{h:016x}")
+}
+
+/// First line of every shard journal: which slice of which sweep this
+/// file is, under which schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardManifest {
+    /// Journal schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// This shard's 1-based index `K`.
+    pub shard: usize,
+    /// Total shard count `N`.
+    pub n_shards: usize,
+    /// Total cells in the full sweep grid.
+    pub n_cells: usize,
+    /// First cell this shard owns (inclusive).
+    pub cell_lo: usize,
+    /// One past the last cell this shard owns.
+    pub cell_hi: usize,
+    /// Sweep identity fingerprint ([`fingerprint`]).
+    pub fingerprint: String,
+}
+
+impl ShardManifest {
+    /// Build the manifest for shard `shard`/`n_shards` of an
+    /// `n_cells`-cell grid with the given fingerprint.
+    pub fn plan(
+        n_cells: usize,
+        shard: usize,
+        n_shards: usize,
+        fingerprint: String,
+    ) -> Result<ShardManifest, ShardError> {
+        if n_shards == 0 {
+            return Err(ShardError::NoShards);
+        }
+        if shard < 1 || shard > n_shards {
+            return Err(ShardError::ShardOutOfRange { shard, n_shards });
+        }
+        let range = shard_range(n_cells, shard, n_shards);
+        Ok(ShardManifest {
+            schema_version: SCHEMA_VERSION,
+            shard,
+            n_shards,
+            n_cells,
+            cell_lo: range.start,
+            cell_hi: range.end,
+            fingerprint,
+        })
+    }
+
+    /// The cells this shard owns.
+    pub fn cells(&self) -> Range<usize> {
+        self.cell_lo..self.cell_hi
+    }
+}
+
+/// One durably-completed cell: the journal's write-ahead unit. Appended
+/// only after the cell's simulation finished, so its presence (with a
+/// valid checksum) certifies the result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Flat cell index in the sweep grid.
+    pub cell: usize,
+    /// The cell's outcome.
+    pub result: RunResult,
+    /// The cell's folded telemetry (merged order-independently at merge
+    /// time).
+    pub metrics: RunMetrics,
+}
+
+/// One journal line: a manifest (first line) or a completed cell.
+// Variant sizes are lopsided (a `CellRecord` dwarfs the manifest), but
+// the enum only exists transiently while one line is encoded or
+// decoded — never in bulk — so boxing would cost more than it saves.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalLine {
+    /// The journal's identity header.
+    Manifest(ShardManifest),
+    /// A durably-completed cell.
+    Cell(CellRecord),
+}
+
+/// The verified, merged output of a sweep: what `redspot merge` emits
+/// and what an uninterrupted single-process `redspot sweep --out`
+/// writes. Byte-identical between the two paths by construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergedSweep {
+    /// Journal schema version the artifact was produced under.
+    pub schema_version: u32,
+    /// Sweep identity fingerprint.
+    pub fingerprint: String,
+    /// Total cells.
+    pub n_cells: usize,
+    /// One result per cell, in cell order.
+    pub results: Vec<RunResult>,
+    /// All cells' telemetry, merged.
+    pub metrics: RunMetrics,
+}
+
+impl MergedSweep {
+    /// Assemble the artifact from an in-order result list and per-cell
+    /// metrics (the single-process path).
+    pub fn from_run(
+        fingerprint: String,
+        results: Vec<RunResult>,
+        metrics: RunMetrics,
+    ) -> MergedSweep {
+        MergedSweep {
+            schema_version: SCHEMA_VERSION,
+            fingerprint,
+            n_cells: results.len(),
+            results,
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Scheme;
+    use redspot_trace::{Price, SimTime};
+
+    #[test]
+    fn ranges_partition_small_grids() {
+        for (n_cells, n_shards) in [(0, 1), (1, 1), (5, 2), (7, 3), (9, 4), (3, 5)] {
+            let mut seen = Vec::new();
+            for k in 1..=n_shards {
+                seen.extend(shard_range(n_cells, k, n_shards));
+            }
+            assert_eq!(
+                seen,
+                (0..n_cells).collect::<Vec<_>>(),
+                "{n_cells}/{n_shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_are_balanced() {
+        for k in 1..=4 {
+            let len = shard_range(10, k, 4).len();
+            assert!(len == 2 || len == 3, "shard {k} got {len} cells");
+        }
+    }
+
+    #[test]
+    fn plan_validates_k_of_n() {
+        assert!(ShardManifest::plan(10, 0, 4, String::new()).is_err());
+        assert!(ShardManifest::plan(10, 5, 4, String::new()).is_err());
+        assert!(ShardManifest::plan(10, 1, 0, String::new()).is_err());
+        let m = ShardManifest::plan(10, 2, 4, "f".into()).unwrap();
+        assert_eq!(m.cells(), 3..6);
+        assert_eq!(m.schema_version, SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_grids() {
+        let base = ExperimentConfig::paper_default();
+        let spec = |h: u64| RunSpec {
+            start: SimTime::from_hours(h),
+            bid: Price::from_millis(810),
+            scheme: Scheme::Adaptive,
+        };
+        let a = fingerprint(&base, &[spec(50), spec(60)]);
+        let b = fingerprint(&base, &[spec(50), spec(61)]);
+        let c = fingerprint(&base.clone().with_seed(7), &[spec(50), spec(60)]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, fingerprint(&base, &[spec(50), spec(60)]));
+        assert_eq!(a.len(), 16);
+    }
+}

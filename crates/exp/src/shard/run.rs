@@ -1,0 +1,74 @@
+//! The journaled shard executor: run one shard's cells with write-ahead
+//! durability, skipping cells a previous (killed) invocation already
+//! completed.
+
+use super::journal::{JournalError, ShardJournal, DEFAULT_SYNC_EVERY};
+use super::{CellRecord, ShardManifest};
+use crate::scheme::{run_spec, RunSpec};
+use redspot_core::telemetry::MetricsRecorder;
+use redspot_core::{ExperimentConfig, MarketCtx};
+use std::path::{Path, PathBuf};
+
+/// What one journaled shard invocation did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRunReport {
+    /// Cells simulated by *this* invocation.
+    pub executed: usize,
+    /// Cells skipped because a previous invocation journaled them.
+    pub skipped: usize,
+    /// Whether the journal pre-existed (this invocation was a resume).
+    pub resumed: bool,
+    /// Whether a torn final record was truncated before resuming.
+    pub truncated_torn_tail: bool,
+    /// The journal file written.
+    pub journal: PathBuf,
+}
+
+/// Run (or resume) one shard of a sweep grid, journaling every completed
+/// cell.
+///
+/// `specs` is the *full* grid in canonical cell order; the manifest says
+/// which contiguous slice this shard owns. Cells run sequentially and
+/// metered (a [`MetricsRecorder`] per cell) — each cell's
+/// `(result, metrics)` is a pure function of `(mkt, spec, base)`, so a
+/// killed-and-resumed shard journals exactly the records an
+/// uninterrupted one would have.
+pub fn run_shard(
+    mkt: &MarketCtx,
+    base: &ExperimentConfig,
+    specs: &[RunSpec],
+    manifest: &ShardManifest,
+    dir: &Path,
+    sync_every: Option<usize>,
+) -> Result<ShardRunReport, JournalError> {
+    assert_eq!(
+        specs.len(),
+        manifest.n_cells,
+        "manifest planned over a different grid"
+    );
+    let sync_every = sync_every.unwrap_or(DEFAULT_SYNC_EVERY);
+    let (mut journal, resume) = ShardJournal::open(dir, manifest, sync_every)?;
+    let mut executed = 0usize;
+    let mut skipped = 0usize;
+    for cell in manifest.cells() {
+        if resume.completed.contains(&cell) {
+            skipped += 1;
+            continue;
+        }
+        let (result, metrics) = run_spec(mkt, &specs[cell], base, MetricsRecorder::new());
+        journal.append_cell(&CellRecord {
+            cell,
+            result,
+            metrics,
+        })?;
+        executed += 1;
+    }
+    let journal = journal.finish()?;
+    Ok(ShardRunReport {
+        executed,
+        skipped,
+        resumed: resume.resumed,
+        truncated_torn_tail: resume.truncated_torn_tail,
+        journal,
+    })
+}

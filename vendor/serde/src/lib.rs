@@ -53,6 +53,21 @@ impl Value {
     }
 }
 
+// `Value` round-trips through itself, so callers can parse a document
+// into the raw tree (e.g. to inspect fields before committing to a
+// typed deserialization) — mirroring `serde_json::Value`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Look up a key in a map's entry list (helper used by derived impls).
 pub fn __find<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
     map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
