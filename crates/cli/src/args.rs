@@ -1,6 +1,7 @@
 //! Flag parsing. Hand-rolled (the offline crate set has no argument
 //! parser, and the surface is small).
 
+use redspot_core::Era;
 use std::collections::BTreeMap;
 
 /// Flags that take no value: present means `true`.
@@ -72,6 +73,7 @@ impl ParsedArgs {
             threads: self.num_or("threads", 0)?,
             seed: self.num_or("seed", 42)?,
             metrics: self.has("metrics"),
+            era: Era::parse(self.get_or("era", "classic"))?,
         })
     }
 }
@@ -85,6 +87,9 @@ pub struct CommonArgs {
     pub seed: u64,
     /// Whether to print the telemetry table.
     pub metrics: bool,
+    /// Market rules era (`classic` = the paper's 2014 hourly market,
+    /// `modern` = post-2017 per-second billing with interruption notices).
+    pub era: Era,
 }
 
 /// The help text.
@@ -122,6 +127,10 @@ USAGE:
                                     # --out writes the merged fleet metrics as JSON
                                     # (refuses to overwrite an existing file without
                                     # --force)
+  redspot era-compare [--n COUNT] [--seed N] [--threads N]
+                                    # the paper's 2014 hourly market vs the post-2017
+                                    # per-second/interruption-notice market, same traces
+                                    # and schemes; exits 1 on any deadline violation
   redspot markov-validation [--seed N] [--bid DOLLARS]
   redspot bootstrap --trace FILE --out FILE [--seed N] [--block-hours H] [--days D]
   redspot workloads                 # list the workload catalog
@@ -147,6 +156,9 @@ USAGE:
 Flags --workload NAME (on run/adaptive) override C, t_c and iteration
 structure from the catalog.
 Shared flags on run/sweep/chaos: --threads N, --seed N, --metrics.
+Shared flag --era classic|modern (default classic) selects the market
+rules: classic is the paper's 2014 hourly market; modern is post-2017
+per-second billing with 2-minute interruption notices and no user bids.
 "
     .to_string()
 }
@@ -200,21 +212,32 @@ mod tests {
             CommonArgs {
                 threads: 0,
                 seed: 42,
-                metrics: false
+                metrics: false,
+                era: Era::Classic
             }
         );
-        let c = parse(&["--threads", "3", "--seed", "9", "--metrics"])
-            .unwrap()
-            .common()
-            .unwrap();
+        let c = parse(&[
+            "--threads",
+            "3",
+            "--seed",
+            "9",
+            "--metrics",
+            "--era",
+            "modern",
+        ])
+        .unwrap()
+        .common()
+        .unwrap();
         assert_eq!(
             c,
             CommonArgs {
                 threads: 3,
                 seed: 9,
-                metrics: true
+                metrics: true,
+                era: Era::Modern
             }
         );
         assert!(parse(&["--threads", "x"]).unwrap().common().is_err());
+        assert!(parse(&["--era", "2019"]).unwrap().common().is_err());
     }
 }

@@ -78,7 +78,8 @@ fn experiment_config(
         .with_costs(redspot_ckpt::CkptCosts::symmetric_secs(tc))
         .with_bid(bid)
         .with_zones(zones)
-        .with_seed(common.seed);
+        .with_seed(common.seed)
+        .with_era(common.era);
     if let Some(name) = parsed.get("workload") {
         let w = redspot_ckpt::workloads::by_name(name)
             .ok_or_else(|| format!("unknown workload: {name} (try `redspot workloads`)"))?;
@@ -673,10 +674,10 @@ pub fn chaos(parsed: &ParsedArgs) -> Result<String, CliError> {
     let intensities = parse_intensities(parsed, "0,0.3,0.6,1").map_err(usage)?;
     let (rendered, violations) = if parsed.has("api") || parsed.has("api-only") {
         let composed = !parsed.has("api-only");
-        let c = chaos_api::study(seed, &intensities, n, common.threads, composed);
+        let c = chaos_api::study(seed, &intensities, n, common.threads, composed, common.era);
         (chaos_api::render(&c), c.total_violations())
     } else {
-        let c = chaos::study(seed, &intensities, n, common.threads);
+        let c = chaos::study(seed, &intensities, n, common.threads, common.era);
         (chaos::render(&c), c.total_violations())
     };
     if violations > 0 {
@@ -719,6 +720,7 @@ pub fn fleet(parsed: &ParsedArgs) -> Result<String, CliError> {
         &intensities,
         n_jobs,
         common.threads,
+        common.era,
     );
     let mut rendered = chaos_fleet::render(&c);
 
@@ -737,6 +739,22 @@ pub fn fleet(parsed: &ParsedArgs) -> Result<String, CliError> {
         rendered.push_str(&format!("\n  merged fleet metrics written to {out}\n"));
     }
     if c.total_violations() > 0 || !c.all_balanced() {
+        return Err(CliError::Violation(rendered));
+    }
+    Ok(rendered)
+}
+
+/// `era-compare`: the paper's 2014 hourly market against the post-2017
+/// per-second/interruption-notice market, same traces and schemes. Any
+/// deadline violation in either era is a [`CliError::Violation`].
+pub fn era_compare(parsed: &ParsedArgs) -> Result<String, CliError> {
+    use redspot_exp::experiments::era_compare;
+    let usage = CliError::Usage;
+    let common = parsed.common().map_err(usage)?;
+    let n = parsed.num_or("n", 8usize).map_err(usage)?;
+    let c = era_compare::study(common.seed, n, common.threads);
+    let rendered = era_compare::render(&c);
+    if c.total_violations() > 0 {
         return Err(CliError::Violation(rendered));
     }
     Ok(rendered)

@@ -53,6 +53,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "spike-stress" => cmd::spike_stress(&parsed).map_err(CliError::Usage),
         "chaos" => cmd::chaos(&parsed),
         "fleet" => cmd::fleet(&parsed),
+        "era-compare" => cmd::era_compare(&parsed),
         "markov-validation" => cmd::markov_validation(&parsed).map_err(CliError::Usage),
         "bootstrap" => cmd::bootstrap(&parsed).map_err(CliError::Usage),
         "workloads" => cmd::workloads(&parsed).map_err(CliError::Usage),

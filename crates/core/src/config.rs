@@ -3,7 +3,7 @@
 use crate::degrade::DegradePolicy;
 use crate::faults::FaultPlan;
 use redspot_ckpt::{AppSpec, CkptCosts};
-use redspot_market::ApiFaultPlan;
+use redspot_market::{ApiFaultPlan, Era};
 use redspot_trace::{Price, SimDuration, ZoneId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -101,6 +101,11 @@ pub struct ExperimentConfig {
     /// which the engine is bit-identical to one without the ladder.
     #[serde(default)]
     pub degrade: DegradePolicy,
+    /// Market regime the run bills and terminates under (see
+    /// [`Era`]); [`Era::Classic`] by default, which reproduces the
+    /// paper's 2014 mechanics bit-identically.
+    #[serde(default)]
+    pub era: Era,
 }
 
 impl ExperimentConfig {
@@ -118,6 +123,7 @@ impl ExperimentConfig {
             faults: FaultPlan::none(),
             api: ApiFaultPlan::none(),
             degrade: DegradePolicy::off(),
+            era: Era::Classic,
         }
     }
 
@@ -172,6 +178,12 @@ impl ExperimentConfig {
     /// Replace the capacity-contention degradation ladder.
     pub fn with_degrade(mut self, degrade: DegradePolicy) -> ExperimentConfig {
         self.degrade = degrade;
+        self
+    }
+
+    /// Replace the market era.
+    pub fn with_era(mut self, era: Era) -> ExperimentConfig {
+        self.era = era;
         self
     }
 

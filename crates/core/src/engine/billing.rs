@@ -7,17 +7,36 @@ use redspot_market::StopCause;
 use redspot_trace::Price;
 
 impl<'t, R: Recorder> Engine<'t, R> {
-    /// Settle every billing hour ending at the current instant: charge
-    /// the completed hour at its fixed rate, or retire the zone if the
-    /// policy (or an adaptive retirement) asks for a voluntary stop at
-    /// the boundary.
+    /// Settle every billing period ending at the current instant.
+    ///
+    /// Classic: charge the completed hour at its fixed rate — or retire
+    /// the zone if the policy (or an adaptive retirement) asks for a
+    /// voluntary stop at the boundary. The new hour's rate comes from the
+    /// *observed* price, not the raw trace: billing is market state the
+    /// scheduler learns through the control plane, so it shares the
+    /// stale-observation semantics of the Waiting/Down scan arms (a
+    /// failed read fixes the hour at the last known rate and records
+    /// `StalePriceUsed`). Identical to the true price when the control
+    /// plane is healthy.
+    ///
+    /// Modern: there are no settlement boundaries, so the only work here
+    /// is retirement — which has no boundary to wait for and therefore
+    /// happens immediately.
     pub(super) fn process_hour_boundaries(&mut self, report: &mut StepReport) -> bool {
         let mut acted = false;
         for i in 0..self.zones.len() {
             let Some(billing) = self.zones[i].billing else {
                 continue;
             };
-            if billing.next_boundary() > self.now {
+            let rules = self.rules();
+            let Some(due) = rules.next_settlement(&billing) else {
+                if self.zones[i].retire {
+                    self.stop_zone(i, StopCause::User, TerminationCause::Voluntary);
+                    acted = true;
+                }
+                continue;
+            };
+            if due > self.now {
                 continue;
             }
             report.hour_boundary = true;
@@ -27,13 +46,11 @@ impl<'t, R: Recorder> Engine<'t, R> {
             if stop {
                 self.stop_zone(i, StopCause::User, TerminationCause::Voluntary);
             } else {
-                let rate = self.traces.price_at(self.cfg.zones[i], self.now);
-                let b = self.zones[i]
-                    .billing
-                    .as_mut()
-                    .expect("billing checked above");
-                let charged_rate = b.current_rate();
-                b.on_hour_boundary(self.now, rate);
+                let mut meter = billing;
+                let charged_rate = meter.current_rate();
+                let rate = self.observed_price(i).unwrap_or(charged_rate);
+                rules.settle(&mut meter, self.now, rate);
+                self.zones[i].billing = Some(meter);
                 self.record(Event::HourCharged {
                     at: self.now,
                     zone: self.cfg.zones[i],

@@ -92,8 +92,10 @@ impl<'t, R: Recorder> Engine<'t, R> {
         self.with_ctx(|policy, ctx| policy.reschedule(ctx));
     }
 
-    /// Whether the retiring leader is close enough to its hour boundary
-    /// that the retirement checkpoint must start now.
+    /// Whether the retiring leader is close enough to its settlement
+    /// boundary that the retirement checkpoint must start now. Modern
+    /// meters have no settlement boundary — retirement there is
+    /// immediate (handled in the billing step), so this never fires.
     pub(super) fn retirement_ckpt_due(&self, leader: usize) -> bool {
         let z = &self.zones[leader];
         if !z.retire || !z.inst.is_up() {
@@ -102,10 +104,10 @@ impl<'t, R: Recorder> Engine<'t, R> {
         let Some(billing) = z.billing else {
             return false;
         };
-        self.now
-            >= billing
-                .next_boundary()
-                .saturating_sub(self.cfg.costs.checkpoint)
+        let Some(due) = self.rules().next_settlement(&billing) else {
+            return false;
+        };
+        self.now >= due.saturating_sub(self.cfg.costs.checkpoint)
     }
 
     /// Complete the run if any executing replica has finished the work.

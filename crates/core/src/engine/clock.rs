@@ -143,16 +143,30 @@ impl<'t, R: Recorder> Engine<'t, R> {
             }
         }
 
+        let rules = self.rules();
         for (i, z) in self.zones.iter().enumerate() {
             if let Some(b) = z.billing {
-                consider(b.next_boundary(), self.now, &mut t);
-                if z.retire {
-                    consider(
-                        b.next_boundary().saturating_sub(self.cfg.costs.checkpoint),
-                        self.now,
-                        &mut t,
-                    );
+                if let Some(due) = rules.next_settlement(&b) {
+                    consider(due, self.now, &mut t);
+                    if z.retire {
+                        // Wake early enough that the retirement checkpoint
+                        // commits exactly at the boundary. When t_c exceeds
+                        // the time left in the hour the ideal start is
+                        // already past — fire at the next tick instead of
+                        // silently dropping the wake-up (which would let
+                        // the engine hop straight to the boundary and stop
+                        // the zone with no final checkpoint attempt).
+                        let cand = due.saturating_sub(self.cfg.costs.checkpoint);
+                        if cand > self.now {
+                            consider(cand, self.now, &mut t);
+                        } else if z.inst.is_up() && self.ckpt.is_none() {
+                            consider(self.now + SimDuration::from_secs(1), self.now, &mut t);
+                        }
+                    }
                 }
+            }
+            if let Some(expiry) = z.notice_until {
+                consider(expiry, self.now, &mut t);
             }
             if let redspot_market::InstanceState::Booting { ready_at } = z.inst {
                 consider(ready_at, self.now, &mut t);

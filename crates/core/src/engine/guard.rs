@@ -96,7 +96,7 @@ impl<'t, R: Recorder> Engine<'t, R> {
         let need = restart + (self.cfg.app.work - committed);
         let od_start = self.now + od_delay;
         let finish = od_start + need;
-        self.od_cost += redspot_market::on_demand_cost(od_start, finish);
+        self.od_cost += self.rules().on_demand_cost(od_start, finish);
         self.used_on_demand = true;
         self.phase = Phase::OnDemand(finish);
     }

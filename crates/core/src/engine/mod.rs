@@ -62,7 +62,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use redspot_ckpt::ReplicaSet;
 use redspot_market::{
-    ApiFaultPlan, CloudApi, DelayModel, FaultyApi, InstanceState, OutageSchedule, PerfectApi,
+    ApiFaultPlan, CloudApi, DelayModel, FaultyApi, InstanceState, MarketRules, OutageSchedule,
+    PerfectApi,
 };
 use redspot_trace::{Price, SimDuration, SimTime, TraceSet};
 use zones::ZoneRt;
@@ -333,6 +334,7 @@ impl<'t, R: Recorder> Engine<'t, R> {
                     active: true,
                     boot_retries: 0,
                     blocked_until: start,
+                    notice_until: None,
                 })
                 .collect(),
             replicas: ReplicaSet::new(cfg.app, n),
@@ -454,6 +456,12 @@ impl<'t, R: Recorder> Engine<'t, R> {
     // ------------------------------------------------------------------
     // Plumbing.
 
+    /// The market regime this run bills and terminates under. `'static`
+    /// singletons, so the borrow never entangles with engine state.
+    pub(super) fn rules(&self) -> &'static dyn MarketRules {
+        self.cfg.era.rules()
+    }
+
     /// Run `f` with a freshly-assembled policy context. Factored this way
     /// because the context borrows engine fields while the policy needs
     /// `&mut self.policy`.
@@ -462,7 +470,19 @@ impl<'t, R: Recorder> Engine<'t, R> {
         let leader = (0..self.zones.len())
             .filter(|&i| up[i])
             .max_by_key(|&i| (self.replicas.position(i), std::cmp::Reverse(i)));
-        let leader_boundary = leader.and_then(|i| self.zones[i].billing.map(|b| b.next_boundary()));
+        // Classic: the leader's maintained billing boundary. Modern: no
+        // settlement boundary exists, but the hour-oriented policies
+        // (Periodic, Large-bid) still key their cadence off launch-anchored
+        // hour marks, so the meter's anchor stands in.
+        let rules = self.rules();
+        let now = self.now;
+        let leader_boundary = leader.and_then(|i| {
+            self.zones[i].billing.map(|m| {
+                rules
+                    .next_settlement(&m)
+                    .unwrap_or_else(|| m.hour_anchor_after(now))
+            })
+        });
         let ctx = PolicyCtx {
             now: self.now,
             start: self.start,
@@ -503,6 +523,10 @@ impl<'t, R: Recorder> Engine<'t, R> {
                     "zone {i}: billing {:?} inconsistent with state {:?}",
                     z.billing,
                     z.inst
+                );
+                assert!(
+                    z.notice_until.is_none() || z.inst.is_billable(),
+                    "zone {i}: interruption notice pending on a non-billable zone"
                 );
             }
             assert!(

@@ -91,7 +91,7 @@ impl<'t, R: Recorder> Engine<'t, R> {
 /// on-demand instance. Cost for the paper's 20-hour job: $48.00.
 pub fn on_demand_run(start: SimTime, cfg: &ExperimentConfig) -> RunResult {
     let finish = start + cfg.app.work;
-    let cost = redspot_market::on_demand_cost(start, finish);
+    let cost = cfg.era.rules().on_demand_cost(start, finish);
     RunResult {
         cost,
         spot_cost: Price::ZERO,

@@ -458,3 +458,170 @@ mod extension_tests {
         assert_eq!(r.io_cost, Price::ZERO);
     }
 }
+
+mod billing_edges {
+    //! Regression pins for the hour-boundary billing edges and the
+    //! `MarketRules` era abstraction.
+
+    use super::*;
+    use crate::run::TerminationCause;
+    use redspot_ckpt::CkptCosts;
+    use redspot_market::{ApiFaultPlan, Era};
+
+    /// One zone whose price alternates between `a` and `b` every hour.
+    fn alternating(a: u64, b: u64, hours: u64) -> TraceSet {
+        let samples: Vec<Price> = (0..hours * 12)
+            .map(|s| if (s / 12) % 2 == 0 { m(a) } else { m(b) })
+            .collect();
+        TraceSet::new(vec![PriceSeries::new(SimTime::ZERO, samples)])
+    }
+
+    /// Satellite: `process_hour_boundaries` used to fix the new hour's
+    /// rate from the *true* trace price, bypassing the stale-observation
+    /// semantics every other scheduler decision honours. With flaky
+    /// price reads, some boundary must now be fixed at a stale rate —
+    /// one that differs from the price actually in effect at the hour's
+    /// start — which the raw-trace path could never produce.
+    #[test]
+    fn boundary_rate_honours_stale_observations() {
+        let traces = alternating(270, 500, 40);
+        let mut cfg = cfg_1zone();
+        cfg.api = ApiFaultPlan {
+            p_price_error: 0.5,
+            ..ApiFaultPlan::none()
+        };
+        cfg.seed = 7;
+        let r = run_with(&traces, cfg, PolicyKind::Periodic);
+        assert!(r.met_deadline);
+        assert!(r.api.stale_price_reads > 0, "fault plan never fired");
+        // `HourCharged.rate` is the charged hour's rate, fixed one hour
+        // before `at`; under the old code it always equalled the trace.
+        let stale_fixed = r.events.iter().any(|e| match e {
+            Event::HourCharged { at, zone, rate } => {
+                *rate != traces.price_at(*zone, at.saturating_sub(SimDuration::from_hours(1)))
+            }
+            _ => false,
+        });
+        assert!(
+            stale_fixed,
+            "no boundary was ever fixed at a stale observed rate"
+        );
+    }
+
+    /// Satellite: when `t_c` exceeds the time left in the billing hour,
+    /// the retirement-checkpoint wake-up (`boundary - t_c`) lands in the
+    /// past and used to be dropped silently. It is now clamped to fire
+    /// immediately: the checkpoint starts at the retirement instant (and
+    /// is aborted at the boundary when it cannot fit — pre-existing stop
+    /// semantics), instead of never being attempted.
+    #[test]
+    fn large_tc_retirement_checkpoint_fires_immediately() {
+        // A falling in-bid price step at t = 900 s gives the controller a
+        // mid-hour instant to retire at; RisingEdge never checkpoints on
+        // falling prices, so the only checkpoint is the retirement one.
+        let mut samples = vec![m(280); 3];
+        samples.extend(vec![m(270); 40 * 12 - 3]);
+        let traces = TraceSet::new(vec![PriceSeries::new(SimTime::ZERO, samples)]);
+        let mut cfg = cfg_1zone();
+        cfg.costs = CkptCosts::new(
+            SimDuration::from_secs(3_000), // t_c far beyond the 2 700 s left
+            SimDuration::from_secs(300),
+        );
+        let mut e = Engine::with_delay_model(
+            &traces,
+            SimTime::ZERO,
+            cfg,
+            PolicyKind::RisingEdge.build(),
+            DelayModel::zero(),
+        );
+        while e.now() < SimTime::from_secs(900) {
+            e.step();
+        }
+        assert_eq!(e.now(), SimTime::from_secs(900));
+        assert!(e.zone_state(0).is_up());
+        e.set_active(0, false); // retire at 900 s; boundary at 3 600 s
+        let r = e.run();
+        assert!(r.met_deadline);
+        let started_at_retire = r.events.iter().any(
+            |e| matches!(e, Event::CheckpointStarted { at, .. } if *at == SimTime::from_secs(900)),
+        );
+        assert!(
+            started_at_retire,
+            "retirement checkpoint was not attempted immediately"
+        );
+        let aborted_at_boundary = r.events.iter().any(
+            |e| matches!(e, Event::CheckpointAborted { at, .. } if *at == SimTime::from_secs(3_600)),
+        );
+        assert!(
+            aborted_at_boundary,
+            "oversized checkpoint must abort at the stop"
+        );
+        let stopped = r.events.iter().any(|e| {
+            matches!(
+                e,
+                Event::Terminated { at, cause: TerminationCause::Voluntary, .. }
+                    if *at == SimTime::from_secs(3_600)
+            )
+        });
+        assert!(stopped, "retired zone must stop at its boundary");
+    }
+
+    /// Modern era on a stable market: per-second billing never exceeds
+    /// the classic ceiling-of-started-hours charge for the same run.
+    #[test]
+    fn modern_era_never_bills_more_than_classic_on_stable_market() {
+        let traces = flat(270, 1, 40);
+        let classic = run_with(&traces, cfg_1zone(), PolicyKind::Periodic);
+        let modern = run_with(
+            &traces,
+            cfg_1zone().with_era(Era::Modern),
+            PolicyKind::Periodic,
+        );
+        assert!(classic.met_deadline && modern.met_deadline);
+        assert!(!classic.used_on_demand && !modern.used_on_demand);
+        assert!(
+            modern.cost <= classic.cost,
+            "per-second {} exceeded hourly {}",
+            modern.cost,
+            classic.cost
+        );
+        assert!(modern.cost > Price::ZERO);
+    }
+
+    /// Modern era under a demand spike: a binding two-minute notice is
+    /// issued, the engine drains (final checkpoint inside the window),
+    /// and the instance is reclaimed exactly at expiry.
+    #[test]
+    fn modern_notice_drains_then_reclaims() {
+        let traces = flat_with_spike(300, 1, 60, 0, 5, 8, 2_000);
+        let mut cfg = cfg_1zone().with_slack_percent(50).with_era(Era::Modern);
+        cfg.costs = CkptCosts::symmetric_secs(100); // drain fits the window
+        let r = run_with(&traces, cfg, PolicyKind::Periodic);
+        assert!(r.met_deadline);
+        let spike = SimTime::from_hours(5);
+        let reclaim = spike + SimDuration::from_secs(120);
+        let notice = r.events.iter().find_map(|e| match e {
+            Event::InterruptionNotice {
+                at, terminate_at, ..
+            } => Some((*at, *terminate_at)),
+            _ => None,
+        });
+        assert_eq!(notice, Some((spike, reclaim)), "notice mis-timed");
+        let drained = r.events.iter().any(|e| {
+            matches!(
+                e,
+                Event::CheckpointCommitted { at, .. }
+                    if *at > spike && *at <= reclaim
+            )
+        });
+        assert!(drained, "no drain checkpoint committed inside the window");
+        let reclaimed = r.events.iter().any(|e| {
+            matches!(
+                e,
+                Event::Terminated { at, cause: TerminationCause::OutOfBid, .. } if *at == reclaim
+            )
+        });
+        assert!(reclaimed, "instance not reclaimed at notice expiry");
+        assert_eq!(r.out_of_bid_terminations, 1);
+    }
+}

@@ -6,14 +6,14 @@ use crate::run::{Event, TerminationCause};
 use crate::supervisor::{DenyReason, RequestOutcome};
 use crate::telemetry::Recorder;
 use rand::Rng;
-use redspot_market::{ApiError, InstanceState, SpotBilling, StopCause};
+use redspot_market::{ApiError, InstanceState, Meter, StopCause};
 use redspot_trace::{Price, SimDuration, SimTime};
 
 /// Per-zone runtime state.
 #[derive(Debug, Clone)]
 pub(super) struct ZoneRt {
     pub(super) inst: InstanceState,
-    pub(super) billing: Option<SpotBilling>,
+    pub(super) billing: Option<Meter>,
     /// Bid attached to the current request (spot requests are fixed-bid;
     /// an engine-level bid change only affects *future* requests).
     pub(super) bid: Price,
@@ -31,6 +31,11 @@ pub(super) struct ZoneRt {
     /// Initialized to the experiment start, so it never gates anything
     /// until a boot failure pushes it forward.
     pub(super) blocked_until: SimTime,
+    /// A pending provider interruption notice: the instance will be
+    /// reclaimed at this instant (modern era only; always `None` under
+    /// [`Era::Classic`](redspot_market::Era::Classic)). Binding — a
+    /// price recovery does not cancel it.
+    pub(super) notice_until: Option<SimTime>,
 }
 
 impl<'t, R: Recorder> Engine<'t, R> {
@@ -44,10 +49,16 @@ impl<'t, R: Recorder> Engine<'t, R> {
             let price = self.traces.price_at(self.cfg.zones[i], self.now);
             match self.zones[i].inst {
                 InstanceState::Up | InstanceState::Booting { .. } => {
-                    if price > self.zones[i].bid {
-                        self.terminate_out_of_bid(i);
-                        report.termination = true;
-                        acted = true;
+                    if self.rules().uses_bids() {
+                        // Classic: the bid is a hard limit; crossing it
+                        // kills the instance abruptly.
+                        if price > self.zones[i].bid {
+                            self.terminate_out_of_bid(i);
+                            report.termination = true;
+                            acted = true;
+                        }
+                    } else {
+                        acted |= self.modern_market_tick(i, price, report);
                     }
                 }
                 InstanceState::Down if self.zones[i].active => {
@@ -100,12 +111,79 @@ impl<'t, R: Recorder> Engine<'t, R> {
         acted
     }
 
+    /// One market-scan step for a billable zone under the modern regime:
+    /// per-second meter upkeep, notice expiry, and notice issue.
+    ///
+    /// There are no user bids post-2017 — the configured bid is
+    /// reinterpreted as the capacity-reclaim threshold: when the spot
+    /// price (a proxy for zone-level demand) rises above it, the provider
+    /// issues a binding two-minute [`Event::InterruptionNotice`] instead
+    /// of killing the instance outright. The engine drains into the
+    /// window — it takes a final checkpoint when one fits — and the
+    /// instance is reclaimed at expiry with interruption (provider-stop)
+    /// billing. A price recovery does not cancel a pending notice.
+    fn modern_market_tick(&mut self, i: usize, price: Price, report: &mut StepReport) -> bool {
+        let rules = self.rules();
+        let mut acted = false;
+
+        // Per-second billing: close the open segment at every in-bid
+        // price movement so each second is charged at its actual rate.
+        if let Some(m) = self.zones[i].billing.as_mut() {
+            if m.current_rate() != price {
+                rules.note_price(m, self.now, price);
+                acted = true;
+            }
+        }
+
+        // A pending notice expires: the provider reclaims the instance.
+        if let Some(expiry) = self.zones[i].notice_until {
+            if self.now >= expiry {
+                self.terminate_out_of_bid(i);
+                report.termination = true;
+                // The reclaim is a capacity signal; let the degradation
+                // ladder react (shed the contended zone, or spill to
+                // on-demand when the surviving set keeps being reclaimed).
+                self.note_capacity_denial(i);
+                return true;
+            }
+            // Binding: no re-issue, no cancellation.
+            return acted;
+        }
+
+        // Demand crossed the reclaim threshold: issue the notice.
+        if price > self.zones[i].bid {
+            let terminate_at = self.now
+                + rules
+                    .interruption_notice()
+                    .expect("bidless regimes give interruption notices");
+            self.zones[i].notice_until = Some(terminate_at);
+            let zone = self.cfg.zones[i];
+            self.record(Event::InterruptionNotice {
+                at: self.now,
+                zone,
+                terminate_at,
+            });
+            self.with_ctx(|policy, ctx| policy.interruption_notice(ctx, i, terminate_at));
+            // Checkpoint-and-drain: if the doomed zone leads and a final
+            // checkpoint fits inside the window, start it immediately so
+            // the progress survives the reclaim.
+            if self.ckpt.is_none()
+                && self.leader() == Some(i)
+                && self.now + self.cfg.costs.checkpoint <= terminate_at
+            {
+                self.begin_checkpoint(i);
+            }
+            acted = true;
+        }
+        acted
+    }
+
     /// The scheduler-side price for configured zone `i`: the supervisor's
     /// latest (possibly stale) observation. A failed read falls back to
     /// the last known price and records the staleness window; `None` only
     /// if the zone's price has never been observed. Identical to the true
     /// trace price under [`ApiFaultPlan::none`](redspot_market::ApiFaultPlan::none).
-    fn observed_price(&mut self, i: usize) -> Option<Price> {
+    pub(super) fn observed_price(&mut self, i: usize) -> Option<Price> {
         let zone = self.cfg.zones[i];
         let (view, stale) = self.supervisor.observe_price(i, zone, self.now)?;
         if stale {
@@ -153,7 +231,7 @@ impl<'t, R: Recorder> Engine<'t, R> {
                 let ready_at = self.now + latency + boot;
                 let rate = self.traces.price_at(zone, self.now);
                 self.zones[i].inst = InstanceState::Booting { ready_at };
-                self.zones[i].billing = Some(SpotBilling::launch(self.now, rate));
+                self.zones[i].billing = Some(self.rules().launch_meter(self.now, rate));
                 self.zones[i].bid = self.cfg.bid;
                 self.record(Event::Requested {
                     at: self.now,
@@ -323,10 +401,14 @@ impl<'t, R: Recorder> Engine<'t, R> {
             .billing
             .take()
             .expect("booting zone has billing");
-        // Out-of-bid stop semantics: the failed partial hour is free.
-        let charged = billing.stop(self.now, StopCause::OutOfBid);
+        // Provider-stop semantics: the failed partial hour is free
+        // (classic), or free inside the first hour (modern).
+        let charged = self
+            .rules()
+            .stop_meter(billing, self.now, StopCause::OutOfBid);
         self.spot_cost += charged;
         self.zones[i].inst = InstanceState::Down;
+        self.zones[i].notice_until = None;
         // The provider reclaimed the slot without a terminate call; give
         // any capacity unit the request debited back to the pool.
         self.supervisor.release(self.cfg.zones[i], self.now);
@@ -376,10 +458,13 @@ impl<'t, R: Recorder> Engine<'t, R> {
             .billing
             .take()
             .expect("billable zone has billing");
-        let charged = billing.stop(self.now, StopCause::OutOfBid);
+        let charged = self
+            .rules()
+            .stop_meter(billing, self.now, StopCause::OutOfBid);
         self.spot_cost += charged;
         self.replicas.stop(i);
         self.zones[i].inst = InstanceState::Down;
+        self.zones[i].notice_until = None;
         self.supervisor.release(self.cfg.zones[i], self.now);
         self.record(Event::ZoneBlackout {
             at: self.now,
@@ -397,15 +482,21 @@ impl<'t, R: Recorder> Engine<'t, R> {
         }
     }
 
+    /// A provider-initiated kill: the classic out-of-bid termination, or
+    /// the modern reclaim at notice expiry. Billed under provider-stop
+    /// rules either way.
     fn terminate_out_of_bid(&mut self, i: usize) {
         let billing = self.zones[i]
             .billing
             .take()
             .expect("billable zone has billing");
-        let charged = billing.stop(self.now, StopCause::OutOfBid);
+        let charged = self
+            .rules()
+            .stop_meter(billing, self.now, StopCause::OutOfBid);
         self.spot_cost += charged;
         self.replicas.stop(i);
         self.zones[i].inst = InstanceState::Down;
+        self.zones[i].notice_until = None;
         self.supervisor.release(self.cfg.zones[i], self.now);
         self.oob_terminations += 1;
         self.record(Event::Terminated {
@@ -427,6 +518,7 @@ impl<'t, R: Recorder> Engine<'t, R> {
 
     pub(super) fn stop_zone(&mut self, i: usize, cause: StopCause, reason: TerminationCause) {
         if let Some(mut billing) = self.zones[i].billing.take() {
+            let rules = self.rules();
             let zone = self.cfg.zones[i];
             let mut stop_at = self.now;
             if matches!(cause, StopCause::User) {
@@ -436,14 +528,28 @@ impl<'t, R: Recorder> Engine<'t, R> {
                 let lag = self.supervisor.terminate(zone, self.now);
                 if lag > SimDuration::ZERO {
                     stop_at = self.now + lag;
-                    // Settle hour boundaries crossed during the lag at the
+                    // Settle billing periods crossed during the lag at the
                     // true trace rates, silently: the charges land in
                     // `charged` below and every event stays stamped `now`,
-                    // keeping the log time-ordered.
-                    while billing.next_boundary() < stop_at {
-                        let b_at = billing.next_boundary();
+                    // keeping the log time-ordered. Classic settles hour
+                    // boundaries; modern closes per-second segments at
+                    // each price change inside the lag.
+                    while let Some(b_at) = rules.next_settlement(&billing) {
+                        if b_at >= stop_at {
+                            break;
+                        }
                         let rate = self.traces.price_at(zone, b_at);
-                        billing.on_hour_boundary(b_at, rate);
+                        rules.settle(&mut billing, b_at, rate);
+                    }
+                    if rules.next_settlement(&billing).is_none() {
+                        let mut t = self.now;
+                        while let Some((at, rate)) = self.traces.zone(zone).next_price_change(t) {
+                            if at >= stop_at {
+                                break;
+                            }
+                            rules.note_price(&mut billing, at, rate);
+                            t = at;
+                        }
                     }
                     self.record(Event::TerminateLagged {
                         at: self.now,
@@ -452,7 +558,7 @@ impl<'t, R: Recorder> Engine<'t, R> {
                     });
                 }
             }
-            let charged = billing.stop(stop_at, cause);
+            let charged = rules.stop_meter(billing, stop_at, cause);
             self.spot_cost += charged;
             self.record(Event::Terminated {
                 at: self.now,
@@ -464,6 +570,7 @@ impl<'t, R: Recorder> Engine<'t, R> {
         self.replicas.stop(i);
         self.zones[i].inst = InstanceState::Down;
         self.zones[i].retire = false;
+        self.zones[i].notice_until = None;
         if let Some(c) = self.ckpt {
             if c.zone == i {
                 self.ckpt = None;

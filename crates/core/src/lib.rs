@@ -31,6 +31,7 @@ pub use engine::{on_demand_run, Engine, Snapshot, StepReport, ZoneSnapshot};
 pub use faults::FaultPlan;
 pub use policy::{Policy, PolicyCtx, PolicyKind};
 pub use redspot_market::ApiFaultPlan;
+pub use redspot_market::{Classic2014, Era, MarketRules, Modern2017};
 pub use redspot_markov::{MemoStats, UptimeMemo};
 pub use run::{ApiStats, Event, RunResult, TerminationCause};
 pub use supervisor::{DenyReason, PriceView, RequestOutcome, Supervisor};

@@ -100,6 +100,15 @@ pub trait Policy: Send {
         false
     }
 
+    /// The provider announced it will reclaim configured zone `idx` at
+    /// `terminate_at` (modern era's 2-minute interruption notice). The
+    /// engine already drains the zone — it checkpoints the leader inside
+    /// the notice window when it can — so the default is a no-op; policies
+    /// override this to adjust their own schedules (pull an alarm
+    /// forward, mark a zone unattractive, …). Never called in the
+    /// classic era.
+    fn interruption_notice(&mut self, _ctx: &PolicyCtx, _idx: usize, _terminate_at: SimTime) {}
+
     /// Attach a batch-shared Markov memoization table (owned by the batch
     /// plane's `MarketCtx`, scoped to one trace set). Policies that
     /// estimate uptimes route their model builds and queries through it;

@@ -92,6 +92,16 @@ pub enum Event {
         /// Rate fixed at the start of the charged hour.
         rate: Price,
     },
+    /// The provider announced it will reclaim a spot instance (modern
+    /// era): the zone has until `terminate_at` to checkpoint and drain.
+    InterruptionNotice {
+        /// When the notice arrived.
+        at: SimTime,
+        /// Zone being reclaimed.
+        zone: ZoneId,
+        /// Instant the instance will be terminated.
+        terminate_at: SimTime,
+    },
     /// The user moved the deadline at runtime (Section 3.2).
     DeadlineChanged {
         /// When.
@@ -262,6 +272,7 @@ impl Event {
             | Event::CheckpointAborted { at, .. }
             | Event::SwitchedToOnDemand { at, .. }
             | Event::HourCharged { at, .. }
+            | Event::InterruptionNotice { at, .. }
             | Event::DeadlineChanged { at, .. }
             | Event::AdaptiveSwitch { at, .. }
             | Event::CheckpointWriteFailed { at, .. }

@@ -184,6 +184,8 @@ pub struct RunMetrics {
     pub deadline_changes: u64,
     /// Full billing hours charged at a boundary.
     pub hours_charged: u64,
+    /// Provider interruption notices issued (modern era only).
+    pub interruption_notices: u64,
     /// Runs that emitted `Completed`.
     pub completed: u64,
     /// Spot spend settled at instance stops (`Terminated.charged`) —
@@ -237,6 +239,7 @@ impl RunMetrics {
         self.adaptive_switches += other.adaptive_switches;
         self.deadline_changes += other.deadline_changes;
         self.hours_charged += other.hours_charged;
+        self.interruption_notices += other.interruption_notices;
         self.completed += other.completed;
         self.spot_charged += other.spot_charged;
         self.dwell.merge(&other.dwell);
@@ -376,6 +379,7 @@ impl Recorder for MetricsRecorder {
             // settled (accrued) into `Terminated.charged` when the
             // instance stops, so counting it here would double-bill.
             Event::HourCharged { .. } => self.m.hours_charged += 1,
+            Event::InterruptionNotice { .. } => self.m.interruption_notices += 1,
             Event::Completed { .. } => self.m.completed += 1,
         }
     }

@@ -80,6 +80,7 @@ proptest! {
             faults: redspot_core::FaultPlan::none(),
             api: redspot_core::ApiFaultPlan::none(),
             degrade: redspot_core::DegradePolicy::off(),
+            era: redspot_core::Era::Classic,
         };
         cfg.deadline = cfg.app.work + SimDuration::from_secs(cfg.app.work.secs() * slack_pct / 100);
         if let PolicyKind::LargeBid(_) = kind {

@@ -15,7 +15,7 @@
 use crate::exec::RunRequest;
 use crate::scheme::{RunSpec, Scheme};
 use crate::windows::{experiment_starts, run_span_for};
-use redspot_core::{ExperimentConfig, FaultPlan, MarketCtx, PolicyKind};
+use redspot_core::{Era, ExperimentConfig, FaultPlan, MarketCtx, PolicyKind};
 use redspot_trace::gen::GenConfig;
 use redspot_trace::Price;
 
@@ -67,10 +67,15 @@ impl Chaos {
 }
 
 /// Run the sweep: every intensity × scheme × `n_starts` start times on a
-/// high-volatility market. `threads = 0` means one worker per CPU.
-pub fn study(seed: u64, intensities: &[f64], n_starts: usize, threads: usize) -> Chaos {
+/// high-volatility market. `threads = 0` means one worker per CPU. Under
+/// [`Era::Modern`] every run executes against the post-2017 market rules
+/// (per-second billing, interruption notices) — the zero-violation
+/// requirement is era-independent.
+pub fn study(seed: u64, intensities: &[f64], n_starts: usize, threads: usize, era: Era) -> Chaos {
     let traces = GenConfig::high_volatility(seed).generate();
-    let base = ExperimentConfig::paper_default().with_slack_percent(15);
+    let base = ExperimentConfig::paper_default()
+        .with_slack_percent(15)
+        .with_era(era);
     let bid = Price::from_millis(810);
     let starts = experiment_starts(&traces, run_span_for(base.deadline), n_starts);
     let mkt = MarketCtx::new(traces.clone());
@@ -160,7 +165,7 @@ mod tests {
 
     #[test]
     fn guarantee_survives_the_sweep() {
-        let c = study(17, &[0.0, 0.6], 4, 0);
+        let c = study(17, &[0.0, 0.6], 4, 0, Era::Classic);
         assert_eq!(c.cells.len(), 6); // 3 schemes x 2 intensities
         assert_eq!(
             c.total_violations(),
@@ -176,7 +181,7 @@ mod tests {
 
     #[test]
     fn faults_degrade_cost_not_deadlines() {
-        let c = study(17, &[0.0, 0.8], 4, 0);
+        let c = study(17, &[0.0, 0.8], 4, 0, Era::Classic);
         // At least one scheme should actually get more expensive under
         // heavy faults — otherwise the injection is not doing anything.
         let degraded = c

@@ -15,7 +15,7 @@
 use crate::exec::RunRequest;
 use crate::scheme::{RunSpec, Scheme};
 use crate::windows::{experiment_starts, run_span_for};
-use redspot_core::{ApiFaultPlan, ExperimentConfig, FaultPlan, MarketCtx, PolicyKind};
+use redspot_core::{ApiFaultPlan, Era, ExperimentConfig, FaultPlan, MarketCtx, PolicyKind};
 use redspot_trace::gen::GenConfig;
 use redspot_trace::Price;
 
@@ -86,9 +86,12 @@ pub fn study(
     n_starts: usize,
     threads: usize,
     composed: bool,
+    era: Era,
 ) -> ChaosApi {
     let traces = GenConfig::high_volatility(seed).generate();
-    let base = ExperimentConfig::paper_default().with_slack_percent(15);
+    let base = ExperimentConfig::paper_default()
+        .with_slack_percent(15)
+        .with_era(era);
     let bid = Price::from_millis(810);
     let starts = experiment_starts(&traces, run_span_for(base.deadline), n_starts);
     let mkt = MarketCtx::new(traces.clone());
@@ -197,7 +200,7 @@ mod tests {
 
     #[test]
     fn guarantee_survives_the_sweep() {
-        let c = study(17, &[0.0, 0.6], 4, 0, false);
+        let c = study(17, &[0.0, 0.6], 4, 0, false, Era::Classic);
         assert_eq!(c.cells.len(), 6); // 3 schemes x 2 intensities
         assert_eq!(
             c.total_violations(),
@@ -213,7 +216,7 @@ mod tests {
 
     #[test]
     fn api_faults_surface_in_the_counters() {
-        let c = study(17, &[0.0, 0.8], 4, 0, false);
+        let c = study(17, &[0.0, 0.8], 4, 0, false, Era::Classic);
         // Baseline cells must be clean, faulted cells must show activity
         // — otherwise the injection is not reaching the engine.
         for cell in &c.cells {
@@ -237,7 +240,7 @@ mod tests {
 
     #[test]
     fn composed_mode_keeps_the_guarantee_with_both_planes_live() {
-        let c = study(17, &[0.0, 0.6], 4, 0, true);
+        let c = study(17, &[0.0, 0.6], 4, 0, true, Era::Classic);
         assert!(c.composed);
         assert_eq!(
             c.total_violations(),

@@ -18,7 +18,9 @@ use crate::fleet::{FleetJob, FleetRequest};
 use crate::scheme::{RunSpec, Scheme};
 use crate::windows::{experiment_starts, run_span_for};
 use redspot_ckpt::{AppSpec, CkptCosts};
-use redspot_core::{DegradePolicy, ExperimentConfig, FaultPlan, MarketCtx, PolicyKind, RunMetrics};
+use redspot_core::{
+    DegradePolicy, Era, ExperimentConfig, FaultPlan, MarketCtx, PolicyKind, RunMetrics,
+};
 use redspot_market::{ApiFaultPlan, CapacityPool, PoolStats};
 use redspot_trace::gen::GenConfig;
 use redspot_trace::{Price, SimDuration, ZoneId};
@@ -91,7 +93,13 @@ impl ChaosFleet {
 /// workloads, checkpoint-cost profiles, policies, redundancy degrees and
 /// staggered starts — the heterogeneity the fleet plane exists for.
 /// Adaptive is excluded so the same mix runs under bounded pools.
-pub fn fleet_mix(mkt: &MarketCtx, seed: u64, intensity: f64, n_jobs: usize) -> Vec<FleetJob> {
+pub fn fleet_mix(
+    mkt: &MarketCtx,
+    seed: u64,
+    intensity: f64,
+    n_jobs: usize,
+    era: Era,
+) -> Vec<FleetJob> {
     let traces = mkt.traces();
     let zones: Vec<ZoneId> = traces.zone_ids().collect();
     // Cluster the fleet inside one window (staggered by 2 h) so jobs
@@ -128,7 +136,8 @@ pub fn fleet_mix(mkt: &MarketCtx, seed: u64, intensity: f64, n_jobs: usize) -> V
                 .with_seed(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
                 .with_faults(FaultPlan::with_intensity(intensity))
                 .with_api_faults(ApiFaultPlan::with_intensity(intensity))
-                .with_degrade(DegradePolicy::standard());
+                .with_degrade(DegradePolicy::standard())
+                .with_era(era);
             cfg.app = AppSpec::new(SimDuration::from_hours(work_h));
             cfg.deadline = cfg.app.work + SimDuration::from_secs(cfg.app.work.secs() * slack / 100);
             cfg.costs = costs;
@@ -154,6 +163,7 @@ pub fn study(
     intensities: &[f64],
     n_jobs: usize,
     threads: usize,
+    era: Era,
 ) -> ChaosFleet {
     let traces = GenConfig::high_volatility(seed).generate();
     let n_zones = traces.zone_ids().count();
@@ -162,7 +172,7 @@ pub fn study(
     let mut metrics = RunMetrics::default();
     for &capacity in capacities {
         for &intensity in intensities {
-            let jobs = fleet_mix(&mkt, seed, intensity, n_jobs);
+            let jobs = fleet_mix(&mkt, seed, intensity, n_jobs, era);
             let pool = Arc::new(match capacity {
                 None => CapacityPool::unbounded(),
                 Some(u) => CapacityPool::uniform(n_zones, u),
@@ -230,7 +240,7 @@ mod tests {
 
     #[test]
     fn guarantee_survives_contention_and_composed_faults() {
-        let c = study(23, &[None, Some(2)], &[0.0, 0.5], 6, 0);
+        let c = study(23, &[None, Some(2)], &[0.0, 0.5], 6, 0, Era::Classic);
         assert_eq!(c.cells.len(), 4);
         assert_eq!(
             c.total_violations(),
@@ -256,7 +266,7 @@ mod tests {
 
     #[test]
     fn tight_capacity_fires_the_ladder() {
-        let c = study(23, &[Some(1)], &[0.0], 8, 0);
+        let c = study(23, &[Some(1)], &[0.0], 8, 0, Era::Classic);
         let cell = &c.cells[0];
         assert_eq!(cell.violations, 0, "{}", render(&c));
         assert!(

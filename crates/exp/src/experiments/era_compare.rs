@@ -1,0 +1,219 @@
+//! Era comparison: the paper's 2014 hourly market against the post-2017
+//! per-second regime, same traces, same schemes, same deadline.
+//!
+//! The paper's evaluation is anchored to the 2014 spot market: hourly
+//! billing fixed at boundaries, user bids, instant out-of-bid kills. The
+//! [`Era::Modern`] rules replace all three — per-second billing with a
+//! 60-second minimum, capacity-driven interruptions, and a binding
+//! two-minute notice the engine uses to checkpoint-and-drain. This study
+//! runs the chaos-study schemes under both regimes on identical traces
+//! and reports the cost and interruption profile side by side. The hard
+//! requirement is era-independent: **zero deadline violations** in every
+//! cell — the guarantee must survive the regime change, not just the
+//! market.
+
+use crate::exec::RunRequest;
+use crate::scheme::{RunSpec, Scheme};
+use crate::windows::{experiment_starts, run_span_for};
+use redspot_core::{Era, ExperimentConfig, MarketCtx, PolicyKind};
+use redspot_trace::gen::GenConfig;
+use redspot_trace::Price;
+
+/// One cell: a scheme under one market era.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EraCell {
+    /// Scheme label (see [`Scheme::label`]).
+    pub scheme: String,
+    /// Which market rules the cell ran under.
+    pub era: Era,
+    /// Median cost in dollars across starts.
+    pub median_cost: f64,
+    /// Mean provider terminations per run (out-of-bid kills under
+    /// Classic, notice-expiry reclaims under Modern).
+    pub mean_interruptions: f64,
+    /// Total two-minute interruption notices issued across the cell
+    /// (always zero under Classic — the 2014 market never warned).
+    pub notices: u64,
+    /// Fraction of runs that fell back to on-demand.
+    pub on_demand_rate: f64,
+    /// Runs that missed the deadline. Must be zero in both eras.
+    pub violations: usize,
+    /// Number of runs in the cell.
+    pub n_runs: usize,
+}
+
+/// The comparison result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EraCompare {
+    /// All cells, grouped by scheme then era (Classic first).
+    pub cells: Vec<EraCell>,
+}
+
+impl EraCompare {
+    /// Total deadline violations across both eras (must be zero).
+    pub fn total_violations(&self) -> usize {
+        self.cells.iter().map(|c| c.violations).sum()
+    }
+
+    /// Modern-over-Classic cost ratio for a scheme (< 1.0 means the
+    /// per-second regime was cheaper), if both cells exist.
+    pub fn modern_ratio(&self, scheme: &str) -> Option<f64> {
+        let classic = self
+            .cells
+            .iter()
+            .find(|c| c.scheme == scheme && c.era == Era::Classic)?;
+        let modern = self
+            .cells
+            .iter()
+            .find(|c| c.scheme == scheme && c.era == Era::Modern)?;
+        if classic.median_cost <= 0.0 {
+            return None;
+        }
+        Some(modern.median_cost / classic.median_cost)
+    }
+}
+
+/// Run the comparison: every scheme × era × `n_starts` start times on a
+/// high-volatility market. `threads = 0` means one worker per CPU.
+pub fn study(seed: u64, n_starts: usize, threads: usize) -> EraCompare {
+    let traces = GenConfig::high_volatility(seed).generate();
+    let base = ExperimentConfig::paper_default().with_slack_percent(15);
+    let bid = Price::from_millis(810);
+    let starts = experiment_starts(&traces, run_span_for(base.deadline), n_starts);
+    let mkt = MarketCtx::new(traces.clone());
+    let schemes = [
+        Scheme::Single {
+            kind: PolicyKind::Periodic,
+            zone: redspot_trace::ZoneId(0),
+        },
+        Scheme::Redundant {
+            kind: PolicyKind::Periodic,
+            zones: traces.zone_ids().collect(),
+        },
+        Scheme::Redundant {
+            kind: PolicyKind::MarkovDaly,
+            zones: traces.zone_ids().collect(),
+        },
+    ];
+
+    let mut cells = Vec::new();
+    for scheme in &schemes {
+        for era in [Era::Classic, Era::Modern] {
+            let cfg = base.clone().with_era(era);
+            let specs: Vec<RunSpec> = starts
+                .iter()
+                .map(|&start| RunSpec {
+                    start,
+                    bid,
+                    scheme: scheme.clone(),
+                })
+                .collect();
+            let outcome = RunRequest::new(&mkt, &cfg, &specs)
+                .threads(threads)
+                .metered(true)
+                .execute()
+                .expect("era-compare config is valid");
+            let results = &outcome.results;
+            let metrics = outcome.metrics.as_ref().expect("metered batch");
+            let costs: Vec<f64> = results.iter().map(|r| r.cost_dollars()).collect();
+            let n_runs = results.len();
+            cells.push(EraCell {
+                scheme: scheme.label(),
+                era,
+                median_cost: crate::report::median(&costs),
+                mean_interruptions: results
+                    .iter()
+                    .map(|r| r.out_of_bid_terminations as f64)
+                    .sum::<f64>()
+                    / n_runs.max(1) as f64,
+                notices: metrics.interruption_notices,
+                on_demand_rate: results.iter().filter(|r| r.used_on_demand).count() as f64
+                    / n_runs.max(1) as f64,
+                violations: results.iter().filter(|r| !r.met_deadline).count(),
+                n_runs,
+            });
+        }
+    }
+    EraCompare { cells }
+}
+
+/// Render the comparison as a table.
+pub fn render(c: &EraCompare) -> String {
+    let mut out = String::from(
+        "Era comparison: 2014 hourly market vs post-2017 per-second market\n\
+         (high volatility, 15% slack, B = $0.81 — Modern reads the bid as a reclaim threshold)\n\n  \
+         scheme      era       median cost   vs classic   interruptions   notices   on-demand   violations\n",
+    );
+    for cell in &c.cells {
+        let ratio = if cell.era == Era::Modern {
+            c.modern_ratio(&cell.scheme)
+                .map_or("       -".to_string(), |r| format!("{:>7.2}x", r))
+        } else {
+            "       -".to_string()
+        };
+        out.push_str(&format!(
+            "  {:<10} {:<8}  ${:>10.2}   {ratio}   {:>13.1}   {:>7}   {:>8.0}%   {:>10}\n",
+            cell.scheme,
+            cell.era.label(),
+            cell.median_cost,
+            cell.mean_interruptions,
+            cell.notices,
+            cell.on_demand_rate * 100.0,
+            cell.violations,
+        ));
+    }
+    out.push_str(&format!(
+        "\n  total deadline violations: {} (guarantee requires 0 in both eras)\n",
+        c.total_violations()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarantee_holds_in_both_eras() {
+        let c = study(17, 3, 0);
+        assert_eq!(c.cells.len(), 6); // 3 schemes x 2 eras
+        assert_eq!(
+            c.total_violations(),
+            0,
+            "deadline violations in the era comparison:\n{}",
+            render(&c)
+        );
+        for cell in &c.cells {
+            assert!(cell.n_runs > 0);
+            assert!(cell.median_cost > 0.0, "{}", render(&c));
+        }
+    }
+
+    #[test]
+    fn notices_are_a_modern_phenomenon() {
+        let c = study(17, 3, 0);
+        for cell in &c.cells {
+            if cell.era == Era::Classic {
+                assert_eq!(cell.notices, 0, "classic issued a notice:\n{}", render(&c));
+            }
+        }
+        // The high-volatility window crosses the reclaim threshold, so at
+        // least one modern cell must have seen the two-minute warning.
+        assert!(
+            c.cells
+                .iter()
+                .any(|cell| cell.era == Era::Modern && cell.notices > 0),
+            "no interruption notices in any modern cell:\n{}",
+            render(&c)
+        );
+    }
+
+    #[test]
+    fn render_reports_both_eras() {
+        let c = study(11, 2, 0);
+        let text = render(&c);
+        assert!(text.contains("classic"));
+        assert!(text.contains("modern"));
+        assert!(text.contains("total deadline violations: 0"));
+    }
+}

@@ -5,6 +5,7 @@
 pub mod chaos;
 pub mod chaos_api;
 pub mod chaos_fleet;
+pub mod era_compare;
 pub mod fig2;
 pub mod fig4;
 pub mod fig5;

@@ -17,6 +17,7 @@ pub mod delay;
 pub mod instance;
 pub mod market;
 pub mod outage;
+pub mod rules;
 
 pub use api::{ApiError, ApiFaultPlan, ApiOk, ApiResult, CloudApi, FaultyApi, PerfectApi};
 pub use billing::{on_demand_cost, SpotBilling, StopCause};
@@ -25,3 +26,4 @@ pub use delay::DelayModel;
 pub use instance::{InstanceState, ZoneInstance};
 pub use market::SpotMarket;
 pub use outage::{OutageSchedule, OutageWindow};
+pub use rules::{Classic2014, Era, MarketRules, Meter, Modern2017};

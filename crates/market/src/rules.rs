@@ -1,0 +1,512 @@
+//! Pluggable market regimes: the [`MarketRules`] era abstraction.
+//!
+//! The engine was written against EC2's 2014 spot mechanics — hourly
+//! billing anchored at launch, free out-of-bid partial hours, user bids
+//! as the termination trigger, per-started-hour on-demand. Every one of
+//! those rules is a *market* fact, not a scheduling fact, so this module
+//! lifts them behind an object-safe trait with two implementations:
+//!
+//! * [`Classic2014`] — the paper's regime, bit-identical to the
+//!   pre-refactor engine (pinned by the golden suite and the
+//!   [`SpotBilling`] equivalence proptest below);
+//! * [`Modern2017`] — the post-2017 regime: per-second billing with a
+//!   60-second minimum on user stops, a free first hour when the
+//!   *provider* interrupts, no user bids (interruptions are
+//!   capacity-driven and arrive with a two-minute notice), and
+//!   per-second on-demand.
+//!
+//! Billing state lives in the era-neutral [`Meter`]; every operation on
+//! it routes through the rules object, so the engine never needs to know
+//! which era it is running under — it asks `next_settlement` for the next
+//! instant the meter must be touched (classic: the hour boundary; modern:
+//! never) and reports price movements through `note_price` (classic:
+//! ignored; modern: closes the per-second segment).
+
+use crate::billing::StopCause;
+use redspot_trace::{Price, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Seconds below which a modern-era user stop is still billed (the
+/// per-second regime's one-minute minimum).
+pub const MODERN_MIN_BILL_SECS: u64 = 60;
+
+/// Advance warning the modern provider gives before reclaiming an
+/// instance (EC2's two-minute interruption notice).
+pub const MODERN_NOTICE: SimDuration = SimDuration::from_secs(120);
+
+/// Which market regime an experiment runs under.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Era {
+    /// The paper's 2014 mechanics: hourly billing, user bids, abrupt
+    /// out-of-bid kills.
+    #[default]
+    Classic,
+    /// Post-2017 mechanics: per-second billing, no bids, capacity-driven
+    /// interruptions with a two-minute notice.
+    Modern,
+}
+
+impl Era {
+    /// The rules singleton for this era.
+    pub fn rules(self) -> &'static dyn MarketRules {
+        match self {
+            Era::Classic => &Classic2014,
+            Era::Modern => &Modern2017,
+        }
+    }
+
+    /// Stable lowercase label (CLI flag values, table headers).
+    pub fn label(self) -> &'static str {
+        match self {
+            Era::Classic => "classic",
+            Era::Modern => "modern",
+        }
+    }
+
+    /// Parse a CLI-style label.
+    pub fn parse(s: &str) -> Result<Era, String> {
+        match s {
+            "classic" | "2014" => Ok(Era::Classic),
+            "modern" | "2017" => Ok(Era::Modern),
+            other => Err(format!("unknown era: {other} (classic|modern)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Era {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Era-neutral billing state for one spot-instance run (launch → stop).
+/// All arithmetic on it goes through a [`MarketRules`] object; the
+/// fields mean slightly different things per era (classic: `accrued` is
+/// committed whole hours and `segment_start` is unused; modern:
+/// `accrued` is settled per-second segments and `next_boundary` is only
+/// a cadence anchor for policies).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Meter {
+    launch: SimTime,
+    next_boundary: SimTime,
+    current_rate: Price,
+    accrued: Price,
+    segment_start: SimTime,
+}
+
+impl Meter {
+    /// Launch instant.
+    pub fn launch(&self) -> SimTime {
+        self.launch
+    }
+
+    /// Rate currently in effect (classic: the hour's fixed rate; modern:
+    /// the rate of the open per-second segment).
+    pub fn current_rate(&self) -> Price {
+        self.current_rate
+    }
+
+    /// Charges settled so far (classic: completed hours; modern: closed
+    /// per-second segments).
+    pub fn accrued(&self) -> Price {
+        self.accrued
+    }
+
+    /// The next launch-anchored hour mark strictly after `now`. This is
+    /// the *cadence* the hour-oriented policies key on; in the classic
+    /// era it coincides with the billing boundary, in the modern era it
+    /// is only a scheduling rhythm (nothing settles there).
+    pub fn hour_anchor_after(&self, now: SimTime) -> SimTime {
+        now.next_hour_boundary(self.launch)
+    }
+}
+
+/// One market regime: everything era-specific the engine consults.
+/// Object-safe; obtain the singletons through [`Era::rules`].
+pub trait MarketRules: std::fmt::Debug + Send + Sync {
+    /// Which era these rules implement.
+    fn era(&self) -> Era;
+
+    /// Human-readable regime name.
+    fn name(&self) -> &'static str;
+
+    /// Whether user bids exist: if true, an instance dies the instant
+    /// the spot price exceeds its bid (classic). If false, the provider
+    /// reclaims capacity with an [interruption notice](Self::interruption_notice)
+    /// instead.
+    fn uses_bids(&self) -> bool;
+
+    /// Advance warning given before a provider-initiated reclaim, if
+    /// this regime gives one.
+    fn interruption_notice(&self) -> Option<SimDuration>;
+
+    /// Start metering a run launched at `at` under spot rate `rate`.
+    fn launch_meter(&self, at: SimTime, rate: Price) -> Meter;
+
+    /// The next instant the meter must be settled via [`Self::settle`]
+    /// (classic: the hour boundary). `None` means the meter never needs
+    /// periodic settlement (modern: charges close at price changes and
+    /// at the stop).
+    fn next_settlement(&self, m: &Meter) -> Option<SimTime>;
+
+    /// Settle the billing period ending at `at` and fix the next
+    /// period's rate to `new_rate`. Only called at instants returned by
+    /// [`Self::next_settlement`].
+    fn settle(&self, m: &mut Meter, at: SimTime, new_rate: Price);
+
+    /// Observe an in-bid price movement to `price` at `at`. Classic
+    /// ignores it (the hour's rate is fixed); modern closes the current
+    /// per-second segment at the old rate and opens one at the new.
+    fn note_price(&self, m: &mut Meter, at: SimTime, price: Price);
+
+    /// Finalize the meter at `at` and return the total charge.
+    fn stop_meter(&self, m: Meter, at: SimTime, cause: StopCause) -> Price;
+
+    /// On-demand cost for holding an instance over `[from, to)`.
+    fn on_demand_cost(&self, from: SimTime, to: SimTime) -> Price;
+}
+
+/// The paper's 2014 regime. Arithmetic is kept line-for-line parallel to
+/// [`SpotBilling`](crate::SpotBilling), which stays in the tree as the
+/// reference implementation; the `classic_meter_matches_spot_billing`
+/// proptest pins the two together, and the golden suite pins the engine
+/// built on top of this to the pre-refactor event streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Classic2014;
+
+impl MarketRules for Classic2014 {
+    fn era(&self) -> Era {
+        Era::Classic
+    }
+
+    fn name(&self) -> &'static str {
+        "classic-2014"
+    }
+
+    fn uses_bids(&self) -> bool {
+        true
+    }
+
+    fn interruption_notice(&self) -> Option<SimDuration> {
+        None
+    }
+
+    fn launch_meter(&self, at: SimTime, rate: Price) -> Meter {
+        Meter {
+            launch: at,
+            next_boundary: at.next_hour_boundary(at),
+            current_rate: rate,
+            accrued: Price::ZERO,
+            segment_start: at,
+        }
+    }
+
+    fn next_settlement(&self, m: &Meter) -> Option<SimTime> {
+        Some(m.next_boundary)
+    }
+
+    fn settle(&self, m: &mut Meter, at: SimTime, new_rate: Price) {
+        assert_eq!(at, m.next_boundary, "hour boundary out of sequence");
+        m.accrued += m.current_rate;
+        m.current_rate = new_rate;
+        m.next_boundary = at.next_hour_boundary(m.launch);
+    }
+
+    fn note_price(&self, _m: &mut Meter, _at: SimTime, _price: Price) {}
+
+    fn stop_meter(&self, m: Meter, at: SimTime, cause: StopCause) -> Price {
+        let hour_start = m.next_boundary.saturating_sub(SimDuration::from_hours(1));
+        let partial_started = at > hour_start;
+        match cause {
+            StopCause::OutOfBid => m.accrued,
+            StopCause::User => {
+                if partial_started {
+                    m.accrued + m.current_rate
+                } else {
+                    m.accrued
+                }
+            }
+        }
+    }
+
+    fn on_demand_cost(&self, from: SimTime, to: SimTime) -> Price {
+        Price::ON_DEMAND * to.since(from).billed_hours()
+    }
+}
+
+/// The post-2017 regime: per-second spot billing settled segment by
+/// segment at price changes, a 60-second minimum on user stops, a free
+/// first hour when the provider interrupts, per-second on-demand, no
+/// user bids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Modern2017;
+
+impl Modern2017 {
+    /// Per-second charge of the currently open segment up to `at`.
+    fn open_segment(m: &Meter, at: SimTime) -> Price {
+        m.current_rate.prorated(at.since(m.segment_start).secs())
+    }
+}
+
+impl MarketRules for Modern2017 {
+    fn era(&self) -> Era {
+        Era::Modern
+    }
+
+    fn name(&self) -> &'static str {
+        "modern-2017"
+    }
+
+    fn uses_bids(&self) -> bool {
+        false
+    }
+
+    fn interruption_notice(&self) -> Option<SimDuration> {
+        Some(MODERN_NOTICE)
+    }
+
+    fn launch_meter(&self, at: SimTime, rate: Price) -> Meter {
+        Meter {
+            launch: at,
+            // Kept advancing by `note_price`/`stop_meter` callers never;
+            // used only as the policies' hour-cadence anchor.
+            next_boundary: at.next_hour_boundary(at),
+            current_rate: rate,
+            accrued: Price::ZERO,
+            segment_start: at,
+        }
+    }
+
+    fn next_settlement(&self, _m: &Meter) -> Option<SimTime> {
+        None
+    }
+
+    fn settle(&self, _m: &mut Meter, _at: SimTime, _new_rate: Price) {
+        unreachable!("modern meters have no periodic settlement");
+    }
+
+    fn note_price(&self, m: &mut Meter, at: SimTime, price: Price) {
+        m.accrued += Modern2017::open_segment(m, at);
+        m.segment_start = at;
+        m.current_rate = price;
+    }
+
+    fn stop_meter(&self, m: Meter, at: SimTime, cause: StopCause) -> Price {
+        let ran = at.since(m.launch).secs();
+        match cause {
+            // Provider interruption inside the first hour: the whole run
+            // is free. Past it: pay exactly the seconds used.
+            StopCause::OutOfBid => {
+                if ran < SimDuration::from_hours(1).secs() {
+                    Price::ZERO
+                } else {
+                    m.accrued + Modern2017::open_segment(&m, at)
+                }
+            }
+            // User stop: pay the seconds used, padded to the one-minute
+            // minimum at the final rate.
+            StopCause::User => {
+                let mut total = m.accrued + Modern2017::open_segment(&m, at);
+                if ran < MODERN_MIN_BILL_SECS {
+                    total += m.current_rate.prorated(MODERN_MIN_BILL_SECS - ran);
+                }
+                total
+            }
+        }
+    }
+
+    fn on_demand_cost(&self, from: SimTime, to: SimTime) -> Price {
+        let secs = to.since(from).secs();
+        if secs == 0 {
+            return Price::ZERO;
+        }
+        Price::ON_DEMAND.prorated(secs.max(MODERN_MIN_BILL_SECS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpotBilling;
+    use proptest::prelude::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn p(d: f64) -> Price {
+        Price::from_dollars(d)
+    }
+
+    #[test]
+    fn era_round_trips_and_defaults_to_classic() {
+        assert_eq!(Era::default(), Era::Classic);
+        assert_eq!(Era::parse("classic").unwrap(), Era::Classic);
+        assert_eq!(Era::parse("modern").unwrap(), Era::Modern);
+        assert_eq!(Era::parse("2017").unwrap(), Era::Modern);
+        assert!(Era::parse("victorian").is_err());
+        assert_eq!(Era::Classic.rules().era(), Era::Classic);
+        assert_eq!(Era::Modern.rules().era(), Era::Modern);
+        assert_eq!(Era::Modern.to_string(), "modern");
+    }
+
+    #[test]
+    fn regimes_disagree_exactly_where_expected() {
+        let c = Era::Classic.rules();
+        let m = Era::Modern.rules();
+        assert!(c.uses_bids() && !m.uses_bids());
+        assert_eq!(c.interruption_notice(), None);
+        assert_eq!(m.interruption_notice(), Some(MODERN_NOTICE));
+    }
+
+    #[test]
+    fn classic_settlement_mirrors_spot_billing() {
+        let r = Era::Classic.rules();
+        let mut m = r.launch_meter(t(100), p(0.27));
+        assert_eq!(r.next_settlement(&m), Some(t(3_700)));
+        r.settle(&mut m, t(3_700), p(1.00));
+        assert_eq!(m.accrued(), p(0.27));
+        assert_eq!(m.current_rate(), p(1.00));
+        assert_eq!(r.next_settlement(&m), Some(t(7_300)));
+        assert_eq!(r.stop_meter(m, t(7_301), StopCause::User), p(1.27));
+    }
+
+    #[test]
+    fn modern_bills_per_second_across_segments() {
+        let r = Era::Modern.rules();
+        let mut m = r.launch_meter(t(0), p(0.36));
+        assert_eq!(r.next_settlement(&m), None);
+        // 1800 s at $0.36/h = $0.18, then 1800 s at $0.72/h = $0.36.
+        r.note_price(&mut m, t(1_800), p(0.72));
+        assert_eq!(m.accrued(), p(0.18));
+        assert_eq!(
+            r.stop_meter(m, t(3_600), StopCause::User),
+            p(0.18) + p(0.36)
+        );
+    }
+
+    #[test]
+    fn modern_user_stop_pays_the_minute_minimum() {
+        let r = Era::Modern.rules();
+        let m = r.launch_meter(t(0), p(0.36));
+        // 10 s used, billed as 60 s.
+        assert_eq!(
+            r.stop_meter(m, t(10), StopCause::User),
+            p(0.36).prorated(60)
+        );
+        // 60 s used: exactly the minimum, no padding.
+        let m = r.launch_meter(t(0), p(0.36));
+        assert_eq!(
+            r.stop_meter(m, t(60), StopCause::User),
+            p(0.36).prorated(60)
+        );
+    }
+
+    #[test]
+    fn modern_interruption_in_first_hour_is_free_after_it_is_not() {
+        let r = Era::Modern.rules();
+        let m = r.launch_meter(t(0), p(0.36));
+        assert_eq!(r.stop_meter(m, t(3_599), StopCause::OutOfBid), Price::ZERO);
+        let m = r.launch_meter(t(0), p(0.36));
+        assert_eq!(
+            r.stop_meter(m, t(5_400), StopCause::OutOfBid),
+            p(0.36).prorated(5_400)
+        );
+    }
+
+    #[test]
+    fn modern_on_demand_is_per_second_with_minimum() {
+        let r = Era::Modern.rules();
+        assert_eq!(r.on_demand_cost(t(0), t(0)), Price::ZERO);
+        assert_eq!(r.on_demand_cost(t(0), t(1)), Price::ON_DEMAND.prorated(60));
+        assert_eq!(r.on_demand_cost(t(0), t(3_600)), p(2.40));
+        // One second past the hour costs one extra second, not an hour.
+        assert_eq!(
+            r.on_demand_cost(t(0), t(3_601)),
+            Price::ON_DEMAND.prorated(3_601)
+        );
+        // Classic rounds the same span up to two full hours.
+        assert_eq!(Era::Classic.rules().on_demand_cost(t(0), t(3_601)), p(4.80));
+    }
+
+    #[test]
+    fn hour_anchor_is_the_launch_cadence() {
+        let r = Era::Modern.rules();
+        let m = r.launch_meter(t(100), p(0.36));
+        assert_eq!(m.hour_anchor_after(t(100)), t(3_700));
+        assert_eq!(m.hour_anchor_after(t(3_700)), t(7_300));
+        assert_eq!(m.hour_anchor_after(t(9_000)), t(10_900));
+    }
+
+    proptest! {
+        /// The inertness proof for the refactor: over arbitrary launch
+        /// instants, rates, boundary sequences and stop causes, the
+        /// classic meter charges bit-identically to the pre-refactor
+        /// [`SpotBilling`] reference.
+        #[test]
+        fn classic_meter_matches_spot_billing(
+            launch_secs in 0u64..20_000,
+            launch_rate in 1u64..5_000,
+            boundary_rates in proptest::collection::vec(1u64..5_000, 0..12),
+            stop_offset in 0u64..7_200,
+            user_stop in 0u64..2,
+        ) {
+            let rules = Era::Classic.rules();
+            let launch = t(launch_secs);
+            let rate = Price::from_millis(launch_rate);
+            let mut meter = rules.launch_meter(launch, rate);
+            let mut reference = SpotBilling::launch(launch, rate);
+
+            for &r in &boundary_rates {
+                let at = reference.next_boundary();
+                prop_assert_eq!(rules.next_settlement(&meter), Some(at));
+                let new_rate = Price::from_millis(r);
+                rules.settle(&mut meter, at, new_rate);
+                reference.on_hour_boundary(at, new_rate);
+                prop_assert_eq!(meter.accrued(), reference.accrued());
+                prop_assert_eq!(meter.current_rate(), reference.current_rate());
+            }
+
+            // Stop somewhere inside the currently open hour (or exactly
+            // on its start), under both causes.
+            let hour_start = reference
+                .next_boundary()
+                .saturating_sub(SimDuration::from_hours(1));
+            let at = t(hour_start.secs() + stop_offset % 3_600);
+            let cause = if user_stop == 1 { StopCause::User } else { StopCause::OutOfBid };
+            prop_assert_eq!(
+                rules.stop_meter(meter, at, cause),
+                reference.stop(at, cause)
+            );
+        }
+
+        /// Modern charges are exact per-second sums: a run with price
+        /// changes settled through `note_price` costs the same as the
+        /// sum of its segments computed independently.
+        #[test]
+        fn modern_meter_sums_segments_exactly(
+            rates in proptest::collection::vec((1u64..5_000, 1u64..4_000), 1..10),
+            tail in 60u64..4_000,
+        ) {
+            let rules = Era::Modern.rules();
+            let (first_rate, _) = rates[0];
+            let mut meter = rules.launch_meter(t(0), Price::from_millis(first_rate));
+            let mut expected = Price::ZERO;
+            let mut now = 0u64;
+            let mut rate = Price::from_millis(first_rate);
+            for &(next_rate, dur) in &rates[1..] {
+                expected += rate.prorated(dur);
+                now += dur;
+                rate = Price::from_millis(next_rate);
+                rules.note_price(&mut meter, t(now), rate);
+            }
+            expected += rate.prorated(tail);
+            now += tail;
+            // `now >= 60`, so no minimum padding interferes.
+            prop_assert_eq!(
+                rules.stop_meter(meter, t(now), StopCause::User),
+                expected
+            );
+        }
+    }
+}

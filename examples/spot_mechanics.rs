@@ -101,6 +101,12 @@ fn main() {
                 )
             }
             Event::HourCharged { rate, .. } => println!("{t:>5.2}h  S={s}  hour billed at {rate}"),
+            Event::InterruptionNotice { terminate_at, .. } => {
+                println!(
+                    "{t:>5.2}h  S={s}  interruption notice, reclaim at {:.2}h",
+                    terminate_at.as_hours()
+                )
+            }
             Event::SwitchedToOnDemand { .. } => println!("{t:>5.2}h  S={s}  migrated to on-demand"),
             Event::SpotRequestFailed { retry_at, .. } => {
                 println!(

@@ -1,0 +1,239 @@
+//! Era property tests: the deadline guarantee is *era-independent*.
+//!
+//! The paper proves Algorithm 1's guarantee against the 2014 hourly spot
+//! market. The [`Era::Modern`] rules replace every market assumption the
+//! proof leaned on — hourly settlement becomes per-second accrual,
+//! instant out-of-bid kills become capacity reclaims with a binding
+//! two-minute notice, user bids disappear. These properties pin that the
+//! guarantee survives the regime change under arbitrary markets,
+//! arbitrary policies, and both fault planes, and that the notice
+//! machinery obeys its own invariants (exactly two minutes of warning,
+//! the reclaim always lands, classic never warns).
+
+use proptest::prelude::*;
+use redspot::core::{ApiFaultPlan, Engine, Era, Event, FaultPlan};
+use redspot::prelude::*;
+use redspot::trace::gen::{GenConfig, ZoneRegime};
+
+/// An arbitrary (but bounded) market: arbitrary regime parameters per
+/// zone, arbitrary seed.
+fn arb_market() -> impl Strategy<Value = TraceSet> {
+    (
+        0u64..10_000,  // seed
+        100u64..900,   // calm base
+        900u64..4_000, // elevated base
+        0.0f64..0.2,   // p_calm_to_elevated
+        0.01f64..0.3,  // p_elevated_to_calm
+        0.0f64..0.05,  // p_spike
+    )
+        .prop_map(|(seed, calm, elev, p_up, p_down, p_spike)| {
+            let mk = |i: usize| ZoneRegime {
+                calm_base: calm + 10 * i as u64,
+                calm_jitter: calm / 8,
+                p_move: 0.2,
+                elevated_base: elev,
+                elevated_jitter: elev / 8,
+                p_calm_to_elevated: p_up,
+                p_elevated_to_calm: p_down,
+                p_spike,
+                spike_range: (elev, elev * 3),
+                spike_steps: (1, 12),
+            };
+            GenConfig {
+                zones: (0..3).map(mk).collect(),
+                duration: SimDuration::from_hours(24 * 5),
+                start: SimTime::ZERO,
+                seed,
+                common_amplitude: 5,
+            }
+            .generate()
+        })
+}
+
+fn arb_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Periodic),
+        Just(PolicyKind::MarkovDaly),
+        Just(PolicyKind::RisingEdge),
+        Just(PolicyKind::Threshold),
+    ]
+}
+
+/// Walk the event log holding the modern market to its own contract:
+/// every notice gives exactly the two-minute window, the noticed zone is
+/// actually gone by `terminate_at`, and no second notice lands on a zone
+/// already draining.
+fn check_notice_invariants(events: &[Event]) {
+    for (i, e) in events.iter().enumerate() {
+        let Event::InterruptionNotice {
+            at,
+            zone,
+            terminate_at,
+        } = *e
+        else {
+            continue;
+        };
+        assert_eq!(
+            terminate_at.since(at),
+            SimDuration::from_secs(120),
+            "notice window is not two minutes"
+        );
+        // Binding: the zone must stop (reclaim, user drain, blackout, or
+        // a failed boot — any stop satisfies the notice) no later than
+        // terminate_at.
+        let stopped = events[i..].iter().any(|f| match f {
+            Event::Terminated { at: t, zone: z, .. }
+            | Event::ZoneBlackout { at: t, zone: z, .. }
+            | Event::BootFailed { at: t, zone: z, .. } => {
+                *z == zone && *t >= at && *t <= terminate_at
+            }
+            _ => false,
+        });
+        assert!(
+            stopped,
+            "zone {zone:?} noticed at {at} outlived its terminate_at {terminate_at}"
+        );
+        // No overlapping notice on the same zone inside the window.
+        let overlapping = events[i + 1..].iter().any(|f| match f {
+            Event::InterruptionNotice { at: t, zone: z, .. } => *z == zone && *t < terminate_at,
+            _ => false,
+        });
+        assert!(!overlapping, "overlapping notices on {zone:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// THE guarantee, modern edition: any policy, any market, any slack —
+    /// per-second billing and notice-driven reclaims never make a run
+    /// late, and the notice machinery honours its contract.
+    #[test]
+    fn modern_era_always_meets_the_deadline(
+        traces in arb_market(),
+        kind in arb_policy(),
+        bid_millis in 100u64..3_200,
+        slack_pct in 10u64..60,
+        work_h in 4u64..12,
+        seed in 0u64..1_000,
+    ) {
+        let mut cfg = ExperimentConfig::paper_default()
+            .with_bid(Price::from_millis(bid_millis))
+            .with_seed(seed)
+            .with_era(Era::Modern);
+        cfg.app = AppSpec::new(SimDuration::from_hours(work_h));
+        cfg.deadline = cfg.app.work + SimDuration::from_secs(cfg.app.work.secs() * slack_pct / 100);
+        // The paper's t_c = 300 s exceeds the two-minute notice window;
+        // keep it — the drain checkpoint must simply be skipped then, and
+        // the deadline still has to hold from the last committed state.
+        let start = SimTime::from_hours(48);
+        let r = Engine::new(&traces, start, cfg.clone(), kind.build()).run();
+
+        prop_assert!(r.met_deadline, "{kind:?} missed the deadline under modern rules");
+        prop_assert_eq!(r.cost, r.spot_cost + r.od_cost);
+        check_notice_invariants(&r.events);
+    }
+
+    /// The guarantee survives the modern market *and* both fault planes
+    /// at once — infrastructure faults, a flaky control plane, and
+    /// notice-window draining in the same runs.
+    #[test]
+    fn modern_era_survives_composed_chaos(
+        traces in arb_market(),
+        kind in arb_policy(),
+        intensity in 0.0f64..0.8,
+        seed in 0u64..500,
+    ) {
+        let mut cfg = ExperimentConfig::paper_default()
+            .with_slack_percent(25)
+            .with_seed(seed)
+            .with_faults(FaultPlan::with_intensity(intensity))
+            .with_api_faults(ApiFaultPlan::with_intensity(intensity))
+            .with_era(Era::Modern);
+        cfg.app = AppSpec::new(SimDuration::from_hours(8));
+        cfg.deadline = SimDuration::from_hours(10);
+        let r = Engine::new(&traces, SimTime::from_hours(48), cfg, kind.build()).run();
+        prop_assert!(r.met_deadline, "{kind:?} missed the deadline under modern chaos");
+        check_notice_invariants(&r.events);
+    }
+
+    /// A drainable notice window commits progress: with t_c inside the
+    /// two-minute window, every noticed leader that had the checkpoint
+    /// slot free gets a commit before the reclaim.
+    #[test]
+    fn modern_era_meets_deadline_with_drainable_checkpoints(
+        traces in arb_market(),
+        tc in 30u64..120,
+        seed in 0u64..300,
+    ) {
+        let mut cfg = ExperimentConfig::paper_default()
+            .with_slack_percent(20)
+            .with_seed(seed)
+            .with_era(Era::Modern);
+        cfg.costs = CkptCosts::symmetric_secs(tc);
+        cfg.app = AppSpec::new(SimDuration::from_hours(8));
+        cfg.deadline = SimDuration::from_hours(10);
+        let r = Engine::new(&traces, SimTime::from_hours(48), cfg, PolicyKind::Periodic.build()).run();
+        prop_assert!(r.met_deadline);
+        check_notice_invariants(&r.events);
+    }
+
+    /// The classic era never warns: the 2014 market kills out-of-bid
+    /// instances instantly, so no run may ever record a notice.
+    #[test]
+    fn classic_era_never_issues_notices(
+        traces in arb_market(),
+        kind in arb_policy(),
+        seed in 0u64..300,
+    ) {
+        let mut cfg = ExperimentConfig::paper_default().with_seed(seed);
+        prop_assert_eq!(cfg.era, Era::Classic); // the default IS the paper
+        cfg.app = AppSpec::new(SimDuration::from_hours(6));
+        cfg.deadline = SimDuration::from_hours(8);
+        let r = Engine::new(&traces, SimTime::from_hours(48), cfg, kind.build()).run();
+        let notices = r.events.iter().filter(|e| matches!(e, Event::InterruptionNotice { .. })).count();
+        prop_assert_eq!(notices, 0, "classic era issued an interruption notice");
+    }
+
+    /// The modern engine is a pure function of (traces, config, policy):
+    /// reruns are bit-identical, notices included.
+    #[test]
+    fn modern_era_is_deterministic(traces in arb_market(), seed in 0u64..300) {
+        let mut cfg = ExperimentConfig::paper_default().with_era(Era::Modern);
+        cfg.seed = seed;
+        cfg.app = AppSpec::new(SimDuration::from_hours(6));
+        cfg.deadline = SimDuration::from_hours(8);
+        let start = SimTime::from_hours(48);
+        let a = Engine::new(&traces, start, cfg.clone(), PolicyKind::MarkovDaly.build()).run();
+        let b = Engine::new(&traces, start, cfg, PolicyKind::MarkovDaly.build()).run();
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn era_labels_round_trip() {
+    for era in [Era::Classic, Era::Modern] {
+        assert_eq!(Era::parse(era.label()).unwrap(), era);
+    }
+    assert_eq!(Era::parse("2014").unwrap(), Era::Classic);
+    assert_eq!(Era::parse("2017").unwrap(), Era::Modern);
+    assert!(Era::parse("hourly").is_err());
+    assert_eq!(Era::default(), Era::Classic);
+}
+
+/// A config serialized before the era existed deserializes as Classic:
+/// old artifacts and journals replay under the paper's rules.
+#[test]
+fn pre_era_configs_deserialize_as_classic() {
+    let cfg = ExperimentConfig::paper_default();
+    let mut json = serde_json::to_string(&cfg).unwrap();
+    let era_field = format!("\"era\":{}", serde_json::to_string(&Era::Classic).unwrap());
+    assert!(json.contains(&era_field), "no era field in {json}");
+    json = json
+        .replace(&format!("{era_field},"), "")
+        .replace(&format!(",{era_field}"), "");
+    assert!(!json.contains("\"era\""), "era field not stripped: {json}");
+    let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.era, Era::Classic);
+    assert_eq!(back, cfg);
+}
