@@ -63,7 +63,7 @@ fn parse_args() -> Args {
 /// points. `fresh_session` drops the scan cache between decisions (naive
 /// mode is stateless, so it only matters for the scan).
 fn measure(
-    runner: &AdaptiveRunner<'_>,
+    runner: &AdaptiveRunner,
     start: SimTime,
     work: SimDuration,
     deadline: SimDuration,

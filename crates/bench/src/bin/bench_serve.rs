@@ -1,0 +1,204 @@
+//! Serve advise latency: cold vs warm, through the full request path.
+//!
+//! The serve registry keeps two tiers of sealed state per market
+//! (DESIGN.md §17): ingesting a row invalidates both, so the first
+//! advise afterwards is a *cold* scan rebuild, while advises between
+//! ingests reuse the *warm* incremental scan. This binary measures both
+//! distributions through `Server::handle_line` — JSON parse, registry
+//! locking, decide, render — i.e. everything but the socket.
+//!
+//! Emits `BENCH_serve.json` with p50/p99 per path. With `--check`,
+//! exits non-zero if the warm median is not faster than the cold one —
+//! the warm-reuse property the two-tier design exists for (CI guard).
+
+use redspot_core::serve::Server;
+use redspot_trace::gen::GenConfig;
+use redspot_trace::ZoneId;
+use std::time::Instant;
+
+struct Args {
+    rows: u64,
+    iters: usize,
+    seed: u64,
+    json: Option<String>,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        rows: 12 * 26, // 26 hours of 300 s samples before measuring
+        iters: 200,
+        seed: 42,
+        json: None,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let fail = |msg: &str| -> ! {
+        eprintln!("error: {msg}");
+        eprintln!(
+            "usage: bench_serve [--quick] [--rows <n>] [--iters <n>] [--seed <s>] [--json <file>] [--check]"
+        );
+        std::process::exit(2);
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => out.iters = 50,
+            "--rows" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => out.rows = n,
+                _ => fail("--rows needs a positive integer"),
+            },
+            "--iters" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => out.iters = n,
+                _ => fail("--iters needs a positive integer"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => out.seed = s,
+                None => fail("--seed needs an integer"),
+            },
+            "--json" => match it.next() {
+                Some(p) => out.json = Some(p),
+                None => fail("--json needs a file path"),
+            },
+            "--check" => out.check = true,
+            other => fail(&format!("unknown flag: {other}")),
+        }
+    }
+    out
+}
+
+const ZONES: usize = 3;
+const STEP: u64 = 300;
+
+/// Drive one request line and insist it succeeded.
+fn ok(server: &Server, line: &str) -> String {
+    let outcome = server.handle_line(0, line);
+    if !outcome.reply.contains("\"ok\":true") {
+        eprintln!("error: request failed: {line} -> {}", outcome.reply);
+        std::process::exit(1);
+    }
+    outcome.reply
+}
+
+/// Ingest trace row `i` (one price per zone) at its watermark.
+fn ingest(server: &Server, traces: &redspot_trace::TraceSet, i: u64) {
+    let prices: Vec<String> = (0..ZONES)
+        .map(|z| {
+            traces.zone(ZoneId(z)).samples()[i as usize]
+                .millis()
+                .to_string()
+        })
+        .collect();
+    ok(
+        server,
+        &format!(
+            r#"{{"req":"ingest","market":"m1","at":{},"prices":[{}]}}"#,
+            i * STEP,
+            prices.join(",")
+        ),
+    );
+}
+
+/// The advise query a live client would issue at the market's current
+/// watermark: the paper's standard job, one hour into its history.
+fn advise_line(rows: u64) -> String {
+    let now = rows * STEP - 3600;
+    format!(
+        r#"{{"req":"advise","market":"m1","now":{now},"remaining_compute":72000,"remaining_time":82800}}"#
+    )
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn main() {
+    let args = parse_args();
+    let traces = GenConfig::high_volatility(args.seed).generate();
+    let budget = traces.zone(ZoneId(0)).len() as u64;
+    if args.rows + args.iters as u64 > budget {
+        eprintln!(
+            "error: --rows {} + --iters {} exceeds the {budget} samples generated",
+            args.rows, args.iters
+        );
+        std::process::exit(2);
+    }
+
+    let server = Server::new();
+    ok(
+        &server,
+        &format!(
+            r#"{{"req":"open","market":"m1","zones":{ZONES},"step":{STEP},"era":"classic","bid":810,"seed":{}}}"#,
+            args.seed
+        ),
+    );
+    for i in 0..args.rows {
+        ingest(&server, &traces, i);
+    }
+
+    // Cold path: every advise follows a fresh ingest, so each one pays
+    // the trace-view + scan rebuild at the new watermark.
+    let mut cold_us = Vec::with_capacity(args.iters);
+    let mut rows = args.rows;
+    for _ in 0..args.iters {
+        ingest(&server, &traces, rows);
+        rows += 1;
+        let line = advise_line(rows);
+        let t = Instant::now();
+        std::hint::black_box(ok(&server, &line));
+        cold_us.push(t.elapsed().as_nanos() as f64 / 1e3);
+    }
+
+    // Warm path: repeated advises with no intervening ingest share the
+    // sealed session; only the first (uncounted) query rebuilds.
+    let line = advise_line(rows);
+    ok(&server, &line); // seal
+    let mut warm_us = Vec::with_capacity(args.iters);
+    for _ in 0..args.iters {
+        let t = Instant::now();
+        std::hint::black_box(ok(&server, &line));
+        warm_us.push(t.elapsed().as_nanos() as f64 / 1e3);
+    }
+
+    cold_us.sort_by(|a, b| a.total_cmp(b));
+    warm_us.sort_by(|a, b| a.total_cmp(b));
+    let (cold_p50, cold_p99) = (percentile(&cold_us, 0.50), percentile(&cold_us, 0.99));
+    let (warm_p50, warm_p99) = (percentile(&warm_us, 0.50), percentile(&warm_us, 0.99));
+
+    println!(
+        "serve advise latency: {ZONES} zones, {} history rows, {} samples per path",
+        args.rows, args.iters
+    );
+    println!("  cold (post-ingest rebuild)  p50 {cold_p50:>9.1} µs   p99 {cold_p99:>9.1} µs");
+    println!("  warm (incremental reuse)    p50 {warm_p50:>9.1} µs   p99 {warm_p99:>9.1} µs");
+    println!("  warm speedup at p50: {:.1}×", cold_p50 / warm_p50);
+
+    if let Some(path) = &args.json {
+        let json = format!(
+            "{{\n  \"bench\": \"serve_advise\",\n  \"scenario\": {{\"zones\": {ZONES}, \"profile\": \"high_volatility\", \"step_secs\": {STEP}}},\n  \"history_rows\": {},\n  \"iters\": {},\n  \"cold_p50_us\": {:.1},\n  \"cold_p99_us\": {:.1},\n  \"warm_p50_us\": {:.1},\n  \"warm_p99_us\": {:.1},\n  \"warm_speedup_p50\": {:.2}\n}}\n",
+            args.rows,
+            args.iters,
+            cold_p50,
+            cold_p99,
+            warm_p50,
+            warm_p99,
+            cold_p50 / warm_p50,
+        );
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // The two-tier split exists so that advises between ingests skip the
+    // rebuild; if the warm median is not faster, the seal is broken.
+    if args.check && warm_p50 * 1.10 > cold_p50 {
+        eprintln!(
+            "check failed: warm advise not faster than cold (p50 {warm_p50:.1} vs {cold_p50:.1} µs)"
+        );
+        std::process::exit(1);
+    }
+}

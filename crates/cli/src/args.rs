@@ -5,7 +5,14 @@ use redspot_core::Era;
 use std::collections::BTreeMap;
 
 /// Flags that take no value: present means `true`.
-const BOOL_FLAGS: &[&str] = &["api", "api-only", "metrics", "cache-stats", "force"];
+const BOOL_FLAGS: &[&str] = &[
+    "api",
+    "api-only",
+    "metrics",
+    "cache-stats",
+    "force",
+    "stdio",
+];
 
 /// Parsed flags plus positional arguments.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -137,7 +144,7 @@ USAGE:
   redspot sweep --trace FILE [--policy P|adaptive] [--bids 0.27,0.81,2.40] [--n COUNT]
                 [--redundant true] [--slack PCT] [--tc SECS] [--seed N] [--metrics]
                 [--threads N] [--cache-stats] [--out sweep.json]
-                [--shard K/N --journal DIR [--sync-every N]]
+                [--shard K/N --journal DIR [--sync-every N]] [--force]
                                     # --threads 0 (default) = one worker per CPU;
                                     # --cache-stats prints decision-cache hit rates
                                     # (adaptive sweeps share one memoization cache);
@@ -151,6 +158,15 @@ USAGE:
                                     # artifact an uninterrupted sweep --out produces
                                     # (byte-identical); exits 1 with a diagnosis on
                                     # schema/fingerprint/coverage/checksum violations
+  redspot serve [--addr HOST:PORT | --stdio]
+                                    # live advisory daemon: stream price rows in over
+                                    # line-JSON (validated like validate-trace), query
+                                    # what Adaptive would do right now, subscribe to
+                                    # era-classified interruption notices; --stdio
+                                    # serves one client on stdin/stdout; --addr
+                                    # (default 127.0.0.1:7071, port 0 = ephemeral)
+                                    # serves concurrent TCP clients; exits 1 if any
+                                    # request line failed
   redspot help
 
 Flags --workload NAME (on run/adaptive) override C, t_c and iteration

@@ -231,43 +231,12 @@ pub fn run(parsed: &ParsedArgs) -> Result<String, String> {
 const PRICE_FIELDS: &[&str] = &["bid", "charged", "rate"];
 
 /// Reject malformed price values in a raw JSON tree *before* the typed
-/// `Event` parse gets a chance to coerce them. `Price` is an integer
-/// milli-dollar count, but the deserializer accepts any non-negative
-/// integral float for a `u64` — so `"bid": 810.0` (or a value that was
-/// NaN/Infinity at write time, which JSON renders as `null`) would slip
-/// through silently. Returns `Err(reason)` naming the offending field.
+/// `Event` parse gets a chance to coerce them. The actual walk lives in
+/// [`redspot_core::serve::check_price_fields`] — the serve daemon's
+/// ingestion stream and this offline validator enforce the same
+/// discipline through the same code, just over different field lists.
 fn check_price_fields(value: &serde::Value) -> Result<(), String> {
-    match value {
-        serde::Value::Map(entries) => {
-            for (key, v) in entries {
-                if PRICE_FIELDS.contains(&key.as_str()) {
-                    match v {
-                        serde::Value::UInt(_) => {}
-                        serde::Value::Int(i) => {
-                            return Err(format!("price field '{key}' is negative ({i})"));
-                        }
-                        serde::Value::Float(f) => {
-                            return Err(format!(
-                                "price field '{key}' is not an integer milli-dollar count ({f})"
-                            ));
-                        }
-                        serde::Value::Null => {
-                            return Err(format!(
-                                "price field '{key}' is null (non-finite prices serialize as null)"
-                            ));
-                        }
-                        other => {
-                            return Err(format!("price field '{key}' is not a number ({other:?})"));
-                        }
-                    }
-                }
-                check_price_fields(v)?;
-            }
-            Ok(())
-        }
-        serde::Value::Seq(items) => items.iter().try_for_each(check_price_fields),
-        _ => Ok(()),
-    }
+    redspot_core::serve::check_price_fields(value, PRICE_FIELDS)
 }
 
 /// `validate-trace`: check that a `--trace-out` JSONL file is well formed
@@ -744,6 +713,45 @@ pub fn fleet(parsed: &ParsedArgs) -> Result<String, CliError> {
     Ok(rendered)
 }
 
+/// `serve`: the live advisory daemon. Clients stream price rows in over
+/// line-JSON (the `validate-trace` discipline, checked per line), query
+/// "what would Adaptive do right now?", and subscribe to interruption
+/// notices the sentinel classifies under each market's era. `--stdio`
+/// serves a single client over stdin/stdout (the CI smoke mode);
+/// otherwise `--addr HOST:PORT` (default `127.0.0.1:7071`, port 0 for
+/// ephemeral) serves concurrent TCP clients. Exits 1 if any request
+/// line failed — a malformed ingestion stream never exits clean.
+pub fn serve(parsed: &ParsedArgs) -> Result<String, CliError> {
+    use redspot_core::serve::{serve_stdio, Daemon};
+    let dirty =
+        CliError::Violation("serve: one or more request lines failed (see replies)\n".into());
+    if parsed.has("stdio") {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let clean = serve_stdio(stdin.lock(), stdout.lock())
+            .map_err(|e| CliError::Usage(format!("serve I/O error: {e}")))?;
+        return if clean {
+            Ok("serve: session closed cleanly\n".into())
+        } else {
+            Err(dirty)
+        };
+    }
+    let addr = parsed.get_or("addr", "127.0.0.1:7071");
+    let daemon =
+        Daemon::bind(addr).map_err(|e| CliError::Usage(format!("cannot bind {addr}: {e}")))?;
+    let bound = daemon
+        .local_addr()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    // Announce the bound address before blocking in the accept loop —
+    // scripts (and the CI smoke job) read it to find an ephemeral port.
+    println!("serve: listening on {bound}");
+    if daemon.run() {
+        Ok(format!("serve: shut down cleanly ({bound})\n"))
+    } else {
+        Err(dirty)
+    }
+}
+
 /// `era-compare`: the paper's 2014 hourly market against the post-2017
 /// per-second/interruption-notice market, same traces and schemes. Any
 /// deadline violation in either era is a [`CliError::Violation`].
@@ -1082,6 +1090,17 @@ pub fn sweep(parsed: &ParsedArgs) -> Result<String, CliError> {
     }
 
     let out_path = parsed.get("out");
+    // Never silently clobber an existing artifact (checked before the
+    // sweep runs, so a refused invocation costs nothing): a sweep
+    // artifact is typically the baseline another run diffs against —
+    // the same guard `fleet --out` applies.
+    if let Some(path) = out_path {
+        if Path::new(path).exists() && !parsed.has("force") {
+            return Err(CliError::Usage(format!(
+                "{path} already exists; pass --force to overwrite"
+            )));
+        }
+    }
     let want_cache_stats = parsed.has("cache-stats");
     // `--out` always meters: the artifact embeds merged per-cell metrics
     // and must match what `merge` assembles from journaled shards.
@@ -1204,6 +1223,54 @@ mod sweep_tests {
         let dir = std::env::temp_dir().join("redspot-cli-test4");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn sweep_out_refuses_to_clobber_without_force() {
+        let trace = tmp("sweep-clobber-trace.json");
+        dispatch_str(&[
+            "gen-trace",
+            "--profile",
+            "low",
+            "--seed",
+            "8",
+            "--out",
+            &trace,
+        ])
+        .unwrap();
+        let out = tmp("sweep-clobber.json");
+        std::fs::write(&out, b"precious baseline").unwrap();
+        let args = [
+            "sweep",
+            "--trace",
+            &trace,
+            "--policy",
+            "markov-daly",
+            "--bids",
+            "0.81",
+            "--n",
+            "1",
+            "--out",
+            &out,
+        ];
+        let err = dispatch_str(&args).unwrap_err();
+        assert!(err.contains("already exists"), "{err}");
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            b"precious baseline".to_vec(),
+            "refused run must not touch the file"
+        );
+        let mut forced = args.to_vec();
+        forced.push("--force");
+        let ok = dispatch_str(&forced).unwrap();
+        assert!(ok.contains("written to"), "{ok}");
+        assert_ne!(std::fs::read(&out).unwrap(), b"precious baseline".to_vec());
+    }
+
+    #[test]
+    fn serve_rejects_an_unbindable_address() {
+        let err = dispatch_str(&["serve", "--addr", "definitely not an address"]).unwrap_err();
+        assert!(err.contains("cannot bind"), "{err}");
     }
 
     #[test]

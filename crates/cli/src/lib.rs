@@ -59,6 +59,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "workloads" => cmd::workloads(&parsed).map_err(CliError::Usage),
         "sweep" => cmd::sweep(&parsed),
         "merge" => cmd::merge(&parsed),
+        "serve" => cmd::serve(&parsed),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!("unknown command: {other}"))),
     }

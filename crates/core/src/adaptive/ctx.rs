@@ -4,7 +4,7 @@ use super::cache::{CacheStats, DecisionCache};
 use super::scan::ScanSeed;
 use super::AdaptiveConfig;
 use redspot_markov::{MemoStats, UptimeMemo};
-use redspot_trace::{TraceSet, ZoneId};
+use redspot_trace::{TraceHandle, TraceSet, ZoneId};
 use std::sync::Arc;
 
 /// Everything a batch of runs shares about one market: the trace set, an
@@ -17,7 +17,7 @@ use std::sync::Arc;
 /// embedded [`TraceSet`] into the context is O(zones).
 #[derive(Debug)]
 pub struct MarketCtx {
-    traces: TraceSet,
+    traces: TraceHandle,
     seed: Option<Arc<ScanSeed>>,
     cache: Option<Arc<DecisionCache>>,
     uptime: Option<Arc<UptimeMemo>>,
@@ -27,9 +27,9 @@ impl MarketCtx {
     /// Wrap `traces` with a fresh decision cache and uptime memo, and no
     /// scan seed — the right constructor for one-off runs, where
     /// pre-bucketing the whole trace would cost more than it saves.
-    pub fn new(traces: TraceSet) -> MarketCtx {
+    pub fn new(traces: impl Into<TraceHandle>) -> MarketCtx {
         MarketCtx {
-            traces,
+            traces: traces.into(),
             seed: None,
             cache: Some(Arc::new(DecisionCache::new())),
             uptime: Some(Arc::new(UptimeMemo::new())),
@@ -42,9 +42,9 @@ impl MarketCtx {
     /// behavior. Exists for benchmarks and the cache-on/off equivalence
     /// tests; results are bit-identical with [`new`](Self::new) and
     /// [`for_sweep`](Self::for_sweep).
-    pub fn uncached(traces: TraceSet) -> MarketCtx {
+    pub fn uncached(traces: impl Into<TraceHandle>) -> MarketCtx {
         MarketCtx {
-            traces,
+            traces: traces.into(),
             seed: None,
             cache: None,
             uptime: None,
@@ -56,7 +56,8 @@ impl MarketCtx {
     /// paper sweeps use), so each cell's scan builds become array
     /// lookups. Runs whose zone list or bid grid differ from the seed's
     /// simply don't attach it and stay correct.
-    pub fn for_sweep(traces: TraceSet) -> MarketCtx {
+    pub fn for_sweep(traces: impl Into<TraceHandle>) -> MarketCtx {
+        let traces = traces.into();
         let zones: Vec<ZoneId> = traces.zone_ids().collect();
         let grid = AdaptiveConfig::default().bid_grid;
         let seed = Arc::new(ScanSeed::build(&traces, &zones, &grid));
@@ -70,6 +71,13 @@ impl MarketCtx {
 
     /// The market.
     pub fn traces(&self) -> &TraceSet {
+        &self.traces
+    }
+
+    /// The market's shared ownership handle — clone it to hand the same
+    /// allocation to an [`crate::Engine`] or [`crate::AdaptiveRunner`]
+    /// without copying price data.
+    pub fn handle(&self) -> &TraceHandle {
         &self.traces
     }
 

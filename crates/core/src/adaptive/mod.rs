@@ -24,7 +24,7 @@ use cache::{CacheTally, DecisionCache, DecisionTable, ScopeKey, TableKey, TableR
 use ctx::MarketCtx;
 use forecast::{estimate, predicted_cost};
 use redspot_market::DelayModel;
-use redspot_trace::{Price, SimDuration, SimTime, TraceSet, Window, ZoneId};
+use redspot_trace::{Price, SimDuration, SimTime, TraceHandle, Window, ZoneId};
 use scan::{PermutationScan, ScanSeed};
 use std::sync::{Arc, OnceLock};
 
@@ -103,8 +103,14 @@ impl Permutation {
 }
 
 /// Runs one experiment under the Adaptive meta-policy.
-pub struct AdaptiveRunner<'t> {
-    traces: &'t TraceSet,
+///
+/// Owns its trace data through a [`TraceHandle`] (no borrow lifetime), so
+/// runners — and the [`DecisionSession`]s cloned from them — can live in
+/// long-running hosts and move across threads. `Clone` is cheap: every
+/// heavy field is behind an `Arc`.
+#[derive(Clone)]
+pub struct AdaptiveRunner {
+    traces: TraceHandle,
     start: SimTime,
     base: ExperimentConfig,
     acfg: AdaptiveConfig,
@@ -121,7 +127,7 @@ pub struct AdaptiveRunner<'t> {
     scope: OnceLock<u32>,
 }
 
-impl<'t> AdaptiveRunner<'t> {
+impl AdaptiveRunner {
     /// Create a runner. `base.zones` is the superset of zones Adaptive may
     /// use (its bid and policy fields are ignored — Adaptive chooses).
     ///
@@ -138,9 +144,13 @@ impl<'t> AdaptiveRunner<'t> {
     /// assert!(result.met_deadline); // guaranteed by Algorithm 1
     /// assert!(result.cost_dollars() < 48.0); // cheaper than on-demand
     /// ```
-    pub fn new(traces: &'t TraceSet, start: SimTime, base: ExperimentConfig) -> AdaptiveRunner<'t> {
+    pub fn new(
+        traces: impl Into<TraceHandle>,
+        start: SimTime,
+        base: ExperimentConfig,
+    ) -> AdaptiveRunner {
         AdaptiveRunner {
-            traces,
+            traces: traces.into(),
             start,
             base,
             acfg: AdaptiveConfig::default(),
@@ -153,13 +163,13 @@ impl<'t> AdaptiveRunner<'t> {
     }
 
     /// Override the adaptive tuning.
-    pub fn with_config(mut self, acfg: AdaptiveConfig) -> AdaptiveRunner<'t> {
+    pub fn with_config(mut self, acfg: AdaptiveConfig) -> AdaptiveRunner {
         self.acfg = acfg;
         self
     }
 
     /// Override the queuing-delay model (tests, ablations).
-    pub fn with_delay_model(mut self, delay: DelayModel) -> AdaptiveRunner<'t> {
+    pub fn with_delay_model(mut self, delay: DelayModel) -> AdaptiveRunner {
         self.delay = delay;
         self
     }
@@ -173,8 +183,8 @@ impl<'t> AdaptiveRunner<'t> {
     /// Decisions are bit-identical with or without a context attached
     /// (pinned by `tests/batch_properties.rs`). If `ctx` wraps a
     /// different trace set than this runner's, nothing is attached.
-    pub fn with_market_ctx(mut self, mkt: &MarketCtx) -> AdaptiveRunner<'t> {
-        if !std::ptr::eq(self.traces, mkt.traces()) && self.traces != mkt.traces() {
+    pub fn with_market_ctx(mut self, mkt: &MarketCtx) -> AdaptiveRunner {
+        if !self.traces.ptr_eq(mkt.handle()) && self.traces != *mkt.handle() {
             return self;
         }
         self.cache = mkt.cache().map(Arc::clone);
@@ -306,17 +316,17 @@ impl<'t> AdaptiveRunner<'t> {
             ForecastMode::Naive => self.build_table_naive(window),
             ForecastMode::Scan => {
                 if let Some(s) = scan.as_mut() {
-                    s.advance(self.traces, window);
+                    s.advance(&self.traces, window);
                 } else {
                     *scan = Some(match &self.scan_seed {
                         Some(seed) => PermutationScan::build_seeded(
-                            self.traces,
+                            &self.traces,
                             Arc::clone(seed),
                             window,
                             self.acfg.scan_threads,
                         ),
                         None => PermutationScan::build(
-                            self.traces,
+                            &self.traces,
                             &self.base.zones,
                             &self.acfg.bid_grid,
                             window,
@@ -349,7 +359,7 @@ impl<'t> AdaptiveRunner<'t> {
                     .filter_map(|(&z, &m)| m.then_some(z))
                     .collect();
                 for &kind in &self.acfg.policy_kinds {
-                    let f = estimate(self.traces, &zone_ids, window, bid, self.base.costs, kind);
+                    let f = estimate(&self.traces, &zone_ids, window, bid, self.base.costs, kind);
                     table.push(TableRow {
                         bid,
                         mask: mask.clone(),
@@ -448,7 +458,7 @@ impl<'t> AdaptiveRunner<'t> {
         policy
     }
 
-    fn apply<R: Recorder>(&self, engine: &mut Engine<'_, R>, perm: &Permutation) {
+    fn apply<R: Recorder>(&self, engine: &mut Engine<R>, perm: &Permutation) {
         engine.set_bid(perm.bid);
         for (i, &active) in perm.mask.iter().enumerate() {
             engine.set_active(i, active);
@@ -458,13 +468,15 @@ impl<'t> AdaptiveRunner<'t> {
     }
 
     /// Open a reusable decision session: the entry point for probing
-    /// decision points without running an experiment (benchmarks, tools).
-    /// The session owns the scan cache, so successive
+    /// decision points without running an experiment (benchmarks, tools,
+    /// the serve daemon). The session owns a clone of this runner (cheap:
+    /// all heavy state is `Arc`-shared) plus the scan cache, so successive
     /// [`decide`](DecisionSession::decide) calls at advancing times share
-    /// window state through the scan's incremental advance.
-    pub fn session(&self) -> DecisionSession<'_, 't> {
+    /// window state through the scan's incremental advance — and the
+    /// session is free-standing and `Send`, ready to live in a registry.
+    pub fn session(&self) -> DecisionSession {
         DecisionSession {
-            runner: self,
+            runner: self.clone(),
             scan: None,
             tally: CacheTally::default(),
         }
@@ -507,7 +519,7 @@ impl<'t> AdaptiveRunner<'t> {
         cfg.bid = bid;
 
         let mut engine = Engine::try_with_parts(
-            self.traces,
+            self.traces.clone(),
             self.start,
             cfg,
             self.build_policy(kind),
@@ -559,13 +571,13 @@ impl<'t> AdaptiveRunner<'t> {
 /// A reusable decision-point evaluator over one [`AdaptiveRunner`],
 /// carrying the permutation-scan cache between calls. Obtained from
 /// [`AdaptiveRunner::session`].
-pub struct DecisionSession<'r, 't> {
-    runner: &'r AdaptiveRunner<'t>,
+pub struct DecisionSession {
+    runner: AdaptiveRunner,
     scan: Option<PermutationScan>,
     tally: CacheTally,
 }
 
-impl DecisionSession<'_, '_> {
+impl DecisionSession {
     /// Evaluate every permutation at `now` and return the cheapest — the
     /// same decision [`AdaptiveRunner::run`] makes at each billing
     /// boundary or termination. Returns `None` when there is no history
@@ -596,7 +608,7 @@ impl DecisionSession<'_, '_> {
 mod tests {
     use super::*;
     use redspot_trace::gen::GenConfig;
-    use redspot_trace::PriceSeries;
+    use redspot_trace::{PriceSeries, TraceSet};
 
     fn m(v: u64) -> Price {
         Price::from_millis(v)
@@ -759,7 +771,7 @@ mod tests {
 #[cfg(test)]
 mod config_tests {
     use super::*;
-    use redspot_trace::PriceSeries;
+    use redspot_trace::{PriceSeries, TraceSet};
 
     fn flat3(price: u64, hours: u64) -> TraceSet {
         let samples = vec![Price::from_millis(price); (hours * 12) as usize];

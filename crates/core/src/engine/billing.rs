@@ -6,7 +6,7 @@ use crate::telemetry::Recorder;
 use redspot_market::StopCause;
 use redspot_trace::Price;
 
-impl<'t, R: Recorder> Engine<'t, R> {
+impl<R: Recorder> Engine<R> {
     /// Settle every billing period ending at the current instant.
     ///
     /// Classic: charge the completed hour at its fixed rate — or retire

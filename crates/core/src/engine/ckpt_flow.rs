@@ -16,7 +16,7 @@ pub(super) struct CkptRt {
     pub(super) position: SimDuration,
 }
 
-impl<'t, R: Recorder> Engine<'t, R> {
+impl<R: Recorder> Engine<R> {
     pub(super) fn begin_checkpoint(&mut self, leader: usize) {
         debug_assert!(self.ckpt.is_none());
         let raw = self.replicas.position(leader).expect("leader is executing");

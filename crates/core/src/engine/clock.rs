@@ -6,7 +6,7 @@ use crate::run::{Event, RunResult};
 use crate::telemetry::{Recorder, RunMetrics};
 use redspot_trace::{SimDuration, SimTime};
 
-impl<'t, R: Recorder> Engine<'t, R> {
+impl<R: Recorder> Engine<R> {
     /// Run to completion and produce the result.
     pub fn run(mut self) -> RunResult {
         self.run_to_done();

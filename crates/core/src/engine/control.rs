@@ -9,7 +9,7 @@ use crate::telemetry::Recorder;
 use redspot_market::InstanceState;
 use redspot_trace::{Price, SimDuration, SimTime};
 
-impl<'t, R: Recorder> Engine<'t, R> {
+impl<R: Recorder> Engine<R> {
     // ------------------------------------------------------------------
     // Public accessors (used by the adaptive controller and tests).
 

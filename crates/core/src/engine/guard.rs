@@ -7,7 +7,7 @@ use crate::telemetry::Recorder;
 use redspot_market::StopCause;
 use redspot_trace::{SimDuration, SimTime};
 
-impl<'t, R: Recorder> Engine<'t, R> {
+impl<R: Recorder> Engine<R> {
     /// The instant the deadline guard trips, measured from committed
     /// progress with a full `t_c + t_r` reserve — plus, when API faults
     /// are configured, the worst-case control-plane delay of the bounded

@@ -65,7 +65,7 @@ use redspot_market::{
     ApiFaultPlan, CloudApi, DelayModel, FaultyApi, InstanceState, MarketRules, OutageSchedule,
     PerfectApi,
 };
-use redspot_trace::{Price, SimDuration, SimTime, TraceSet};
+use redspot_trace::{Price, SimDuration, SimTime, TraceHandle};
 use zones::ZoneRt;
 
 /// Execution phase.
@@ -100,8 +100,8 @@ pub struct StepReport {
 /// retains the full event log, pinning the engine's historical behavior.
 /// Use [`Engine::try_with_parts`] to plug any other
 /// [`Recorder`](crate::telemetry::Recorder) statically.
-pub struct Engine<'t, R: Recorder = VecRecorder> {
-    traces: &'t TraceSet,
+pub struct Engine<R: Recorder = VecRecorder> {
+    traces: TraceHandle,
     cfg: ExperimentConfig,
     start: SimTime,
     deadline_abs: SimTime,
@@ -119,7 +119,7 @@ pub struct Engine<'t, R: Recorder = VecRecorder> {
     /// terminate, price read, on-demand request) routes through it. Under
     /// [`ApiFaultPlan::none`] it wraps a [`PerfectApi`] and the engine is
     /// bit-identical to one acting on the market directly.
-    supervisor: Supervisor<Box<dyn CloudApi + 't>>,
+    supervisor: Supervisor<Box<dyn CloudApi + Send>>,
 
     now: SimTime,
     zones: Vec<ZoneRt>,
@@ -157,7 +157,7 @@ pub struct Engine<'t, R: Recorder = VecRecorder> {
     last_total_cost: Price,
 }
 
-impl<'t> Engine<'t> {
+impl Engine {
     /// Build an engine starting at `start` within `traces`, using the
     /// paper's measured queuing-delay model and the default
     /// [`VecRecorder`] sink (the full event log lands in
@@ -167,22 +167,22 @@ impl<'t> Engine<'t> {
     /// Panics if the configuration is invalid or references zones outside
     /// the trace set; see [`Engine::try_new`] for the non-panicking form.
     pub fn new(
-        traces: &'t TraceSet,
+        traces: impl Into<TraceHandle>,
         start: SimTime,
         cfg: impl IntoValidated,
         policy: Box<dyn Policy>,
-    ) -> Engine<'t> {
+    ) -> Engine {
         Engine::try_new(traces, start, cfg, policy).expect("invalid experiment configuration")
     }
 
     /// Fallible [`Engine::new`]: returns the configuration problem instead
     /// of panicking.
     pub fn try_new(
-        traces: &'t TraceSet,
+        traces: impl Into<TraceHandle>,
         start: SimTime,
         cfg: impl IntoValidated,
         policy: Box<dyn Policy>,
-    ) -> Result<Engine<'t>, ConfigError> {
+    ) -> Result<Engine, ConfigError> {
         Engine::try_with_delay_model(traces, start, cfg, policy, DelayModel::paper())
     }
 
@@ -192,12 +192,12 @@ impl<'t> Engine<'t> {
     /// Panics if the configuration is invalid or references zones outside
     /// the trace set; see [`Engine::try_with_delay_model`].
     pub fn with_delay_model(
-        traces: &'t TraceSet,
+        traces: impl Into<TraceHandle>,
         start: SimTime,
         cfg: impl IntoValidated,
         policy: Box<dyn Policy>,
         delay: DelayModel,
-    ) -> Engine<'t> {
+    ) -> Engine {
         Engine::try_with_delay_model(traces, start, cfg, policy, delay)
             .expect("invalid experiment configuration")
     }
@@ -205,17 +205,17 @@ impl<'t> Engine<'t> {
     /// Fallible [`Engine::with_delay_model`]: returns the configuration
     /// problem instead of panicking.
     pub fn try_with_delay_model(
-        traces: &'t TraceSet,
+        traces: impl Into<TraceHandle>,
         start: SimTime,
         cfg: impl IntoValidated,
         policy: Box<dyn Policy>,
         delay: DelayModel,
-    ) -> Result<Engine<'t>, ConfigError> {
+    ) -> Result<Engine, ConfigError> {
         Engine::try_with_parts(traces, start, cfg, policy, delay, VecRecorder::new())
     }
 }
 
-impl<'t, R: Recorder> Engine<'t, R> {
+impl<R: Recorder> Engine<R> {
     /// Build with an explicit telemetry sink and the paper's queuing-delay
     /// model. `NullRecorder` makes observation free (sweeps, forecasts);
     /// `JsonlRecorder` streams the trace; tuples tee.
@@ -224,24 +224,24 @@ impl<'t, R: Recorder> Engine<'t, R> {
     /// Panics if the configuration is invalid or references zones outside
     /// the trace set; see [`Engine::try_with_recorder`].
     pub fn with_recorder(
-        traces: &'t TraceSet,
+        traces: impl Into<TraceHandle>,
         start: SimTime,
         cfg: impl IntoValidated,
         policy: Box<dyn Policy>,
         recorder: R,
-    ) -> Engine<'t, R> {
+    ) -> Engine<R> {
         Engine::try_with_recorder(traces, start, cfg, policy, recorder)
             .expect("invalid experiment configuration")
     }
 
     /// Fallible [`Engine::with_recorder`].
     pub fn try_with_recorder(
-        traces: &'t TraceSet,
+        traces: impl Into<TraceHandle>,
         start: SimTime,
         cfg: impl IntoValidated,
         policy: Box<dyn Policy>,
         recorder: R,
-    ) -> Result<Engine<'t, R>, ConfigError> {
+    ) -> Result<Engine<R>, ConfigError> {
         Engine::try_with_parts(traces, start, cfg, policy, DelayModel::paper(), recorder)
     }
 
@@ -254,23 +254,24 @@ impl<'t, R: Recorder> Engine<'t, R> {
     /// path past this boundary, so invalid configs are unrepresentable
     /// inside the engine.
     pub fn try_with_parts(
-        traces: &'t TraceSet,
+        traces: impl Into<TraceHandle>,
         start: SimTime,
         cfg: impl IntoValidated,
         policy: Box<dyn Policy>,
         delay: DelayModel,
         recorder: R,
-    ) -> Result<Engine<'t, R>, ConfigError> {
+    ) -> Result<Engine<R>, ConfigError> {
+        let traces = traces.into();
         let cfg = cfg.into_validated()?;
         // The control plane: perfect unless API faults are configured, in
         // which case the perfect API is wrapped in the deterministic fault
         // injector. The supervisor's jitter RNG gets a decorrelated seed;
         // both streams are only advanced when API faults are enabled.
-        let api: Box<dyn CloudApi + 't> = if cfg.api.is_none() {
-            Box::new(PerfectApi::new(traces))
+        let api: Box<dyn CloudApi + Send> = if cfg.api.is_none() {
+            Box::new(PerfectApi::new(traces.clone()))
         } else {
             Box::new(FaultyApi::new(
-                PerfectApi::new(traces),
+                PerfectApi::new(traces.clone()),
                 cfg.api,
                 ApiFaultPlan::rng_seed(cfg.seed),
             ))
@@ -287,14 +288,15 @@ impl<'t, R: Recorder> Engine<'t, R> {
     /// config seed) for runs to be reproducible.
     #[allow(clippy::too_many_arguments)]
     pub fn try_with_api(
-        traces: &'t TraceSet,
+        traces: impl Into<TraceHandle>,
         start: SimTime,
         cfg: impl IntoValidated,
         policy: Box<dyn Policy>,
         delay: DelayModel,
         recorder: R,
-        api: Box<dyn CloudApi + 't>,
-    ) -> Result<Engine<'t, R>, ConfigError> {
+        api: Box<dyn CloudApi + Send>,
+    ) -> Result<Engine<R>, ConfigError> {
+        let traces = traces.into();
         let cfg = cfg.into_validated()?.into_inner();
         if let Some(&zone) = cfg.zones.iter().find(|z| z.0 >= traces.n_zones()) {
             return Err(ConfigError::ZoneOutOfRange {
@@ -488,7 +490,7 @@ impl<'t, R: Recorder> Engine<'t, R> {
             start: self.start,
             bid: self.cfg.bid,
             costs: self.cfg.costs,
-            traces: self.traces,
+            traces: &self.traces,
             zone_ids: &self.cfg.zones,
             up: &up,
             leader_boundary,

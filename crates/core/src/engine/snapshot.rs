@@ -54,7 +54,7 @@ pub struct Snapshot {
     pub out_of_bid_terminations: u32,
 }
 
-impl<'t, R: Recorder> Engine<'t, R> {
+impl<R: Recorder> Engine<R> {
     /// A serializable point-in-time summary of the engine state, for
     /// dashboards, logging, and driver code.
     pub fn snapshot(&self) -> Snapshot {

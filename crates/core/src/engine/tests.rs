@@ -5,7 +5,7 @@ use super::*;
 use crate::policy::PolicyKind;
 use crate::run::RunResult;
 use crate::telemetry::NullRecorder;
-use redspot_trace::{PriceSeries, Window, ZoneId};
+use redspot_trace::{PriceSeries, TraceSet, Window, ZoneId};
 
 fn m(v: u64) -> Price {
     Price::from_millis(v)
@@ -302,7 +302,7 @@ mod extension_tests {
     use super::*;
     use redspot_ckpt::AppSpec;
 
-    fn engine(traces: &TraceSet, cfg: ExperimentConfig) -> Engine<'_> {
+    fn engine(traces: &TraceSet, cfg: ExperimentConfig) -> Engine {
         Engine::with_delay_model(
             traces,
             SimTime::ZERO,

@@ -38,7 +38,7 @@ pub(super) struct ZoneRt {
     pub(super) notice_until: Option<SimTime>,
 }
 
-impl<'t, R: Recorder> Engine<'t, R> {
+impl<R: Recorder> Engine<R> {
     pub(super) fn scan_market(&mut self, report: &mut StepReport) -> bool {
         if self.phase != Phase::Spot {
             return false;

@@ -17,6 +17,7 @@ pub mod engine;
 pub mod faults;
 pub mod policy;
 pub mod run;
+pub mod serve;
 pub mod supervisor;
 pub mod telemetry;
 

@@ -1,0 +1,244 @@
+//! The `redspot serve` TCP daemon: std-lib threads only, no async
+//! runtime.
+//!
+//! One accept loop hands each connection to a reader thread; replies and
+//! pushed events are written through a per-client writer slot (a cloned
+//! stream behind a mutex) so a sentinel push never interleaves bytes
+//! with an in-flight reply. A dedicated sentinel thread polls every
+//! market's control plane on a fixed cadence and routes notices to
+//! subscribers; ingests additionally classify synchronously (see
+//! [`super::Server`]), so the thread is a safety net for quiet
+//! connections, not the primary delivery path.
+//!
+//! Shutdown: a `shutdown` request flips the stop flag and pokes the
+//! listener with a loopback connect so `accept` returns; reader threads
+//! drain on client EOF. [`Daemon::run`] returns whether any request line
+//! failed, which the CLI turns into a nonzero exit.
+
+use super::server::{Outcome, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often the sentinel thread sweeps every market, wall-clock.
+const SENTINEL_PERIOD: Duration = Duration::from_millis(200);
+
+/// A bound-but-not-yet-running serve daemon.
+pub struct Daemon {
+    listener: TcpListener,
+    server: Arc<Server>,
+}
+
+/// The per-client write side: replies and pushes serialize on the mutex.
+type Writers = Arc<Mutex<std::collections::HashMap<u64, TcpStream>>>;
+
+impl Daemon {
+    /// Bind `addr` (e.g. `127.0.0.1:7071`, or port 0 for an ephemeral
+    /// port — tests read the chosen one back via
+    /// [`local_addr`](Self::local_addr)).
+    pub fn bind(addr: &str) -> std::io::Result<Daemon> {
+        Ok(Daemon {
+            listener: TcpListener::bind(addr)?,
+            server: Arc::new(Server::new()),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared router (tests, embedding).
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// Serve until a client sends `shutdown`. Returns `true` if every
+    /// request line succeeded, `false` if any failed (the CLI maps that
+    /// to a nonzero exit).
+    pub fn run(self) -> bool {
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Writers = Arc::new(Mutex::new(std::collections::HashMap::new()));
+        let next_client = AtomicU64::new(1);
+
+        // Sentinel: periodic sweep over every market, pushing notices to
+        // subscribers even when no ingest is in flight.
+        let sentinel = {
+            let server = Arc::clone(&self.server);
+            let writers = Arc::clone(&writers);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let pushes = server.route_notices(&server.registry().poll_all());
+                    for p in pushes {
+                        deliver(&writers, p.client, &p.line);
+                    }
+                    std::thread::sleep(SENTINEL_PERIOD);
+                }
+            })
+        };
+
+        let mut readers = Vec::new();
+        for conn in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let client = next_client.fetch_add(1, Ordering::SeqCst);
+            if let Ok(write_half) = stream.try_clone() {
+                writers
+                    .lock()
+                    .expect("writers lock")
+                    .insert(client, write_half);
+            } else {
+                continue;
+            }
+            let server = Arc::clone(&self.server);
+            let writers_for_client = Arc::clone(&writers);
+            let stop_for_client = Arc::clone(&stop);
+            let addr = self.listener.local_addr().ok();
+            readers.push(std::thread::spawn(move || {
+                let reader = BufReader::new(stream);
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    let Outcome {
+                        reply,
+                        pushes,
+                        shutdown,
+                    } = server.handle_line(client, &line);
+                    if !reply.is_empty() {
+                        deliver(&writers_for_client, client, &reply);
+                    }
+                    for p in pushes {
+                        deliver(&writers_for_client, p.client, &p.line);
+                    }
+                    if shutdown {
+                        stop_for_client.store(true, Ordering::SeqCst);
+                        // Poke the accept loop awake so it observes the flag.
+                        if let Some(addr) = addr {
+                            let _ = TcpStream::connect(addr);
+                        }
+                        break;
+                    }
+                }
+                server.forget_client(client);
+                writers_for_client
+                    .lock()
+                    .expect("writers lock")
+                    .remove(&client);
+            }));
+        }
+
+        stop.store(true, Ordering::SeqCst);
+        for r in readers {
+            let _ = r.join();
+        }
+        let _ = sentinel.join();
+        !self.server.had_errors()
+    }
+}
+
+/// Write one line to a client, dropping it silently if the client is
+/// gone (its reader thread cleans the slot up).
+fn deliver(writers: &Writers, client: u64, line: &str) {
+    let mut map = writers.lock().expect("writers lock");
+    if let Some(stream) = map.get_mut(&client) {
+        let _ = writeln!(stream, "{line}");
+        let _ = stream.flush();
+    }
+}
+
+/// Run the serve protocol over stdio: one client (id 0), pushes inline
+/// on stdout after the reply that caused them. Returns `true` when every
+/// line succeeded. Used by `redspot serve --stdio` and the CI smoke job.
+pub fn serve_stdio(input: impl std::io::BufRead, mut output: impl Write) -> std::io::Result<bool> {
+    let server = Server::new();
+    for line in input.lines() {
+        let line = line?;
+        let Outcome {
+            reply,
+            pushes,
+            shutdown,
+        } = server.handle_line(0, &line);
+        if !reply.is_empty() {
+            writeln!(output, "{reply}")?;
+        }
+        for p in pushes {
+            // Single-client transport: only client 0 can be subscribed.
+            writeln!(output, "{}", p.line)?;
+        }
+        output.flush()?;
+        if shutdown {
+            break;
+        }
+    }
+    Ok(!server.had_errors())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stdio_session_round_trips_and_flags_errors() {
+        let script = concat!(
+            r#"{"req":"open","market":"m","zones":1,"bid":810}"#,
+            "\n",
+            r#"{"req":"subscribe","market":"m"}"#,
+            "\n",
+            r#"{"req":"ingest","market":"m","at":0,"prices":[270]}"#,
+            "\n",
+            r#"{"req":"ingest","market":"m","at":300,"prices":[2000]}"#,
+            "\n",
+            r#"{"req":"shutdown"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let clean = serve_stdio(script.as_bytes(), &mut out).unwrap();
+        assert!(clean);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // open, subscribe, ingest, ingest + pushed notice, shutdown.
+        assert_eq!(lines.len(), 6, "{text}");
+        assert!(lines[4].contains("\"event\":\"interruption\""), "{text}");
+        assert!(lines[4].contains("\"class\":\"out-of-bid\""), "{text}");
+        assert!(lines[5].contains("\"req\":\"shutdown\""), "{text}");
+
+        // A malformed line flips the exit to dirty but the session
+        // continues to serve.
+        let script = concat!(
+            r#"{"req":"open","market":"m","zones":1}"#,
+            "\n",
+            "this is not json\n",
+            r#"{"req":"stats","market":"m"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let clean = serve_stdio(script.as_bytes(), &mut out).unwrap();
+        assert!(!clean);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"ok\":false"), "{text}");
+        assert!(text.contains("\"rows\":0"), "{text}");
+    }
+
+    #[test]
+    fn tcp_daemon_serves_and_shuts_down() {
+        let daemon = Daemon::bind("127.0.0.1:0").unwrap();
+        let addr = daemon.local_addr().unwrap();
+        let handle = std::thread::spawn(move || daemon.run());
+
+        let mut conn = TcpStream::connect(addr).unwrap();
+        writeln!(conn, r#"{{"req":"open","market":"m","zones":1}}"#).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        writeln!(conn, r#"{{"req":"shutdown"}}"#).unwrap();
+        reply.clear();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"req\":\"shutdown\""), "{reply}");
+        assert!(handle.join().unwrap(), "clean session exits clean");
+    }
+}

@@ -1,0 +1,39 @@
+//! The live advisory plane: `redspot serve`.
+//!
+//! Everything before this module answers questions about *recorded*
+//! markets — a sweep replays a trace that is already complete. `serve`
+//! turns the same decision machinery into a long-running daemon fed by a
+//! *growing* trace: clients stream price rows in (the `validate-trace`
+//! JSONL discipline, checked line by line), ask "what would Adaptive do
+//! right now?" at any instant, and subscribe to interruption notices a
+//! sentinel raises by polling each market's control plane and
+//! classifying bid crossings under the market's era.
+//!
+//! The module is the tentpole payoff of the ownership inversion: a
+//! market's warm state is a [`crate::DecisionSession`] (an owned,
+//! `Send` clone of an [`crate::AdaptiveRunner`] over a
+//! [`redspot_trace::TraceHandle`]), so it lives in a registry shared by
+//! plain `std::thread` workers with no lifetime threading and no async
+//! runtime.
+//!
+//! Layers, bottom up:
+//!
+//! * [`proto`] — the versioned line-JSON wire protocol and the shared
+//!   raw-tree price checker;
+//! * [`registry`] — per-market state: ingestion watermark, sealed
+//!   trace/scan view (cold rebuild on new data, warm reuse between),
+//!   and the edge-triggered sentinel classifier;
+//! * [`server`] — the transport-agnostic request router with client
+//!   subscriptions;
+//! * [`daemon`] — the TCP accept loop (thread per connection) and the
+//!   single-client stdio loop the CLI and CI smoke job use.
+
+pub mod daemon;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use daemon::{serve_stdio, Daemon};
+pub use proto::{check_price_fields, parse_request, MarketSpec, Request, SERVE_PROTO_VERSION};
+pub use registry::{Advice, MarketStats, Notice, Registry};
+pub use server::{Outcome, Push, Server};

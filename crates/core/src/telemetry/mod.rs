@@ -23,7 +23,7 @@
 //!
 //! Sinks compose: `(A, B)` is a recorder that feeds both, and
 //! `Box<dyn Recorder>` defers the choice to runtime (the CLI uses both).
-//! The engine is generic over its recorder (`Engine<'_, R: Recorder>`),
+//! The engine is generic over its recorder (`Engine<R: Recorder>`),
 //! defaulting to `VecRecorder`, so the common paths stay statically
 //! dispatched.
 

@@ -21,7 +21,7 @@ fn flat(price: u64, n_zones: usize, hours: u64) -> TraceSet {
     )
 }
 
-fn engine(traces: &TraceSet, cfg: ExperimentConfig, kind: PolicyKind) -> Engine<'_> {
+fn engine(traces: &TraceSet, cfg: ExperimentConfig, kind: PolicyKind) -> Engine {
     Engine::with_delay_model(traces, SimTime::ZERO, cfg, kind.build(), DelayModel::zero())
 }
 

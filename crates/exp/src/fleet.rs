@@ -270,7 +270,7 @@ impl<'a> FleetRequest<'a> {
         let n = self.jobs.len();
         let mut out: Vec<Option<(RunResult, RunMetrics)>> = (0..n).map(|_| None).collect();
         // OnDemand jobs never touch the pool; run them directly.
-        let mut engines: Vec<(usize, Engine<'_, MetricsRecorder>)> = Vec::new();
+        let mut engines: Vec<(usize, Engine<MetricsRecorder>)> = Vec::new();
         for (i, j) in self.jobs.iter().enumerate() {
             if matches!(j.spec.scheme, Scheme::OnDemand) {
                 out[i] = Some(run_spec(self.mkt, &j.spec, &j.cfg, MetricsRecorder::new()));
@@ -305,12 +305,12 @@ impl<'a> FleetRequest<'a> {
 /// [`run_spec`]'s config derivation exactly (bid, mixed seed, zones,
 /// policy, uptime memo) so an unbounded fleet is bit-identical to the
 /// independent path.
-fn contended_engine<'t>(
-    mkt: &'t MarketCtx,
+fn contended_engine(
+    mkt: &MarketCtx,
     job: &FleetJob,
     pool: Arc<CapacityPool>,
-) -> Engine<'t, MetricsRecorder> {
-    let traces = mkt.traces();
+) -> Engine<MetricsRecorder> {
+    let traces = mkt.handle();
     let spec = &job.spec;
     let mut cfg = job.cfg.clone();
     cfg.bid = spec.bid;
@@ -345,18 +345,18 @@ fn contended_engine<'t>(
     };
     // The same stack `Engine::try_with_parts` builds, wrapped in the
     // capacity decorator: Contended → Faulty? → Perfect.
-    let inner: Box<dyn CloudApi + 't> = if cfg.api.is_none() {
-        Box::new(PerfectApi::new(traces))
+    let inner: Box<dyn CloudApi + Send> = if cfg.api.is_none() {
+        Box::new(PerfectApi::new(traces.clone()))
     } else {
         Box::new(FaultyApi::new(
-            PerfectApi::new(traces),
+            PerfectApi::new(traces.clone()),
             cfg.api,
             ApiFaultPlan::rng_seed(cfg.seed),
         ))
     };
-    let api: Box<dyn CloudApi + 't> = Box::new(ContendedApi::new(inner, pool));
+    let api: Box<dyn CloudApi + Send> = Box::new(ContendedApi::new(inner, pool));
     Engine::try_with_api(
-        traces,
+        traces.clone(),
         spec.start,
         cfg,
         policy,

@@ -18,7 +18,7 @@
 //!   following the same RNG discipline as the infrastructure
 //!   `FaultPlan`: a probability of zero never advances the stream.
 
-use redspot_trace::{Price, SimDuration, SimTime, TraceSet, ZoneId};
+use redspot_trace::{Price, SimDuration, SimTime, TraceHandle, ZoneId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -103,7 +103,12 @@ pub type ApiResult<T> = Result<ApiOk<T>, ApiError>;
 /// current simulation instant so implementations can be trace-driven and
 /// stateless in wall-clock terms; `&mut self` because fault injection
 /// advances an RNG per call.
-pub trait CloudApi {
+///
+/// `Send` is a supertrait so `Box<dyn CloudApi + Send>` engines can move
+/// across threads — the serve daemon hosts one engine stack per market on
+/// worker threads, and every implementation here (trace-backed, seeded
+/// fault decorators, capacity decorators) is plain owned data.
+pub trait CloudApi: Send {
     /// Submit a spot request for `zone` at `bid`.
     fn request_spot(&mut self, at: SimTime, zone: ZoneId, bid: Price) -> ApiResult<()>;
 
@@ -156,20 +161,22 @@ impl<A: CloudApi + ?Sized> CloudApi for Box<A> {
 /// prices come straight from the trace. This is the paper's implicit
 /// model and the engine's default.
 #[derive(Debug, Clone)]
-pub struct PerfectApi<'t> {
-    traces: &'t TraceSet,
+pub struct PerfectApi {
+    traces: TraceHandle,
 }
 
-impl<'t> PerfectApi<'t> {
-    /// Build over a trace set.
-    pub fn new(traces: &'t TraceSet) -> PerfectApi<'t> {
-        PerfectApi { traces }
+impl PerfectApi {
+    /// Build over a trace set (owned handle, a plain set, or `&TraceSet`).
+    pub fn new(traces: impl Into<TraceHandle>) -> PerfectApi {
+        PerfectApi {
+            traces: traces.into(),
+        }
     }
 }
 
 const INSTANT: SimDuration = SimDuration::ZERO;
 
-impl CloudApi for PerfectApi<'_> {
+impl CloudApi for PerfectApi {
     fn request_spot(&mut self, _at: SimTime, _zone: ZoneId, _bid: Price) -> ApiResult<()> {
         Ok(ApiOk {
             value: (),
@@ -556,7 +563,7 @@ impl<A: CloudApi> CloudApi for FaultyApi<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use redspot_trace::PriceSeries;
+    use redspot_trace::{PriceSeries, TraceSet};
 
     fn traces() -> TraceSet {
         let z = PriceSeries::new(

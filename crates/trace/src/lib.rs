@@ -22,6 +22,7 @@
 
 pub mod bootstrap;
 pub mod gen;
+mod handle;
 pub mod io;
 mod price;
 mod series;
@@ -31,6 +32,7 @@ mod traceset;
 pub mod vol;
 mod window;
 
+pub use handle::TraceHandle;
 pub use price::{highlight_bids, paper_bid_grid, Price};
 pub use series::PriceSeries;
 pub use time::{SimDuration, SimTime, HOUR, PRICE_STEP};

@@ -4,7 +4,7 @@ use crate::price::Price;
 use crate::time::{SimDuration, SimTime, PRICE_STEP};
 use crate::window::Window;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A stepwise-constant spot-price series for one availability zone, sampled
 /// at a fixed interval (5 minutes in all paper experiments).
@@ -16,11 +16,56 @@ use std::sync::Arc;
 /// Samples live behind an [`Arc`] so cloning a series (and therefore a
 /// whole [`crate::TraceSet`]) is O(zones), not O(samples) — sweeps hand
 /// the same market to hundreds of cells without copying price data.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PriceSeries {
     start: SimTime,
     step: u64,
     prices: Arc<Vec<Price>>,
+    /// Sorted sample indices `j` with `prices[j] != prices[j - 1]`, built
+    /// lazily on the first [`next_price_change`](Self::next_price_change)
+    /// and shared by clones. Derived from `prices`, so it is excluded from
+    /// equality and serialization (the manual impls below).
+    changes: OnceLock<Arc<[u32]>>,
+}
+
+/// Equality ignores the lazily-built change-point index: it is a pure
+/// function of `prices`.
+impl PartialEq for PriceSeries {
+    fn eq(&self, other: &PriceSeries) -> bool {
+        self.start == other.start && self.step == other.step && self.prices == other.prices
+    }
+}
+
+impl Eq for PriceSeries {}
+
+/// Hand-written to keep the wire shape at `{start, step, prices}` — the
+/// change-point cache is derived data and must not leak into trace files.
+impl Serialize for PriceSeries {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("start".to_string(), self.start.to_value()),
+            ("step".to_string(), self.step.to_value()),
+            ("prices".to_string(), self.prices.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PriceSeries {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("PriceSeries: expected map"))?;
+        let field = |k: &str| {
+            serde::__find(m, k)
+                .ok_or_else(|| serde::Error::custom(format!("PriceSeries: missing field `{k}`")))
+        };
+        Ok(PriceSeries {
+            start: Deserialize::from_value(field("start")?)?,
+            step: Deserialize::from_value(field("step")?)?,
+            prices: Deserialize::from_value(field("prices")?)?,
+            changes: OnceLock::new(),
+        })
+    }
 }
 
 impl PriceSeries {
@@ -46,6 +91,7 @@ impl PriceSeries {
             start,
             step,
             prices: Arc::new(prices),
+            changes: OnceLock::new(),
         }
     }
 
@@ -154,6 +200,7 @@ impl PriceSeries {
             start: self.start + SimDuration::from_secs(lo as u64 * self.step),
             step: self.step,
             prices: Arc::new(self.prices[lo..hi_excl].to_vec()),
+            changes: OnceLock::new(),
         }
     }
 
@@ -245,18 +292,38 @@ impl PriceSeries {
         up as f64 / n_steps as f64
     }
 
+    /// Sorted indices of samples that differ from their predecessor.
+    /// Built once per allocation (clones share it through the `Arc`).
+    fn change_points(&self) -> &[u32] {
+        self.changes.get_or_init(|| {
+            self.prices
+                .windows(2)
+                .enumerate()
+                .filter(|(_, w)| w[0] != w[1])
+                .map(|(i, _)| (i + 1) as u32)
+                .collect()
+        })
+    }
+
     /// Time of the next sample boundary strictly after `t` at which the
     /// price moves (changes value), or `None` if the price never moves
     /// again. Used by event-driven simulation to skip quiet spans.
+    ///
+    /// O(log C) in the number of change points via a binary search over
+    /// the precomputed [`change_points`](Self::change_points) index —
+    /// prices are constant between consecutive change points, so the
+    /// first change point past `t`'s sample necessarily carries a value
+    /// different from the price at `t`.
     pub fn next_price_change(&self, t: SimTime) -> Option<(SimTime, Price)> {
         let idx = self.index_at(t);
-        let cur = self.prices[idx];
-        for (j, &p) in self.prices.iter().enumerate().skip(idx + 1) {
-            if p != cur {
-                return Some((self.start + SimDuration::from_secs(j as u64 * self.step), p));
-            }
-        }
-        None
+        let ch = self.change_points();
+        let pos = ch.partition_point(|&j| j as usize <= idx);
+        let j = *ch.get(pos)? as usize;
+        debug_assert_ne!(self.prices[j], self.prices[idx]);
+        Some((
+            self.start + SimDuration::from_secs(j as u64 * self.step),
+            self.prices[j],
+        ))
     }
 }
 

@@ -129,6 +129,49 @@ proptest! {
     }
 }
 
+/// The pre-index `next_price_change`: a linear forward rescan from the
+/// sample covering `t`. Kept as the reference implementation for the
+/// equivalence property below.
+fn next_price_change_linear(s: &PriceSeries, t: SimTime) -> Option<(SimTime, Price)> {
+    let samples = s.samples();
+    let idx = if t <= s.start() {
+        0
+    } else {
+        (((t.secs() - s.start().secs()) / s.step()) as usize).min(samples.len() - 1)
+    };
+    let cur = samples[idx];
+    for (j, &p) in samples.iter().enumerate().skip(idx + 1) {
+        if p != cur {
+            return Some((s.start() + SimDuration::from_secs(j as u64 * s.step()), p));
+        }
+    }
+    None
+}
+
+proptest! {
+    /// The O(log n) change-point index answers `next_price_change`
+    /// identically to the original linear rescan, over arbitrary series
+    /// (including long flat runs, which is where the index pays off) and
+    /// arbitrary query times including points before the start and past
+    /// the end.
+    #[test]
+    fn next_price_change_matches_linear_rescan(
+        runs in prop::collection::vec((1u64..6, 1usize..8), 1..20),
+        start in 0u64..2_000,
+        query in 0u64..60_000,
+    ) {
+        // Build a series from (value, run-length) pairs so flat spans of
+        // every length are exercised, not just i.i.d. samples.
+        let prices: Vec<Price> = runs
+            .iter()
+            .flat_map(|&(v, n)| std::iter::repeat_n(Price::from_millis(v * 100), n))
+            .collect();
+        let s = PriceSeries::new(SimTime::from_secs(start), prices);
+        let t = SimTime::from_secs(query);
+        prop_assert_eq!(s.next_price_change(t), next_price_change_linear(&s, t));
+    }
+}
+
 proptest! {
     /// CSV export/import round-trips any generated trace exactly
     /// (milli-dollar precision is preserved by the 3-decimal format).
