@@ -2,6 +2,8 @@
 //! parser, and the surface is small).
 
 use redspot_core::Era;
+use redspot_trace::bootstrap::BootstrapConfig;
+use redspot_trace::{Profile, SimDuration, TraceSource};
 use std::collections::BTreeMap;
 
 /// Flags that take no value: present means `true`.
@@ -76,17 +78,66 @@ impl ParsedArgs {
     /// The flags shared by every simulation subcommand, parsed in one
     /// place so `run`, `sweep` and `chaos` agree on names and defaults.
     pub fn common(&self) -> Result<CommonArgs, String> {
+        let seed = self.num_or("seed", 42)?;
         Ok(CommonArgs {
             threads: self.num_or("threads", 0)?,
-            seed: self.num_or("seed", 42)?,
+            seed,
             metrics: self.has("metrics"),
             era: Era::parse(self.get_or("era", "classic"))?,
+            source: self.trace_source(seed)?,
+            source_explicit: self.names_a_source(),
+        })
+    }
+
+    /// Whether any trace-source flag was given explicitly (as opposed to
+    /// falling back to the generated default). Commands with no natural
+    /// default market (`serve` preload) only resolve a source when this
+    /// is true.
+    pub fn names_a_source(&self) -> bool {
+        self.has("trace") || self.has("bootstrap-from") || self.has("profile")
+    }
+
+    /// Resolve the shared trace-source flags into one [`TraceSource`].
+    ///
+    /// Precedence (the flags are mutually exclusive, erroring otherwise):
+    /// `--trace FILE` loads a recorded trace; `--bootstrap-from FILE`
+    /// (with `--block-hours` and `--days`) block-bootstraps from one;
+    /// otherwise `--profile` (default `high`, matching what the batch
+    /// studies historically generated) synthesizes with `--seed`.
+    pub fn trace_source(&self, seed: u64) -> Result<TraceSource, String> {
+        let exclusive: Vec<&str> = ["trace", "bootstrap-from", "profile"]
+            .into_iter()
+            .filter(|f| self.has(f))
+            .collect();
+        if exclusive.len() > 1 {
+            let list: Vec<String> = exclusive.iter().map(|f| format!("--{f}")).collect();
+            return Err(format!(
+                "{} are mutually exclusive: name one trace source",
+                list.join(" and ")
+            ));
+        }
+        if let Some(path) = self.get("trace") {
+            return Ok(TraceSource::File { path: path.into() });
+        }
+        if let Some(path) = self.get("bootstrap-from") {
+            return Ok(TraceSource::Bootstrap {
+                path: path.into(),
+                config: BootstrapConfig {
+                    block: SimDuration::from_hours(self.num_or("block-hours", 12)?),
+                    output_len: SimDuration::from_hours(24 * self.num_or("days", 30)?),
+                    seed,
+                },
+            });
+        }
+        Ok(TraceSource::Generate {
+            profile: Profile::parse(self.get_or("profile", "high"))?,
+            seed,
         })
     }
 }
 
 /// Flags every simulation subcommand shares.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CommonArgs {
     /// Worker threads for batch execution (0 = one per CPU).
     pub threads: usize,
@@ -97,6 +148,13 @@ pub struct CommonArgs {
     /// Market rules era (`classic` = the paper's 2014 hourly market,
     /// `modern` = post-2017 per-second billing with interruption notices).
     pub era: Era,
+    /// Where the market trace comes from (`--trace`, `--bootstrap-from`,
+    /// or `--profile` + `--seed`; defaults to the generated
+    /// high-volatility profile).
+    pub source: TraceSource,
+    /// Whether any source flag was given explicitly rather than
+    /// defaulted.
+    pub source_explicit: bool,
 }
 
 /// The help text.
@@ -105,16 +163,23 @@ pub fn usage() -> String {
 redspot — cost-effective, time-constrained HPC on the EC2 spot market (HPDC'14 reproduction)
 
 USAGE:
-  redspot gen-trace [--profile low|high|year] [--seed N] [--out FILE] [--format json|csv]
+  redspot gen-trace [--profile low|high|year|calibrated:FILE] [--seed N]
+                    [--out FILE] [--format json|csv] [--force]
+  redspot calibrate --trace FILE --out PROFILE.json [--force]
+                                    # fit generator parameters (price level,
+                                    # volatility, spell lengths, change-point
+                                    # density) to an observed trace; the emitted
+                                    # profile regenerates synthetic look-alikes via
+                                    # gen-trace --profile calibrated:PROFILE.json
   redspot describe FILE
-  redspot run --trace FILE [--policy periodic|markov-daly|edge|threshold]
+  redspot run [--policy periodic|markov-daly|edge|threshold|spot-on|randomized-bid]
               [--bid DOLLARS] [--zones 0,1,2] [--slack PCT] [--tc SECS]
               [--start HOURS] [--seed N] [--trace-out FILE.jsonl] [--metrics]
                                     # observation is opt-in: --trace-out streams the
                                     # event log as JSONL, --metrics prints telemetry
   redspot validate-trace FILE.jsonl # check a --trace-out file line by line: schema,
                                     # finite non-negative prices, ordered timestamps
-  redspot adaptive --trace FILE [--slack PCT] [--tc SECS] [--start HOURS] [--seed N]
+  redspot adaptive [--slack PCT] [--tc SECS] [--start HOURS] [--seed N]
   redspot figure 2|4|5|6 [--n COUNT] [--seed N]
   redspot table 2|3 [--n COUNT] [--seed N]
   redspot headline [--n COUNT] [--seed N]
@@ -138,10 +203,18 @@ USAGE:
                                     # the paper's 2014 hourly market vs the post-2017
                                     # per-second/interruption-notice market, same traces
                                     # and schemes; exits 1 on any deadline violation
+  redspot policy-compare [--n COUNT] [--seed N] [--threads N] [--out FILE] [--force]
+                                    # every checkpoint/bid policy (including spot-on
+                                    # and randomized-bid) under both eras on the same
+                                    # traces: median cost, checkpoints, interruptions,
+                                    # on-demand rate, violations; --out writes the
+                                    # comparison artifact as JSON; exits 1 on any
+                                    # deadline violation
   redspot markov-validation [--seed N] [--bid DOLLARS]
   redspot bootstrap --trace FILE --out FILE [--seed N] [--block-hours H] [--days D]
+                    [--force]
   redspot workloads                 # list the workload catalog
-  redspot sweep --trace FILE [--policy P|adaptive] [--bids 0.27,0.81,2.40] [--n COUNT]
+  redspot sweep [--policy P|adaptive] [--bids 0.27,0.81,2.40] [--n COUNT]
                 [--redundant true] [--slack PCT] [--tc SECS] [--seed N] [--metrics]
                 [--threads N] [--cache-stats] [--out sweep.json]
                 [--shard K/N --journal DIR [--sync-every N]] [--force]
@@ -153,12 +226,12 @@ USAGE:
                                     # the grid, journaling each completed cell — a
                                     # killed invocation re-run with the same flags
                                     # resumes, skipping already-journaled cells
-  redspot merge --journal DIR [--out sweep.json]
+  redspot merge --journal DIR [--out sweep.json] [--force]
                                     # verify and combine all N shard journals into the
                                     # artifact an uninterrupted sweep --out produces
                                     # (byte-identical); exits 1 with a diagnosis on
                                     # schema/fingerprint/coverage/checksum violations
-  redspot serve [--addr HOST:PORT | --stdio]
+  redspot serve [--addr HOST:PORT | --stdio] [--market NAME] [--bid DOLLARS]
                                     # live advisory daemon: stream price rows in over
                                     # line-JSON (validated like validate-trace), query
                                     # what Adaptive would do right now, subscribe to
@@ -166,8 +239,24 @@ USAGE:
                                     # serves one client on stdin/stdout; --addr
                                     # (default 127.0.0.1:7071, port 0 = ephemeral)
                                     # serves concurrent TCP clients; exits 1 if any
-                                    # request line failed
+                                    # request line failed; naming a trace source
+                                    # (--trace/--profile/--bootstrap-from) preloads
+                                    # it as market NAME (default \"preload\") at --bid
+                                    # (default 0.81) before serving
   redspot help
+
+Every simulating command (run, adaptive, sweep, chaos, fleet, era-compare,
+policy-compare, serve preload) draws its market from one shared trace
+source, resolved in this order:
+  --trace FILE                      # load a recorded JSON/CSV trace verbatim
+  --bootstrap-from FILE [--block-hours H] [--days D]
+                                    # block-bootstrap a synthetic ensemble member
+                                    # from an observed trace, seeded by --seed
+  --profile low|high|year|calibrated:FILE   (default: high)
+                                    # regenerate from a stock or fitted profile,
+                                    # seeded by --seed
+Naming more than one source is a usage error. Commands that write files
+(--out) refuse to overwrite an existing file unless --force is passed.
 
 Flags --workload NAME (on run/adaptive) override C, t_c and iteration
 structure from the catalog.
@@ -229,7 +318,12 @@ mod tests {
                 threads: 0,
                 seed: 42,
                 metrics: false,
-                era: Era::Classic
+                era: Era::Classic,
+                source: TraceSource::Generate {
+                    profile: Profile::High,
+                    seed: 42
+                },
+                source_explicit: false,
             }
         );
         let c = parse(&[
@@ -250,10 +344,90 @@ mod tests {
                 threads: 3,
                 seed: 9,
                 metrics: true,
-                era: Era::Modern
+                era: Era::Modern,
+                source: TraceSource::Generate {
+                    profile: Profile::High,
+                    seed: 9
+                },
+                source_explicit: false,
             }
         );
         assert!(parse(&["--threads", "x"]).unwrap().common().is_err());
         assert!(parse(&["--era", "2019"]).unwrap().common().is_err());
+    }
+
+    #[test]
+    fn trace_source_resolution_order() {
+        // --trace wins, and the same flag means the same thing everywhere.
+        let c = parse(&["--trace", "prices.csv"]).unwrap().common().unwrap();
+        assert_eq!(
+            c.source,
+            TraceSource::File {
+                path: "prices.csv".into()
+            }
+        );
+        assert!(c.source_explicit);
+
+        // --bootstrap-from carries the block/length knobs and the seed.
+        let c = parse(&[
+            "--bootstrap-from",
+            "prices.json",
+            "--block-hours",
+            "6",
+            "--days",
+            "10",
+            "--seed",
+            "7",
+        ])
+        .unwrap()
+        .common()
+        .unwrap();
+        assert_eq!(
+            c.source,
+            TraceSource::Bootstrap {
+                path: "prices.json".into(),
+                config: BootstrapConfig {
+                    block: SimDuration::from_hours(6),
+                    output_len: SimDuration::from_hours(240),
+                    seed: 7,
+                },
+            }
+        );
+
+        // --profile selects a generator, including calibrated:FILE.
+        let c = parse(&["--profile", "low"]).unwrap().common().unwrap();
+        assert_eq!(
+            c.source,
+            TraceSource::Generate {
+                profile: Profile::Low,
+                seed: 42
+            }
+        );
+        let c = parse(&["--profile", "calibrated:fit.json"])
+            .unwrap()
+            .common()
+            .unwrap();
+        assert_eq!(
+            c.source,
+            TraceSource::Generate {
+                profile: Profile::Calibrated("fit.json".into()),
+                seed: 42
+            }
+        );
+        assert!(parse(&["--profile", "weird"]).unwrap().common().is_err());
+    }
+
+    #[test]
+    fn conflicting_trace_sources_are_an_error() {
+        let err = parse(&["--trace", "a.json", "--profile", "high"])
+            .unwrap()
+            .common()
+            .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = parse(&["--trace", "a.json", "--bootstrap-from", "b.json"])
+            .unwrap()
+            .common()
+            .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
     }
 }

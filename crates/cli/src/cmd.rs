@@ -6,8 +6,7 @@ use redspot_core::{AdaptiveRunner, Engine, ExperimentConfig, PolicyKind, RunResu
 use redspot_exp::experiments::{fig2, fig4, fig5, fig6, tables};
 use redspot_exp::report::{boxplot_panel, REF_LINES};
 use redspot_exp::PaperSetup;
-use redspot_trace::gen::{year_history, GenConfig};
-use redspot_trace::{Price, SimTime, TraceSet, ZoneId};
+use redspot_trace::{Price, Profile, SimTime, TraceSet, ZoneId};
 use std::path::Path;
 
 fn load_trace(parsed: &ParsedArgs, key: &str) -> Result<TraceSet, String> {
@@ -15,26 +14,26 @@ fn load_trace(parsed: &ParsedArgs, key: &str) -> Result<TraceSet, String> {
         .get(key)
         .or_else(|| parsed.positional(0))
         .ok_or_else(|| format!("need --{key} FILE (or a positional path)"))?;
-    let path = Path::new(path);
-    let load = if path.extension().is_some_and(|e| e == "csv") {
-        redspot_trace::io::load_csv(path)
-    } else {
-        redspot_trace::io::load_json(path)
-    };
-    load.map_err(|e| format!("cannot load trace {}: {e}", path.display()))
+    redspot_trace::load_trace_file(Path::new(path))
+}
+
+/// The shared no-clobber guard every artifact-writing command applies to
+/// its `--out` before doing any work: refuse to overwrite an existing
+/// file unless `--force` was given, leaving the file untouched.
+fn guard_out(parsed: &ParsedArgs, path: &str) -> Result<(), String> {
+    if Path::new(path).exists() && !parsed.has("force") {
+        return Err(format!("{path} already exists; pass --force to overwrite"));
+    }
+    Ok(())
 }
 
 /// `gen-trace`: generate and save a synthetic trace.
 pub fn gen_trace(parsed: &ParsedArgs) -> Result<String, String> {
     let seed = parsed.num_or("seed", 42u64)?;
-    let profile = parsed.get_or("profile", "high");
-    let traces = match profile {
-        "low" => GenConfig::low_volatility(seed).generate(),
-        "high" => GenConfig::high_volatility(seed).generate(),
-        "year" => year_history(seed),
-        other => return Err(format!("unknown profile: {other} (low|high|year)")),
-    };
+    let profile = Profile::parse(parsed.get_or("profile", "high"))?;
+    let traces = profile.generate(seed)?;
     let out = parsed.get_or("out", "trace.json");
+    guard_out(parsed, out)?;
     let path = Path::new(out);
     let save = match parsed.get_or("format", "json") {
         "json" => redspot_trace::io::save_json(&traces, path),
@@ -42,9 +41,32 @@ pub fn gen_trace(parsed: &ParsedArgs) -> Result<String, String> {
         other => return Err(format!("unknown format: {other} (json|csv)")),
     };
     save.map_err(|e| format!("cannot write {out}: {e}"))?;
+    let what = match &profile {
+        Profile::Calibrated(_) => format!("{profile} trace"),
+        _ => format!("{profile}-volatility trace"),
+    };
     Ok(format!(
-        "wrote {profile}-volatility trace (seed {seed}) to {out}\n{}",
+        "wrote {what} (seed {seed}) to {out}\n{}",
         redspot_trace::io::describe(&traces)
+    ))
+}
+
+/// `calibrate`: fit a generator profile to an observed trace, for
+/// re-generation via `--profile calibrated:FILE` (any subcommand) or
+/// `gen-trace`.
+pub fn calibrate(parsed: &ParsedArgs) -> Result<String, String> {
+    let traces = load_trace(parsed, "trace")?;
+    let out = parsed.get("out").ok_or("need --out FILE")?;
+    guard_out(parsed, out)?;
+    let profile = redspot_trace::calibrate::fit(&traces);
+    profile
+        .save_json(Path::new(out))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(format!(
+        "fitted a {}-zone calibrated profile ({} span) to {out}\n\
+         regenerate with: redspot gen-trace --profile calibrated:{out}\n",
+        profile.zones.len(),
+        format_args!("{:.1}h", profile.duration.as_hours()),
     ))
 }
 
@@ -137,7 +159,14 @@ fn parse_policy(parsed: &ParsedArgs) -> Result<PolicyKind, String> {
         "markov-daly" => Ok(PolicyKind::MarkovDaly),
         "edge" => Ok(PolicyKind::RisingEdge),
         "threshold" => Ok(PolicyKind::Threshold),
-        other => Err(format!("unknown policy: {other}")),
+        "spot-on" => Ok(PolicyKind::SpotOnCadence),
+        // The randomized-bid draw stream follows the run's master seed,
+        // so `--seed` reproduces the whole run including the bids.
+        "randomized-bid" => Ok(PolicyKind::RandomizedBid(parsed.num_or("seed", 42u64)?)),
+        other => Err(format!(
+            "unknown policy: {other} \
+             (periodic|markov-daly|edge|threshold|spot-on|randomized-bid)"
+        )),
     }
 }
 
@@ -152,7 +181,7 @@ pub fn run(parsed: &ParsedArgs) -> Result<String, String> {
     use std::io::BufWriter;
 
     let common = parsed.common()?;
-    let traces = load_trace(parsed, "trace")?;
+    let traces = common.source.resolve()?;
     let cfg = experiment_config(parsed, &common, &traces)?;
     let kind = parse_policy(parsed)?;
     let start = SimTime::from_hours(parsed.num_or("start", 48u64)?);
@@ -283,7 +312,7 @@ pub fn validate_trace(parsed: &ParsedArgs) -> Result<String, String> {
 /// `adaptive`: a single experiment under the adaptive meta-policy.
 pub fn adaptive(parsed: &ParsedArgs) -> Result<String, String> {
     let common = parsed.common()?;
-    let traces = load_trace(parsed, "trace")?;
+    let traces = common.source.resolve()?;
     let mut cfg = experiment_config(parsed, &common, &traces)?;
     cfg.zones = traces.zone_ids().collect();
     let start = SimTime::from_hours(parsed.num_or("start", 48u64)?);
@@ -393,6 +422,7 @@ mod tests {
         let path = tmp("low.json");
         let out = dispatch_str(&[
             "gen-trace",
+            "--force",
             "--profile",
             "low",
             "--seed",
@@ -421,6 +451,7 @@ mod tests {
         let path = tmp("low.csv");
         dispatch_str(&[
             "gen-trace",
+            "--force",
             "--profile",
             "low",
             "--seed",
@@ -442,7 +473,7 @@ mod tests {
         assert!(dispatch_str(&["figure", "9"]).is_err());
         assert!(dispatch_str(&["table", "5"]).is_err());
         assert!(dispatch_str(&["describe", "/nonexistent/trace.json"]).is_err());
-        assert!(dispatch_str(&["gen-trace", "--profile", "weird"]).is_err());
+        assert!(dispatch_str(&["gen-trace", "--force", "--profile", "weird"]).is_err());
     }
 
     #[test]
@@ -545,6 +576,7 @@ mod tests {
         let path = tmp("low2.json");
         dispatch_str(&[
             "gen-trace",
+            "--force",
             "--profile",
             "low",
             "--seed",
@@ -638,15 +670,22 @@ pub fn chaos(parsed: &ParsedArgs) -> Result<String, CliError> {
     use redspot_exp::experiments::{chaos, chaos_api};
     let usage = CliError::Usage;
     let common = parsed.common().map_err(usage)?;
-    let seed = common.seed;
     let n = parsed.num_or("n", 8usize).map_err(usage)?;
     let intensities = parse_intensities(parsed, "0,0.3,0.6,1").map_err(usage)?;
+    let traces = common.source.resolve().map_err(usage)?;
     let (rendered, violations) = if parsed.has("api") || parsed.has("api-only") {
         let composed = !parsed.has("api-only");
-        let c = chaos_api::study(seed, &intensities, n, common.threads, composed, common.era);
+        let c = chaos_api::study(
+            &traces,
+            &intensities,
+            n,
+            common.threads,
+            composed,
+            common.era,
+        );
         (chaos_api::render(&c), c.total_violations())
     } else {
-        let c = chaos::study(seed, &intensities, n, common.threads, common.era);
+        let c = chaos::study(&traces, &intensities, n, common.threads, common.era);
         (chaos::render(&c), c.total_violations())
     };
     if violations > 0 {
@@ -683,7 +722,9 @@ pub fn fleet(parsed: &ParsedArgs) -> Result<String, CliError> {
         .collect::<Result<_, _>>()
         .map_err(usage)?;
 
+    let traces = common.source.resolve().map_err(usage)?;
     let c = chaos_fleet::study(
+        &traces,
         common.seed,
         &capacities,
         &intensities,
@@ -696,11 +737,7 @@ pub fn fleet(parsed: &ParsedArgs) -> Result<String, CliError> {
     if let Some(out) = parsed.get("out") {
         // Never silently clobber an existing artifact: a fleet metrics
         // file is typically the baseline another run diffs against.
-        if Path::new(out).exists() && !parsed.has("force") {
-            return Err(CliError::Usage(format!(
-                "{out} already exists; pass --force to overwrite"
-            )));
-        }
+        guard_out(parsed, out).map_err(CliError::Usage)?;
         let json = serde_json::to_string(&c.merged_metrics())
             .map_err(|e| CliError::Usage(format!("cannot serialize metrics: {e}")))?;
         std::fs::write(out, json)
@@ -722,16 +759,46 @@ pub fn fleet(parsed: &ParsedArgs) -> Result<String, CliError> {
 /// ephemeral) serves concurrent TCP clients. Exits 1 if any request
 /// line failed — a malformed ingestion stream never exits clean.
 pub fn serve(parsed: &ParsedArgs) -> Result<String, CliError> {
-    use redspot_core::serve::{serve_stdio, Daemon};
+    use redspot_core::serve::{serve_stdio_with, Daemon, Server};
+    let usage = CliError::Usage;
     let dirty =
         CliError::Violation("serve: one or more request lines failed (see replies)\n".into());
+    let common = parsed.common().map_err(usage)?;
+    // Preload only when a source was named explicitly: a daemon has no
+    // natural default market, so a bare `serve` starts empty and waits
+    // for clients to open markets themselves.
+    let preload = if common.source_explicit {
+        let traces = common.source.resolve().map_err(usage)?;
+        let market = parsed.get_or("market", "preload").to_string();
+        let bid = Price::from_dollars(parsed.num_or("bid", 0.81f64).map_err(usage)?);
+        Some((traces, market, bid))
+    } else {
+        None
+    };
+    let preload_into = |server: &Server| -> Result<String, CliError> {
+        match &preload {
+            None => Ok(String::new()),
+            Some((traces, market, bid)) => {
+                let rows = server
+                    .registry()
+                    .preload(market, traces, common.era, *bid, common.seed)
+                    .map_err(usage)?;
+                Ok(format!(
+                    "serve: preloaded market '{market}' ({rows} rows from {})\n",
+                    common.source
+                ))
+            }
+        }
+    };
     if parsed.has("stdio") {
+        let server = Server::new();
+        let banner = preload_into(&server)?;
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
-        let clean = serve_stdio(stdin.lock(), stdout.lock())
+        let clean = serve_stdio_with(&server, stdin.lock(), stdout.lock())
             .map_err(|e| CliError::Usage(format!("serve I/O error: {e}")))?;
         return if clean {
-            Ok("serve: session closed cleanly\n".into())
+            Ok(format!("{banner}serve: session closed cleanly\n"))
         } else {
             Err(dirty)
         };
@@ -739,6 +806,8 @@ pub fn serve(parsed: &ParsedArgs) -> Result<String, CliError> {
     let addr = parsed.get_or("addr", "127.0.0.1:7071");
     let daemon =
         Daemon::bind(addr).map_err(|e| CliError::Usage(format!("cannot bind {addr}: {e}")))?;
+    let banner = preload_into(daemon.server())?;
+    print!("{banner}");
     let bound = daemon
         .local_addr()
         .map_err(|e| CliError::Usage(e.to_string()))?;
@@ -752,6 +821,33 @@ pub fn serve(parsed: &ParsedArgs) -> Result<String, CliError> {
     }
 }
 
+/// `policy-compare`: every checkpoint policy head-to-head as redundancy
+/// over all zones, under both market eras — the policy × era cost table.
+/// Any deadline violation is a [`CliError::Violation`]; `--out FILE`
+/// writes the full comparison as a JSON artifact (the `policy-smoke` CI
+/// job uploads it), refusing to clobber without `--force`.
+pub fn policy_compare(parsed: &ParsedArgs) -> Result<String, CliError> {
+    use redspot_exp::experiments::policy_compare as pc;
+    let usage = CliError::Usage;
+    let common = parsed.common().map_err(usage)?;
+    let n = parsed.num_or("n", 8usize).map_err(usage)?;
+    let traces = common.source.resolve().map_err(usage)?;
+    let c = pc::study(&traces, n, common.threads);
+    let mut rendered = pc::render(&c);
+    if let Some(out) = parsed.get("out") {
+        guard_out(parsed, out).map_err(usage)?;
+        let json = serde_json::to_string_pretty(&c)
+            .map_err(|e| CliError::Usage(format!("cannot serialize comparison: {e}")))?;
+        std::fs::write(out, json)
+            .map_err(|e| CliError::Usage(format!("cannot write {out}: {e}")))?;
+        rendered.push_str(&format!("\n  comparison artifact written to {out}\n"));
+    }
+    if c.total_violations() > 0 {
+        return Err(CliError::Violation(rendered));
+    }
+    Ok(rendered)
+}
+
 /// `era-compare`: the paper's 2014 hourly market against the post-2017
 /// per-second/interruption-notice market, same traces and schemes. Any
 /// deadline violation in either era is a [`CliError::Violation`].
@@ -760,7 +856,8 @@ pub fn era_compare(parsed: &ParsedArgs) -> Result<String, CliError> {
     let usage = CliError::Usage;
     let common = parsed.common().map_err(usage)?;
     let n = parsed.num_or("n", 8usize).map_err(usage)?;
-    let c = era_compare::study(common.seed, n, common.threads);
+    let traces = common.source.resolve().map_err(usage)?;
+    let c = era_compare::study(&traces, n, common.threads);
     let rendered = era_compare::render(&c);
     if c.total_violations() > 0 {
         return Err(CliError::Violation(rendered));
@@ -781,8 +878,9 @@ pub fn markov_validation(parsed: &ParsedArgs) -> Result<String, String> {
 pub fn bootstrap(parsed: &ParsedArgs) -> Result<String, String> {
     use redspot_trace::bootstrap::{resample, BootstrapConfig};
     use redspot_trace::SimDuration;
-    let source = load_trace(parsed, "trace")?;
     let out = parsed.get("out").ok_or("need --out FILE")?;
+    guard_out(parsed, out)?;
+    let source = load_trace(parsed, "trace")?;
     let cfg = BootstrapConfig {
         seed: parsed.num_or("seed", 0u64)?,
         block: SimDuration::from_hours(parsed.num_or("block-hours", 12u64)?),
@@ -824,6 +922,7 @@ mod extra_tests {
         let src = tmp("src.json");
         dispatch_str(&[
             "gen-trace",
+            "--force",
             "--profile",
             "high",
             "--seed",
@@ -833,6 +932,7 @@ mod extra_tests {
         ])
         .unwrap();
         let dst = tmp("variant.json");
+        let _ = std::fs::remove_file(&dst);
         let out = dispatch_str(&[
             "bootstrap",
             "--trace",
@@ -849,6 +949,91 @@ mod extra_tests {
         let described = dispatch_str(&["describe", &dst]).unwrap();
         assert!(described.contains("span 240.0h"));
         assert!(dispatch_str(&["bootstrap", "--trace", &src]).is_err()); // no --out
+
+        // The no-clobber guard: a repeat run refuses and leaves the
+        // artifact untouched; --force overwrites.
+        let before = std::fs::read(&dst).unwrap();
+        let err = dispatch_str(&["bootstrap", "--trace", &src, "--out", &dst, "--days", "10"])
+            .unwrap_err();
+        assert!(err.contains("already exists"), "{err}");
+        assert!(err.contains("--force"), "{err}");
+        assert_eq!(std::fs::read(&dst).unwrap(), before);
+        dispatch_str(&[
+            "bootstrap",
+            "--trace",
+            &src,
+            "--out",
+            &dst,
+            "--days",
+            "10",
+            "--force",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn gen_trace_refuses_to_clobber_without_force() {
+        let path = tmp("clobber-gen.json");
+        std::fs::write(&path, b"precious trace").unwrap();
+        let err = dispatch_str(&["gen-trace", "--profile", "low", "--out", &path]).unwrap_err();
+        assert!(err.contains("already exists"), "{err}");
+        assert!(err.contains("--force"), "{err}");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"precious trace".to_vec(),
+            "refused run must not touch the file"
+        );
+        let ok =
+            dispatch_str(&["gen-trace", "--profile", "low", "--out", &path, "--force"]).unwrap();
+        assert!(ok.contains("low-volatility trace"), "{ok}");
+        assert_ne!(std::fs::read(&path).unwrap(), b"precious trace".to_vec());
+    }
+
+    #[test]
+    fn calibrate_fits_and_regenerates() {
+        let src = tmp("calib-src.json");
+        dispatch_str(&[
+            "gen-trace",
+            "--force",
+            "--profile",
+            "high",
+            "--seed",
+            "6",
+            "--out",
+            &src,
+        ])
+        .unwrap();
+        let fit = tmp("calib-profile.json");
+        let _ = std::fs::remove_file(&fit);
+        let out = dispatch_str(&["calibrate", "--trace", &src, "--out", &fit]).unwrap();
+        assert!(out.contains("calibrated profile"), "{out}");
+        assert!(out.contains("calibrated:"), "{out}");
+
+        // The no-clobber guard holds here too.
+        let before = std::fs::read(&fit).unwrap();
+        let err = dispatch_str(&["calibrate", "--trace", &src, "--out", &fit]).unwrap_err();
+        assert!(err.contains("already exists"), "{err}");
+        assert_eq!(std::fs::read(&fit).unwrap(), before);
+
+        // The fitted profile round-trips through gen-trace and the
+        // unified --profile flag on a simulation command.
+        let regen = tmp("calib-regen.json");
+        let spec = format!("calibrated:{fit}");
+        let out = dispatch_str(&[
+            "gen-trace",
+            "--force",
+            "--profile",
+            &spec,
+            "--seed",
+            "9",
+            "--out",
+            &regen,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote calibrated:"), "{out}");
+        let out = dispatch_str(&["run", "--profile", &spec, "--start", "48"]).unwrap();
+        assert!(out.contains("cost $"), "{out}");
+        assert!(dispatch_str(&["calibrate", "--trace", &src]).is_err()); // no --out
     }
 }
 
@@ -875,6 +1060,7 @@ mod workload_tests {
         let path = tmp("wl.json");
         dispatch_str(&[
             "gen-trace",
+            "--force",
             "--profile",
             "low",
             "--seed",
@@ -1032,7 +1218,7 @@ pub fn sweep(parsed: &ParsedArgs) -> Result<String, CliError> {
     use redspot_exp::{fingerprint, MergedSweep, ShardManifest};
 
     let common = parsed.common().map_err(CliError::Usage)?;
-    let traces = load_trace(parsed, "trace").map_err(CliError::Usage)?;
+    let traces = common.source.resolve().map_err(CliError::Usage)?;
     let base = experiment_config(parsed, &common, &traces).map_err(CliError::Usage)?;
     let grid = sweep_grid(parsed, &traces, &base).map_err(CliError::Usage)?;
     let fp = fingerprint(&base, &grid.specs);
@@ -1093,13 +1279,9 @@ pub fn sweep(parsed: &ParsedArgs) -> Result<String, CliError> {
     // Never silently clobber an existing artifact (checked before the
     // sweep runs, so a refused invocation costs nothing): a sweep
     // artifact is typically the baseline another run diffs against —
-    // the same guard `fleet --out` applies.
+    // the same guard every artifact-writing command applies.
     if let Some(path) = out_path {
-        if Path::new(path).exists() && !parsed.has("force") {
-            return Err(CliError::Usage(format!(
-                "{path} already exists; pass --force to overwrite"
-            )));
-        }
+        guard_out(parsed, path).map_err(CliError::Usage)?;
     }
     let want_cache_stats = parsed.has("cache-stats");
     // `--out` always meters: the artifact embeds merged per-cell metrics
@@ -1194,6 +1376,10 @@ pub fn merge(parsed: &ParsedArgs) -> Result<String, CliError> {
         .get("journal")
         .or_else(|| parsed.positional(0))
         .ok_or_else(|| CliError::Usage("need --journal DIR (or a positional path)".into()))?;
+    // Guard the artifact before the (possibly expensive) merge runs.
+    if let Some(path) = parsed.get("out") {
+        guard_out(parsed, path).map_err(CliError::Usage)?;
+    }
     let (merged, report) = merge_dir(Path::new(dir))
         .map_err(|e| CliError::Violation(format!("merge failed: {e}\n")))?;
     let mut out = format!(
@@ -1230,6 +1416,7 @@ mod sweep_tests {
         let trace = tmp("sweep-clobber-trace.json");
         dispatch_str(&[
             "gen-trace",
+            "--force",
             "--profile",
             "low",
             "--seed",
@@ -1278,6 +1465,7 @@ mod sweep_tests {
         let path = tmp("sweep.json");
         dispatch_str(&[
             "gen-trace",
+            "--force",
             "--profile",
             "low",
             "--seed",
@@ -1309,6 +1497,7 @@ mod sweep_tests {
         let path = tmp("sweep-adaptive.json");
         dispatch_str(&[
             "gen-trace",
+            "--force",
             "--profile",
             "low",
             "--seed",
@@ -1344,6 +1533,7 @@ mod sweep_tests {
         let path = tmp("sweep2.json");
         dispatch_str(&[
             "gen-trace",
+            "--force",
             "--profile",
             "low",
             "--seed",
@@ -1372,6 +1562,7 @@ mod sweep_tests {
         let path = tmp("sweep3.json");
         dispatch_str(&[
             "gen-trace",
+            "--force",
             "--profile",
             "low",
             "--seed",
@@ -1403,6 +1594,7 @@ mod sweep_tests {
         let trace = tmp("sweep-shard.json");
         dispatch_str(&[
             "gen-trace",
+            "--force",
             "--profile",
             "low",
             "--seed",
@@ -1449,6 +1641,16 @@ mod sweep_tests {
             "merged artifact must be byte-identical to the single-process run"
         );
 
+        // merge --out honors the same no-clobber guard as sweep --out,
+        // and a refused merge leaves the artifact untouched.
+        let before = std::fs::read(&merged).unwrap();
+        let err = dispatch_str(&["merge", "--journal", &dir, "--out", &merged]).unwrap_err();
+        assert!(err.contains("already exists"), "{err}");
+        assert!(err.contains("--force"), "{err}");
+        assert_eq!(std::fs::read(&merged).unwrap(), before);
+        let out = dispatch_str(&["merge", "--journal", &dir, "--out", &merged, "--force"]).unwrap();
+        assert!(out.contains("written to"), "{out}");
+
         // Re-running a completed shard executes nothing and the merge
         // (and artifact) are unchanged.
         let mut args = vec!["sweep"];
@@ -1490,6 +1692,7 @@ mod sweep_tests {
         let trace = tmp("sweep-shard2.json");
         dispatch_str(&[
             "gen-trace",
+            "--force",
             "--profile",
             "low",
             "--seed",
@@ -1528,6 +1731,123 @@ mod sweep_tests {
 }
 
 #[cfg(test)]
+mod source_tests {
+    use crate::dispatch;
+
+    fn dispatch_str(args: &[&str]) -> Result<String, String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).map_err(|e| e.to_string())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("redspot-cli-test6");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn run_and_adaptive_default_to_the_generated_profile() {
+        // No --trace required anymore: the shared TraceSource defaults to
+        // the generated high-volatility profile at the master seed.
+        let out = dispatch_str(&["run", "--start", "48", "--zones", "0"]).unwrap();
+        assert!(out.contains("cost $"), "{out}");
+        let out =
+            dispatch_str(&["run", "--profile", "low", "--start", "48", "--zones", "0"]).unwrap();
+        assert!(out.contains("deadline met: true"), "{out}");
+        // Naming two sources at once is a usage error on any subcommand.
+        let err = dispatch_str(&["run", "--trace", "x.json", "--profile", "high"]).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = dispatch_str(&["sweep", "--trace", "x.json", "--bootstrap-from", "y.json"])
+            .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn bootstrap_from_flag_feeds_simulation_commands() {
+        let src = tmp("boot-feed.json");
+        dispatch_str(&[
+            "gen-trace",
+            "--force",
+            "--profile",
+            "low",
+            "--seed",
+            "2",
+            "--out",
+            &src,
+        ])
+        .unwrap();
+        let out = dispatch_str(&[
+            "run",
+            "--bootstrap-from",
+            &src,
+            "--days",
+            "10",
+            "--zones",
+            "0",
+            "--start",
+            "48",
+        ])
+        .unwrap();
+        assert!(out.contains("cost $"), "{out}");
+    }
+
+    #[test]
+    fn new_policies_run_and_replay_deterministically() {
+        let flags = [
+            "run",
+            "--policy",
+            "randomized-bid",
+            "--seed",
+            "7",
+            "--start",
+            "48",
+            "--zones",
+            "0",
+        ];
+        let a = dispatch_str(&flags).unwrap();
+        let b = dispatch_str(&flags).unwrap();
+        assert_eq!(a, b, "same seed must replay byte-identically");
+        assert!(a.contains("deadline met: true"), "{a}");
+        let out = dispatch_str(&[
+            "run", "--policy", "spot-on", "--start", "48", "--zones", "0",
+        ])
+        .unwrap();
+        assert!(out.contains("deadline met: true"), "{out}");
+    }
+
+    #[test]
+    fn policy_compare_sweeps_the_roster_and_writes_the_artifact() {
+        let out_path = tmp("policy-compare.json");
+        let _ = std::fs::remove_file(&out_path);
+        let out = dispatch_str(&["policy-compare", "--n", "2", "--out", &out_path]).unwrap();
+        assert!(out.contains("total deadline violations: 0"), "{out}");
+        assert!(out.contains("cheapest under classic"), "{out}");
+        assert!(out.contains("cheapest under modern"), "{out}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        assert!(json.contains("\"cells\""), "{json}");
+        // Same no-clobber contract as every other artifact.
+        let before = std::fs::read(&out_path).unwrap();
+        let err = dispatch_str(&["policy-compare", "--n", "2", "--out", &out_path]).unwrap_err();
+        assert!(err.contains("already exists"), "{err}");
+        assert_eq!(std::fs::read(&out_path).unwrap(), before);
+    }
+
+    #[test]
+    fn serve_preload_resolves_the_source_before_binding() {
+        // A bad preload source fails as a usage error without ever
+        // binding a socket or blocking in the accept loop.
+        let err = dispatch_str(&[
+            "serve",
+            "--trace",
+            "/nonexistent/preload.json",
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("cannot load trace"), "{err}");
+    }
+}
+
+#[cfg(test)]
 mod observability_tests {
     use crate::dispatch;
 
@@ -1544,6 +1864,7 @@ mod observability_tests {
     fn gen(path: &str) {
         dispatch_str(&[
             "gen-trace",
+            "--force",
             "--profile",
             "low",
             "--seed",

@@ -41,6 +41,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     let parsed = ParsedArgs::parse(rest).map_err(CliError::Usage)?;
     match cmd.as_str() {
         "gen-trace" => cmd::gen_trace(&parsed).map_err(CliError::Usage),
+        "calibrate" => cmd::calibrate(&parsed).map_err(CliError::Usage),
         "describe" => cmd::describe(&parsed).map_err(CliError::Usage),
         "run" => cmd::run(&parsed).map_err(CliError::Usage),
         "validate-trace" => cmd::validate_trace(&parsed).map_err(CliError::Usage),
@@ -54,6 +55,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "chaos" => cmd::chaos(&parsed),
         "fleet" => cmd::fleet(&parsed),
         "era-compare" => cmd::era_compare(&parsed),
+        "policy-compare" => cmd::policy_compare(&parsed),
         "markov-validation" => cmd::markov_validation(&parsed).map_err(CliError::Usage),
         "bootstrap" => cmd::bootstrap(&parsed).map_err(CliError::Usage),
         "workloads" => cmd::workloads(&parsed).map_err(CliError::Usage),

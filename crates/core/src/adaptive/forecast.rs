@@ -129,6 +129,11 @@ pub fn forecast_from_stats(stats: WindowStats, costs: CkptCosts, kind: PolicyKin
             DalyOrder::HigherOrder,
         )
         .secs() as f64,
+        // Randomized-bid keeps Periodic's hour-boundary cadence; only its
+        // acquisition bids differ, which the availability figures absorb.
+        PolicyKind::RandomizedBid(_) => 3_600.0 - tc,
+        // Spot-on: Young's interval from the observed mean up-run.
+        PolicyKind::SpotOnCadence => (2.0 * tc * mean_up_secs.max(1.0)).sqrt().max(tc),
         // Edge-family and Large-bid are not candidates for Adaptive, but
         // estimate them as checkpointing once per observed up-run.
         PolicyKind::RisingEdge | PolicyKind::Threshold | PolicyKind::LargeBid(_) => {

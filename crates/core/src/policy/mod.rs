@@ -15,12 +15,16 @@ pub mod edge;
 pub mod large_bid;
 pub mod markov_daly;
 pub mod periodic;
+pub mod randomized_bid;
+pub mod spot_on;
 pub mod threshold;
 
 pub use edge::EdgePolicy;
 pub use large_bid::LargeBidPolicy;
 pub use markov_daly::MarkovDalyPolicy;
 pub use periodic::PeriodicPolicy;
+pub use randomized_bid::RandomizedBidPolicy;
+pub use spot_on::SpotOnPolicy;
 pub use threshold::ThresholdPolicy;
 
 /// Everything a policy may inspect at a decision point.
@@ -132,6 +136,13 @@ pub enum PolicyKind {
     /// Large-bid baseline with user cost-control threshold `L`
     /// (Section 7.2.2); the value is `L` in milli-dollars.
     LargeBid(u64),
+    /// Optimal randomized bidding (Bhuyan et al.): a fresh acquisition
+    /// bid drawn per billing-hour epoch from a `1/b²` distribution over
+    /// `[B/3, B]`; the value is the draw seed.
+    RandomizedBid(u64),
+    /// Spot-on cadence: Young's interval from the observed interruption
+    /// rate of the trailing price history.
+    SpotOnCadence,
 }
 
 impl PolicyKind {
@@ -143,6 +154,8 @@ impl PolicyKind {
             PolicyKind::RisingEdge => Box::new(EdgePolicy::new()),
             PolicyKind::Threshold => Box::new(ThresholdPolicy::new()),
             PolicyKind::LargeBid(l) => Box::new(LargeBidPolicy::new(Price::from_millis(l))),
+            PolicyKind::RandomizedBid(seed) => Box::new(RandomizedBidPolicy::new(seed)),
+            PolicyKind::SpotOnCadence => Box::new(SpotOnPolicy::new()),
         }
     }
 
@@ -154,6 +167,8 @@ impl PolicyKind {
             PolicyKind::RisingEdge => "E",
             PolicyKind::Threshold => "T",
             PolicyKind::LargeBid(_) => "L",
+            PolicyKind::RandomizedBid(_) => "B",
+            PolicyKind::SpotOnCadence => "S",
         }
     }
 }
@@ -168,6 +183,8 @@ impl std::fmt::Display for PolicyKind {
             PolicyKind::LargeBid(l) => {
                 write!(f, "Large-bid(L={})", Price::from_millis(*l))
             }
+            PolicyKind::RandomizedBid(seed) => write!(f, "Randomized-bid(s={seed})"),
+            PolicyKind::SpotOnCadence => write!(f, "Spot-on"),
         }
     }
 }
@@ -236,6 +253,11 @@ mod tests {
         assert_eq!(PolicyKind::RisingEdge.build().name(), "Rising-Edge");
         assert_eq!(PolicyKind::Threshold.build().name(), "Threshold");
         assert_eq!(PolicyKind::LargeBid(270).build().name(), "Large-bid");
+        assert_eq!(
+            PolicyKind::RandomizedBid(7).build().name(),
+            "Randomized-bid"
+        );
+        assert_eq!(PolicyKind::SpotOnCadence.build().name(), "Spot-on");
     }
 
     #[test]
@@ -244,11 +266,18 @@ mod tests {
         assert_eq!(PolicyKind::MarkovDaly.label(), "M");
         assert_eq!(PolicyKind::RisingEdge.label(), "E");
         assert_eq!(PolicyKind::Threshold.label(), "T");
+        assert_eq!(PolicyKind::RandomizedBid(7).label(), "B");
+        assert_eq!(PolicyKind::SpotOnCadence.label(), "S");
     }
 
     #[test]
     fn display_is_stable() {
         assert_eq!(PolicyKind::LargeBid(270).to_string(), "Large-bid(L=$0.27)");
         assert_eq!(PolicyKind::MarkovDaly.to_string(), "Markov-Daly");
+        assert_eq!(
+            PolicyKind::RandomizedBid(9).to_string(),
+            "Randomized-bid(s=9)"
+        );
+        assert_eq!(PolicyKind::SpotOnCadence.to_string(), "Spot-on");
     }
 }

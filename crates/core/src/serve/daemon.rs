@@ -153,8 +153,18 @@ fn deliver(writers: &Writers, client: u64, line: &str) {
 /// Run the serve protocol over stdio: one client (id 0), pushes inline
 /// on stdout after the reply that caused them. Returns `true` when every
 /// line succeeded. Used by `redspot serve --stdio` and the CI smoke job.
-pub fn serve_stdio(input: impl std::io::BufRead, mut output: impl Write) -> std::io::Result<bool> {
-    let server = Server::new();
+pub fn serve_stdio(input: impl std::io::BufRead, output: impl Write) -> std::io::Result<bool> {
+    serve_stdio_with(&Server::new(), input, output)
+}
+
+/// [`serve_stdio`] against a caller-provided [`Server`] — the CLI uses
+/// this to preload markets (`serve --trace FILE --stdio`) before the
+/// first client line arrives.
+pub fn serve_stdio_with(
+    server: &Server,
+    input: impl std::io::BufRead,
+    mut output: impl Write,
+) -> std::io::Result<bool> {
     for line in input.lines() {
         let line = line?;
         let Outcome {
@@ -221,6 +231,33 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("\"ok\":false"), "{text}");
         assert!(text.contains("\"rows\":0"), "{text}");
+    }
+
+    #[test]
+    fn stdio_session_sees_a_preloaded_market() {
+        use redspot_trace::Price;
+
+        let traces = redspot_trace::gen::GenConfig::low_volatility(3).generate();
+        let server = Server::new();
+        let rows = server
+            .registry()
+            .preload(
+                "preload",
+                &traces,
+                redspot_market::Era::Classic,
+                Price::from_millis(810),
+                3,
+            )
+            .unwrap();
+        assert!(rows > 0);
+        // A client connecting to the preloaded server can query the
+        // market without opening or ingesting anything itself.
+        let script = concat!(r#"{"req":"stats","market":"preload"}"#, "\n");
+        let mut out = Vec::new();
+        let clean = serve_stdio_with(&server, script.as_bytes(), &mut out).unwrap();
+        assert!(clean);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(&format!("\"rows\":{rows}")), "{text}");
     }
 
     #[test]

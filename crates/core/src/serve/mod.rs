@@ -33,7 +33,7 @@ pub mod proto;
 pub mod registry;
 pub mod server;
 
-pub use daemon::{serve_stdio, Daemon};
+pub use daemon::{serve_stdio, serve_stdio_with, Daemon};
 pub use proto::{check_price_fields, parse_request, MarketSpec, Request, SERVE_PROTO_VERSION};
 pub use registry::{Advice, MarketStats, Notice, Registry};
 pub use server::{Outcome, Push, Server};

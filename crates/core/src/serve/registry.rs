@@ -440,6 +440,47 @@ impl Registry {
         }
     }
 
+    /// Open a fresh market named `market` and ingest every aligned row
+    /// of `traces` — the `serve --trace`/`--profile` preload path, so a
+    /// daemon can come up already knowing a market's history instead of
+    /// waiting for a client to stream it. Zones, start and step are
+    /// derived from the trace; `era`, `bid` and `seed` parameterize the
+    /// advisory config exactly as a client `open` would. Returns the row
+    /// count ingested.
+    pub fn preload(
+        &self,
+        market: &str,
+        traces: &TraceSet,
+        era: redspot_market::Era,
+        bid: Price,
+        seed: u64,
+    ) -> Result<u64, String> {
+        let zones = traces.n_zones();
+        if zones == 0 {
+            return Err("preload trace has no zones".into());
+        }
+        let first = traces.zone(redspot_trace::ZoneId(0));
+        let (start, step) = (first.start(), first.step());
+        self.open(MarketSpec {
+            market: market.to_string(),
+            zones,
+            start,
+            step,
+            era,
+            bid,
+            seed,
+        })?;
+        let mut prices = vec![Price::from_millis(0); zones];
+        for i in 0..first.len() {
+            for (z, slot) in prices.iter_mut().enumerate() {
+                *slot = traces.zones()[z].samples()[i];
+            }
+            let at = SimTime::from_secs(start.secs() + i as u64 * step);
+            self.ingest(market, at, &prices)?;
+        }
+        Ok(first.len() as u64)
+    }
+
     /// Run one sentinel pass over every market (deterministic order).
     pub fn poll_all(&self) -> Vec<Notice> {
         let mut ids: Vec<String> = self
@@ -500,6 +541,35 @@ mod tests {
         assert!(reg.ingest("m", SimTime::ZERO, &p).is_err());
         assert_eq!(reg.ingest("m", SimTime::from_secs(300), &p), Ok(2));
         assert!(reg.open(spec(Era::Classic)).is_err(), "duplicate open");
+    }
+
+    #[test]
+    fn preload_ingests_a_whole_trace_and_serves_advice() {
+        let traces = redspot_trace::gen::GenConfig::low_volatility(9).generate();
+        let reg = Registry::new();
+        let rows = reg
+            .preload("pre", &traces, Era::Classic, Price::from_millis(810), 9)
+            .unwrap();
+        assert_eq!(rows, traces.zone(redspot_trace::ZoneId(0)).len() as u64);
+        let (stats, _) = reg.stats("pre").unwrap();
+        assert_eq!(stats.rows, rows);
+        // The watermark sits one step past the last row, so advice at the
+        // trace end works against the full preloaded history.
+        let now = traces.end();
+        let advice = reg
+            .advise(
+                "pre",
+                now,
+                SimDuration::from_hours(20),
+                SimDuration::from_hours(23),
+            )
+            .unwrap();
+        assert!(advice.bid_millis > 0);
+        // Same market name twice is the usual duplicate-open error.
+        let err = reg
+            .preload("pre", &traces, Era::Classic, Price::from_millis(810), 9)
+            .unwrap_err();
+        assert!(err.contains("already open"), "{err}");
     }
 
     #[test]

@@ -13,11 +13,10 @@
 //! never make them late.
 
 use crate::exec::RunRequest;
-use crate::scheme::{RunSpec, Scheme};
+use crate::scheme::{guarantee_suite, RunSpec};
 use crate::windows::{experiment_starts, run_span_for};
-use redspot_core::{Era, ExperimentConfig, FaultPlan, MarketCtx, PolicyKind};
-use redspot_trace::gen::GenConfig;
-use redspot_trace::Price;
+use redspot_core::{Era, ExperimentConfig, FaultPlan, MarketCtx};
+use redspot_trace::{Price, TraceSet};
 
 /// One cell of the sweep: a scheme at a fault intensity.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,33 +65,27 @@ impl Chaos {
     }
 }
 
-/// Run the sweep: every intensity × scheme × `n_starts` start times on a
-/// high-volatility market. `threads = 0` means one worker per CPU. Under
-/// [`Era::Modern`] every run executes against the post-2017 market rules
-/// (per-second billing, interruption notices) — the zero-violation
+/// Run the sweep: every intensity × scheme × `n_starts` start times on
+/// the given market (the CLI resolves a
+/// [`TraceSource`](redspot_trace::TraceSource); the default is the
+/// high-volatility profile). `threads = 0` means one worker per CPU.
+/// Under [`Era::Modern`] every run executes against the post-2017 market
+/// rules (per-second billing, interruption notices) — the zero-violation
 /// requirement is era-independent.
-pub fn study(seed: u64, intensities: &[f64], n_starts: usize, threads: usize, era: Era) -> Chaos {
-    let traces = GenConfig::high_volatility(seed).generate();
+pub fn study(
+    traces: &TraceSet,
+    intensities: &[f64],
+    n_starts: usize,
+    threads: usize,
+    era: Era,
+) -> Chaos {
     let base = ExperimentConfig::paper_default()
         .with_slack_percent(15)
         .with_era(era);
     let bid = Price::from_millis(810);
-    let starts = experiment_starts(&traces, run_span_for(base.deadline), n_starts);
+    let starts = experiment_starts(traces, run_span_for(base.deadline), n_starts);
     let mkt = MarketCtx::new(traces.clone());
-    let schemes = [
-        Scheme::Single {
-            kind: PolicyKind::Periodic,
-            zone: redspot_trace::ZoneId(0),
-        },
-        Scheme::Redundant {
-            kind: PolicyKind::Periodic,
-            zones: traces.zone_ids().collect(),
-        },
-        Scheme::Redundant {
-            kind: PolicyKind::MarkovDaly,
-            zones: traces.zone_ids().collect(),
-        },
-    ];
+    let schemes = guarantee_suite(traces.zone_ids().collect());
 
     let mut cells = Vec::new();
     for scheme in &schemes {
@@ -163,10 +156,14 @@ pub fn render(c: &Chaos) -> String {
 mod tests {
     use super::*;
 
+    fn traces() -> redspot_trace::TraceSet {
+        redspot_trace::gen::GenConfig::high_volatility(17).generate()
+    }
+
     #[test]
     fn guarantee_survives_the_sweep() {
-        let c = study(17, &[0.0, 0.6], 4, 0, Era::Classic);
-        assert_eq!(c.cells.len(), 6); // 3 schemes x 2 intensities
+        let c = study(&traces(), &[0.0, 0.6], 4, 0, Era::Classic);
+        assert_eq!(c.cells.len(), 10); // 5 schemes x 2 intensities
         assert_eq!(
             c.total_violations(),
             0,
@@ -181,7 +178,7 @@ mod tests {
 
     #[test]
     fn faults_degrade_cost_not_deadlines() {
-        let c = study(17, &[0.0, 0.8], 4, 0, Era::Classic);
+        let c = study(&traces(), &[0.0, 0.8], 4, 0, Era::Classic);
         // At least one scheme should actually get more expensive under
         // heavy faults — otherwise the injection is not doing anything.
         let degraded = c

@@ -13,11 +13,10 @@
 //! late.
 
 use crate::exec::RunRequest;
-use crate::scheme::{RunSpec, Scheme};
+use crate::scheme::{guarantee_suite, RunSpec};
 use crate::windows::{experiment_starts, run_span_for};
-use redspot_core::{ApiFaultPlan, Era, ExperimentConfig, FaultPlan, MarketCtx, PolicyKind};
-use redspot_trace::gen::GenConfig;
-use redspot_trace::Price;
+use redspot_core::{ApiFaultPlan, Era, ExperimentConfig, FaultPlan, MarketCtx};
+use redspot_trace::{Price, TraceSet};
 
 /// One cell of the sweep: a scheme at an API fault intensity.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,42 +72,28 @@ impl ChaosApi {
     }
 }
 
-/// Run the sweep: every intensity × scheme × `n_starts` start times on a
-/// high-volatility market. `threads = 0` means one worker per CPU.
+/// Run the sweep: every intensity × scheme × `n_starts` start times on
+/// the given market. `threads = 0` means one worker per CPU.
 ///
 /// With `composed`, the same intensity also drives the *infrastructure*
 /// fault plane ([`FaultPlan::with_intensity`]), so checkpoint failures,
 /// boot failures and blackouts land in the same runs as the flaky API —
 /// the worst of both studies in one invocation.
 pub fn study(
-    seed: u64,
+    traces: &TraceSet,
     intensities: &[f64],
     n_starts: usize,
     threads: usize,
     composed: bool,
     era: Era,
 ) -> ChaosApi {
-    let traces = GenConfig::high_volatility(seed).generate();
     let base = ExperimentConfig::paper_default()
         .with_slack_percent(15)
         .with_era(era);
     let bid = Price::from_millis(810);
-    let starts = experiment_starts(&traces, run_span_for(base.deadline), n_starts);
+    let starts = experiment_starts(traces, run_span_for(base.deadline), n_starts);
     let mkt = MarketCtx::new(traces.clone());
-    let schemes = [
-        Scheme::Single {
-            kind: PolicyKind::Periodic,
-            zone: redspot_trace::ZoneId(0),
-        },
-        Scheme::Redundant {
-            kind: PolicyKind::Periodic,
-            zones: traces.zone_ids().collect(),
-        },
-        Scheme::Redundant {
-            kind: PolicyKind::MarkovDaly,
-            zones: traces.zone_ids().collect(),
-        },
-    ];
+    let schemes = guarantee_suite(traces.zone_ids().collect());
 
     let mut cells = Vec::new();
     for scheme in &schemes {
@@ -198,10 +183,14 @@ pub fn render(c: &ChaosApi) -> String {
 mod tests {
     use super::*;
 
+    fn traces() -> TraceSet {
+        redspot_trace::gen::GenConfig::high_volatility(17).generate()
+    }
+
     #[test]
     fn guarantee_survives_the_sweep() {
-        let c = study(17, &[0.0, 0.6], 4, 0, false, Era::Classic);
-        assert_eq!(c.cells.len(), 6); // 3 schemes x 2 intensities
+        let c = study(&traces(), &[0.0, 0.6], 4, 0, false, Era::Classic);
+        assert_eq!(c.cells.len(), 10); // 5 schemes x 2 intensities
         assert_eq!(
             c.total_violations(),
             0,
@@ -216,7 +205,7 @@ mod tests {
 
     #[test]
     fn api_faults_surface_in_the_counters() {
-        let c = study(17, &[0.0, 0.8], 4, 0, false, Era::Classic);
+        let c = study(&traces(), &[0.0, 0.8], 4, 0, false, Era::Classic);
         // Baseline cells must be clean, faulted cells must show activity
         // — otherwise the injection is not reaching the engine.
         for cell in &c.cells {
@@ -240,7 +229,7 @@ mod tests {
 
     #[test]
     fn composed_mode_keeps_the_guarantee_with_both_planes_live() {
-        let c = study(17, &[0.0, 0.6], 4, 0, true, Era::Classic);
+        let c = study(&traces(), &[0.0, 0.6], 4, 0, true, Era::Classic);
         assert!(c.composed);
         assert_eq!(
             c.total_violations(),

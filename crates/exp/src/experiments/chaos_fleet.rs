@@ -22,8 +22,7 @@ use redspot_core::{
     DegradePolicy, Era, ExperimentConfig, FaultPlan, MarketCtx, PolicyKind, RunMetrics,
 };
 use redspot_market::{ApiFaultPlan, CapacityPool, PoolStats};
-use redspot_trace::gen::GenConfig;
-use redspot_trace::{Price, SimDuration, ZoneId};
+use redspot_trace::{Price, SimDuration, TraceSet, ZoneId};
 use std::sync::Arc;
 
 /// One cell: a fleet at a capacity level and a fault intensity.
@@ -158,6 +157,7 @@ pub fn fleet_mix(
 /// fleet on a high-volatility market. `threads = 0` means one worker
 /// per CPU (unbounded cells only; bounded cells run lock-step).
 pub fn study(
+    traces: &TraceSet,
     seed: u64,
     capacities: &[Option<u64>],
     intensities: &[f64],
@@ -165,9 +165,8 @@ pub fn study(
     threads: usize,
     era: Era,
 ) -> ChaosFleet {
-    let traces = GenConfig::high_volatility(seed).generate();
     let n_zones = traces.zone_ids().count();
-    let mkt = MarketCtx::new(traces);
+    let mkt = MarketCtx::new(traces.clone());
     let mut cells = Vec::new();
     let mut metrics = RunMetrics::default();
     for &capacity in capacities {
@@ -240,7 +239,16 @@ mod tests {
 
     #[test]
     fn guarantee_survives_contention_and_composed_faults() {
-        let c = study(23, &[None, Some(2)], &[0.0, 0.5], 6, 0, Era::Classic);
+        let traces = redspot_trace::gen::GenConfig::high_volatility(23).generate();
+        let c = study(
+            &traces,
+            23,
+            &[None, Some(2)],
+            &[0.0, 0.5],
+            6,
+            0,
+            Era::Classic,
+        );
         assert_eq!(c.cells.len(), 4);
         assert_eq!(
             c.total_violations(),
@@ -266,7 +274,8 @@ mod tests {
 
     #[test]
     fn tight_capacity_fires_the_ladder() {
-        let c = study(23, &[Some(1)], &[0.0], 8, 0, Era::Classic);
+        let traces = redspot_trace::gen::GenConfig::high_volatility(23).generate();
+        let c = study(&traces, 23, &[Some(1)], &[0.0], 8, 0, Era::Classic);
         let cell = &c.cells[0];
         assert_eq!(cell.violations, 0, "{}", render(&c));
         assert!(

@@ -13,11 +13,10 @@
 //! market.
 
 use crate::exec::RunRequest;
-use crate::scheme::{RunSpec, Scheme};
+use crate::scheme::{guarantee_suite, RunSpec};
 use crate::windows::{experiment_starts, run_span_for};
-use redspot_core::{Era, ExperimentConfig, MarketCtx, PolicyKind};
-use redspot_trace::gen::GenConfig;
-use redspot_trace::Price;
+use redspot_core::{Era, ExperimentConfig, MarketCtx};
+use redspot_trace::{Price, TraceSet};
 
 /// One cell: a scheme under one market era.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,28 +72,14 @@ impl EraCompare {
     }
 }
 
-/// Run the comparison: every scheme × era × `n_starts` start times on a
-/// high-volatility market. `threads = 0` means one worker per CPU.
-pub fn study(seed: u64, n_starts: usize, threads: usize) -> EraCompare {
-    let traces = GenConfig::high_volatility(seed).generate();
+/// Run the comparison: every scheme × era × `n_starts` start times on
+/// the given market. `threads = 0` means one worker per CPU.
+pub fn study(traces: &TraceSet, n_starts: usize, threads: usize) -> EraCompare {
     let base = ExperimentConfig::paper_default().with_slack_percent(15);
     let bid = Price::from_millis(810);
-    let starts = experiment_starts(&traces, run_span_for(base.deadline), n_starts);
+    let starts = experiment_starts(traces, run_span_for(base.deadline), n_starts);
     let mkt = MarketCtx::new(traces.clone());
-    let schemes = [
-        Scheme::Single {
-            kind: PolicyKind::Periodic,
-            zone: redspot_trace::ZoneId(0),
-        },
-        Scheme::Redundant {
-            kind: PolicyKind::Periodic,
-            zones: traces.zone_ids().collect(),
-        },
-        Scheme::Redundant {
-            kind: PolicyKind::MarkovDaly,
-            zones: traces.zone_ids().collect(),
-        },
-    ];
+    let schemes = guarantee_suite(traces.zone_ids().collect());
 
     let mut cells = Vec::new();
     for scheme in &schemes {
@@ -173,10 +158,14 @@ pub fn render(c: &EraCompare) -> String {
 mod tests {
     use super::*;
 
+    fn traces(seed: u64) -> TraceSet {
+        redspot_trace::gen::GenConfig::high_volatility(seed).generate()
+    }
+
     #[test]
     fn guarantee_holds_in_both_eras() {
-        let c = study(17, 3, 0);
-        assert_eq!(c.cells.len(), 6); // 3 schemes x 2 eras
+        let c = study(&traces(17), 3, 0);
+        assert_eq!(c.cells.len(), 10); // 5 schemes x 2 eras
         assert_eq!(
             c.total_violations(),
             0,
@@ -191,7 +180,7 @@ mod tests {
 
     #[test]
     fn notices_are_a_modern_phenomenon() {
-        let c = study(17, 3, 0);
+        let c = study(&traces(17), 3, 0);
         for cell in &c.cells {
             if cell.era == Era::Classic {
                 assert_eq!(cell.notices, 0, "classic issued a notice:\n{}", render(&c));
@@ -210,7 +199,7 @@ mod tests {
 
     #[test]
     fn render_reports_both_eras() {
-        let c = study(11, 2, 0);
+        let c = study(&traces(11), 2, 0);
         let text = render(&c);
         assert!(text.contains("classic"));
         assert!(text.contains("modern"));

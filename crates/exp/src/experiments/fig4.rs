@@ -10,16 +10,24 @@ use redspot_trace::vol::Volatility;
 use redspot_trace::{highlight_bids, Price};
 
 /// The single-zone policies Figure 4 compares (paper order: Threshold,
-/// Rising Edge, Periodic, Markov-Daly).
-pub const SINGLE_KINDS: [PolicyKind; 4] = [
+/// Rising Edge, Periodic, Markov-Daly; then the policy-diversity
+/// additions — Spot-on cadence and randomized bidding — so Tables 2–3
+/// pick their winner from the full roster).
+pub const SINGLE_KINDS: [PolicyKind; 6] = [
     PolicyKind::Threshold,
     PolicyKind::RisingEdge,
     PolicyKind::Periodic,
     PolicyKind::MarkovDaly,
+    PolicyKind::SpotOnCadence,
+    PolicyKind::RandomizedBid(crate::scheme::RANDOMIZED_BID_SEED),
 ];
 
 /// Policies eligible for the redundancy-based best case.
-pub const RED_KINDS: [PolicyKind; 2] = [PolicyKind::Periodic, PolicyKind::MarkovDaly];
+pub const RED_KINDS: [PolicyKind; 3] = [
+    PolicyKind::Periodic,
+    PolicyKind::MarkovDaly,
+    PolicyKind::SpotOnCadence,
+];
 
 /// The raw sweep for one evaluation cell `(volatility, slack, t_c)`.
 pub struct CellData {

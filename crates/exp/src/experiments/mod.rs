@@ -13,6 +13,7 @@ pub mod fig6;
 pub mod headline;
 pub mod markov_validation;
 pub mod mechanics;
+pub mod policy_compare;
 pub mod queuing;
 pub mod robustness;
 pub mod tables;

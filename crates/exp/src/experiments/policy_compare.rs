@@ -1,0 +1,219 @@
+//! Policy comparison: every checkpoint policy head-to-head, per era.
+//!
+//! Where the chaos suites ask "does the guarantee survive faults", this
+//! study asks the paper's economic question across the *whole* policy
+//! roster: what does each policy cost, and how often does it lean on the
+//! on-demand fallback, under both the 2014 hourly market and the
+//! post-2017 per-second regime? Every policy runs as triple-modular
+//! redundancy over all zones (the paper's recommended deployment), same
+//! traces, same starts, same bid. The result is the policy × era cost
+//! table DESIGN.md §18 describes, and the artifact the `policy-compare`
+//! CLI command (and the `policy-smoke` CI job) emits.
+//!
+//! The hard requirement carries over unchanged: **zero deadline
+//! violations in every cell**, for every policy, in both eras.
+
+use crate::exec::RunRequest;
+use crate::scheme::{RunSpec, Scheme, RANDOMIZED_BID_SEED};
+use crate::windows::{experiment_starts, run_span_for};
+use redspot_core::{Era, ExperimentConfig, MarketCtx, PolicyKind};
+use redspot_trace::{Price, TraceSet};
+use serde::{Deserialize, Serialize};
+
+/// The full policy roster the comparison sweeps: the paper's four
+/// Section-4 policies plus the two policy-diversity additions.
+pub fn policy_roster() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Periodic,
+        PolicyKind::MarkovDaly,
+        PolicyKind::RisingEdge,
+        PolicyKind::Threshold,
+        PolicyKind::SpotOnCadence,
+        PolicyKind::RandomizedBid(RANDOMIZED_BID_SEED),
+    ]
+}
+
+/// One cell: a policy under one market era.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyCell {
+    /// Policy label (see [`PolicyKind::label`]).
+    pub policy: String,
+    /// Which market rules the cell ran under.
+    pub era: Era,
+    /// Median cost in dollars across starts.
+    pub median_cost: f64,
+    /// Mean checkpoints taken per run.
+    pub mean_checkpoints: f64,
+    /// Mean provider terminations per run.
+    pub mean_interruptions: f64,
+    /// Fraction of runs that fell back to on-demand.
+    pub on_demand_rate: f64,
+    /// Runs that missed the deadline. Must be zero.
+    pub violations: usize,
+    /// Number of runs in the cell.
+    pub n_runs: usize,
+}
+
+/// The comparison result — serializable so the CLI can write it as the
+/// CI artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyCompare {
+    /// All cells, grouped by policy then era (Classic first).
+    pub cells: Vec<PolicyCell>,
+}
+
+impl PolicyCompare {
+    /// Total deadline violations across the table (must be zero).
+    pub fn total_violations(&self) -> usize {
+        self.cells.iter().map(|c| c.violations).sum()
+    }
+
+    /// The cheapest policy label in `era` by median cost, if any cell
+    /// ran under it.
+    pub fn cheapest(&self, era: Era) -> Option<&PolicyCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.era == era)
+            .min_by(|a, b| a.median_cost.total_cmp(&b.median_cost))
+    }
+}
+
+/// Run the comparison: every roster policy × era × `n_starts` start
+/// times on the given market, as redundancy over all zones. `threads =
+/// 0` means one worker per CPU.
+pub fn study(traces: &TraceSet, n_starts: usize, threads: usize) -> PolicyCompare {
+    let base = ExperimentConfig::paper_default().with_slack_percent(15);
+    let bid = Price::from_millis(810);
+    let starts = experiment_starts(traces, run_span_for(base.deadline), n_starts);
+    let mkt = MarketCtx::new(traces.clone());
+    let zones: Vec<_> = traces.zone_ids().collect();
+
+    let mut cells = Vec::new();
+    for kind in policy_roster() {
+        let scheme = Scheme::Redundant {
+            kind,
+            zones: zones.clone(),
+        };
+        for era in [Era::Classic, Era::Modern] {
+            let cfg = base.clone().with_era(era);
+            let specs: Vec<RunSpec> = starts
+                .iter()
+                .map(|&start| RunSpec {
+                    start,
+                    bid,
+                    scheme: scheme.clone(),
+                })
+                .collect();
+            let results = RunRequest::new(&mkt, &cfg, &specs)
+                .threads(threads)
+                .execute()
+                .expect("policy-compare config is valid")
+                .results;
+            let costs: Vec<f64> = results.iter().map(|r| r.cost_dollars()).collect();
+            let n_runs = results.len();
+            cells.push(PolicyCell {
+                policy: kind.label().to_string(),
+                era,
+                median_cost: crate::report::median(&costs),
+                mean_checkpoints: results.iter().map(|r| r.checkpoints as f64).sum::<f64>()
+                    / n_runs.max(1) as f64,
+                mean_interruptions: results
+                    .iter()
+                    .map(|r| r.out_of_bid_terminations as f64)
+                    .sum::<f64>()
+                    / n_runs.max(1) as f64,
+                on_demand_rate: results.iter().filter(|r| r.used_on_demand).count() as f64
+                    / n_runs.max(1) as f64,
+                violations: results.iter().filter(|r| !r.met_deadline).count(),
+                n_runs,
+            });
+        }
+    }
+    PolicyCompare { cells }
+}
+
+/// Render the comparison as a table.
+pub fn render(c: &PolicyCompare) -> String {
+    let mut out = String::from(
+        "Policy comparison: full roster as R(all zones), both market eras\n\
+         (15% slack, B = $0.81; P periodic, M markov-daly, E rising-edge, T threshold, S spot-on, B randomized-bid)\n\n  \
+         policy   era       median cost   checkpoints   interruptions   on-demand   violations\n",
+    );
+    for cell in &c.cells {
+        out.push_str(&format!(
+            "  {:<7} {:<8}  ${:>10.2}   {:>11.1}   {:>13.1}   {:>8.0}%   {:>10}\n",
+            cell.policy,
+            cell.era.label(),
+            cell.median_cost,
+            cell.mean_checkpoints,
+            cell.mean_interruptions,
+            cell.on_demand_rate * 100.0,
+            cell.violations,
+        ));
+    }
+    for era in [Era::Classic, Era::Modern] {
+        if let Some(best) = c.cheapest(era) {
+            out.push_str(&format!(
+                "\n  cheapest under {}: {} at ${:.2}",
+                era.label(),
+                best.policy,
+                best.median_cost
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "\n\n  total deadline violations: {} (guarantee requires 0 for every policy, both eras)\n",
+        c.total_violations()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traces(seed: u64) -> TraceSet {
+        redspot_trace::gen::GenConfig::high_volatility(seed).generate()
+    }
+
+    #[test]
+    fn every_policy_meets_the_deadline_in_both_eras() {
+        let c = study(&traces(17), 3, 0);
+        assert_eq!(c.cells.len(), 12); // 6 policies x 2 eras
+        assert_eq!(
+            c.total_violations(),
+            0,
+            "deadline violations in the policy comparison:\n{}",
+            render(&c)
+        );
+        for cell in &c.cells {
+            assert!(cell.n_runs > 0);
+            assert!(cell.median_cost > 0.0, "{}", render(&c));
+        }
+    }
+
+    #[test]
+    fn roster_covers_the_policy_diversity_additions() {
+        let labels: Vec<&str> = policy_roster().iter().map(|k| k.label()).collect();
+        assert!(labels.contains(&"S"), "spot-on cadence missing: {labels:?}");
+        assert!(labels.contains(&"B"), "randomized bid missing: {labels:?}");
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn result_round_trips_through_json() {
+        let c = study(&traces(11), 2, 0);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: PolicyCompare = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn render_names_a_cheapest_policy_per_era() {
+        let c = study(&traces(11), 2, 0);
+        let text = render(&c);
+        assert!(text.contains("cheapest under classic"));
+        assert!(text.contains("cheapest under modern"));
+        assert!(text.contains("total deadline violations: 0"));
+    }
+}

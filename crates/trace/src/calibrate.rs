@@ -1,0 +1,447 @@
+//! Real-trace calibration: fit the regime-switching generator to an
+//! ingested price trace.
+//!
+//! The fit closes the loop *real data → model → synthetic sweeps*: a
+//! user ingests a recorded CSV/JSONL spot-price history, `fit` recovers
+//! per-zone [`ZoneRegime`] parameters (price levels, jitter, stickiness,
+//! regime spell lengths, spike shape), and the resulting
+//! [`CalibratedProfile`] regenerates arbitrarily many statistically
+//! similar synthetic traces (`gen-trace --profile calibrated:FILE`),
+//! each seeded and bit-reproducible.
+//!
+//! The fit is two-phase:
+//!
+//! 1. **Direct moment estimation.** Each zone's samples are split into
+//!    calm / elevated / spike bands by robust thresholds (2× the median
+//!    separates calm from elevated; 1.6× the elevated median separates
+//!    elevated from spikes). Band means give the regime bases, band
+//!    percentile deviations the jitter half-widths, band transition
+//!    counts the regime-switch probabilities, and the fraction of moving
+//!    adjacent calm samples the stickiness `p_move`.
+//! 2. **Probe correction.** The estimators above are biased (the
+//!    generator's mean-reversion shrinks observed jitter; spikes and
+//!    regime snaps leak into the change count), so the fit generates a
+//!    probe trace from the candidate parameters with a fixed internal
+//!    seed and rescales the price bases and `p_move` until the probe's
+//!    per-zone mean and change-point density match the source. Three
+//!    rounds land both inside a couple of percent.
+
+use crate::gen::{GenConfig, ZoneRegime};
+use crate::series::PriceSeries;
+use crate::time::{SimDuration, SimTime};
+use crate::traceset::TraceSet;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Summary statistics of the source trace the profile was fitted from,
+/// kept for provenance and round-trip verification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceSummary {
+    /// Per-zone mean price, milli-dollars.
+    pub zone_mean_millis: Vec<f64>,
+    /// Per-zone change-point density: fraction of adjacent sample pairs
+    /// with differing prices.
+    pub zone_change_density: Vec<f64>,
+    /// Source sampling step, seconds.
+    pub step: u64,
+    /// Source duration.
+    pub duration: SimDuration,
+}
+
+/// A fitted generator profile: feed it a seed to regenerate synthetic
+/// traces statistically similar to the source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibratedProfile {
+    /// Fitted per-zone regime parameters.
+    pub zones: Vec<ZoneRegime>,
+    /// Regeneration length (defaults to the source duration).
+    pub duration: SimDuration,
+    /// What the fit measured on the source.
+    pub source: SourceSummary,
+}
+
+impl CalibratedProfile {
+    /// The generator configuration for one regeneration seed.
+    ///
+    /// Zones are regenerated *independently* (`common_amplitude = 0`):
+    /// the weak shared factor is below the fit's resolution and coupling
+    /// would perturb the calibrated change density.
+    pub fn to_gen_config(&self, seed: u64) -> GenConfig {
+        GenConfig {
+            zones: self.zones.clone(),
+            duration: self.duration,
+            start: SimTime::ZERO,
+            seed,
+            common_amplitude: 0,
+        }
+    }
+
+    /// Regenerate a synthetic trace set (at the generator's native
+    /// 5-minute step).
+    pub fn generate(&self, seed: u64) -> TraceSet {
+        self.to_gen_config(seed).generate()
+    }
+
+    /// Save as JSON.
+    pub fn save_json(&self, path: &Path) -> io::Result<()> {
+        let file = io::BufWriter::new(std::fs::File::create(path)?);
+        serde_json::to_writer_pretty(file, self).map_err(io::Error::other)
+    }
+
+    /// Load from JSON.
+    pub fn load_json(path: &Path) -> io::Result<CalibratedProfile> {
+        let file = io::BufReader::new(std::fs::File::open(path)?);
+        serde_json::from_reader(file).map_err(io::Error::other)
+    }
+}
+
+/// Mean price of a series in milli-dollars.
+fn mean_millis(z: &PriceSeries) -> f64 {
+    let s = z.samples();
+    s.iter().map(|p| p.millis() as f64).sum::<f64>() / s.len().max(1) as f64
+}
+
+/// Fraction of adjacent sample pairs whose prices differ.
+fn change_density(z: &PriceSeries) -> f64 {
+    let s = z.samples();
+    if s.len() < 2 {
+        return 0.0;
+    }
+    s.windows(2).filter(|w| w[0] != w[1]).count() as f64 / (s.len() - 1) as f64
+}
+
+/// Percentile (0–100) of a sorted slice.
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * pct / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Per-sample band classification.
+#[derive(Clone, Copy, PartialEq)]
+enum Band {
+    Calm,
+    Elevated,
+    Spike,
+}
+
+/// Phase 1: direct moment estimation for one zone.
+fn fit_zone(z: &PriceSeries) -> ZoneRegime {
+    let mut sorted: Vec<u64> = z.samples().iter().map(|p| p.millis()).collect();
+    sorted.sort_unstable();
+    let median = percentile(&sorted, 50.0).max(1);
+
+    // Robust band thresholds: calm lives within 2× the median (the bulk
+    // of any spot history); elevated above that; spikes above 1.6× the
+    // elevated median.
+    let t_calm = 2 * median;
+    let above: Vec<u64> = sorted.iter().copied().filter(|&v| v > t_calm).collect();
+    let t_spike = if above.is_empty() {
+        u64::MAX
+    } else {
+        percentile(&above, 50.0) * 8 / 5
+    };
+
+    let band = |v: u64| {
+        if v <= t_calm {
+            Band::Calm
+        } else if v <= t_spike {
+            Band::Elevated
+        } else {
+            Band::Spike
+        }
+    };
+    let samples: Vec<u64> = z.samples().iter().map(|p| p.millis()).collect();
+    let bands: Vec<Band> = samples.iter().map(|&v| band(v)).collect();
+
+    // Band moments.
+    let band_stats = |want: Band| -> (f64, Vec<u64>) {
+        let vals: Vec<u64> = samples
+            .iter()
+            .zip(&bands)
+            .filter(|(_, b)| **b == want)
+            .map(|(&v, _)| v)
+            .collect();
+        let mean = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len().max(1) as f64;
+        (mean, vals)
+    };
+    let (calm_mean, calm_vals) = band_stats(Band::Calm);
+    let (elev_mean, elev_vals) = band_stats(Band::Elevated);
+    let (_, mut spike_vals) = band_stats(Band::Spike);
+
+    let jitter = |vals: &[u64], base: f64| -> u64 {
+        let mut dev: Vec<u64> = vals
+            .iter()
+            .map(|&v| (v as f64 - base).abs().round() as u64)
+            .collect();
+        dev.sort_unstable();
+        percentile(&dev, 95.0).max(1)
+    };
+    let calm_base = (calm_mean.round() as u64).max(1);
+    let calm_jitter = jitter(&calm_vals, calm_mean);
+    let two_regime = !elev_vals.is_empty();
+    let elevated_base = if two_regime {
+        (elev_mean.round() as u64).max(calm_base + 1)
+    } else {
+        calm_base * 3 / 2
+    };
+    let elevated_jitter = if two_regime {
+        jitter(&elev_vals, elev_mean)
+    } else {
+        calm_jitter
+    };
+
+    // Transition probabilities from band runs.
+    let mut c2e = 0u64;
+    let mut e2c = 0u64;
+    let mut spike_entries = 0u64;
+    let mut calm_steps = 0u64;
+    let mut elev_steps = 0u64;
+    let mut nonspike_steps = 0u64;
+    let mut p_move_num = 0u64;
+    let mut p_move_den = 0u64;
+    let mut spike_runs: Vec<u64> = Vec::new();
+    let mut run = 0u64;
+    for i in 0..bands.len() {
+        match bands[i] {
+            Band::Calm => calm_steps += 1,
+            Band::Elevated => elev_steps += 1,
+            Band::Spike => {}
+        }
+        if bands[i] != Band::Spike {
+            nonspike_steps += 1;
+        }
+        if bands[i] == Band::Spike {
+            run += 1;
+        } else if run > 0 {
+            spike_runs.push(run);
+            run = 0;
+        }
+        if i + 1 < bands.len() {
+            match (bands[i], bands[i + 1]) {
+                (Band::Calm, Band::Elevated) => c2e += 1,
+                (Band::Elevated, Band::Calm) => e2c += 1,
+                (b, Band::Spike) if b != Band::Spike => spike_entries += 1,
+                _ => {}
+            }
+            if bands[i] == Band::Calm && bands[i + 1] == Band::Calm {
+                p_move_den += 1;
+                if samples[i] != samples[i + 1] {
+                    p_move_num += 1;
+                }
+            }
+        }
+    }
+    if run > 0 {
+        spike_runs.push(run);
+    }
+
+    let rate = |num: u64, den: u64, fallback: f64| {
+        if den == 0 {
+            fallback
+        } else {
+            (num as f64 / den as f64).clamp(0.0, 0.95)
+        }
+    };
+    let p_move = rate(p_move_num, p_move_den, 0.1).max(0.001);
+    let p_calm_to_elevated = if two_regime {
+        rate(c2e, calm_steps, 0.0)
+    } else {
+        0.0
+    };
+    let p_elevated_to_calm = if two_regime {
+        rate(e2c, elev_steps, 0.1).max(0.001)
+    } else {
+        0.1
+    };
+    let p_spike = rate(spike_entries, nonspike_steps, 0.0);
+
+    // Spike shape from percentile-trimmed spike samples, so one extreme
+    // outlier (the $20.02 event) cannot drag the whole range up.
+    spike_vals.sort_unstable();
+    let spike_range = if spike_vals.is_empty() {
+        (elevated_base * 2, elevated_base * 3)
+    } else {
+        let lo = percentile(&spike_vals, 5.0);
+        (lo, percentile(&spike_vals, 95.0).max(lo + 1))
+    };
+    spike_runs.sort_unstable();
+    let spike_steps = if spike_runs.is_empty() {
+        (1, 3)
+    } else {
+        let lo = percentile(&spike_runs, 5.0).max(1);
+        (lo, percentile(&spike_runs, 95.0).max(lo))
+    };
+
+    ZoneRegime {
+        calm_base,
+        calm_jitter,
+        p_move,
+        elevated_base,
+        elevated_jitter,
+        p_calm_to_elevated,
+        p_elevated_to_calm,
+        p_spike,
+        spike_range,
+        spike_steps,
+    }
+}
+
+/// Internal probe seed for the correction phase (any fixed value works;
+/// it must simply not depend on user input so fits are reproducible).
+const PROBE_SEED: u64 = 0xCA11_B7A7_ED5E_ED01;
+
+/// Probe length: long enough to average out regime-occupancy noise,
+/// bounded so fitting a year-long trace stays fast.
+fn probe_duration(source: SimDuration) -> SimDuration {
+    let min = SimDuration::from_hours(24 * 60);
+    let max = SimDuration::from_hours(24 * 360);
+    SimDuration::from_secs(source.secs().clamp(min.secs(), max.secs()))
+}
+
+/// Fit a [`CalibratedProfile`] to an ingested trace set.
+pub fn fit(set: &TraceSet) -> CalibratedProfile {
+    let source = SourceSummary {
+        zone_mean_millis: set.zones().iter().map(mean_millis).collect(),
+        zone_change_density: set.zones().iter().map(change_density).collect(),
+        step: set.zones()[0].step(),
+        duration: set.duration(),
+    };
+    let mut zones: Vec<ZoneRegime> = set.zones().iter().map(fit_zone).collect();
+
+    // Phase 2: probe correction. Rescale bases toward the source mean and
+    // p_move toward the source change density, measuring each candidate
+    // on a fixed-seed probe ensemble.
+    let probe_cfg = |zones: &[ZoneRegime], seed: u64| GenConfig {
+        zones: zones.to_vec(),
+        duration: probe_duration(set.duration()),
+        start: SimTime::ZERO,
+        seed,
+        common_amplitude: 0,
+    };
+    for _ in 0..3 {
+        let probes = [
+            probe_cfg(&zones, PROBE_SEED).generate(),
+            probe_cfg(&zones, PROBE_SEED ^ 0x5555_5555_5555_5555).generate(),
+        ];
+        for (i, zone) in zones.iter_mut().enumerate() {
+            let probe_mean = probes
+                .iter()
+                .map(|p| mean_millis(&p.zones()[i]))
+                .sum::<f64>()
+                / probes.len() as f64;
+            let probe_density = probes
+                .iter()
+                .map(|p| change_density(&p.zones()[i]))
+                .sum::<f64>()
+                / probes.len() as f64;
+            if probe_mean > 0.0 {
+                let r = source.zone_mean_millis[i] / probe_mean;
+                let scale = |v: u64| ((v as f64 * r).round() as u64).max(1);
+                zone.calm_base = scale(zone.calm_base);
+                zone.elevated_base = scale(zone.elevated_base).max(zone.calm_base + 1);
+            }
+            if probe_density > 0.0 {
+                let r = source.zone_change_density[i] / probe_density;
+                zone.p_move = (zone.p_move * r).clamp(0.001, 0.95);
+            }
+        }
+    }
+
+    CalibratedProfile {
+        zones,
+        duration: set.duration(),
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::year_history;
+
+    /// Round-trip acceptance: generate → fit → regenerate must reproduce
+    /// per-zone mean price and change-point density within 5 %, averaged
+    /// over a small regeneration ensemble (single seeds carry
+    /// regime-occupancy noise by design).
+    fn assert_round_trip(source: &TraceSet, label: &str) {
+        let profile = fit(source);
+        let regen: Vec<TraceSet> = (0..4).map(|s| profile.generate(1_000 + s)).collect();
+        for (i, z) in source.zones().iter().enumerate() {
+            let src_mean = mean_millis(z);
+            let src_density = change_density(z);
+            let regen_mean = regen
+                .iter()
+                .map(|t| mean_millis(&t.zones()[i]))
+                .sum::<f64>()
+                / regen.len() as f64;
+            let regen_density = regen
+                .iter()
+                .map(|t| change_density(&t.zones()[i]))
+                .sum::<f64>()
+                / regen.len() as f64;
+            let mean_err = (regen_mean - src_mean).abs() / src_mean;
+            let density_err = (regen_density - src_density).abs() / src_density.max(1e-9);
+            assert!(
+                mean_err < 0.05,
+                "{label} zone {i}: mean {src_mean:.1} regenerated as {regen_mean:.1} ({:.1} % off)",
+                mean_err * 100.0
+            );
+            assert!(
+                density_err < 0.05,
+                "{label} zone {i}: density {src_density:.4} regenerated as {regen_density:.4} \
+                 ({:.1} % off)",
+                density_err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_low_volatility() {
+        assert_round_trip(&GenConfig::low_volatility(42).generate(), "low");
+    }
+
+    #[test]
+    fn round_trip_high_volatility() {
+        assert_round_trip(&GenConfig::high_volatility(42).generate(), "high");
+    }
+
+    #[test]
+    fn round_trip_year_history() {
+        assert_round_trip(&year_history(42), "year");
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let set = GenConfig::high_volatility(9).generate();
+        assert_eq!(fit(&set), fit(&set));
+    }
+
+    #[test]
+    fn profile_serializes_and_regenerates_identically() {
+        let set = GenConfig::low_volatility(5).generate();
+        let profile = fit(&set);
+        let dir = std::env::temp_dir().join("redspot-test-calibrate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.json");
+        profile.save_json(&path).unwrap();
+        let loaded = CalibratedProfile::load_json(&path).unwrap();
+        assert_eq!(profile, loaded);
+        assert_eq!(profile.generate(7), loaded.generate(7));
+        assert_ne!(profile.generate(7), loaded.generate(8));
+    }
+
+    #[test]
+    fn fitted_high_volatility_looks_two_regime() {
+        let set = GenConfig::high_volatility(42).generate();
+        let profile = fit(&set);
+        for z in &profile.zones {
+            assert!(z.elevated_base > 2 * z.calm_base, "{z:?}");
+            assert!(z.p_calm_to_elevated > 0.0, "{z:?}");
+            assert!(z.p_spike > 0.0, "{z:?}");
+        }
+    }
+}

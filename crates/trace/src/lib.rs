@@ -21,11 +21,13 @@
 #![warn(missing_docs)]
 
 pub mod bootstrap;
+pub mod calibrate;
 pub mod gen;
 mod handle;
 pub mod io;
 mod price;
 mod series;
+pub mod source;
 pub mod spells;
 mod time;
 mod traceset;
@@ -35,6 +37,7 @@ mod window;
 pub use handle::TraceHandle;
 pub use price::{highlight_bids, paper_bid_grid, Price};
 pub use series::PriceSeries;
+pub use source::{load_trace_file, Profile, TraceSource};
 pub use time::{SimDuration, SimTime, HOUR, PRICE_STEP};
 pub use traceset::{TraceSet, ZoneId};
 pub use window::{overlapping_windows, Window};

@@ -122,7 +122,12 @@ proptest! {
     fn guarantee_survives_arbitrary_fault_schedules(
         traces in arb_market(),
         faults in arb_faults(),
-        kind in prop_oneof![Just(PolicyKind::Periodic), Just(PolicyKind::MarkovDaly)],
+        kind in prop_oneof![
+            Just(PolicyKind::Periodic),
+            Just(PolicyKind::MarkovDaly),
+            Just(PolicyKind::SpotOnCadence),
+            Just(PolicyKind::RandomizedBid(0xB1D)),
+        ],
         slack_pct in 10u64..60,
         seed in 0u64..1_000,
     ) {
@@ -283,7 +288,12 @@ proptest! {
     fn guarantee_survives_arbitrary_api_fault_schedules(
         traces in arb_market(),
         api in arb_api_faults(),
-        kind in prop_oneof![Just(PolicyKind::Periodic), Just(PolicyKind::MarkovDaly)],
+        kind in prop_oneof![
+            Just(PolicyKind::Periodic),
+            Just(PolicyKind::MarkovDaly),
+            Just(PolicyKind::SpotOnCadence),
+            Just(PolicyKind::RandomizedBid(0xB1D)),
+        ],
         slack_pct in 10u64..60,
         seed in 0u64..1_000,
     ) {
@@ -369,7 +379,12 @@ proptest! {
         traces in arb_market(),
         faults in arb_faults(),
         api in arb_api_faults(),
-        kind in prop_oneof![Just(PolicyKind::Periodic), Just(PolicyKind::MarkovDaly)],
+        kind in prop_oneof![
+            Just(PolicyKind::Periodic),
+            Just(PolicyKind::MarkovDaly),
+            Just(PolicyKind::SpotOnCadence),
+            Just(PolicyKind::RandomizedBid(0xB1D)),
+        ],
         slack_pct in 10u64..60,
         seed in 0u64..1_000,
     ) {

@@ -56,6 +56,8 @@ fn arb_policy() -> impl Strategy<Value = PolicyKind> {
         Just(PolicyKind::MarkovDaly),
         Just(PolicyKind::RisingEdge),
         Just(PolicyKind::Threshold),
+        Just(PolicyKind::SpotOnCadence),
+        Just(PolicyKind::RandomizedBid(0xB1D)),
     ]
 }
 

@@ -114,7 +114,12 @@ proptest! {
                 let naive = window_stats(&traces, &selected, window, bid);
                 prop_assert_eq!(scan1.stats(j, &mask), naive, "stats bid {} mask {:?}", bid, &mask);
                 prop_assert_eq!(scan4.stats(j, &mask), naive, "threaded stats diverged");
-                for kind in [PolicyKind::Periodic, PolicyKind::MarkovDaly] {
+                for kind in [
+                    PolicyKind::Periodic,
+                    PolicyKind::MarkovDaly,
+                    PolicyKind::SpotOnCadence,
+                    PolicyKind::RandomizedBid(0xB1D),
+                ] {
                     let reference = estimate(&traces, &selected, window, bid, CkptCosts::LOW, kind);
                     let scanned = scan1.forecast(j, &mask, CkptCosts::LOW, kind);
                     prop_assert_eq!(
@@ -223,9 +228,17 @@ proptest! {
         cfg.deadline = SimDuration::from_secs(cfg.app.work.secs() * (100 + slack_pct) / 100);
         let start = SimTime::from_hours(48);
 
+        // Put all four scanable policies in the permutation grid — the
+        // stochastic pair must not break scan/naive bit-equality either.
         let mode = |forecast, scan_threads| AdaptiveConfig {
             forecast,
             scan_threads,
+            policy_kinds: vec![
+                PolicyKind::Periodic,
+                PolicyKind::MarkovDaly,
+                PolicyKind::SpotOnCadence,
+                PolicyKind::RandomizedBid(0xB1D),
+            ],
             ..AdaptiveConfig::default()
         };
         let naive = AdaptiveRunner::new(&traces, start, cfg.clone())
